@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the hot kernels (wall-clock, not
+//! simulated time): the R-MAT generator, the PARADIS radix sort, the
+//! bitmap primitives, and the functional OCS-RMA bucketing pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sunbfs_common::{Bitmap, MachineConfig, SplitMix64};
+use sunbfs_rmat::RmatParams;
+use sunbfs_sort::radix_sort_u64;
+use sunbfs_sunway::{ocs_sort_rma, OcsConfig};
+
+fn bench_rmat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rmat_generate");
+    for scale in [12u32, 14] {
+        let params = RmatParams::graph500(scale, 42);
+        g.throughput(Throughput::Elements(params.num_edges()));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &params, |b, p| {
+            b.iter(|| sunbfs_rmat::generate_edges(p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paradis_radix_sort");
+    for n in [1usize << 14, 1 << 18] {
+        let mut rng = SplitMix64::new(7);
+        let data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| {
+                let mut v = d.clone();
+                radix_sort_u64(&mut v, 2);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let bits = 1u64 << 20;
+    let mut bm = Bitmap::new(bits);
+    let mut rng = SplitMix64::new(9);
+    for _ in 0..(bits / 16) {
+        bm.set(rng.next_below(bits));
+    }
+    c.bench_function("bitmap_iter_ones_1M", |b| b.iter(|| bm.iter_ones().sum::<u64>()));
+    c.bench_function("bitmap_count_range_1M", |b| {
+        b.iter(|| bm.count_ones_range(1000, bits - 1000))
+    });
+    let other = bm.clone();
+    c.bench_function("bitmap_or_assign_1M", |b| {
+        b.iter(|| {
+            let mut x = bm.clone();
+            x.or_assign(&other);
+            x
+        })
+    });
+}
+
+fn bench_ocs(c: &mut Criterion) {
+    let machine = MachineConfig::new_sunway();
+    let mut rng = SplitMix64::new(11);
+    let items: Vec<u64> = (0..1usize << 18).map(|_| rng.next_u64()).collect();
+    let mut g = c.benchmark_group("ocs_rma_functional");
+    g.throughput(Throughput::Bytes((items.len() * 8) as u64));
+    g.bench_function("bucket_256_6cg", |b| {
+        b.iter(|| ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 6, |x| (x & 0xff) as usize))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rmat, bench_radix_sort, bench_bitmap, bench_ocs
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! **Figure 13** — distribution of partitioned subgraph sizes.
+//!
+//! Paper (§6.2.2): partitioning the SCALE-44 graph onto 103,912 nodes,
+//! the per-partition edge counts of the six subgraphs are tightly
+//! concentrated: min-vs-max spread of 4.2% in EH2EH and up to 0.35% in
+//! the rest — load balance by construction, without adjusting the
+//! vertex distribution.
+//!
+//! This harness partitions a SCALE-16 graph onto 64 ranks (8×8 mesh)
+//! and prints each component's per-partition CDF summary.
+
+use sunbfs_bench::bar;
+use sunbfs_common::MachineConfig;
+use sunbfs_net::{Cluster, MeshShape};
+use sunbfs_part::{build_1p5d, ComponentStats, Thresholds};
+use sunbfs_rmat::{generate_chunk, RmatParams};
+
+fn main() {
+    let scale = 16;
+    let ranks = 64usize;
+    let params = RmatParams::graph500(scale, 42);
+    let thresholds = Thresholds::new(2048, 256);
+    println!(
+        "=== Figure 13: subgraph size distribution, SCALE {scale} on {ranks} ranks (E>={}, H>={}) ===\n",
+        thresholds.e, thresholds.h
+    );
+    let cluster = Cluster::new(MeshShape::near_square(ranks), MachineConfig::new_sunway());
+    let n = params.num_vertices();
+    let stats: Vec<ComponentStats> = cluster.run(|ctx| {
+        let chunk = generate_chunk(&params, ctx.rank() as u64, ranks as u64);
+        build_1p5d(ctx, n, &chunk, thresholds).stats
+    });
+
+    println!("  component     min        p25        median     p75        max       max/min-1  max/avg-1");
+    for (name, get) in [
+        ("EH2EH", (|s: &ComponentStats| s.eh2eh) as fn(&ComponentStats) -> u64),
+        ("E2L", |s| s.e2l),
+        ("L2E", |s| s.l2e),
+        ("H2L", |s| s.h2l),
+        ("L2H", |s| s.l2h),
+        ("L2L", |s| s.l2l),
+    ] {
+        let mut v: Vec<u64> = stats.iter().map(get).collect();
+        v.sort_unstable();
+        let (min, max) = (v[0], v[ranks - 1]);
+        let avg = v.iter().sum::<u64>() as f64 / ranks as f64;
+        let q = |p: f64| v[((ranks - 1) as f64 * p) as usize];
+        let spread = if min > 0 { max as f64 / min as f64 - 1.0 } else { f64::NAN };
+        let over = if avg > 0.0 { max as f64 / avg - 1.0 } else { f64::NAN };
+        println!(
+            "  {name:<10} {min:>9}  {:>9}  {:>9}  {:>9}  {max:>9}   {:>7.1}%   {:>7.1}%",
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            100.0 * spread,
+            100.0 * over,
+        );
+    }
+    println!("\n  (paper at full scale: EH2EH 4.2% min-max spread, others <= 0.35%;");
+    println!("   small-sample spreads are larger but every component stays percent-level)");
+
+    // Mini-CDF of the largest component.
+    let mut eh: Vec<u64> = stats.iter().map(|s| s.eh2eh).collect();
+    eh.sort_unstable();
+    println!("\n  EH2EH per-partition CDF:");
+    for pct in [0usize, 10, 25, 50, 75, 90, 100] {
+        let idx = ((ranks - 1) * pct) / 100;
+        println!("    p{pct:<3} {:>9}  {}", eh[idx], bar(eh[idx] as f64, *eh.last().unwrap() as f64));
+    }
+}

@@ -1,0 +1,69 @@
+//! **Figure 15** — time breakdown for different levels of optimization.
+//!
+//! Paper (§6.4), SCALE 35 on 256 nodes, three engine configurations:
+//!
+//! * **Baseline** — vanilla whole-iteration direction optimization, no
+//!   core-subgraph segmenting;
+//! * **+ Sub-Iter.** — per-component direction selection replaces the
+//!   expensive hub pushes with cheap pulls;
+//! * **+ Segment.** — CG-aware segmenting makes the EH2EH pull kernel
+//!   9× faster on its own.
+//!
+//! The bars split time into EH2EH Pull / Others Pull / EH2EH Push /
+//! Others Push / Others. This harness reproduces all three bars.
+
+use sunbfs_bench::{group_by_phase_direction, print_percentages, run_config};
+use sunbfs_core::EngineConfig;
+use sunbfs_part::Thresholds;
+
+fn main() {
+    let scale = 18;
+    let ranks = 16;
+    let roots = 2;
+    let thresholds = Thresholds::new(4096, 64);
+    println!("=== Figure 15: ablation of sub-iteration DO and CG segmenting ===");
+    println!("    (SCALE {scale}, {ranks} ranks, {roots} roots)\n");
+
+    let configs: Vec<(&str, EngineConfig)> = vec![
+        ("Baseline", EngineConfig::baseline()),
+        ("+ Sub-Iter.", EngineConfig::with_sub_iteration()),
+        ("+ Segment.", EngineConfig::default()),
+    ];
+
+    let mut totals = Vec::new();
+    let mut kernel_totals = Vec::new();
+    let mut eh_pulls = Vec::new();
+    for (name, engine) in configs {
+        let cfg = run_config(scale, ranks, thresholds, engine, roots);
+        let report = sunbfs::driver::run_benchmark(&cfg);
+        let times = report.total_times();
+        // The paper's figure breaks down *kernel* time; communication is
+        // Figure 11's axis. Keep the sub-iteration compute categories
+        // plus a residual "Others" of everything else scaled out.
+        let groups = group_by_phase_direction(&times);
+        println!("--- {name} ({:.3} GTEPS) ---", report.harmonic_mean_gteps());
+        let kernel_only: Vec<(String, f64)> =
+            groups.iter().filter(|(n, _)| n != "Others").cloned().collect();
+        print_percentages("kernel time breakdown", &kernel_only);
+        println!();
+        totals.push((name, times.total().as_secs()));
+        kernel_totals.push(kernel_only.iter().map(|(_, s)| s).sum::<f64>());
+        eh_pulls.push(groups.iter().find(|(n, _)| n == "EH2EH Pull").unwrap().1);
+    }
+
+    println!("summary (kernel time normalized to Baseline = 1.0):");
+    let base = kernel_totals[0];
+    for ((name, _), kt) in totals.iter().zip(&kernel_totals) {
+        println!("  {name:<12} {:.3}", kt / base);
+    }
+    if eh_pulls[1] > 0.0 {
+        println!(
+            "\n  EH2EH pull kernel time, sub-iter vs +segmenting: {:.1}x faster (paper: 9x)",
+            eh_pulls[1] / eh_pulls[2].max(f64::MIN_POSITIVE)
+        );
+    }
+    assert!(
+        totals[2].1 <= totals[0].1,
+        "fully optimized engine must not be slower than the baseline"
+    );
+}

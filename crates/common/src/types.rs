@@ -1,0 +1,111 @@
+//! Core identifier and edge types.
+//!
+//! Vertices are identified by dense 64-bit integers as in the Graph 500
+//! specification (a SCALE-`s` graph has `2^s` vertices). Edges are
+//! undirected pairs; generators and partitioners may materialize both
+//! orientations.
+
+/// A global vertex identifier.
+pub type VertexId = u64;
+
+/// Sentinel for "no vertex" (used in parent arrays; Graph 500 uses -1).
+pub const INVALID_VERTEX: VertexId = u64::MAX;
+
+/// An undirected edge between two global vertices.
+///
+/// The generator may emit self loops and duplicate edges; both are legal
+/// Graph 500 inputs and are handled (skipped / deduplicated) during
+/// partition construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Source endpoint.
+    pub u: VertexId,
+    /// Destination endpoint.
+    pub v: VertexId,
+}
+
+impl Edge {
+    /// Create a new edge.
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId) -> Self {
+        Edge { u, v }
+    }
+
+    /// The edge with endpoints swapped.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Edge { u: self.v, v: self.u }
+    }
+
+    /// True if both endpoints coincide.
+    #[inline]
+    pub fn is_self_loop(self) -> bool {
+        self.u == self.v
+    }
+
+    /// Canonical form with the smaller endpoint first; useful for
+    /// deduplicating undirected edges.
+    #[inline]
+    pub fn canonical(self) -> Self {
+        if self.u <= self.v {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+/// Header describing a generated global graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlobalGraphHeader {
+    /// Graph 500 SCALE: the graph has `2^scale` vertices.
+    pub scale: u32,
+    /// Edge factor: the generator emits `edge_factor * 2^scale` edges.
+    pub edge_factor: u32,
+}
+
+impl GlobalGraphHeader {
+    /// Number of vertices, `2^scale`.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of generated (undirected) edges, `edge_factor * 2^scale`.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        (self.edge_factor as u64) << self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_canonicalization_orders_endpoints() {
+        assert_eq!(Edge::new(5, 3).canonical(), Edge::new(3, 5));
+        assert_eq!(Edge::new(3, 5).canonical(), Edge::new(3, 5));
+        assert_eq!(Edge::new(7, 7).canonical(), Edge::new(7, 7));
+    }
+
+    #[test]
+    fn edge_reversal_swaps() {
+        let e = Edge::new(1, 2);
+        assert_eq!(e.reversed(), Edge::new(2, 1));
+        assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::new(4, 4).is_self_loop());
+        assert!(!Edge::new(4, 5).is_self_loop());
+    }
+
+    #[test]
+    fn header_counts_match_graph500_formulas() {
+        let h = GlobalGraphHeader { scale: 10, edge_factor: 16 };
+        assert_eq!(h.num_vertices(), 1024);
+        assert_eq!(h.num_edges(), 16 * 1024);
+    }
+}

@@ -1,0 +1,189 @@
+//! Engine configuration and direction heuristics (§4.2).
+//!
+//! Direction-optimizing BFS switches between top-down (*push*) and
+//! bottom-up (*pull*) per iteration. The paper refines this to
+//! **sub-iteration direction optimization**: each of the six subgraph
+//! components chooses its direction independently, with two heuristics:
+//!
+//! * node-local components (EH2EH, E2L, L2E) look only at the *source
+//!   active ratio* — pull workload cannot be estimated from destination
+//!   counts because early exit truncates it,
+//! * node-crossing components (H2L, L2H, L2L) compare the active-source
+//!   ratio against the unvisited-destination ratio, which "directly
+//!   reflect the number of messages required to communicate".
+
+/// Traversal direction of one sub-iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Top-down: scan active sources, write destinations.
+    Push,
+    /// Bottom-up: scan unvisited destinations, probe sources; early
+    /// exit on first hit.
+    Pull,
+}
+
+/// The six subgraph components in their §4.2 execution order
+/// (higher-degree source/destination first).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Component {
+    /// Hub ↔ hub core subgraph (2D-partitioned).
+    Eh2Eh,
+    /// E → L.
+    E2L,
+    /// L → E.
+    L2E,
+    /// H → L.
+    H2L,
+    /// L → H.
+    L2H,
+    /// L → L.
+    L2L,
+}
+
+impl Component {
+    /// All components in execution order.
+    pub const ALL: [Component; 6] =
+        [Component::Eh2Eh, Component::E2L, Component::L2E, Component::H2L, Component::L2H, Component::L2L];
+
+    /// Short name used in time-accounting categories.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Eh2Eh => "EH2EH",
+            Component::E2L => "E2L",
+            Component::L2E => "L2E",
+            Component::H2L => "H2L",
+            Component::L2H => "L2H",
+            Component::L2L => "L2L",
+        }
+    }
+
+    /// True for components whose edges never cross ranks at traversal
+    /// time (their direction heuristic uses the source ratio only).
+    pub fn is_node_local(self) -> bool {
+        matches!(self, Component::Eh2Eh | Component::E2L | Component::L2E)
+    }
+}
+
+/// Engine configuration. Defaults enable every technique of the paper;
+/// the ablation benches (Figure 15) toggle them off one at a time.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Source-active-ratio threshold above which node-local components
+    /// switch to pull.
+    pub alpha_local: f64,
+    /// Crossing components pull when
+    /// `unvisited_dst_ratio < beta * active_src_ratio`.
+    pub beta_crossing: f64,
+    /// Per-component direction selection (§4.2). When off, one global
+    /// direction per iteration (vanilla direction optimization — the
+    /// Figure 15 baseline).
+    pub sub_iteration: bool,
+    /// Global active-ratio threshold used by the vanilla mode.
+    pub vanilla_alpha: f64,
+    /// CG-aware core-subgraph segmenting for the EH2EH pull (§4.3).
+    /// When off, probes cost GLD main-memory latency instead of RMA.
+    pub segmenting: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            alpha_local: 0.03,
+            beta_crossing: 1.0,
+            sub_iteration: true,
+            vanilla_alpha: 0.03,
+            segmenting: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The Figure 15 baseline: vanilla direction optimization, no
+    /// segmenting.
+    pub fn baseline() -> Self {
+        EngineConfig { sub_iteration: false, segmenting: false, ..Default::default() }
+    }
+
+    /// Baseline plus sub-iteration direction optimization (Figure 15
+    /// middle bar).
+    pub fn with_sub_iteration() -> Self {
+        EngineConfig { segmenting: false, ..Default::default() }
+    }
+}
+
+/// Direction for a node-local component from its source activity.
+pub fn choose_local(cfg: &EngineConfig, active_src: u64, total_src: u64) -> Direction {
+    if total_src == 0 {
+        return Direction::Push;
+    }
+    if active_src as f64 / total_src as f64 > cfg.alpha_local {
+        Direction::Pull
+    } else {
+        Direction::Push
+    }
+}
+
+/// Direction for a node-crossing component by comparing the expected
+/// message counts of the two directions.
+pub fn choose_crossing(
+    cfg: &EngineConfig,
+    active_src: u64,
+    total_src: u64,
+    unvisited_dst: u64,
+    total_dst: u64,
+) -> Direction {
+    if total_src == 0 || total_dst == 0 {
+        return Direction::Push;
+    }
+    let active_ratio = active_src as f64 / total_src as f64;
+    let unvisited_ratio = unvisited_dst as f64 / total_dst as f64;
+    if unvisited_ratio < cfg.beta_crossing * active_ratio {
+        Direction::Pull
+    } else {
+        Direction::Push
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_ordered_by_degree_level() {
+        assert_eq!(Component::ALL[0], Component::Eh2Eh);
+        assert_eq!(Component::ALL[5], Component::L2L);
+        assert!(Component::Eh2Eh.is_node_local());
+        assert!(Component::L2E.is_node_local());
+        assert!(!Component::H2L.is_node_local());
+        assert!(!Component::L2L.is_node_local());
+    }
+
+    #[test]
+    fn local_heuristic_switches_on_density() {
+        let cfg = EngineConfig::default();
+        assert_eq!(choose_local(&cfg, 1, 1000), Direction::Push);
+        assert_eq!(choose_local(&cfg, 500, 1000), Direction::Pull);
+        assert_eq!(choose_local(&cfg, 0, 0), Direction::Push);
+    }
+
+    #[test]
+    fn crossing_heuristic_compares_ratios() {
+        let cfg = EngineConfig::default();
+        // Sparse frontier, nearly everything unvisited → push.
+        assert_eq!(choose_crossing(&cfg, 10, 1000, 990, 1000), Direction::Push);
+        // Dense frontier, few unvisited → pull.
+        assert_eq!(choose_crossing(&cfg, 600, 1000, 50, 1000), Direction::Pull);
+        // Empty classes never pull.
+        assert_eq!(choose_crossing(&cfg, 0, 0, 5, 10), Direction::Push);
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        let b = EngineConfig::baseline();
+        assert!(!b.sub_iteration && !b.segmenting);
+        let s = EngineConfig::with_sub_iteration();
+        assert!(s.sub_iteration && !s.segmenting);
+        let full = EngineConfig::default();
+        assert!(full.sub_iteration && full.segmenting);
+    }
+}

@@ -1,0 +1,879 @@
+//! The distributed direction-optimizing BFS engine (§4.2–§4.4, §5).
+//!
+//! One BFS iteration executes six *sub-iterations*, one per subgraph
+//! component, ordered by degree level (EH2EH, E2L, L2E, H2L, L2H, L2L),
+//! each with its own push/pull decision. State lives where the
+//! partition dictates:
+//!
+//! * **hub state** (E∪H frontier/visited bits) is delegated: every rank
+//!   keeps a replica, and newly discovered hub bits propagate at
+//!   sub-iteration boundaries through a row-then-column OR-allreduce —
+//!   the row hop rides the supernode-internal network, the column hop
+//!   pays the oversubscribed tree, exactly the delegate traffic of
+//!   §4.1. Until that boundary, a remote discovery is invisible, which
+//!   matches the visibility semantics of real delegates.
+//! * **hub parents** are *delegate-local* and reduced once after the
+//!   traversal — the delayed reduction of §5.
+//! * **L state** lives only at the owner; pushes reach it as `(dest,
+//!   parent)` messages bucketed on-chip (OCS-RMA) and exchanged with
+//!   `alltoallv` (intra-row for H2L, hierarchically forwarded via the
+//!   column-then-row intersection node for L2L, §4.4).
+//!
+//! Bottom-up sub-iterations honor "the latest visited status" (§4.2):
+//! earlier sub-iterations of the same iteration mark vertices visited
+//! before later ones run, so nothing already activated gets pulled.
+
+use sunbfs_common::{Bitmap, INVALID_VERTEX};
+use sunbfs_net::{RankCtx, Scope};
+use sunbfs_part::RankPartition;
+use sunbfs_sunway::{ocs_sort_rma, OcsConfig, SegmentedBitvec};
+
+use crate::balance;
+use crate::config::{choose_crossing, choose_local, Direction, EngineConfig};
+use crate::costing;
+use crate::stats::{BfsRunStats, IterationStats};
+
+/// Result of one traversal on one rank.
+#[derive(Clone, Debug)]
+pub struct BfsOutput {
+    /// Parents of this rank's owned vertices (global vertex ids;
+    /// [`INVALID_VERTEX`] where unreached). The root's parent is itself.
+    pub parents: Vec<u64>,
+    /// Per-run statistics (timings, iteration series, TEPS inputs).
+    pub stats: BfsRunStats,
+}
+
+/// Run one BFS from `root` over this rank's partition.
+///
+/// SPMD: all ranks call with identical `root` and `cfg`.
+pub fn run_bfs(ctx: &mut RankCtx, part: &RankPartition, root: u64, cfg: &EngineConfig) -> BfsOutput {
+    Engine::new(ctx, part, *cfg).run(ctx, root)
+}
+
+struct Engine<'a> {
+    part: &'a RankPartition,
+    cfg: EngineConfig,
+    // Replicated hub state.
+    hub_curr: Bitmap,
+    hub_visited: Bitmap,
+    hub_next: Bitmap,
+    hub_update: Bitmap,
+    hub_parent: Vec<u64>,
+    // Owner-local L state (indexed by local offset).
+    l_curr: Bitmap,
+    l_visited: Bitmap,
+    l_next: Bitmap,
+    l_parent: Vec<u64>,
+    // Cached global totals (one collective at engine setup).
+    total_l_connected: u64,
+    total_el: u64,
+    total_h2l: u64,
+    total_lh: u64,
+    total_l2l: u64,
+    // Mesh facts.
+    rows: usize,
+    cols: usize,
+    // Scratch counters.
+    scanned: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(ctx: &mut RankCtx, part: &'a RankPartition, cfg: EngineConfig) -> Self {
+        let nh = part.directory.num_hubs() as u64;
+        let range = part.owned_range();
+        let local_n = range.end - range.start;
+        let topo = ctx.topology();
+        // Connected (degree > 0) L vertices, globally — the heuristic
+        // denominator for the L class.
+        let dir = &part.directory;
+        let local_l_connected = part
+            .owned_degrees
+            .iter()
+            .enumerate()
+            .filter(|(i, &d)| d > 0 && dir.hub_id(range.start + *i as u64).is_none())
+            .count() as u64;
+        // One setup collective carries every global total the engine
+        // needs: the L-class denominator plus per-component global edge
+        // counts (globally empty components skip their collectives, so
+        // e.g. the |H| = 0 degeneration pays no H2L exchanges at all).
+        let totals = ctx.allreduce_with(
+            Scope::World,
+            "heur.totals",
+            vec![
+                local_l_connected,
+                part.stats.e2l,
+                part.stats.h2l,
+                part.stats.l2h,
+                part.stats.l2l,
+            ],
+            None,
+            |a, b| *a += b,
+        );
+        let total_l_connected = totals[0];
+        Engine {
+            part,
+            cfg,
+            hub_curr: Bitmap::new(nh),
+            hub_visited: Bitmap::new(nh),
+            hub_next: Bitmap::new(nh),
+            hub_update: Bitmap::new(nh),
+            hub_parent: vec![INVALID_VERTEX; nh as usize],
+            l_curr: Bitmap::new(local_n),
+            l_visited: Bitmap::new(local_n),
+            l_next: Bitmap::new(local_n),
+            l_parent: vec![INVALID_VERTEX; local_n as usize],
+            total_l_connected,
+            total_el: totals[1],
+            total_h2l: totals[2],
+            total_lh: totals[3],
+            total_l2l: totals[4],
+            rows: topo.shape().rows,
+            cols: topo.shape().cols,
+            scanned: 0,
+        }
+    }
+
+    fn run(mut self, ctx: &mut RankCtx, root: u64) -> BfsOutput {
+        let t_start = ctx.now();
+        let acc_start = ctx.accumulator().clone();
+        let dir = &self.part.directory;
+        let range = self.part.owned_range();
+
+        // ---- root activation (replicated hubs / owner-local L) ----
+        match dir.hub_id(root) {
+            Some(h) => {
+                self.hub_curr.set(h as u64);
+                self.hub_visited.set(h as u64);
+                self.hub_parent[h as usize] = root;
+            }
+            None => {
+                if range.contains(&root) {
+                    let li = root - range.start;
+                    self.l_curr.set(li);
+                    self.l_visited.set(li);
+                    self.l_parent[li as usize] = root;
+                }
+            }
+        }
+
+        let mut iterations: Vec<IterationStats> = Vec::new();
+        let mut iter = 0u32;
+        // L-class counters are carried across iterations instead of
+        // being re-collected: the root's class is globally known, and
+        // each iteration's closing allreduce refreshes them (real BFS
+        // codes piggyback these counters for exactly this reason —
+        // scalar collectives are pure latency).
+        let root_is_l = dir.hub_id(root).is_none();
+        let mut active_l: u64 = root_is_l as u64;
+        let mut visited_l: u64 = root_is_l as u64;
+        loop {
+            iter += 1;
+            let mut st = IterationStats { iter, ..Default::default() };
+
+            // ---- per-class counts for the heuristics ----
+            let num_e = dir.num_e() as u64;
+            let nh = dir.num_hubs() as u64;
+            st.active_e = self.hub_curr.count_ones_range(0, num_e);
+            st.active_h = self.hub_curr.count_ones_range(num_e, nh);
+            st.active_l = active_l;
+
+            // ---- direction selection ----
+            let dirs = self.select_directions(&st, visited_l);
+            st.directions = dirs;
+
+            // ---- sub-iterations, §4.2 order ----
+            self.scanned = 0;
+            self.eh2eh(ctx, dirs[0]);
+            self.sync_hubs(ctx, "EH2EH", None);
+
+            self.e2l(ctx, dirs[1]);
+            self.l2e(ctx, dirs[2]);
+            // "The direction selection procedure uses the latest
+            // unvisited count ... after the previous is done": the
+            // refreshed global L-visited count rides on the L2E hub
+            // sync (row sum then column sum = global sum).
+            let refreshed =
+                self.sync_hubs(ctx, "L2E", Some(self.l_visited.count_ones()));
+
+            let (d_h2l, d_l2l) = if self.cfg.sub_iteration {
+                // Fall back to one scalar collective only when there is
+                // no hub sync to piggyback on (|E∪H| = 0).
+                visited_l = refreshed.unwrap_or_else(|| {
+                    ctx.allreduce_sum(Scope::World, "heur.counts", self.l_visited.count_ones())
+                });
+                let unvisited_l = self.total_l_connected.saturating_sub(visited_l);
+                (
+                    choose_crossing(
+                        &self.cfg,
+                        st.active_h,
+                        dir.num_h() as u64,
+                        unvisited_l,
+                        self.total_l_connected,
+                    ),
+                    choose_crossing(
+                        &self.cfg,
+                        st.active_l,
+                        self.total_l_connected,
+                        unvisited_l,
+                        self.total_l_connected,
+                    ),
+                )
+            } else {
+                (dirs[3], dirs[5])
+            };
+            let mut final_dirs = dirs;
+            final_dirs[3] = d_h2l;
+            final_dirs[5] = d_l2l;
+
+            self.h2l(ctx, d_h2l);
+            self.l2h(ctx, dirs[4]);
+            self.sync_hubs(ctx, "L2H", None);
+            self.l2l(ctx, d_l2l);
+
+            st.directions = final_dirs;
+            st.scanned_edges = self.scanned;
+
+            // ---- closing allreduce: next-frontier L count + visited L
+            // count; doubles as the termination check (hub state is
+            // replicated, so it needs no collective of its own).
+            st.newly_e = self.hub_next.count_ones_range(0, num_e);
+            st.newly_h = self.hub_next.count_ones_range(num_e, nh);
+            let counts = ctx.allreduce_with(
+                Scope::World,
+                "heur.counts",
+                vec![self.l_next.count_ones(), self.l_visited.count_ones()],
+                None,
+                |a, b| *a += b,
+            );
+            st.newly_l = counts[0];
+            active_l = counts[0];
+            visited_l = counts[1];
+
+            std::mem::swap(&mut self.hub_curr, &mut self.hub_next);
+            self.hub_next.clear();
+            std::mem::swap(&mut self.l_curr, &mut self.l_next);
+            self.l_next.clear();
+
+            iterations.push(st);
+            if self.hub_curr.is_zero() && active_l == 0 {
+                break;
+            }
+            if iter > 1_000 {
+                panic!("BFS failed to terminate within 1000 iterations — engine bug");
+            }
+        }
+
+        // ---- delayed reduction of delegated parents (§5) ----
+        let reduced_hub_parents = ctx.allreduce_with(
+            Scope::World,
+            "reduce.parent",
+            std::mem::take(&mut self.hub_parent),
+            None,
+            |a, b| *a = (*a).min(*b),
+        );
+
+        // ---- assemble owned parents + TEPS inputs ----
+        let mut parents = Vec::with_capacity((range.end - range.start) as usize);
+        let mut visited_degree_sum = 0u64;
+        let mut visited_count = 0u64;
+        for v in range.clone() {
+            let li = (v - range.start) as usize;
+            let p = match dir.hub_id(v) {
+                Some(h) => reduced_hub_parents[h as usize],
+                None => self.l_parent[li],
+            };
+            if p != INVALID_VERTEX {
+                visited_degree_sum += self.part.owned_degrees[li] as u64;
+                visited_count += 1;
+            }
+            parents.push(p);
+        }
+        let totals = ctx.allreduce_with(
+            Scope::World,
+            "reduce.teps",
+            vec![visited_degree_sum, visited_count],
+            None,
+            |a, b| *a += b,
+        );
+
+        let stats = BfsRunStats {
+            iterations,
+            traversed_edges: totals[0] / 2,
+            visited_vertices: totals[1],
+            sim_seconds: (ctx.now() - t_start).as_secs(),
+            times: ctx.accumulator().diff(&acc_start),
+        };
+        BfsOutput { parents, stats }
+    }
+
+    /// Initial per-iteration direction choices (H2L/L2L may be refreshed
+    /// mid-iteration; see `run`).
+    fn select_directions(&self, st: &IterationStats, visited_l: u64) -> [Direction; 6] {
+        let dir = &self.part.directory;
+        let cfg = &self.cfg;
+        if !cfg.sub_iteration {
+            // Vanilla direction optimization: one decision for the whole
+            // iteration from the global frontier density.
+            let active = st.active_e + st.active_h + st.active_l;
+            let total = dir.num_hubs() as u64 + self.total_l_connected;
+            let d = if total > 0 && active as f64 / total as f64 > cfg.vanilla_alpha {
+                Direction::Pull
+            } else {
+                Direction::Push
+            };
+            return [d; 6];
+        }
+        let num_e = dir.num_e() as u64;
+        let num_h = dir.num_h() as u64;
+        let nh = num_e + num_h;
+        let unvisited_l = self.total_l_connected.saturating_sub(visited_l);
+        let unvisited_h =
+            num_h - self.hub_visited.count_ones_range(num_e, nh);
+        [
+            // EH2EH: node-local, source class E∪H.
+            choose_local(cfg, st.active_e + st.active_h, nh),
+            // E2L: node-local, source class E.
+            choose_local(cfg, st.active_e, num_e),
+            // L2E: node-local, source class L.
+            choose_local(cfg, st.active_l, self.total_l_connected),
+            // H2L: crossing, H → L.
+            choose_crossing(cfg, st.active_h, num_h, unvisited_l, self.total_l_connected),
+            // L2H: crossing, L → H.
+            choose_crossing(cfg, st.active_l, self.total_l_connected, unvisited_h, num_h),
+            // L2L: crossing, L → L.
+            choose_crossing(cfg, st.active_l, self.total_l_connected, unvisited_l, self.total_l_connected),
+        ]
+    }
+
+    /// Propagate this sub-iteration's hub discoveries to all delegates:
+    /// OR-allreduce along the row (intra-supernode), then along the
+    /// column (inter-supernode) — together a global dissemination, with
+    /// each hop charged at its network tier.
+    ///
+    /// `local_count`, when given, is summed globally alongside the
+    /// bitmap words (row sums then column sums) and returned — the
+    /// piggybacked counter that feeds the mid-iteration direction
+    /// refresh without a dedicated scalar collective. Returns `None`
+    /// when there are no hubs (no sync happens).
+    fn sync_hubs(&mut self, ctx: &mut RankCtx, tag: &str, local_count: Option<u64>) -> Option<u64> {
+        if self.hub_update.len() == 0 {
+            return None;
+        }
+        let op = format!("hubsync.{tag}");
+        let nwords = self.hub_update.words().len();
+        let mut payload = self.hub_update.words().to_vec();
+        payload.push(local_count.unwrap_or(0));
+        let combine =
+            move |i: usize, a: &mut u64, b: &u64| if i < nwords { *a |= b } else { *a += b };
+        let payload = ctx.allreduce_with_indexed(Scope::Row, &op, payload, None, combine);
+        let payload = ctx.allreduce_with_indexed(Scope::Col, &op, payload, None, combine);
+        let count = payload[nwords];
+        self.hub_update.words_mut().copy_from_slice(&payload[..nwords]);
+        // newly = update \ visited → next frontier.
+        let mut newly = self.hub_update.clone();
+        newly.and_not_assign(&self.hub_visited);
+        self.hub_next.or_assign(&newly);
+        self.hub_visited.or_assign(&self.hub_update);
+        self.hub_update.clear();
+        local_count.map(|_| count)
+    }
+
+    /// Record a locally discovered hub (delegate-local parent).
+    #[inline]
+    fn discover_hub(&mut self, h: u64, parent: u64) -> bool {
+        if self.hub_visited.get(h) || self.hub_update.get(h) {
+            return false;
+        }
+        self.hub_update.set(h);
+        self.hub_parent[h as usize] = parent;
+        true
+    }
+
+    /// Record a locally owned L discovery.
+    #[inline]
+    fn discover_local(&mut self, local: u64, parent: u64) -> bool {
+        if self.l_visited.get(local) {
+            return false;
+        }
+        self.l_visited.set(local);
+        self.l_next.set(local);
+        self.l_parent[local as usize] = parent;
+        true
+    }
+
+    // ---------------------------------------------------------------
+    // EH2EH — the 2D-partitioned core subgraph.
+    // ---------------------------------------------------------------
+    fn eh2eh(&mut self, ctx: &mut RankCtx, d: Direction) {
+        let part = self.part;
+        let dir = &part.directory;
+        if dir.num_hubs() == 0 {
+            return;
+        }
+        let my_row = ctx.row();
+        let my_col = ctx.col();
+        let nh = dir.num_hubs() as u64;
+        match d {
+            Direction::Push => {
+                // Edge-aware vertex-cut balancing (§5): cut the frontier
+                // by accumulated degree, charge the critical-path chunk.
+                // Sources are this column's cyclic slice of the hub space.
+                let frontier: Vec<u64> = self
+                    .hub_curr
+                    .iter_ones()
+                    .filter(|&s| s % self.cols as u64 == my_col as u64)
+                    .collect();
+                let degrees: Vec<u64> =
+                    frontier.iter().map(|&s| part.eh_by_src.degree(s)).collect();
+                let cpes = ctx.machine().cpes_per_node();
+                let max_chunk = balance::max_chunk_edges(&degrees, cpes);
+                let mut edges = 0u64;
+                for &s in &frontier {
+                    let parent = dir.vertex_of(s as u32);
+                    for &dst in part.eh_by_src.neighbors(s) {
+                        edges += 1;
+                        self.discover_hub(dst, parent);
+                    }
+                }
+                self.scanned += edges;
+                costing::charge_balanced_push(
+                    ctx,
+                    "sub.EH2EH.push",
+                    max_chunk,
+                    frontier.len() as u64,
+                );
+            }
+            Direction::Pull => {
+                // CG-aware segmenting (§4.3): the source activeness bits
+                // live in a SegmentedBitvec distributed over 64 CPE LDMs;
+                // sources split into one segment per core group.
+                let cgs = ctx.machine().cgs_per_node;
+                let cpes_per_cg = ctx.machine().cpes_per_cg;
+                // Segmenting requires the per-CG share of the activeness
+                // bit vector to fit the LDM budget (half of each CPE's
+                // scratchpad, leaving room for adjacency staging, §4.3);
+                // otherwise fall back to GLD probes.
+                let segment_fits = SegmentedBitvec::fits_budget(
+                    nh.div_ceil(cgs as u64),
+                    cpes_per_cg,
+                    ctx.machine().ldm_bytes / 2,
+                );
+                let seg_vec = if self.cfg.segmenting && segment_fits {
+                    Some(SegmentedBitvec::from_bitmap(&self.hub_curr, cpes_per_cg))
+                } else {
+                    None
+                };
+                // This column's source slice is cyclic; its k-th source
+                // (slot s/cols) maps to core group slot*cgs/slots.
+                let slots = nh.div_ceil(self.cols as u64).max(1);
+                let cols = self.cols as u64;
+                let seg_of =
+                    move |s: u64| -> usize { ((s / cols) * cgs as u64 / slots) as usize % cgs };
+                let mut probes = vec![0u64; cgs];
+                let mut edges = 0u64;
+                let mut dst = my_row as u64;
+                while dst < nh {
+                    if self.hub_visited.get(dst) || self.hub_update.get(dst) {
+                        dst += self.rows as u64;
+                        continue;
+                    }
+                    for &s in part.eh_by_dst.neighbors(dst) {
+                        edges += 1;
+                        probes[seg_of(s)] += 1;
+                        let active = match &seg_vec {
+                            Some(sv) => sv.get(s),
+                            None => self.hub_curr.get(s),
+                        };
+                        if active {
+                            self.discover_hub(dst, dir.vertex_of(s as u32));
+                            break; // early exit
+                        }
+                    }
+                    dst += self.rows as u64;
+                }
+                self.scanned += edges;
+                costing::charge_eh_pull(ctx, "sub.EH2EH.pull", edges, &probes, self.cfg.segmenting);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // E2L — E adjacency attached to L owners; fully node-local.
+    // ---------------------------------------------------------------
+    fn e2l(&mut self, ctx: &mut RankCtx, d: Direction) {
+        let part = self.part;
+        let dir = &part.directory;
+        let num_e = dir.num_e() as u64;
+        if num_e == 0 || self.total_el == 0 {
+            return;
+        }
+        let range = part.owned_range();
+        let mut edges = 0u64;
+        match d {
+            Direction::Push => {
+                let frontier: Vec<u64> = self.hub_curr.iter_ones_range(0, num_e).collect();
+                for e in frontier {
+                    if part.el_by_hub.degree(e) == 0 {
+                        continue;
+                    }
+                    let parent = dir.vertex_of(e as u32);
+                    for &l in part.el_by_hub.neighbors(e) {
+                        edges += 1;
+                        self.discover_local(l - range.start, parent);
+                    }
+                }
+                costing::charge_scan(ctx, "sub.E2L.push", edges);
+            }
+            Direction::Pull => {
+                for l in range.clone() {
+                    let li = l - range.start;
+                    if self.l_visited.get(li) || part.el_by_local.degree(l) == 0 {
+                        continue;
+                    }
+                    for &e in part.el_by_local.neighbors(l) {
+                        edges += 1;
+                        if self.hub_curr.get(e) {
+                            self.discover_local(li, dir.vertex_of(e as u32));
+                            break; // early exit
+                        }
+                    }
+                }
+                costing::charge_scan(ctx, "sub.E2L.pull", edges);
+            }
+        }
+        self.scanned += edges;
+    }
+
+    // ---------------------------------------------------------------
+    // L2E — same storage, reverse roles; hub updates via delegates.
+    // ---------------------------------------------------------------
+    fn l2e(&mut self, ctx: &mut RankCtx, d: Direction) {
+        let part = self.part;
+        let dir = &part.directory;
+        let num_e = dir.num_e() as u64;
+        if num_e == 0 || self.total_el == 0 {
+            return;
+        }
+        let range = part.owned_range();
+        let mut edges = 0u64;
+        match d {
+            Direction::Push => {
+                let frontier: Vec<u64> = self.l_curr.iter_ones().collect();
+                for li in frontier {
+                    let l = range.start + li;
+                    if part.el_by_local.degree(l) == 0 {
+                        continue;
+                    }
+                    for &e in part.el_by_local.neighbors(l) {
+                        edges += 1;
+                        self.discover_hub(e, l);
+                    }
+                }
+                costing::charge_scan(ctx, "sub.L2E.push", edges);
+            }
+            Direction::Pull => {
+                for e in 0..num_e {
+                    if self.hub_visited.get(e)
+                        || self.hub_update.get(e)
+                        || part.el_by_hub.degree(e) == 0
+                    {
+                        continue;
+                    }
+                    for &l in part.el_by_hub.neighbors(e) {
+                        edges += 1;
+                        if self.l_curr.get(l - range.start) {
+                            self.discover_hub(e, l);
+                            break; // early exit (per-rank)
+                        }
+                    }
+                }
+                costing::charge_scan(ctx, "sub.L2E.pull", edges);
+            }
+        }
+        self.scanned += edges;
+    }
+
+    // ---------------------------------------------------------------
+    // H2L — stored at row/col intersections; push messages stay intra-row.
+    // ---------------------------------------------------------------
+    fn h2l(&mut self, ctx: &mut RankCtx, d: Direction) {
+        if self.total_h2l == 0 {
+            return; // globally empty: no rank runs the exchange
+        }
+        let part = self.part;
+        let dir = &part.directory;
+        let topo = ctx.topology();
+        let num_e = dir.num_e() as u64;
+        let nh = dir.num_hubs() as u64;
+        let mut edges = 0u64;
+        let mut msgs: Vec<(u64, u64)> = Vec::new();
+        match d {
+            Direction::Push => {
+                if num_e < nh {
+                    for h in self.hub_curr.iter_ones_range(num_e, nh) {
+                        if part.h2l_by_hub.degree(h) == 0 {
+                            continue;
+                        }
+                        let parent = dir.vertex_of(h as u32);
+                        for &l in part.h2l_by_hub.neighbors(h) {
+                            edges += 1;
+                            msgs.push((l, parent));
+                        }
+                    }
+                }
+                costing::charge_scan(ctx, "sub.H2L.push", edges);
+                self.exchange_and_apply_row(ctx, msgs, "H2L", "sub.H2L.push");
+            }
+            Direction::Pull => {
+                // Destination (L) visited bits must be visible along the
+                // row where the edges live: gather the row's bitmaps.
+                let row_visited = self.gather_row_visited(ctx);
+                let row_range = part.row_range(&topo);
+                for l in row_range.clone() {
+                    if part.h2l_by_local.degree(l) == 0
+                        || row_visited.get(l - row_range.start)
+                    {
+                        continue;
+                    }
+                    for &h in part.h2l_by_local.neighbors(l) {
+                        edges += 1;
+                        if self.hub_curr.get(h) {
+                            msgs.push((l, dir.vertex_of(h as u32)));
+                            break; // early exit at the edge's location
+                        }
+                    }
+                }
+                costing::charge_scan(ctx, "sub.H2L.pull", edges);
+                self.exchange_and_apply_row(ctx, msgs, "H2L", "sub.H2L.pull");
+            }
+        }
+        self.scanned += edges;
+    }
+
+    /// Bucket `(dest L, parent)` messages by destination column with
+    /// OCS-RMA, exchange them intra-row, and apply at the owners.
+    fn exchange_and_apply_row(
+        &mut self,
+        ctx: &mut RankCtx,
+        msgs: Vec<(u64, u64)>,
+        comm_tag: &str,
+        cost_category: &str,
+    ) {
+        let dist = self.part.dist;
+        let topo = ctx.topology();
+        let cols = self.cols;
+        let machine = *ctx.machine();
+        let (buckets, report) = ocs_sort_rma(
+            &machine,
+            &OcsConfig::default(),
+            &msgs,
+            cols,
+            machine.cgs_per_node,
+            |&(l, _)| topo.col_of(dist.owner(l)),
+        );
+        ctx.charge(cost_category, report.time);
+        let received =
+            ctx.alltoallv(Scope::Row, &format!("comm.alltoallv.{comm_tag}"), buckets);
+        let msgs: Vec<(u64, u64)> = received.into_iter().flatten().collect();
+        self.apply_l_messages(ctx, msgs, cost_category);
+    }
+
+    /// Two-stage destination update (§4.4): arriving messages are
+    /// coarse-sorted into fixed-length vertex ranges with OCS-RMA, then
+    /// each range is updated in LDM by its owning consumer — no atomic
+    /// bit-sets against main memory.
+    fn apply_l_messages(&mut self, ctx: &mut RankCtx, msgs: Vec<(u64, u64)>, category: &str) {
+        if msgs.is_empty() {
+            return;
+        }
+        let range = self.part.owned_range();
+        let span = (range.end - range.start).max(1);
+        let machine = *ctx.machine();
+        let ranges = 32u64;
+        let (buckets, report) = ocs_sort_rma(
+            &machine,
+            &OcsConfig::default(),
+            &msgs,
+            ranges as usize,
+            machine.cgs_per_node,
+            |&(l, _)| (((l - range.start) * ranges / span) as usize).min(ranges as usize - 1),
+        );
+        ctx.charge(category, report.time);
+        for bucket in buckets {
+            for (l, parent) in bucket {
+                self.discover_local(l - range.start, parent);
+            }
+        }
+    }
+
+    /// Allgather the row's owned-visited bitmaps into one bitmap over
+    /// the row's vertex interval.
+    fn gather_row_visited(&self, ctx: &mut RankCtx) -> Bitmap {
+        let topo = ctx.topology();
+        let dist = self.part.dist;
+        let my_row = topo.row_of(ctx.rank());
+        let row_range = sunbfs_part::row_vertex_range(&dist, &topo, my_row);
+        let words = self.l_visited.words().to_vec();
+        let gathered = ctx.allgatherv(Scope::Row, "comm.allgather.H2L", words);
+        let mut row_visited = Bitmap::new(row_range.end - row_range.start);
+        for (pos, words) in gathered.into_iter().enumerate() {
+            let member_rank = topo.rank_at(my_row, pos);
+            let member_range = dist.range_of(member_rank);
+            let len = member_range.end - member_range.start;
+            let mut bm = Bitmap::new(len);
+            bm.words_mut().copy_from_slice(&words);
+            for bit in bm.iter_ones() {
+                row_visited.set(member_range.start - row_range.start + bit);
+            }
+        }
+        row_visited
+    }
+
+    // ---------------------------------------------------------------
+    // L2H — stored at L's owner; hub delegates absorb the updates.
+    // ---------------------------------------------------------------
+    fn l2h(&mut self, ctx: &mut RankCtx, d: Direction) {
+        let part = self.part;
+        let dir = &part.directory;
+        let num_e = dir.num_e() as u64;
+        let nh = dir.num_hubs() as u64;
+        if num_e == nh || self.total_lh == 0 {
+            return; // no H vertices (or no L↔H edges anywhere)
+        }
+        let range = part.owned_range();
+        let mut edges = 0u64;
+        match d {
+            Direction::Push => {
+                let frontier: Vec<u64> = self.l_curr.iter_ones().collect();
+                for li in frontier {
+                    let l = range.start + li;
+                    if part.lh_by_local.degree(l) == 0 {
+                        continue;
+                    }
+                    for &h in part.lh_by_local.neighbors(l) {
+                        edges += 1;
+                        self.discover_hub(h, l);
+                    }
+                }
+                costing::charge_scan(ctx, "sub.L2H.push", edges);
+            }
+            Direction::Pull => {
+                for h in num_e..nh {
+                    if self.hub_visited.get(h)
+                        || self.hub_update.get(h)
+                        || part.lh_by_hub.degree(h) == 0
+                    {
+                        continue;
+                    }
+                    for &l in part.lh_by_hub.neighbors(h) {
+                        edges += 1;
+                        if self.l_curr.get(l - range.start) {
+                            self.discover_hub(h, l);
+                            break; // early exit (per-rank)
+                        }
+                    }
+                }
+                costing::charge_scan(ctx, "sub.L2H.pull", edges);
+            }
+        }
+        self.scanned += edges;
+    }
+
+    // ---------------------------------------------------------------
+    // L2L — vanilla 1D with hierarchical forwarding (§4.4).
+    // ---------------------------------------------------------------
+    fn l2l(&mut self, ctx: &mut RankCtx, d: Direction) {
+        if self.total_l2l == 0 {
+            return; // globally empty: no rank runs the exchanges
+        }
+        let part = self.part;
+        let dist = part.dist;
+        let topo = ctx.topology();
+        let range = part.owned_range();
+        let machine = *ctx.machine();
+        let mut edges = 0u64;
+        match d {
+            Direction::Push => {
+                // Generate (dest, parent) messages from the frontier.
+                let mut msgs: Vec<(u64, u64)> = Vec::new();
+                for li in self.l_curr.iter_ones() {
+                    let l = range.start + li;
+                    if part.l2l.degree(l) == 0 {
+                        continue;
+                    }
+                    for &v in part.l2l.neighbors(l) {
+                        edges += 1;
+                        msgs.push((v, l));
+                    }
+                }
+                costing::charge_scan(ctx, "sub.L2L.push", edges);
+                // Hop 1: sort by the forwarding node — the intersection
+                // of our column and the destination's row — and exchange
+                // along the column.
+                let (col_buckets, rep1) = ocs_sort_rma(
+                    &machine,
+                    &OcsConfig::default(),
+                    &msgs,
+                    self.rows,
+                    machine.cgs_per_node,
+                    |&(v, _)| topo.row_of(dist.owner(v)),
+                );
+                ctx.charge("sub.L2L.push", rep1.time);
+                let forwarded: Vec<(u64, u64)> = ctx
+                    .alltoallv(Scope::Col, "comm.alltoallv.L2L", col_buckets)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                // Hop 2: the forwarding node sorts by final destination
+                // and exchanges along its row.
+                let (row_buckets, rep2) = ocs_sort_rma(
+                    &machine,
+                    &OcsConfig::default(),
+                    &forwarded,
+                    self.cols,
+                    machine.cgs_per_node,
+                    |&(v, _)| topo.col_of(dist.owner(v)),
+                );
+                ctx.charge("sub.L2L.push", rep2.time);
+                let received = ctx.alltoallv(Scope::Row, "comm.alltoallv.L2L", row_buckets);
+                let msgs: Vec<(u64, u64)> = received.into_iter().flatten().collect();
+                self.apply_l_messages(ctx, msgs, "sub.L2L.push");
+            }
+            Direction::Pull => {
+                // Query/confirm two-phase: unvisited locals ask the
+                // owners of their neighbors whether those are in the
+                // frontier. No remote early exit — the 1D limitation the
+                // paper notes (§2.1.2).
+                let p = ctx.nranks();
+                let mut queries: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+                for l in range.clone() {
+                    let li = l - range.start;
+                    if self.l_visited.get(li) || part.l2l.degree(l) == 0 {
+                        continue;
+                    }
+                    for &u in part.l2l.neighbors(l) {
+                        edges += 1;
+                        queries[dist.owner(u)].push((u, l));
+                    }
+                }
+                costing::charge_scan(ctx, "sub.L2L.pull", edges);
+                let incoming = ctx.alltoallv(Scope::World, "comm.alltoallv.L2L", queries);
+                let mut replies: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+                let mut checked = 0u64;
+                for batch in incoming {
+                    for (u, l) in batch {
+                        checked += 1;
+                        if self.l_curr.get(u - range.start) {
+                            replies[dist.owner(l)].push((l, u));
+                        }
+                    }
+                }
+                costing::charge_apply(ctx, "sub.L2L.pull", checked);
+                let confirmed = ctx.alltoallv(Scope::World, "comm.alltoallv.L2L", replies);
+                let msgs: Vec<(u64, u64)> = confirmed.into_iter().flatten().collect();
+                self.apply_l_messages(ctx, msgs, "sub.L2L.pull");
+            }
+        }
+        self.scanned += edges;
+    }
+}

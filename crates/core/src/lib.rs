@@ -1,0 +1,31 @@
+//! `sunbfs-core` — the distributed BFS engine of the paper.
+//!
+//! The primary contribution: direction-optimizing breadth-first search
+//! over the 3-level degree-aware 1.5D partition, with
+//!
+//! * **sub-iteration direction optimization** (§4.2) — each of the six
+//!   subgraph components picks push/pull independently per iteration
+//!   ([`config`]),
+//! * **CG-aware core-subgraph segmenting** (§4.3) — the EH2EH pull
+//!   probes source activeness through an LDM-distributed bit vector,
+//! * **OCS-RMA messaging** (§4.4) — all remote-edge messages are
+//!   bucketed on-chip before `alltoallv`, with hierarchical forwarding
+//!   for the global L2L exchange,
+//! * **delayed reduction of delegated parents** and **edge-aware
+//!   vertex-cut balancing** (§5, [`balance`]),
+//! * full Graph 500 validation and a sequential reference ([`validate`]).
+//!
+//! Entry point: [`run_bfs`], called SPMD from every rank of a
+//! [`sunbfs_net::Cluster`] with the rank's [`sunbfs_part::RankPartition`].
+
+pub mod balance;
+pub mod config;
+pub mod costing;
+pub mod engine;
+pub mod stats;
+pub mod validate;
+
+pub use config::{Component, Direction, EngineConfig};
+pub use engine::{run_bfs, BfsOutput};
+pub use stats::{BfsRunStats, IterationStats};
+pub use validate::{reference_bfs, validate_parents, ValidationError};

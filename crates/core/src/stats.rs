@@ -1,0 +1,76 @@
+//! Per-run statistics: everything the evaluation figures read.
+
+use sunbfs_common::TimeAccumulator;
+
+use crate::config::Direction;
+
+/// Counters of one BFS iteration (one frontier expansion).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterationStats {
+    /// Iteration number (1-based).
+    pub iter: u32,
+    /// Active (frontier) vertices per class at iteration start — the
+    /// Figure 5 series.
+    pub active_e: u64,
+    /// Active H vertices.
+    pub active_h: u64,
+    /// Active L vertices (global).
+    pub active_l: u64,
+    /// Vertices discovered this iteration, per class.
+    pub newly_e: u64,
+    /// Newly discovered H vertices.
+    pub newly_h: u64,
+    /// Newly discovered L vertices (global).
+    pub newly_l: u64,
+    /// Direction chosen per component, in [`crate::config::Component::ALL`] order.
+    pub directions: [Direction; 6],
+    /// Edges scanned across all sub-iterations (work metric).
+    pub scanned_edges: u64,
+}
+
+impl Default for Direction {
+    fn default() -> Self {
+        Direction::Push
+    }
+}
+
+/// Statistics of one complete BFS traversal on one rank.
+#[derive(Clone, Debug, Default)]
+pub struct BfsRunStats {
+    /// Per-iteration counters (identical on every rank for the
+    /// replicated fields; L counts are global sums).
+    pub iterations: Vec<IterationStats>,
+    /// Graph 500 `m`: undirected edges in the traversed component
+    /// (global; used for TEPS).
+    pub traversed_edges: u64,
+    /// Vertices reached (global, including the root).
+    pub visited_vertices: u64,
+    /// Simulated seconds the traversal took on this rank.
+    pub sim_seconds: f64,
+    /// Per-category simulated time on this rank (BFS phase only).
+    pub times: TimeAccumulator,
+}
+
+impl BfsRunStats {
+    /// Giga-traversed-edges-per-second on the simulated machine —
+    /// the paper's headline metric.
+    pub fn gteps(&self) -> f64 {
+        if self.sim_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.traversed_edges as f64 / self.sim_seconds / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gteps_formula() {
+        let s = BfsRunStats { traversed_edges: 2_000_000_000, sim_seconds: 2.0, ..Default::default() };
+        assert!((s.gteps() - 1.0).abs() < 1e-12);
+        let zero = BfsRunStats::default();
+        assert_eq!(zero.gteps(), 0.0);
+    }
+}

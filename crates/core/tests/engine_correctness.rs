@@ -1,0 +1,201 @@
+//! End-to-end correctness of the distributed engine: for any mesh
+//! shape, any thresholds (including both degenerate baselines), and any
+//! engine configuration, the traversal must produce a valid Graph 500
+//! parent tree whose levels match the sequential reference exactly.
+
+use sunbfs_common::{Edge, MachineConfig, SplitMix64};
+use sunbfs_core::validate::{component_edges, levels_from_parents, reference_bfs, validate_parents};
+use sunbfs_core::{run_bfs, EngineConfig};
+use sunbfs_net::{Cluster, MeshShape};
+use sunbfs_part::{build_1p5d, Thresholds};
+
+/// Deterministic skewed multigraph (R-MAT-like hubs) with self loops
+/// and duplicates sprinkled in.
+fn skewed_graph(n: u64, m: usize, seed: u64) -> Vec<Edge> {
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = match rng.next_below(16) {
+            0..=4 => rng.next_below(4),               // super-hubs
+            5..=8 => 4 + rng.next_below(12),          // medium hubs
+            _ => rng.next_below(n),
+        };
+        let v = match rng.next_below(16) {
+            0..=2 => rng.next_below(4),
+            _ => rng.next_below(n),
+        };
+        edges.push(Edge::new(u, v));
+    }
+    // Some explicit duplicates and self loops.
+    edges.push(Edge::new(1, 1));
+    if m > 2 {
+        let d = edges[0];
+        edges.push(d);
+    }
+    edges
+}
+
+fn pick_root(n: u64, edges: &[Edge], salt: u64) -> u64 {
+    // Any endpoint with degree > 0.
+    edges[(salt as usize * 7919) % edges.len()].u.min(n - 1)
+}
+
+/// Run the full pipeline and cross-check against the reference.
+fn check(
+    rows: usize,
+    cols: usize,
+    n: u64,
+    edges: &[Edge],
+    th: Thresholds,
+    cfg: &EngineConfig,
+    root: u64,
+) {
+    let cluster = Cluster::new(MeshShape::new(rows, cols), MachineConfig::new_sunway());
+    let p = rows * cols;
+    let outputs = cluster.run(|ctx| {
+        let chunk: Vec<Edge> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % p == ctx.rank())
+            .map(|(_, e)| *e)
+            .collect();
+        let part = build_1p5d(ctx, n, &chunk, th);
+        run_bfs(ctx, &part, root, cfg)
+    });
+
+    // Stitch the global parent array in rank order.
+    let parents: Vec<u64> = outputs.iter().flat_map(|o| o.parents.iter().copied()).collect();
+    assert_eq!(parents.len() as u64, n);
+
+    validate_parents(n, edges, root, &parents).unwrap_or_else(|e| {
+        panic!("validation failed for mesh {rows}x{cols}, th {th:?}: {e:?}")
+    });
+    let levels = levels_from_parents(root, &parents).unwrap();
+    let (_, ref_levels) = reference_bfs(n, edges, root);
+    assert_eq!(levels, ref_levels, "level mismatch for mesh {rows}x{cols}, th {th:?}");
+
+    // Engine's TEPS edge count must match the specification count.
+    let expect_m = component_edges(edges, &parents);
+    let got_m = outputs[0].stats.traversed_edges;
+    // The engine counts via degree sums over the multigraph (duplicates
+    // included); the spec count dedups. Allow the multigraph inflation.
+    assert!(
+        got_m >= expect_m,
+        "engine edge count {got_m} below component edges {expect_m}"
+    );
+
+    // Simulated time advanced and stats exist on every rank.
+    for o in &outputs {
+        assert!(o.stats.sim_seconds > 0.0);
+        assert!(!o.stats.iterations.is_empty());
+        assert_eq!(o.stats.visited_vertices, outputs[0].stats.visited_vertices);
+    }
+}
+
+#[test]
+fn full_pipeline_2x2_default_config() {
+    let n = 256;
+    let edges = skewed_graph(n, 3000, 1);
+    let root = pick_root(n, &edges, 1);
+    check(2, 2, n, &edges, Thresholds::new(200, 40), &EngineConfig::default(), root);
+}
+
+#[test]
+fn full_pipeline_non_square_mesh() {
+    let n = 300;
+    let edges = skewed_graph(n, 2500, 2);
+    let root = pick_root(n, &edges, 2);
+    check(2, 3, n, &edges, Thresholds::new(150, 30), &EngineConfig::default(), root);
+}
+
+#[test]
+fn full_pipeline_single_rank() {
+    let n = 128;
+    let edges = skewed_graph(n, 1000, 3);
+    let root = pick_root(n, &edges, 3);
+    check(1, 1, n, &edges, Thresholds::new(100, 20), &EngineConfig::default(), root);
+}
+
+#[test]
+fn degenerate_1d_with_heavy_delegates() {
+    // |H| = 0 on a single-row mesh: 1D partitioning with heavy delegates.
+    let n = 200;
+    let edges = skewed_graph(n, 2000, 4);
+    let root = pick_root(n, &edges, 4);
+    check(1, 4, n, &edges, Thresholds::heavy_only(60), &EngineConfig::default(), root);
+}
+
+#[test]
+fn degenerate_2d_all_hubs() {
+    // |L| = 0: pure 2D partitioning with vertex reordering.
+    let n = 128;
+    let edges = skewed_graph(n, 1200, 5);
+    let root = pick_root(n, &edges, 5);
+    check(2, 2, n, &edges, Thresholds::all_hubs(1 << 20), &EngineConfig::default(), root);
+}
+
+#[test]
+fn vanilla_1d_no_hubs() {
+    let n = 160;
+    let edges = skewed_graph(n, 1500, 6);
+    let root = pick_root(n, &edges, 6);
+    check(2, 2, n, &edges, Thresholds::none(), &EngineConfig::default(), root);
+}
+
+#[test]
+fn ablation_configs_agree_on_levels() {
+    let n = 256;
+    let edges = skewed_graph(n, 3000, 7);
+    let root = pick_root(n, &edges, 7);
+    for cfg in [
+        EngineConfig::baseline(),
+        EngineConfig::with_sub_iteration(),
+        EngineConfig::default(),
+    ] {
+        check(2, 2, n, &edges, Thresholds::new(200, 40), &cfg, root);
+    }
+}
+
+#[test]
+fn hub_root_and_l_root() {
+    let n = 200;
+    let edges = skewed_graph(n, 2000, 8);
+    // Vertex 0 is a super-hub by construction; n-1 is almost surely L.
+    check(2, 2, n, &edges, Thresholds::new(200, 40), &EngineConfig::default(), 0);
+    let l_root = edges.iter().map(|e| e.u.max(e.v)).max().unwrap();
+    check(2, 2, n, &edges, Thresholds::new(200, 40), &EngineConfig::default(), l_root);
+}
+
+#[test]
+fn isolated_root_terminates_immediately() {
+    // A root with no edges: traversal visits only the root.
+    let n = 64;
+    let mut edges = skewed_graph(n, 300, 9);
+    edges.retain(|e| e.u != 63 && e.v != 63);
+    let cluster = Cluster::new(MeshShape::new(2, 2), MachineConfig::new_sunway());
+    let outputs = cluster.run(|ctx| {
+        let chunk: Vec<Edge> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 == ctx.rank())
+            .map(|(_, e)| *e)
+            .collect();
+        let part = build_1p5d(ctx, n, &chunk, Thresholds::new(100, 20));
+        run_bfs(ctx, &part, 63, &EngineConfig::default())
+    });
+    assert_eq!(outputs[0].stats.visited_vertices, 1);
+    let parents: Vec<u64> = outputs.iter().flat_map(|o| o.parents.iter().copied()).collect();
+    assert_eq!(parents[63], 63);
+}
+
+#[test]
+fn many_roots_many_seeds_sweep() {
+    for seed in 10..14 {
+        let n = 192;
+        let edges = skewed_graph(n, 1800, seed);
+        for salt in 0..3 {
+            let root = pick_root(n, &edges, seed * 10 + salt);
+            check(2, 2, n, &edges, Thresholds::new(120, 24), &EngineConfig::default(), root);
+        }
+    }
+}

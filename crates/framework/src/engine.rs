@@ -1,0 +1,348 @@
+//! The superstep executor: scatter → exchange → combine → apply, over
+//! the six components of a [`sunbfs_part::RankPartition`].
+//!
+//! The execution discipline mirrors the BFS engine's (§4): hub state is
+//! replicated and merged at round boundaries with a row-then-column
+//! reduction; L-addressed messages travel intra-row for H→L edges and
+//! through the column/row intersection forwarder for L→L (§4.4); all
+//! outgoing batches are bucketed on-chip with OCS-RMA before the
+//! `alltoallv`. Each directed edge orientation is stored on exactly one
+//! rank, so a scatter emits every message exactly once globally — the
+//! invariant the combiner algebra relies on.
+
+use sunbfs_common::{Bitmap, SimTime, TimeAccumulator};
+use sunbfs_net::{RankCtx, Scope};
+use sunbfs_part::RankPartition;
+use sunbfs_sunway::kernels;
+use sunbfs_sunway::{ocs_sort_rma, OcsConfig};
+
+use crate::VertexProgram;
+
+/// Per-round counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundStats {
+    /// Round number (1-based).
+    pub round: u32,
+    /// Active vertices at round start (global).
+    pub active: u64,
+    /// Messages generated on this rank.
+    pub messages: u64,
+    /// Edges scanned on this rank.
+    pub scanned_edges: u64,
+}
+
+/// Whole-run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramStats {
+    /// One entry per superstep.
+    pub rounds: Vec<RoundStats>,
+    /// Simulated seconds on this rank.
+    pub sim_seconds: f64,
+    /// Per-category simulated time (program phase only).
+    pub times: TimeAccumulator,
+}
+
+/// Result of a program run on one rank.
+#[derive(Clone, Debug)]
+pub struct ProgramOutput<V> {
+    /// Final values of this rank's owned vertices, in owned order
+    /// (hub-class vertices carry the replicated hub value).
+    pub values: Vec<V>,
+    /// Run statistics.
+    pub stats: ProgramStats,
+}
+
+/// Charge a streaming scan of `edges` adjacency entries.
+fn charge_scan(ctx: &mut RankCtx, category: &str, edges: u64) {
+    if edges == 0 {
+        return;
+    }
+    let m = *ctx.machine();
+    let dma = kernels::dma_stream(&m, edges * 8, m.dma_grain_bytes, m.cgs_per_node);
+    let cpe = kernels::cpe_work(&m, edges, 8.0, m.cgs_per_node);
+    ctx.charge(category, dma.max(cpe));
+}
+
+/// Run `program` to completion over this rank's partition. SPMD.
+pub fn run_program<P: VertexProgram>(
+    ctx: &mut RankCtx,
+    part: &RankPartition,
+    program: &P,
+) -> ProgramOutput<P::Value> {
+    let t_start = ctx.now();
+    let acc_start = ctx.accumulator().clone();
+    let dir = &part.directory;
+    let dist = part.dist;
+    let topo = ctx.topology();
+    let (rows, cols) = (topo.shape().rows, topo.shape().cols);
+    let my_col = ctx.col();
+    let range = part.owned_range();
+    let local_n = (range.end - range.start) as usize;
+    let nh = dir.num_hubs() as usize;
+    let num_e = dir.num_e() as u64;
+
+    if program.always_active() {
+        assert!(
+            program.max_rounds().is_some(),
+            "always_active programs must bound max_rounds"
+        );
+    }
+
+    // ---- state ----
+    let mut hub_values: Vec<P::Value> =
+        (0..nh as u32).map(|h| program.init(dir.vertex_of(h), dir.degree_of(h))).collect();
+    let mut l_values: Vec<P::Value> = (0..local_n)
+        .map(|i| {
+            let v = range.start + i as u64;
+            program.init(v, part.owned_degrees[i])
+        })
+        .collect();
+    let mut hub_active = Bitmap::new(nh as u64);
+    let mut l_active = Bitmap::new(local_n as u64);
+    for h in 0..nh as u32 {
+        if program.initially_active(dir.vertex_of(h)) {
+            hub_active.set(h as u64);
+        }
+    }
+    for i in 0..local_n as u64 {
+        let v = range.start + i;
+        if dir.hub_id(v).is_none() && program.initially_active(v) {
+            l_active.set(i);
+        }
+    }
+
+    let mut stats = ProgramStats::default();
+    let mut round = 0u32;
+    let machine = *ctx.machine();
+    loop {
+        round += 1;
+        let mut rs = RoundStats { round, ..Default::default() };
+        let active_l = ctx.allreduce_sum(Scope::World, "fw.active", l_active.count_ones());
+        rs.active = hub_active.count_ones() + active_l;
+        if rs.active == 0 {
+            break;
+        }
+
+        // ---- scatter ----
+        let mut hub_msgs: Vec<Option<P::Message>> = vec![None; nh];
+        let mut l_msgs: Vec<Option<P::Message>> = vec![None; local_n];
+        let mut row_wire: Vec<(u64, P::Message)> = Vec::new(); // H→L, intra-row
+        let mut world_wire: Vec<(u64, P::Message)> = Vec::new(); // L→L, forwarded
+        let mut scanned = 0u64;
+        let mut emitted = 0u64;
+
+        let emit_hub = |msgs: &mut Vec<Option<P::Message>>, h: u64, m: P::Message| match &mut msgs
+            [h as usize]
+        {
+            Some(acc) => program.combine(acc, m),
+            slot => *slot = Some(m),
+        };
+
+        // EH2EH: hub → hub, my column's source slice.
+        for u in hub_active.iter_ones().filter(|&u| u % cols as u64 == my_col as u64) {
+            let uv = dir.vertex_of(u as u32);
+            let value = hub_values[u as usize].clone();
+            for &v in part.eh_by_src.neighbors(u) {
+                scanned += 1;
+                if let Some(m) = program.scatter(&value, uv, dir.vertex_of(v as u32)) {
+                    emitted += 1;
+                    emit_hub(&mut hub_msgs, v, m);
+                }
+            }
+        }
+        // E2L: E hub → local L.
+        for e in hub_active.iter_ones_range(0, num_e) {
+            let ev = dir.vertex_of(e as u32);
+            let value = hub_values[e as usize].clone();
+            for &l in part.el_by_hub.neighbors(e) {
+                scanned += 1;
+                if let Some(m) = program.scatter(&value, ev, l) {
+                    emitted += 1;
+                    match &mut l_msgs[(l - range.start) as usize] {
+                        Some(acc) => program.combine(acc, m),
+                        slot => *slot = Some(m),
+                    }
+                }
+            }
+        }
+        // H2L: H hub → L along the row.
+        for h in hub_active.iter_ones_range(num_e, nh as u64) {
+            let hv = dir.vertex_of(h as u32);
+            let value = hub_values[h as usize].clone();
+            for &l in part.h2l_by_hub.neighbors(h) {
+                scanned += 1;
+                if let Some(m) = program.scatter(&value, hv, l) {
+                    emitted += 1;
+                    row_wire.push((l, m));
+                }
+            }
+        }
+        // L-sourced components: L→E, L→H (hub accumulators), L→L (wire).
+        for li in l_active.iter_ones() {
+            let l = range.start + li;
+            let value = l_values[li as usize].clone();
+            for &e in part.el_by_local.neighbors(l) {
+                scanned += 1;
+                if let Some(m) = program.scatter(&value, l, dir.vertex_of(e as u32)) {
+                    emitted += 1;
+                    emit_hub(&mut hub_msgs, e, m);
+                }
+            }
+            for &h in part.lh_by_local.neighbors(l) {
+                scanned += 1;
+                if let Some(m) = program.scatter(&value, l, dir.vertex_of(h as u32)) {
+                    emitted += 1;
+                    emit_hub(&mut hub_msgs, h, m);
+                }
+            }
+            for &v in part.l2l.neighbors(l) {
+                scanned += 1;
+                if let Some(m) = program.scatter(&value, l, v) {
+                    emitted += 1;
+                    world_wire.push((v, m));
+                }
+            }
+        }
+        rs.scanned_edges = scanned;
+        rs.messages = emitted;
+        charge_scan(ctx, "fw.scatter", scanned);
+
+        // ---- L-message exchange ----
+        // H→L: bucket by destination column, one intra-row alltoallv.
+        let (row_buckets, rep) = ocs_sort_rma(
+            &machine,
+            &OcsConfig::default(),
+            &row_wire,
+            cols,
+            machine.cgs_per_node,
+            |&(l, _)| topo.col_of(dist.owner(l)),
+        );
+        ctx.charge("fw.sort", rep.time);
+        let received = ctx.alltoallv(Scope::Row, "comm.alltoallv.fw", row_buckets);
+        let mut applied_msgs = 0u64;
+        for batch in received {
+            for (l, m) in batch {
+                applied_msgs += 1;
+                match &mut l_msgs[(l - range.start) as usize] {
+                    Some(acc) => program.combine(acc, m),
+                    slot => *slot = Some(m),
+                }
+            }
+        }
+        // L→L: forward through the column/row intersection (§4.4).
+        let (col_buckets, rep) = ocs_sort_rma(
+            &machine,
+            &OcsConfig::default(),
+            &world_wire,
+            rows,
+            machine.cgs_per_node,
+            |&(v, _)| topo.row_of(dist.owner(v)),
+        );
+        ctx.charge("fw.sort", rep.time);
+        let forwarded: Vec<(u64, P::Message)> = ctx
+            .alltoallv(Scope::Col, "comm.alltoallv.fw", col_buckets)
+            .into_iter()
+            .flatten()
+            .collect();
+        let (row_buckets, rep) = ocs_sort_rma(
+            &machine,
+            &OcsConfig::default(),
+            &forwarded,
+            cols,
+            machine.cgs_per_node,
+            |&(v, _)| topo.col_of(dist.owner(v)),
+        );
+        ctx.charge("fw.sort", rep.time);
+        let received = ctx.alltoallv(Scope::Row, "comm.alltoallv.fw", row_buckets);
+        for batch in received {
+            for (v, m) in batch {
+                applied_msgs += 1;
+                match &mut l_msgs[(v - range.start) as usize] {
+                    Some(acc) => program.combine(acc, m),
+                    slot => *slot = Some(m),
+                }
+            }
+        }
+        charge_scan(ctx, "fw.apply", applied_msgs);
+
+        // ---- hub-message merge: row reduction then column reduction,
+        // the §4.1 delegate pattern. Message sets per rank are disjoint
+        // (each directed edge lives on one rank), so the fold sees every
+        // message exactly once.
+        if nh > 0 {
+            let combine = |a: &mut Option<P::Message>, b: &Option<P::Message>| {
+                if let Some(m) = b {
+                    match a {
+                        Some(acc) => program.combine(acc, *m),
+                        slot => *slot = Some(*m),
+                    }
+                }
+            };
+            hub_msgs = ctx.allreduce_with(Scope::Row, "hubsync.fw", hub_msgs, None, combine);
+            hub_msgs = ctx.allreduce_with(Scope::Col, "hubsync.fw", hub_msgs, None, combine);
+        }
+
+        // ---- apply ----
+        hub_active.clear();
+        for (h, slot) in hub_msgs.into_iter().enumerate() {
+            if let Some(m) = slot {
+                let v = dir.vertex_of(h as u32);
+                if program.apply(v, &mut hub_values[h], m) {
+                    hub_active.set(h as u64);
+                }
+            }
+        }
+        l_active.clear();
+        for (i, slot) in l_msgs.into_iter().enumerate() {
+            if let Some(m) = slot {
+                let v = range.start + i as u64;
+                if program.apply(v, &mut l_values[i], m) {
+                    l_active.set(i as u64);
+                }
+            }
+        }
+        if program.always_active() {
+            for h in 0..nh as u64 {
+                hub_active.set(h);
+            }
+            for i in 0..local_n as u64 {
+                let v = range.start + i;
+                if dir.hub_id(v).is_none() {
+                    l_active.set(i);
+                }
+            }
+        }
+        // Apply cost: one pass over the touched values.
+        ctx.charge(
+            "fw.apply",
+            SimTime::from_items(
+                (nh + local_n) as u64,
+                machine.cpe_hz / 4.0 * machine.cpes_per_node() as f64,
+            ),
+        );
+
+        stats.rounds.push(rs);
+        if let Some(limit) = program.max_rounds() {
+            if round >= limit {
+                break;
+            }
+        }
+        if round > 100_000 {
+            panic!("vertex program failed to quiesce — runaway loop");
+        }
+    }
+
+    // ---- output: owned values, hubs taken from the replica ----
+    let values: Vec<P::Value> = (0..local_n)
+        .map(|i| {
+            let v = range.start + i as u64;
+            match dir.hub_id(v) {
+                Some(h) => hub_values[h as usize].clone(),
+                None => l_values[i].clone(),
+            }
+        })
+        .collect();
+    stats.sim_seconds = (ctx.now() - t_start).as_secs();
+    stats.times = ctx.accumulator().diff(&acc_start);
+    ProgramOutput { values, stats }
+}

@@ -1,0 +1,90 @@
+//! General-purpose graph processing over the 1.5D partition.
+//!
+//! §8 of the paper: *"a general-purpose graph processing framework is
+//! possible to be built with the proposed techniques: 3-level
+//! degree-aware 1.5D partitioning is a graph partitioning method
+//! neutral to the graph algorithm ... One of our future work will be
+//! designing and implementing the next-generation ShenTu on New Sunway
+//! upon the proposed techniques."*
+//!
+//! This crate is that direction, built: a Pregel-style vertex-program
+//! API ([`VertexProgram`]) executed over the same six-component
+//! partition, the same delegate discipline, and the same messaging
+//! substrate as the BFS engine:
+//!
+//! * **hub values are replicated**; messages addressed to a hub are
+//!   combined locally (the user combiner must be associative and
+//!   commutative), then merged across ranks at the round boundary with
+//!   the row-then-column reduction of §4.1 — every replica applies the
+//!   identical combined message, so replicas stay consistent without
+//!   any per-vertex locking;
+//! * **L values live at their owner**; messages are bucketed by
+//!   destination rank with OCS-RMA (§4.4) and exchanged via `alltoallv`
+//!   (intra-row for H→L edges, hierarchically forwarded for L→L);
+//! * per-round cost is charged through the same chip and network models
+//!   as BFS, so algorithm studies inherit the machine.
+//!
+//! Four classic programs ship in [`programs`]: BFS (as a sanity
+//! anchor), single-source shortest paths (Bellman-Ford with integer
+//! weights — Graph 500's second kernel), connected components (label
+//! propagation), and PageRank (§8 names SSSP and PageRank explicitly as
+//! push/pull candidates).
+
+pub mod engine;
+pub mod programs;
+pub mod weights;
+
+pub use engine::{run_program, ProgramOutput, ProgramStats};
+pub use programs::{Bfs, ConnectedComponents, PageRank, ShortestPaths};
+pub use weights::edge_weight;
+
+use sunbfs_common::VertexId;
+
+/// A Pregel-style vertex program executed over the 1.5D partition.
+///
+/// Semantics per superstep (round):
+/// 1. every *active* vertex `u` calls [`VertexProgram::scatter`] once
+///    per incident edge `(u, v)`, optionally emitting a message to `v`;
+/// 2. messages addressed to the same vertex are folded with
+///    [`VertexProgram::combine`] (must be associative + commutative:
+///    hub replicas depend on it);
+/// 3. each vertex with a combined message calls
+///    [`VertexProgram::apply`]; returning `true` re-activates the
+///    vertex for the next round.
+///
+/// Vertices start with [`VertexProgram::init`]; the initially active
+/// set is chosen by [`VertexProgram::initially_active`].
+pub trait VertexProgram: Sync {
+    /// Per-vertex state.
+    type Value: Clone + Send + Sync + 'static;
+    /// Message payload (kept `Copy` so OCS-RMA can batch it).
+    type Message: Copy + Send + Sync + 'static;
+
+    /// Initial value of vertex `v` with global degree `degree`.
+    fn init(&self, v: VertexId, degree: u32) -> Self::Value;
+
+    /// Whether `v` is active in round 1.
+    fn initially_active(&self, v: VertexId) -> bool;
+
+    /// Produce the message `src` sends along edge `(src, dst)`, if any.
+    fn scatter(&self, src_value: &Self::Value, src: VertexId, dst: VertexId)
+        -> Option<Self::Message>;
+
+    /// Fold `b` into `a` (associative + commutative).
+    fn combine(&self, a: &mut Self::Message, b: Self::Message);
+
+    /// Apply the round's combined message; `true` keeps `v` active.
+    fn apply(&self, v: VertexId, value: &mut Self::Value, msg: Self::Message) -> bool;
+
+    /// Optional hard round limit (e.g. fixed-iteration PageRank).
+    /// `None` runs until quiescence.
+    fn max_rounds(&self) -> Option<u32> {
+        None
+    }
+
+    /// Whether every vertex should be re-activated each round regardless
+    /// of `apply` (dense iterative algorithms like PageRank).
+    fn always_active(&self) -> bool {
+        false
+    }
+}

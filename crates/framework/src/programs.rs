@@ -1,0 +1,308 @@
+//! Classic vertex programs over the 1.5D framework.
+//!
+//! §8 of the paper argues its techniques generalize beyond BFS and
+//! names SSSP and PageRank as immediate candidates for the push/pull
+//! discipline. These four programs exercise the framework end to end
+//! and double as oracles for the framework's own tests:
+//!
+//! * [`Bfs`] — parent forest; must reach exactly the vertices the
+//!   dedicated engine reaches,
+//! * [`ShortestPaths`] — Bellman-Ford with the deterministic integer
+//!   weights of [`crate::weights`] (Graph 500's second kernel),
+//! * [`ConnectedComponents`] — min-label propagation,
+//! * [`PageRank`] — fixed-iteration power method with degree-normalized
+//!   contributions.
+
+use sunbfs_common::{VertexId, INVALID_VERTEX};
+
+use crate::weights::edge_weight;
+use crate::VertexProgram;
+
+// ---------------------------------------------------------------------
+// BFS
+// ---------------------------------------------------------------------
+
+/// Breadth-first search as a vertex program.
+#[derive(Clone, Copy, Debug)]
+pub struct Bfs {
+    /// Search root.
+    pub root: VertexId,
+}
+
+/// BFS vertex state: the parent (INVALID until reached).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BfsValue {
+    /// Parent in the BFS forest.
+    pub parent: VertexId,
+}
+
+impl VertexProgram for Bfs {
+    type Value = BfsValue;
+    type Message = VertexId; // proposed parent
+
+    fn init(&self, v: VertexId, _degree: u32) -> BfsValue {
+        BfsValue { parent: if v == self.root { self.root } else { INVALID_VERTEX } }
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        v == self.root
+    }
+
+    fn scatter(&self, value: &BfsValue, src: VertexId, _dst: VertexId) -> Option<VertexId> {
+        debug_assert_ne!(value.parent, INVALID_VERTEX, "inactive vertex scattered");
+        Some(src)
+    }
+
+    fn combine(&self, a: &mut VertexId, b: VertexId) {
+        // Deterministic tie-break: smallest proposed parent wins.
+        *a = (*a).min(b);
+    }
+
+    fn apply(&self, _v: VertexId, value: &mut BfsValue, msg: VertexId) -> bool {
+        if value.parent == INVALID_VERTEX {
+            value.parent = msg;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SSSP (Bellman-Ford)
+// ---------------------------------------------------------------------
+
+/// Single-source shortest paths with deterministic integer weights.
+#[derive(Clone, Copy, Debug)]
+pub struct ShortestPaths {
+    /// Source vertex.
+    pub root: VertexId,
+    /// Weight seed (see [`crate::weights::edge_weight`]).
+    pub weight_seed: u64,
+}
+
+/// SSSP vertex state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SsspValue {
+    /// Tentative distance from the root (`u64::MAX` = unreached).
+    pub dist: u64,
+    /// Predecessor on a shortest path.
+    pub parent: VertexId,
+}
+
+/// Relaxation offer: distance through `parent`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SsspMessage {
+    /// Offered distance.
+    pub dist: u64,
+    /// The relaxing neighbor.
+    pub parent: VertexId,
+}
+
+impl VertexProgram for ShortestPaths {
+    type Value = SsspValue;
+    type Message = SsspMessage;
+
+    fn init(&self, v: VertexId, _degree: u32) -> SsspValue {
+        if v == self.root {
+            SsspValue { dist: 0, parent: v }
+        } else {
+            SsspValue { dist: u64::MAX, parent: INVALID_VERTEX }
+        }
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        v == self.root
+    }
+
+    fn scatter(&self, value: &SsspValue, src: VertexId, dst: VertexId) -> Option<SsspMessage> {
+        debug_assert_ne!(value.dist, u64::MAX, "inactive vertex scattered");
+        Some(SsspMessage { dist: value.dist + edge_weight(src, dst, self.weight_seed), parent: src })
+    }
+
+    fn combine(&self, a: &mut SsspMessage, b: SsspMessage) {
+        // Min by (distance, parent) — total order keeps replicas equal.
+        if (b.dist, b.parent) < (a.dist, a.parent) {
+            *a = b;
+        }
+    }
+
+    fn apply(&self, _v: VertexId, value: &mut SsspValue, msg: SsspMessage) -> bool {
+        if msg.dist < value.dist {
+            value.dist = msg.dist;
+            value.parent = msg.parent;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connected components
+// ---------------------------------------------------------------------
+
+/// Min-label propagation: every vertex converges to the smallest vertex
+/// id in its component.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnectedComponents;
+
+impl VertexProgram for ConnectedComponents {
+    type Value = VertexId; // current component label
+    type Message = VertexId;
+
+    fn init(&self, v: VertexId, _degree: u32) -> VertexId {
+        v
+    }
+
+    fn initially_active(&self, _v: VertexId) -> bool {
+        true
+    }
+
+    fn scatter(&self, value: &VertexId, _src: VertexId, _dst: VertexId) -> Option<VertexId> {
+        Some(*value)
+    }
+
+    fn combine(&self, a: &mut VertexId, b: VertexId) {
+        *a = (*a).min(b);
+    }
+
+    fn apply(&self, _v: VertexId, value: &mut VertexId, msg: VertexId) -> bool {
+        if msg < *value {
+            *value = msg;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PageRank
+// ---------------------------------------------------------------------
+
+/// Fixed-iteration PageRank over the undirected graph (each edge acts
+/// as two directed links, the usual symmetric-graph convention).
+#[derive(Clone, Copy, Debug)]
+pub struct PageRank {
+    /// Damping factor (0.85 classically).
+    pub damping: f64,
+    /// Number of power iterations.
+    pub iterations: u32,
+    /// Total vertex count (for the teleport term).
+    pub num_vertices: u64,
+}
+
+impl PageRank {
+    /// The standard configuration.
+    pub fn new(num_vertices: u64, iterations: u32) -> Self {
+        PageRank { damping: 0.85, iterations, num_vertices }
+    }
+}
+
+/// PageRank vertex state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankValue {
+    /// Current rank.
+    pub rank: f64,
+    /// Degree (cached for the contribution split).
+    pub degree: u32,
+}
+
+impl VertexProgram for PageRank {
+    type Value = RankValue;
+    type Message = f64; // summed neighbor contributions
+
+    fn init(&self, _v: VertexId, degree: u32) -> RankValue {
+        RankValue { rank: 1.0 / self.num_vertices as f64, degree }
+    }
+
+    fn initially_active(&self, _v: VertexId) -> bool {
+        true
+    }
+
+    fn scatter(&self, value: &RankValue, _src: VertexId, _dst: VertexId) -> Option<f64> {
+        if value.degree == 0 {
+            None
+        } else {
+            Some(value.rank / value.degree as f64)
+        }
+    }
+
+    fn combine(&self, a: &mut f64, b: f64) {
+        *a += b;
+    }
+
+    fn apply(&self, _v: VertexId, value: &mut RankValue, msg: f64) -> bool {
+        value.rank = (1.0 - self.damping) / self.num_vertices as f64 + self.damping * msg;
+        true
+    }
+
+    fn max_rounds(&self) -> Option<u32> {
+        Some(self.iterations)
+    }
+
+    fn always_active(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_combine_is_min() {
+        let p = Bfs { root: 0 };
+        let mut a = 5u64;
+        p.combine(&mut a, 3);
+        p.combine(&mut a, 9);
+        assert_eq!(a, 3);
+    }
+
+    #[test]
+    fn bfs_apply_first_wins() {
+        let p = Bfs { root: 0 };
+        let mut v = BfsValue { parent: INVALID_VERTEX };
+        assert!(p.apply(1, &mut v, 7));
+        assert!(!p.apply(1, &mut v, 3));
+        assert_eq!(v.parent, 7);
+    }
+
+    #[test]
+    fn sssp_combine_total_order() {
+        let p = ShortestPaths { root: 0, weight_seed: 1 };
+        let mut a = SsspMessage { dist: 10, parent: 5 };
+        p.combine(&mut a, SsspMessage { dist: 10, parent: 3 });
+        assert_eq!(a.parent, 3, "equal distance ties break by parent");
+        p.combine(&mut a, SsspMessage { dist: 2, parent: 9 });
+        assert_eq!(a.dist, 2);
+    }
+
+    #[test]
+    fn sssp_apply_only_improves() {
+        let p = ShortestPaths { root: 0, weight_seed: 1 };
+        let mut v = SsspValue { dist: 100, parent: 1 };
+        assert!(!p.apply(2, &mut v, SsspMessage { dist: 100, parent: 9 }));
+        assert!(p.apply(2, &mut v, SsspMessage { dist: 50, parent: 9 }));
+        assert_eq!(v.dist, 50);
+    }
+
+    #[test]
+    fn cc_converges_to_min() {
+        let p = ConnectedComponents;
+        let mut label = 17u64;
+        assert!(p.apply(17, &mut label, 4));
+        assert!(!p.apply(17, &mut label, 8));
+        assert_eq!(label, 4);
+    }
+
+    #[test]
+    fn pagerank_is_always_active_and_bounded() {
+        let p = PageRank::new(100, 20);
+        assert!(p.always_active());
+        assert_eq!(p.max_rounds(), Some(20));
+        let v = p.init(3, 5);
+        assert!((v.rank - 0.01).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Deterministic edge weights for weighted algorithms (SSSP).
+//!
+//! Graph 500's SSSP kernel assigns each edge a uniform random weight.
+//! Storing weights would double the edge footprint, so — like the
+//! generator itself — we make the weight a pure function of the edge:
+//! a SplitMix64-style mix of the *canonical* endpoint pair, so both
+//! orientations of an undirected edge agree. Weights are integers in
+//! `[1, 2^20]`: integer arithmetic keeps distributed relaxation sums
+//! exactly equal to the sequential reference (no floating-point
+//! reduction-order noise), which is what lets the tests demand exact
+//! distance equality.
+
+use sunbfs_common::VertexId;
+
+/// Largest weight [`edge_weight`] returns.
+pub const MAX_WEIGHT: u64 = 1 << 20;
+
+/// Deterministic symmetric weight of edge `{u, v}` under `seed`,
+/// uniform in `[1, MAX_WEIGHT]`.
+#[inline]
+pub fn edge_weight(u: VertexId, v: VertexId, seed: u64) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ seed.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    (z % MAX_WEIGHT) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric() {
+        for (u, v) in [(0u64, 1u64), (5, 5), (123, 99999), (1 << 40, 3)] {
+            assert_eq!(edge_weight(u, v, 7), edge_weight(v, u, 7));
+        }
+    }
+
+    #[test]
+    fn in_range_and_varied() {
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..100u64 {
+            for v in u..100u64 {
+                let w = edge_weight(u, v, 42);
+                assert!((1..=MAX_WEIGHT).contains(&w));
+                seen.insert(w);
+            }
+        }
+        assert!(seen.len() > 4000, "weights not varied: {}", seen.len());
+    }
+
+    #[test]
+    fn seed_changes_weights() {
+        let same = (0..1000u64).filter(|&i| edge_weight(i, i + 1, 1) == edge_weight(i, i + 1, 2)).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| edge_weight(i, i + 7, 9) as f64).sum::<f64>() / n as f64;
+        let expect = (MAX_WEIGHT as f64 + 1.0) / 2.0;
+        assert!((mean - expect).abs() / expect < 0.02, "mean {mean} vs {expect}");
+    }
+}

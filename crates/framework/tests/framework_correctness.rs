@@ -1,0 +1,250 @@
+//! End-to-end correctness of the vertex-program framework: every
+//! shipped program must match its sequential oracle on random skewed
+//! multigraphs, across mesh shapes and threshold settings.
+
+use std::collections::VecDeque;
+
+use sunbfs_common::{Edge, MachineConfig, SplitMix64, INVALID_VERTEX};
+use sunbfs_framework::{
+    edge_weight, run_program, Bfs, ConnectedComponents, PageRank, ShortestPaths,
+};
+use sunbfs_net::{Cluster, MeshShape};
+use sunbfs_part::{build_1p5d, Thresholds};
+
+fn skewed_graph(n: u64, m: usize, seed: u64) -> Vec<Edge> {
+    let mut rng = SplitMix64::new(seed);
+    (0..m)
+        .map(|_| {
+            let u = if rng.next_below(3) == 0 { rng.next_below(4) } else { rng.next_below(n) };
+            Edge::new(u, rng.next_below(n))
+        })
+        .collect()
+}
+
+/// Run a program over a cluster and stitch the owned values in rank order.
+fn run_over<P>(rows: usize, cols: usize, n: u64, edges: &[Edge], th: Thresholds, program: P) -> Vec<P::Value>
+where
+    P: sunbfs_framework::VertexProgram + Copy + Send,
+{
+    let cluster = Cluster::new(MeshShape::new(rows, cols), MachineConfig::new_sunway());
+    let p = rows * cols;
+    let out = cluster.run(|ctx| {
+        let chunk: Vec<Edge> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % p == ctx.rank())
+            .map(|(_, e)| *e)
+            .collect();
+        let part = build_1p5d(ctx, n, &chunk, th);
+        run_program(ctx, &part, &program)
+    });
+    out.into_iter().flat_map(|o| o.values).collect()
+}
+
+fn adjacency(n: u64, edges: &[Edge]) -> Vec<Vec<u64>> {
+    let mut adj = vec![Vec::new(); n as usize];
+    for e in edges {
+        if !e.is_self_loop() {
+            adj[e.u as usize].push(e.v);
+            adj[e.v as usize].push(e.u);
+        }
+    }
+    adj
+}
+
+#[test]
+fn framework_bfs_matches_reference_levels() {
+    let n = 200;
+    let edges = skewed_graph(n, 1500, 1);
+    let root = edges.iter().find(|e| !e.is_self_loop()).unwrap().u;
+    let values = run_over(2, 2, n, &edges, Thresholds::new(100, 20), Bfs { root });
+    let parents: Vec<u64> = values.iter().map(|v| v.parent).collect();
+    sunbfs_core::validate_parents(n, &edges, root, &parents).expect("invalid BFS tree");
+    let levels = sunbfs_core::validate::levels_from_parents(root, &parents).unwrap();
+    let (_, expect) = sunbfs_core::reference_bfs(n, &edges, root);
+    assert_eq!(levels, expect);
+}
+
+#[test]
+fn framework_bfs_agrees_with_dedicated_engine_reachability() {
+    let n = 150;
+    let edges = skewed_graph(n, 1200, 2);
+    let root = edges[0].u;
+    let th = Thresholds::new(80, 16);
+    let fw = run_over(2, 2, n, &edges, th, Bfs { root });
+    let fw_reached = fw.iter().filter(|v| v.parent != INVALID_VERTEX).count();
+    let (ref_parents, _) = sunbfs_core::reference_bfs(n, &edges, root);
+    let expect = ref_parents.iter().filter(|&&p| p != INVALID_VERTEX).count();
+    assert_eq!(fw_reached, expect);
+}
+
+fn dijkstra(n: u64, edges: &[Edge], root: u64, seed: u64) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let adj = adjacency(n, edges);
+    let mut dist = vec![u64::MAX; n as usize];
+    dist[root as usize] = 0;
+    let mut heap = BinaryHeap::from([Reverse((0u64, root))]);
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &v in &adj[u as usize] {
+            let nd = d + edge_weight(u, v, seed);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+#[test]
+fn sssp_matches_dijkstra_exactly() {
+    let n = 160;
+    let edges = skewed_graph(n, 1200, 3);
+    let root = edges[0].u;
+    let seed = 99;
+    for th in [Thresholds::new(80, 16), Thresholds::none(), Thresholds::all_hubs(1 << 20)] {
+        let values = run_over(2, 2, n, &edges, th, ShortestPaths { root, weight_seed: seed });
+        let expect = dijkstra(n, &edges, root, seed);
+        for v in 0..n as usize {
+            assert_eq!(values[v].dist, expect[v], "distance mismatch at {v} under {th:?}");
+        }
+        // Parents must be real relaxations: dist[v] = dist[p] + w(p, v).
+        for v in 0..n as usize {
+            let p = values[v].parent;
+            if values[v].dist != u64::MAX && p != v as u64 && p != INVALID_VERTEX {
+                assert_eq!(
+                    values[v].dist,
+                    values[p as usize].dist + edge_weight(p, v as u64, seed),
+                    "parent edge of {v} is not tight"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn connected_components_match_sequential_union() {
+    let n = 180;
+    // Sparse graph → several components.
+    let edges = skewed_graph(n, 120, 4);
+    let values = run_over(2, 3, n, &edges, Thresholds::new(40, 8), ConnectedComponents);
+    // Sequential BFS labeling.
+    let adj = adjacency(n, &edges);
+    let mut expect = vec![u64::MAX; n as usize];
+    for start in 0..n {
+        if expect[start as usize] != u64::MAX {
+            continue;
+        }
+        let mut q = VecDeque::from([start]);
+        expect[start as usize] = start;
+        while let Some(u) = q.pop_front() {
+            for &v in &adj[u as usize] {
+                if expect[v as usize] == u64::MAX {
+                    expect[v as usize] = start;
+                    q.push_back(v);
+                }
+            }
+        }
+    }
+    // Min-label propagation converges to the smallest id per component,
+    // which is exactly the first-seen label of the sequential scan.
+    assert_eq!(values, expect);
+}
+
+#[test]
+fn pagerank_matches_sequential_power_iteration() {
+    let n = 120;
+    // PageRank divides by degree, so the oracle must see exactly the
+    // graph the partition stores: simple (the CSR builders deduplicate
+    // multi-edges) and loop-free. Canonicalize the generator's output.
+    let mut canon: Vec<Edge> = skewed_graph(n, 900, 5)
+        .into_iter()
+        .filter(|e| !e.is_self_loop())
+        .map(Edge::canonical)
+        .collect();
+    canon.sort_unstable();
+    canon.dedup();
+    let edges = canon;
+    let iters = 15;
+    let values = run_over(2, 2, n, &edges, Thresholds::new(60, 12), PageRank::new(n, iters));
+
+    // Sequential power iteration with the same conventions.
+    let adj = adjacency(n, &edges);
+    let deg: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut rank = vec![1.0 / n as f64; n as usize];
+    for _ in 0..iters {
+        let mut next = vec![0.0f64; n as usize];
+        for u in 0..n as usize {
+            if deg[u] == 0 {
+                continue;
+            }
+            let share = rank[u] * 0.85 / deg[u] as f64;
+            for &v in &adj[u] {
+                next[v as usize] += share;
+            }
+        }
+        for (u, r) in next.iter_mut().enumerate() {
+            if *r > 0.0 || deg[u] > 0 {
+                *r += 0.15 / n as f64;
+            } else {
+                // Vertices with no incoming mass keep their old rank
+                // (framework applies only on message receipt).
+                *r = rank[u];
+            }
+        }
+        rank = next;
+    }
+    for v in 0..n as usize {
+        assert!(
+            (values[v].rank - rank[v]).abs() < 1e-9,
+            "rank mismatch at {v}: {} vs {}",
+            values[v].rank,
+            rank[v]
+        );
+    }
+    // Sanity: the biggest hub outranks the median vertex.
+    let mut sorted: Vec<f64> = values.iter().map(|v| v.rank).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let hub_rank = values.iter().map(|v| v.rank).fold(0.0f64, f64::max);
+    assert!(hub_rank > sorted[n as usize / 2] * 3.0, "degree skew must show in ranks");
+}
+
+#[test]
+fn framework_runs_on_every_mesh_shape() {
+    let n = 96;
+    let edges = skewed_graph(n, 600, 6);
+    let root = edges[0].u;
+    let (_, expect) = sunbfs_core::reference_bfs(n, &edges, root);
+    for (rows, cols) in [(1, 1), (1, 4), (4, 1), (2, 2)] {
+        let values = run_over(rows, cols, n, &edges, Thresholds::new(50, 10), Bfs { root });
+        let parents: Vec<u64> = values.iter().map(|v| v.parent).collect();
+        let levels = sunbfs_core::validate::levels_from_parents(root, &parents).unwrap();
+        assert_eq!(levels, expect, "mesh {rows}x{cols}");
+    }
+}
+
+#[test]
+fn stats_are_populated() {
+    let n = 64;
+    let edges = skewed_graph(n, 400, 7);
+    let cluster = Cluster::new(MeshShape::new(2, 2), MachineConfig::new_sunway());
+    let out = cluster.run(|ctx| {
+        let chunk: Vec<Edge> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 == ctx.rank())
+            .map(|(_, e)| *e)
+            .collect();
+        let part = build_1p5d(ctx, n, &chunk, Thresholds::new(40, 8));
+        run_program(ctx, &part, &ConnectedComponents)
+    });
+    for o in &out {
+        assert!(o.stats.sim_seconds > 0.0);
+        assert!(!o.stats.rounds.is_empty());
+        assert!(o.stats.rounds[0].active > 0);
+    }
+}

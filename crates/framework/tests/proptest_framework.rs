@@ -1,0 +1,145 @@
+//! Property-based tests of the vertex-program framework: program
+//! results must be invariant to the mesh shape and threshold setting
+//! (those change *where* data lives, never *what* is computed), and
+//! must match sequential oracles on arbitrary graphs.
+
+use proptest::prelude::*;
+use sunbfs_common::{Edge, MachineConfig, INVALID_VERTEX};
+use sunbfs_framework::{edge_weight, run_program, Bfs, ConnectedComponents, ShortestPaths};
+use sunbfs_net::{Cluster, MeshShape};
+use sunbfs_part::{build_1p5d, Thresholds};
+
+fn run_over<P>(
+    rows: usize,
+    cols: usize,
+    n: u64,
+    edges: &[Edge],
+    th: Thresholds,
+    program: P,
+) -> Vec<P::Value>
+where
+    P: sunbfs_framework::VertexProgram + Copy + Send,
+{
+    let cluster = Cluster::new(MeshShape::new(rows, cols), MachineConfig::new_sunway());
+    let p = rows * cols;
+    let out = cluster.run(|ctx| {
+        let chunk: Vec<Edge> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % p == ctx.rank())
+            .map(|(_, e)| *e)
+            .collect();
+        let part = build_1p5d(ctx, n, &chunk, th);
+        run_program(ctx, &part, &program)
+    });
+    out.into_iter().flat_map(|o| o.values).collect()
+}
+
+fn dijkstra(n: u64, edges: &[Edge], root: u64, seed: u64) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut adj = vec![Vec::new(); n as usize];
+    for e in edges {
+        if !e.is_self_loop() {
+            adj[e.u as usize].push(e.v);
+            adj[e.v as usize].push(e.u);
+        }
+    }
+    let mut dist = vec![u64::MAX; n as usize];
+    dist[root as usize] = 0;
+    let mut heap = BinaryHeap::from([Reverse((0u64, root))]);
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &v in &adj[u as usize] {
+            let nd = d + edge_weight(u, v, seed);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// SSSP distances equal Dijkstra for any graph, mesh, thresholds.
+    #[test]
+    fn sssp_equals_dijkstra(
+        rows in 1usize..3,
+        cols in 1usize..3,
+        n in 8u64..96,
+        raw in prop::collection::vec((0u64..96, 0u64..96), 1..250),
+        e_th in 2u32..50,
+        seed in any::<u64>(),
+        root_pick in 0usize..64,
+    ) {
+        let edges: Vec<Edge> = raw.iter().map(|&(u, v)| Edge::new(u % n, v % n)).collect();
+        let candidates: Vec<u64> = edges
+            .iter()
+            .filter(|e| !e.is_self_loop())
+            .flat_map(|e| [e.u, e.v])
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let root = candidates[root_pick % candidates.len()];
+        let th = Thresholds::new(e_th, (e_th / 3).max(1));
+        let values = run_over(rows, cols, n, &edges, th, ShortestPaths { root, weight_seed: seed });
+        let expect = dijkstra(n, &edges, root, seed);
+        let got: Vec<u64> = values.iter().map(|v| v.dist).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Component labels are mesh- and threshold-invariant and constant
+    /// within (and distinct across) components.
+    #[test]
+    fn cc_labels_are_canonical(
+        n in 8u64..96,
+        raw in prop::collection::vec((0u64..96, 0u64..96), 0..200),
+    ) {
+        let edges: Vec<Edge> = raw.iter().map(|&(u, v)| Edge::new(u % n, v % n)).collect();
+        let a = run_over(1, 1, n, &edges, Thresholds::none(), ConnectedComponents);
+        let b = run_over(2, 2, n, &edges, Thresholds::new(20, 4), ConnectedComponents);
+        prop_assert_eq!(&a, &b, "labels depend on the partitioning");
+        // Labels must be idempotent under edge closure: endpoints agree.
+        for e in &edges {
+            prop_assert_eq!(a[e.u as usize], a[e.v as usize]);
+        }
+        // Each label is the minimum of its member set.
+        for (v, &l) in a.iter().enumerate() {
+            prop_assert!(l <= v as u64);
+            prop_assert_eq!(a[l as usize], l, "label {} is not a fixed point", l);
+        }
+    }
+
+    /// Framework BFS reaches exactly the reference set, and its parent
+    /// forest is valid, on arbitrary graphs.
+    #[test]
+    fn framework_bfs_valid(
+        n in 8u64..80,
+        raw in prop::collection::vec((0u64..80, 0u64..80), 1..200),
+        root_pick in 0usize..32,
+    ) {
+        let edges: Vec<Edge> = raw.iter().map(|&(u, v)| Edge::new(u % n, v % n)).collect();
+        let candidates: Vec<u64> = edges
+            .iter()
+            .filter(|e| !e.is_self_loop())
+            .flat_map(|e| [e.u, e.v])
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let root = candidates[root_pick % candidates.len()];
+        let values = run_over(2, 2, n, &edges, Thresholds::new(16, 4), Bfs { root });
+        let parents: Vec<u64> = values.iter().map(|v| v.parent).collect();
+        prop_assert!(sunbfs_core::validate_parents(n, &edges, root, &parents).is_ok());
+        let (ref_parents, _) = sunbfs_core::reference_bfs(n, &edges, root);
+        for v in 0..n as usize {
+            prop_assert_eq!(
+                parents[v] == INVALID_VERTEX,
+                ref_parents[v] == INVALID_VERTEX,
+                "reachability mismatch at {}", v
+            );
+        }
+    }
+}

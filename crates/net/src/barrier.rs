@@ -1,0 +1,138 @@
+//! A poisonable rendezvous barrier.
+//!
+//! `std::sync::Barrier` deadlocks the whole cluster when one rank
+//! panics mid-collective: the survivors wait forever. This barrier adds
+//! *poisoning* — a panicking rank (or the runtime on its behalf) calls
+//! [`PoisonBarrier::poison`], which wakes every waiter and makes every
+//! subsequent `wait` panic, so a single rank failure tears the run down
+//! deterministically instead of hanging the test suite.
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct State {
+    count: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// A reusable sense-counting barrier for a fixed number of parties,
+/// with explicit poisoning.
+#[derive(Debug)]
+pub struct PoisonBarrier {
+    parties: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl PoisonBarrier {
+    /// Barrier for `parties` participants (must be ≥ 1).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1);
+        PoisonBarrier {
+            parties,
+            state: Mutex::new(State { count: 0, generation: 0, poisoned: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Block until all parties arrive.
+    ///
+    /// # Panics
+    /// Panics if the barrier is (or becomes) poisoned.
+    pub fn wait(&self) {
+        let mut st = self.state.lock();
+        assert!(!st.poisoned, "cluster barrier poisoned: a rank panicked");
+        st.count += 1;
+        if st.count == self.parties {
+            st.count = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return;
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.poisoned {
+            self.cv.wait(&mut st);
+        }
+        assert!(!st.poisoned, "cluster barrier poisoned: a rank panicked");
+    }
+
+    /// Poison the barrier, waking and failing all current and future
+    /// waiters. Idempotent.
+    pub fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// True once poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = PoisonBarrier::new(1);
+        for _ in 0..10 {
+            b.wait();
+        }
+    }
+
+    #[test]
+    fn synchronizes_phases() {
+        let b = Arc::new(PoisonBarrier::new(4));
+        let phase = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = Arc::clone(&b);
+                let phase = Arc::clone(&phase);
+                s.spawn(move || {
+                    for p in 0..50 {
+                        // Everyone must observe the same phase inside a
+                        // barrier-delimited window.
+                        assert_eq!(phase.load(Ordering::SeqCst), p);
+                        b.wait();
+                        phase.compare_exchange(p, p + 1, Ordering::SeqCst, Ordering::SeqCst).ok();
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(phase.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn poison_wakes_waiters() {
+        let b = Arc::new(PoisonBarrier::new(2));
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait()));
+                r.is_err()
+            })
+        };
+        // Give the waiter time to block, then poison instead of joining.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        b.poison();
+        assert!(waiter.join().unwrap(), "poisoned wait must panic");
+    }
+
+    #[test]
+    fn wait_after_poison_panics_immediately() {
+        let b = PoisonBarrier::new(2);
+        b.poison();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait())).is_err());
+    }
+}

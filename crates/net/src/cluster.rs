@@ -1,0 +1,636 @@
+//! SPMD cluster runtime.
+//!
+//! [`Cluster::run`] executes one closure per simulated rank, each on its
+//! own OS thread, exactly as an MPI program would run one process per
+//! node. Ranks communicate **only** through the collectives on
+//! [`RankCtx`]; all payload bytes really cross thread boundaries via a
+//! rendezvous exchange, so the functional result of a run is a genuine
+//! distributed computation, not a shared-memory shortcut.
+//!
+//! Every collective simultaneously:
+//! 1. moves the data (two-barrier deposit/collect protocol),
+//! 2. synchronizes the ranks' *simulated clocks* (entry skew is recorded
+//!    as `comm.imbalance`, the paper's "imbalance/latency" component),
+//! 3. charges the analytic network cost from the real byte volumes under
+//!    the caller's category (`comm.alltoallv`, `comm.allgather`,
+//!    `comm.reduce_scatter`, ... — the categories of Figure 11).
+//!
+//! The SPMD contract: all members of a scope must call the same
+//! collectives in the same order. Mismatches are detected by per-op tag
+//! checks and turn into a clean panic (plus barrier poisoning) instead
+//! of a deadlock.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sunbfs_common::{Bitmap, MachineConfig, SimTime, TimeAccumulator};
+
+use crate::barrier::PoisonBarrier;
+use crate::cost::{self, Scope};
+use crate::topology::{MeshShape, Topology};
+
+type Payload = Arc<dyn Any + Send + Sync>;
+
+/// What one rank leaves at the rendezvous point.
+struct Deposit {
+    /// Op-sequence tag; must agree across the scope.
+    tag: u64,
+    /// Payload size in bytes (for gather/reduce costing).
+    bytes: u64,
+    /// Per-destination byte volumes (for alltoallv costing).
+    volumes: Option<Vec<u64>>,
+    payload: Payload,
+}
+
+/// Shared state of one communicator scope (world, a row, or a column).
+struct ScopeShared {
+    /// Global ranks of the members, in scope position order.
+    members: Vec<usize>,
+    barrier: PoisonBarrier,
+    slots: Vec<Mutex<Option<Deposit>>>,
+    /// Entry clocks (f64 bits) deposited before the first barrier.
+    clocks: Vec<AtomicU64>,
+}
+
+impl ScopeShared {
+    fn new(members: Vec<usize>) -> Self {
+        let n = members.len();
+        ScopeShared {
+            members,
+            barrier: PoisonBarrier::new(n),
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+struct ClusterShared {
+    topo: Topology,
+    machine: MachineConfig,
+    world: ScopeShared,
+    rows: Vec<ScopeShared>,
+    cols: Vec<ScopeShared>,
+}
+
+impl ClusterShared {
+    fn poison_all(&self) {
+        self.world.barrier.poison();
+        for s in self.rows.iter().chain(self.cols.iter()) {
+            s.barrier.poison();
+        }
+    }
+}
+
+/// A simulated cluster: an `R × C` mesh of ranks plus machine constants.
+pub struct Cluster {
+    shared: Arc<ClusterShared>,
+}
+
+impl Cluster {
+    /// Build a cluster over `shape` with the given machine constants.
+    pub fn new(shape: MeshShape, machine: MachineConfig) -> Self {
+        let topo = Topology::new(shape);
+        let n = topo.num_ranks();
+        let world = ScopeShared::new((0..n).collect());
+        let rows = (0..shape.rows)
+            .map(|r| ScopeShared::new((0..shape.cols).map(|c| topo.rank_at(r, c)).collect()))
+            .collect();
+        let cols = (0..shape.cols)
+            .map(|c| ScopeShared::new((0..shape.rows).map(|r| topo.rank_at(r, c)).collect()))
+            .collect();
+        Cluster { shared: Arc::new(ClusterShared { topo, machine, world, rows, cols }) }
+    }
+
+    /// The mesh topology.
+    pub fn topology(&self) -> Topology {
+        self.shared.topo
+    }
+
+    /// Machine constants in force.
+    pub fn machine(&self) -> MachineConfig {
+        self.shared.machine
+    }
+
+    /// Run `f` once per rank (one OS thread each) and return the per-rank
+    /// results in rank order.
+    ///
+    /// # Panics
+    /// If any rank panics, the panic is re-raised here after the whole
+    /// cluster has been torn down (barriers poisoned, threads joined).
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        let n = self.shared.topo.num_ranks();
+        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let shared = Arc::clone(&self.shared);
+                let f = &f;
+                let results = &results;
+                let panics = &panics;
+                s.spawn(move || {
+                    let mut ctx = RankCtx::new(rank, shared);
+                    match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+                        Ok(v) => results.lock()[rank] = Some(v),
+                        Err(p) => {
+                            ctx.shared.poison_all();
+                            panics.lock().push((rank, p));
+                        }
+                    }
+                });
+            }
+        });
+        let mut panics = panics.into_inner();
+        if !panics.is_empty() {
+            panics.sort_by_key(|(r, _)| *r);
+            resume_unwind(panics.remove(0).1);
+        }
+        results.into_inner().into_iter().map(|v| v.expect("rank produced no result")).collect()
+    }
+}
+
+/// Per-rank execution context: identity, simulated clock, time
+/// accounting, and the collective operations.
+pub struct RankCtx {
+    rank: usize,
+    shared: Arc<ClusterShared>,
+    clock: SimTime,
+    acc: TimeAccumulator,
+    /// Per-scope-kind op sequence numbers (world/row/col).
+    seqs: [u64; 3],
+}
+
+impl RankCtx {
+    fn new(rank: usize, shared: Arc<ClusterShared>) -> Self {
+        RankCtx { rank, shared, clock: SimTime::ZERO, acc: TimeAccumulator::new(), seqs: [0; 3] }
+    }
+
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.shared.topo.num_ranks()
+    }
+
+    /// Mesh topology.
+    #[inline]
+    pub fn topology(&self) -> Topology {
+        self.shared.topo
+    }
+
+    /// This rank's mesh row.
+    #[inline]
+    pub fn row(&self) -> usize {
+        self.shared.topo.row_of(self.rank)
+    }
+
+    /// This rank's mesh column.
+    #[inline]
+    pub fn col(&self) -> usize {
+        self.shared.topo.col_of(self.rank)
+    }
+
+    /// Machine constants.
+    #[inline]
+    pub fn machine(&self) -> &MachineConfig {
+        &self.shared.machine
+    }
+
+    /// Current simulated time on this rank.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advance this rank's simulated clock by `t`, attributed to
+    /// `category` (local compute, chip kernels, ...).
+    pub fn charge(&mut self, category: &str, t: SimTime) {
+        self.clock += t;
+        self.acc.add(category, t);
+    }
+
+    /// Read-only view of this rank's time accounting.
+    pub fn accumulator(&self) -> &TimeAccumulator {
+        &self.acc
+    }
+
+    /// Take the accumulated times (for returning from the rank closure).
+    pub fn take_accumulator(&mut self) -> TimeAccumulator {
+        std::mem::take(&mut self.acc)
+    }
+
+    fn scope_shared(&self, scope: Scope) -> (&ScopeShared, usize, usize) {
+        // (shared, my position, seq index)
+        match scope {
+            Scope::World => (&self.shared.world, self.rank, 0),
+            Scope::Row => (&self.shared.rows[self.row()], self.col(), 1),
+            Scope::Col => (&self.shared.cols[self.col()], self.row(), 2),
+        }
+    }
+
+    /// Number of ranks in `scope`.
+    pub fn scope_size(&self, scope: Scope) -> usize {
+        self.scope_shared(scope).0.members.len()
+    }
+
+    /// Core rendezvous: deposit `payload`, wait for all scope members,
+    /// collect everyone's payloads (as shared `Arc`s) and metadata.
+    ///
+    /// Returns `(payloads, bytes, volumes, entry-clock max)` in scope
+    /// position order.
+    fn exchange<T: Send + Sync + 'static>(
+        &mut self,
+        scope: Scope,
+        op: &str,
+        payload: T,
+        bytes: u64,
+        volumes: Option<Vec<u64>>,
+    ) -> (Vec<Arc<T>>, Vec<u64>, Vec<Vec<u64>>, SimTime) {
+        let (pos, seq_idx) = match scope {
+            Scope::World => (self.rank, 0),
+            Scope::Row => (self.col(), 1),
+            Scope::Col => (self.row(), 2),
+        };
+        let seq = self.seqs[seq_idx];
+        self.seqs[seq_idx] += 1;
+        let tag = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ fnv1a(op.as_bytes());
+        let shared = Arc::clone(&self.shared);
+        let ss = match scope {
+            Scope::World => &shared.world,
+            Scope::Row => &shared.rows[self.row()],
+            Scope::Col => &shared.cols[self.col()],
+        };
+        let n = ss.members.len();
+        debug_assert_eq!(ss.members[pos], self.rank);
+
+        ss.clocks[pos].store(self.clock.as_secs().to_bits(), Ordering::Release);
+        *ss.slots[pos].lock() = Some(Deposit { tag, bytes, volumes, payload: Arc::new(payload) });
+        ss.barrier.wait();
+
+        let mut payloads = Vec::with_capacity(n);
+        let mut all_bytes = Vec::with_capacity(n);
+        let mut all_volumes = Vec::with_capacity(n);
+        let mut max_entry = SimTime::ZERO;
+        for p in 0..n {
+            let slot = ss.slots[p].lock();
+            let dep = slot.as_ref().expect("missing deposit: SPMD contract violated");
+            assert_eq!(
+                dep.tag, tag,
+                "collective mismatch in op '{op}': scope member {p} is executing a different \
+                 collective (SPMD ordering bug)"
+            );
+            payloads.push(
+                Arc::downcast::<T>(Arc::clone(&dep.payload) as Arc<dyn Any + Send + Sync>)
+                    .expect("collective payload type mismatch"),
+            );
+            all_bytes.push(dep.bytes);
+            all_volumes.push(dep.volumes.clone().unwrap_or_default());
+            let entry = SimTime::secs(f64::from_bits(ss.clocks[p].load(Ordering::Acquire)));
+            max_entry = max_entry.max(entry);
+        }
+        // Second barrier: nobody may start the next collective (and
+        // overwrite slots) until everyone has collected.
+        ss.barrier.wait();
+        (payloads, all_bytes, all_volumes, max_entry)
+    }
+
+    /// Record the skew between this rank's entry clock and the scope's
+    /// latest entry, then advance to `max_entry + cost` charged under
+    /// `category`.
+    fn settle(&mut self, category: &str, max_entry: SimTime, cost: SimTime) {
+        let skew = max_entry - self.clock;
+        if skew.as_secs() > 0.0 {
+            self.acc.add("comm.imbalance", skew);
+        }
+        self.acc.add(category, cost);
+        self.clock = max_entry + cost;
+    }
+
+    /// Barrier over `scope`: synchronizes clocks, charges only skew.
+    pub fn barrier(&mut self, scope: Scope) {
+        let (_, _, _, max_entry) = self.exchange(scope, "barrier", (), 0, None);
+        self.settle("comm.barrier", max_entry, SimTime::ZERO);
+    }
+
+    /// Irregular all-to-all: `send[p]` goes to scope member `p`; returns
+    /// what every member sent to this rank, in member order.
+    pub fn alltoallv<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        scope: Scope,
+        category: &str,
+        send: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
+        let n = self.scope_size(scope);
+        assert_eq!(send.len(), n, "alltoallv send buffer count must equal scope size");
+        let item = std::mem::size_of::<T>() as u64;
+        let volumes: Vec<u64> = send.iter().map(|v| v.len() as u64 * item).collect();
+        let bytes: u64 = volumes.iter().sum();
+        let my_pos = self.scope_pos(scope);
+        let (payloads, _, all_volumes, max_entry) =
+            self.exchange(scope, category, send, bytes, Some(volumes));
+        let members = self.scope_members(scope);
+        let cost =
+            cost::alltoallv_cost(&self.shared.machine, &self.shared.topo, &members, &all_volumes);
+        self.settle(category, max_entry, cost);
+        payloads.iter().map(|p| p[my_pos].clone()).collect()
+    }
+
+    /// All-gather: every member contributes a vector; returns all
+    /// vectors in member order.
+    pub fn allgatherv<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        scope: Scope,
+        category: &str,
+        send: Vec<T>,
+    ) -> Vec<Vec<T>> {
+        let bytes = (send.len() * std::mem::size_of::<T>()) as u64;
+        let (payloads, all_bytes, _, max_entry) = self.exchange(scope, category, send, bytes, None);
+        let cost = cost::allgatherv_cost(&self.shared.machine, scope, &all_bytes);
+        self.settle(category, max_entry, cost);
+        payloads.iter().map(|p| p.as_ref().clone()).collect()
+    }
+
+    /// Element-wise all-reduce with a custom combiner. All members must
+    /// pass equal-length vectors; the result (identical on every rank)
+    /// is the position-ordered fold.
+    ///
+    /// The cost is charged as a ring all-reduce, split into its
+    /// reduce-scatter and allgather halves under
+    /// `"comm.reduce_scatter"` / `"comm.allgather"` so the Figure 11
+    /// breakdown falls out naturally; `charged_bytes` overrides the
+    /// payload size when the caller models a sparser exchange.
+    pub fn allreduce_with<T, F>(
+        &mut self,
+        scope: Scope,
+        op: &str,
+        mine: Vec<T>,
+        charged_bytes: Option<u64>,
+        combine: F,
+    ) -> Vec<T>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&mut T, &T),
+    {
+        self.allreduce_with_indexed(scope, op, mine, charged_bytes, |_, a, b| combine(a, b))
+    }
+
+    /// [`Self::allreduce_with`] with a position-aware combiner, so one
+    /// collective can mix reductions (e.g. OR over bitmap words plus a
+    /// summed trailing counter — the piggybacking real BFS codes use to
+    /// avoid extra latency-bound scalar collectives).
+    pub fn allreduce_with_indexed<T, F>(
+        &mut self,
+        scope: Scope,
+        op: &str,
+        mine: Vec<T>,
+        charged_bytes: Option<u64>,
+        combine: F,
+    ) -> Vec<T>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(usize, &mut T, &T),
+    {
+        let n = self.scope_size(scope);
+        let bytes = charged_bytes.unwrap_or((mine.len() * std::mem::size_of::<T>()) as u64);
+        let len = mine.len();
+        let (payloads, _, _, max_entry) = self.exchange(scope, op, mine, bytes, None);
+        let mut result: Vec<T> = payloads[0].as_ref().clone();
+        for p in &payloads[1..] {
+            let other: &[T] = p.as_ref();
+            assert_eq!(other.len(), len, "allreduce length mismatch in op '{op}'");
+            for (i, (a, b)) in result.iter_mut().zip(other).enumerate() {
+                combine(i, a, b);
+            }
+        }
+        let half = cost::allreduce_half_cost(&self.shared.machine, scope, n, bytes);
+        let skew = max_entry - self.clock;
+        if skew.as_secs() > 0.0 {
+            self.acc.add("comm.imbalance", skew);
+        }
+        // Keep the op name as a suffix so callers can group the same
+        // totals per comm type (Figure 11) *and* per algorithm phase
+        // (Figure 10).
+        self.acc.add(&format!("comm.reduce_scatter.{op}"), half);
+        self.acc.add(&format!("comm.allgather.{op}"), half);
+        self.clock = max_entry + half + half;
+        result
+    }
+
+    /// OR-combine a bitmap across the scope in place.
+    pub fn allreduce_or_bitmap(&mut self, scope: Scope, op: &str, bm: &mut Bitmap) {
+        let words = bm.words().to_vec();
+        let reduced = self.allreduce_with(scope, op, words, None, |a, b| *a |= b);
+        bm.words_mut().copy_from_slice(&reduced);
+    }
+
+    /// Sum a scalar across the scope.
+    pub fn allreduce_sum(&mut self, scope: Scope, op: &str, x: u64) -> u64 {
+        self.allreduce_with(scope, op, vec![x], None, |a, b| *a += b)[0]
+    }
+
+    /// Max of a scalar across the scope.
+    pub fn allreduce_max(&mut self, scope: Scope, op: &str, x: u64) -> u64 {
+        self.allreduce_with(scope, op, vec![x], None, |a, b| *a = (*a).max(*b))[0]
+    }
+
+    /// Logical OR of a flag across the scope.
+    pub fn allreduce_any(&mut self, scope: Scope, op: &str, x: bool) -> bool {
+        self.allreduce_with(scope, op, vec![x as u8], None, |a, b| *a |= b)[0] != 0
+    }
+
+    fn scope_pos(&self, scope: Scope) -> usize {
+        match scope {
+            Scope::World => self.rank,
+            Scope::Row => self.col(),
+            Scope::Col => self.row(),
+        }
+    }
+
+    fn scope_members(&self, scope: Scope) -> Vec<usize> {
+        match scope {
+            Scope::World => self.shared.world.members.clone(),
+            Scope::Row => self.shared.rows[self.row()].members.clone(),
+            Scope::Col => self.shared.cols[self.col()].members.clone(),
+        }
+    }
+}
+
+#[inline]
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster(rows: usize, cols: usize) -> Cluster {
+        Cluster::new(MeshShape::new(rows, cols), MachineConfig::new_sunway())
+    }
+
+    #[test]
+    fn run_returns_rank_ordered_results() {
+        let c = small_cluster(2, 3);
+        let out = c.run(|ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn alltoallv_world_routes_correctly() {
+        let c = small_cluster(2, 2);
+        let out = c.run(|ctx| {
+            let n = ctx.nranks();
+            // Rank r sends the value r*100+d to rank d.
+            let send: Vec<Vec<u64>> =
+                (0..n).map(|d| vec![(ctx.rank() * 100 + d) as u64]).collect();
+            ctx.alltoallv(Scope::World, "comm.alltoallv", send)
+        });
+        for (d, recv) in out.iter().enumerate() {
+            for (s, msgs) in recv.iter().enumerate() {
+                assert_eq!(msgs, &vec![(s * 100 + d) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn row_and_col_scopes_are_disjoint() {
+        let c = small_cluster(2, 2);
+        let out = c.run(|ctx| {
+            let row_sum = ctx.allreduce_sum(Scope::Row, "rowsum", ctx.rank() as u64);
+            let col_sum = ctx.allreduce_sum(Scope::Col, "colsum", ctx.rank() as u64);
+            (row_sum, col_sum)
+        });
+        // Mesh: ranks 0,1 / 2,3. Rows sum to 1 and 5; cols to 2 and 4.
+        assert_eq!(out, vec![(1, 2), (1, 4), (5, 2), (5, 4)]);
+    }
+
+    #[test]
+    fn allgatherv_collects_in_member_order() {
+        let c = small_cluster(1, 3);
+        let out = c.run(|ctx| {
+            ctx.allgatherv(Scope::World, "comm.allgather", vec![ctx.rank() as u32; ctx.rank() + 1])
+        });
+        for recv in out {
+            assert_eq!(recv, vec![vec![0], vec![1, 1], vec![2, 2, 2]]);
+        }
+    }
+
+    #[test]
+    fn allreduce_or_bitmap_unions_across_ranks() {
+        let c = small_cluster(2, 2);
+        let out = c.run(|ctx| {
+            let mut bm = Bitmap::new(256);
+            bm.set(ctx.rank() as u64 * 64);
+            ctx.allreduce_or_bitmap(Scope::World, "orbits", &mut bm);
+            bm.count_ones()
+        });
+        assert_eq!(out, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn clocks_advance_and_skew_is_recorded() {
+        let c = small_cluster(1, 2);
+        let out = c.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.charge("compute", SimTime::secs(1.0));
+            }
+            ctx.barrier(Scope::World);
+            (ctx.now().as_secs(), ctx.accumulator().get("comm.imbalance").as_secs())
+        });
+        // Both ranks end at t=1.0; rank 1 waited 1.0s at the barrier.
+        assert!((out[0].0 - 1.0).abs() < 1e-12);
+        assert!((out[1].0 - 1.0).abs() < 1e-12);
+        assert!((out[0].1 - 0.0).abs() < 1e-12);
+        assert!((out[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn communication_costs_clock_time() {
+        let c = small_cluster(2, 2);
+        let out = c.run(|ctx| {
+            let send: Vec<Vec<u64>> = (0..4).map(|_| vec![0u64; 1 << 16]).collect();
+            ctx.alltoallv(Scope::World, "comm.alltoallv", send);
+            ctx.now().as_secs()
+        });
+        for t in out {
+            assert!(t > 0.0, "alltoallv must cost simulated time");
+        }
+    }
+
+    #[test]
+    fn mismatched_collectives_panic_not_deadlock() {
+        let c = small_cluster(1, 2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            c.run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.allreduce_sum(Scope::World, "op_a", 1);
+                } else {
+                    ctx.allreduce_max(Scope::World, "op_b", 1);
+                }
+            })
+        }));
+        assert!(r.is_err(), "collective mismatch must fail loudly");
+    }
+
+    #[test]
+    fn rank_panic_tears_down_cluster() {
+        let c = small_cluster(2, 2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            c.run(|ctx| {
+                if ctx.rank() == 2 {
+                    panic!("injected fault on rank 2");
+                }
+                // Other ranks head into a collective and must be released
+                // by poisoning rather than hanging.
+                ctx.barrier(Scope::World);
+            })
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn single_rank_cluster_works() {
+        let c = small_cluster(1, 1);
+        let out = c.run(|ctx| {
+            let s = ctx.allreduce_sum(Scope::World, "s", 7);
+            let g = ctx.allgatherv(Scope::World, "g", vec![1u8, 2]);
+            let a = ctx.alltoallv(Scope::World, "a", vec![vec![9u64]]);
+            (s, g, a)
+        });
+        assert_eq!(out[0].0, 7);
+        assert_eq!(out[0].1, vec![vec![1, 2]]);
+        assert_eq!(out[0].2, vec![vec![9]]);
+    }
+
+    #[test]
+    fn reduce_scatter_and_allgather_categories_charged() {
+        let c = small_cluster(1, 4);
+        let out = c.run(|ctx| {
+            ctx.allreduce_with(Scope::World, "hub", vec![0u64; 1024], None, |a, b| *a |= b);
+            let acc = ctx.accumulator();
+            (
+                acc.total_with_prefix("comm.reduce_scatter").as_secs(),
+                acc.total_with_prefix("comm.allgather").as_secs(),
+            )
+        });
+        for (rs, ag) in out {
+            assert!(rs > 0.0 && (rs - ag).abs() < 1e-15);
+        }
+    }
+}

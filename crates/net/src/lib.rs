@@ -1,0 +1,29 @@
+//! Simulated supercomputer interconnect for `sunbfs`.
+//!
+//! The paper's BFS runs on 103,912 New Sunway nodes joined by an
+//! oversubscribed fat tree (§3.2). Mature Rust MPI/RMA bindings for
+//! this communication pattern do not exist, so this crate *is* the
+//! substrate: an in-process SPMD runtime in which
+//!
+//! * each simulated rank is an OS thread ([`Cluster::run`]),
+//! * ranks communicate exclusively through MPI-style collectives on
+//!   [`RankCtx`] (`alltoallv`, `allgatherv`, `allreduce_with`,
+//!   `barrier`) that really move the bytes,
+//! * every collective charges analytic network time from the actual
+//!   byte volumes and the mesh/supernode topology ([`cost`]), and
+//!   records entry skew as load imbalance — producing the same
+//!   time-breakdown categories as the paper's Figure 11.
+//!
+//! The topology follows §4.1: ranks form an `R × C` mesh whose **rows
+//! map to supernodes**; row traffic enjoys full NIC bandwidth while
+//! column/global traffic pays the 8× fat-tree oversubscription.
+
+pub mod barrier;
+pub mod cluster;
+pub mod cost;
+pub mod topology;
+
+pub use barrier::PoisonBarrier;
+pub use cluster::{Cluster, RankCtx};
+pub use cost::Scope;
+pub use topology::{MeshShape, Topology};

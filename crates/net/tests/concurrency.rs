@@ -1,0 +1,146 @@
+//! Concurrency and cost-model integration tests for the cluster
+//! runtime: disjoint scoped collectives must proceed independently,
+//! mixed scope sequences must stay consistent, and the cost model must
+//! behave sanely at paper-like parameters.
+
+use sunbfs_common::{MachineConfig, SimTime};
+use sunbfs_net::{Cluster, MeshShape, Scope, Topology};
+
+#[test]
+fn different_rows_collect_concurrently_and_independently() {
+    // Each row runs a *different number* of row collectives before the
+    // world barrier; rows must not interfere with each other.
+    let c = Cluster::new(MeshShape::new(3, 2), MachineConfig::new_sunway());
+    let out = c.run(|ctx| {
+        let my_row = ctx.row();
+        let mut acc = 0u64;
+        for i in 0..=(my_row as u64) {
+            acc += ctx.allreduce_sum(Scope::Row, "rowwork", ctx.rank() as u64 + i);
+        }
+        ctx.barrier(Scope::World);
+        acc
+    });
+    // Row r = {2r, 2r+1}: one allreduce of (2r+i)+(2r+1+i) per i in 0..=r.
+    let expect = |r: u64| -> u64 { (0..=r).map(|i| (2 * r + i) + (2 * r + 1 + i)).sum() };
+    assert_eq!(out, vec![expect(0), expect(0), expect(1), expect(1), expect(2), expect(2)]);
+}
+
+#[test]
+fn interleaved_row_and_col_collectives_stay_ordered() {
+    let c = Cluster::new(MeshShape::new(3, 3), MachineConfig::new_sunway());
+    let out = c.run(|ctx| {
+        let mut results = Vec::new();
+        for round in 0..5u64 {
+            let r = ctx.allreduce_sum(Scope::Row, "r", round);
+            let cl = ctx.allreduce_sum(Scope::Col, "c", round * 10);
+            let w = ctx.allreduce_sum(Scope::World, "w", 1);
+            results.push((r, cl, w));
+        }
+        results
+    });
+    for ranks in &out {
+        for (round, &(r, cl, w)) in ranks.iter().enumerate() {
+            assert_eq!(r, 3 * round as u64);
+            assert_eq!(cl, 30 * round as u64);
+            assert_eq!(w, 9);
+        }
+    }
+}
+
+#[test]
+fn alltoallv_volume_asymmetry_is_preserved() {
+    // Rank r sends r+1 items to everyone; receivers must see exactly
+    // the per-sender sizes.
+    let c = Cluster::new(MeshShape::new(2, 2), MachineConfig::new_sunway());
+    let out = c.run(|ctx| {
+        let n = ctx.nranks();
+        let send: Vec<Vec<u32>> = (0..n).map(|_| vec![ctx.rank() as u32; ctx.rank() + 1]).collect();
+        ctx.alltoallv(Scope::World, "comm.alltoallv", send)
+    });
+    for recv in &out {
+        for (s, batch) in recv.iter().enumerate() {
+            assert_eq!(batch.len(), s + 1);
+            assert!(batch.iter().all(|&x| x == s as u32));
+        }
+    }
+}
+
+#[test]
+fn clock_skew_propagates_through_scoped_collectives() {
+    // A slow rank in one row delays its row; the other row is only
+    // delayed at the world collective.
+    let c = Cluster::new(MeshShape::new(2, 2), MachineConfig::new_sunway());
+    let out = c.run(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.charge("compute", SimTime::secs(5.0));
+        }
+        ctx.allreduce_sum(Scope::Row, "rowsync", 0);
+        let after_row = ctx.now().as_secs();
+        ctx.allreduce_sum(Scope::World, "worldsync", 0);
+        let after_world = ctx.now().as_secs();
+        (after_row, after_world)
+    });
+    // Row 0 (ranks 0,1) synced to ~5s at the row step; row 1 (ranks 2,3)
+    // stayed near zero until the world step.
+    assert!(out[0].0 >= 5.0 && out[1].0 >= 5.0);
+    assert!(out[2].0 < 1.0 && out[3].0 < 1.0);
+    for (_, w) in &out {
+        assert!(*w >= 5.0);
+    }
+}
+
+#[test]
+fn paper_scale_cost_model_sanity() {
+    // Analytic checks at full-machine parameters: one supernode's worth
+    // of alltoallv traffic must cost more across supernodes than inside.
+    let m = MachineConfig::new_sunway();
+    let topo_flat = Topology::new(MeshShape::new(1, 16));
+    let topo_tall = Topology::new(MeshShape::new(16, 1));
+    let members: Vec<usize> = (0..16).collect();
+    let mb = 1u64 << 20;
+    let vol: Vec<Vec<u64>> =
+        (0..16).map(|s| (0..16).map(|d| if s == d { 0 } else { mb }).collect()).collect();
+    let intra = sunbfs_net::cost::alltoallv_cost(&m, &topo_flat, &members, &vol);
+    let inter = sunbfs_net::cost::alltoallv_cost(&m, &topo_tall, &members, &vol);
+    assert!(
+        inter.as_secs() > intra.as_secs() * 2.0,
+        "oversubscription must bite: intra {} vs inter {}",
+        intra.as_secs(),
+        inter.as_secs()
+    );
+
+    // Latency term grows logarithmically, not linearly.
+    let lat_16 = sunbfs_net::cost::collective_latency(&m, 16);
+    let lat_4096 = sunbfs_net::cost::collective_latency(&m, 4096);
+    assert!(lat_4096.as_secs() / lat_16.as_secs() < 4.0);
+}
+
+#[test]
+fn repeated_runs_reuse_the_cluster() {
+    // A Cluster is reusable across run() calls (fresh clocks each time).
+    let c = Cluster::new(MeshShape::new(2, 2), MachineConfig::new_sunway());
+    for _ in 0..3 {
+        let out = c.run(|ctx| {
+            ctx.charge("x", SimTime::secs(1.0));
+            ctx.barrier(Scope::World);
+            ctx.now().as_secs()
+        });
+        for t in out {
+            assert!((t - 1.0).abs() < 1e-12, "clock leaked across runs: {t}");
+        }
+    }
+}
+
+#[test]
+fn massive_rank_count_smoke() {
+    // 100 rank threads on a small machine: the runtime must stay
+    // correct (not fast).
+    let c = Cluster::new(MeshShape::new(10, 10), MachineConfig::new_sunway());
+    let out = c.run(|ctx| {
+        let s = ctx.allreduce_sum(Scope::World, "sum", 1);
+        let r = ctx.allreduce_sum(Scope::Row, "row", 1);
+        let cl = ctx.allreduce_sum(Scope::Col, "col", 1);
+        (s, r, cl)
+    });
+    assert!(out.iter().all(|&(s, r, c)| s == 100 && r == 10 && c == 10));
+}

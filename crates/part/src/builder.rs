@@ -1,0 +1,476 @@
+//! Distributed construction of the 3-level degree-aware 1.5D partition.
+//!
+//! Executed SPMD on every rank of the cluster ([`build_1p5d`]). From a
+//! locally generated chunk of the global edge list, the ranks:
+//!
+//! 1. count exact vertex degrees at the owners (one `alltoallv` of
+//!    endpoints),
+//! 2. gather all vertices with `deg ≥ h` and build the replicated
+//!    [`HubDirectory`] (identical on every rank by construction),
+//! 3. route every edge to the rank(s) that store it, per §4.1:
+//!    * **EH2EH** (both endpoints hubs): both orientations,
+//!      2D-partitioned — orientation `(s → d)` lives at mesh position
+//!      `(dest_row(d), src_col(s))`,
+//!    * **E↔L**: at the owner of the L endpoint (E is delegated
+//!      globally, so its adjacency is attached to L, "just as heavy
+//!      vertices in degree-aware 1D partitioning"); one store serves
+//!      both the E2L and L2E sub-iterations,
+//!    * **H→L**: at the intersection of L's owner's *row* and H's
+//!      owner's *column*, restricting push messaging to rows,
+//!    * **L→H**: solely at the owner of L ("as a reverse of H2L"),
+//!    * **L2L**: both orientations, each at its source's owner (vanilla
+//!      1D),
+//! 4. build per-component CSR indexes (by source for push, by
+//!    destination for pull) with multigraph deduplication.
+//!
+//! Self loops never affect a BFS and are dropped here.
+
+use sunbfs_common::{Edge, VertexId};
+use sunbfs_net::{RankCtx, Scope, Topology};
+
+use crate::csr::Csr;
+use crate::directory::{HubDirectory, Thresholds, VertexClass};
+use crate::distribution::VertexDistribution;
+
+/// Local (per-rank) edge counts of the six components — the quantity
+/// whose distribution Figure 13 plots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ComponentStats {
+    /// EH2EH directed edges stored on this rank.
+    pub eh2eh: u64,
+    /// E→L edges stored on this rank.
+    pub e2l: u64,
+    /// L→E edges stored on this rank.
+    pub l2e: u64,
+    /// H→L edges stored on this rank.
+    pub h2l: u64,
+    /// L→H edges stored on this rank.
+    pub l2h: u64,
+    /// L→L directed edges stored on this rank.
+    pub l2l: u64,
+}
+
+impl ComponentStats {
+    /// Sum of all component sizes on this rank.
+    pub fn total(&self) -> u64 {
+        self.eh2eh + self.e2l + self.l2e + self.h2l + self.l2h + self.l2l
+    }
+}
+
+/// One rank's share of the 1.5D-partitioned graph.
+#[derive(Clone, Debug)]
+pub struct RankPartition {
+    /// This rank's id.
+    pub rank: usize,
+    /// Vertex block distribution.
+    pub dist: VertexDistribution,
+    /// Replicated hub directory.
+    pub directory: HubDirectory,
+    /// Exact degrees of the vertices this rank owns.
+    pub owned_degrees: Vec<u32>,
+    /// EH2EH block, push orientation: src hubs in this column's source
+    /// range → dst hub ids.
+    pub eh_by_src: Csr,
+    /// EH2EH block, pull orientation: dst hubs in this row's
+    /// destination range → src hub ids.
+    pub eh_by_dst: Csr,
+    /// E↔L edges at L's owner, keyed by hub id (push E→L / pull L2E).
+    pub el_by_hub: Csr,
+    /// E↔L edges at L's owner, keyed by owned vertex (pull E2L / push L2E).
+    pub el_by_local: Csr,
+    /// H→L edges at the row/column intersection, keyed by hub id (push).
+    pub h2l_by_hub: Csr,
+    /// H→L edges at the intersection, keyed by the L endpoint over this
+    /// *row's* owned interval (pull).
+    pub h2l_by_local: Csr,
+    /// L↔H edges at L's owner, keyed by hub id (pull L2H).
+    pub lh_by_hub: Csr,
+    /// L↔H edges at L's owner, keyed by owned vertex (push L2H).
+    pub lh_by_local: Csr,
+    /// L→L edges keyed by owned source vertex.
+    pub l2l: Csr,
+    /// Component sizes on this rank.
+    pub stats: ComponentStats,
+}
+
+impl RankPartition {
+    /// Global vertex interval owned by this rank.
+    pub fn owned_range(&self) -> std::ops::Range<u64> {
+        self.dist.range_of(self.rank)
+    }
+
+    /// Global vertex interval owned by this rank's whole mesh row.
+    pub fn row_range(&self, topo: &Topology) -> std::ops::Range<u64> {
+        row_vertex_range(&self.dist, topo, topo.row_of(self.rank))
+    }
+}
+
+/// Global vertex interval owned by mesh row `row` (ranks of a row are
+/// consecutive, so their blocks concatenate into one interval).
+pub fn row_vertex_range(
+    dist: &VertexDistribution,
+    topo: &Topology,
+    row: usize,
+) -> std::ops::Range<u64> {
+    let first = topo.rank_at(row, 0);
+    let last = topo.rank_at(row, topo.shape().cols - 1);
+    dist.range_of(first).start..dist.range_of(last).end
+}
+
+/// Build this rank's partition from its chunk of the global edge list.
+///
+/// SPMD: every rank calls this with the same `n` and `thresholds` and
+/// its own `edges` chunk; the union of chunks is the global multigraph.
+pub fn build_1p5d(
+    ctx: &mut RankCtx,
+    n: u64,
+    edges: &[Edge],
+    thresholds: Thresholds,
+) -> RankPartition {
+    let topo = ctx.topology();
+    let p = ctx.nranks();
+    let rank = ctx.rank();
+    let dist = VertexDistribution::new(n, p);
+
+    // ---- (1) exact degrees at owners ----------------------------------
+    let mut endpoint_msgs: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+    for e in edges {
+        endpoint_msgs[dist.owner(e.u)].push(e.u);
+        endpoint_msgs[dist.owner(e.v)].push(e.v);
+    }
+    let received = ctx.alltoallv(Scope::World, "prep.alltoallv", endpoint_msgs);
+    let my_range = dist.range_of(rank);
+    let mut owned_degrees = vec![0u32; (my_range.end - my_range.start) as usize];
+    for batch in received {
+        for v in batch {
+            owned_degrees[(v - my_range.start) as usize] += 1;
+        }
+    }
+
+    // ---- (2) replicated hub directory ---------------------------------
+    let local_heavy: Vec<(VertexId, u32)> = owned_degrees
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d >= thresholds.h)
+        .map(|(i, &d)| (my_range.start + i as u64, d))
+        .collect();
+    let gathered = ctx.allgatherv(Scope::World, "prep.allgather", local_heavy);
+    let directory =
+        HubDirectory::build(gathered.into_iter().flatten().collect(), thresholds);
+    let (rows, cols) = (topo.shape().rows, topo.shape().cols);
+
+    // ---- (3) route edges to their storage ranks ------------------------
+    let mut eh_msgs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+    let mut el_msgs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+    let mut h2l_msgs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+    let mut lh_msgs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+    let mut l2l_msgs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+
+    let route_hub_pair = |eh_msgs: &mut Vec<Vec<(u64, u64)>>, hs: u32, hd: u32| {
+        let dest = topo.rank_at(directory.dest_row(hd, rows), directory.src_col(hs, cols));
+        eh_msgs[dest].push((hs as u64, hd as u64));
+    };
+
+    for e in edges {
+        if e.is_self_loop() {
+            continue;
+        }
+        let cu = directory.class_of(e.u);
+        let cv = directory.class_of(e.v);
+        use VertexClass::*;
+        match (cu, cv) {
+            // Both hubs: both orientations, 2D-partitioned.
+            (E | H, E | H) => {
+                let hu = directory.hub_id(e.u).unwrap();
+                let hv = directory.hub_id(e.v).unwrap();
+                route_hub_pair(&mut eh_msgs, hu, hv);
+                route_hub_pair(&mut eh_msgs, hv, hu);
+            }
+            // E ↔ L: stored once at L's owner.
+            (E, L) | (L, E) => {
+                let (hub_v, l) = if cu == E { (e.u, e.v) } else { (e.v, e.u) };
+                let hub = directory.hub_id(hub_v).unwrap() as u64;
+                el_msgs[dist.owner(l)].push((hub, l));
+            }
+            // H ↔ L: H→L copy at (row(owner(l)), col(owner(h))),
+            // L→H copy at owner(l).
+            (H, L) | (L, H) => {
+                let (hub_v, l) = if cu == H { (e.u, e.v) } else { (e.v, e.u) };
+                let hub = directory.hub_id(hub_v).unwrap() as u64;
+                let inter =
+                    topo.rank_at(topo.row_of(dist.owner(l)), topo.col_of(dist.owner(hub_v)));
+                h2l_msgs[inter].push((hub, l));
+                lh_msgs[dist.owner(l)].push((hub, l));
+            }
+            // L ↔ L: both orientations at their source owners.
+            (L, L) => {
+                l2l_msgs[dist.owner(e.u)].push((e.u, e.v));
+                l2l_msgs[dist.owner(e.v)].push((e.v, e.u));
+            }
+        }
+    }
+
+    let eh_recv: Vec<(u64, u64)> =
+        ctx.alltoallv(Scope::World, "prep.alltoallv", eh_msgs).into_iter().flatten().collect();
+    let el_recv: Vec<(u64, u64)> =
+        ctx.alltoallv(Scope::World, "prep.alltoallv", el_msgs).into_iter().flatten().collect();
+    let h2l_recv: Vec<(u64, u64)> =
+        ctx.alltoallv(Scope::World, "prep.alltoallv", h2l_msgs).into_iter().flatten().collect();
+    let lh_recv: Vec<(u64, u64)> =
+        ctx.alltoallv(Scope::World, "prep.alltoallv", lh_msgs).into_iter().flatten().collect();
+    let l2l_recv: Vec<(u64, u64)> =
+        ctx.alltoallv(Scope::World, "prep.alltoallv", l2l_msgs).into_iter().flatten().collect();
+
+    // ---- (4) component CSRs --------------------------------------------
+    let nh = directory.num_hubs() as u64;
+    let my_row = topo.row_of(rank);
+    let row_range = row_vertex_range(&dist, &topo, my_row);
+    let my_count = my_range.end - my_range.start;
+
+    // EH csrs are keyed over the full (small) hub-id space; only hubs in
+    // this rank's cyclic column/row slice have entries.
+    let eh_by_src = Csr::from_pairs(0, nh, eh_recv.clone(), true);
+    let eh_by_dst =
+        Csr::from_pairs(0, nh, eh_recv.into_iter().map(|(s, d)| (d, s)).collect(), true);
+    let el_by_hub = Csr::from_pairs(0, nh, el_recv.clone(), true);
+    let el_by_local =
+        Csr::from_pairs(my_range.start, my_count, el_recv.into_iter().map(|(h, l)| (l, h)).collect(), true);
+    let h2l_by_hub = Csr::from_pairs(0, nh, h2l_recv.clone(), true);
+    let h2l_by_local = Csr::from_pairs(
+        row_range.start,
+        row_range.end - row_range.start,
+        h2l_recv.into_iter().map(|(h, l)| (l, h)).collect(),
+        true,
+    );
+    let lh_by_hub = Csr::from_pairs(0, nh, lh_recv.clone(), true);
+    let lh_by_local =
+        Csr::from_pairs(my_range.start, my_count, lh_recv.into_iter().map(|(h, l)| (l, h)).collect(), true);
+    let l2l = Csr::from_pairs(my_range.start, my_count, l2l_recv, true);
+
+    let stats = ComponentStats {
+        eh2eh: eh_by_src.num_edges(),
+        e2l: el_by_hub.num_edges(),
+        l2e: el_by_local.num_edges(),
+        h2l: h2l_by_hub.num_edges(),
+        l2h: lh_by_local.num_edges(),
+        l2l: l2l.num_edges(),
+    };
+
+    RankPartition {
+        rank,
+        dist,
+        directory,
+        owned_degrees,
+        eh_by_src,
+        eh_by_dst,
+        el_by_hub,
+        el_by_local,
+        h2l_by_hub,
+        h2l_by_local,
+        lh_by_hub,
+        lh_by_local,
+        l2l,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use sunbfs_common::MachineConfig;
+    use sunbfs_net::{Cluster, MeshShape};
+
+    /// A small deterministic multigraph with skewed degrees: vertex 0 is
+    /// a super-hub, 1..4 are medium, the rest sparse.
+    fn skewed_edges(n: u64, m: usize, seed: u64) -> Vec<Edge> {
+        let mut rng = sunbfs_common::SplitMix64::new(seed);
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let u = match rng.next_below(10) {
+                0..=3 => 0,
+                4..=6 => 1 + rng.next_below(4),
+                _ => rng.next_below(n),
+            };
+            let v = rng.next_below(n);
+            edges.push(Edge::new(u, v));
+        }
+        edges
+    }
+
+    fn build_on_cluster(
+        rows: usize,
+        cols: usize,
+        n: u64,
+        edges: &[Edge],
+        th: Thresholds,
+    ) -> Vec<RankPartition> {
+        let cluster = Cluster::new(MeshShape::new(rows, cols), MachineConfig::new_sunway());
+        let p = rows * cols;
+        cluster.run(|ctx| {
+            let chunk: Vec<Edge> = edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % p == ctx.rank())
+                .map(|(_, e)| *e)
+                .collect();
+            build_1p5d(ctx, n, &chunk, th)
+        })
+    }
+
+    fn canonical_input(edges: &[Edge]) -> BTreeSet<(u64, u64)> {
+        edges
+            .iter()
+            .filter(|e| !e.is_self_loop())
+            .map(|e| {
+                let c = e.canonical();
+                (c.u, c.v)
+            })
+            .collect()
+    }
+
+    /// Reassemble the undirected edge set from all components of all
+    /// ranks; must equal the deduplicated input (minus self loops).
+    fn reassemble(parts: &[RankPartition]) -> BTreeSet<(u64, u64)> {
+        let mut out = BTreeSet::new();
+        let dir = &parts[0].directory;
+        let canon = |a: u64, b: u64| if a <= b { (a, b) } else { (b, a) };
+        for p in parts {
+            for (hs, hd) in p.eh_by_src.iter_edges() {
+                out.insert(canon(dir.vertex_of(hs as u32), dir.vertex_of(hd as u32)));
+            }
+            for (h, l) in p.el_by_hub.iter_edges() {
+                out.insert(canon(dir.vertex_of(h as u32), l));
+            }
+            for (h, l) in p.lh_by_hub.iter_edges() {
+                out.insert(canon(dir.vertex_of(h as u32), l));
+            }
+            for (u, v) in p.l2l.iter_edges() {
+                out.insert(canon(u, v));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn components_cover_the_input_exactly() {
+        let n = 256;
+        let edges = skewed_edges(n, 2000, 1);
+        let parts = build_on_cluster(2, 2, n, &edges, Thresholds::new(100, 20));
+        assert_eq!(reassemble(&parts), canonical_input(&edges));
+    }
+
+    #[test]
+    fn degrees_are_exact() {
+        let n = 128;
+        let edges = skewed_edges(n, 1000, 2);
+        let parts = build_on_cluster(2, 2, n, &edges, Thresholds::new(50, 10));
+        // Independent sequential count.
+        let mut deg = vec![0u32; n as usize];
+        for e in &edges {
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        for p in &parts {
+            let range = p.owned_range();
+            for v in range.clone() {
+                assert_eq!(
+                    p.owned_degrees[(v - range.start) as usize], deg[v as usize],
+                    "degree mismatch at v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directories_agree_across_ranks() {
+        let n = 128;
+        let edges = skewed_edges(n, 1500, 3);
+        let parts = build_on_cluster(2, 3, n, &edges, Thresholds::new(80, 15));
+        let d0 = &parts[0].directory;
+        for p in &parts[1..] {
+            assert_eq!(p.directory.num_e(), d0.num_e());
+            assert_eq!(p.directory.num_hubs(), d0.num_hubs());
+            for h in 0..d0.num_hubs() {
+                assert_eq!(p.directory.vertex_of(h), d0.vertex_of(h));
+            }
+        }
+    }
+
+    #[test]
+    fn h2l_lives_on_the_intersection_rank() {
+        let n = 64;
+        let edges = skewed_edges(n, 800, 4);
+        let rows = 2;
+        let cols = 2;
+        let parts = build_on_cluster(rows, cols, n, &edges, Thresholds::new(1000, 20));
+        let topo = Topology::new(MeshShape::new(rows, cols));
+        let dist = parts[0].dist;
+        let dir = &parts[0].directory;
+        for p in &parts {
+            let my_row = topo.row_of(p.rank);
+            let my_col = topo.col_of(p.rank);
+            for (h, l) in p.h2l_by_hub.iter_edges() {
+                let hv = dir.vertex_of(h as u32);
+                assert_eq!(topo.row_of(dist.owner(l)), my_row, "H2L must sit on L's row");
+                assert_eq!(topo.col_of(dist.owner(hv)), my_col, "H2L must sit on H's column");
+            }
+        }
+    }
+
+    #[test]
+    fn l_components_live_at_owners() {
+        let n = 64;
+        let edges = skewed_edges(n, 800, 5);
+        let parts = build_on_cluster(2, 2, n, &edges, Thresholds::new(100, 30));
+        for p in &parts {
+            let range = p.owned_range();
+            for (l, _) in p.el_by_local.iter_edges() {
+                assert!(range.contains(&l));
+            }
+            for (l, _) in p.lh_by_local.iter_edges() {
+                assert!(range.contains(&l));
+            }
+            for (u, _) in p.l2l.iter_edges() {
+                assert!(range.contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn no_hubs_degenerates_to_pure_1d() {
+        let n = 64;
+        let edges = skewed_edges(n, 500, 6);
+        let parts = build_on_cluster(1, 4, n, &edges, Thresholds::none());
+        for p in &parts {
+            assert_eq!(p.directory.num_hubs(), 0);
+            assert_eq!(p.stats.eh2eh + p.stats.e2l + p.stats.h2l + p.stats.l2h, 0);
+        }
+        assert_eq!(reassemble(&parts), canonical_input(&edges));
+    }
+
+    #[test]
+    fn all_hubs_degenerates_to_2d() {
+        let n = 64;
+        let edges = skewed_edges(n, 500, 7);
+        let parts = build_on_cluster(2, 2, n, &edges, Thresholds::all_hubs(1 << 20));
+        for p in &parts {
+            assert_eq!(p.stats.e2l + p.stats.l2e + p.stats.h2l + p.stats.l2h + p.stats.l2l, 0);
+        }
+        assert_eq!(reassemble(&parts), canonical_input(&edges));
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_dropped() {
+        let edges = vec![
+            Edge::new(3, 3),
+            Edge::new(1, 2),
+            Edge::new(2, 1),
+            Edge::new(1, 2),
+        ];
+        let parts = build_on_cluster(1, 2, 8, &edges, Thresholds::none());
+        let total: u64 = parts.iter().map(|p| p.stats.l2l).sum();
+        // One undirected edge {1,2} → two stored orientations.
+        assert_eq!(total, 2);
+    }
+}

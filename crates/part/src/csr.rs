@@ -1,0 +1,174 @@
+//! Compressed sparse row storage over a dense key range.
+//!
+//! Every subgraph component is stored as one or two [`Csr`] indexes
+//! (by source for push, by destination for pull). Keys are dense ids in
+//! a half-open range (hub ids, or a rank's owned vertex interval);
+//! targets are whatever the component's other endpoint space is.
+//!
+//! Construction is a counting sort by key followed by an in-place
+//! PARADIS radix sort of each adjacency list's target ids (§5: "local
+//! sort implemented with PARADIS") — the preprocessing must stay
+//! in-place because on the real machine the edge list nearly fills
+//! main memory.
+
+/// CSR adjacency over keys `key_base .. key_base + num_keys`.
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    key_base: u64,
+    offsets: Vec<u64>,
+    targets: Vec<u64>,
+}
+
+impl Csr {
+    /// Build from `(key, target)` pairs. Keys outside the range panic.
+    /// When `dedup` is set, duplicate `(key, target)` pairs collapse to
+    /// one (the input edge list is a multigraph; adjacency is simple).
+    pub fn from_pairs(key_base: u64, num_keys: u64, pairs: Vec<(u64, u64)>, dedup: bool) -> Csr {
+        // Counting sort by key...
+        let nk = num_keys as usize;
+        let mut counts = vec![0u64; nk + 1];
+        for &(k, _) in &pairs {
+            assert!(
+                k >= key_base && k < key_base + num_keys,
+                "key {k} outside [{key_base}, {})",
+                key_base + num_keys
+            );
+            counts[(k - key_base) as usize + 1] += 1;
+        }
+        for i in 0..nk {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut targets = vec![0u64; pairs.len()];
+        let mut cursor = offsets.clone();
+        for (k, t) in pairs {
+            let idx = (k - key_base) as usize;
+            targets[cursor[idx] as usize] = t;
+            cursor[idx] += 1;
+        }
+        // ...then in-place PARADIS radix sort per adjacency list.
+        let mut csr = Csr { key_base, offsets, targets };
+        for k in 0..nk {
+            let lo = csr.offsets[k] as usize;
+            let hi = csr.offsets[k + 1] as usize;
+            sunbfs_sort::radix_sort_in_place(&mut csr.targets[lo..hi], &|t: &u64| *t, 1, 8);
+        }
+        if dedup {
+            csr.dedup_targets();
+        }
+        csr
+    }
+
+    fn dedup_targets(&mut self) {
+        let nk = self.num_keys();
+        let mut new_targets = Vec::with_capacity(self.targets.len());
+        let mut new_offsets = vec![0u64; nk + 1];
+        for k in 0..nk {
+            let lo = self.offsets[k] as usize;
+            let hi = self.offsets[k + 1] as usize;
+            let mut prev: Option<u64> = None;
+            for &t in &self.targets[lo..hi] {
+                if prev != Some(t) {
+                    new_targets.push(t);
+                    prev = Some(t);
+                }
+            }
+            new_offsets[k + 1] = new_targets.len() as u64;
+        }
+        self.offsets = new_offsets;
+        self.targets = new_targets;
+    }
+
+    /// First key of the range.
+    #[inline]
+    pub fn key_base(&self) -> u64 {
+        self.key_base
+    }
+
+    /// Number of keys in the range.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total stored edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Neighbors of `key` (sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, key: u64) -> &[u64] {
+        debug_assert!(key >= self.key_base);
+        let idx = (key - self.key_base) as usize;
+        let lo = self.offsets[idx] as usize;
+        let hi = self.offsets[idx + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `key` in this component.
+    #[inline]
+    pub fn degree(&self, key: u64) -> u64 {
+        let idx = (key - self.key_base) as usize;
+        self.offsets[idx + 1] - self.offsets[idx]
+    }
+
+    /// Iterate `(key, target)` over all stored edges.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        (0..self.num_keys()).flat_map(move |k| {
+            let key = self.key_base + k as u64;
+            self.neighbors(key).iter().map(move |&t| (key, t))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_queries() {
+        let pairs = vec![(10, 3), (12, 1), (10, 2), (12, 5), (10, 2)];
+        let csr = Csr::from_pairs(10, 4, pairs, false);
+        assert_eq!(csr.num_keys(), 4);
+        assert_eq!(csr.num_edges(), 5);
+        assert_eq!(csr.neighbors(10), &[2, 2, 3]);
+        assert_eq!(csr.neighbors(11), &[] as &[u64]);
+        assert_eq!(csr.neighbors(12), &[1, 5]);
+        assert_eq!(csr.degree(10), 3);
+    }
+
+    #[test]
+    fn dedup_collapses_duplicates() {
+        let pairs = vec![(0, 7), (0, 7), (0, 7), (1, 1), (1, 2), (1, 1)];
+        let csr = Csr::from_pairs(0, 2, pairs, true);
+        assert_eq!(csr.neighbors(0), &[7]);
+        assert_eq!(csr.neighbors(1), &[1, 2]);
+        assert_eq!(csr.num_edges(), 3);
+    }
+
+    #[test]
+    fn empty_component() {
+        let csr = Csr::from_pairs(5, 3, vec![], true);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.neighbors(6), &[] as &[u64]);
+    }
+
+    #[test]
+    fn iter_edges_roundtrips() {
+        let pairs = vec![(2, 9), (0, 4), (2, 1)];
+        let csr = Csr::from_pairs(0, 3, pairs.clone(), false);
+        let mut got: Vec<(u64, u64)> = csr.iter_edges().collect();
+        let mut want = pairs;
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_key_panics() {
+        Csr::from_pairs(0, 2, vec![(2, 0)], false);
+    }
+}

@@ -1,0 +1,279 @@
+//! Hub directory: the 3-level degree classification of §4.1.
+//!
+//! Vertices split by degree into **E** (extremely heavy, `deg ≥ e`
+//! threshold), **H** (heavy, `h ≤ deg < e`), and **L** (the rest).
+//! E and H vertices — the *hubs* — are "selected out of all vertices,
+//! sorted per node by the degree, and given a new ID among the higher
+//! degree vertices"; L vertices keep their original ids.
+//!
+//! The directory (hub id ↔ original vertex, degrees, class boundaries)
+//! is replicated on every rank: hub counts are tiny by construction
+//! (that is the whole point of the thresholds), so replication is the
+//! cheap, communication-free choice the paper's delegates imply.
+//!
+//! Hub ids are ordered E-first, by descending degree: `hub < num_e` ⇔
+//! class E. For the 2D partitioning of the EH2EH component, the hub id
+//! space is block-split into `R` destination ranges and `C` source
+//! ranges.
+
+use std::collections::HashMap;
+
+use sunbfs_common::VertexId;
+
+/// Degree thresholds selecting the three classes. `u32::MAX` disables a
+/// class (no vertex reaches it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Thresholds {
+    /// Degree at or above which a vertex is Extremely heavy.
+    pub e: u32,
+    /// Degree at or above which a vertex is Heavy (must be ≤ `e`).
+    pub h: u32,
+}
+
+impl Thresholds {
+    /// New thresholds; `h ≤ e` is required.
+    pub fn new(e: u32, h: u32) -> Self {
+        assert!(h <= e, "H threshold {h} must not exceed E threshold {e}");
+        Thresholds { e, h }
+    }
+
+    /// Degenerate configuration with no hubs at all (vanilla 1D).
+    pub fn none() -> Self {
+        Thresholds { e: u32::MAX, h: u32::MAX }
+    }
+
+    /// 1D-with-heavy-delegates degeneration (`|H| = 0`): one delegate
+    /// class only.
+    pub fn heavy_only(e: u32) -> Self {
+        Thresholds { e, h: e }
+    }
+
+    /// 2D degeneration (`|L| = 0` for every connected vertex): every
+    /// vertex with an edge becomes a hub.
+    pub fn all_hubs(e: u32) -> Self {
+        Thresholds { e, h: 1 }
+    }
+}
+
+/// Vertex class under a [`Thresholds`] setting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VertexClass {
+    /// Extremely heavy: delegated on every rank.
+    E,
+    /// Heavy: delegated on mesh rows and columns.
+    H,
+    /// Light: owner-only state, per-edge messaging.
+    L,
+}
+
+/// Replicated hub directory.
+#[derive(Clone, Debug)]
+pub struct HubDirectory {
+    num_e: u32,
+    hubs: Vec<(VertexId, u32)>, // (original vertex, degree), indexed by hub id
+    hub_of: HashMap<VertexId, u32>,
+}
+
+impl HubDirectory {
+    /// Build from the global `(vertex, degree)` list of all vertices
+    /// with `degree ≥ thresholds.h`. Every rank must pass the same list
+    /// (it is produced by an allgather); ordering here is canonical so
+    /// all ranks derive identical hub ids.
+    pub fn build(mut heavy: Vec<(VertexId, u32)>, thresholds: Thresholds) -> Self {
+        // E-first, then by (degree desc, vertex asc) — deterministic.
+        heavy.sort_unstable_by(|a, b| {
+            let class_a = a.1 >= thresholds.e;
+            let class_b = b.1 >= thresholds.e;
+            class_b
+                .cmp(&class_a)
+                .then(b.1.cmp(&a.1))
+                .then(a.0.cmp(&b.0))
+        });
+        let num_e = heavy.iter().take_while(|(_, d)| *d >= thresholds.e).count() as u32;
+        let hub_of = heavy.iter().enumerate().map(|(i, (v, _))| (*v, i as u32)).collect();
+        HubDirectory { num_e, hubs: heavy, hub_of }
+    }
+
+    /// An empty directory (no hubs; pure 1D partitioning).
+    pub fn empty() -> Self {
+        HubDirectory { num_e: 0, hubs: Vec::new(), hub_of: HashMap::new() }
+    }
+
+    /// Number of E hubs.
+    #[inline]
+    pub fn num_e(&self) -> u32 {
+        self.num_e
+    }
+
+    /// Number of H hubs.
+    #[inline]
+    pub fn num_h(&self) -> u32 {
+        self.hubs.len() as u32 - self.num_e
+    }
+
+    /// Total hubs (`|E| + |H|`).
+    #[inline]
+    pub fn num_hubs(&self) -> u32 {
+        self.hubs.len() as u32
+    }
+
+    /// Hub id of `v`, if `v` is a hub.
+    #[inline]
+    pub fn hub_id(&self, v: VertexId) -> Option<u32> {
+        self.hub_of.get(&v).copied()
+    }
+
+    /// Class of vertex `v`.
+    #[inline]
+    pub fn class_of(&self, v: VertexId) -> VertexClass {
+        match self.hub_id(v) {
+            Some(h) if h < self.num_e => VertexClass::E,
+            Some(_) => VertexClass::H,
+            None => VertexClass::L,
+        }
+    }
+
+    /// Original vertex of hub `h`.
+    #[inline]
+    pub fn vertex_of(&self, hub: u32) -> VertexId {
+        self.hubs[hub as usize].0
+    }
+
+    /// Degree of hub `h`.
+    #[inline]
+    pub fn degree_of(&self, hub: u32) -> u32 {
+        self.hubs[hub as usize].1
+    }
+
+    /// True when hub id `h` is in class E.
+    #[inline]
+    pub fn is_e(&self, hub: u32) -> bool {
+        hub < self.num_e
+    }
+
+    /// Mesh row holding destination state of hub `h`.
+    ///
+    /// **Cyclic** placement: hub ids are degree-sorted, so a contiguous
+    /// block split would concentrate all the heavy hubs on one mesh
+    /// row/column; the cyclic ("block-cyclic flavor", §2.1.1) mapping
+    /// interleaves them, which is what makes Figure 13's EH2EH balance
+    /// possible.
+    #[inline]
+    pub fn dest_row(&self, hub: u32, rows: usize) -> usize {
+        hub as usize % rows
+    }
+
+    /// Mesh column holding source state of hub `h` (cyclic, see
+    /// [`Self::dest_row`]).
+    #[inline]
+    pub fn src_col(&self, hub: u32, cols: usize) -> usize {
+        hub as usize % cols
+    }
+
+    /// Hub ids whose destination state mesh row `row` owns, ascending.
+    pub fn dest_hubs(&self, row: usize, rows: usize) -> impl Iterator<Item = u64> {
+        (row as u64..self.num_hubs() as u64).step_by(rows)
+    }
+
+    /// Hub ids whose source state mesh column `col` owns, ascending.
+    pub fn src_hubs(&self, col: usize, cols: usize) -> impl Iterator<Item = u64> {
+        (col as u64..self.num_hubs() as u64).step_by(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_directory() -> HubDirectory {
+        // Degrees: 100/90 are E (threshold 50), 40/30/20 are H (threshold 10).
+        let heavy = vec![(7u64, 40u32), (3, 100), (11, 20), (5, 90), (9, 30)];
+        HubDirectory::build(heavy, Thresholds::new(50, 10))
+    }
+
+    #[test]
+    fn hub_ids_are_e_first_by_degree() {
+        let d = sample_directory();
+        assert_eq!(d.num_e(), 2);
+        assert_eq!(d.num_h(), 3);
+        assert_eq!(d.vertex_of(0), 3); // deg 100
+        assert_eq!(d.vertex_of(1), 5); // deg 90
+        assert_eq!(d.vertex_of(2), 7); // deg 40
+        assert_eq!(d.vertex_of(4), 11); // deg 20
+    }
+
+    #[test]
+    fn classes_resolve() {
+        let d = sample_directory();
+        assert_eq!(d.class_of(3), VertexClass::E);
+        assert_eq!(d.class_of(9), VertexClass::H);
+        assert_eq!(d.class_of(1000), VertexClass::L);
+        assert!(d.is_e(0) && d.is_e(1) && !d.is_e(2));
+    }
+
+    #[test]
+    fn hub_id_lookup_roundtrips() {
+        let d = sample_directory();
+        for h in 0..d.num_hubs() {
+            assert_eq!(d.hub_id(d.vertex_of(h)), Some(h));
+        }
+        assert_eq!(d.hub_id(42), None);
+    }
+
+    #[test]
+    fn degree_ties_break_by_vertex_id() {
+        let heavy = vec![(9u64, 50u32), (2, 50), (5, 50)];
+        let d = HubDirectory::build(heavy, Thresholds::new(100, 10));
+        assert_eq!(d.vertex_of(0), 2);
+        assert_eq!(d.vertex_of(1), 5);
+        assert_eq!(d.vertex_of(2), 9);
+    }
+
+    #[test]
+    fn cyclic_hub_placement_partitions_hub_space() {
+        let d = sample_directory();
+        for parts in 1..=6 {
+            let mut seen = vec![false; d.num_hubs() as usize];
+            for i in 0..parts {
+                for h in d.dest_hubs(i, parts) {
+                    assert_eq!(d.dest_row(h as u32, parts), i);
+                    assert!(!seen[h as usize], "hub {h} assigned twice");
+                    seen[h as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "some hub unassigned at parts={parts}");
+        }
+    }
+
+    #[test]
+    fn cyclic_placement_spreads_heavy_hubs() {
+        // The top-`parts` heaviest hubs (lowest ids) must land on
+        // distinct rows — the point of cyclic placement.
+        let d = sample_directory();
+        let rows: Vec<usize> = (0..4u32).map(|h| d.dest_row(h, 4)).collect();
+        let mut dedup = rows.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn empty_directory_is_all_l() {
+        let d = HubDirectory::empty();
+        assert_eq!(d.num_hubs(), 0);
+        assert_eq!(d.class_of(0), VertexClass::L);
+    }
+
+    #[test]
+    fn degenerate_threshold_constructors() {
+        assert_eq!(Thresholds::none(), Thresholds { e: u32::MAX, h: u32::MAX });
+        assert_eq!(Thresholds::heavy_only(32), Thresholds { e: 32, h: 32 });
+        assert_eq!(Thresholds::all_hubs(1024), Thresholds { e: 1024, h: 1 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_thresholds_rejected() {
+        Thresholds::new(10, 20);
+    }
+}

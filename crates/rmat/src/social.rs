@@ -1,0 +1,97 @@
+//! Preferential-attachment synthetic graphs.
+//!
+//! §8 of the paper argues the 1.5D partitioning is "designed for any
+//! graph with extremely skewed degree distribution, which is commonly
+//! found in social networks, web graphs, etc.". R-MAT is one such
+//! family; this module provides a second, structurally different one —
+//! a Barabási–Albert-style preferential-attachment process — so tests
+//! and examples can check that nothing in the pipeline is secretly
+//! R-MAT-specific.
+//!
+//! The generator is sequential by nature (attachment depends on the
+//! running degree state), so unlike R-MAT it is not chunk-splittable;
+//! callers generate the full list once and let ranks take slices. At
+//! the laptop scales this repository runs, that is irrelevant.
+
+use sunbfs_common::{Edge, SplitMix64};
+
+/// Configuration of the preferential-attachment generator.
+#[derive(Clone, Copy, Debug)]
+pub struct SocialParams {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Edges each newcomer attaches with (the `m` of Barabási–Albert).
+    pub edges_per_vertex: u32,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Generate a preferential-attachment multigraph: vertex `t` connects
+/// `edges_per_vertex` times to targets drawn proportionally to current
+/// degree (implemented by sampling the endpoint list, the classic
+/// trick).
+pub fn generate_social(params: &SocialParams) -> Vec<Edge> {
+    let n = params.num_vertices;
+    let m = params.edges_per_vertex.max(1) as u64;
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = SplitMix64::new(params.seed ^ 0x50c1a1);
+    let mut edges: Vec<Edge> = Vec::with_capacity((n * m) as usize);
+    // Endpoint pool: every occurrence is one unit of degree.
+    let mut pool: Vec<u64> = vec![0, 1];
+    edges.push(Edge::new(0, 1));
+    for t in 2..n {
+        for _ in 0..m {
+            let target = pool[rng.next_below(pool.len() as u64) as usize];
+            edges.push(Edge::new(t, target));
+            pool.push(target);
+            pool.push(t);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::degrees;
+
+    fn params(n: u64) -> SocialParams {
+        SocialParams { num_vertices: n, edges_per_vertex: 4, seed: 7 }
+    }
+
+    #[test]
+    fn edge_count_matches_process() {
+        let p = params(1000);
+        let edges = generate_social(&p);
+        assert_eq!(edges.len() as u64, 1 + (p.num_vertices - 2) * 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_social(&params(500)), generate_social(&params(500)));
+    }
+
+    #[test]
+    fn labels_in_range_and_connected() {
+        let p = params(2000);
+        let edges = generate_social(&p);
+        let deg = degrees(p.num_vertices, &edges);
+        assert!(edges.iter().all(|e| e.u < p.num_vertices && e.v < p.num_vertices));
+        // Preferential attachment yields one connected component: every
+        // vertex has degree ≥ 1.
+        assert!(deg.iter().all(|&d| d > 0), "PA graphs have no isolated vertices");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let p = params(5000);
+        let deg = degrees(p.num_vertices, &generate_social(&p));
+        let max = *deg.iter().max().unwrap() as f64;
+        let mean = deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64;
+        assert!(max / mean > 20.0, "max/mean {} too flat for preferential attachment", max / mean);
+        // Early vertices dominate (the rich get richer).
+        let early: u64 = deg[..50].iter().map(|&d| d as u64).sum();
+        let late: u64 = deg[deg.len() - 50..].iter().map(|&d| d as u64).sum();
+        assert!(early > late * 5, "early {early} vs late {late}");
+    }
+}

@@ -1,0 +1,17 @@
+//! In-place global sort for `sunbfs` preprocessing.
+//!
+//! §5 of the paper: constructing the six subgraph components from an
+//! edge list that nearly fills main memory demands *in-place*
+//! preprocessing, abstracted as a generic in-place global sort "based
+//! on Parallel Sorting by Regular Sampling, with local sort implemented
+//! with PARADIS".
+//!
+//! * [`paradis`] — parallel in-place MSD radix sort (speculative
+//!   permutation + repair),
+//! * [`psrs`] — the distributed sort over the simulated cluster.
+
+pub mod paradis;
+pub mod psrs;
+
+pub use paradis::{radix_sort_in_place, radix_sort_u64};
+pub use psrs::psrs_sort_by_key;

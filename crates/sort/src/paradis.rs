@@ -1,0 +1,340 @@
+//! PARADIS-style parallel in-place MSD radix sort.
+//!
+//! The paper's preprocessing builds all six subgraph components with an
+//! *in-place global sort* (§5), whose node-local sort is PARADIS (Cho
+//! et al., VLDB 2015) — a parallel in-place radix sort built from two
+//! phases per digit:
+//!
+//! 1. **speculative permutation**: the positions of every bucket are
+//!    pre-partitioned among workers; each worker cycle-chases elements
+//!    within its own slices of all buckets, so workers never touch the
+//!    same position and need no atomics;
+//! 2. **repair**: speculation leaves a (usually tiny) set of misplaced
+//!    elements; they are redistributed into the wrong-filled positions
+//!    of their target buckets. (PARADIS iterates speculation on the
+//!    residue; we place the residue directly — a small temp buffer of
+//!    `O(misplaced)`, which keeps the algorithm deterministic and is
+//!    faithful to its performance character since the residue is tiny.)
+//!
+//! Recursion proceeds MSD-first a byte at a time; small buckets fall
+//! back to comparison sort.
+
+use crossbeam::thread as cb_thread;
+
+/// Buckets smaller than this use the comparison-sort fallback.
+const SMALL_SORT_THRESHOLD: usize = 64;
+
+/// Number of buckets per digit (one byte).
+const RADIX: usize = 256;
+
+/// Sort `data` in place by `key(x)` ascending, using up to `workers`
+/// threads for the top-level permutation.
+///
+/// `key_bytes` limits the number of MSD passes: keys must fit in the
+/// low `key_bytes` bytes of the extracted `u64` (8 sorts full keys).
+pub fn radix_sort_in_place<T, K>(data: &mut [T], key: &K, workers: usize, key_bytes: u32)
+where
+    T: Copy + Send,
+    K: Fn(&T) -> u64 + Sync,
+{
+    assert!(key_bytes >= 1 && key_bytes <= 8);
+    if data.len() <= 1 {
+        return;
+    }
+    sort_level(data, key, workers.max(1), (key_bytes - 1) * 8);
+}
+
+/// Convenience: sort `u64`s in place over all 8 key bytes.
+pub fn radix_sort_u64(data: &mut [u64], workers: usize) {
+    radix_sort_in_place(data, &|x: &u64| *x, workers, 8);
+}
+
+fn digit<T, K: Fn(&T) -> u64>(key: &K, x: &T, shift: u32) -> usize {
+    ((key(x) >> shift) & 0xff) as usize
+}
+
+fn sort_level<T, K>(data: &mut [T], key: &K, workers: usize, shift: u32)
+where
+    T: Copy + Send,
+    K: Fn(&T) -> u64 + Sync,
+{
+    if data.len() < SMALL_SORT_THRESHOLD {
+        // Comparison fallback must respect only the remaining low bytes.
+        let mask = if shift == 56 { u64::MAX } else { (1u64 << (shift + 8)) - 1 };
+        data.sort_unstable_by_key(|x| key(x) & mask);
+        return;
+    }
+
+    // ---- histogram ----
+    let mut counts = [0usize; RADIX];
+    for x in data.iter() {
+        counts[digit(key, x, shift)] += 1;
+    }
+    let mut begins = [0usize; RADIX];
+    let mut acc = 0;
+    for b in 0..RADIX {
+        begins[b] = acc;
+        acc += counts[b];
+    }
+
+    permute_speculative(data, key, workers, shift, &begins, &counts);
+    repair(data, key, shift, &begins, &counts);
+
+    debug_assert!({
+        let mut ok = true;
+        for b in 0..RADIX {
+            for p in begins[b]..begins[b] + counts[b] {
+                ok &= digit(key, &data[p], shift) == b;
+            }
+        }
+        ok
+    });
+
+    // ---- recurse into buckets ----
+    if shift == 0 {
+        return;
+    }
+    let mut rest = data;
+    for b in 0..RADIX {
+        let (bucket, tail) = rest.split_at_mut(counts[b]);
+        rest = tail;
+        if bucket.len() > 1 {
+            // Inner levels run single-threaded: top-level parallelism
+            // already saturates the workers and keeps determinism simple.
+            sort_level(bucket, key, 1, shift - 8);
+        }
+    }
+}
+
+/// Disjoint-slice cell: workers access `data` only inside their own
+/// per-bucket partitions, which are pairwise disjoint by construction.
+struct SharedSlice<T>(*mut T, usize);
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T> SharedSlice<T> {
+    /// # Safety
+    /// Caller guarantees `idx < len` and exclusive access to `idx`.
+    #[inline]
+    unsafe fn get(&self, idx: usize) -> *mut T {
+        debug_assert!(idx < self.1);
+        unsafe { self.0.add(idx) }
+    }
+}
+
+/// PARADIS speculative phase: each worker owns slice `w` of every
+/// bucket's range and cycle-chases elements between its own slices.
+fn permute_speculative<T, K>(
+    data: &mut [T],
+    key: &K,
+    workers: usize,
+    shift: u32,
+    begins: &[usize; RADIX],
+    counts: &[usize; RADIX],
+) where
+    T: Copy + Send,
+    K: Fn(&T) -> u64 + Sync,
+{
+    let workers = workers.min(data.len() / SMALL_SORT_THRESHOLD).max(1);
+    let len = data.len();
+    let shared = SharedSlice(data.as_mut_ptr(), len);
+
+    let run_worker = |w: usize| {
+        // Worker w's partition of bucket b: an even slice of its range.
+        let mut head = [0usize; RADIX];
+        let mut end = [0usize; RADIX];
+        for b in 0..RADIX {
+            let c = counts[b];
+            head[b] = begins[b] + c * w / workers;
+            end[b] = begins[b] + c * (w + 1) / workers;
+        }
+        for b in 0..RADIX {
+            let mut p = head[b];
+            while p < end[b] {
+                // SAFETY: p and all head[d] positions below lie inside
+                // worker w's partitions, disjoint from other workers'.
+                let mut v = unsafe { *shared.get(p) };
+                let mut d = digit(key, &v, shift);
+                // Cycle-chase v toward its bucket while we have room.
+                while d != b && head[d] < end[d] {
+                    let q = head[d];
+                    head[d] += 1;
+                    unsafe {
+                        let slot = shared.get(q);
+                        std::mem::swap(&mut v, &mut *slot);
+                    }
+                    d = digit(key, &v, shift);
+                }
+                unsafe {
+                    *shared.get(p) = v;
+                }
+                p += 1;
+                if head[b] < p {
+                    head[b] = p;
+                }
+            }
+        }
+    };
+
+    if workers == 1 {
+        run_worker(0);
+    } else {
+        cb_thread::scope(|s| {
+            for w in 0..workers {
+                s.spawn(move |_| run_worker(w));
+            }
+        })
+        .expect("radix sort worker panicked");
+    }
+}
+
+/// Repair phase: collect still-misplaced elements and write each into a
+/// wrong-filled slot of its target bucket.
+fn repair<T, K>(
+    data: &mut [T],
+    key: &K,
+    shift: u32,
+    begins: &[usize; RADIX],
+    counts: &[usize; RADIX],
+) where
+    T: Copy,
+    K: Fn(&T) -> u64,
+{
+    let mut misplaced: Vec<T> = Vec::new();
+    let mut holes: Vec<usize> = Vec::new();
+    for b in 0..RADIX {
+        for p in begins[b]..begins[b] + counts[b] {
+            if digit(key, &data[p], shift) != b {
+                misplaced.push(data[p]);
+                holes.push(p);
+            }
+        }
+    }
+    if misplaced.is_empty() {
+        return;
+    }
+    // Group the misplaced elements by target digit, then walk the holes
+    // (which are exactly the positions needing those digits, bucket by
+    // bucket) and fill each with a matching element.
+    let mut by_digit: Vec<Vec<T>> = (0..RADIX).map(|_| Vec::new()).collect();
+    for v in misplaced {
+        by_digit[digit(key, &v, shift)].push(v);
+    }
+    for &p in &holes {
+        let b = bucket_of_pos(p, begins, counts);
+        data[p] = by_digit[b].pop().expect("repair accounting violated");
+    }
+    debug_assert!(by_digit.iter().all(Vec::is_empty));
+}
+
+fn bucket_of_pos(p: usize, begins: &[usize; RADIX], counts: &[usize; RADIX]) -> usize {
+    // Binary search over bucket ranges.
+    let mut lo = 0usize;
+    let mut hi = RADIX - 1;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if begins[mid] <= p {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    debug_assert!(p >= begins[lo] && p < begins[lo] + counts[lo].max(1));
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunbfs_common::SplitMix64;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    fn assert_sorted_permutation(original: &[u64], sorted: &[u64]) {
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+        let mut a = original.to_vec();
+        a.sort_unstable();
+        assert_eq!(a, sorted, "not a permutation of the input");
+    }
+
+    #[test]
+    fn sorts_random_u64() {
+        for &n in &[0usize, 1, 2, 63, 64, 65, 1000, 100_000] {
+            let orig = random_vec(n, n as u64);
+            let mut v = orig.clone();
+            radix_sort_u64(&mut v, 4);
+            assert_sorted_permutation(&orig, &v);
+        }
+    }
+
+    #[test]
+    fn sorts_with_single_worker() {
+        let orig = random_vec(10_000, 3);
+        let mut v = orig.clone();
+        radix_sort_u64(&mut v, 1);
+        assert_sorted_permutation(&orig, &v);
+    }
+
+    #[test]
+    fn sorts_skewed_distributions() {
+        // All-equal, two-value, and low-entropy inputs stress the
+        // speculation/repair paths.
+        let mut v = vec![42u64; 10_000];
+        radix_sort_u64(&mut v, 4);
+        assert!(v.iter().all(|&x| x == 42));
+
+        let mut rng = SplitMix64::new(7);
+        let orig: Vec<u64> = (0..50_000).map(|_| rng.next_below(3)).collect();
+        let mut v = orig.clone();
+        radix_sort_u64(&mut v, 4);
+        assert_sorted_permutation(&orig, &v);
+    }
+
+    #[test]
+    fn partial_key_bytes_sorts_by_low_bytes_only() {
+        let mut rng = SplitMix64::new(8);
+        let orig: Vec<u64> = (0..20_000).map(|_| rng.next_u64()).collect();
+        let mut v = orig.clone();
+        radix_sort_in_place(&mut v, &|x: &u64| *x, 4, 2);
+        assert!(v.windows(2).all(|w| (w[0] & 0xffff) <= (w[1] & 0xffff)));
+        let mut a: Vec<u64> = orig.clone();
+        let mut b = v.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sorts_structs_by_key() {
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct Pair {
+            k: u32,
+            payload: u32,
+        }
+        let mut rng = SplitMix64::new(9);
+        let orig: Vec<Pair> = (0..30_000)
+            .map(|i| Pair { k: rng.next_below(1000) as u32, payload: i })
+            .collect();
+        let mut v = orig.clone();
+        radix_sort_in_place(&mut v, &|p: &Pair| p.k as u64, 4, 4);
+        assert!(v.windows(2).all(|w| w[0].k <= w[1].k));
+        // Payload multiset preserved.
+        let mut a: Vec<u32> = orig.iter().map(|p| p.payload).collect();
+        let mut b: Vec<u32> = v.iter().map(|p| p.payload).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let orig = random_vec(200_000, 11);
+        let mut one = orig.clone();
+        let mut many = orig.clone();
+        radix_sort_u64(&mut one, 1);
+        radix_sort_u64(&mut many, 8);
+        assert_eq!(one, many);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests: PARADIS radix sort against the standard
+//! library, and PSRS global sortedness/permutation invariants.
+
+use proptest::prelude::*;
+use sunbfs_common::MachineConfig;
+use sunbfs_net::{Cluster, MeshShape};
+use sunbfs_sort::{psrs_sort_by_key, radix_sort_in_place, radix_sort_u64};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full-key radix sort agrees with `sort_unstable` on arbitrary input.
+    #[test]
+    fn radix_matches_std(mut v in prop::collection::vec(any::<u64>(), 0..5000), workers in 1usize..5) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort_u64(&mut v, workers);
+        prop_assert_eq!(v, expect);
+    }
+
+    /// Partial-key sorts order by the masked key and preserve the multiset.
+    #[test]
+    fn partial_key_radix(mut v in prop::collection::vec(any::<u64>(), 0..3000), kb in 1u32..8) {
+        let orig = v.clone();
+        radix_sort_in_place(&mut v, &|x: &u64| *x, 2, kb);
+        let mask = if kb == 8 { u64::MAX } else { (1u64 << (kb * 8)) - 1 };
+        prop_assert!(v.windows(2).all(|w| (w[0] & mask) <= (w[1] & mask)));
+        let mut a = orig;
+        let mut b = v;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Low-entropy keys (the adversarial case for speculation/repair).
+    #[test]
+    fn radix_low_entropy(mut v in prop::collection::vec(0u64..4, 0..4000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort_u64(&mut v, 4);
+        prop_assert_eq!(v, expect);
+    }
+}
+
+proptest! {
+    // Cluster tests spawn threads; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// PSRS produces a globally sorted permutation on any mesh shape.
+    #[test]
+    fn psrs_global_sort(
+        rows in 1usize..3,
+        cols in 1usize..4,
+        per_rank in 0usize..2000,
+        seed in any::<u64>(),
+    ) {
+        let cluster = Cluster::new(MeshShape::new(rows, cols), MachineConfig::new_sunway());
+        let out = cluster.run(|ctx| {
+            let mut rng = sunbfs_common::SplitMix64::new(seed ^ ctx.rank() as u64);
+            let local: Vec<u64> = (0..per_rank).map(|_| rng.next_u64()).collect();
+            (local.clone(), psrs_sort_by_key(ctx, "sort", local, |x| *x, 8))
+        });
+        let mut input: Vec<u64> = out.iter().flat_map(|(i, _)| i.iter().copied()).collect();
+        let sorted: Vec<u64> = out.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "global order violated");
+        input.sort_unstable();
+        prop_assert_eq!(input, sorted);
+    }
+}

@@ -1,0 +1,33 @@
+//! SW26010-Pro chip simulator.
+//!
+//! The paper's node-level kernels are written against the SW26010-Pro
+//! many-core chip (§3.1): 6 core groups (CGs) × 64 Computing Processing
+//! Elements (CPEs), each CPE with 256 KB of scratchpad LDM, DMA engines
+//! for bulk main-memory transfers, and — new on this chip — **RMA**,
+//! low-latency one-sided get/put between CPE LDMs within a CG. Atomics
+//! and random main-memory accesses (GLD/GST) are slow; the paper's
+//! kernels exist to avoid them.
+//!
+//! This crate simulates that chip at the fidelity the reproduction
+//! needs:
+//!
+//! * [`ocs`] — **On-Chip Sorting with RMA** (§4.4): the functional
+//!   producer/consumer bucket sort over simulated LDM buffers, the
+//!   meta-kernel behind all edge messaging, plus MPE and multi-CG
+//!   variants (Figure 14),
+//! * [`segment`] — **CG-aware core-subgraph segmenting** (§4.3): the
+//!   Figure 7 bit-vector-to-LDM offset mapping and the RMA-vs-GLD
+//!   access cost accounting behind the 9× EH2EH pull speedup
+//!   (Figure 15),
+//! * [`kernels`] — closed-form cost estimators for the recurring chip
+//!   access patterns (DMA streaming, CPE scalar work, GLD loops, MPE
+//!   scatter), all reading their constants from
+//!   [`sunbfs_common::MachineConfig`].
+
+pub mod kernels;
+pub mod ocs;
+pub mod segment;
+
+pub use kernels::KernelReport;
+pub use ocs::{ocs_sort_mpe, ocs_sort_rma, OcsConfig};
+pub use segment::SegmentedBitvec;

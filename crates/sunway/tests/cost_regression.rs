@@ -1,0 +1,75 @@
+//! Cost-model regression pins.
+//!
+//! Every evaluation figure depends on the machine model; an accidental
+//! change to a constant or a formula would silently re-shape them all.
+//! These tests pin the canonical quantities (derived from the paper's
+//! published machine numbers) with tight tolerances, so model drift
+//! fails loudly and deliberately.
+
+use sunbfs_common::{MachineConfig, SplitMix64};
+use sunbfs_sunway::{kernels, ocs_sort_mpe, ocs_sort_rma, OcsConfig};
+
+fn m() -> MachineConfig {
+    MachineConfig::new_sunway()
+}
+
+fn assert_close(actual: f64, expect: f64, tol: f64, what: &str) {
+    assert!(
+        (actual - expect).abs() / expect < tol,
+        "{what}: {actual} vs pinned {expect} (tol {tol})"
+    );
+}
+
+#[test]
+fn pin_chip_streaming() {
+    // Full-chip stream of 1 GB at 249 GB/s.
+    let t = kernels::dma_stream(&m(), 1_000_000_000, 2048, 6);
+    assert_close(t.as_secs(), 1.0 / 249.0, 1e-6, "full-chip DMA stream");
+}
+
+#[test]
+fn pin_probe_latencies() {
+    let m = m();
+    // One million GLD probes over 384 CPEs: 540ns each.
+    let gld = kernels::gld_random(&m, 1_000_000, 384);
+    assert_close(gld.as_secs(), 1e6 * 540e-9 / 384.0, 1e-9, "GLD probes");
+    // RMA is exactly 9x cheaper per access.
+    let rma = kernels::rma_random(&m, 1_000_000, 384);
+    assert_close(gld.as_secs() / rma.as_secs(), 9.0, 1e-9, "GLD/RMA ratio");
+}
+
+#[test]
+fn pin_figure14_rows() {
+    let machine = m();
+    let mut rng = SplitMix64::new(1);
+    let items: Vec<u64> = (0..1 << 20).map(|_| rng.next_u64()).collect();
+    let bytes = (items.len() * 8) as u64;
+    let bucket = |x: &u64| (x & 0xff) as usize;
+    let (_, mpe) = ocs_sort_mpe(&machine, &items, 256, bucket);
+    let (_, cg1) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 1, bucket);
+    let (_, cg6) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 6, bucket);
+    assert_close(mpe.throughput(bytes) / 1e9, 0.0406, 0.02, "MPE GB/s");
+    assert_close(cg1.throughput(bytes) / 1e9, 13.8, 0.05, "1 CG GB/s");
+    assert_close(cg6.throughput(bytes) / 1e9, 66.2, 0.05, "6 CG GB/s");
+}
+
+#[test]
+fn pin_network_tiers() {
+    let m = m();
+    // Intra-supernode: full NIC. Inter: NIC / 8.
+    assert_close(m.nic_bandwidth, 25e9, 1e-12, "NIC");
+    assert_close(m.supernode_uplink(256) / 256.0, 25e9 / 8.0, 1e-12, "per-node uplink share");
+}
+
+#[test]
+fn pin_ldcache_crossover() {
+    // The LDCache stops helping right around its capacity — the §3.3
+    // argument depends on this crossover staying put.
+    let m = m();
+    let cpes = m.cpes_per_node();
+    let at_capacity = kernels::ldcache_random(&m, 1 << 20, m.ldm_bytes as u64, cpes);
+    let at_10x = kernels::ldcache_random(&m, 1 << 20, 10 * m.ldm_bytes as u64, cpes);
+    let gld = kernels::gld_random(&m, 1 << 20, cpes);
+    assert!(at_capacity.as_secs() < gld.as_secs() * 0.05);
+    assert!(at_10x.as_secs() > gld.as_secs() * 0.5);
+}

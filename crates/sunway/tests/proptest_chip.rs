@@ -1,0 +1,98 @@
+//! Property-based tests for the chip kernels: OCS-RMA is a bucket
+//! permutation under any configuration, and the Figure-7 LDM mapping is
+//! a bijection that round-trips every bit.
+
+use proptest::prelude::*;
+use sunbfs_common::{Bitmap, MachineConfig};
+use sunbfs_sunway::{ocs_sort_mpe, ocs_sort_rma, OcsConfig, SegmentedBitvec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// OCS-RMA routes every item to its bucket and loses nothing, for
+    /// any bucket count, CG count, and buffer size.
+    #[test]
+    fn ocs_is_a_bucket_permutation(
+        items in prop::collection::vec(any::<u64>(), 0..3000),
+        nb in 1usize..300,
+        cgs in 1usize..8,
+        buf in 16usize..1024,
+    ) {
+        let machine = MachineConfig::new_sunway();
+        let cfg = OcsConfig { buffer_bytes: buf, ..Default::default() };
+        let (buckets, report) =
+            ocs_sort_rma(&machine, &cfg, &items, nb, cgs, |x| (x % nb as u64) as usize);
+        prop_assert_eq!(buckets.len(), nb);
+        prop_assert_eq!(report.items, items.len() as u64);
+        let mut collected: Vec<u64> = Vec::new();
+        for (b, bucket) in buckets.iter().enumerate() {
+            for &x in bucket {
+                prop_assert_eq!((x % nb as u64) as usize, b, "item in wrong bucket");
+                collected.push(x);
+            }
+        }
+        let mut a = items.clone();
+        a.sort_unstable();
+        collected.sort_unstable();
+        prop_assert_eq!(a, collected);
+    }
+
+    /// RMA and MPE variants agree bucket-by-bucket as multisets.
+    #[test]
+    fn ocs_variants_agree(items in prop::collection::vec(any::<u64>(), 0..2000), nb in 1usize..64) {
+        let machine = MachineConfig::new_sunway();
+        let f = |x: &u64| (x % nb as u64) as usize;
+        let (a, _) = ocs_sort_mpe(&machine, &items, nb, f);
+        let (b, _) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, nb, 6, f);
+        for (x, y) in a.into_iter().zip(b) {
+            let mut x = x;
+            let mut y = y;
+            x.sort_unstable();
+            y.sort_unstable();
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// More core groups never slow the kernel down (cost monotonicity)
+    /// once the input is large enough to amortize the fixed cross-CG
+    /// atomic synchronization (tiny inputs legitimately prefer one CG —
+    /// the same effect that makes the paper run single-CG kernels for
+    /// small message batches).
+    #[test]
+    fn ocs_time_improves_with_cgs(n in 30_000usize..150_000) {
+        let machine = MachineConfig::new_sunway();
+        let mut rng = sunbfs_common::SplitMix64::new(n as u64);
+        let items: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let (_, r1) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 64, 1, |x| (x % 64) as usize);
+        let (_, r6) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 64, 6, |x| (x % 64) as usize);
+        prop_assert!(r6.time.as_secs() <= r1.time.as_secs() * 1.05,
+            "6 CGs slower than 1 CG: {} vs {}", r6.time.as_secs(), r1.time.as_secs());
+    }
+
+    /// Figure-7 mapping: distinct bits map to distinct (cpe, line,
+    /// offset) locations, and a built bitvec equals its source bitmap.
+    #[test]
+    fn segmented_bitvec_roundtrip(
+        len in 1u64..200_000,
+        bits in prop::collection::vec(0u64..200_000, 0..100),
+        cpes in 1usize..100,
+    ) {
+        let mut bm = Bitmap::new(len);
+        for &b in &bits {
+            bm.set(b % len);
+        }
+        let seg = SegmentedBitvec::from_bitmap(&bm, cpes);
+        for i in 0..len {
+            prop_assert_eq!(seg.get(i), bm.get(i), "bit {} mismatch", i);
+        }
+        // Injectivity of the location map on the set bits.
+        let locs: std::collections::HashSet<(usize, usize, u64)> = bm
+            .iter_ones()
+            .map(|b| {
+                let l = seg.location_of(b);
+                (l.cpe, l.local_line, l.offset_in_line)
+            })
+            .collect();
+        prop_assert_eq!(locs.len() as u64, bm.count_ones());
+    }
+}

@@ -1,0 +1,106 @@
+//! Graph 500 benchmark runner with command-line knobs.
+//!
+//! Mirrors the reporting style of the official benchmark: per-root TEPS
+//! plus the harmonic mean, with the paper's technique toggles exposed.
+//!
+//! ```text
+//! cargo run --release --example graph500_runner -- \
+//!     [scale] [ranks] [e_threshold] [h_threshold] [num_roots]
+//!
+//! # defaults:         14      16          256          64        8
+//! # disable a technique:
+//! SUNBFS_NO_SUBITER=1 SUNBFS_NO_SEGMENT=1 cargo run --release \
+//!     --example graph500_runner -- 14 16
+//! ```
+
+use sunbfs::core::EngineConfig;
+use sunbfs::driver::{run_benchmark, RunConfig};
+use sunbfs::net::MeshShape;
+use sunbfs::part::Thresholds;
+
+fn arg(n: usize, default: u64) -> u64 {
+    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let scale = arg(1, 14) as u32;
+    let ranks = arg(2, 16) as usize;
+    let e_th = arg(3, 256) as u32;
+    let h_th = arg(4, 64) as u32;
+    let num_roots = arg(5, 8) as usize;
+
+    let mut engine = EngineConfig::default();
+    if std::env::var_os("SUNBFS_NO_SUBITER").is_some() {
+        engine.sub_iteration = false;
+    }
+    if std::env::var_os("SUNBFS_NO_SEGMENT").is_some() {
+        engine.segmenting = false;
+    }
+
+    let config = RunConfig {
+        scale,
+        edge_factor: 16,
+        mesh: MeshShape::near_square(ranks),
+        thresholds: Thresholds::new(e_th, h_th),
+        engine,
+        machine: sunbfs::common::MachineConfig::new_sunway(),
+        seed: 42,
+        num_roots,
+        // Full-edge-list validation is O(edges) on the driver; keep it
+        // for the scales a laptop handles comfortably.
+        validate: scale <= 18,
+    };
+
+    println!("graph500 runner");
+    println!("  SCALE:          {scale} ({} vertices)", 1u64 << scale);
+    println!("  edges:          {}", 16u64 << scale);
+    println!("  mesh:           {}x{} = {} ranks", config.mesh.rows, config.mesh.cols, ranks);
+    println!("  thresholds:     E>={e_th}  H>={h_th}");
+    println!(
+        "  techniques:     sub-iteration={} segmenting={}",
+        engine.sub_iteration, engine.segmenting
+    );
+    println!("  roots:          {num_roots}");
+
+    let wall = std::time::Instant::now();
+    let report = run_benchmark(&config);
+    let wall = wall.elapsed();
+
+    println!("\nper-root results:");
+    for run in &report.runs {
+        println!(
+            "  root {:>8}: {:>7} iters, {:>9} visited, {:>11} edges, {:>9.3} ms sim, {:>8.3} GTEPS",
+            run.root,
+            run.iterations.len(),
+            run.visited_vertices,
+            run.traversed_edges,
+            run.sim_seconds * 1e3,
+            run.gteps,
+        );
+    }
+    println!("\nvalidated:            {}", report.validated);
+    println!("mean GTEPS:           {:.3}", report.mean_gteps());
+    println!("harmonic-mean GTEPS:  {:.3}", report.harmonic_mean_gteps());
+    println!("driver wall time:     {:.2?}", wall);
+
+    // Iteration-direction trace of the first root — the sub-iteration
+    // optimization at work.
+    if let Some(run) = report.runs.first() {
+        println!("\ndirection trace (root {}):", run.root);
+        println!("  iter  EH2EH  E2L   L2E   H2L   L2H   L2L    active(E/H/L)");
+        for it in &run.iterations {
+            let d: Vec<&str> = it
+                .directions
+                .iter()
+                .map(|d| match d {
+                    sunbfs::core::Direction::Push => "push",
+                    sunbfs::core::Direction::Pull => "PULL",
+                })
+                .collect();
+            println!(
+                "  {:>4}  {:<5}  {:<4}  {:<4}  {:<4}  {:<4}  {:<4}   {}/{}/{}",
+                it.iter, d[0], d[1], d[2], d[3], d[4], d[5], it.active_e, it.active_h, it.active_l
+            );
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! End-to-end Graph 500 benchmark driver.
+//!
+//! Reproduces the paper's measurement procedure (§6.1): generate an
+//! R-MAT graph at a given SCALE, build the 1.5D partition on a mesh of
+//! simulated ranks, traverse from a set of random roots ("64 random
+//! roots" at full scale; fewer at laptop scale), validate every parent
+//! tree against the specification, and report TEPS statistics with the
+//! harmonic mean the benchmark mandates.
+
+use sunbfs_common::{Edge, MachineConfig, TimeAccumulator};
+use sunbfs_core::validate::{self, ValidationError};
+use sunbfs_core::{run_bfs, BfsOutput, EngineConfig, IterationStats};
+use sunbfs_net::{Cluster, MeshShape};
+use sunbfs_part::{build_1p5d, ComponentStats, Thresholds};
+use sunbfs_rmat::RmatParams;
+
+/// Everything one benchmark run needs.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Graph 500 SCALE (`2^scale` vertices, `16 · 2^scale` edges).
+    pub scale: u32,
+    /// Edges per vertex (spec: 16).
+    pub edge_factor: u32,
+    /// Mesh of simulated ranks (rows map to supernodes).
+    pub mesh: MeshShape,
+    /// E/H degree thresholds.
+    pub thresholds: Thresholds,
+    /// Engine technique toggles.
+    pub engine: EngineConfig,
+    /// Machine constants.
+    pub machine: MachineConfig,
+    /// Generator seed.
+    pub seed: u64,
+    /// Number of BFS roots to run.
+    pub num_roots: usize,
+    /// Validate every traversal against the spec (needs the full edge
+    /// list on the driver; keep SCALE modest when enabled).
+    pub validate: bool,
+}
+
+impl RunConfig {
+    /// A sensible laptop-scale configuration.
+    pub fn small_test(scale: u32, ranks: usize) -> Self {
+        RunConfig {
+            scale,
+            edge_factor: 16,
+            mesh: MeshShape::near_square(ranks),
+            thresholds: Thresholds::new(256, 64),
+            engine: EngineConfig::default(),
+            machine: MachineConfig::new_sunway(),
+            seed: 42,
+            num_roots: 3,
+            validate: true,
+        }
+    }
+
+    fn rmat(&self) -> RmatParams {
+        let mut p = RmatParams::graph500(self.scale, self.seed);
+        p.edge_factor = self.edge_factor;
+        p
+    }
+}
+
+/// Results of one root's traversal, aggregated over ranks.
+#[derive(Clone, Debug)]
+pub struct RootRun {
+    /// The root vertex.
+    pub root: u64,
+    /// Simulated traversal seconds (max over ranks — they finish
+    /// together at the final collective).
+    pub sim_seconds: f64,
+    /// Graph 500 `m` for this root.
+    pub traversed_edges: u64,
+    /// Vertices reached.
+    pub visited_vertices: u64,
+    /// Giga-TEPS on the simulated machine.
+    pub gteps: f64,
+    /// Iteration series (identical replicated counters from rank 0).
+    pub iterations: Vec<IterationStats>,
+    /// Per-category simulated time summed over ranks (for breakdowns).
+    pub times: TimeAccumulator,
+}
+
+/// A full benchmark report.
+#[derive(Clone, Debug)]
+pub struct BenchmarkReport {
+    /// The configuration that produced it.
+    pub config: RunConfig,
+    /// Per-rank component sizes (Figure 13's raw data).
+    pub partition_stats: Vec<ComponentStats>,
+    /// One entry per root.
+    pub runs: Vec<RootRun>,
+    /// True when validation ran and every root passed.
+    pub validated: bool,
+}
+
+impl BenchmarkReport {
+    /// Arithmetic mean GTEPS over roots.
+    pub fn mean_gteps(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|r| r.gteps).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Harmonic mean GTEPS — the Graph 500 headline statistic.
+    pub fn harmonic_mean_gteps(&self) -> f64 {
+        if self.runs.is_empty() || self.runs.iter().any(|r| r.gteps <= 0.0) {
+            return 0.0;
+        }
+        self.runs.len() as f64 / self.runs.iter().map(|r| 1.0 / r.gteps).sum::<f64>()
+    }
+
+    /// Sum the per-category times of all runs into one accumulator.
+    pub fn total_times(&self) -> TimeAccumulator {
+        let mut acc = TimeAccumulator::new();
+        for r in &self.runs {
+            acc.merge(&r.times);
+        }
+        acc
+    }
+}
+
+/// Choose `k` distinct roots with nonzero degree, deterministically
+/// from the generator's first edge chunk.
+pub fn pick_roots(params: &RmatParams, k: usize) -> Vec<u64> {
+    let probe = sunbfs_rmat::generate_range(params, 0, (k as u64 * 64 + 64).min(params.num_edges()));
+    let mut roots = Vec::with_capacity(k);
+    for e in &probe {
+        if e.is_self_loop() {
+            continue;
+        }
+        if !roots.contains(&e.u) {
+            roots.push(e.u);
+        }
+        if roots.len() == k {
+            break;
+        }
+        if !roots.contains(&e.v) {
+            roots.push(e.v);
+        }
+        if roots.len() == k {
+            break;
+        }
+    }
+    assert!(!roots.is_empty(), "could not find any connected root");
+    roots
+}
+
+/// Run the complete benchmark pipeline.
+///
+/// # Panics
+/// Panics when `config.validate` is set and any traversal fails the
+/// Graph 500 validation.
+pub fn run_benchmark(config: &RunConfig) -> BenchmarkReport {
+    let params = config.rmat();
+    let n = params.num_vertices();
+    let p = config.mesh.num_ranks() as u64;
+    let roots = pick_roots(&params, config.num_roots);
+    let cluster = Cluster::new(config.mesh, config.machine);
+
+    // SPMD phase: each rank generates its chunk, partitions, traverses.
+    let rank_results: Vec<(ComponentStats, Vec<BfsOutput>)> = cluster.run(|ctx| {
+        let chunk = sunbfs_rmat::generate_chunk(&params, ctx.rank() as u64, p);
+        let part = build_1p5d(ctx, n, &chunk, config.thresholds);
+        drop(chunk);
+        let outputs: Vec<BfsOutput> =
+            roots.iter().map(|&root| run_bfs(ctx, &part, root, &config.engine)).collect();
+        (part.stats, outputs)
+    });
+
+    let partition_stats: Vec<ComponentStats> =
+        rank_results.iter().map(|(s, _)| *s).collect();
+
+    // Per-root aggregation (and optional validation).
+    let full_edges: Option<Vec<Edge>> =
+        config.validate.then(|| sunbfs_rmat::generate_edges(&params));
+    let mut runs = Vec::with_capacity(roots.len());
+    let mut validated = config.validate;
+    for (ri, &root) in roots.iter().enumerate() {
+        let mut times = TimeAccumulator::new();
+        let mut sim_seconds = 0.0f64;
+        for (_, outputs) in &rank_results {
+            times.merge(&outputs[ri].stats.times);
+            sim_seconds = sim_seconds.max(outputs[ri].stats.sim_seconds);
+        }
+        let stats0 = &rank_results[0].1[ri].stats;
+        if let Some(edges) = &full_edges {
+            let parents: Vec<u64> = rank_results
+                .iter()
+                .flat_map(|(_, outputs)| outputs[ri].parents.iter().copied())
+                .collect();
+            if let Err(e) = validate::validate_parents(n, edges, root, &parents) {
+                panic!("Graph 500 validation failed for root {root}: {e:?}");
+            }
+        }
+        runs.push(RootRun {
+            root,
+            sim_seconds,
+            traversed_edges: stats0.traversed_edges,
+            visited_vertices: stats0.visited_vertices,
+            gteps: if sim_seconds > 0.0 {
+                stats0.traversed_edges as f64 / sim_seconds / 1e9
+            } else {
+                0.0
+            },
+            iterations: stats0.iterations.clone(),
+            times,
+        });
+    }
+    if full_edges.is_none() {
+        validated = false;
+    }
+    BenchmarkReport { config: *config, partition_stats, runs, validated }
+}
+
+/// Re-exported so callers can name validation errors without another
+/// import path.
+pub type DriverValidationError = ValidationError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_benchmark_runs_and_validates() {
+        let report = run_benchmark(&RunConfig::small_test(9, 4));
+        assert!(report.validated);
+        assert_eq!(report.runs.len(), 3);
+        assert!(report.mean_gteps() > 0.0);
+        assert!(report.harmonic_mean_gteps() <= report.mean_gteps() + 1e-12);
+        assert_eq!(report.partition_stats.len(), 4);
+    }
+
+    #[test]
+    fn roots_are_distinct_and_connected() {
+        let params = RmatParams::graph500(10, 7);
+        let roots = pick_roots(&params, 8);
+        assert_eq!(roots.len(), 8);
+        let mut dedup = roots.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8, "roots must be distinct");
+        let deg = sunbfs_rmat::degrees(params.num_vertices(), &sunbfs_rmat::generate_edges(&params));
+        for r in roots {
+            assert!(deg[r as usize] > 0, "root {r} is isolated");
+        }
+    }
+
+    #[test]
+    fn degenerate_partitions_also_validate() {
+        let mut cfg = RunConfig::small_test(9, 4);
+        cfg.thresholds = Thresholds::none();
+        assert!(run_benchmark(&cfg).validated);
+        cfg.thresholds = Thresholds::all_hubs(1 << 20);
+        cfg.num_roots = 1;
+        assert!(run_benchmark(&cfg).validated);
+    }
+}

@@ -1,0 +1,44 @@
+//! # sunbfs
+//!
+//! A from-scratch Rust reproduction of **"Scaling Graph Traversal to
+//! 281 Trillion Edges with 40 Million Cores"** (Cao et al., PPoPP
+//! 2022): Graph 500-conforming breadth-first search built on 3-level
+//! degree-aware 1.5D graph partitioning, sub-iteration direction
+//! optimization, CG-aware core-subgraph segmenting, and on-chip sorting
+//! with RMA — over a simulated New Sunway supercomputer (SW26010-Pro
+//! chips + oversubscribed fat tree).
+//!
+//! The workspace is layered:
+//!
+//! * [`common`] — bitmaps, RNG, histograms, machine constants,
+//! * [`rmat`] — the Graph 500 Kronecker generator,
+//! * [`net`] — the SPMD cluster runtime with costed collectives,
+//! * [`sunway`] — the SW26010-Pro chip simulator (OCS-RMA, LDM segmenting),
+//! * [`sort`] — PARADIS in-place radix sort + PSRS global sort,
+//! * [`part`] — the 1.5D partitioner and its degenerate baselines,
+//! * [`framework`] — the §8 vertex-program framework
+//!   (BFS/SSSP/CC/PageRank over the same partition),
+//! * [`core`] — the BFS engine itself,
+//! * [`driver`] — the end-to-end Graph 500 benchmark pipeline
+//!   (generate → partition → traverse × roots → validate → report).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sunbfs::driver::{run_benchmark, RunConfig};
+//!
+//! let report = run_benchmark(&RunConfig::small_test(10, 4));
+//! assert!(report.mean_gteps() > 0.0);
+//! assert!(report.validated);
+//! ```
+
+pub mod driver;
+
+pub use sunbfs_common as common;
+pub use sunbfs_core as core;
+pub use sunbfs_framework as framework;
+pub use sunbfs_net as net;
+pub use sunbfs_part as part;
+pub use sunbfs_rmat as rmat;
+pub use sunbfs_sort as sort;
+pub use sunbfs_sunway as sunway;
