@@ -1,78 +1,91 @@
-//! Criterion micro-benchmarks for the hot kernels (wall-clock, not
-//! simulated time): the R-MAT generator, the PARADIS radix sort, the
-//! bitmap primitives, and the functional OCS-RMA bucketing pass.
+//! Micro-benchmarks for the hot kernels (wall-clock, not simulated
+//! time): the R-MAT generator, the PARADIS radix sort, the bitmap
+//! primitives, and the functional OCS-RMA bucketing pass.
+//!
+//! A minimal self-timed harness (median of [`SAMPLES`] runs after one
+//! warmup) replaces criterion: the build container has no crates.io
+//! access, and medians over ten runs are plenty for the shape-level
+//! statements these numbers back.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
+
 use sunbfs_common::{Bitmap, MachineConfig, SplitMix64};
 use sunbfs_rmat::RmatParams;
 use sunbfs_sort::radix_sort_u64;
 use sunbfs_sunway::{ocs_sort_rma, OcsConfig};
 
-fn bench_rmat(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rmat_generate");
-    for scale in [12u32, 14] {
-        let params = RmatParams::graph500(scale, 42);
-        g.throughput(Throughput::Elements(params.num_edges()));
-        g.bench_with_input(BenchmarkId::from_parameter(scale), &params, |b, p| {
-            b.iter(|| sunbfs_rmat::generate_edges(p))
-        });
+const SAMPLES: usize = 10;
+
+/// Time `f` over [`SAMPLES`] runs (after one warmup) and report the
+/// median, with items/s throughput when `throughput_items` is given.
+fn bench<T>(label: &str, throughput_items: Option<u64>, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times[times.len() / 2];
+    match throughput_items {
+        Some(items) => println!(
+            "{label:<32} {:>10.3} ms   {:>10.2} Melem/s",
+            median * 1e3,
+            items as f64 / median / 1e6
+        ),
+        None => println!("{label:<32} {:>10.3} ms", median * 1e3),
     }
-    g.finish();
 }
 
-fn bench_radix_sort(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paradis_radix_sort");
+fn main() {
+    println!("crit_kernels: median of {SAMPLES} runs\n");
+
+    for scale in [12u32, 14] {
+        let params = RmatParams::graph500(scale, 42);
+        bench(
+            &format!("rmat_generate/{scale}"),
+            Some(params.num_edges()),
+            || sunbfs_rmat::generate_edges(&params),
+        );
+    }
+
     for n in [1usize << 14, 1 << 18] {
         let mut rng = SplitMix64::new(7);
         let data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
-            b.iter(|| {
-                let mut v = d.clone();
-                radix_sort_u64(&mut v, 2);
-                v
-            })
+        bench(&format!("paradis_radix_sort/{n}"), Some(n as u64), || {
+            let mut v = data.clone();
+            radix_sort_u64(&mut v, 2);
+            v
         });
     }
-    g.finish();
-}
 
-fn bench_bitmap(c: &mut Criterion) {
     let bits = 1u64 << 20;
     let mut bm = Bitmap::new(bits);
     let mut rng = SplitMix64::new(9);
     for _ in 0..(bits / 16) {
         bm.set(rng.next_below(bits));
     }
-    c.bench_function("bitmap_iter_ones_1M", |b| b.iter(|| bm.iter_ones().sum::<u64>()));
-    c.bench_function("bitmap_count_range_1M", |b| {
-        b.iter(|| bm.count_ones_range(1000, bits - 1000))
+    bench("bitmap_iter_ones_1M", Some(bits), || {
+        bm.iter_ones().sum::<u64>()
+    });
+    bench("bitmap_count_range_1M", Some(bits), || {
+        bm.count_ones_range(1000, bits - 1000)
     });
     let other = bm.clone();
-    c.bench_function("bitmap_or_assign_1M", |b| {
-        b.iter(|| {
-            let mut x = bm.clone();
-            x.or_assign(&other);
-            x
-        })
+    bench("bitmap_or_assign_1M", Some(bits), || {
+        let mut x = bm.clone();
+        x.or_assign(&other);
+        x
     });
-}
 
-fn bench_ocs(c: &mut Criterion) {
     let machine = MachineConfig::new_sunway();
     let mut rng = SplitMix64::new(11);
     let items: Vec<u64> = (0..1usize << 18).map(|_| rng.next_u64()).collect();
-    let mut g = c.benchmark_group("ocs_rma_functional");
-    g.throughput(Throughput::Bytes((items.len() * 8) as u64));
-    g.bench_function("bucket_256_6cg", |b| {
-        b.iter(|| ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 6, |x| (x & 0xff) as usize))
+    bench("ocs_rma_bucket_256_6cg", Some(items.len() as u64), || {
+        ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 6, |x| {
+            (x & 0xff) as usize
+        })
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_rmat, bench_radix_sort, bench_bitmap, bench_ocs
-}
-criterion_main!(benches);

@@ -38,9 +38,14 @@ fn main() {
         let t0 = ctx.now();
         let fw = run_program(ctx, &part, &Bfs { root });
         let t1 = ctx.now();
-        let engine = run_bfs(ctx, &part, root, &EngineConfig::default());
+        let engine =
+            run_bfs(ctx, &part, root, &EngineConfig::default()).expect("BFS must terminate");
         let t2 = ctx.now();
-        let fw_reached = fw.values.iter().filter(|v| v.parent != INVALID_VERTEX).count() as u64;
+        let fw_reached = fw
+            .values
+            .iter()
+            .filter(|v| v.parent != INVALID_VERTEX)
+            .count() as u64;
         (
             (t1 - t0).as_secs(),
             (t2 - t1).as_secs(),
@@ -54,14 +59,26 @@ fn main() {
     let engine_time = results.iter().map(|r| r.1).fold(0.0, f64::max);
     let fw_reached: u64 = results.iter().map(|r| r.2).sum();
     let (m, visited) = (results[0].3, results[0].4);
-    assert_eq!(fw_reached, visited, "both paths must reach the same vertex set");
+    assert_eq!(
+        fw_reached, visited,
+        "both paths must reach the same vertex set"
+    );
 
     let fw_gteps = m as f64 / fw_time / 1e9;
     let engine_gteps = m as f64 / engine_time / 1e9;
     println!("  path                          sim time     GTEPS");
-    println!("  framework (push-only)        {:>9.3} ms  {fw_gteps:>8.3}", fw_time * 1e3);
-    println!("  engine (full §4 techniques)  {:>9.3} ms  {engine_gteps:>8.3}", engine_time * 1e3);
-    println!("\n  dedicated-engine speedup: {:.2}x", engine_gteps / fw_gteps);
+    println!(
+        "  framework (push-only)        {:>9.3} ms  {fw_gteps:>8.3}",
+        fw_time * 1e3
+    );
+    println!(
+        "  engine (full §4 techniques)  {:>9.3} ms  {engine_gteps:>8.3}",
+        engine_time * 1e3
+    );
+    println!(
+        "\n  dedicated-engine speedup: {:.2}x",
+        engine_gteps / fw_gteps
+    );
     println!("  (both traversals reach the identical {visited} vertices)");
     assert!(
         engine_gteps > fw_gteps,

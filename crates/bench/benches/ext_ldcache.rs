@@ -26,10 +26,13 @@ fn main() {
         // only applies while a CG's slice fits its LDM budget
         // (64 CPEs x 256 KB = 16 MB per CG, minus working space).
         let fits = ws <= 6 * 64 * (m.ldm_bytes as u64) / 2;
-        let rma = kernels::rma_random(&m, probes / m.cgs_per_node as u64, m.cpes_per_cg)
-            .as_secs()
-            * 1e3;
-        let rma_str = if fits { format!("{rma:9.2}") } else { "    (n/a)".into() };
+        let rma =
+            kernels::rma_random(&m, probes / m.cgs_per_node as u64, m.cpes_per_cg).as_secs() * 1e3;
+        let rma_str = if fits {
+            format!("{rma:9.2}")
+        } else {
+            "    (n/a)".into()
+        };
         let winner = if fits && rma <= ldc && rma <= gld {
             "RMA-segmented"
         } else if ldc <= gld {

@@ -32,7 +32,7 @@ fn main() {
             num_roots: roots,
             validate: false,
         };
-        let report = run_benchmark(&cfg);
+        let report = run_benchmark(&cfg).expect("benchmark must pass");
         let ranks = mesh.num_ranks();
         println!(
             "[{}x8 = {ranks} ranks] {:.3} GTEPS",

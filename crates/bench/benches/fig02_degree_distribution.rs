@@ -27,7 +27,10 @@ fn main() {
     for (lo, count) in hist.buckets() {
         if count > 0 {
             let logbar = (count as f64).log10().max(0.0);
-            println!("  {lo:>9}   {count:>9}   {}", "#".repeat((logbar * 8.0) as usize));
+            println!(
+                "  {lo:>9}   {count:>9}   {}",
+                "#".repeat((logbar * 8.0) as usize)
+            );
         }
     }
 
@@ -35,7 +38,10 @@ fn main() {
     let max_deg = *degs.iter().max().unwrap();
     let isolated = degs.iter().filter(|&&d| d == 0).count();
     let mean = 2.0 * edges.len() as f64 / params.num_vertices() as f64;
-    println!("\n  max degree: {max_deg} ({}x the mean {mean:.1})", (max_deg as f64 / mean) as u64);
+    println!(
+        "\n  max degree: {max_deg} ({}x the mean {mean:.1})",
+        (max_deg as f64 / mean) as u64
+    );
     println!(
         "  isolated vertices: {isolated} ({:.1}% of all)",
         100.0 * isolated as f64 / params.num_vertices() as f64

@@ -15,15 +15,38 @@ use sunbfs_part::Thresholds;
 fn main() {
     let scale = 17;
     let ranks = 16;
-    let cfg = run_config(scale, ranks, Thresholds::new(1024, 128), EngineConfig::default(), 1);
-    println!("=== Figure 5: per-class activation per iteration (SCALE {scale}, {ranks} ranks) ===\n");
-    let report = sunbfs::driver::run_benchmark(&cfg);
+    let cfg = run_config(
+        scale,
+        ranks,
+        Thresholds::new(1024, 128),
+        EngineConfig::default(),
+        1,
+    );
+    println!(
+        "=== Figure 5: per-class activation per iteration (SCALE {scale}, {ranks} ranks) ===\n"
+    );
+    let report = sunbfs::driver::run_benchmark(&cfg).expect("benchmark must pass");
     let run = &report.runs[0];
 
     // Class totals for normalization: everything ever activated.
-    let tot_e: u64 = run.iterations.iter().map(|it| it.newly_e).sum::<u64>().max(1);
-    let tot_h: u64 = run.iterations.iter().map(|it| it.newly_h).sum::<u64>().max(1);
-    let tot_l: u64 = run.iterations.iter().map(|it| it.newly_l).sum::<u64>().max(1);
+    let tot_e: u64 = run
+        .iterations
+        .iter()
+        .map(|it| it.newly_e)
+        .sum::<u64>()
+        .max(1);
+    let tot_h: u64 = run
+        .iterations
+        .iter()
+        .map(|it| it.newly_h)
+        .sum::<u64>()
+        .max(1);
+    let tot_l: u64 = run
+        .iterations
+        .iter()
+        .map(|it| it.newly_l)
+        .sum::<u64>()
+        .max(1);
 
     println!("  iter     E%      H%      L%     (of each class's reachable total)");
     for it in &run.iterations {
@@ -39,12 +62,19 @@ fn main() {
     // The paper's claim, checked quantitatively: hubs peak no later
     // than L does.
     let peak = |f: &dyn Fn(&sunbfs_core::IterationStats) -> u64| -> u32 {
-        run.iterations.iter().max_by_key(|it| f(it)).map(|it| it.iter).unwrap_or(0)
+        run.iterations
+            .iter()
+            .max_by_key(|it| f(it))
+            .map(|it| it.iter)
+            .unwrap_or(0)
     };
     let pe = peak(&|it| it.newly_e);
     let ph = peak(&|it| it.newly_h);
     let pl = peak(&|it| it.newly_l);
     println!("\n  activation peaks: E at iteration {pe}, H at {ph}, L at {pl}");
-    assert!(pe <= pl && ph <= pl, "hubs must be activated no later than L (paper Figure 5)");
+    assert!(
+        pe <= pl && ph <= pl,
+        "hubs must be activated no later than L (paper Figure 5)"
+    );
     println!("  -> hubs are intensively visited earlier than light vertices, as in the paper.");
 }

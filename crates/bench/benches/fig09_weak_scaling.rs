@@ -35,7 +35,7 @@ fn main() {
             validate: false,
         };
         let wall = std::time::Instant::now();
-        let report = run_benchmark(&cfg);
+        let report = run_benchmark(&cfg).expect("benchmark must pass");
         let ranks = mesh.num_ranks();
         println!(
             "[{}x{} = {ranks} ranks] SCALE {scale}: {:.3} GTEPS (wall {:.1?})",

@@ -34,7 +34,7 @@ fn main() {
             num_roots: roots,
             validate: false,
         };
-        let report = run_benchmark(&cfg);
+        let report = run_benchmark(&cfg).expect("benchmark must pass");
         let groups = group_by_subgraph(&report.total_times());
         println!("--- {ranks} ranks, SCALE {scale} ---");
         print_percentages("per-subgraph share", &groups);
@@ -48,11 +48,17 @@ fn main() {
     println!("shape checks:");
     println!(
         "  L2L share across scales: {:?}",
-        l2l_shares.iter().map(|s| format!("{:.0}%", s * 100.0)).collect::<Vec<_>>()
+        l2l_shares
+            .iter()
+            .map(|s| format!("{:.0}%", s * 100.0))
+            .collect::<Vec<_>>()
     );
     println!(
         "  EH2EH share across scales: {:?}",
-        eh_shares.iter().map(|s| format!("{:.0}%", s * 100.0)).collect::<Vec<_>>()
+        eh_shares
+            .iter()
+            .map(|s| format!("{:.0}%", s * 100.0))
+            .collect::<Vec<_>>()
     );
     println!("  (paper: L2L notable despite being the smallest subgraph; EH2EH");
     println!("   takes a notably shorter share at larger scales)");

@@ -34,7 +34,7 @@ fn main() {
             num_roots: roots,
             validate: false,
         };
-        let report = run_benchmark(&cfg);
+        let report = run_benchmark(&cfg).expect("benchmark must pass");
         let groups = group_by_commtype(&report.total_times());
         println!("--- {ranks} ranks, SCALE {scale} ---");
         print_percentages("per-comm-type share", &groups);
@@ -48,11 +48,17 @@ fn main() {
     println!("shape checks:");
     println!(
         "  total collective share: {:?}",
-        comm_shares.iter().map(|s| format!("{:.0}%", s * 100.0)).collect::<Vec<_>>()
+        comm_shares
+            .iter()
+            .map(|s| format!("{:.0}%", s * 100.0))
+            .collect::<Vec<_>>()
     );
     println!(
         "  imbalance/latency share: {:?}",
-        imb_shares.iter().map(|s| format!("{:.0}%", s * 100.0)).collect::<Vec<_>>()
+        imb_shares
+            .iter()
+            .map(|s| format!("{:.0}%", s * 100.0))
+            .collect::<Vec<_>>()
     );
     assert!(
         comm_shares.last().unwrap() >= comm_shares.first().unwrap(),

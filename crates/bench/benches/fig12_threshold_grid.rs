@@ -41,9 +41,16 @@ fn main() {
                 row.push(None);
                 continue;
             }
-            let cfg =
-                run_config(scale, ranks, Thresholds::new(e, h), EngineConfig::default(), roots);
-            let gteps = run_benchmark(&cfg).harmonic_mean_gteps();
+            let cfg = run_config(
+                scale,
+                ranks,
+                Thresholds::new(e, h),
+                EngineConfig::default(),
+                roots,
+            );
+            let gteps = run_benchmark(&cfg)
+                .expect("benchmark must pass")
+                .harmonic_mean_gteps();
             print!("{gteps:>9.3}");
             row.push(Some(gteps));
         }

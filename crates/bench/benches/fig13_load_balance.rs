@@ -33,7 +33,10 @@ fn main() {
 
     println!("  component     min        p25        median     p75        max       max/min-1  max/avg-1");
     for (name, get) in [
-        ("EH2EH", (|s: &ComponentStats| s.eh2eh) as fn(&ComponentStats) -> u64),
+        (
+            "EH2EH",
+            (|s: &ComponentStats| s.eh2eh) as fn(&ComponentStats) -> u64,
+        ),
         ("E2L", |s| s.e2l),
         ("L2E", |s| s.l2e),
         ("H2L", |s| s.h2l),
@@ -45,8 +48,16 @@ fn main() {
         let (min, max) = (v[0], v[ranks - 1]);
         let avg = v.iter().sum::<u64>() as f64 / ranks as f64;
         let q = |p: f64| v[((ranks - 1) as f64 * p) as usize];
-        let spread = if min > 0 { max as f64 / min as f64 - 1.0 } else { f64::NAN };
-        let over = if avg > 0.0 { max as f64 / avg - 1.0 } else { f64::NAN };
+        let spread = if min > 0 {
+            max as f64 / min as f64 - 1.0
+        } else {
+            f64::NAN
+        };
+        let over = if avg > 0.0 {
+            max as f64 / avg - 1.0
+        } else {
+            f64::NAN
+        };
         println!(
             "  {name:<10} {min:>9}  {:>9}  {:>9}  {:>9}  {max:>9}   {:>7.1}%   {:>7.1}%",
             q(0.25),
@@ -65,6 +76,10 @@ fn main() {
     println!("\n  EH2EH per-partition CDF:");
     for pct in [0usize, 10, 25, 50, 75, 90, 100] {
         let idx = ((ranks - 1) * pct) / 100;
-        println!("    p{pct:<3} {:>9}  {}", eh[idx], bar(eh[idx] as f64, *eh.last().unwrap() as f64));
+        println!(
+            "    p{pct:<3} {:>9}  {}",
+            eh[idx],
+            bar(eh[idx] as f64, *eh.last().unwrap() as f64)
+        );
     }
 }

@@ -37,7 +37,10 @@ fn main() {
     println!("  6 CGs     {t6:>12.2}        58.6");
     println!();
     println!("  6CG/MPE speedup: {:>8.0}x   (paper: 1443x)", t6 / t_mpe);
-    println!("  6CG/1CG scaling: {:>8.2}x   (paper: 4.69x of ideal 6x — atomics)", t6 / t1);
+    println!(
+        "  6CG/1CG scaling: {:>8.2}x   (paper: 4.69x of ideal 6x — atomics)",
+        t6 / t1
+    );
     println!(
         "  memory-bandwidth utilization at 6 CGs: {:.1}%   (paper: 47.0%)",
         100.0 * 2.0 * t6 * 1e9 / machine.dma_bandwidth
@@ -47,7 +50,10 @@ fn main() {
     // LDM-capacity / DMA-efficiency compromise.
     println!("\n  buffer-size sweep (1 CG):");
     for buf in [128usize, 256, 512, 1024, 2048] {
-        let cfg = OcsConfig { buffer_bytes: buf, ..Default::default() };
+        let cfg = OcsConfig {
+            buffer_bytes: buf,
+            ..Default::default()
+        };
         let (_, r) = ocs_sort_rma(&machine, &cfg, &items, 256, 1, bucket);
         println!(
             "    {buf:>5} B buffers: {:>7.2} GB/s  (rma puts: {})",

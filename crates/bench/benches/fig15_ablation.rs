@@ -35,15 +35,18 @@ fn main() {
     let mut eh_pulls = Vec::new();
     for (name, engine) in configs {
         let cfg = run_config(scale, ranks, thresholds, engine, roots);
-        let report = sunbfs::driver::run_benchmark(&cfg);
+        let report = sunbfs::driver::run_benchmark(&cfg).expect("benchmark must pass");
         let times = report.total_times();
         // The paper's figure breaks down *kernel* time; communication is
         // Figure 11's axis. Keep the sub-iteration compute categories
         // plus a residual "Others" of everything else scaled out.
         let groups = group_by_phase_direction(&times);
         println!("--- {name} ({:.3} GTEPS) ---", report.harmonic_mean_gteps());
-        let kernel_only: Vec<(String, f64)> =
-            groups.iter().filter(|(n, _)| n != "Others").cloned().collect();
+        let kernel_only: Vec<(String, f64)> = groups
+            .iter()
+            .filter(|(n, _)| n != "Others")
+            .cloned()
+            .collect();
         print_percentages("kernel time breakdown", &kernel_only);
         println!();
         totals.push((name, times.total().as_secs()));

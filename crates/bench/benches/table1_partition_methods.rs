@@ -25,9 +25,18 @@ fn main() {
     let engine = EngineConfig::default();
     let rows: Vec<(&str, Thresholds)> = vec![
         ("vanilla 1D (no delegates)", Thresholds::none()),
-        ("1D with heavy delegates   [Checconi'14, Lin'16]", Thresholds::heavy_only(4096)),
-        ("2D                        [Ueno'15, Nakao'21]", Thresholds::all_hubs(1 << 24)),
-        ("degree-aware 1.5D         [this paper]", Thresholds::new(4096, 512)),
+        (
+            "1D with heavy delegates   [Checconi'14, Lin'16]",
+            Thresholds::heavy_only(4096),
+        ),
+        (
+            "2D                        [Ueno'15, Nakao'21]",
+            Thresholds::all_hubs(1 << 24),
+        ),
+        (
+            "degree-aware 1.5D         [this paper]",
+            Thresholds::new(4096, 512),
+        ),
     ];
 
     let mut results = Vec::new();
@@ -48,7 +57,11 @@ fn main() {
     let ours = results[3].1;
     println!();
     if ours >= one_d && ours >= two_d {
-        println!("  -> 1.5D wins over both baselines ({:.2}x over 1D+delegates, {:.2}x over 2D),", ours / one_d, ours / two_d);
+        println!(
+            "  -> 1.5D wins over both baselines ({:.2}x over 1D+delegates, {:.2}x over 2D),",
+            ours / one_d,
+            ours / two_d
+        );
         println!("     matching the paper's 1.75x over the best prior record.");
     } else {
         println!("  !! 1.5D did not win at this configuration — see EXPERIMENTS.md notes.");

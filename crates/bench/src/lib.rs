@@ -61,9 +61,15 @@ pub fn run_config(
 }
 
 /// Run and return the report, printing a one-line summary.
+///
+/// When `SUNBFS_BENCH_JSON` is set in the environment, the run is also
+/// exported through the driver's shared JSON record
+/// (`sunbfs::metrics`) as `BENCH_<scale>_<rows>x<cols>.json` — the same
+/// schema the `graph500_runner` `--json` flag writes, so figure
+/// harnesses and the driver report through one format.
 pub fn run_and_summarize(label: &str, cfg: &RunConfig) -> BenchmarkReport {
     let wall = std::time::Instant::now();
-    let report = run_benchmark(cfg);
+    let report = run_benchmark(cfg).unwrap_or_else(|e| panic!("[{label}] benchmark failed: {e}"));
     println!(
         "[{label}] SCALE {} on {} ranks: {:.3} GTEPS (harmonic over {} roots; wall {:.1?})",
         cfg.scale,
@@ -72,6 +78,13 @@ pub fn run_and_summarize(label: &str, cfg: &RunConfig) -> BenchmarkReport {
         report.runs.len(),
         wall.elapsed(),
     );
+    if std::env::var_os("SUNBFS_BENCH_JSON").is_some() {
+        let path = sunbfs::metrics::default_report_path(cfg.scale, cfg.mesh);
+        match sunbfs::metrics::write_report(&report, std::path::Path::new(&path)) {
+            Ok(()) => println!("[{label}] JSON report: {path}"),
+            Err(e) => eprintln!("[{label}] could not write {path}: {e}"),
+        }
+    }
     report
 }
 
@@ -82,8 +95,9 @@ pub fn group_by_subgraph(times: &TimeAccumulator) -> Vec<(String, f64)> {
     for (cat, secs) in times.entries() {
         let bucket = if cat.starts_with("reduce.") || cat.contains(".reduce.") {
             "reduce"
-        } else if let Some(comp) =
-            ["EH2EH", "E2L", "L2E", "H2L", "L2H", "L2L"].iter().find(|c| cat.contains(*c))
+        } else if let Some(comp) = ["EH2EH", "E2L", "L2E", "H2L", "L2H", "L2L"]
+            .iter()
+            .find(|c| cat.contains(*c))
         {
             comp
         } else {
@@ -92,7 +106,9 @@ pub fn group_by_subgraph(times: &TimeAccumulator) -> Vec<(String, f64)> {
         *groups.entry(bucket).or_insert(0.0) += secs;
     }
     // Paper's stacking order.
-    let order = ["EH2EH", "E2L", "L2E", "H2L", "L2H", "L2L", "reduce", "other"];
+    let order = [
+        "EH2EH", "E2L", "L2E", "H2L", "L2H", "L2L", "reduce", "other",
+    ];
     order
         .iter()
         .map(|&k| (k.to_string(), groups.get(k).copied().unwrap_or(0.0)))
@@ -118,8 +134,14 @@ pub fn group_by_commtype(times: &TimeAccumulator) -> Vec<(String, f64)> {
         };
         *groups.entry(bucket).or_insert(0.0) += secs;
     }
-    let order =
-        ["reduce_scatter", "allgather", "alltoallv", "imbalance/latency", "compute", "other"];
+    let order = [
+        "reduce_scatter",
+        "allgather",
+        "alltoallv",
+        "imbalance/latency",
+        "compute",
+        "other",
+    ];
     order
         .iter()
         .map(|&k| (k.to_string(), groups.get(k).copied().unwrap_or(0.0)))
@@ -160,7 +182,11 @@ pub fn print_percentages(title: &str, groups: &[(String, f64)]) {
     let total: f64 = groups.iter().map(|(_, s)| s).sum();
     println!("{title} (total {:.3} ms simulated):", total * 1e3);
     for (name, secs) in groups {
-        let pct = if total > 0.0 { 100.0 * secs / total } else { 0.0 };
+        let pct = if total > 0.0 {
+            100.0 * secs / total
+        } else {
+            0.0
+        };
         println!("  {name:<18} {pct:>6.1}%  {}", bar(pct, 50.0));
     }
 }

@@ -19,7 +19,10 @@ impl Bitmap {
     /// Create an all-zero bitmap capable of holding `bits` bits.
     pub fn new(bits: u64) -> Self {
         let nwords = bits.div_ceil(64) as usize;
-        Bitmap { bits, words: vec![0; nwords] }
+        Bitmap {
+            bits,
+            words: vec![0; nwords],
+        }
     }
 
     /// Number of bits this bitmap can hold.
@@ -144,13 +147,20 @@ impl Bitmap {
 
     /// Iterate over the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> OnesIter<'_> {
-        OnesIter { words: &self.words, bits: self.bits, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        OnesIter {
+            words: &self.words,
+            bits: self.bits,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Iterate over set-bit indices within `[start, end)`.
     pub fn iter_ones_range(&self, start: u64, end: u64) -> impl Iterator<Item = u64> + '_ {
         let end = end.min(self.bits);
-        self.iter_ones().skip_while(move |&i| i < start).take_while(move |&i| i < end)
+        self.iter_ones()
+            .skip_while(move |&i| i < start)
+            .take_while(move |&i| i < end)
     }
 }
 
@@ -269,7 +279,15 @@ mod tests {
         for i in (0..300).step_by(7) {
             b.set(i);
         }
-        for (lo, hi) in [(0u64, 300u64), (0, 0), (5, 5), (63, 65), (64, 128), (1, 299), (128, 300)] {
+        for (lo, hi) in [
+            (0u64, 300u64),
+            (0, 0),
+            (5, 5),
+            (63, 65),
+            (64, 128),
+            (1, 299),
+            (128, 300),
+        ] {
             let expect = b.iter_ones_range(lo, hi).count() as u64;
             assert_eq!(b.count_ones_range(lo, hi), expect, "range [{lo},{hi})");
         }

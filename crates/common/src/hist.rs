@@ -19,7 +19,10 @@ impl LogHistogram {
     /// Create an empty histogram with logarithmic `base` (must be > 1).
     pub fn new(base: f64) -> Self {
         assert!(base > 1.0, "histogram base must exceed 1");
-        LogHistogram { base, counts: Vec::new() }
+        LogHistogram {
+            base,
+            counts: Vec::new(),
+        }
     }
 
     /// Convenience: base-10 histogram matching the paper's Figure 2 axes.

@@ -1,0 +1,326 @@
+//! Minimal hand-rolled JSON serialization.
+//!
+//! The build container has no crates.io access, so `serde_json` is not
+//! an option; the observability layer only needs to *emit* JSON (never
+//! parse it), which this module covers with a small value tree.
+//!
+//! Object keys keep **insertion order** (a `Vec` of pairs, not a map):
+//! emitted reports are deterministic byte-for-byte, which the golden
+//! schema test relies on.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (counters, ids).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A finite float; non-finite values render as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object builder.
+    pub fn object() -> JsonObject {
+        JsonObject { fields: Vec::new() }
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    /// Render with 2-space indentation (human-readable reports).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(x) => {
+                let _ = write!(out, "{x}");
+            }
+            JsonValue::Int(x) => {
+                let _ = write!(out, "{x}");
+            }
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps round-trip precision and always
+                    // includes a decimal point or exponent.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_sep(out, indent);
+                    item.write(out, indent.map(|d| d + 1));
+                }
+                write_close(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_sep(out, indent);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent.map(|d| d + 1));
+                }
+                write_close(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_sep(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..=depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_close(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Fluent insertion-ordered object builder.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    /// Append a field (keys are kept in insertion order).
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Finish into a [`JsonValue::Object`].
+    pub fn build(self) -> JsonValue {
+        JsonValue::Object(self.fields)
+    }
+}
+
+impl From<JsonObject> for JsonValue {
+    fn from(o: JsonObject) -> JsonValue {
+        o.build()
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> JsonValue {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(x: u32) -> JsonValue {
+        JsonValue::UInt(x as u64)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(x: u64) -> JsonValue {
+        JsonValue::UInt(x)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(x: usize) -> JsonValue {
+        JsonValue::UInt(x as u64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(x: i64) -> JsonValue {
+        JsonValue::Int(x)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> JsonValue {
+        JsonValue::Float(x)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> JsonValue {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> JsonValue {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(items: Vec<JsonValue>) -> JsonValue {
+        JsonValue::Array(items)
+    }
+}
+
+/// Types that can serialize themselves into a [`JsonValue`].
+pub trait ToJson {
+    /// Convert into a JSON value tree.
+    fn to_json(&self) -> JsonValue;
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        self.as_slice().to_json()
+    }
+}
+
+impl ToJson for crate::SimTime {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Float(self.as_secs())
+    }
+}
+
+impl ToJson for crate::TimeAccumulator {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.entries()
+                .map(|(k, v)| (k.to_string(), JsonValue::Float(v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimTime, TimeAccumulator};
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::UInt(42).render(), "42");
+        assert_eq!(JsonValue::Int(-7).render(), "-7");
+        assert_eq!(JsonValue::Float(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(2.0).render(), "2.0");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\nd".into()).render(),
+            r#""a\"b\\c\nd""#
+        );
+        assert_eq!(JsonValue::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v = JsonValue::object()
+            .field("z", 1u64)
+            .field("a", 2u64)
+            .build();
+        assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let v = JsonValue::object()
+            .field("xs", vec![JsonValue::UInt(1), JsonValue::UInt(2)])
+            .field("inner", JsonValue::object().field("ok", true))
+            .build();
+        assert_eq!(v.render(), r#"{"xs":[1,2],"inner":{"ok":true}}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_is_valid_and_indented() {
+        let v = JsonValue::object()
+            .field("a", vec![JsonValue::UInt(1)])
+            .build();
+        let s = v.render_pretty();
+        assert!(s.contains("\n  \"a\": [\n    1\n  ]\n"), "got: {s}");
+    }
+
+    #[test]
+    fn simtime_and_accumulator_serialize() {
+        assert_eq!(SimTime::secs(0.25).to_json().render(), "0.25");
+        let mut acc = TimeAccumulator::new();
+        acc.add("b", SimTime::secs(2.0));
+        acc.add("a", SimTime::secs(1.0));
+        // BTreeMap entries: lexicographic, deterministic.
+        assert_eq!(acc.to_json().render(), r#"{"a":1.0,"b":2.0}"#);
+    }
+}

@@ -10,10 +10,13 @@
 //! * [`rng`] — a deterministic SplitMix64/xoshiro-style generator used in
 //!   hot paths where pulling in `rand` machinery would dominate,
 //! * [`timing`] — simulated-time accounting shared by the chip and
-//!   network cost models.
+//!   network cost models,
+//! * [`json`] — hand-rolled JSON emission for the observability layer
+//!   (the build environment has no crates.io access, so no serde).
 
 pub mod bitmap;
 pub mod hist;
+pub mod json;
 pub mod machine;
 pub mod rng;
 pub mod timing;
@@ -21,6 +24,7 @@ pub mod types;
 
 pub use bitmap::Bitmap;
 pub use hist::LogHistogram;
+pub use json::{JsonObject, JsonValue, ToJson};
 pub use machine::MachineConfig;
 pub use rng::{LabelScrambler, SplitMix64};
 pub use timing::{SimTime, TimeAccumulator};

@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn rma_beats_gld() {
         let m = MachineConfig::new_sunway();
-        assert!(m.rma_latency < m.gld_latency / 4.0, "RMA must be much faster than GLD");
+        assert!(
+            m.rma_latency < m.gld_latency / 4.0,
+            "RMA must be much faster than GLD"
+        );
     }
 
     #[test]

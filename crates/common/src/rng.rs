@@ -75,8 +75,8 @@ pub struct LabelScrambler {
 impl LabelScrambler {
     /// Scrambler for a `bits`-bit label space seeded by `seed`.
     pub fn new(bits: u32, seed: u64) -> Self {
-        assert!(bits >= 1 && bits <= 63, "label space must be 1..=63 bits");
-        let mut rng = SplitMix64::new(seed ^ 0x5ca1_ab1e_0ddb_a11);
+        assert!((1..=63).contains(&bits), "label space must be 1..=63 bits");
+        let mut rng = SplitMix64::new(seed ^ 0x05ca_1ab1_e0dd_ba11);
         // Multiplicative keys must be odd to be invertible mod 2^bits.
         let key0 = rng.next_u64() | 1;
         let key1 = rng.next_u64() | 1;
@@ -155,9 +155,7 @@ mod tests {
         let root = SplitMix64::new(5);
         let mut a = root.split(0);
         let mut b = root.split(1);
-        let overlap = (0..100)
-            .filter(|_| a.next_u64() == b.next_u64())
-            .count();
+        let overlap = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(overlap, 0);
     }
 

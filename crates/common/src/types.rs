@@ -34,7 +34,10 @@ impl Edge {
     /// The edge with endpoints swapped.
     #[inline]
     pub fn reversed(self) -> Self {
-        Edge { u: self.v, v: self.u }
+        Edge {
+            u: self.v,
+            v: self.u,
+        }
     }
 
     /// True if both endpoints coincide.
@@ -104,7 +107,10 @@ mod tests {
 
     #[test]
     fn header_counts_match_graph500_formulas() {
-        let h = GlobalGraphHeader { scale: 10, edge_factor: 16 };
+        let h = GlobalGraphHeader {
+            scale: 10,
+            edge_factor: 16,
+        };
         assert_eq!(h.num_vertices(), 1024);
         assert_eq!(h.num_edges(), 16 * 1024);
     }

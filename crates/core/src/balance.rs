@@ -21,7 +21,7 @@ pub fn vertex_cut_chunks(degrees: &[u64], parts: usize) -> Vec<usize> {
     for (i, &d) in degrees.iter().enumerate() {
         acc += d;
         // Close chunks whose edge quota `k * total / parts` we just passed.
-        while bounds.len() <= parts - 1 && acc * parts as u64 >= next_target * total && total > 0 {
+        while bounds.len() < parts && acc * parts as u64 >= next_target * total && total > 0 {
             bounds.push(i + 1);
             next_target += 1;
         }
@@ -51,7 +51,11 @@ pub fn max_chunk_edges_naive(degrees: &[u64], parts: usize) -> u64 {
         return 0;
     }
     let chunk = degrees.len().div_ceil(parts);
-    degrees.chunks(chunk).map(|c| c.iter().sum::<u64>()).max().unwrap_or(0)
+    degrees
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<u64>())
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -73,7 +77,7 @@ mod tests {
         // One super-hub followed by many light vertices: the naive cut
         // puts the hub plus a share of light vertices in chunk 0.
         let mut degs = vec![10_000u64];
-        degs.extend(std::iter::repeat(10).take(999));
+        degs.extend(std::iter::repeat_n(10, 999));
         let parts = 8;
         let aware = max_chunk_edges(&degs, parts);
         let naive = max_chunk_edges_naive(&degs, parts);
@@ -104,7 +108,10 @@ mod tests {
         let mut prev = u64::MAX;
         for parts in [1usize, 2, 4, 8, 16, 32] {
             let m = max_chunk_edges(&degs, parts);
-            assert!(m <= prev, "critical path grew from {prev} to {m} at {parts} parts");
+            assert!(
+                m <= prev,
+                "critical path grew from {prev} to {m} at {parts} parts"
+            );
             prev = m;
         }
     }

@@ -13,9 +13,10 @@
 //!   reflect the number of messages required to communicate".
 
 /// Traversal direction of one sub-iteration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Direction {
     /// Top-down: scan active sources, write destinations.
+    #[default]
     Push,
     /// Bottom-up: scan unvisited destinations, probe sources; early
     /// exit on first hit.
@@ -42,8 +43,14 @@ pub enum Component {
 
 impl Component {
     /// All components in execution order.
-    pub const ALL: [Component; 6] =
-        [Component::Eh2Eh, Component::E2L, Component::L2E, Component::H2L, Component::L2H, Component::L2L];
+    pub const ALL: [Component; 6] = [
+        Component::Eh2Eh,
+        Component::E2L,
+        Component::L2E,
+        Component::H2L,
+        Component::L2H,
+        Component::L2L,
+    ];
 
     /// Short name used in time-accounting categories.
     pub fn name(self) -> &'static str {
@@ -101,13 +108,20 @@ impl EngineConfig {
     /// The Figure 15 baseline: vanilla direction optimization, no
     /// segmenting.
     pub fn baseline() -> Self {
-        EngineConfig { sub_iteration: false, segmenting: false, ..Default::default() }
+        EngineConfig {
+            sub_iteration: false,
+            segmenting: false,
+            ..Default::default()
+        }
     }
 
     /// Baseline plus sub-iteration direction optimization (Figure 15
     /// middle bar).
     pub fn with_sub_iteration() -> Self {
-        EngineConfig { segmenting: false, ..Default::default() }
+        EngineConfig {
+            segmenting: false,
+            ..Default::default()
+        }
     }
 }
 

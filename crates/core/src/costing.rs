@@ -37,7 +37,12 @@ fn scan_time(m: &MachineConfig, edges: u64) -> SimTime {
 /// Charge an EH2EH push balanced by the edge-aware vertex cut: the
 /// critical path is the largest per-CPE edge chunk, plus the (small)
 /// frontier prefix-sum.
-pub fn charge_balanced_push(ctx: &mut RankCtx, category: &str, max_chunk_edges: u64, frontier: u64) {
+pub fn charge_balanced_push(
+    ctx: &mut RankCtx,
+    category: &str,
+    max_chunk_edges: u64,
+    frontier: u64,
+) {
     let m = *ctx.machine();
     let cpe = SimTime::secs(max_chunk_edges as f64 * SCAN_CYCLES / m.cpe_hz);
     let prefix = kernels::cpe_work(&m, frontier, 2.0, m.cgs_per_node);

@@ -31,7 +31,39 @@ use sunbfs_sunway::{ocs_sort_rma, OcsConfig, SegmentedBitvec};
 use crate::balance;
 use crate::config::{choose_crossing, choose_local, Direction, EngineConfig};
 use crate::costing;
-use crate::stats::{BfsRunStats, IterationStats};
+use crate::stats::{BfsRunStats, IterationStats, SubIterationStats};
+
+/// Iteration cap that converts a non-shrinking frontier (an engine bug)
+/// into a clean error instead of an unbounded loop.
+const MAX_ITERATIONS: u32 = 1_000;
+
+/// Errors one traversal can report. SPMD-consistent: the conditions are
+/// derived from replicated/global state, so every rank observes the
+/// same error on the same collective schedule (no deadlock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The frontier failed to drain within [`MAX_ITERATIONS`]
+    /// iterations — a BFS must terminate in at most `diameter` steps.
+    NonTermination {
+        /// Iterations executed before giving up.
+        iterations: u32,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NonTermination { iterations } => {
+                write!(
+                    f,
+                    "BFS failed to terminate within {iterations} iterations — engine bug"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Result of one traversal on one rank.
 #[derive(Clone, Debug)]
@@ -46,8 +78,44 @@ pub struct BfsOutput {
 /// Run one BFS from `root` over this rank's partition.
 ///
 /// SPMD: all ranks call with identical `root` and `cfg`.
-pub fn run_bfs(ctx: &mut RankCtx, part: &RankPartition, root: u64, cfg: &EngineConfig) -> BfsOutput {
+pub fn run_bfs(
+    ctx: &mut RankCtx,
+    part: &RankPartition,
+    root: u64,
+    cfg: &EngineConfig,
+) -> Result<BfsOutput, EngineError> {
     Engine::new(ctx, part, *cfg).run(ctx, root)
+}
+
+/// Row-then-column allreduce of hub bitmap words with a summed counter
+/// piggybacked as a trailing element — one collective pair instead of a
+/// bitmap sync plus a scalar collective. Returns the globally OR-ed
+/// words and the global sum of `local_count`.
+pub(crate) fn hub_sync_collective(
+    ctx: &mut RankCtx,
+    op: &str,
+    words: &[u64],
+    local_count: u64,
+) -> (Vec<u64>, u64) {
+    let nwords = words.len();
+    let mut payload = words.to_vec();
+    payload.push(local_count);
+    let combine = move |i: usize, a: &mut u64, b: &u64| if i < nwords { *a |= b } else { *a += b };
+    let payload = ctx.allreduce_with_indexed(Scope::Row, op, payload, None, combine);
+    let mut payload = ctx.allreduce_with_indexed(Scope::Col, op, payload, None, combine);
+    let count = payload[nwords];
+    payload.truncate(nwords);
+    (payload, count)
+}
+
+/// Coarse fixed-range bucket for the two-stage destination update:
+/// `offset ∈ [0, span)` maps into one of `ranges` buckets. When the
+/// owned span is smaller than `ranges`, several bucket indices go
+/// unused but every offset still lands in-bounds (the `min` clamp).
+#[inline]
+pub(crate) fn range_bucket(offset: u64, span: u64, ranges: u64) -> usize {
+    debug_assert!(offset < span);
+    ((offset * ranges / span) as usize).min(ranges as usize - 1)
 }
 
 struct Engine<'a> {
@@ -75,6 +143,12 @@ struct Engine<'a> {
     cols: usize,
     // Scratch counters.
     scanned: u64,
+    /// Per-sub-iteration scratch for the current iteration
+    /// ([`crate::config::Component::ALL`] order).
+    sub_stats: [SubIterationStats; 6],
+    /// Index of the sub-iteration currently executing (attributes
+    /// scanned edges and OCS kernel work to the right slot).
+    cur_sub: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -130,12 +204,15 @@ impl<'a> Engine<'a> {
             rows: topo.shape().rows,
             cols: topo.shape().cols,
             scanned: 0,
+            sub_stats: Default::default(),
+            cur_sub: 0,
         }
     }
 
-    fn run(mut self, ctx: &mut RankCtx, root: u64) -> BfsOutput {
+    fn run(mut self, ctx: &mut RankCtx, root: u64) -> Result<BfsOutput, EngineError> {
         let t_start = ctx.now();
         let acc_start = ctx.accumulator().clone();
+        let comm_start = ctx.comm_stats().clone();
         let dir = &self.part.directory;
         let range = self.part.owned_range();
 
@@ -168,7 +245,10 @@ impl<'a> Engine<'a> {
         let mut visited_l: u64 = root_is_l as u64;
         loop {
             iter += 1;
-            let mut st = IterationStats { iter, ..Default::default() };
+            let mut st = IterationStats {
+                iter,
+                ..Default::default()
+            };
 
             // ---- per-class counts for the heuristics ----
             let num_e = dir.num_e() as u64;
@@ -183,17 +263,20 @@ impl<'a> Engine<'a> {
 
             // ---- sub-iterations, §4.2 order ----
             self.scanned = 0;
+            self.sub_stats = Default::default();
+            self.cur_sub = 0;
             self.eh2eh(ctx, dirs[0]);
             self.sync_hubs(ctx, "EH2EH", None);
 
+            self.cur_sub = 1;
             self.e2l(ctx, dirs[1]);
+            self.cur_sub = 2;
             self.l2e(ctx, dirs[2]);
             // "The direction selection procedure uses the latest
             // unvisited count ... after the previous is done": the
             // refreshed global L-visited count rides on the L2E hub
             // sync (row sum then column sum = global sum).
-            let refreshed =
-                self.sync_hubs(ctx, "L2E", Some(self.l_visited.count_ones()));
+            let refreshed = self.sync_hubs(ctx, "L2E", Some(self.l_visited.count_ones()));
 
             let (d_h2l, d_l2l) = if self.cfg.sub_iteration {
                 // Fall back to one scalar collective only when there is
@@ -225,13 +308,24 @@ impl<'a> Engine<'a> {
             final_dirs[3] = d_h2l;
             final_dirs[5] = d_l2l;
 
+            self.cur_sub = 3;
             self.h2l(ctx, d_h2l);
+            self.cur_sub = 4;
             self.l2h(ctx, dirs[4]);
             self.sync_hubs(ctx, "L2H", None);
+            self.cur_sub = 5;
             self.l2l(ctx, d_l2l);
 
             st.directions = final_dirs;
             st.scanned_edges = self.scanned;
+            for (slot, d) in self.sub_stats.iter_mut().zip(final_dirs) {
+                slot.direction = d;
+            }
+            // H2L/L2L decisions were re-derived mid-iteration from the
+            // piggybacked visited count (sub-iteration mode only).
+            self.sub_stats[3].refreshed = self.cfg.sub_iteration;
+            self.sub_stats[5].refreshed = self.cfg.sub_iteration;
+            st.subs = self.sub_stats;
 
             // ---- closing allreduce: next-frontier L count + visited L
             // count; doubles as the termination check (hub state is
@@ -258,8 +352,10 @@ impl<'a> Engine<'a> {
             if self.hub_curr.is_zero() && active_l == 0 {
                 break;
             }
-            if iter > 1_000 {
-                panic!("BFS failed to terminate within 1000 iterations — engine bug");
+            if iter > MAX_ITERATIONS {
+                // Replicated termination state: every rank takes this
+                // branch on the same iteration.
+                return Err(EngineError::NonTermination { iterations: iter });
             }
         }
 
@@ -302,8 +398,9 @@ impl<'a> Engine<'a> {
             visited_vertices: totals[1],
             sim_seconds: (ctx.now() - t_start).as_secs(),
             times: ctx.accumulator().diff(&acc_start),
+            comm: ctx.comm_stats().diff(&comm_start),
         };
-        BfsOutput { parents, stats }
+        Ok(BfsOutput { parents, stats })
     }
 
     /// Initial per-iteration direction choices (H2L/L2L may be refreshed
@@ -327,8 +424,7 @@ impl<'a> Engine<'a> {
         let num_h = dir.num_h() as u64;
         let nh = num_e + num_h;
         let unvisited_l = self.total_l_connected.saturating_sub(visited_l);
-        let unvisited_h =
-            num_h - self.hub_visited.count_ones_range(num_e, nh);
+        let unvisited_h = num_h - self.hub_visited.count_ones_range(num_e, nh);
         [
             // EH2EH: node-local, source class E∪H.
             choose_local(cfg, st.active_e + st.active_h, nh),
@@ -341,7 +437,13 @@ impl<'a> Engine<'a> {
             // L2H: crossing, L → H.
             choose_crossing(cfg, st.active_l, self.total_l_connected, unvisited_h, num_h),
             // L2L: crossing, L → L.
-            choose_crossing(cfg, st.active_l, self.total_l_connected, unvisited_l, self.total_l_connected),
+            choose_crossing(
+                cfg,
+                st.active_l,
+                self.total_l_connected,
+                unvisited_l,
+                self.total_l_connected,
+            ),
         ]
     }
 
@@ -356,19 +458,13 @@ impl<'a> Engine<'a> {
     /// refresh without a dedicated scalar collective. Returns `None`
     /// when there are no hubs (no sync happens).
     fn sync_hubs(&mut self, ctx: &mut RankCtx, tag: &str, local_count: Option<u64>) -> Option<u64> {
-        if self.hub_update.len() == 0 {
+        if self.hub_update.is_empty() {
             return None;
         }
         let op = format!("hubsync.{tag}");
-        let nwords = self.hub_update.words().len();
-        let mut payload = self.hub_update.words().to_vec();
-        payload.push(local_count.unwrap_or(0));
-        let combine =
-            move |i: usize, a: &mut u64, b: &u64| if i < nwords { *a |= b } else { *a += b };
-        let payload = ctx.allreduce_with_indexed(Scope::Row, &op, payload, None, combine);
-        let payload = ctx.allreduce_with_indexed(Scope::Col, &op, payload, None, combine);
-        let count = payload[nwords];
-        self.hub_update.words_mut().copy_from_slice(&payload[..nwords]);
+        let (words, count) =
+            hub_sync_collective(ctx, &op, self.hub_update.words(), local_count.unwrap_or(0));
+        self.hub_update.words_mut().copy_from_slice(&words);
         // newly = update \ visited → next frontier.
         let mut newly = self.hub_update.clone();
         newly.and_not_assign(&self.hub_visited);
@@ -376,6 +472,21 @@ impl<'a> Engine<'a> {
         self.hub_visited.or_assign(&self.hub_update);
         self.hub_update.clear();
         local_count.map(|_| count)
+    }
+
+    /// Attribute `edges` scanned to the current sub-iteration and the
+    /// iteration total.
+    #[inline]
+    fn note_edges(&mut self, edges: u64) {
+        self.scanned += edges;
+        self.sub_stats[self.cur_sub].scanned_edges += edges;
+    }
+
+    /// Attribute one OCS kernel's work to the current sub-iteration
+    /// (times and counters sum across the sub-iteration's sorts).
+    #[inline]
+    fn note_kernel(&mut self, report: &sunbfs_sunway::KernelReport) {
+        self.sub_stats[self.cur_sub].kernel.join_serial(report);
     }
 
     /// Record a locally discovered hub (delegate-local parent).
@@ -435,7 +546,7 @@ impl<'a> Engine<'a> {
                         self.discover_hub(dst, parent);
                     }
                 }
-                self.scanned += edges;
+                self.note_edges(edges);
                 costing::charge_balanced_push(
                     ctx,
                     "sub.EH2EH.push",
@@ -491,7 +602,7 @@ impl<'a> Engine<'a> {
                     }
                     dst += self.rows as u64;
                 }
-                self.scanned += edges;
+                self.note_edges(edges);
                 costing::charge_eh_pull(ctx, "sub.EH2EH.pull", edges, &probes, self.cfg.segmenting);
             }
         }
@@ -541,7 +652,7 @@ impl<'a> Engine<'a> {
                 costing::charge_scan(ctx, "sub.E2L.pull", edges);
             }
         }
-        self.scanned += edges;
+        self.note_edges(edges);
     }
 
     // ---------------------------------------------------------------
@@ -590,7 +701,7 @@ impl<'a> Engine<'a> {
                 costing::charge_scan(ctx, "sub.L2E.pull", edges);
             }
         }
-        self.scanned += edges;
+        self.note_edges(edges);
     }
 
     // ---------------------------------------------------------------
@@ -630,9 +741,7 @@ impl<'a> Engine<'a> {
                 let row_visited = self.gather_row_visited(ctx);
                 let row_range = part.row_range(&topo);
                 for l in row_range.clone() {
-                    if part.h2l_by_local.degree(l) == 0
-                        || row_visited.get(l - row_range.start)
-                    {
+                    if part.h2l_by_local.degree(l) == 0 || row_visited.get(l - row_range.start) {
                         continue;
                     }
                     for &h in part.h2l_by_local.neighbors(l) {
@@ -647,7 +756,7 @@ impl<'a> Engine<'a> {
                 self.exchange_and_apply_row(ctx, msgs, "H2L", "sub.H2L.pull");
             }
         }
-        self.scanned += edges;
+        self.note_edges(edges);
     }
 
     /// Bucket `(dest L, parent)` messages by destination column with
@@ -672,8 +781,8 @@ impl<'a> Engine<'a> {
             |&(l, _)| topo.col_of(dist.owner(l)),
         );
         ctx.charge(cost_category, report.time);
-        let received =
-            ctx.alltoallv(Scope::Row, &format!("comm.alltoallv.{comm_tag}"), buckets);
+        self.note_kernel(&report);
+        let received = ctx.alltoallv(Scope::Row, &format!("comm.alltoallv.{comm_tag}"), buckets);
         let msgs: Vec<(u64, u64)> = received.into_iter().flatten().collect();
         self.apply_l_messages(ctx, msgs, cost_category);
     }
@@ -696,9 +805,10 @@ impl<'a> Engine<'a> {
             &msgs,
             ranges as usize,
             machine.cgs_per_node,
-            |&(l, _)| (((l - range.start) * ranges / span) as usize).min(ranges as usize - 1),
+            |&(l, _)| range_bucket(l - range.start, span, ranges),
         );
         ctx.charge(category, report.time);
+        self.note_kernel(&report);
         for bucket in buckets {
             for (l, parent) in bucket {
                 self.discover_local(l - range.start, parent);
@@ -776,7 +886,7 @@ impl<'a> Engine<'a> {
                 costing::charge_scan(ctx, "sub.L2H.pull", edges);
             }
         }
-        self.scanned += edges;
+        self.note_edges(edges);
     }
 
     // ---------------------------------------------------------------
@@ -819,6 +929,7 @@ impl<'a> Engine<'a> {
                     |&(v, _)| topo.row_of(dist.owner(v)),
                 );
                 ctx.charge("sub.L2L.push", rep1.time);
+                self.note_kernel(&rep1);
                 let forwarded: Vec<(u64, u64)> = ctx
                     .alltoallv(Scope::Col, "comm.alltoallv.L2L", col_buckets)
                     .into_iter()
@@ -835,6 +946,7 @@ impl<'a> Engine<'a> {
                     |&(v, _)| topo.col_of(dist.owner(v)),
                 );
                 ctx.charge("sub.L2L.push", rep2.time);
+                self.note_kernel(&rep2);
                 let received = ctx.alltoallv(Scope::Row, "comm.alltoallv.L2L", row_buckets);
                 let msgs: Vec<(u64, u64)> = received.into_iter().flatten().collect();
                 self.apply_l_messages(ctx, msgs, "sub.L2L.push");
@@ -874,6 +986,100 @@ impl<'a> Engine<'a> {
                 self.apply_l_messages(ctx, msgs, "sub.L2L.pull");
             }
         }
-        self.scanned += edges;
+        self.note_edges(edges);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunbfs_common::MachineConfig;
+    use sunbfs_net::{Cluster, CommOpStats, MeshShape};
+
+    #[test]
+    fn range_bucket_in_bounds_for_spans_below_ranges() {
+        // The fixed 32-range coarse sort must stay in-bounds even when
+        // a rank owns fewer than 32 vertices.
+        for span in 1..32u64 {
+            for offset in 0..span {
+                let b = range_bucket(offset, span, 32);
+                assert!(b < 32, "span {span} offset {offset} -> bucket {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_bucket_is_monotone_and_covers_all_ranges() {
+        for span in [1u64, 5, 31, 32, 33, 100, 1 << 20] {
+            let mut prev = 0usize;
+            for offset in 0..span.min(4096) {
+                let b = range_bucket(offset, span, 32);
+                assert!(b >= prev, "bucket must not decrease along the span");
+                prev = b;
+            }
+            if (32..=4096).contains(&span) {
+                let used: std::collections::BTreeSet<usize> =
+                    (0..span).map(|o| range_bucket(o, span, 32)).collect();
+                assert_eq!(used.len(), 32, "span {span} must use all 32 ranges");
+            }
+        }
+    }
+
+    #[test]
+    fn piggybacked_counter_sums_globally() {
+        // The sync_hubs payload: bitmap words OR-reduced, the trailing
+        // counter summed — row hop then column hop gives the global sum
+        // and the global union on every rank.
+        let c = Cluster::new(MeshShape::new(2, 3), MachineConfig::new_sunway());
+        let out = c.run(|ctx| {
+            let mut words = vec![0u64; 2];
+            words[0] |= 1 << ctx.rank();
+            hub_sync_collective(ctx, "hubsync.test", &words, ctx.rank() as u64 + 1)
+        });
+        let union: u64 = (0..6).map(|r| 1u64 << r).sum();
+        for (words, count) in out {
+            assert_eq!(count, 21, "sum over ranks of rank+1 for 6 ranks");
+            assert_eq!(words, vec![union, 0]);
+        }
+    }
+
+    #[test]
+    fn piggybacked_counter_rides_the_bitmap_collective() {
+        // One row + one column collective carry words AND counter: no
+        // extra scalar allreduce appears, and each payload is exactly
+        // nwords+1 u64s.
+        let c = Cluster::new(MeshShape::new(2, 2), MachineConfig::new_sunway());
+        let out = c.run(|ctx| {
+            let words = vec![0u64; 4];
+            hub_sync_collective(ctx, "hubsync.t", &words, 7);
+            ctx.take_comm_stats()
+        });
+        for stats in out {
+            assert_eq!(
+                stats.get(Scope::Row, "hubsync.t"),
+                CommOpStats {
+                    count: 1,
+                    bytes: 40
+                }
+            );
+            assert_eq!(
+                stats.get(Scope::Col, "hubsync.t"),
+                CommOpStats {
+                    count: 1,
+                    bytes: 40
+                }
+            );
+            assert_eq!(
+                stats.total_with_prefix("world/").count,
+                0,
+                "no world-scope fallback"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_error_formats() {
+        let e = EngineError::NonTermination { iterations: 1001 };
+        assert!(e.to_string().contains("1001 iterations"));
     }
 }

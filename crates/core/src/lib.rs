@@ -26,6 +26,6 @@ pub mod stats;
 pub mod validate;
 
 pub use config::{Component, Direction, EngineConfig};
-pub use engine::{run_bfs, BfsOutput};
-pub use stats::{BfsRunStats, IterationStats};
+pub use engine::{run_bfs, BfsOutput, EngineError};
+pub use stats::{BfsRunStats, IterationStats, SubIterationStats};
 pub use validate::{reference_bfs, validate_parents, ValidationError};

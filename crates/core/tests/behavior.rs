@@ -26,7 +26,7 @@ fn rmat_outputs(
     cluster.run(|ctx| {
         let chunk = sunbfs_rmat::generate_chunk(&params, ctx.rank() as u64, ranks as u64);
         let part = build_1p5d(ctx, n, &chunk, th);
-        run_bfs(ctx, &part, root, &cfg)
+        run_bfs(ctx, &part, root, &cfg).expect("BFS must terminate")
     })
 }
 
@@ -47,7 +47,10 @@ fn eh2eh_pulls_before_l2l_does() {
     let eh = first_pull(0);
     let l2l = first_pull(5);
     assert!(eh <= l2l, "EH2EH first pulled at {eh}, after L2L at {l2l}");
-    assert!(eh != u32::MAX, "the dense R-MAT core must trigger an EH2EH pull");
+    assert!(
+        eh != u32::MAX,
+        "the dense R-MAT core must trigger an EH2EH pull"
+    );
 }
 
 #[test]
@@ -80,10 +83,14 @@ fn iteration_stats_are_replicated_consistently() {
 #[test]
 fn segmenting_changes_time_not_results() {
     let th = Thresholds::new(256, 32);
-    let mut with = EngineConfig::default();
-    with.segmenting = true;
-    let mut without = EngineConfig::default();
-    without.segmenting = false;
+    let with = EngineConfig {
+        segmenting: true,
+        ..Default::default()
+    };
+    let without = EngineConfig {
+        segmenting: false,
+        ..Default::default()
+    };
 
     let a = rmat_outputs(13, 9, th, with);
     let b = rmat_outputs(13, 9, th, without);
@@ -94,7 +101,9 @@ fn segmenting_changes_time_not_results() {
     // ...but the segmented pull kernel must be cheaper whenever the
     // engine actually pulled EH2EH.
     let pull_time = |outs: &[sunbfs_core::BfsOutput]| -> f64 {
-        outs.iter().map(|o| o.stats.times.total_with_prefix("sub.EH2EH.pull").as_secs()).sum()
+        outs.iter()
+            .map(|o| o.stats.times.total_with_prefix("sub.EH2EH.pull").as_secs())
+            .sum()
     };
     let (ta, tb) = (pull_time(&a), pull_time(&b));
     if tb > 0.0 {
@@ -116,7 +125,10 @@ fn gteps_counts_only_component_edges() {
     let mut edges = Vec::new();
     for _ in 0..400 {
         edges.push(Edge::new(rng.next_below(n / 2), rng.next_below(n / 2)));
-        edges.push(Edge::new(n / 2 + rng.next_below(n / 2), n / 2 + rng.next_below(n / 2)));
+        edges.push(Edge::new(
+            n / 2 + rng.next_below(n / 2),
+            n / 2 + rng.next_below(n / 2),
+        ));
     }
     let cluster = Cluster::new(MeshShape::new(2, 2), MachineConfig::new_sunway());
     let outs = cluster.run(|ctx| {
@@ -127,7 +139,7 @@ fn gteps_counts_only_component_edges() {
             .map(|(_, e)| *e)
             .collect();
         let part = build_1p5d(ctx, n, &chunk, Thresholds::new(64, 16));
-        run_bfs(ctx, &part, 0, &EngineConfig::default())
+        run_bfs(ctx, &part, 0, &EngineConfig::default()).expect("BFS must terminate")
     });
     let traversed = outs[0].stats.traversed_edges;
     let total = edges.len() as u64;

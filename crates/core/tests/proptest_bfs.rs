@@ -30,9 +30,12 @@ fn bfs_levels(
             .map(|(_, e)| *e)
             .collect();
         let part = build_1p5d(ctx, n, &chunk, th);
-        run_bfs(ctx, &part, root, cfg)
+        run_bfs(ctx, &part, root, cfg).expect("BFS must terminate")
     });
-    let parents: Vec<u64> = outputs.iter().flat_map(|o| o.parents.iter().copied()).collect();
+    let parents: Vec<u64> = outputs
+        .iter()
+        .flat_map(|o| o.parents.iter().copied())
+        .collect();
     validate_parents(n, edges, root, &parents).expect("Graph 500 validation failed");
     levels_from_parents(root, &parents).expect("level derivation failed")
 }

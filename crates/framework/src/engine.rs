@@ -89,8 +89,9 @@ pub fn run_program<P: VertexProgram>(
     }
 
     // ---- state ----
-    let mut hub_values: Vec<P::Value> =
-        (0..nh as u32).map(|h| program.init(dir.vertex_of(h), dir.degree_of(h))).collect();
+    let mut hub_values: Vec<P::Value> = (0..nh as u32)
+        .map(|h| program.init(dir.vertex_of(h), dir.degree_of(h)))
+        .collect();
     let mut l_values: Vec<P::Value> = (0..local_n)
         .map(|i| {
             let v = range.start + i as u64;
@@ -116,7 +117,10 @@ pub fn run_program<P: VertexProgram>(
     let machine = *ctx.machine();
     loop {
         round += 1;
-        let mut rs = RoundStats { round, ..Default::default() };
+        let mut rs = RoundStats {
+            round,
+            ..Default::default()
+        };
         let active_l = ctx.allreduce_sum(Scope::World, "fw.active", l_active.count_ones());
         rs.active = hub_active.count_ones() + active_l;
         if rs.active == 0 {
@@ -139,7 +143,10 @@ pub fn run_program<P: VertexProgram>(
         };
 
         // EH2EH: hub → hub, my column's source slice.
-        for u in hub_active.iter_ones().filter(|&u| u % cols as u64 == my_col as u64) {
+        for u in hub_active
+            .iter_ones()
+            .filter(|&u| u % cols as u64 == my_col as u64)
+        {
             let uv = dir.vertex_of(u as u32);
             let value = hub_values[u as usize].clone();
             for &v in part.eh_by_src.neighbors(u) {

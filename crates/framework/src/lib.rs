@@ -67,8 +67,12 @@ pub trait VertexProgram: Sync {
     fn initially_active(&self, v: VertexId) -> bool;
 
     /// Produce the message `src` sends along edge `(src, dst)`, if any.
-    fn scatter(&self, src_value: &Self::Value, src: VertexId, dst: VertexId)
-        -> Option<Self::Message>;
+    fn scatter(
+        &self,
+        src_value: &Self::Value,
+        src: VertexId,
+        dst: VertexId,
+    ) -> Option<Self::Message>;
 
     /// Fold `b` into `a` (associative + commutative).
     fn combine(&self, a: &mut Self::Message, b: Self::Message);

@@ -41,7 +41,13 @@ impl VertexProgram for Bfs {
     type Message = VertexId; // proposed parent
 
     fn init(&self, v: VertexId, _degree: u32) -> BfsValue {
-        BfsValue { parent: if v == self.root { self.root } else { INVALID_VERTEX } }
+        BfsValue {
+            parent: if v == self.root {
+                self.root
+            } else {
+                INVALID_VERTEX
+            },
+        }
     }
 
     fn initially_active(&self, v: VertexId) -> bool {
@@ -107,7 +113,10 @@ impl VertexProgram for ShortestPaths {
         if v == self.root {
             SsspValue { dist: 0, parent: v }
         } else {
-            SsspValue { dist: u64::MAX, parent: INVALID_VERTEX }
+            SsspValue {
+                dist: u64::MAX,
+                parent: INVALID_VERTEX,
+            }
         }
     }
 
@@ -117,7 +126,10 @@ impl VertexProgram for ShortestPaths {
 
     fn scatter(&self, value: &SsspValue, src: VertexId, dst: VertexId) -> Option<SsspMessage> {
         debug_assert_ne!(value.dist, u64::MAX, "inactive vertex scattered");
-        Some(SsspMessage { dist: value.dist + edge_weight(src, dst, self.weight_seed), parent: src })
+        Some(SsspMessage {
+            dist: value.dist + edge_weight(src, dst, self.weight_seed),
+            parent: src,
+        })
     }
 
     fn combine(&self, a: &mut SsspMessage, b: SsspMessage) {
@@ -196,7 +208,11 @@ pub struct PageRank {
 impl PageRank {
     /// The standard configuration.
     pub fn new(num_vertices: u64, iterations: u32) -> Self {
-        PageRank { damping: 0.85, iterations, num_vertices }
+        PageRank {
+            damping: 0.85,
+            iterations,
+            num_vertices,
+        }
     }
 }
 
@@ -214,7 +230,10 @@ impl VertexProgram for PageRank {
     type Message = f64; // summed neighbor contributions
 
     fn init(&self, _v: VertexId, degree: u32) -> RankValue {
-        RankValue { rank: 1.0 / self.num_vertices as f64, degree }
+        RankValue {
+            rank: 1.0 / self.num_vertices as f64,
+            degree,
+        }
     }
 
     fn initially_active(&self, _v: VertexId) -> bool {
@@ -263,7 +282,9 @@ mod tests {
     #[test]
     fn bfs_apply_first_wins() {
         let p = Bfs { root: 0 };
-        let mut v = BfsValue { parent: INVALID_VERTEX };
+        let mut v = BfsValue {
+            parent: INVALID_VERTEX,
+        };
         assert!(p.apply(1, &mut v, 7));
         assert!(!p.apply(1, &mut v, 3));
         assert_eq!(v.parent, 7);
@@ -271,9 +292,21 @@ mod tests {
 
     #[test]
     fn sssp_combine_total_order() {
-        let p = ShortestPaths { root: 0, weight_seed: 1 };
-        let mut a = SsspMessage { dist: 10, parent: 5 };
-        p.combine(&mut a, SsspMessage { dist: 10, parent: 3 });
+        let p = ShortestPaths {
+            root: 0,
+            weight_seed: 1,
+        };
+        let mut a = SsspMessage {
+            dist: 10,
+            parent: 5,
+        };
+        p.combine(
+            &mut a,
+            SsspMessage {
+                dist: 10,
+                parent: 3,
+            },
+        );
         assert_eq!(a.parent, 3, "equal distance ties break by parent");
         p.combine(&mut a, SsspMessage { dist: 2, parent: 9 });
         assert_eq!(a.dist, 2);
@@ -281,10 +314,30 @@ mod tests {
 
     #[test]
     fn sssp_apply_only_improves() {
-        let p = ShortestPaths { root: 0, weight_seed: 1 };
-        let mut v = SsspValue { dist: 100, parent: 1 };
-        assert!(!p.apply(2, &mut v, SsspMessage { dist: 100, parent: 9 }));
-        assert!(p.apply(2, &mut v, SsspMessage { dist: 50, parent: 9 }));
+        let p = ShortestPaths {
+            root: 0,
+            weight_seed: 1,
+        };
+        let mut v = SsspValue {
+            dist: 100,
+            parent: 1,
+        };
+        assert!(!p.apply(
+            2,
+            &mut v,
+            SsspMessage {
+                dist: 100,
+                parent: 9
+            }
+        ));
+        assert!(p.apply(
+            2,
+            &mut v,
+            SsspMessage {
+                dist: 50,
+                parent: 9
+            }
+        ));
         assert_eq!(v.dist, 50);
     }
 

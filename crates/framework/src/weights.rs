@@ -57,7 +57,9 @@ mod tests {
 
     #[test]
     fn seed_changes_weights() {
-        let same = (0..1000u64).filter(|&i| edge_weight(i, i + 1, 1) == edge_weight(i, i + 1, 2)).count();
+        let same = (0..1000u64)
+            .filter(|&i| edge_weight(i, i + 1, 1) == edge_weight(i, i + 1, 2))
+            .count();
         assert!(same < 10);
     }
 
@@ -66,6 +68,9 @@ mod tests {
         let n = 100_000u64;
         let mean: f64 = (0..n).map(|i| edge_weight(i, i + 7, 9) as f64).sum::<f64>() / n as f64;
         let expect = (MAX_WEIGHT as f64 + 1.0) / 2.0;
-        assert!((mean - expect).abs() / expect < 0.02, "mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "mean {mean} vs {expect}"
+        );
     }
 }

@@ -15,14 +15,25 @@ fn skewed_graph(n: u64, m: usize, seed: u64) -> Vec<Edge> {
     let mut rng = SplitMix64::new(seed);
     (0..m)
         .map(|_| {
-            let u = if rng.next_below(3) == 0 { rng.next_below(4) } else { rng.next_below(n) };
+            let u = if rng.next_below(3) == 0 {
+                rng.next_below(4)
+            } else {
+                rng.next_below(n)
+            };
             Edge::new(u, rng.next_below(n))
         })
         .collect()
 }
 
 /// Run a program over a cluster and stitch the owned values in rank order.
-fn run_over<P>(rows: usize, cols: usize, n: u64, edges: &[Edge], th: Thresholds, program: P) -> Vec<P::Value>
+fn run_over<P>(
+    rows: usize,
+    cols: usize,
+    n: u64,
+    edges: &[Edge],
+    th: Thresholds,
+    program: P,
+) -> Vec<P::Value>
 where
     P: sunbfs_framework::VertexProgram + Copy + Send,
 {
@@ -106,11 +117,28 @@ fn sssp_matches_dijkstra_exactly() {
     let edges = skewed_graph(n, 1200, 3);
     let root = edges[0].u;
     let seed = 99;
-    for th in [Thresholds::new(80, 16), Thresholds::none(), Thresholds::all_hubs(1 << 20)] {
-        let values = run_over(2, 2, n, &edges, th, ShortestPaths { root, weight_seed: seed });
+    for th in [
+        Thresholds::new(80, 16),
+        Thresholds::none(),
+        Thresholds::all_hubs(1 << 20),
+    ] {
+        let values = run_over(
+            2,
+            2,
+            n,
+            &edges,
+            th,
+            ShortestPaths {
+                root,
+                weight_seed: seed,
+            },
+        );
         let expect = dijkstra(n, &edges, root, seed);
         for v in 0..n as usize {
-            assert_eq!(values[v].dist, expect[v], "distance mismatch at {v} under {th:?}");
+            assert_eq!(
+                values[v].dist, expect[v],
+                "distance mismatch at {v} under {th:?}"
+            );
         }
         // Parents must be real relaxations: dist[v] = dist[p] + w(p, v).
         for v in 0..n as usize {
@@ -170,7 +198,14 @@ fn pagerank_matches_sequential_power_iteration() {
     canon.dedup();
     let edges = canon;
     let iters = 15;
-    let values = run_over(2, 2, n, &edges, Thresholds::new(60, 12), PageRank::new(n, iters));
+    let values = run_over(
+        2,
+        2,
+        n,
+        &edges,
+        Thresholds::new(60, 12),
+        PageRank::new(n, iters),
+    );
 
     // Sequential power iteration with the same conventions.
     let adj = adjacency(n, &edges);
@@ -210,7 +245,10 @@ fn pagerank_matches_sequential_power_iteration() {
     let mut sorted: Vec<f64> = values.iter().map(|v| v.rank).collect();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let hub_rank = values.iter().map(|v| v.rank).fold(0.0f64, f64::max);
-    assert!(hub_rank > sorted[n as usize / 2] * 3.0, "degree skew must show in ranks");
+    assert!(
+        hub_rank > sorted[n as usize / 2] * 3.0,
+        "degree skew must show in ranks"
+    );
 }
 
 #[test]

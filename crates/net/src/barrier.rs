@@ -7,7 +7,7 @@
 //! subsequent `wait` panic, so a single rank failure tears the run down
 //! deterministically instead of hanging the test suite.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 #[derive(Debug)]
 struct State {
@@ -26,12 +26,24 @@ pub struct PoisonBarrier {
 }
 
 impl PoisonBarrier {
+    /// Lock the state, ignoring std mutex poisoning: a rank that panics
+    /// while holding the lock poisons the std mutex, but this barrier
+    /// tracks failure through its own `poisoned` flag so teardown paths
+    /// (which must not panic again) can still make progress.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Barrier for `parties` participants (must be ≥ 1).
     pub fn new(parties: usize) -> Self {
         assert!(parties >= 1);
         PoisonBarrier {
             parties,
-            state: Mutex::new(State { count: 0, generation: 0, poisoned: false }),
+            state: Mutex::new(State {
+                count: 0,
+                generation: 0,
+                poisoned: false,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -46,7 +58,7 @@ impl PoisonBarrier {
     /// # Panics
     /// Panics if the barrier is (or becomes) poisoned.
     pub fn wait(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.lock_state();
         assert!(!st.poisoned, "cluster barrier poisoned: a rank panicked");
         st.count += 1;
         if st.count == self.parties {
@@ -57,7 +69,7 @@ impl PoisonBarrier {
         }
         let gen = st.generation;
         while st.generation == gen && !st.poisoned {
-            self.cv.wait(&mut st);
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         assert!(!st.poisoned, "cluster barrier poisoned: a rank panicked");
     }
@@ -65,14 +77,14 @@ impl PoisonBarrier {
     /// Poison the barrier, waking and failing all current and future
     /// waiters. Idempotent.
     pub fn poison(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.lock_state();
         st.poisoned = true;
         self.cv.notify_all();
     }
 
     /// True once poisoned.
     pub fn is_poisoned(&self) -> bool {
-        self.state.lock().poisoned
+        self.lock_state().poisoned
     }
 }
 
@@ -104,7 +116,9 @@ mod tests {
                         // barrier-delimited window.
                         assert_eq!(phase.load(Ordering::SeqCst), p);
                         b.wait();
-                        phase.compare_exchange(p, p + 1, Ordering::SeqCst, Ordering::SeqCst).ok();
+                        phase
+                            .compare_exchange(p, p + 1, Ordering::SeqCst, Ordering::SeqCst)
+                            .ok();
                         b.wait();
                     }
                 });

@@ -21,18 +21,25 @@
 //! of a deadlock.
 
 use std::any::Any;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use parking_lot::Mutex;
-use sunbfs_common::{Bitmap, MachineConfig, SimTime, TimeAccumulator};
+use sunbfs_common::{Bitmap, JsonValue, MachineConfig, SimTime, TimeAccumulator, ToJson};
 
 use crate::barrier::PoisonBarrier;
 use crate::cost::{self, Scope};
 use crate::topology::{MeshShape, Topology};
 
 type Payload = Arc<dyn Any + Send + Sync>;
+
+/// Lock a mutex, ignoring std poisoning: rank panics are contained by
+/// `catch_unwind` + barrier poisoning, so a poisoned mutex here only
+/// means some rank died — the teardown path must still proceed.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What one rank leaves at the rendezvous point.
 struct Deposit {
@@ -101,7 +108,15 @@ impl Cluster {
         let cols = (0..shape.cols)
             .map(|c| ScopeShared::new((0..shape.rows).map(|r| topo.rank_at(r, c)).collect()))
             .collect();
-        Cluster { shared: Arc::new(ClusterShared { topo, machine, world, rows, cols }) }
+        Cluster {
+            shared: Arc::new(ClusterShared {
+                topo,
+                machine,
+                world,
+                rows,
+                cols,
+            }),
+        }
     }
 
     /// The mesh topology.
@@ -137,21 +152,137 @@ impl Cluster {
                 s.spawn(move || {
                     let mut ctx = RankCtx::new(rank, shared);
                     match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
-                        Ok(v) => results.lock()[rank] = Some(v),
+                        Ok(v) => lock_ignore_poison(results)[rank] = Some(v),
                         Err(p) => {
                             ctx.shared.poison_all();
-                            panics.lock().push((rank, p));
+                            lock_ignore_poison(panics).push((rank, p));
                         }
                     }
                 });
             }
         });
-        let mut panics = panics.into_inner();
+        let mut panics = panics.into_inner().unwrap_or_else(PoisonError::into_inner);
         if !panics.is_empty() {
             panics.sort_by_key(|(r, _)| *r);
             resume_unwind(panics.remove(0).1);
         }
-        results.into_inner().into_iter().map(|v| v.expect("rank produced no result")).collect()
+        results
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|v| v.expect("rank produced no result"))
+            .collect()
+    }
+}
+
+/// Invocation count and payload bytes of one `(scope, op)` collective
+/// category on one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommOpStats {
+    /// Number of collective calls.
+    pub count: u64,
+    /// Bytes this rank contributed across those calls.
+    pub bytes: u64,
+}
+
+/// Per-scope collective call counts and byte volumes on one rank.
+///
+/// Keys are `"<scope>/<op>"` (`"row/hubsync.EH2EH"`,
+/// `"world/comm.alltoallv.L2L"`, ...), so the same op tag stays
+/// distinguishable between its row and column hops — the traffic split
+/// that decides what rides the supernode network versus the
+/// oversubscribed tree.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    ops: BTreeMap<String, CommOpStats>,
+}
+
+impl CommStats {
+    /// Empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one collective call of `op` on `scope` with `bytes` sent.
+    pub fn record(&mut self, scope: Scope, op: &str, bytes: u64) {
+        let key = format!("{}/{op}", scope_label(scope));
+        let e = self.ops.entry(key).or_default();
+        e.count += 1;
+        e.bytes += bytes;
+    }
+
+    /// Stats for one `(scope, op)` pair (zero when absent).
+    pub fn get(&self, scope: Scope, op: &str) -> CommOpStats {
+        self.ops
+            .get(&format!("{}/{op}", scope_label(scope)))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All `(key, stats)` pairs in lexicographic key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, CommOpStats)> {
+        self.ops.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Total calls and bytes for keys starting with `prefix`.
+    pub fn total_with_prefix(&self, prefix: &str) -> CommOpStats {
+        let mut total = CommOpStats::default();
+        for (k, v) in &self.ops {
+            if k.starts_with(prefix) {
+                total.count += v.count;
+                total.bytes += v.bytes;
+            }
+        }
+        total
+    }
+
+    /// Merge another rank's stats into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        for (k, v) in &other.ops {
+            let e = self.ops.entry(k.clone()).or_default();
+            e.count += v.count;
+            e.bytes += v.bytes;
+        }
+    }
+
+    /// Per-key difference `self - earlier` (used to isolate one phase
+    /// from a running recorder, mirroring [`TimeAccumulator::diff`]).
+    pub fn diff(&self, earlier: &CommStats) -> CommStats {
+        let mut out = CommStats::new();
+        for (k, v) in &self.ops {
+            let base = earlier.ops.get(k).copied().unwrap_or_default();
+            let d = CommOpStats {
+                count: v.count - base.count,
+                bytes: v.bytes - base.bytes,
+            };
+            if d != CommOpStats::default() {
+                out.ops.insert(k.clone(), d);
+            }
+        }
+        out
+    }
+}
+
+impl ToJson for CommStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.entries()
+                .map(|(k, v)| {
+                    let o = JsonValue::object()
+                        .field("count", v.count)
+                        .field("bytes", v.bytes);
+                    (k.to_string(), o.build())
+                })
+                .collect(),
+        )
+    }
+}
+
+fn scope_label(scope: Scope) -> &'static str {
+    match scope {
+        Scope::World => "world",
+        Scope::Row => "row",
+        Scope::Col => "col",
     }
 }
 
@@ -162,13 +293,21 @@ pub struct RankCtx {
     shared: Arc<ClusterShared>,
     clock: SimTime,
     acc: TimeAccumulator,
+    comm: CommStats,
     /// Per-scope-kind op sequence numbers (world/row/col).
     seqs: [u64; 3],
 }
 
 impl RankCtx {
     fn new(rank: usize, shared: Arc<ClusterShared>) -> Self {
-        RankCtx { rank, shared, clock: SimTime::ZERO, acc: TimeAccumulator::new(), seqs: [0; 3] }
+        RankCtx {
+            rank,
+            shared,
+            clock: SimTime::ZERO,
+            acc: TimeAccumulator::new(),
+            comm: CommStats::new(),
+            seqs: [0; 3],
+        }
     }
 
     /// This rank's id.
@@ -230,6 +369,16 @@ impl RankCtx {
         std::mem::take(&mut self.acc)
     }
 
+    /// Read-only view of this rank's per-scope collective counters.
+    pub fn comm_stats(&self) -> &CommStats {
+        &self.comm
+    }
+
+    /// Take the collective counters (for returning from the rank closure).
+    pub fn take_comm_stats(&mut self) -> CommStats {
+        std::mem::take(&mut self.comm)
+    }
+
     fn scope_shared(&self, scope: Scope) -> (&ScopeShared, usize, usize) {
         // (shared, my position, seq index)
         match scope {
@@ -249,6 +398,7 @@ impl RankCtx {
     ///
     /// Returns `(payloads, bytes, volumes, entry-clock max)` in scope
     /// position order.
+    #[allow(clippy::type_complexity)]
     fn exchange<T: Send + Sync + 'static>(
         &mut self,
         scope: Scope,
@@ -264,6 +414,7 @@ impl RankCtx {
         };
         let seq = self.seqs[seq_idx];
         self.seqs[seq_idx] += 1;
+        self.comm.record(scope, op, bytes);
         let tag = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ fnv1a(op.as_bytes());
         let shared = Arc::clone(&self.shared);
         let ss = match scope {
@@ -275,7 +426,12 @@ impl RankCtx {
         debug_assert_eq!(ss.members[pos], self.rank);
 
         ss.clocks[pos].store(self.clock.as_secs().to_bits(), Ordering::Release);
-        *ss.slots[pos].lock() = Some(Deposit { tag, bytes, volumes, payload: Arc::new(payload) });
+        *lock_ignore_poison(&ss.slots[pos]) = Some(Deposit {
+            tag,
+            bytes,
+            volumes,
+            payload: Arc::new(payload),
+        });
         ss.barrier.wait();
 
         let mut payloads = Vec::with_capacity(n);
@@ -283,8 +439,10 @@ impl RankCtx {
         let mut all_volumes = Vec::with_capacity(n);
         let mut max_entry = SimTime::ZERO;
         for p in 0..n {
-            let slot = ss.slots[p].lock();
-            let dep = slot.as_ref().expect("missing deposit: SPMD contract violated");
+            let slot = lock_ignore_poison(&ss.slots[p]);
+            let dep = slot
+                .as_ref()
+                .expect("missing deposit: SPMD contract violated");
             assert_eq!(
                 dep.tag, tag,
                 "collective mismatch in op '{op}': scope member {p} is executing a different \
@@ -332,7 +490,11 @@ impl RankCtx {
         send: Vec<Vec<T>>,
     ) -> Vec<Vec<T>> {
         let n = self.scope_size(scope);
-        assert_eq!(send.len(), n, "alltoallv send buffer count must equal scope size");
+        assert_eq!(
+            send.len(),
+            n,
+            "alltoallv send buffer count must equal scope size"
+        );
         let item = std::mem::size_of::<T>() as u64;
         let volumes: Vec<u64> = send.iter().map(|v| v.len() as u64 * item).collect();
         let bytes: u64 = volumes.iter().sum();
@@ -340,8 +502,12 @@ impl RankCtx {
         let (payloads, _, all_volumes, max_entry) =
             self.exchange(scope, category, send, bytes, Some(volumes));
         let members = self.scope_members(scope);
-        let cost =
-            cost::alltoallv_cost(&self.shared.machine, &self.shared.topo, &members, &all_volumes);
+        let cost = cost::alltoallv_cost(
+            &self.shared.machine,
+            &self.shared.topo,
+            &members,
+            &all_volumes,
+        );
         self.settle(category, max_entry, cost);
         payloads.iter().map(|p| p[my_pos].clone()).collect()
     }
@@ -497,8 +663,9 @@ mod tests {
         let out = c.run(|ctx| {
             let n = ctx.nranks();
             // Rank r sends the value r*100+d to rank d.
-            let send: Vec<Vec<u64>> =
-                (0..n).map(|d| vec![(ctx.rank() * 100 + d) as u64]).collect();
+            let send: Vec<Vec<u64>> = (0..n)
+                .map(|d| vec![(ctx.rank() * 100 + d) as u64])
+                .collect();
             ctx.alltoallv(Scope::World, "comm.alltoallv", send)
         });
         for (d, recv) in out.iter().enumerate() {
@@ -524,7 +691,11 @@ mod tests {
     fn allgatherv_collects_in_member_order() {
         let c = small_cluster(1, 3);
         let out = c.run(|ctx| {
-            ctx.allgatherv(Scope::World, "comm.allgather", vec![ctx.rank() as u32; ctx.rank() + 1])
+            ctx.allgatherv(
+                Scope::World,
+                "comm.allgather",
+                vec![ctx.rank() as u32; ctx.rank() + 1],
+            )
         });
         for recv in out {
             assert_eq!(recv, vec![vec![0], vec![1, 1], vec![2, 2, 2]]);
@@ -551,7 +722,10 @@ mod tests {
                 ctx.charge("compute", SimTime::secs(1.0));
             }
             ctx.barrier(Scope::World);
-            (ctx.now().as_secs(), ctx.accumulator().get("comm.imbalance").as_secs())
+            (
+                ctx.now().as_secs(),
+                ctx.accumulator().get("comm.imbalance").as_secs(),
+            )
         });
         // Both ranks end at t=1.0; rank 1 waited 1.0s at the barrier.
         assert!((out[0].0 - 1.0).abs() < 1e-12);
@@ -616,6 +790,54 @@ mod tests {
         assert_eq!(out[0].0, 7);
         assert_eq!(out[0].1, vec![vec![1, 2]]);
         assert_eq!(out[0].2, vec![vec![9]]);
+    }
+
+    #[test]
+    fn comm_stats_record_per_scope_counts_and_bytes() {
+        let c = small_cluster(2, 2);
+        let out = c.run(|ctx| {
+            ctx.allreduce_sum(Scope::Row, "rowsum", 1);
+            ctx.allreduce_sum(Scope::Row, "rowsum", 2);
+            ctx.allreduce_sum(Scope::Col, "colsum", 3);
+            let send: Vec<Vec<u64>> = (0..4).map(|_| vec![0u64; 8]).collect();
+            ctx.alltoallv(Scope::World, "comm.alltoallv.x", send);
+            ctx.take_comm_stats()
+        });
+        for stats in &out {
+            assert_eq!(
+                stats.get(Scope::Row, "rowsum"),
+                CommOpStats {
+                    count: 2,
+                    bytes: 16
+                }
+            );
+            assert_eq!(
+                stats.get(Scope::Col, "colsum"),
+                CommOpStats { count: 1, bytes: 8 }
+            );
+            assert_eq!(
+                stats.get(Scope::World, "comm.alltoallv.x"),
+                CommOpStats {
+                    count: 1,
+                    bytes: 4 * 8 * 8
+                }
+            );
+            assert_eq!(stats.total_with_prefix("row/").count, 2);
+        }
+        // diff isolates a phase; merge adds ranks.
+        let mut merged = CommStats::new();
+        for s in &out {
+            merged.merge(s);
+        }
+        assert_eq!(merged.get(Scope::Row, "rowsum").count, 8);
+        let d = merged.diff(&out[0]);
+        assert_eq!(d.get(Scope::Row, "rowsum").count, 6);
+        // JSON rendering is deterministic and keyed by scope/op.
+        let js = out[0].to_json().render();
+        assert!(
+            js.contains("\"row/rowsum\":{\"count\":2,\"bytes\":16}"),
+            "got {js}"
+        );
     }
 
     #[test]

@@ -96,7 +96,10 @@ pub fn alltoallv_cost(
     let uplink = machine.supernode_uplink(topo.supernode_size());
     let t_inject = inject.iter().map(|&b| b as f64 / nic).fold(0.0, f64::max);
     let t_receive = receive.iter().map(|&b| b as f64 / nic).fold(0.0, f64::max);
-    let t_uplink = sn_traffic.iter().map(|&b| b as f64 / uplink).fold(0.0, f64::max);
+    let t_uplink = sn_traffic
+        .iter()
+        .map(|&b| b as f64 / uplink)
+        .fold(0.0, f64::max);
     SimTime::secs(t_inject.max(t_receive).max(t_uplink)) + collective_latency(machine, n)
 }
 
@@ -137,8 +140,14 @@ mod tests {
     fn row_scope_is_full_bandwidth() {
         let m = machine();
         assert_eq!(scope_bandwidth(&m, Scope::Row), m.nic_bandwidth);
-        assert_eq!(scope_bandwidth(&m, Scope::Col), m.nic_bandwidth / m.oversubscription);
-        assert_eq!(scope_bandwidth(&m, Scope::World), m.nic_bandwidth / m.oversubscription);
+        assert_eq!(
+            scope_bandwidth(&m, Scope::Col),
+            m.nic_bandwidth / m.oversubscription
+        );
+        assert_eq!(
+            scope_bandwidth(&m, Scope::World),
+            m.nic_bandwidth / m.oversubscription
+        );
     }
 
     #[test]
@@ -156,12 +165,18 @@ mod tests {
         let topo = Topology::new(MeshShape::new(1, 4));
         let members = [0, 1, 2, 3];
         let gb = 1_000_000_000u64;
-        let volumes: Vec<Vec<u64>> =
-            (0..4).map(|s| (0..4).map(|d| if s == d { 0 } else { gb }).collect()).collect();
+        let volumes: Vec<Vec<u64>> = (0..4)
+            .map(|s| (0..4).map(|d| if s == d { 0 } else { gb }).collect())
+            .collect();
         let t = alltoallv_cost(&m, &topo, &members, &volumes);
         // 3 GB injected at 25 GB/s = 0.12 s plus latency.
         let expect = 3.0 * gb as f64 / m.nic_bandwidth;
-        assert!((t.as_secs() - expect).abs() < 1e-4, "{} vs {}", t.as_secs(), expect);
+        assert!(
+            (t.as_secs() - expect).abs() < 1e-4,
+            "{} vs {}",
+            t.as_secs(),
+            expect
+        );
     }
 
     #[test]
@@ -171,14 +186,20 @@ mod tests {
         let topo = Topology::new(MeshShape::new(4, 1));
         let members = [0, 1, 2, 3];
         let gb = 1_000_000_000u64;
-        let volumes: Vec<Vec<u64>> =
-            (0..4).map(|s| (0..4).map(|d| if s == d { 0 } else { gb }).collect()).collect();
+        let volumes: Vec<Vec<u64>> = (0..4)
+            .map(|s| (0..4).map(|d| if s == d { 0 } else { gb }).collect())
+            .collect();
         let t = alltoallv_cost(&m, &topo, &members, &volumes);
         // Supernodes have one node here: uplink = nic/oversub; each
         // supernode moves 3 GB out + 3 GB in = 6 GB over 3.125 GB/s.
         let uplink = m.nic_bandwidth / m.oversubscription;
         let expect = 6.0 * gb as f64 / uplink;
-        assert!((t.as_secs() - expect).abs() / expect < 1e-3, "{} vs {}", t.as_secs(), expect);
+        assert!(
+            (t.as_secs() - expect).abs() / expect < 1e-3,
+            "{} vs {}",
+            t.as_secs(),
+            expect
+        );
     }
 
     #[test]
@@ -215,6 +236,9 @@ mod tests {
     fn trivial_scopes_are_free() {
         let m = machine();
         assert_eq!(allgatherv_cost(&m, Scope::World, &[5]).as_secs(), 0.0);
-        assert_eq!(allreduce_half_cost(&m, Scope::World, 1, 1 << 20).as_secs(), 0.0);
+        assert_eq!(
+            allreduce_half_cost(&m, Scope::World, 1, 1 << 20).as_secs(),
+            0.0
+        );
     }
 }

@@ -24,6 +24,6 @@ pub mod cost;
 pub mod topology;
 
 pub use barrier::PoisonBarrier;
-pub use cluster::{Cluster, RankCtx};
+pub use cluster::{Cluster, CommOpStats, CommStats, RankCtx};
 pub use cost::Scope;
 pub use topology::{MeshShape, Topology};

@@ -30,7 +30,7 @@ impl MeshShape {
     pub fn near_square(n: usize) -> Self {
         assert!(n > 0);
         let mut rows = (n as f64).sqrt() as usize;
-        while rows > 1 && n % rows != 0 {
+        while rows > 1 && !n.is_multiple_of(rows) {
             rows -= 1;
         }
         MeshShape::new(rows.max(1), n / rows.max(1))

@@ -22,7 +22,17 @@ fn different_rows_collect_concurrently_and_independently() {
     });
     // Row r = {2r, 2r+1}: one allreduce of (2r+i)+(2r+1+i) per i in 0..=r.
     let expect = |r: u64| -> u64 { (0..=r).map(|i| (2 * r + i) + (2 * r + 1 + i)).sum() };
-    assert_eq!(out, vec![expect(0), expect(0), expect(1), expect(1), expect(2), expect(2)]);
+    assert_eq!(
+        out,
+        vec![
+            expect(0),
+            expect(0),
+            expect(1),
+            expect(1),
+            expect(2),
+            expect(2)
+        ]
+    );
 }
 
 #[test]
@@ -54,7 +64,9 @@ fn alltoallv_volume_asymmetry_is_preserved() {
     let c = Cluster::new(MeshShape::new(2, 2), MachineConfig::new_sunway());
     let out = c.run(|ctx| {
         let n = ctx.nranks();
-        let send: Vec<Vec<u32>> = (0..n).map(|_| vec![ctx.rank() as u32; ctx.rank() + 1]).collect();
+        let send: Vec<Vec<u32>> = (0..n)
+            .map(|_| vec![ctx.rank() as u32; ctx.rank() + 1])
+            .collect();
         ctx.alltoallv(Scope::World, "comm.alltoallv", send)
     });
     for recv in &out {
@@ -98,8 +110,9 @@ fn paper_scale_cost_model_sanity() {
     let topo_tall = Topology::new(MeshShape::new(16, 1));
     let members: Vec<usize> = (0..16).collect();
     let mb = 1u64 << 20;
-    let vol: Vec<Vec<u64>> =
-        (0..16).map(|s| (0..16).map(|d| if s == d { 0 } else { mb }).collect()).collect();
+    let vol: Vec<Vec<u64>> = (0..16)
+        .map(|s| (0..16).map(|d| if s == d { 0 } else { mb }).collect())
+        .collect();
     let intra = sunbfs_net::cost::alltoallv_cost(&m, &topo_flat, &members, &vol);
     let inter = sunbfs_net::cost::alltoallv_cost(&m, &topo_tall, &members, &vol);
     assert!(

@@ -25,7 +25,7 @@
 //!
 //! Self loops never affect a BFS and are dropped here.
 
-use sunbfs_common::{Edge, VertexId};
+use sunbfs_common::{Edge, JsonValue, ToJson, VertexId};
 use sunbfs_net::{RankCtx, Scope, Topology};
 
 use crate::csr::Csr;
@@ -54,6 +54,20 @@ impl ComponentStats {
     /// Sum of all component sizes on this rank.
     pub fn total(&self) -> u64 {
         self.eh2eh + self.e2l + self.l2e + self.h2l + self.l2h + self.l2l
+    }
+}
+
+impl ToJson for ComponentStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("eh2eh", self.eh2eh)
+            .field("e2l", self.e2l)
+            .field("l2e", self.l2e)
+            .field("h2l", self.h2l)
+            .field("l2h", self.l2h)
+            .field("l2l", self.l2l)
+            .field("total", self.total())
+            .build()
     }
 }
 
@@ -155,8 +169,7 @@ pub fn build_1p5d(
         .map(|(i, &d)| (my_range.start + i as u64, d))
         .collect();
     let gathered = ctx.allgatherv(Scope::World, "prep.allgather", local_heavy);
-    let directory =
-        HubDirectory::build(gathered.into_iter().flatten().collect(), thresholds);
+    let directory = HubDirectory::build(gathered.into_iter().flatten().collect(), thresholds);
     let (rows, cols) = (topo.shape().rows, topo.shape().cols);
 
     // ---- (3) route edges to their storage ranks ------------------------
@@ -210,16 +223,31 @@ pub fn build_1p5d(
         }
     }
 
-    let eh_recv: Vec<(u64, u64)> =
-        ctx.alltoallv(Scope::World, "prep.alltoallv", eh_msgs).into_iter().flatten().collect();
-    let el_recv: Vec<(u64, u64)> =
-        ctx.alltoallv(Scope::World, "prep.alltoallv", el_msgs).into_iter().flatten().collect();
-    let h2l_recv: Vec<(u64, u64)> =
-        ctx.alltoallv(Scope::World, "prep.alltoallv", h2l_msgs).into_iter().flatten().collect();
-    let lh_recv: Vec<(u64, u64)> =
-        ctx.alltoallv(Scope::World, "prep.alltoallv", lh_msgs).into_iter().flatten().collect();
-    let l2l_recv: Vec<(u64, u64)> =
-        ctx.alltoallv(Scope::World, "prep.alltoallv", l2l_msgs).into_iter().flatten().collect();
+    let eh_recv: Vec<(u64, u64)> = ctx
+        .alltoallv(Scope::World, "prep.alltoallv", eh_msgs)
+        .into_iter()
+        .flatten()
+        .collect();
+    let el_recv: Vec<(u64, u64)> = ctx
+        .alltoallv(Scope::World, "prep.alltoallv", el_msgs)
+        .into_iter()
+        .flatten()
+        .collect();
+    let h2l_recv: Vec<(u64, u64)> = ctx
+        .alltoallv(Scope::World, "prep.alltoallv", h2l_msgs)
+        .into_iter()
+        .flatten()
+        .collect();
+    let lh_recv: Vec<(u64, u64)> = ctx
+        .alltoallv(Scope::World, "prep.alltoallv", lh_msgs)
+        .into_iter()
+        .flatten()
+        .collect();
+    let l2l_recv: Vec<(u64, u64)> = ctx
+        .alltoallv(Scope::World, "prep.alltoallv", l2l_msgs)
+        .into_iter()
+        .flatten()
+        .collect();
 
     // ---- (4) component CSRs --------------------------------------------
     let nh = directory.num_hubs() as u64;
@@ -230,11 +258,19 @@ pub fn build_1p5d(
     // EH csrs are keyed over the full (small) hub-id space; only hubs in
     // this rank's cyclic column/row slice have entries.
     let eh_by_src = Csr::from_pairs(0, nh, eh_recv.clone(), true);
-    let eh_by_dst =
-        Csr::from_pairs(0, nh, eh_recv.into_iter().map(|(s, d)| (d, s)).collect(), true);
+    let eh_by_dst = Csr::from_pairs(
+        0,
+        nh,
+        eh_recv.into_iter().map(|(s, d)| (d, s)).collect(),
+        true,
+    );
     let el_by_hub = Csr::from_pairs(0, nh, el_recv.clone(), true);
-    let el_by_local =
-        Csr::from_pairs(my_range.start, my_count, el_recv.into_iter().map(|(h, l)| (l, h)).collect(), true);
+    let el_by_local = Csr::from_pairs(
+        my_range.start,
+        my_count,
+        el_recv.into_iter().map(|(h, l)| (l, h)).collect(),
+        true,
+    );
     let h2l_by_hub = Csr::from_pairs(0, nh, h2l_recv.clone(), true);
     let h2l_by_local = Csr::from_pairs(
         row_range.start,
@@ -243,8 +279,12 @@ pub fn build_1p5d(
         true,
     );
     let lh_by_hub = Csr::from_pairs(0, nh, lh_recv.clone(), true);
-    let lh_by_local =
-        Csr::from_pairs(my_range.start, my_count, lh_recv.into_iter().map(|(h, l)| (l, h)).collect(), true);
+    let lh_by_local = Csr::from_pairs(
+        my_range.start,
+        my_count,
+        lh_recv.into_iter().map(|(h, l)| (l, h)).collect(),
+        true,
+    );
     let l2l = Csr::from_pairs(my_range.start, my_count, l2l_recv, true);
 
     let stats = ComponentStats {
@@ -375,7 +415,8 @@ mod tests {
             let range = p.owned_range();
             for v in range.clone() {
                 assert_eq!(
-                    p.owned_degrees[(v - range.start) as usize], deg[v as usize],
+                    p.owned_degrees[(v - range.start) as usize],
+                    deg[v as usize],
                     "degree mismatch at v={v}"
                 );
             }
@@ -412,8 +453,16 @@ mod tests {
             let my_col = topo.col_of(p.rank);
             for (h, l) in p.h2l_by_hub.iter_edges() {
                 let hv = dir.vertex_of(h as u32);
-                assert_eq!(topo.row_of(dist.owner(l)), my_row, "H2L must sit on L's row");
-                assert_eq!(topo.col_of(dist.owner(hv)), my_col, "H2L must sit on H's column");
+                assert_eq!(
+                    topo.row_of(dist.owner(l)),
+                    my_row,
+                    "H2L must sit on L's row"
+                );
+                assert_eq!(
+                    topo.col_of(dist.owner(hv)),
+                    my_col,
+                    "H2L must sit on H's column"
+                );
             }
         }
     }
@@ -455,7 +504,10 @@ mod tests {
         let edges = skewed_edges(n, 500, 7);
         let parts = build_on_cluster(2, 2, n, &edges, Thresholds::all_hubs(1 << 20));
         for p in &parts {
-            assert_eq!(p.stats.e2l + p.stats.l2e + p.stats.h2l + p.stats.l2h + p.stats.l2l, 0);
+            assert_eq!(
+                p.stats.e2l + p.stats.l2e + p.stats.h2l + p.stats.l2h + p.stats.l2l,
+                0
+            );
         }
         assert_eq!(reassemble(&parts), canonical_input(&edges));
     }

@@ -47,7 +47,11 @@ impl Csr {
             cursor[idx] += 1;
         }
         // ...then in-place PARADIS radix sort per adjacency list.
-        let mut csr = Csr { key_base, offsets, targets };
+        let mut csr = Csr {
+            key_base,
+            offsets,
+            targets,
+        };
         for k in 0..nk {
             let lo = csr.offsets[k] as usize;
             let hi = csr.offsets[k + 1] as usize;

@@ -39,7 +39,10 @@ impl Thresholds {
 
     /// Degenerate configuration with no hubs at all (vanilla 1D).
     pub fn none() -> Self {
-        Thresholds { e: u32::MAX, h: u32::MAX }
+        Thresholds {
+            e: u32::MAX,
+            h: u32::MAX,
+        }
     }
 
     /// 1D-with-heavy-delegates degeneration (`|H| = 0`): one delegate
@@ -90,13 +93,25 @@ impl HubDirectory {
                 .then(a.0.cmp(&b.0))
         });
         let num_e = heavy.iter().take_while(|(_, d)| *d >= thresholds.e).count() as u32;
-        let hub_of = heavy.iter().enumerate().map(|(i, (v, _))| (*v, i as u32)).collect();
-        HubDirectory { num_e, hubs: heavy, hub_of }
+        let hub_of = heavy
+            .iter()
+            .enumerate()
+            .map(|(i, (v, _))| (*v, i as u32))
+            .collect();
+        HubDirectory {
+            num_e,
+            hubs: heavy,
+            hub_of,
+        }
     }
 
     /// An empty directory (no hubs; pure 1D partitioning).
     pub fn empty() -> Self {
-        HubDirectory { num_e: 0, hubs: Vec::new(), hub_of: HashMap::new() }
+        HubDirectory {
+            num_e: 0,
+            hubs: Vec::new(),
+            hub_of: HashMap::new(),
+        }
     }
 
     /// Number of E hubs.
@@ -241,7 +256,10 @@ mod tests {
                     seen[h as usize] = true;
                 }
             }
-            assert!(seen.iter().all(|&s| s), "some hub unassigned at parts={parts}");
+            assert!(
+                seen.iter().all(|&s| s),
+                "some hub unassigned at parts={parts}"
+            );
         }
     }
 
@@ -266,7 +284,13 @@ mod tests {
 
     #[test]
     fn degenerate_threshold_constructors() {
-        assert_eq!(Thresholds::none(), Thresholds { e: u32::MAX, h: u32::MAX });
+        assert_eq!(
+            Thresholds::none(),
+            Thresholds {
+                e: u32::MAX,
+                h: u32::MAX
+            }
+        );
         assert_eq!(Thresholds::heavy_only(32), Thresholds { e: 32, h: 32 });
         assert_eq!(Thresholds::all_hubs(1024), Thresholds { e: 1024, h: 1 });
     }

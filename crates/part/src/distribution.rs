@@ -20,7 +20,11 @@ impl VertexDistribution {
     pub fn new(n: u64, p: usize) -> Self {
         assert!(p > 0);
         assert!(n > 0, "empty vertex set");
-        VertexDistribution { n, p, chunk: n.div_ceil(p as u64) }
+        VertexDistribution {
+            n,
+            p,
+            chunk: n.div_ceil(p as u64),
+        }
     }
 
     /// Total vertices.

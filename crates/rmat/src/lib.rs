@@ -50,7 +50,15 @@ pub struct RmatParams {
 impl RmatParams {
     /// Graph 500 specification parameters at the given SCALE.
     pub fn graph500(scale: u32, seed: u64) -> Self {
-        RmatParams { scale, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, seed, scramble: true }
+        RmatParams {
+            scale,
+            edge_factor: 16,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed,
+            scramble: true,
+        }
     }
 
     /// Quadrant probability D, `1 - (A+B+C)`.
@@ -61,7 +69,10 @@ impl RmatParams {
 
     /// Graph header (vertex/edge counts).
     pub fn header(&self) -> GlobalGraphHeader {
-        GlobalGraphHeader { scale: self.scale, edge_factor: self.edge_factor }
+        GlobalGraphHeader {
+            scale: self.scale,
+            edge_factor: self.edge_factor,
+        }
     }
 
     /// Total number of edges this configuration generates.
@@ -186,7 +197,10 @@ mod tests {
         // ... and a sizable fraction of isolated vertices (R-MAT leaves
         // many labels untouched at edge factor 16).
         let isolated = deg.iter().filter(|&&d| d == 0).count();
-        assert!(isolated > (p.num_vertices() / 20) as usize, "too few isolated vertices: {isolated}");
+        assert!(
+            isolated > (p.num_vertices() / 20) as usize,
+            "too few isolated vertices: {isolated}"
+        );
     }
 
     #[test]

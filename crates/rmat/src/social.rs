@@ -56,7 +56,11 @@ mod tests {
     use crate::degree::degrees;
 
     fn params(n: u64) -> SocialParams {
-        SocialParams { num_vertices: n, edges_per_vertex: 4, seed: 7 }
+        SocialParams {
+            num_vertices: n,
+            edges_per_vertex: 4,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -76,10 +80,15 @@ mod tests {
         let p = params(2000);
         let edges = generate_social(&p);
         let deg = degrees(p.num_vertices, &edges);
-        assert!(edges.iter().all(|e| e.u < p.num_vertices && e.v < p.num_vertices));
+        assert!(edges
+            .iter()
+            .all(|e| e.u < p.num_vertices && e.v < p.num_vertices));
         // Preferential attachment yields one connected component: every
         // vertex has degree ≥ 1.
-        assert!(deg.iter().all(|&d| d > 0), "PA graphs have no isolated vertices");
+        assert!(
+            deg.iter().all(|&d| d > 0),
+            "PA graphs have no isolated vertices"
+        );
     }
 
     #[test]
@@ -88,7 +97,11 @@ mod tests {
         let deg = degrees(p.num_vertices, &generate_social(&p));
         let max = *deg.iter().max().unwrap() as f64;
         let mean = deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64;
-        assert!(max / mean > 20.0, "max/mean {} too flat for preferential attachment", max / mean);
+        assert!(
+            max / mean > 20.0,
+            "max/mean {} too flat for preferential attachment",
+            max / mean
+        );
         // Early vertices dominate (the rich get richer).
         let early: u64 = deg[..50].iter().map(|&d| d as u64).sum();
         let late: u64 = deg[deg.len() - 50..].iter().map(|&d| d as u64).sum();

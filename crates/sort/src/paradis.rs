@@ -19,8 +19,6 @@
 //! Recursion proceeds MSD-first a byte at a time; small buckets fall
 //! back to comparison sort.
 
-use crossbeam::thread as cb_thread;
-
 /// Buckets smaller than this use the comparison-sort fallback.
 const SMALL_SORT_THRESHOLD: usize = 64;
 
@@ -37,7 +35,7 @@ where
     T: Copy + Send,
     K: Fn(&T) -> u64 + Sync,
 {
-    assert!(key_bytes >= 1 && key_bytes <= 8);
+    assert!((1..=8).contains(&key_bytes));
     if data.len() <= 1 {
         return;
     }
@@ -60,7 +58,11 @@ where
 {
     if data.len() < SMALL_SORT_THRESHOLD {
         // Comparison fallback must respect only the remaining low bytes.
-        let mask = if shift == 56 { u64::MAX } else { (1u64 << (shift + 8)) - 1 };
+        let mask = if shift == 56 {
+            u64::MAX
+        } else {
+            (1u64 << (shift + 8)) - 1
+        };
         data.sort_unstable_by_key(|x| key(x) & mask);
         return;
     }
@@ -82,6 +84,7 @@ where
 
     debug_assert!({
         let mut ok = true;
+        #[allow(clippy::needless_range_loop)]
         for b in 0..RADIX {
             for p in begins[b]..begins[b] + counts[b] {
                 ok &= digit(key, &data[p], shift) == b;
@@ -95,8 +98,8 @@ where
         return;
     }
     let mut rest = data;
-    for b in 0..RADIX {
-        let (bucket, tail) = rest.split_at_mut(counts[b]);
+    for &count in counts.iter().take(RADIX) {
+        let (bucket, tail) = rest.split_at_mut(count);
         rest = tail;
         if bucket.len() > 1 {
             // Inner levels run single-threaded: top-level parallelism
@@ -160,7 +163,7 @@ fn permute_speculative<T, K>(
                     head[d] += 1;
                     unsafe {
                         let slot = shared.get(q);
-                        std::mem::swap(&mut v, &mut *slot);
+                        core::ptr::swap(&mut v, slot);
                     }
                     d = digit(key, &v, shift);
                 }
@@ -178,12 +181,12 @@ fn permute_speculative<T, K>(
     if workers == 1 {
         run_worker(0);
     } else {
-        cb_thread::scope(|s| {
+        let run_worker = &run_worker;
+        std::thread::scope(|s| {
             for w in 0..workers {
-                s.spawn(move |_| run_worker(w));
+                s.spawn(move || run_worker(w));
             }
-        })
-        .expect("radix sort worker panicked");
+        });
     }
 }
 
@@ -201,6 +204,7 @@ fn repair<T, K>(
 {
     let mut misplaced: Vec<T> = Vec::new();
     let mut holes: Vec<usize> = Vec::new();
+    #[allow(clippy::needless_range_loop)]
     for b in 0..RADIX {
         for p in begins[b]..begins[b] + counts[b] {
             if digit(key, &data[p], shift) != b {
@@ -231,7 +235,7 @@ fn bucket_of_pos(p: usize, begins: &[usize; RADIX], counts: &[usize; RADIX]) -> 
     let mut lo = 0usize;
     let mut hi = RADIX - 1;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if begins[mid] <= p {
             lo = mid;
         } else {
@@ -315,7 +319,10 @@ mod tests {
         }
         let mut rng = SplitMix64::new(9);
         let orig: Vec<Pair> = (0..30_000)
-            .map(|i| Pair { k: rng.next_below(1000) as u32, payload: i })
+            .map(|i| Pair {
+                k: rng.next_below(1000) as u32,
+                payload: i,
+            })
             .collect();
         let mut v = orig.clone();
         radix_sort_in_place(&mut v, &|p: &Pair| p.k as u64, 4, 4);

@@ -18,8 +18,8 @@
 //! balance guarantee (< 2·n/P elements per rank for distinct keys).
 
 use crate::paradis;
-use sunbfs_net::{RankCtx, Scope};
 use sunbfs_common::SimTime;
+use sunbfs_net::{RankCtx, Scope};
 
 /// Approximate node-local sort rate used for time accounting: an
 /// 8-byte-key radix pass is DMA-bound, so we charge `key_bytes` streaming
@@ -50,7 +50,12 @@ where
 
     // (1) local sort
     paradis::radix_sort_in_place(&mut local, &key, workers, key_bytes);
-    charge_local_sort(ctx, category, (local.len() * std::mem::size_of::<T>()) as u64, key_bytes);
+    charge_local_sort(
+        ctx,
+        category,
+        (local.len() * std::mem::size_of::<T>()) as u64,
+        key_bytes,
+    );
 
     if p == 1 {
         return local;
@@ -76,13 +81,19 @@ where
         cuts.push(at.max(*cuts.last().unwrap()));
     }
     cuts.push(n);
-    let send: Vec<Vec<T>> =
-        (0..p).map(|i| local[cuts[i]..cuts[i + 1]].to_vec()).collect();
+    let send: Vec<Vec<T>> = (0..p)
+        .map(|i| local[cuts[i]..cuts[i + 1]].to_vec())
+        .collect();
     let received = ctx.alltoallv(Scope::World, "comm.alltoallv", send);
 
     // (4) k-way merge of the received sorted runs.
     let merged = merge_runs(received, &key);
-    charge_local_sort(ctx, category, (merged.len() * std::mem::size_of::<T>()) as u64, 1);
+    charge_local_sort(
+        ctx,
+        category,
+        (merged.len() * std::mem::size_of::<T>()) as u64,
+        1,
+    );
     merged
 }
 
@@ -119,7 +130,10 @@ mod tests {
     use sunbfs_net::{Cluster, MeshShape};
 
     fn run_psrs(ranks: (usize, usize), per_rank: usize, seed: u64) -> (Vec<u64>, Vec<Vec<u64>>) {
-        let cluster = Cluster::new(MeshShape::new(ranks.0, ranks.1), MachineConfig::new_sunway());
+        let cluster = Cluster::new(
+            MeshShape::new(ranks.0, ranks.1),
+            MachineConfig::new_sunway(),
+        );
         let out = cluster.run(|ctx| {
             let mut rng = SplitMix64::new(seed ^ ctx.rank() as u64);
             let local: Vec<u64> = (0..per_rank).map(|_| rng.next_u64()).collect();

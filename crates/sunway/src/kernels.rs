@@ -18,7 +18,7 @@
 //! Each estimator returns a [`KernelReport`] so callers can charge the
 //! time and keep the byte/op counts for the experiment write-ups.
 
-use sunbfs_common::{MachineConfig, SimTime};
+use sunbfs_common::{JsonValue, MachineConfig, SimTime, ToJson};
 
 /// Outcome of a simulated chip kernel: elapsed time plus traffic/op
 /// counters for reporting.
@@ -74,6 +74,20 @@ impl KernelReport {
     }
 }
 
+impl ToJson for KernelReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("time_s", self.time.to_json())
+            .field("dma_bytes", self.dma_bytes)
+            .field("rma_bytes", self.rma_bytes)
+            .field("rma_ops", self.rma_ops)
+            .field("gld_ops", self.gld_ops)
+            .field("atomic_ops", self.atomic_ops)
+            .field("items", self.items)
+            .build()
+    }
+}
+
 /// DMA transfer efficiency for a given grain size: full bandwidth at or
 /// above the machine's efficient grain, degrading linearly below it
 /// (a short transfer still pays the setup of a full grain).
@@ -88,7 +102,12 @@ pub fn dma_efficiency(machine: &MachineConfig, grain_bytes: usize) -> f64 {
 
 /// Time to DMA-stream `bytes` with transfers of `grain_bytes`, when
 /// `active_cgs` core groups share the chip's DMA bandwidth.
-pub fn dma_stream(machine: &MachineConfig, bytes: u64, grain_bytes: usize, active_cgs: usize) -> SimTime {
+pub fn dma_stream(
+    machine: &MachineConfig,
+    bytes: u64,
+    grain_bytes: usize,
+    active_cgs: usize,
+) -> SimTime {
     let cgs = active_cgs.clamp(1, machine.cgs_per_node);
     let bw = machine.dma_bandwidth * cgs as f64 / machine.cgs_per_node as f64;
     let eff = dma_efficiency(machine, grain_bytes);
@@ -97,7 +116,12 @@ pub fn dma_stream(machine: &MachineConfig, bytes: u64, grain_bytes: usize, activ
 
 /// Time for `items` of scalar CPE work at `cycles_per_item`, spread
 /// perfectly over the CPEs of `active_cgs` core groups.
-pub fn cpe_work(machine: &MachineConfig, items: u64, cycles_per_item: f64, active_cgs: usize) -> SimTime {
+pub fn cpe_work(
+    machine: &MachineConfig,
+    items: u64,
+    cycles_per_item: f64,
+    active_cgs: usize,
+) -> SimTime {
     let cpes = (machine.cpes_per_cg * active_cgs.max(1).min(machine.cgs_per_node)) as f64;
     SimTime::secs(items as f64 * cycles_per_item / machine.cpe_hz / cpes)
 }
@@ -198,7 +222,10 @@ mod tests {
         let gld = gld_random(&m, 1_000_000, 64);
         let rma = rma_random(&m, 1_000_000, 64);
         let ratio = gld.as_secs() / rma.as_secs();
-        assert!(ratio > 8.0 && ratio < 10.0, "GLD/RMA ratio {ratio} should be ~9 (paper's 9x)");
+        assert!(
+            ratio > 8.0 && ratio < 10.0,
+            "GLD/RMA ratio {ratio} should be ~9 (paper's 9x)"
+        );
     }
 
     #[test]
@@ -208,7 +235,10 @@ mod tests {
         let items = (4u64 << 30) / 8;
         let t = mpe_scatter(&m, items);
         let gbps = (4u64 << 30) as f64 / t.as_secs() / 1e9;
-        assert!((gbps - 0.0406).abs() < 0.01, "MPE throughput {gbps} GB/s vs paper 0.0406");
+        assert!(
+            (gbps - 0.0406).abs() < 0.01,
+            "MPE throughput {gbps} GB/s vs paper 0.0406"
+        );
     }
 
     #[test]
@@ -234,13 +264,24 @@ mod tests {
         let pull_ws = 4 * 1024 * 1024u64;
         let via_cache = ldcache_random(&m, 1_000_000, pull_ws, cpes);
         let via_rma = rma_random(&m, 1_000_000, m.cpes_per_cg);
-        assert!(via_rma.as_secs() < via_cache.as_secs(), "segmenting must beat LDCache");
+        assert!(
+            via_rma.as_secs() < via_cache.as_secs(),
+            "segmenting must beat LDCache"
+        );
     }
 
     #[test]
     fn report_compositions() {
-        let a = KernelReport { time: SimTime::secs(1.0), dma_bytes: 10, ..Default::default() };
-        let b = KernelReport { time: SimTime::secs(2.0), dma_bytes: 5, ..Default::default() };
+        let a = KernelReport {
+            time: SimTime::secs(1.0),
+            dma_bytes: 10,
+            ..Default::default()
+        };
+        let b = KernelReport {
+            time: SimTime::secs(2.0),
+            dma_bytes: 5,
+            ..Default::default()
+        };
         let mut par = a;
         par.join_parallel(&b);
         assert_eq!(par.time.as_secs(), 2.0);

@@ -42,7 +42,12 @@ pub struct OcsConfig {
 
 impl Default for OcsConfig {
     fn default() -> Self {
-        OcsConfig { producers: 32, consumers: 32, buffer_bytes: 512, cg_sync_block_bytes: 32 * 1024 }
+        OcsConfig {
+            producers: 32,
+            consumers: 32,
+            buffer_bytes: 512,
+            cg_sync_block_bytes: 32 * 1024,
+        }
     }
 }
 
@@ -101,7 +106,10 @@ where
     let n = items.len();
 
     let mut buckets: Vec<Vec<T>> = (0..num_buckets).map(|_| Vec::new()).collect();
-    let mut report = KernelReport { items: n as u64, ..Default::default() };
+    let mut report = KernelReport {
+        items: n as u64,
+        ..Default::default()
+    };
 
     // ---- functional pass -------------------------------------------------
     // Consumer receive queues: per consumer, batches in arrival order.
@@ -113,7 +121,9 @@ where
             vec![vec![Vec::with_capacity(cap); cfg.consumers]; cfg.producers];
         let mut recv: Vec<Vec<(usize, Vec<T>)>> = vec![Vec::new(); cfg.consumers];
         // Producers take contiguous slices of the CG's block.
-        for (p, slice) in cg_chunk.chunks(cg_chunk.len().div_ceil(cfg.producers).max(1)).enumerate()
+        for (p, slice) in cg_chunk
+            .chunks(cg_chunk.len().div_ceil(cfg.producers).max(1))
+            .enumerate()
         {
             for &it in slice {
                 let b = bucket_of(&it);
@@ -248,7 +258,9 @@ mod tests {
         let machine = m();
         let items = random_items(10_000, 1);
         let (buckets, report) =
-            ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 1, |x| (x % 256) as usize);
+            ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 1, |x| {
+                (x % 256) as usize
+            });
         check_buckets(&items, &buckets, 256);
         assert_eq!(report.items, 10_000);
         assert!(report.rma_ops > 0);
@@ -259,7 +271,10 @@ mod tests {
         let machine = m();
         let items = random_items(5_000, 2);
         let run = || {
-            ocs_sort_rma(&machine, &OcsConfig::default(), &items, 100, 6, |x| (x % 100) as usize).0
+            ocs_sort_rma(&machine, &OcsConfig::default(), &items, 100, 6, |x| {
+                (x % 100) as usize
+            })
+            .0
         };
         assert_eq!(run(), run());
     }
@@ -269,7 +284,9 @@ mod tests {
         let machine = m();
         let items = random_items(3_000, 3);
         let (a, _) = ocs_sort_mpe(&machine, &items, 64, |x| (x % 64) as usize);
-        let (b, _) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 64, 6, |x| (x % 64) as usize);
+        let (b, _) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 64, 6, |x| {
+            (x % 64) as usize
+        });
         for (x, y) in a.iter().zip(&b) {
             let mut x = x.clone();
             let mut y = y.clone();
@@ -286,7 +303,9 @@ mod tests {
         assert!(b.iter().all(Vec::is_empty));
         assert_eq!(r.items, 0);
         let one = [5u64];
-        let (b, _) = ocs_sort_rma(&machine, &OcsConfig::default(), &one, 8, 6, |x| (*x % 8) as usize);
+        let (b, _) = ocs_sort_rma(&machine, &OcsConfig::default(), &one, 8, 6, |x| {
+            (*x % 8) as usize
+        });
         assert_eq!(b[5], vec![5]);
     }
 
@@ -299,30 +318,43 @@ mod tests {
         let items = random_items(1 << 20, 4); // 8 MiB
         let bytes = (items.len() * 8) as u64;
         let (_, mpe) = ocs_sort_mpe(&machine, &items, 256, |x| (x & 0xff) as usize);
-        let (_, cg1) =
-            ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 1, |x| (x & 0xff) as usize);
-        let (_, cg6) =
-            ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 6, |x| (x & 0xff) as usize);
-        let (t_mpe, t1, t6) =
-            (mpe.throughput(bytes) / 1e9, cg1.throughput(bytes) / 1e9, cg6.throughput(bytes) / 1e9);
-        assert!(t_mpe < t1 && t1 < t6, "ordering MPE<{t_mpe}> 1CG<{t1}> 6CG<{t6}>");
+        let (_, cg1) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 1, |x| {
+            (x & 0xff) as usize
+        });
+        let (_, cg6) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 256, 6, |x| {
+            (x & 0xff) as usize
+        });
+        let (t_mpe, t1, t6) = (
+            mpe.throughput(bytes) / 1e9,
+            cg1.throughput(bytes) / 1e9,
+            cg6.throughput(bytes) / 1e9,
+        );
+        assert!(
+            t_mpe < t1 && t1 < t6,
+            "ordering MPE<{t_mpe}> 1CG<{t1}> 6CG<{t6}>"
+        );
         // Paper: 0.0406 / 12.5 / 58.6 GB/s. Allow generous bands — the
         // shape, not the digits, is the claim.
         assert!((0.02..0.08).contains(&t_mpe), "MPE {t_mpe} GB/s");
         assert!((8.0..18.0).contains(&t1), "1 CG {t1} GB/s");
         assert!((45.0..80.0).contains(&t6), "6 CG {t6} GB/s");
         let speedup = t6 / t1;
-        assert!((3.5..5.9).contains(&speedup), "6CG/1CG speedup {speedup}, paper 4.7x");
+        assert!(
+            (3.5..5.9).contains(&speedup),
+            "6CG/1CG speedup {speedup}, paper 4.7x"
+        );
     }
 
     #[test]
     fn six_cg_pays_atomics() {
         let machine = m();
         let items = random_items(1 << 16, 5);
-        let (_, cg1) =
-            ocs_sort_rma(&machine, &OcsConfig::default(), &items, 16, 1, |x| (x % 16) as usize);
-        let (_, cg6) =
-            ocs_sort_rma(&machine, &OcsConfig::default(), &items, 16, 6, |x| (x % 16) as usize);
+        let (_, cg1) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 16, 1, |x| {
+            (x % 16) as usize
+        });
+        let (_, cg6) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 16, 6, |x| {
+            (x % 16) as usize
+        });
         assert_eq!(cg1.atomic_ops, 0);
         assert!(cg6.atomic_ops > 0);
     }
@@ -330,14 +362,18 @@ mod tests {
     #[test]
     fn custom_buffer_size_respected() {
         let machine = m();
-        let cfg = OcsConfig { buffer_bytes: 64, ..Default::default() };
+        let cfg = OcsConfig {
+            buffer_bytes: 64,
+            ..Default::default()
+        };
         assert_eq!(cfg.buffer_capacity::<u64>(), 8);
         let items = random_items(100_000, 6);
         let (buckets, report) = ocs_sort_rma(&machine, &cfg, &items, 32, 1, |x| (x % 32) as usize);
         check_buckets(&items, &buckets, 32);
         // Smaller buffers mean more RMA flushes than the default config.
-        let (_, big) =
-            ocs_sort_rma(&machine, &OcsConfig::default(), &items, 32, 1, |x| (x % 32) as usize);
+        let (_, big) = ocs_sort_rma(&machine, &OcsConfig::default(), &items, 32, 1, |x| {
+            (x % 32) as usize
+        });
         assert!(report.rma_ops > big.rma_ops);
     }
 }

@@ -51,7 +51,11 @@ impl SegmentedBitvec {
         let lines = num_bits.div_ceil(BITS_PER_LINE);
         let lines_per_cpe = lines.div_ceil(cpes as u64).max(1) as usize;
         let words_per_cpe = lines_per_cpe * (BITS_PER_LINE as usize / 64);
-        SegmentedBitvec { num_bits, cpes, ldm: vec![vec![0u64; words_per_cpe]; cpes] }
+        SegmentedBitvec {
+            num_bits,
+            cpes,
+            ldm: vec![vec![0u64; words_per_cpe]; cpes],
+        }
     }
 
     /// Build from a plain bitmap (the column activeness vector).
@@ -96,7 +100,11 @@ impl SegmentedBitvec {
     /// The Figure 7 offset mapping: line number round-robins over CPEs.
     #[inline]
     pub fn location_of(&self, bit: u64) -> BitLocation {
-        debug_assert!(bit < self.num_bits, "bit {bit} out of range {}", self.num_bits);
+        debug_assert!(
+            bit < self.num_bits,
+            "bit {bit} out of range {}",
+            self.num_bits
+        );
         let line = bit / BITS_PER_LINE;
         BitLocation {
             cpe: (line % self.cpes as u64) as usize,
@@ -108,7 +116,8 @@ impl SegmentedBitvec {
     /// Set a bit (host-side construction path).
     pub fn set(&mut self, bit: u64) {
         let loc = self.location_of(bit);
-        let word = loc.local_line * (BITS_PER_LINE as usize / 64) + (loc.offset_in_line / 64) as usize;
+        let word =
+            loc.local_line * (BITS_PER_LINE as usize / 64) + (loc.offset_in_line / 64) as usize;
         self.ldm[loc.cpe][word] |= 1u64 << (loc.offset_in_line % 64);
     }
 
@@ -118,7 +127,8 @@ impl SegmentedBitvec {
     #[inline]
     pub fn get_from(&self, from_cpe: usize, bit: u64) -> (bool, bool) {
         let loc = self.location_of(bit);
-        let word = loc.local_line * (BITS_PER_LINE as usize / 64) + (loc.offset_in_line / 64) as usize;
+        let word =
+            loc.local_line * (BITS_PER_LINE as usize / 64) + (loc.offset_in_line / 64) as usize;
         let v = (self.ldm[loc.cpe][word] >> (loc.offset_in_line % 64)) & 1 == 1;
         (v, loc.cpe != from_cpe)
     }
@@ -148,10 +158,20 @@ mod tests {
     fn mapping_matches_figure7_fields() {
         let s = SegmentedBitvec::new(64 * BITS_PER_LINE * 3, 64);
         // Bit 0 → line 0 → CPE 0.
-        assert_eq!(s.location_of(0), BitLocation { cpe: 0, local_line: 0, offset_in_line: 0 });
+        assert_eq!(
+            s.location_of(0),
+            BitLocation {
+                cpe: 0,
+                local_line: 0,
+                offset_in_line: 0
+            }
+        );
         // Last bit of line 0 stays on CPE 0.
         let l = s.location_of(BITS_PER_LINE - 1);
-        assert_eq!((l.cpe, l.local_line, l.offset_in_line), (0, 0, BITS_PER_LINE - 1));
+        assert_eq!(
+            (l.cpe, l.local_line, l.offset_in_line),
+            (0, 0, BITS_PER_LINE - 1)
+        );
         // First bit of line 1 hops to CPE 1.
         let l = s.location_of(BITS_PER_LINE);
         assert_eq!((l.cpe, l.local_line, l.offset_in_line), (1, 0, 0));

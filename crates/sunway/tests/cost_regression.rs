@@ -58,7 +58,12 @@ fn pin_network_tiers() {
     let m = m();
     // Intra-supernode: full NIC. Inter: NIC / 8.
     assert_close(m.nic_bandwidth, 25e9, 1e-12, "NIC");
-    assert_close(m.supernode_uplink(256) / 256.0, 25e9 / 8.0, 1e-12, "per-node uplink share");
+    assert_close(
+        m.supernode_uplink(256) / 256.0,
+        25e9 / 8.0,
+        1e-12,
+        "per-node uplink share",
+    );
 }
 
 #[test]

@@ -17,7 +17,10 @@ use sunbfs::part::{build_1p5d, Thresholds};
 use sunbfs::rmat::{generate_chunk, RmatParams};
 
 fn arg(n: usize, default: u64) -> u64 {
-    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -42,22 +45,41 @@ fn main() {
         drop(chunk);
 
         let bfs = run_program(ctx, &part, &Bfs { root });
-        let sssp = run_program(ctx, &part, &ShortestPaths { root, weight_seed: 7 });
+        let sssp = run_program(
+            ctx,
+            &part,
+            &ShortestPaths {
+                root,
+                weight_seed: 7,
+            },
+        );
         let cc = run_program(ctx, &part, &ConnectedComponents);
         let pr = run_program(ctx, &part, &PageRank::new(n, 15));
         (bfs, sssp, cc, pr)
     });
 
     // ---- BFS ----
-    let reached =
-        results.iter().flat_map(|(b, _, _, _)| &b.values).filter(|v| v.parent != INVALID_VERTEX).count();
+    let reached = results
+        .iter()
+        .flat_map(|(b, _, _, _)| &b.values)
+        .filter(|v| v.parent != INVALID_VERTEX)
+        .count();
     let rounds = results[0].0.stats.rounds.len();
     println!("BFS from root {root}:");
     println!("  reached {reached} vertices in {rounds} rounds");
 
     // ---- SSSP ----
-    let dists: Vec<u64> = results.iter().flat_map(|(_, s, _, _)| &s.values).map(|v| v.dist).collect();
-    let max_dist = dists.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap_or(0);
+    let dists: Vec<u64> = results
+        .iter()
+        .flat_map(|(_, s, _, _)| &s.values)
+        .map(|v| v.dist)
+        .collect();
+    let max_dist = dists
+        .iter()
+        .filter(|&&d| d != u64::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
     println!("\nSSSP from root {root} (integer weights in [1, 2^20]):");
     println!(
         "  farthest reachable vertex at weighted distance {max_dist} ({} Bellman-Ford rounds)",
@@ -65,7 +87,10 @@ fn main() {
     );
 
     // ---- connected components ----
-    let labels: Vec<u64> = results.iter().flat_map(|(_, _, c, _)| c.values.iter().copied()).collect();
+    let labels: Vec<u64> = results
+        .iter()
+        .flat_map(|(_, _, c, _)| c.values.iter().copied())
+        .collect();
     let mut uniq: Vec<u64> = labels.clone();
     uniq.sort_unstable();
     uniq.dedup();

@@ -18,8 +18,10 @@ use sunbfs::sunway::kernels;
 use sunbfs::sunway::{ocs_sort_mpe, ocs_sort_rma, OcsConfig, SegmentedBitvec};
 
 fn main() {
-    let mib: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let mib: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
     let machine = MachineConfig::new_sunway();
     let n = mib * 1024 * 1024 / 8;
     let mut rng = SplitMix64::new(7);
@@ -47,7 +49,10 @@ fn main() {
     );
     let check: usize = buckets.iter().map(Vec::len).sum();
     assert_eq!(check, n, "sorter lost items");
-    println!("  speedup 6CG/MPE:    {:>9.0}x  (paper: 1443x)", cg6.throughput(bytes) / mpe.throughput(bytes));
+    println!(
+        "  speedup 6CG/MPE:    {:>9.0}x  (paper: 1443x)",
+        cg6.throughput(bytes) / mpe.throughput(bytes)
+    );
 
     // ---- segmented bit-vector probes ----
     println!("\nCG-aware segmenting: 1M random probes of a 2 MB activeness bit vector:");
@@ -57,7 +62,10 @@ fn main() {
     for _ in 0..100_000 {
         seg.set(rng.next_below(bits));
     }
-    println!("  LDM per CPE: {} KB (budget 256 KB)", seg.ldm_bytes_per_cpe() / 1024);
+    println!(
+        "  LDM per CPE: {} KB (budget 256 KB)",
+        seg.ldm_bytes_per_cpe() / 1024
+    );
     let probes = 1_000_000u64;
     let mut remote = 0u64;
     let mut hits = 0u64;
@@ -69,8 +77,14 @@ fn main() {
     }
     let t_rma = kernels::rma_random(&machine, remote, machine.cpes_per_cg);
     let t_gld = kernels::gld_random(&machine, probes, machine.cpes_per_cg);
-    println!("  remote (RMA) fraction: {:.1}%  hits: {hits}", 100.0 * remote as f64 / probes as f64);
+    println!(
+        "  remote (RMA) fraction: {:.1}%  hits: {hits}",
+        100.0 * remote as f64 / probes as f64
+    );
     println!("  probe time via RMA:  {:>8.1} us", t_rma.as_secs() * 1e6);
     println!("  probe time via GLD:  {:>8.1} us", t_gld.as_secs() * 1e6);
-    println!("  segmenting speedup:  {:>8.1}x   (paper: ~9x on the EH2EH pull kernel)", t_gld.as_secs() / t_rma.as_secs());
+    println!(
+        "  segmenting speedup:  {:>8.1}x   (paper: ~9x on the EH2EH pull kernel)",
+        t_gld.as_secs() / t_rma.as_secs()
+    );
 }

@@ -5,9 +5,11 @@
 //!
 //! ```text
 //! cargo run --release --example graph500_runner -- \
-//!     [scale] [ranks] [e_threshold] [h_threshold] [num_roots]
+//!     [scale] [ranks] [e_threshold] [h_threshold] [num_roots] \
+//!     [--json [path]]
 //!
 //! # defaults:         14      16          256          64        8
+//! # --json without a path writes BENCH_<scale>_<rows>x<cols>.json
 //! # disable a technique:
 //! SUNBFS_NO_SUBITER=1 SUNBFS_NO_SEGMENT=1 cargo run --release \
 //!     --example graph500_runner -- 14 16
@@ -15,19 +17,36 @@
 
 use sunbfs::core::EngineConfig;
 use sunbfs::driver::{run_benchmark, RunConfig};
+use sunbfs::metrics;
 use sunbfs::net::MeshShape;
 use sunbfs::part::Thresholds;
 
-fn arg(n: usize, default: u64) -> u64 {
-    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+/// Split `--json [path]` out of the argument list, leaving the
+/// positional knobs in place. `Some(None)` means "default filename".
+fn parse_args() -> (Vec<u64>, Option<Option<String>>) {
+    let mut positional = Vec::new();
+    let mut json: Option<Option<String>> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            json = Some(args.next_if(|p| !p.starts_with("--")));
+        } else if let Ok(v) = a.parse::<u64>() {
+            positional.push(v);
+        } else {
+            eprintln!("ignoring unrecognized argument: {a}");
+        }
+    }
+    (positional, json)
 }
 
 fn main() {
-    let scale = arg(1, 14) as u32;
-    let ranks = arg(2, 16) as usize;
-    let e_th = arg(3, 256) as u32;
-    let h_th = arg(4, 64) as u32;
-    let num_roots = arg(5, 8) as usize;
+    let (positional, json) = parse_args();
+    let arg = |n: usize, default: u64| positional.get(n).copied().unwrap_or(default);
+    let scale = arg(0, 14) as u32;
+    let ranks = arg(1, 16) as usize;
+    let e_th = arg(2, 256) as u32;
+    let h_th = arg(3, 64) as u32;
+    let num_roots = arg(4, 8) as usize;
 
     let mut engine = EngineConfig::default();
     if std::env::var_os("SUNBFS_NO_SUBITER").is_some() {
@@ -54,7 +73,10 @@ fn main() {
     println!("graph500 runner");
     println!("  SCALE:          {scale} ({} vertices)", 1u64 << scale);
     println!("  edges:          {}", 16u64 << scale);
-    println!("  mesh:           {}x{} = {} ranks", config.mesh.rows, config.mesh.cols, ranks);
+    println!(
+        "  mesh:           {}x{} = {} ranks",
+        config.mesh.rows, config.mesh.cols, ranks
+    );
     println!("  thresholds:     E>={e_th}  H>={h_th}");
     println!(
         "  techniques:     sub-iteration={} segmenting={}",
@@ -63,7 +85,13 @@ fn main() {
     println!("  roots:          {num_roots}");
 
     let wall = std::time::Instant::now();
-    let report = run_benchmark(&config);
+    let report = match run_benchmark(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let wall = wall.elapsed();
 
     println!("\nper-root results:");
@@ -78,6 +106,14 @@ fn main() {
             run.gteps,
         );
     }
+    if let Some(path) = json {
+        let path = path.unwrap_or_else(|| metrics::default_report_path(scale, config.mesh));
+        match metrics::write_report(&report, std::path::Path::new(&path)) {
+            Ok(()) => println!("\nJSON report:          {path}"),
+            Err(e) => eprintln!("\ncould not write {path}: {e}"),
+        }
+    }
+
     println!("\nvalidated:            {}", report.validated);
     println!("mean GTEPS:           {:.3}", report.mean_gteps());
     println!("harmonic-mean GTEPS:  {:.3}", report.harmonic_mean_gteps());

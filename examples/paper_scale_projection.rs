@@ -37,7 +37,7 @@ fn main() {
         num_roots: 2,
         validate: false,
     };
-    let report = run_benchmark(&cal);
+    let report = run_benchmark(&cal).expect("calibration run must pass");
     let stats = &report.partition_stats;
     let total_stored: u64 = stats.iter().map(|s| s.total()).sum();
     let share = |f: fn(&sunbfs::part::ComponentStats) -> u64| -> f64 {
@@ -46,7 +46,11 @@ fn main() {
     let eh_share = share(|s| s.eh2eh);
     let hl_share = share(|s| s.h2l) + share(|s| s.l2h);
     let l2l_share = share(|s| s.l2l);
-    let scanned: u64 = report.runs[0].iterations.iter().map(|it| it.scanned_edges).sum();
+    let scanned: u64 = report.runs[0]
+        .iterations
+        .iter()
+        .map(|it| it.scanned_edges)
+        .sum();
     let m_cal = 16u64 << 18;
     let scan_factor = scanned as f64 / m_cal as f64;
     println!("calibration at SCALE 18 (measured, not assumed):");
@@ -59,7 +63,10 @@ fn main() {
     let nodes = 103_912f64;
     let m_full = 16f64 * 2f64.powi(44); // 281T directed-once edges
     let per_node_edges = m_full / nodes; // ~2.7e9
-    println!("\nprojection to SCALE 44 on {} nodes (406x256 mesh):", nodes as u64);
+    println!(
+        "\nprojection to SCALE 44 on {} nodes (406x256 mesh):",
+        nodes as u64
+    );
     println!("  edges per node: {:.2e}", per_node_edges);
 
     // Per-node scanned work (both stored orientations, early exit folded
@@ -85,14 +92,18 @@ fn main() {
     // column hubs → 12.5 MB bit vector; ~10 iterations, 2 tiers.
     let hub_bytes = 12.5e6;
     let iters = 10.0;
-    let t_sync = SimTime::secs(iters * 2.0 * (hub_bytes / machine.nic_bandwidth + hub_bytes / inter_bw));
+    let t_sync =
+        SimTime::secs(iters * 2.0 * (hub_bytes / machine.nic_bandwidth + hub_bytes / inter_bw));
 
     // (e) latency floor: ~30 collectives x log2(P) hops x net latency.
     let t_lat = SimTime::secs(iters * 3.0 * (nodes.log2()) * machine.net_latency);
 
     let total = t_compute + t_row + t_l2l + t_sync + t_lat;
     println!("\nprojected per-BFS time components (seconds):");
-    println!("  compute (adjacency streaming): {:.3}", t_compute.as_secs());
+    println!(
+        "  compute (adjacency streaming): {:.3}",
+        t_compute.as_secs()
+    );
     println!("  intra-supernode messaging:     {:.3}", t_row.as_secs());
     println!("  cross-supernode messaging:     {:.3}", t_l2l.as_secs());
     println!("  delegate synchronization:      {:.3}", t_sync.as_secs());

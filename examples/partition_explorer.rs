@@ -17,7 +17,10 @@ use sunbfs::part::{build_1p5d, ComponentStats, Thresholds};
 use sunbfs::rmat::{self, RmatParams};
 
 fn arg(n: usize, default: u64) -> u64 {
-    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -30,11 +33,17 @@ fn main() {
     let edges = rmat::generate_edges(&params);
     let degs = rmat::degrees(n, &edges);
     let hist = rmat::degree_histogram(&degs);
-    println!("degree distribution, SCALE {scale} ({} edges):", edges.len());
+    println!(
+        "degree distribution, SCALE {scale} ({} edges):",
+        edges.len()
+    );
     println!("  degree bucket   vertices");
     for (lo, count) in hist.buckets() {
         if count > 0 {
-            println!("  >= {lo:<10}   {count:>10}  {}", "#".repeat((count as f64).log10().max(0.0) as usize * 4));
+            println!(
+                "  >= {lo:<10}   {count:>10}  {}",
+                "#".repeat((count as f64).log10().max(0.0) as usize * 4)
+            );
         }
     }
     drop(edges);
@@ -62,10 +71,17 @@ fn main() {
         println!("  hubs: |E|={num_e} |H|={num_h}");
         let sum = |f: fn(&ComponentStats) -> u64| -> (u64, u64, u64) {
             let v: Vec<u64> = stats.iter().map(|(_, _, s)| f(s)).collect();
-            (*v.iter().min().unwrap(), *v.iter().max().unwrap(), v.iter().sum())
+            (
+                *v.iter().min().unwrap(),
+                *v.iter().max().unwrap(),
+                v.iter().sum(),
+            )
         };
         for (label, f) in [
-            ("EH2EH", (|s: &ComponentStats| s.eh2eh) as fn(&ComponentStats) -> u64),
+            (
+                "EH2EH",
+                (|s: &ComponentStats| s.eh2eh) as fn(&ComponentStats) -> u64,
+            ),
             ("E2L", |s| s.e2l),
             ("L2E", |s| s.l2e),
             ("H2L", |s| s.h2l),

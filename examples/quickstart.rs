@@ -22,7 +22,7 @@ fn main() {
         config.mesh.cols,
     );
 
-    let report = run_benchmark(&config);
+    let report = run_benchmark(&config).expect("benchmark must pass");
 
     println!("validated: {}", report.validated);
     for run in &report.runs {

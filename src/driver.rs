@@ -7,10 +7,12 @@
 //! tree against the specification, and report TEPS statistics with the
 //! harmonic mean the benchmark mandates.
 
+use std::fmt;
+
 use sunbfs_common::{Edge, MachineConfig, TimeAccumulator};
 use sunbfs_core::validate::{self, ValidationError};
-use sunbfs_core::{run_bfs, BfsOutput, EngineConfig, IterationStats};
-use sunbfs_net::{Cluster, MeshShape};
+use sunbfs_core::{run_bfs, BfsOutput, EngineConfig, EngineError, IterationStats};
+use sunbfs_net::{Cluster, CommStats, MeshShape};
 use sunbfs_part::{build_1p5d, ComponentStats, Thresholds};
 use sunbfs_rmat::RmatParams;
 
@@ -61,6 +63,42 @@ impl RunConfig {
     }
 }
 
+/// A traversal or validation failure surfaced by [`run_benchmark`] as a
+/// diagnosable error instead of a rank-local abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriverError {
+    /// The BFS engine itself failed (e.g. non-termination on a broken
+    /// partition) — replicated across ranks, so the whole SPMD phase
+    /// returns it coherently.
+    Engine(EngineError),
+    /// A parent tree failed Graph 500 validation.
+    Validation {
+        /// The root whose traversal failed validation.
+        root: u64,
+        /// The specification rule that was violated.
+        error: ValidationError,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Engine(e) => write!(f, "engine failure: {e}"),
+            DriverError::Validation { root, error } => {
+                write!(f, "Graph 500 validation failed for root {root}: {error:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<EngineError> for DriverError {
+    fn from(e: EngineError) -> Self {
+        DriverError::Engine(e)
+    }
+}
+
 /// Results of one root's traversal, aggregated over ranks.
 #[derive(Clone, Debug)]
 pub struct RootRun {
@@ -69,16 +107,24 @@ pub struct RootRun {
     /// Simulated traversal seconds (max over ranks — they finish
     /// together at the final collective).
     pub sim_seconds: f64,
-    /// Graph 500 `m` for this root.
+    /// Graph 500 `m` for this root: the spec-conformant
+    /// [`validate::component_edges`] count when validation ran,
+    /// otherwise the engine's degree-sum estimate.
     pub traversed_edges: u64,
+    /// The engine's own degree-sum estimate of `m`. Counts duplicate
+    /// generator edges per entry, so on multigraphs it exceeds the
+    /// deduplicated spec count in `traversed_edges`.
+    pub engine_traversed_edges: u64,
     /// Vertices reached.
     pub visited_vertices: u64,
-    /// Giga-TEPS on the simulated machine.
+    /// Giga-TEPS on the simulated machine (from `traversed_edges`).
     pub gteps: f64,
     /// Iteration series (identical replicated counters from rank 0).
     pub iterations: Vec<IterationStats>,
     /// Per-category simulated time summed over ranks (for breakdowns).
     pub times: TimeAccumulator,
+    /// Collective call counts and byte volumes summed over ranks.
+    pub comm: CommStats,
 }
 
 /// A full benchmark report.
@@ -124,7 +170,8 @@ impl BenchmarkReport {
 /// Choose `k` distinct roots with nonzero degree, deterministically
 /// from the generator's first edge chunk.
 pub fn pick_roots(params: &RmatParams, k: usize) -> Vec<u64> {
-    let probe = sunbfs_rmat::generate_range(params, 0, (k as u64 * 64 + 64).min(params.num_edges()));
+    let probe =
+        sunbfs_rmat::generate_range(params, 0, (k as u64 * 64 + 64).min(params.num_edges()));
     let mut roots = Vec::with_capacity(k);
     for e in &probe {
         if e.is_self_loop() {
@@ -149,10 +196,11 @@ pub fn pick_roots(params: &RmatParams, k: usize) -> Vec<u64> {
 
 /// Run the complete benchmark pipeline.
 ///
-/// # Panics
-/// Panics when `config.validate` is set and any traversal fails the
-/// Graph 500 validation.
-pub fn run_benchmark(config: &RunConfig) -> BenchmarkReport {
+/// # Errors
+/// Returns [`DriverError::Engine`] when any traversal fails inside the
+/// engine, and [`DriverError::Validation`] when `config.validate` is
+/// set and a parent tree violates the Graph 500 specification.
+pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError> {
     let params = config.rmat();
     let n = params.num_vertices();
     let p = config.mesh.num_ranks() as u64;
@@ -160,58 +208,78 @@ pub fn run_benchmark(config: &RunConfig) -> BenchmarkReport {
     let cluster = Cluster::new(config.mesh, config.machine);
 
     // SPMD phase: each rank generates its chunk, partitions, traverses.
-    let rank_results: Vec<(ComponentStats, Vec<BfsOutput>)> = cluster.run(|ctx| {
-        let chunk = sunbfs_rmat::generate_chunk(&params, ctx.rank() as u64, p);
-        let part = build_1p5d(ctx, n, &chunk, config.thresholds);
-        drop(chunk);
-        let outputs: Vec<BfsOutput> =
-            roots.iter().map(|&root| run_bfs(ctx, &part, root, &config.engine)).collect();
-        (part.stats, outputs)
-    });
+    // `EngineError` is replicated state, so every rank agrees on
+    // success or failure and the collectives stay in lock-step.
+    let rank_results: Vec<(ComponentStats, Result<Vec<BfsOutput>, EngineError>)> =
+        cluster.run(|ctx| {
+            let chunk = sunbfs_rmat::generate_chunk(&params, ctx.rank() as u64, p);
+            let part = build_1p5d(ctx, n, &chunk, config.thresholds);
+            drop(chunk);
+            let outputs: Result<Vec<BfsOutput>, EngineError> = roots
+                .iter()
+                .map(|&root| run_bfs(ctx, &part, root, &config.engine))
+                .collect();
+            (part.stats, outputs)
+        });
 
-    let partition_stats: Vec<ComponentStats> =
-        rank_results.iter().map(|(s, _)| *s).collect();
+    let partition_stats: Vec<ComponentStats> = rank_results.iter().map(|(s, _)| *s).collect();
+    let per_rank: Vec<Vec<BfsOutput>> = rank_results
+        .into_iter()
+        .map(|(_, r)| r.map_err(DriverError::Engine))
+        .collect::<Result<_, _>>()?;
 
     // Per-root aggregation (and optional validation).
-    let full_edges: Option<Vec<Edge>> =
-        config.validate.then(|| sunbfs_rmat::generate_edges(&params));
+    let full_edges: Option<Vec<Edge>> = config
+        .validate
+        .then(|| sunbfs_rmat::generate_edges(&params));
     let mut runs = Vec::with_capacity(roots.len());
-    let mut validated = config.validate;
+    let validated = full_edges.is_some();
     for (ri, &root) in roots.iter().enumerate() {
         let mut times = TimeAccumulator::new();
+        let mut comm = CommStats::new();
         let mut sim_seconds = 0.0f64;
-        for (_, outputs) in &rank_results {
+        for outputs in &per_rank {
             times.merge(&outputs[ri].stats.times);
+            comm.merge(&outputs[ri].stats.comm);
             sim_seconds = sim_seconds.max(outputs[ri].stats.sim_seconds);
         }
-        let stats0 = &rank_results[0].1[ri].stats;
+        let stats0 = &per_rank[0][ri].stats;
+        let engine_traversed_edges = stats0.traversed_edges;
+        // Spec-conformant TEPS `m`: duplicate generator edges count
+        // once. Only computable with the full edge list on the driver,
+        // so fall back to the engine's estimate when not validating.
+        let mut traversed_edges = engine_traversed_edges;
         if let Some(edges) = &full_edges {
-            let parents: Vec<u64> = rank_results
+            let parents: Vec<u64> = per_rank
                 .iter()
-                .flat_map(|(_, outputs)| outputs[ri].parents.iter().copied())
+                .flat_map(|outputs| outputs[ri].parents.iter().copied())
                 .collect();
-            if let Err(e) = validate::validate_parents(n, edges, root, &parents) {
-                panic!("Graph 500 validation failed for root {root}: {e:?}");
-            }
+            validate::validate_parents(n, edges, root, &parents)
+                .map_err(|error| DriverError::Validation { root, error })?;
+            traversed_edges = validate::component_edges(edges, &parents);
         }
         runs.push(RootRun {
             root,
             sim_seconds,
-            traversed_edges: stats0.traversed_edges,
+            traversed_edges,
+            engine_traversed_edges,
             visited_vertices: stats0.visited_vertices,
             gteps: if sim_seconds > 0.0 {
-                stats0.traversed_edges as f64 / sim_seconds / 1e9
+                traversed_edges as f64 / sim_seconds / 1e9
             } else {
                 0.0
             },
             iterations: stats0.iterations.clone(),
             times,
+            comm,
         });
     }
-    if full_edges.is_none() {
-        validated = false;
-    }
-    BenchmarkReport { config: *config, partition_stats, runs, validated }
+    Ok(BenchmarkReport {
+        config: *config,
+        partition_stats,
+        runs,
+        validated,
+    })
 }
 
 /// Re-exported so callers can name validation errors without another
@@ -224,12 +292,35 @@ mod tests {
 
     #[test]
     fn small_benchmark_runs_and_validates() {
-        let report = run_benchmark(&RunConfig::small_test(9, 4));
+        let report = run_benchmark(&RunConfig::small_test(9, 4)).expect("benchmark must pass");
         assert!(report.validated);
         assert_eq!(report.runs.len(), 3);
         assert!(report.mean_gteps() > 0.0);
         assert!(report.harmonic_mean_gteps() <= report.mean_gteps() + 1e-12);
         assert_eq!(report.partition_stats.len(), 4);
+    }
+
+    #[test]
+    fn validated_teps_is_spec_conformant_at_scale_9() {
+        // Acceptance criterion: on every validated root the driver's
+        // TEPS `m` equals `validate::component_edges`, and the engine's
+        // multigraph degree-sum estimate is never below it.
+        let config = RunConfig::small_test(9, 4);
+        let report = run_benchmark(&config).expect("benchmark must pass");
+        let params = RmatParams::graph500(config.scale, config.seed);
+        let edges = sunbfs_rmat::generate_edges(&params);
+        for run in &report.runs {
+            let (parents, _) = validate::reference_bfs(params.num_vertices(), &edges, run.root);
+            let spec_m = validate::component_edges(&edges, &parents);
+            assert_eq!(run.traversed_edges, spec_m, "root {}", run.root);
+            assert!(
+                run.engine_traversed_edges >= spec_m,
+                "engine estimate {} below spec count {spec_m} for root {}",
+                run.engine_traversed_edges,
+                run.root
+            );
+            assert!(run.gteps > 0.0);
+        }
     }
 
     #[test]
@@ -241,7 +332,8 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), 8, "roots must be distinct");
-        let deg = sunbfs_rmat::degrees(params.num_vertices(), &sunbfs_rmat::generate_edges(&params));
+        let deg =
+            sunbfs_rmat::degrees(params.num_vertices(), &sunbfs_rmat::generate_edges(&params));
         for r in roots {
             assert!(deg[r as usize] > 0, "root {r} is isolated");
         }
@@ -251,9 +343,18 @@ mod tests {
     fn degenerate_partitions_also_validate() {
         let mut cfg = RunConfig::small_test(9, 4);
         cfg.thresholds = Thresholds::none();
-        assert!(run_benchmark(&cfg).validated);
+        assert!(run_benchmark(&cfg).expect("none-thresholds run").validated);
         cfg.thresholds = Thresholds::all_hubs(1 << 20);
         cfg.num_roots = 1;
-        assert!(run_benchmark(&cfg).validated);
+        assert!(run_benchmark(&cfg).expect("all-hubs run").validated);
+    }
+
+    #[test]
+    fn driver_error_displays() {
+        let e = DriverError::Validation {
+            root: 7,
+            error: ValidationError::BadRoot,
+        };
+        assert!(e.to_string().contains("root 7"));
     }
 }

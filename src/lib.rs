@@ -27,12 +27,13 @@
 //! ```
 //! use sunbfs::driver::{run_benchmark, RunConfig};
 //!
-//! let report = run_benchmark(&RunConfig::small_test(10, 4));
+//! let report = run_benchmark(&RunConfig::small_test(10, 4)).expect("benchmark must pass");
 //! assert!(report.mean_gteps() > 0.0);
 //! assert!(report.validated);
 //! ```
 
 pub mod driver;
+pub mod metrics;
 
 pub use sunbfs_common as common;
 pub use sunbfs_core as core;

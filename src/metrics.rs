@@ -1,0 +1,270 @@
+//! Structured JSON metrics for every benchmark run.
+//!
+//! Turns a [`BenchmarkReport`] into one machine-readable record —
+//! the perf trajectory the roadmap regression-gates on — and writes it
+//! to `BENCH_<scale>_<rows>x<cols>.json`. Field semantics and the
+//! `sub.*` / `comm.*` / `hubsync.*` prefix convention are documented in
+//! `docs/METRICS.md`; the schema itself is pinned by a golden-file test
+//! (`tests/metrics_json.rs`).
+
+use std::io::Write as _;
+use std::path::Path;
+
+use sunbfs_common::{JsonValue, TimeAccumulator, ToJson};
+use sunbfs_core::IterationStats;
+use sunbfs_net::MeshShape;
+use sunbfs_part::ComponentStats;
+use sunbfs_sunway::KernelReport;
+
+use crate::driver::{BenchmarkReport, RootRun, RunConfig};
+
+/// Bump when the JSON layout changes shape (adding fields is a bump
+/// too: the golden test pins the exact skeleton).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Ratio bin edges of the partition load-balance histogram: each rank's
+/// `total / mean` storage falls into one bin; the last bin is open.
+pub const LOAD_BALANCE_BIN_EDGES: [f64; 9] = [0.0, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0];
+
+impl BenchmarkReport {
+    /// The complete run as one JSON record.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("schema_version", SCHEMA_VERSION)
+            .field("config", config_json(&self.config))
+            .field("validated", self.validated)
+            .field("harmonic_mean_gteps", self.harmonic_mean_gteps())
+            .field("mean_gteps", self.mean_gteps())
+            .field("time_breakdown", grouped_times(&self.total_times()))
+            .field("partition", partition_json(&self.partition_stats))
+            .field(
+                "roots",
+                JsonValue::Array(self.runs.iter().map(root_run_json).collect()),
+            )
+            .build()
+    }
+}
+
+fn config_json(c: &RunConfig) -> JsonValue {
+    JsonValue::object()
+        .field("scale", c.scale)
+        .field("edge_factor", c.edge_factor)
+        .field(
+            "mesh",
+            JsonValue::object()
+                .field("rows", c.mesh.rows)
+                .field("cols", c.mesh.cols),
+        )
+        .field(
+            "thresholds",
+            JsonValue::object()
+                .field("e", c.thresholds.e)
+                .field("h", c.thresholds.h),
+        )
+        .field(
+            "engine",
+            JsonValue::object()
+                .field("alpha_local", c.engine.alpha_local)
+                .field("beta_crossing", c.engine.beta_crossing)
+                .field("sub_iteration", c.engine.sub_iteration)
+                .field("vanilla_alpha", c.engine.vanilla_alpha)
+                .field("segmenting", c.engine.segmenting),
+        )
+        .field("seed", c.seed)
+        .field("num_roots", c.num_roots)
+        .field("validate", c.validate)
+        .build()
+}
+
+/// Group flat time categories by their first dotted segment: the
+/// existing `sub.*` / `comm.*` / `hubsync.*` / `reduce.*` prefixes
+/// become one sub-object each, with a `total_s` per group and overall.
+pub fn grouped_times(times: &TimeAccumulator) -> JsonValue {
+    // (prefix, categories within it, group total seconds).
+    type Group = (String, Vec<(String, JsonValue)>, f64);
+    let mut groups: Vec<Group> = Vec::new();
+    let mut overall = 0.0;
+    for (cat, secs) in times.entries() {
+        let prefix = cat.split('.').next().unwrap_or("other").to_string();
+        overall += secs;
+        match groups.iter_mut().find(|(p, _, _)| *p == prefix) {
+            Some((_, cats, total)) => {
+                cats.push((cat.to_string(), JsonValue::Float(secs)));
+                *total += secs;
+            }
+            None => groups.push((
+                prefix,
+                vec![(cat.to_string(), JsonValue::Float(secs))],
+                secs,
+            )),
+        }
+    }
+    let mut out = JsonValue::object().field("total_s", overall);
+    for (prefix, cats, total) in groups {
+        let body = JsonValue::Object(
+            std::iter::once(("total_s".to_string(), JsonValue::Float(total)))
+                .chain(cats)
+                .collect(),
+        );
+        out = out.field(&prefix, body);
+    }
+    out.build()
+}
+
+fn partition_json(stats: &[ComponentStats]) -> JsonValue {
+    JsonValue::object()
+        .field("per_rank", stats.to_json())
+        .field("load_balance", load_balance_histogram(stats))
+        .build()
+}
+
+/// The Figure 13 raw data condensed: per-rank stored-edge totals binned
+/// by their ratio to the mean.
+pub fn load_balance_histogram(stats: &[ComponentStats]) -> JsonValue {
+    let totals: Vec<u64> = stats.iter().map(ComponentStats::total).collect();
+    let n = totals.len().max(1) as f64;
+    let mean = totals.iter().sum::<u64>() as f64 / n;
+    let min = totals.iter().copied().min().unwrap_or(0);
+    let max = totals.iter().copied().max().unwrap_or(0);
+    // One bucket per edge pair plus the open last bucket.
+    let mut counts = vec![0u64; LOAD_BALANCE_BIN_EDGES.len()];
+    for &t in &totals {
+        let ratio = if mean > 0.0 { t as f64 / mean } else { 0.0 };
+        let mut bin = 0;
+        for (i, &lo) in LOAD_BALANCE_BIN_EDGES.iter().enumerate() {
+            if ratio >= lo {
+                bin = i;
+            }
+        }
+        counts[bin] += 1;
+    }
+    let bins = LOAD_BALANCE_BIN_EDGES
+        .iter()
+        .enumerate()
+        .map(|(i, &lo)| {
+            let hi: JsonValue = match LOAD_BALANCE_BIN_EDGES.get(i + 1) {
+                Some(&hi) => JsonValue::Float(hi),
+                None => JsonValue::Null,
+            };
+            JsonValue::object()
+                .field("ratio_lo", lo)
+                .field("ratio_hi", hi)
+                .field("ranks", counts[i])
+                .build()
+        })
+        .collect();
+    JsonValue::object()
+        .field("mean_edges", mean)
+        .field("min_edges", min)
+        .field("max_edges", max)
+        .field(
+            "max_over_mean",
+            if mean > 0.0 { max as f64 / mean } else { 0.0 },
+        )
+        .field("histogram", JsonValue::Array(bins))
+        .build()
+}
+
+/// Sum each component's OCS kernel work over all iterations of a run.
+pub fn kernel_totals(iterations: &[IterationStats]) -> [KernelReport; 6] {
+    let mut totals = [KernelReport::default(); 6];
+    for it in iterations {
+        for (total, sub) in totals.iter_mut().zip(&it.subs) {
+            total.join_serial(&sub.kernel);
+        }
+    }
+    totals
+}
+
+fn root_run_json(run: &RootRun) -> JsonValue {
+    let kernels = JsonValue::Object(
+        sunbfs_core::Component::ALL
+            .iter()
+            .zip(kernel_totals(&run.iterations))
+            .map(|(c, k)| (c.name().to_string(), k.to_json()))
+            .collect(),
+    );
+    JsonValue::object()
+        .field("root", run.root)
+        .field("sim_seconds", run.sim_seconds)
+        .field("traversed_edges", run.traversed_edges)
+        .field("engine_traversed_edges", run.engine_traversed_edges)
+        .field("visited_vertices", run.visited_vertices)
+        .field("gteps", run.gteps)
+        .field("times", grouped_times(&run.times))
+        .field("comm", run.comm.to_json())
+        .field("kernel_totals", kernels)
+        .field("iterations", run.iterations.to_json())
+        .build()
+}
+
+/// The default report filename: `BENCH_<scale>_<rows>x<cols>.json`.
+pub fn default_report_path(scale: u32, mesh: MeshShape) -> String {
+    format!("BENCH_{scale}_{}x{}.json", mesh.rows, mesh.cols)
+}
+
+/// Pretty-render the report and write it to `path`.
+pub fn write_report(report: &BenchmarkReport, path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(report.to_json().render_pretty().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_benchmark;
+
+    #[test]
+    fn grouped_times_split_by_prefix() {
+        let mut t = TimeAccumulator::new();
+        t.add("sub.EH2EH.pull", sunbfs_common::SimTime::secs(1.0));
+        t.add("sub.L2L.push", sunbfs_common::SimTime::secs(0.5));
+        t.add("comm.alltoallv.L2L", sunbfs_common::SimTime::secs(2.0));
+        let js = grouped_times(&t).render();
+        assert!(js.starts_with(r#"{"total_s":3.5"#), "got {js}");
+        assert!(js.contains(r#""sub":{"total_s":1.5"#), "got {js}");
+        assert!(js.contains(r#""comm":{"total_s":2.0"#), "got {js}");
+    }
+
+    #[test]
+    fn load_balance_histogram_counts_every_rank() {
+        let a = ComponentStats {
+            l2l: 100,
+            ..Default::default()
+        };
+        let b = ComponentStats {
+            l2l: 300,
+            ..Default::default()
+        };
+        let js = load_balance_histogram(&[a, b]).render();
+        // mean 200: ratios 0.5 and 1.5 → both bins populated, max/mean 1.5.
+        assert!(js.contains(r#""max_over_mean":1.5"#), "got {js}");
+        assert!(
+            js.contains(r#""ratio_lo":0.5,"ratio_hi":0.75,"ranks":1"#),
+            "got {js}"
+        );
+        assert!(
+            js.contains(r#""ratio_lo":1.5,"ratio_hi":2.0,"ranks":1"#),
+            "got {js}"
+        );
+    }
+
+    #[test]
+    fn default_path_encodes_scale_and_mesh() {
+        assert_eq!(
+            default_report_path(14, MeshShape::new(2, 8)),
+            "BENCH_14_2x8.json"
+        );
+    }
+
+    #[test]
+    fn report_json_contains_headline_and_directions() {
+        let report = run_benchmark(&crate::driver::RunConfig::small_test(9, 4)).expect("benchmark");
+        let js = report.to_json().render();
+        assert!(js.contains("\"harmonic_mean_gteps\":"));
+        assert!(js.contains("\"direction\":"));
+        assert!(js.contains("\"EH2EH\":"));
+        assert!(js.contains("\"rma_ops\":"));
+        assert!(js.contains("\"load_balance\":"));
+    }
+}

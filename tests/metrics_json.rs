@@ -1,0 +1,95 @@
+//! Golden-file test pinning the JSON metrics schema at SCALE 9.
+//!
+//! The golden file records the *skeleton* of the report — every field
+//! path with its JSON type, arrays descended through their first
+//! element — not the values, so perf changes don't churn it but any
+//! schema change (added, removed, renamed, or retyped field) fails
+//! loudly. Regenerate deliberately with
+//! `SUNBFS_UPDATE_GOLDEN=1 cargo test --test metrics_json`.
+
+use std::path::PathBuf;
+
+use sunbfs::common::JsonValue;
+use sunbfs::driver::{run_benchmark, RunConfig};
+
+fn skeleton(v: &JsonValue, path: &str, out: &mut Vec<String>) {
+    match v {
+        JsonValue::Null => out.push(format!("{path}: null")),
+        JsonValue::Bool(_) => out.push(format!("{path}: bool")),
+        JsonValue::UInt(_) | JsonValue::Int(_) => out.push(format!("{path}: int")),
+        JsonValue::Float(_) => out.push(format!("{path}: float")),
+        JsonValue::Str(_) => out.push(format!("{path}: string")),
+        JsonValue::Array(items) => match items.first() {
+            None => out.push(format!("{path}: array(empty)")),
+            Some(first) => skeleton(first, &format!("{path}[]"), out),
+        },
+        JsonValue::Object(fields) => {
+            for (k, v) in fields {
+                skeleton(v, &format!("{path}.{k}"), out);
+            }
+        }
+    }
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/bench_schema_scale9.txt")
+}
+
+#[test]
+fn json_schema_matches_golden_at_scale_9() {
+    let report = run_benchmark(&RunConfig::small_test(9, 4)).expect("benchmark must pass");
+    let mut lines = Vec::new();
+    skeleton(&report.to_json(), "$", &mut lines);
+    let got = lines.join("\n") + "\n";
+
+    let path = golden_path();
+    if std::env::var_os("SUNBFS_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with SUNBFS_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    if got != want {
+        let diff: Vec<String> = {
+            let got_set: std::collections::BTreeSet<&str> = got.lines().collect();
+            let want_set: std::collections::BTreeSet<&str> = want.lines().collect();
+            want_set
+                .difference(&got_set)
+                .map(|l| format!("- {l}"))
+                .chain(got_set.difference(&want_set).map(|l| format!("+ {l}")))
+                .collect()
+        };
+        panic!(
+            "JSON metrics schema changed relative to {} — if intentional, bump \
+             SCHEMA_VERSION and regenerate with SUNBFS_UPDATE_GOLDEN=1.\n{}",
+            path.display(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn report_contains_acceptance_fields() {
+    let report = run_benchmark(&RunConfig::small_test(9, 4)).expect("benchmark must pass");
+    let js = report.to_json().render();
+    // Acceptance criteria: headline, per-iteration directions for all
+    // six subgraphs, per-category time breakdown, OCS kernel
+    // aggregates.
+    assert!(js.contains("\"harmonic_mean_gteps\":"));
+    for comp in ["EH2EH", "E2L", "L2E", "H2L", "L2H", "L2L"] {
+        assert!(
+            js.contains(&format!("\"{comp}\":")),
+            "missing component {comp}"
+        );
+    }
+    assert!(js.contains("\"direction\":\"push\"") || js.contains("\"direction\":\"pull\""));
+    assert!(js.contains("\"time_breakdown\":"));
+    assert!(js.contains("\"rma_ops\":"));
+    assert!(js.contains("\"dma_bytes\":"));
+    assert!(js.contains("\"atomic_ops\":"));
+}

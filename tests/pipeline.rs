@@ -25,7 +25,7 @@ fn base_config(scale: u32, ranks: usize) -> RunConfig {
 
 #[test]
 fn quickstart_pipeline_validates() {
-    let report = run_benchmark(&base_config(11, 4));
+    let report = run_benchmark(&base_config(11, 4)).expect("benchmark must pass");
     assert!(report.validated);
     assert!(report.mean_gteps() > 0.0);
     // All roots traverse the same giant component of the R-MAT graph.
@@ -39,7 +39,7 @@ fn every_mesh_shape_validates() {
         let mut cfg = base_config(10, rows * cols);
         cfg.mesh = MeshShape::new(rows, cols);
         cfg.num_roots = 1;
-        let report = run_benchmark(&cfg);
+        let report = run_benchmark(&cfg).expect("benchmark must pass");
         assert!(report.validated, "mesh {rows}x{cols} failed validation");
     }
 }
@@ -50,9 +50,13 @@ fn all_technique_combinations_validate_and_agree() {
     for sub_iteration in [false, true] {
         for segmenting in [false, true] {
             let mut cfg = base_config(11, 4);
-            cfg.engine = EngineConfig { sub_iteration, segmenting, ..Default::default() };
+            cfg.engine = EngineConfig {
+                sub_iteration,
+                segmenting,
+                ..Default::default()
+            };
             cfg.num_roots = 1;
-            let report = run_benchmark(&cfg);
+            let report = run_benchmark(&cfg).expect("benchmark must pass");
             assert!(report.validated);
             let v = report.runs[0].visited_vertices;
             match reference_visits {
@@ -74,7 +78,7 @@ fn threshold_regimes_all_validate() {
         let mut cfg = base_config(10, 4);
         cfg.thresholds = th;
         cfg.num_roots = 1;
-        let report = run_benchmark(&cfg);
+        let report = run_benchmark(&cfg).expect("benchmark must pass");
         assert!(report.validated, "thresholds {th:?} failed");
     }
 }
@@ -85,14 +89,17 @@ fn seeds_change_the_graph_but_not_correctness() {
         let mut cfg = base_config(10, 4);
         cfg.seed = seed;
         cfg.num_roots = 1;
-        assert!(run_benchmark(&cfg).validated, "seed {seed} failed");
+        assert!(
+            run_benchmark(&cfg).expect("benchmark must pass").validated,
+            "seed {seed} failed"
+        );
     }
 }
 
 #[test]
 fn partition_stats_cover_all_edges() {
     let cfg = base_config(12, 9);
-    let report = run_benchmark(&cfg);
+    let report = run_benchmark(&cfg).expect("benchmark must pass");
     let total: u64 = report.partition_stats.iter().map(|s| s.total()).sum();
     // Every undirected edge is stored at least twice (both orientations
     // of EH2EH/L2L) or once with two indexes (E-L, plus the duplicated
@@ -106,8 +113,18 @@ fn partition_stats_cover_all_edges() {
 
 #[test]
 fn simulated_times_scale_with_problem_size() {
-    let small = run_benchmark(&RunConfig { validate: false, num_roots: 1, ..base_config(10, 4) });
-    let large = run_benchmark(&RunConfig { validate: false, num_roots: 1, ..base_config(14, 4) });
+    let small = run_benchmark(&RunConfig {
+        validate: false,
+        num_roots: 1,
+        ..base_config(10, 4)
+    })
+    .expect("benchmark must pass");
+    let large = run_benchmark(&RunConfig {
+        validate: false,
+        num_roots: 1,
+        ..base_config(14, 4)
+    })
+    .expect("benchmark must pass");
     assert!(
         large.runs[0].sim_seconds > small.runs[0].sim_seconds,
         "16x more edges must cost more simulated time"
@@ -123,7 +140,11 @@ fn social_graph_traverses_and_validates() {
     use sunbfs::part::build_1p5d;
     use sunbfs::rmat::{generate_social, SocialParams};
 
-    let params = SocialParams { num_vertices: 4096, edges_per_vertex: 8, seed: 11 };
+    let params = SocialParams {
+        num_vertices: 4096,
+        edges_per_vertex: 8,
+        seed: 11,
+    };
     let edges = generate_social(&params);
     let n = params.num_vertices;
     let cluster = Cluster::new(MeshShape::new(3, 3), MachineConfig::new_sunway());
@@ -135,9 +156,12 @@ fn social_graph_traverses_and_validates() {
             .map(|(_, e)| *e)
             .collect();
         let part = build_1p5d(ctx, n, &chunk, Thresholds::new(512, 64));
-        run_bfs(ctx, &part, 0, &EngineConfig::default())
+        run_bfs(ctx, &part, 0, &EngineConfig::default()).expect("BFS must terminate")
     });
-    let parents: Vec<u64> = outputs.iter().flat_map(|o| o.parents.iter().copied()).collect();
+    let parents: Vec<u64> = outputs
+        .iter()
+        .flat_map(|o| o.parents.iter().copied())
+        .collect();
     validate_parents(n, &edges, 0, &parents).expect("social graph traversal invalid");
     // Preferential-attachment graphs are connected: everything reached.
     assert_eq!(outputs[0].stats.visited_vertices, n);
@@ -163,8 +187,12 @@ fn gteps_improves_with_full_techniques_at_scale() {
     baseline.engine = EngineConfig::baseline();
     let mut full = baseline;
     full.engine = EngineConfig::default();
-    let b = run_benchmark(&baseline).harmonic_mean_gteps();
-    let f = run_benchmark(&full).harmonic_mean_gteps();
+    let b = run_benchmark(&baseline)
+        .expect("baseline run")
+        .harmonic_mean_gteps();
+    let f = run_benchmark(&full)
+        .expect("full run")
+        .harmonic_mean_gteps();
     assert!(
         f >= b * 0.95,
         "full techniques ({f:.3} GTEPS) should not lose to baseline ({b:.3} GTEPS)"
