@@ -25,7 +25,7 @@ fn main() {
     let ranks = 16;
     let params = RmatParams::graph500(scale, 42);
     let n = params.num_vertices();
-    let root = sunbfs::driver::pick_roots(&params, 1)[0];
+    let root = sunbfs::driver::pick_roots(&params, 1).expect("connected root")[0];
     let th = Thresholds::new(2048, 256);
     println!("=== Extension: generic framework vs the dedicated BFS engine ===");
     println!("    (SCALE {scale}, {ranks} ranks, same 1.5D partition, same root)\n");

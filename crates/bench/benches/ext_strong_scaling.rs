@@ -8,7 +8,7 @@
 //! so speedup saturates quickly — context for why Graph 500 machines
 //! are compared at their *maximum* SCALE per size, not a fixed one.
 
-use sunbfs::driver::{run_benchmark, RunConfig};
+use sunbfs::driver::{run_benchmark, FaultSpec, RunConfig};
 use sunbfs_common::MachineConfig;
 use sunbfs_core::EngineConfig;
 use sunbfs_net::MeshShape;
@@ -31,6 +31,8 @@ fn main() {
             seed: 42,
             num_roots: roots,
             validate: false,
+            faults: FaultSpec::NONE,
+            max_root_retries: 2,
         };
         let report = run_benchmark(&cfg).expect("benchmark must pass");
         let ranks = mesh.num_ranks();

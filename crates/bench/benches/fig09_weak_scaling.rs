@@ -12,7 +12,7 @@
 //! — the same normalization the paper uses (a communication-free single
 //! rank would make "ideal" meaningless).
 
-use sunbfs::driver::{run_benchmark, RunConfig};
+use sunbfs::driver::{run_benchmark, FaultSpec, RunConfig};
 use sunbfs_bench::{sweep_thresholds, weak_scaling_sweep};
 use sunbfs_common::MachineConfig;
 use sunbfs_core::EngineConfig;
@@ -33,6 +33,8 @@ fn main() {
             seed: 42,
             num_roots: roots,
             validate: false,
+            faults: FaultSpec::NONE,
+            max_root_retries: 2,
         };
         let wall = std::time::Instant::now();
         let report = run_benchmark(&cfg).expect("benchmark must pass");

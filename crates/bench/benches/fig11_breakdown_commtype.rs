@@ -9,7 +9,7 @@
 //! This harness prints the same stacked percentages from the
 //! communication-type accounting built into the cluster runtime.
 
-use sunbfs::driver::{run_benchmark, RunConfig};
+use sunbfs::driver::{run_benchmark, FaultSpec, RunConfig};
 use sunbfs_bench::{group_by_commtype, print_percentages, sweep_thresholds, weak_scaling_sweep};
 use sunbfs_common::MachineConfig;
 use sunbfs_core::EngineConfig;
@@ -33,6 +33,8 @@ fn main() {
             seed: 42,
             num_roots: roots,
             validate: false,
+            faults: FaultSpec::NONE,
+            max_root_retries: 2,
         };
         let report = run_benchmark(&cfg).expect("benchmark must pass");
         let groups = group_by_commtype(&report.total_times());

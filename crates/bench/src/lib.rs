@@ -10,7 +10,7 @@
 //! must (and does) match the paper is the shape: orderings, ratios, and
 //! crossover positions. `EXPERIMENTS.md` records both sides.
 
-use sunbfs::driver::{run_benchmark, BenchmarkReport, RunConfig};
+use sunbfs::driver::{run_benchmark, BenchmarkReport, FaultSpec, RunConfig};
 use sunbfs_common::{MachineConfig, TimeAccumulator};
 use sunbfs_core::EngineConfig;
 use sunbfs_net::MeshShape;
@@ -57,6 +57,8 @@ pub fn run_config(
         seed: 42,
         num_roots,
         validate: false,
+        faults: FaultSpec::NONE,
+        max_root_retries: 2,
     }
 }
 

@@ -9,6 +9,19 @@
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
+/// The typed unwind payload a poisoned [`PoisonBarrier::wait`] raises:
+/// the cluster runtime downcasts it to classify the failure as
+/// collateral teardown (some *other* rank was the root cause) rather
+/// than a rank-local bug.
+#[derive(Clone, Copy, Debug)]
+pub struct BarrierPoisoned;
+
+impl std::fmt::Display for BarrierPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cluster barrier poisoned: another rank failed")
+    }
+}
+
 #[derive(Debug)]
 struct State {
     count: usize,
@@ -56,10 +69,14 @@ impl PoisonBarrier {
     /// Block until all parties arrive.
     ///
     /// # Panics
-    /// Panics if the barrier is (or becomes) poisoned.
+    /// Panics with a [`BarrierPoisoned`] payload if the barrier is (or
+    /// becomes) poisoned.
     pub fn wait(&self) {
         let mut st = self.lock_state();
-        assert!(!st.poisoned, "cluster barrier poisoned: a rank panicked");
+        if st.poisoned {
+            drop(st);
+            std::panic::panic_any(BarrierPoisoned);
+        }
         st.count += 1;
         if st.count == self.parties {
             st.count = 0;
@@ -71,7 +88,10 @@ impl PoisonBarrier {
         while st.generation == gen && !st.poisoned {
             st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
-        assert!(!st.poisoned, "cluster barrier poisoned: a rank panicked");
+        if st.poisoned {
+            drop(st);
+            std::panic::panic_any(BarrierPoisoned);
+        }
     }
 
     /// Poison the barrier, waking and failing all current and future
@@ -85,6 +105,17 @@ impl PoisonBarrier {
     /// True once poisoned.
     pub fn is_poisoned(&self) -> bool {
         self.lock_state().poisoned
+    }
+
+    /// Clear poison and arrival state so the barrier can host a fresh
+    /// run. Only sound when no thread is currently blocked in
+    /// [`Self::wait`] — the cluster runtime calls it between runs,
+    /// after every rank thread has been joined.
+    pub fn reset(&self) {
+        let mut st = self.lock_state();
+        st.poisoned = false;
+        st.count = 0;
+        st.generation = st.generation.wrapping_add(1);
     }
 }
 
@@ -147,6 +178,23 @@ mod tests {
     fn wait_after_poison_panics_immediately() {
         let b = PoisonBarrier::new(2);
         b.poison();
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait())).is_err());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait()))
+            .expect_err("poisoned wait must panic");
+        assert!(
+            err.downcast_ref::<BarrierPoisoned>().is_some(),
+            "poison panic must carry the typed BarrierPoisoned payload"
+        );
+    }
+
+    #[test]
+    fn reset_heals_a_poisoned_barrier() {
+        let b = PoisonBarrier::new(1);
+        b.poison();
+        assert!(b.is_poisoned());
+        b.reset();
+        assert!(!b.is_poisoned());
+        // Usable again after reset.
+        b.wait();
+        b.wait();
     }
 }

@@ -17,19 +17,27 @@
 //!
 //! The SPMD contract: all members of a scope must call the same
 //! collectives in the same order. Mismatches are detected by per-op tag
-//! checks and turn into a clean panic (plus barrier poisoning) instead
-//! of a deadlock.
+//! checks and turn into a typed [`SpmdViolation`] unwind (plus barrier
+//! poisoning) instead of a deadlock.
+//!
+//! Failure containment: [`Cluster::run_fallible`] executes a run and
+//! returns one `Result<T, RankFailure>` per rank — injected faults
+//! ([`crate::FaultPlan`]), SPMD violations, poisoned-barrier teardown,
+//! and plain panics all come back as typed, diagnosable values. The
+//! classic [`Cluster::run`] stays as a thin wrapper that re-raises an
+//! aggregate panic naming *every* failing rank.
 
 use std::any::Any;
 use std::collections::BTreeMap;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use sunbfs_common::{Bitmap, JsonValue, MachineConfig, SimTime, TimeAccumulator, ToJson};
 
-use crate::barrier::PoisonBarrier;
+use crate::barrier::{BarrierPoisoned, PoisonBarrier};
 use crate::cost::{self, Scope};
+use crate::fault::{corrupt_any, FaultKind, FaultPlan, FaultRecord, InjectedFault};
 use crate::topology::{MeshShape, Topology};
 
 type Payload = Arc<dyn Any + Send + Sync>;
@@ -72,6 +80,17 @@ impl ScopeShared {
             clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
+
+    /// Clear all rendezvous state (only sound with no threads running).
+    fn reset(&self) {
+        self.barrier.reset();
+        for s in &self.slots {
+            *lock_ignore_poison(s) = None;
+        }
+        for c in &self.clocks {
+            c.store(0, Ordering::Release);
+        }
+    }
 }
 
 struct ClusterShared {
@@ -80,6 +99,10 @@ struct ClusterShared {
     world: ScopeShared,
     rows: Vec<ScopeShared>,
     cols: Vec<ScopeShared>,
+    /// Deterministic fault-injection schedule (empty when unused).
+    plan: FaultPlan,
+    /// Every fault that actually fired, across all runs of this cluster.
+    fault_log: Mutex<Vec<FaultRecord>>,
 }
 
 impl ClusterShared {
@@ -87,6 +110,162 @@ impl ClusterShared {
         self.world.barrier.poison();
         for s in self.rows.iter().chain(self.cols.iter()) {
             s.barrier.poison();
+        }
+    }
+
+    /// Heal barriers and clear rendezvous state between runs so a
+    /// cluster that lost a rank can host a retry. Only sound when no
+    /// rank threads are running — `run_fallible` joins all threads
+    /// before returning, so its entry point is safe.
+    fn reset_for_run(&self) {
+        self.world.reset();
+        for s in self.rows.iter().chain(self.cols.iter()) {
+            s.reset();
+        }
+    }
+}
+
+/// Which SPMD contract rule a [`SpmdViolation`] caught.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpmdViolationKind {
+    /// A scope member reached the collect phase without a deposit in
+    /// place — the member unwound or skipped the collective.
+    MissingDeposit,
+    /// A scope member is executing a different collective (op-sequence
+    /// tag mismatch — the classic SPMD ordering bug).
+    TagMismatch,
+    /// A scope member deposited a payload of a different type.
+    PayloadTypeMismatch,
+    /// An allreduce member contributed a vector of a different length.
+    LengthMismatch,
+}
+
+impl SpmdViolationKind {
+    /// Stable label used in messages and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpmdViolationKind::MissingDeposit => "missing_deposit",
+            SpmdViolationKind::TagMismatch => "tag_mismatch",
+            SpmdViolationKind::PayloadTypeMismatch => "payload_type_mismatch",
+            SpmdViolationKind::LengthMismatch => "length_mismatch",
+        }
+    }
+}
+
+/// A typed SPMD-contract violation: which rank detected it, in which
+/// collective, and which scope member is at fault. Raised as the unwind
+/// payload (after poisoning every barrier) so `run_fallible` can hand
+/// the driver a structured error instead of a stringly panic.
+#[derive(Clone, Debug)]
+pub struct SpmdViolation {
+    /// Rank that *detected* the violation.
+    pub rank: usize,
+    /// Global rank of the offending scope member (the one whose deposit
+    /// was missing/mismatched), when identifiable.
+    pub offender: Option<usize>,
+    /// Scope of the collective.
+    pub scope: Scope,
+    /// Op tag of the collective the detector was executing.
+    pub op: String,
+    /// Which contract rule was violated.
+    pub kind: SpmdViolationKind,
+}
+
+impl std::fmt::Display for SpmdViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SPMD violation ({}) detected by rank {} in op '{}' on {} scope",
+            self.kind.label(),
+            self.rank,
+            self.op,
+            scope_label(self.scope),
+        )?;
+        if let Some(o) = self.offender {
+            write!(f, " (offending rank {o})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why one rank failed, classified from its unwind payload.
+#[derive(Clone, Debug)]
+pub enum FailureKind {
+    /// A planned [`FaultKind::Panic`] fired on this rank.
+    Injected {
+        /// Collective call index the fault fired at.
+        op_index: u64,
+        /// Op tag of the collective it fired in.
+        op: String,
+    },
+    /// The rank detected an SPMD contract violation.
+    Violation(SpmdViolation),
+    /// Collateral teardown: another rank failed first and poisoned the
+    /// barriers this rank was waiting on.
+    BarrierPoisoned,
+    /// An ordinary panic escaped the rank closure.
+    Panic {
+        /// The stringified panic payload.
+        message: String,
+    },
+}
+
+/// One rank's failure, as returned by [`Cluster::run_fallible`].
+#[derive(Clone, Debug)]
+pub struct RankFailure {
+    /// The failing rank.
+    pub rank: usize,
+    /// Why it failed.
+    pub kind: FailureKind,
+}
+
+impl RankFailure {
+    fn from_panic(rank: usize, payload: Box<dyn Any + Send>) -> Self {
+        let kind = if let Some(inj) = payload.downcast_ref::<InjectedFault>() {
+            FailureKind::Injected {
+                op_index: inj.op_index,
+                op: inj.op.clone(),
+            }
+        } else if let Some(v) = payload.downcast_ref::<SpmdViolation>() {
+            FailureKind::Violation(v.clone())
+        } else if payload.downcast_ref::<BarrierPoisoned>().is_some() {
+            FailureKind::BarrierPoisoned
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            FailureKind::Panic {
+                message: (*s).to_string(),
+            }
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            FailureKind::Panic { message: s.clone() }
+        } else {
+            FailureKind::Panic {
+                message: "opaque panic payload".to_string(),
+            }
+        };
+        RankFailure { rank, kind }
+    }
+
+    /// True when this failure is a root cause rather than collateral
+    /// teardown of a failure elsewhere.
+    pub fn is_root_cause(&self) -> bool {
+        !matches!(self.kind, FailureKind::BarrierPoisoned)
+    }
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            FailureKind::Injected { op_index, op } => {
+                write!(
+                    f,
+                    "rank {}: injected panic at collective {op_index} ('{op}')",
+                    self.rank
+                )
+            }
+            FailureKind::Violation(v) => write!(f, "rank {}: {v}", self.rank),
+            FailureKind::BarrierPoisoned => {
+                write!(f, "rank {}: barrier poisoned (collateral)", self.rank)
+            }
+            FailureKind::Panic { message } => write!(f, "rank {}: panic: {message}", self.rank),
         }
     }
 }
@@ -99,6 +278,13 @@ pub struct Cluster {
 impl Cluster {
     /// Build a cluster over `shape` with the given machine constants.
     pub fn new(shape: MeshShape, machine: MachineConfig) -> Self {
+        Cluster::with_faults(shape, machine, FaultPlan::none())
+    }
+
+    /// Build a cluster that injects `plan` deterministically (each
+    /// planned event fires at most once over the cluster's lifetime —
+    /// the transient-fault model that makes retries meaningful).
+    pub fn with_faults(shape: MeshShape, machine: MachineConfig, plan: FaultPlan) -> Self {
         let topo = Topology::new(shape);
         let n = topo.num_ranks();
         let world = ScopeShared::new((0..n).collect());
@@ -115,6 +301,8 @@ impl Cluster {
                 world,
                 rows,
                 cols,
+                plan,
+                fault_log: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -129,48 +317,92 @@ impl Cluster {
         self.shared.machine
     }
 
-    /// Run `f` once per rank (one OS thread each) and return the per-rank
-    /// results in rank order.
+    /// The fault plan this cluster injects (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.shared.plan
+    }
+
+    /// Every fault that fired so far, sorted by `(rank, op_index)` so
+    /// the log is deterministic regardless of thread interleaving.
+    pub fn fault_log(&self) -> Vec<FaultRecord> {
+        let mut log = lock_ignore_poison(&self.shared.fault_log).clone();
+        log.sort_by_key(|r| (r.rank, r.op_index));
+        log
+    }
+
+    /// Run `f` once per rank (one OS thread each) and return one
+    /// `Result` per rank, in rank order: `Ok` with the closure's value
+    /// for ranks that completed, `Err` with a typed [`RankFailure`] for
+    /// ranks that unwound (injected faults, SPMD violations, poisoned
+    /// barriers, plain panics).
     ///
-    /// # Panics
-    /// If any rank panics, the panic is re-raised here after the whole
-    /// cluster has been torn down (barriers poisoned, threads joined).
-    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    /// The cluster is healed on entry (barriers unpoisoned, rendezvous
+    /// slots cleared), so a failed run can be retried on the same
+    /// cluster — consumed fault-plan events will not re-fire.
+    pub fn run_fallible<T, F>(&self, f: F) -> Vec<Result<T, RankFailure>>
     where
         T: Send,
         F: Fn(&mut RankCtx) -> T + Sync,
     {
+        self.shared.reset_for_run();
         let n = self.shared.topo.num_ranks();
-        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-        let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
+        let results: Mutex<Vec<Option<Result<T, RankFailure>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|s| {
             for rank in 0..n {
                 let shared = Arc::clone(&self.shared);
                 let f = &f;
                 let results = &results;
-                let panics = &panics;
                 s.spawn(move || {
                     let mut ctx = RankCtx::new(rank, shared);
-                    match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
-                        Ok(v) => lock_ignore_poison(results)[rank] = Some(v),
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+                        Ok(v) => Ok(v),
                         Err(p) => {
                             ctx.shared.poison_all();
-                            lock_ignore_poison(panics).push((rank, p));
+                            Err(RankFailure::from_panic(rank, p))
                         }
-                    }
+                    };
+                    lock_ignore_poison(results)[rank] = Some(outcome);
                 });
             }
         });
-        let mut panics = panics.into_inner().unwrap_or_else(PoisonError::into_inner);
-        if !panics.is_empty() {
-            panics.sort_by_key(|(r, _)| *r);
-            resume_unwind(panics.remove(0).1);
-        }
         results
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner)
             .into_iter()
             .map(|v| v.expect("rank produced no result"))
+            .collect()
+    }
+
+    /// Run `f` once per rank (one OS thread each) and return the per-rank
+    /// results in rank order.
+    ///
+    /// # Panics
+    /// If any rank fails, panics after the whole cluster has been torn
+    /// down (barriers poisoned, threads joined) with a message
+    /// aggregating **every** failing rank — root causes first — rather
+    /// than only the lowest-ranked one.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        let results = self.run_fallible(f);
+        let mut failures: Vec<&RankFailure> =
+            results.iter().filter_map(|r| r.as_ref().err()).collect();
+        if !failures.is_empty() {
+            failures.sort_by_key(|f| (!f.is_root_cause(), f.rank));
+            let lines: Vec<String> = failures.iter().map(|f| format!("  {f}")).collect();
+            panic!(
+                "{} of {} ranks failed:\n{}",
+                failures.len(),
+                results.len(),
+                lines.join("\n")
+            );
+        }
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|f| unreachable!("failures already handled: {f}")))
             .collect()
     }
 }
@@ -278,7 +510,7 @@ impl ToJson for CommStats {
     }
 }
 
-fn scope_label(scope: Scope) -> &'static str {
+pub(crate) fn scope_label(scope: Scope) -> &'static str {
     match scope {
         Scope::World => "world",
         Scope::Row => "row",
@@ -296,6 +528,9 @@ pub struct RankCtx {
     comm: CommStats,
     /// Per-scope-kind op sequence numbers (world/row/col).
     seqs: [u64; 3],
+    /// Global collective call counter (all scopes, program order) —
+    /// the index space fault-plan events address.
+    op_index: u64,
 }
 
 impl RankCtx {
@@ -307,6 +542,7 @@ impl RankCtx {
             acc: TimeAccumulator::new(),
             comm: CommStats::new(),
             seqs: [0; 3],
+            op_index: 0,
         }
     }
 
@@ -398,6 +634,70 @@ impl RankCtx {
     ///
     /// Returns `(payloads, bytes, volumes, entry-clock max)` in scope
     /// position order.
+    /// Poison every barrier and unwind with a typed [`SpmdViolation`]
+    /// so the violation surfaces as a structured [`RankFailure`]
+    /// instead of a bare panic (and never a deadlock).
+    fn violate(
+        &self,
+        scope: Scope,
+        op: &str,
+        offender: Option<usize>,
+        kind: SpmdViolationKind,
+    ) -> ! {
+        self.shared.poison_all();
+        std::panic::panic_any(SpmdViolation {
+            rank: self.rank,
+            offender,
+            scope,
+            op: op.to_string(),
+            kind,
+        });
+    }
+
+    /// Consult the fault plan for this collective call; mutates the
+    /// payload in place (corruption), delays the simulated clock
+    /// (straggler), or unwinds (injected panic). Every firing is
+    /// recorded in the cluster's fault log with this rank's simulated
+    /// timestamp.
+    fn inject_fault<T: Any>(&mut self, scope: Scope, op: &str, op_index: u64, payload: &mut T) {
+        let Some(kind) = self.shared.plan.fire(self.rank, op_index) else {
+            return;
+        };
+        let mut applied = true;
+        match kind {
+            FaultKind::Straggler { secs } => {
+                // Simulated delay: every peer of this collective will
+                // record the skew as `comm.imbalance`, exactly like a
+                // slow node. Real delay (capped so test suites stay
+                // fast): skews the actual thread interleaving too.
+                self.clock += SimTime::secs(secs);
+                self.acc.add("fault.straggler", SimTime::secs(secs));
+                std::thread::sleep(std::time::Duration::from_secs_f64(secs.min(0.005)));
+            }
+            FaultKind::Corrupt { mode } => {
+                applied = corrupt_any(payload, mode);
+            }
+            FaultKind::Panic => {}
+        }
+        lock_ignore_poison(&self.shared.fault_log).push(FaultRecord {
+            rank: self.rank,
+            op_index,
+            scope,
+            op: op.to_string(),
+            kind,
+            sim_seconds: self.clock.as_secs(),
+            applied,
+        });
+        if matches!(kind, FaultKind::Panic) {
+            self.shared.poison_all();
+            std::panic::panic_any(InjectedFault {
+                rank: self.rank,
+                op_index,
+                op: op.to_string(),
+            });
+        }
+    }
+
     #[allow(clippy::type_complexity)]
     fn exchange<T: Send + Sync + 'static>(
         &mut self,
@@ -414,6 +714,12 @@ impl RankCtx {
         };
         let seq = self.seqs[seq_idx];
         self.seqs[seq_idx] += 1;
+        let op_index = self.op_index;
+        self.op_index += 1;
+        let mut payload = payload;
+        if !self.shared.plan.is_empty() {
+            self.inject_fault(scope, op, op_index, &mut payload);
+        }
         self.comm.record(scope, op, bytes);
         let tag = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ fnv1a(op.as_bytes());
         let shared = Arc::clone(&self.shared);
@@ -439,19 +745,28 @@ impl RankCtx {
         let mut all_volumes = Vec::with_capacity(n);
         let mut max_entry = SimTime::ZERO;
         for p in 0..n {
+            let member = ss.members[p];
             let slot = lock_ignore_poison(&ss.slots[p]);
-            let dep = slot
-                .as_ref()
-                .expect("missing deposit: SPMD contract violated");
-            assert_eq!(
-                dep.tag, tag,
-                "collective mismatch in op '{op}': scope member {p} is executing a different \
-                 collective (SPMD ordering bug)"
-            );
-            payloads.push(
+            let Some(dep) = slot.as_ref() else {
+                drop(slot);
+                self.violate(scope, op, Some(member), SpmdViolationKind::MissingDeposit);
+            };
+            if dep.tag != tag {
+                drop(slot);
+                self.violate(scope, op, Some(member), SpmdViolationKind::TagMismatch);
+            }
+            let Ok(typed) =
                 Arc::downcast::<T>(Arc::clone(&dep.payload) as Arc<dyn Any + Send + Sync>)
-                    .expect("collective payload type mismatch"),
-            );
+            else {
+                drop(slot);
+                self.violate(
+                    scope,
+                    op,
+                    Some(member),
+                    SpmdViolationKind::PayloadTypeMismatch,
+                );
+            };
+            payloads.push(typed);
             all_bytes.push(dep.bytes);
             all_volumes.push(dep.volumes.clone().unwrap_or_default());
             let entry = SimTime::secs(f64::from_bits(ss.clocks[p].load(Ordering::Acquire)));
@@ -571,10 +886,24 @@ impl RankCtx {
         let bytes = charged_bytes.unwrap_or((mine.len() * std::mem::size_of::<T>()) as u64);
         let len = mine.len();
         let (payloads, _, _, max_entry) = self.exchange(scope, op, mine, bytes, None);
+        let members = self.scope_members(scope);
+        // The deposited payloads may differ in length from this rank's
+        // contribution — an SPMD bug or an injected truncation. Check
+        // every member (including position 0 and ourselves, whose
+        // deposit may have been corrupted in transit).
+        for (p, payload) in payloads.iter().enumerate() {
+            if payload.len() != len {
+                self.violate(
+                    scope,
+                    op,
+                    Some(members[p]),
+                    SpmdViolationKind::LengthMismatch,
+                );
+            }
+        }
         let mut result: Vec<T> = payloads[0].as_ref().clone();
         for p in &payloads[1..] {
             let other: &[T] = p.as_ref();
-            assert_eq!(other.len(), len, "allreduce length mismatch in op '{op}'");
             for (i, (a, b)) in result.iter_mut().zip(other).enumerate() {
                 combine(i, a, b);
             }
@@ -838,6 +1167,195 @@ mod tests {
             js.contains("\"row/rowsum\":{\"count\":2,\"bytes\":16}"),
             "got {js}"
         );
+    }
+
+    #[test]
+    fn run_panic_aggregates_every_failing_rank() {
+        let c = small_cluster(2, 2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            c.run(|ctx| {
+                if ctx.rank() == 1 || ctx.rank() == 3 {
+                    panic!("boom on rank {}", ctx.rank());
+                }
+                ctx.barrier(Scope::World);
+            })
+        }));
+        let payload = r.expect_err("failing ranks must panic the run");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("aggregate panic is a String")
+            .clone();
+        // Both root causes are named, not just the lowest rank.
+        assert!(msg.contains("rank 1: panic: boom on rank 1"), "got: {msg}");
+        assert!(msg.contains("rank 3: panic: boom on rank 3"), "got: {msg}");
+    }
+
+    #[test]
+    fn run_fallible_types_failures_and_preserves_survivors() {
+        let c = small_cluster(2, 2);
+        let results = c.run_fallible(|ctx| {
+            if ctx.rank() == 2 {
+                panic!("dead rank");
+            }
+            ctx.barrier(Scope::World);
+            ctx.rank()
+        });
+        assert_eq!(results.len(), 4);
+        let failing: Vec<usize> = results
+            .iter()
+            .filter_map(|r| r.as_ref().err().map(|f| f.rank))
+            .collect();
+        assert!(failing.contains(&2));
+        for r in &results {
+            if let Err(f) = r {
+                assert_eq!(
+                    f.rank == 2,
+                    f.is_root_cause(),
+                    "only rank 2 is a root cause"
+                );
+                if f.rank == 2 {
+                    assert!(
+                        matches!(&f.kind, FailureKind::Panic { message } if message.contains("dead rank"))
+                    );
+                } else {
+                    assert!(matches!(f.kind, FailureKind::BarrierPoisoned));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmd_violation_is_typed_and_names_scope_and_op() {
+        let c = small_cluster(1, 2);
+        let results = c.run_fallible(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.allreduce_sum(Scope::World, "op_a", 1);
+            } else {
+                ctx.allreduce_max(Scope::World, "op_b", 1);
+            }
+        });
+        let violation = results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .find_map(|f| match &f.kind {
+                FailureKind::Violation(v) => Some(v.clone()),
+                _ => None,
+            })
+            .expect("a tag mismatch must surface as a typed SpmdViolation");
+        assert_eq!(violation.kind, SpmdViolationKind::TagMismatch);
+        assert_eq!(violation.scope, Scope::World);
+        assert!(violation.op == "op_a" || violation.op == "op_b");
+    }
+
+    #[test]
+    fn injected_panic_fires_once_and_cluster_heals_for_retry() {
+        use crate::fault::{FaultEvent, FaultKind};
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            rank: 1,
+            op_index: 1,
+            kind: FaultKind::Panic,
+        }]);
+        let c = Cluster::with_faults(MeshShape::new(2, 2), MachineConfig::new_sunway(), plan);
+        let work = |ctx: &mut RankCtx| {
+            ctx.barrier(Scope::World);
+            ctx.allreduce_sum(Scope::World, "sum", ctx.rank() as u64)
+        };
+        let first = c.run_fallible(work);
+        let inj = first
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .find(|f| matches!(f.kind, FailureKind::Injected { .. }))
+            .expect("the injected panic must be typed");
+        assert_eq!(inj.rank, 1);
+        assert!(matches!(
+            &inj.kind,
+            FailureKind::Injected { op_index: 1, op } if op == "sum"
+        ));
+        // Transient-fault model: the retry on the same cluster succeeds.
+        let second = c.run_fallible(work);
+        for r in second {
+            assert_eq!(r.expect("retry must succeed"), 6);
+        }
+        let log = c.fault_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!((log[0].rank, log[0].op_index), (1, 1));
+    }
+
+    #[test]
+    fn straggler_delay_charges_peer_imbalance_and_logs() {
+        use crate::fault::{FaultEvent, FaultKind};
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            rank: 0,
+            op_index: 0,
+            kind: FaultKind::Straggler { secs: 2.0 },
+        }]);
+        let c = Cluster::with_faults(MeshShape::new(1, 2), MachineConfig::new_sunway(), plan);
+        let out = c.run_fallible(|ctx| {
+            ctx.barrier(Scope::World);
+            (
+                ctx.now().as_secs(),
+                ctx.accumulator().get("comm.imbalance").as_secs(),
+                ctx.accumulator().get("fault.straggler").as_secs(),
+            )
+        });
+        let out: Vec<_> = out.into_iter().map(|r| r.expect("no failure")).collect();
+        // The straggler carries the delay; the peer records it as skew.
+        assert!((out[0].0 - 2.0).abs() < 1e-12);
+        assert!((out[0].2 - 2.0).abs() < 1e-12);
+        assert!((out[1].1 - 2.0).abs() < 1e-12);
+        let log = c.fault_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].applied);
+    }
+
+    #[test]
+    fn truncation_corruption_becomes_length_violation_naming_offender() {
+        use crate::fault::{CorruptMode, FaultEvent, FaultKind};
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            rank: 1,
+            op_index: 0,
+            kind: FaultKind::Corrupt {
+                mode: CorruptMode::Truncate,
+            },
+        }]);
+        let c = Cluster::with_faults(MeshShape::new(1, 2), MachineConfig::new_sunway(), plan);
+        let results = c.run_fallible(|ctx| {
+            ctx.allreduce_with(Scope::World, "red", vec![1u64, 2, 3], None, |a, b| *a += b)
+        });
+        let violation = results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .find_map(|f| match &f.kind {
+                FailureKind::Violation(v) => Some(v.clone()),
+                _ => None,
+            })
+            .expect("truncation must trip the length check");
+        assert_eq!(violation.kind, SpmdViolationKind::LengthMismatch);
+        assert_eq!(
+            violation.offender,
+            Some(1),
+            "the corrupted deposit is blamed"
+        );
+        assert!(c.fault_log()[0].applied);
+    }
+
+    #[test]
+    fn bitflip_corruption_changes_data_silently() {
+        use crate::fault::{CorruptMode, FaultEvent, FaultKind};
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            rank: 0,
+            op_index: 0,
+            kind: FaultKind::Corrupt {
+                mode: CorruptMode::BitFlip,
+            },
+        }]);
+        let c = Cluster::with_faults(MeshShape::new(1, 2), MachineConfig::new_sunway(), plan);
+        let out = c.run_fallible(|ctx| {
+            ctx.allreduce_sum(Scope::World, "sum", 8u64) // 8 ^ 1 = 9 on rank 0
+        });
+        for r in out {
+            assert_eq!(r.expect("bitflip is silent"), 9 + 8);
+        }
     }
 
     #[test]

@@ -18,12 +18,28 @@
 //! map to supernodes**; row traffic enjoys full NIC bandwidth while
 //! column/global traffic pays the 8× fat-tree oversubscription.
 
+//!
+//! Failure is a first-class citizen: a [`FaultPlan`] injects
+//! deterministic rank panics, straggler delays, and payload corruption
+//! at chosen collective indices, and [`Cluster::run_fallible`] returns
+//! typed per-rank [`RankFailure`]s (injected faults, [`SpmdViolation`]
+//! contract breaches, poisoned-barrier teardown) instead of tearing the
+//! whole process down — the substrate for the driver's per-root
+//! retry/quarantine loop.
+
 pub mod barrier;
 pub mod cluster;
 pub mod cost;
+pub mod fault;
 pub mod topology;
 
-pub use barrier::PoisonBarrier;
-pub use cluster::{Cluster, CommOpStats, CommStats, RankCtx};
+pub use barrier::{BarrierPoisoned, PoisonBarrier};
+pub use cluster::{
+    Cluster, CommOpStats, CommStats, FailureKind, RankCtx, RankFailure, SpmdViolation,
+    SpmdViolationKind,
+};
 pub use cost::Scope;
+pub use fault::{
+    CorruptMode, FaultEvent, FaultKind, FaultPlan, FaultRecord, FaultSpec, InjectedFault,
+};
 pub use topology::{MeshShape, Topology};

@@ -1,0 +1,267 @@
+//! Fault-injection matrix: every fault kind × every collective
+//! category × mesh shapes {1×1, 2×2, 4×2} must terminate cleanly —
+//! a structured per-rank outcome within a watchdog timeout, never a
+//! deadlocked barrier — and a failure must name the faulty rank.
+//!
+//! Each case also re-runs the same cluster afterwards to prove the
+//! runtime healed (barriers unpoisoned, slots cleared) and that the
+//! consumed fault does not re-fire — the property the driver's
+//! retry-with-backoff loop is built on.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use sunbfs_common::MachineConfig;
+use sunbfs_net::{
+    Cluster, CorruptMode, FailureKind, FaultEvent, FaultKind, FaultPlan, MeshShape, RankCtx,
+    RankFailure, Scope,
+};
+
+/// Per-case watchdog: a hung barrier fails the test instead of hanging
+/// the suite (the spawned thread leaks, but the suite completes).
+const CASE_TIMEOUT: Duration = Duration::from_secs(60);
+
+const SHAPES: [(usize, usize); 3] = [(1, 1), (2, 2), (4, 2)];
+
+/// The collective program every rank executes, one op per category.
+/// Returns a value that depends on every exchanged payload so silent
+/// corruption is observable.
+fn collective_program(ctx: &mut RankCtx) -> u64 {
+    let n = ctx.nranks() as u64;
+    // op 0: barrier
+    ctx.barrier(Scope::World);
+    // op 1: allreduce (vector payload so truncation is detectable)
+    let red = ctx.allreduce_with(
+        Scope::World,
+        "red",
+        vec![ctx.rank() as u64, 1, 2],
+        None,
+        |a, b| *a += b,
+    );
+    // op 2: allgatherv
+    let gathered = ctx.allgatherv(Scope::World, "gather", vec![ctx.rank() as u64; 2]);
+    // op 3: alltoallv
+    let send: Vec<Vec<u64>> = (0..n).map(|d| vec![ctx.rank() as u64 * 100 + d]).collect();
+    let recv = ctx.alltoallv(Scope::World, "a2a", send);
+    // op 4: scoped collectives so row/col barriers are exercised too
+    let row_sum = ctx.allreduce_sum(Scope::Row, "rowsum", 1);
+    let col_sum = ctx.allreduce_sum(Scope::Col, "colsum", 1);
+    let mut acc = red.iter().sum::<u64>() + row_sum + col_sum;
+    acc += gathered.iter().flatten().sum::<u64>();
+    acc += recv.iter().flatten().sum::<u64>();
+    acc
+}
+
+/// Number of ops in [`collective_program`]'s world-visible index space
+/// (indices 0..=5; Row/Col ops share the same per-rank counter).
+const CATEGORY_OPS: [(&str, u64); 6] = [
+    ("barrier", 0),
+    ("allreduce", 1),
+    ("allgatherv", 2),
+    ("alltoallv", 3),
+    ("row_allreduce", 4),
+    ("col_allreduce", 5),
+];
+
+/// Run `f` under the watchdog; panics if it neither returns nor panics
+/// within [`CASE_TIMEOUT`] (i.e. a deadlocked barrier).
+fn with_timeout<R: Send + 'static>(label: String, f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(CASE_TIMEOUT) {
+        Ok(r) => r,
+        Err(_) => panic!("case '{label}' deadlocked or overran {CASE_TIMEOUT:?}"),
+    }
+}
+
+fn run_case(
+    shape: (usize, usize),
+    kind: FaultKind,
+    op_index: u64,
+) -> (Cluster, Vec<Result<u64, RankFailure>>) {
+    let (rows, cols) = shape;
+    // Target the highest rank: exercises non-zero scope positions.
+    let target = rows * cols - 1;
+    let plan = FaultPlan::from_events(vec![FaultEvent {
+        rank: target,
+        op_index,
+        kind,
+    }]);
+    let cluster = Cluster::with_faults(
+        MeshShape::new(rows, cols),
+        MachineConfig::new_sunway(),
+        plan,
+    );
+    let results = cluster.run_fallible(collective_program);
+    (cluster, results)
+}
+
+#[test]
+fn injected_panic_matrix_terminates_and_names_rank() {
+    for shape in SHAPES {
+        for (category, op_index) in CATEGORY_OPS {
+            let label = format!("panic/{category}/{}x{}", shape.0, shape.1);
+            let target = shape.0 * shape.1 - 1;
+            let (cluster, results) = with_timeout(label.clone(), move || {
+                run_case(shape, FaultKind::Panic, op_index)
+            });
+            let failure = results[target].as_ref().expect_err("target rank must fail");
+            assert_eq!(failure.rank, target, "{label}: failure names the rank");
+            assert!(
+                matches!(&failure.kind, FailureKind::Injected { op_index: oi, .. } if *oi == op_index),
+                "{label}: expected a typed injected failure, got {failure}"
+            );
+            // Survivors either completed (they passed every collective
+            // the victim reached) or were torn down via poisoning —
+            // never left hanging.
+            for (rank, r) in results.iter().enumerate() {
+                if rank != target {
+                    if let Err(f) = r {
+                        assert!(
+                            !f.is_root_cause(),
+                            "{label}: rank {rank} must only fail as collateral, got {f}"
+                        );
+                    }
+                }
+            }
+            // The log pins the event; the healed cluster retries clean.
+            assert_eq!(cluster.fault_log().len(), 1, "{label}");
+            let retry = cluster.run_fallible(collective_program);
+            for r in retry {
+                r.unwrap_or_else(|f| panic!("{label}: retry must succeed, got {f}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn straggler_matrix_completes_with_imbalance_charged() {
+    for shape in SHAPES {
+        for (category, op_index) in CATEGORY_OPS {
+            let label = format!("straggler/{category}/{}x{}", shape.0, shape.1);
+            let (cluster, results) = with_timeout(label.clone(), move || {
+                run_case(shape, FaultKind::Straggler { secs: 0.5 }, op_index)
+            });
+            let values: Vec<u64> = results
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|f| panic!("{label}: stragglers must not fail: {f}")))
+                .collect();
+            assert!(!values.is_empty());
+            let log = cluster.fault_log();
+            assert_eq!(log.len(), 1, "{label}: event must be logged");
+            assert!(log[0].applied, "{label}");
+            assert_eq!(log[0].rank, shape.0 * shape.1 - 1, "{label}");
+        }
+    }
+}
+
+#[test]
+fn corruption_matrix_terminates_with_structured_outcome() {
+    for shape in SHAPES {
+        for mode in [CorruptMode::BitFlip, CorruptMode::Truncate] {
+            for (category, op_index) in CATEGORY_OPS {
+                let label = format!("corrupt-{mode:?}/{category}/{}x{}", shape.0, shape.1);
+                let target = shape.0 * shape.1 - 1;
+                let (cluster, results) = with_timeout(label.clone(), move || {
+                    run_case(shape, FaultKind::Corrupt { mode }, op_index)
+                });
+                // Corruption either passes through silently (bit-flips,
+                // gather/alltoall truncations) or trips a typed SPMD
+                // violation blaming the corrupted rank (allreduce
+                // truncation) — never an untyped panic, never a hang.
+                for r in &results {
+                    if let Err(f) = r {
+                        match &f.kind {
+                            FailureKind::Violation(v) => {
+                                assert_eq!(
+                                    v.offender,
+                                    Some(target),
+                                    "{label}: violation must blame the corrupted rank"
+                                );
+                            }
+                            FailureKind::BarrierPoisoned => {}
+                            other => panic!("{label}: unexpected failure kind {other:?}"),
+                        }
+                    }
+                }
+                // The event is always logged, applied or not (a barrier
+                // `()` payload cannot be corrupted).
+                let log = cluster.fault_log();
+                assert_eq!(log.len(), 1, "{label}");
+                // Healed cluster retries clean in every case.
+                let retry = cluster.run_fallible(collective_program);
+                for r in retry {
+                    r.unwrap_or_else(|f| panic!("{label}: retry must succeed, got {f}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multiple_simultaneous_faults_still_terminate() {
+    // Two panics on different ranks in the same collective, plus a
+    // straggler: the aggregate teardown must stay structured.
+    for shape in [(2usize, 2usize), (4, 2)] {
+        let label = format!("multi/{}x{}", shape.0, shape.1);
+        let (cluster, results) = with_timeout(label.clone(), move || {
+            let plan = FaultPlan::from_events(vec![
+                FaultEvent {
+                    rank: 0,
+                    op_index: 1,
+                    kind: FaultKind::Panic,
+                },
+                FaultEvent {
+                    rank: 1,
+                    op_index: 1,
+                    kind: FaultKind::Panic,
+                },
+                FaultEvent {
+                    rank: shape.0 * shape.1 - 1,
+                    op_index: 0,
+                    kind: FaultKind::Straggler { secs: 0.1 },
+                },
+            ]);
+            let cluster = Cluster::with_faults(
+                MeshShape::new(shape.0, shape.1),
+                MachineConfig::new_sunway(),
+                plan,
+            );
+            let results = cluster.run_fallible(collective_program);
+            (cluster, results)
+        });
+        // The two victims race: whichever fires first poisons the
+        // barriers, and the other may be torn down as collateral before
+        // reaching its own injection point. At least one must fire as a
+        // typed root cause, and both candidates are named victims only.
+        let injected: Vec<usize> = results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .filter(|f| matches!(f.kind, FailureKind::Injected { .. }))
+            .map(|f| f.rank)
+            .collect();
+        assert!(
+            !injected.is_empty() && injected.iter().all(|r| *r < 2),
+            "{label}: injected root causes must be among the victims, got {injected:?}"
+        );
+        // Fire-once semantics: bounded retries drain the remaining
+        // unfired events one by one, then the cluster runs clean — the
+        // exact property the driver's retry loop depends on.
+        let mut healed = false;
+        for _ in 0..3 {
+            let retry = cluster.run_fallible(collective_program);
+            if retry.iter().all(Result::is_ok) {
+                healed = true;
+                break;
+            }
+        }
+        assert!(healed, "{label}: bounded retries must eventually succeed");
+        assert_eq!(
+            cluster.fault_log().len(),
+            3,
+            "{label}: every planned event fires exactly once across attempts"
+        );
+    }
+}

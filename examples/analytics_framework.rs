@@ -37,7 +37,7 @@ fn main() {
     );
 
     // Root: first non-loop endpoint the generator emits.
-    let root = sunbfs::driver::pick_roots(&params, 1)[0];
+    let root = sunbfs::driver::pick_roots(&params, 1).expect("connected root")[0];
 
     let results = cluster.run(|ctx| {
         let chunk = generate_chunk(&params, ctx.rank() as u64, ranks as u64);

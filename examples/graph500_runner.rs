@@ -16,7 +16,7 @@
 //! ```
 
 use sunbfs::core::EngineConfig;
-use sunbfs::driver::{run_benchmark, RunConfig};
+use sunbfs::driver::{run_benchmark, FaultSpec, RunConfig};
 use sunbfs::metrics;
 use sunbfs::net::MeshShape;
 use sunbfs::part::Thresholds;
@@ -68,6 +68,10 @@ fn main() {
         // Full-edge-list validation is O(edges) on the driver; keep it
         // for the scales a laptop handles comfortably.
         validate: scale <= 18,
+        // Injection comes from SUNBFS_FAULT_PLAN when set (see
+        // docs/FAULTS.md); no seeded campaign by default.
+        faults: FaultSpec::NONE,
+        max_root_retries: 2,
     };
 
     println!("graph500 runner");
@@ -111,6 +115,23 @@ fn main() {
         match metrics::write_report(&report, std::path::Path::new(&path)) {
             Ok(()) => println!("\nJSON report:          {path}"),
             Err(e) => eprintln!("\ncould not write {path}: {e}"),
+        }
+    }
+
+    if report.faults.degraded() || !report.faults.injected.is_empty() {
+        println!(
+            "\nfaults:               {} injected, {} retries, degraded={}",
+            report.faults.injected.len(),
+            report.faults.total_retries,
+            report.faults.degraded()
+        );
+        for q in &report.faults.quarantined {
+            println!(
+                "  quarantined root {:>8}: {} ({})",
+                q.root,
+                q.reason.label(),
+                q.reason.detail()
+            );
         }
     }
 

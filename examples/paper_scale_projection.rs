@@ -17,7 +17,7 @@
 
 use sunbfs::common::{MachineConfig, SimTime};
 use sunbfs::core::EngineConfig;
-use sunbfs::driver::{run_benchmark, RunConfig};
+use sunbfs::driver::{run_benchmark, FaultSpec, RunConfig};
 use sunbfs::net::MeshShape;
 use sunbfs::part::Thresholds;
 use sunbfs::sunway::kernels;
@@ -36,6 +36,8 @@ fn main() {
         seed: 42,
         num_roots: 2,
         validate: false,
+        faults: FaultSpec::NONE,
+        max_root_retries: 2,
     };
     let report = run_benchmark(&cal).expect("calibration run must pass");
     let stats = &report.partition_stats;

@@ -16,4 +16,11 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --workspace
 
+# The fault suites prove every injected failure terminates in a typed
+# outcome instead of a hung barrier — so they run under a hard wall
+# timeout: a hang is a regression, not a slow test.
+echo "==> fault containment suite (hard timeout)"
+timeout 300 cargo test -q -p sunbfs-net --test fault_matrix
+timeout 300 cargo test -q --test fault_e2e --test fault_env
+
 echo "CI green."

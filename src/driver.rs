@@ -8,11 +8,12 @@
 //! harmonic mean the benchmark mandates.
 
 use std::fmt;
+use std::time::Duration;
 
 use sunbfs_common::{Edge, MachineConfig, TimeAccumulator};
 use sunbfs_core::validate::{self, ValidationError};
 use sunbfs_core::{run_bfs, BfsOutput, EngineConfig, EngineError, IterationStats};
-use sunbfs_net::{Cluster, CommStats, MeshShape};
+use sunbfs_net::{Cluster, CommStats, FaultPlan, FaultRecord, MeshShape, RankFailure};
 use sunbfs_part::{build_1p5d, ComponentStats, Thresholds};
 use sunbfs_rmat::RmatParams;
 
@@ -38,6 +39,13 @@ pub struct RunConfig {
     /// Validate every traversal against the spec (needs the full edge
     /// list on the driver; keep SCALE modest when enabled).
     pub validate: bool,
+    /// Deterministic fault-injection campaign (seeded; `FaultSpec::NONE`
+    /// disables injection). Overridable at run time via the
+    /// `SUNBFS_FAULT_PLAN` environment variable.
+    pub faults: FaultSpec,
+    /// How many times a root whose SPMD phase lost a rank is retried
+    /// (with backoff) before it is quarantined.
+    pub max_root_retries: u32,
 }
 
 impl RunConfig {
@@ -53,6 +61,8 @@ impl RunConfig {
             seed: 42,
             num_roots: 3,
             validate: true,
+            faults: FaultSpec::NONE,
+            max_root_retries: 2,
         }
     }
 
@@ -78,6 +88,11 @@ pub enum DriverError {
         /// The specification rule that was violated.
         error: ValidationError,
     },
+    /// The generator probe found no vertex with nonzero degree to use
+    /// as a BFS root (degenerate graph or probe window).
+    NoConnectedRoot,
+    /// The `SUNBFS_FAULT_PLAN` environment variable did not parse.
+    InvalidFaultPlan(String),
 }
 
 impl fmt::Display for DriverError {
@@ -86,6 +101,15 @@ impl fmt::Display for DriverError {
             DriverError::Engine(e) => write!(f, "engine failure: {e}"),
             DriverError::Validation { root, error } => {
                 write!(f, "Graph 500 validation failed for root {root}: {error:?}")
+            }
+            DriverError::NoConnectedRoot => {
+                write!(
+                    f,
+                    "could not find any connected root in the generator probe"
+                )
+            }
+            DriverError::InvalidFaultPlan(e) => {
+                write!(f, "invalid SUNBFS_FAULT_PLAN: {e}")
             }
         }
     }
@@ -96,6 +120,92 @@ impl std::error::Error for DriverError {}
 impl From<EngineError> for DriverError {
     fn from(e: EngineError) -> Self {
         DriverError::Engine(e)
+    }
+}
+
+/// Why a root was dropped from the TEPS statistics instead of aborting
+/// the whole benchmark.
+#[derive(Clone, Debug)]
+pub enum QuarantineReason {
+    /// The engine returned a (replicated) error for this root.
+    Engine(EngineError),
+    /// The parent tree failed Graph 500 validation.
+    Validation(ValidationError),
+    /// The SPMD phase kept losing ranks; every retry was consumed.
+    RankFailure {
+        /// Total attempts made (initial run + retries).
+        attempts: u32,
+        /// The rank failures observed on the final attempt.
+        failures: Vec<RankFailure>,
+    },
+}
+
+impl QuarantineReason {
+    /// Stable label used in messages and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuarantineReason::Engine(_) => "engine",
+            QuarantineReason::Validation(_) => "validation",
+            QuarantineReason::RankFailure { .. } => "rank_failure",
+        }
+    }
+
+    /// Human-readable detail string for logs and JSON.
+    pub fn detail(&self) -> String {
+        match self {
+            QuarantineReason::Engine(e) => e.to_string(),
+            QuarantineReason::Validation(e) => format!("{e:?}"),
+            QuarantineReason::RankFailure { attempts, failures } => {
+                let named: Vec<String> = failures
+                    .iter()
+                    .filter(|f| f.is_root_cause())
+                    .map(|f| f.to_string())
+                    .collect();
+                format!("{} attempts exhausted: {}", attempts, named.join("; "))
+            }
+        }
+    }
+}
+
+/// A root excluded from the report's TEPS statistics, with its reason.
+#[derive(Clone, Debug)]
+pub struct QuarantinedRoot {
+    /// The quarantined root vertex.
+    pub root: u64,
+    /// Why it was quarantined.
+    pub reason: QuarantineReason,
+}
+
+/// Per-root bookkeeping of the retry loop, in root order.
+#[derive(Clone, Debug)]
+pub struct RootOutcome {
+    /// The root vertex.
+    pub root: u64,
+    /// SPMD attempts spent on this root (1 = clean first run).
+    pub attempts: u32,
+    /// True when the root ended up quarantined.
+    pub quarantined: bool,
+}
+
+/// Fault-campaign observability attached to every [`BenchmarkReport`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultReport {
+    /// Every fault the plan actually fired, with simulated timestamps,
+    /// sorted by (rank, op index).
+    pub injected: Vec<FaultRecord>,
+    /// Attempt counts per root, in root order.
+    pub outcomes: Vec<RootOutcome>,
+    /// Roots excluded from the statistics.
+    pub quarantined: Vec<QuarantinedRoot>,
+    /// Total SPMD retries across all roots.
+    pub total_retries: u64,
+}
+
+impl FaultReport {
+    /// True when at least one root had to be quarantined — the report
+    /// is complete but its statistics cover a subset of the roots.
+    pub fn degraded(&self) -> bool {
+        !self.quarantined.is_empty()
     }
 }
 
@@ -134,10 +244,13 @@ pub struct BenchmarkReport {
     pub config: RunConfig,
     /// Per-rank component sizes (Figure 13's raw data).
     pub partition_stats: Vec<ComponentStats>,
-    /// One entry per root.
+    /// One entry per root that completed (quarantined roots excluded).
     pub runs: Vec<RootRun>,
-    /// True when validation ran and every root passed.
+    /// True when validation ran and every root passed (a degraded
+    /// report is never `validated`).
     pub validated: bool,
+    /// Fault-injection and retry/quarantine bookkeeping.
+    pub faults: FaultReport,
 }
 
 impl BenchmarkReport {
@@ -169,7 +282,11 @@ impl BenchmarkReport {
 
 /// Choose `k` distinct roots with nonzero degree, deterministically
 /// from the generator's first edge chunk.
-pub fn pick_roots(params: &RmatParams, k: usize) -> Vec<u64> {
+///
+/// # Errors
+/// Returns [`DriverError::NoConnectedRoot`] when the probe window
+/// contains only self-loops (degenerate graph).
+pub fn pick_roots(params: &RmatParams, k: usize) -> Result<Vec<u64>, DriverError> {
     let probe =
         sunbfs_rmat::generate_range(params, 0, (k as u64 * 64 + 64).min(params.num_edges()));
     let mut roots = Vec::with_capacity(k);
@@ -190,60 +307,174 @@ pub fn pick_roots(params: &RmatParams, k: usize) -> Vec<u64> {
             break;
         }
     }
-    assert!(!roots.is_empty(), "could not find any connected root");
-    roots
+    if roots.is_empty() {
+        return Err(DriverError::NoConnectedRoot);
+    }
+    Ok(roots)
+}
+
+/// Fold one all-ranks-Ok SPMD batch into root-major storage.
+///
+/// `indices[bi]` is the global root index of the batch's `bi`-th root.
+/// Engine failure is replicated state — every rank reports the same
+/// error — so collecting across ranks loses nothing.
+fn fold_batch(
+    rank_results: Vec<(ComponentStats, Vec<Result<BfsOutput, EngineError>>)>,
+    indices: &[usize],
+    data: &mut [Option<Result<Vec<BfsOutput>, QuarantineReason>>],
+    partition_stats: &mut Option<Vec<ComponentStats>>,
+) {
+    if partition_stats.is_none() {
+        *partition_stats = Some(rank_results.iter().map(|(s, _)| *s).collect());
+    }
+    // Transpose rank-major results to root-major.
+    let mut per_root: Vec<Vec<Result<BfsOutput, EngineError>>> =
+        (0..indices.len()).map(|_| Vec::new()).collect();
+    for (_, outputs) in rank_results {
+        for (bi, out) in outputs.into_iter().enumerate() {
+            per_root[bi].push(out);
+        }
+    }
+    for (bi, outs) in per_root.into_iter().enumerate() {
+        let folded: Result<Vec<BfsOutput>, EngineError> = outs.into_iter().collect();
+        data[indices[bi]] = Some(folded.map_err(QuarantineReason::Engine));
+    }
 }
 
 /// Run the complete benchmark pipeline.
 ///
+/// Fault containment: a root whose traversal fails — injected rank
+/// failure (after `max_root_retries` retries with backoff), replicated
+/// engine error, or Graph 500 validation failure — is *quarantined*
+/// rather than aborting the benchmark. The report is then complete but
+/// degraded: its TEPS statistics cover the surviving roots and
+/// [`BenchmarkReport::faults`] records what happened.
+///
 /// # Errors
-/// Returns [`DriverError::Engine`] when any traversal fails inside the
-/// engine, and [`DriverError::Validation`] when `config.validate` is
-/// set and a parent tree violates the Graph 500 specification.
+/// Returns [`DriverError::NoConnectedRoot`] when no usable root exists
+/// and [`DriverError::InvalidFaultPlan`] when `SUNBFS_FAULT_PLAN` is
+/// set but unparseable. Per-root failures never surface here.
 pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError> {
     let params = config.rmat();
     let n = params.num_vertices();
     let p = config.mesh.num_ranks() as u64;
-    let roots = pick_roots(&params, config.num_roots);
-    let cluster = Cluster::new(config.mesh, config.machine);
+    let roots = pick_roots(&params, config.num_roots)?;
+    let plan = match FaultPlan::from_env() {
+        Err(e) => return Err(DriverError::InvalidFaultPlan(e)),
+        Ok(Some(plan)) => plan,
+        Ok(None) => FaultPlan::generate(&config.faults, config.mesh.num_ranks()),
+    };
+    let fault_free = plan.is_empty();
+    let cluster = Cluster::with_faults(config.mesh, config.machine, plan);
 
-    // SPMD phase: each rank generates its chunk, partitions, traverses.
-    // `EngineError` is replicated state, so every rank agrees on
-    // success or failure and the collectives stay in lock-step.
-    let rank_results: Vec<(ComponentStats, Result<Vec<BfsOutput>, EngineError>)> =
-        cluster.run(|ctx| {
+    // One SPMD pass over a batch of roots: each rank generates its
+    // chunk, builds the partition, traverses every root in the batch.
+    // A root's engine error does NOT short-circuit the batch — the
+    // error is replicated, collectives stay in lock-step, and the
+    // remaining roots still run.
+    let spmd = |batch: &[u64]| {
+        cluster.run_fallible(|ctx| {
             let chunk = sunbfs_rmat::generate_chunk(&params, ctx.rank() as u64, p);
             let part = build_1p5d(ctx, n, &chunk, config.thresholds);
             drop(chunk);
-            let outputs: Result<Vec<BfsOutput>, EngineError> = roots
+            let outputs: Vec<Result<BfsOutput, EngineError>> = batch
                 .iter()
                 .map(|&root| run_bfs(ctx, &part, root, &config.engine))
                 .collect();
             (part.stats, outputs)
-        });
+        })
+    };
 
-    let partition_stats: Vec<ComponentStats> = rank_results.iter().map(|(s, _)| *s).collect();
-    let per_rank: Vec<Vec<BfsOutput>> = rank_results
-        .into_iter()
-        .map(|(_, r)| r.map_err(DriverError::Engine))
-        .collect::<Result<_, _>>()?;
+    let mut data: Vec<Option<Result<Vec<BfsOutput>, QuarantineReason>>> =
+        (0..roots.len()).map(|_| None).collect();
+    let mut attempts: Vec<u32> = vec![0; roots.len()];
+    let mut partition_stats: Option<Vec<ComponentStats>> = None;
+    let mut total_retries = 0u64;
+    let mut pending: Vec<usize> = (0..roots.len()).collect();
 
-    // Per-root aggregation (and optional validation).
+    // Fast path: nothing planned — all roots in one SPMD phase, one
+    // partition build. A rank failure here (an SPMD bug surfacing at
+    // run time, not an injection) falls through to the containment
+    // loop with this batch charged as every root's first attempt.
+    if fault_free {
+        let res = spmd(&roots);
+        if res.iter().all(Result::is_ok) {
+            let rank_results = res.into_iter().map(|r| r.unwrap()).collect();
+            fold_batch(rank_results, &pending, &mut data, &mut partition_stats);
+            pending.clear();
+        }
+        for a in attempts.iter_mut() {
+            *a = 1;
+        }
+    }
+
+    // Containment path: one root at a time so a lost rank only costs
+    // that root's attempt. Bounded retry with exponential backoff —
+    // injected faults fire at most once per cluster lifetime, so a
+    // retry on the healed cluster exercises the transient-fault model.
+    for ri in pending {
+        let root = roots[ri];
+        let budget = 1 + config.max_root_retries;
+        loop {
+            attempts[ri] += 1;
+            let mut oks = Vec::new();
+            let mut failures = Vec::new();
+            for r in spmd(std::slice::from_ref(&root)) {
+                match r {
+                    Ok(v) => oks.push(v),
+                    Err(f) => failures.push(f),
+                }
+            }
+            if failures.is_empty() {
+                fold_batch(oks, &[ri], &mut data, &mut partition_stats);
+                break;
+            }
+            if attempts[ri] >= budget {
+                data[ri] = Some(Err(QuarantineReason::RankFailure {
+                    attempts: attempts[ri],
+                    failures,
+                }));
+                break;
+            }
+            total_retries += 1;
+            std::thread::sleep(Duration::from_millis(1u64 << attempts[ri].min(6)));
+        }
+    }
+
+    // Aggregation and validation. A validation failure quarantines the
+    // root rather than aborting: the report stays complete.
     let full_edges: Option<Vec<Edge>> = config
         .validate
         .then(|| sunbfs_rmat::generate_edges(&params));
     let mut runs = Vec::with_capacity(roots.len());
-    let validated = full_edges.is_some();
+    let mut quarantined = Vec::new();
+    let mut outcomes = Vec::with_capacity(roots.len());
     for (ri, &root) in roots.iter().enumerate() {
+        let quarantine = |reason: QuarantineReason, quarantined: &mut Vec<QuarantinedRoot>| {
+            quarantined.push(QuarantinedRoot { root, reason });
+            RootOutcome {
+                root,
+                attempts: attempts[ri],
+                quarantined: true,
+            }
+        };
+        let per_rank: Vec<BfsOutput> = match data[ri].take().expect("every root resolved") {
+            Err(reason) => {
+                let o = quarantine(reason, &mut quarantined);
+                outcomes.push(o);
+                continue;
+            }
+            Ok(v) => v,
+        };
         let mut times = TimeAccumulator::new();
         let mut comm = CommStats::new();
         let mut sim_seconds = 0.0f64;
-        for outputs in &per_rank {
-            times.merge(&outputs[ri].stats.times);
-            comm.merge(&outputs[ri].stats.comm);
-            sim_seconds = sim_seconds.max(outputs[ri].stats.sim_seconds);
+        for out in &per_rank {
+            times.merge(&out.stats.times);
+            comm.merge(&out.stats.comm);
+            sim_seconds = sim_seconds.max(out.stats.sim_seconds);
         }
-        let stats0 = &per_rank[0][ri].stats;
+        let stats0 = &per_rank[0].stats;
         let engine_traversed_edges = stats0.traversed_edges;
         // Spec-conformant TEPS `m`: duplicate generator edges count
         // once. Only computable with the full edge list on the driver,
@@ -252,10 +483,13 @@ pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError>
         if let Some(edges) = &full_edges {
             let parents: Vec<u64> = per_rank
                 .iter()
-                .flat_map(|outputs| outputs[ri].parents.iter().copied())
+                .flat_map(|o| o.parents.iter().copied())
                 .collect();
-            validate::validate_parents(n, edges, root, &parents)
-                .map_err(|error| DriverError::Validation { root, error })?;
+            if let Err(error) = validate::validate_parents(n, edges, root, &parents) {
+                let o = quarantine(QuarantineReason::Validation(error), &mut quarantined);
+                outcomes.push(o);
+                continue;
+            }
             traversed_edges = validate::component_edges(edges, &parents);
         }
         runs.push(RootRun {
@@ -273,18 +507,34 @@ pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError>
             times,
             comm,
         });
+        outcomes.push(RootOutcome {
+            root,
+            attempts: attempts[ri],
+            quarantined: false,
+        });
     }
+    let faults = FaultReport {
+        injected: cluster.fault_log(),
+        outcomes,
+        quarantined,
+        total_retries,
+    };
     Ok(BenchmarkReport {
         config: *config,
-        partition_stats,
+        partition_stats: partition_stats.unwrap_or_default(),
         runs,
-        validated,
+        validated: full_edges.is_some() && faults.quarantined.is_empty(),
+        faults,
     })
 }
 
 /// Re-exported so callers can name validation errors without another
 /// import path.
 pub type DriverValidationError = ValidationError;
+
+/// Re-exported so callers can configure fault campaigns without
+/// importing `sunbfs_net` directly.
+pub use sunbfs_net::FaultSpec;
 
 #[cfg(test)]
 mod tests {
@@ -298,6 +548,16 @@ mod tests {
         assert!(report.mean_gteps() > 0.0);
         assert!(report.harmonic_mean_gteps() <= report.mean_gteps() + 1e-12);
         assert_eq!(report.partition_stats.len(), 4);
+        // Fault-free run: complete bookkeeping, nothing degraded.
+        assert!(!report.faults.degraded());
+        assert!(report.faults.injected.is_empty());
+        assert_eq!(report.faults.total_retries, 0);
+        assert_eq!(report.faults.outcomes.len(), 3);
+        assert!(report
+            .faults
+            .outcomes
+            .iter()
+            .all(|o| o.attempts == 1 && !o.quarantined));
     }
 
     #[test]
@@ -326,7 +586,7 @@ mod tests {
     #[test]
     fn roots_are_distinct_and_connected() {
         let params = RmatParams::graph500(10, 7);
-        let roots = pick_roots(&params, 8);
+        let roots = pick_roots(&params, 8).expect("scale-10 graph has connected roots");
         assert_eq!(roots.len(), 8);
         let mut dedup = roots.clone();
         dedup.sort_unstable();
@@ -356,5 +616,75 @@ mod tests {
             error: ValidationError::BadRoot,
         };
         assert!(e.to_string().contains("root 7"));
+        assert!(DriverError::NoConnectedRoot
+            .to_string()
+            .contains("connected root"));
+        assert!(DriverError::InvalidFaultPlan("bad event".into())
+            .to_string()
+            .contains("SUNBFS_FAULT_PLAN"));
+    }
+
+    #[test]
+    fn retry_recovers_a_transient_rank_panic() {
+        // One injected panic; faults fire once per cluster lifetime, so
+        // the first retry of the victim root succeeds and the report is
+        // NOT degraded.
+        let mut cfg = RunConfig::small_test(8, 4);
+        cfg.faults = FaultSpec {
+            seed: 11,
+            panics: 1,
+            stragglers: 0,
+            corruptions: 0,
+            straggler_secs: 0.0,
+            horizon: 50,
+        };
+        cfg.max_root_retries = 2;
+        let report = run_benchmark(&cfg).expect("retry must absorb the fault");
+        assert!(report.validated, "recovered run still validates");
+        assert_eq!(report.runs.len(), 3, "no root lost");
+        assert!(!report.faults.degraded());
+        assert_eq!(report.faults.injected.len(), 1, "the panic was logged");
+        assert_eq!(report.faults.total_retries, 1, "exactly one retry spent");
+        assert_eq!(
+            report
+                .faults
+                .outcomes
+                .iter()
+                .map(|o| o.attempts)
+                .sum::<u32>(),
+            4,
+            "three roots, one of which needed a second attempt"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_the_root_and_degrade_the_report() {
+        // Repeated panics on the same rank exhaust the retry budget for
+        // root 0; the benchmark still completes with the other roots.
+        let mut cfg = RunConfig::small_test(8, 4);
+        cfg.faults = FaultSpec {
+            seed: 3,
+            panics: 6,
+            stragglers: 0,
+            corruptions: 0,
+            straggler_secs: 0.0,
+            horizon: 2,
+        };
+        cfg.max_root_retries = 1;
+        let report = run_benchmark(&cfg).expect("degraded, not aborted");
+        assert!(report.faults.degraded());
+        assert!(!report.validated, "a degraded report is never validated");
+        assert!(!report.faults.quarantined.is_empty());
+        let q = &report.faults.quarantined[0];
+        assert_eq!(q.reason.label(), "rank_failure");
+        assert!(q.reason.detail().contains("attempts exhausted"));
+        assert_eq!(
+            report.runs.len() + report.faults.quarantined.len(),
+            3,
+            "every root accounted for: surviving runs + quarantined"
+        );
+        for run in &report.runs {
+            assert!(run.gteps > 0.0, "survivors still carry statistics");
+        }
     }
 }

@@ -16,11 +16,15 @@ use sunbfs_net::MeshShape;
 use sunbfs_part::ComponentStats;
 use sunbfs_sunway::KernelReport;
 
-use crate::driver::{BenchmarkReport, RootRun, RunConfig};
+use crate::driver::{BenchmarkReport, FaultReport, RootRun, RunConfig};
 
 /// Bump when the JSON layout changes shape (adding fields is a bump
 /// too: the golden test pins the exact skeleton).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added the `faults` section (fault injection, retry and
+/// quarantine observability) and the `config.faults` /
+/// `config.max_root_retries` knobs.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Ratio bin edges of the partition load-balance histogram: each rank's
 /// `total / mean` storage falls into one bin; the last bin is open.
@@ -41,8 +45,43 @@ impl BenchmarkReport {
                 "roots",
                 JsonValue::Array(self.runs.iter().map(root_run_json).collect()),
             )
+            .field("faults", faults_json(&self.faults))
             .build()
     }
+}
+
+/// The fault/retry/quarantine section: everything an operator needs to
+/// decide whether a degraded run's numbers are still usable.
+fn faults_json(f: &FaultReport) -> JsonValue {
+    let outcomes = f
+        .outcomes
+        .iter()
+        .map(|o| {
+            JsonValue::object()
+                .field("root", o.root)
+                .field("attempts", o.attempts as u64)
+                .field("quarantined", o.quarantined)
+                .build()
+        })
+        .collect();
+    let quarantined = f
+        .quarantined
+        .iter()
+        .map(|q| {
+            JsonValue::object()
+                .field("root", q.root)
+                .field("reason", q.reason.label())
+                .field("detail", q.reason.detail())
+                .build()
+        })
+        .collect();
+    JsonValue::object()
+        .field("degraded", f.degraded())
+        .field("total_retries", f.total_retries)
+        .field("injected", f.injected.to_json())
+        .field("roots", JsonValue::Array(outcomes))
+        .field("quarantined", JsonValue::Array(quarantined))
+        .build()
 }
 
 fn config_json(c: &RunConfig) -> JsonValue {
@@ -73,6 +112,17 @@ fn config_json(c: &RunConfig) -> JsonValue {
         .field("seed", c.seed)
         .field("num_roots", c.num_roots)
         .field("validate", c.validate)
+        .field(
+            "faults",
+            JsonValue::object()
+                .field("seed", c.faults.seed)
+                .field("panics", c.faults.panics)
+                .field("stragglers", c.faults.stragglers)
+                .field("corruptions", c.faults.corruptions)
+                .field("straggler_secs", c.faults.straggler_secs)
+                .field("horizon", c.faults.horizon),
+        )
+        .field("max_root_retries", c.max_root_retries)
         .build()
 }
 
@@ -266,5 +316,9 @@ mod tests {
         assert!(js.contains("\"EH2EH\":"));
         assert!(js.contains("\"rma_ops\":"));
         assert!(js.contains("\"load_balance\":"));
+        // Fault observability is always present, even on clean runs.
+        assert!(js.contains("\"faults\":{\"degraded\":false"));
+        assert!(js.contains("\"total_retries\":0"));
+        assert!(js.contains("\"max_root_retries\":2"));
     }
 }

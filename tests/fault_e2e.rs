@@ -1,0 +1,113 @@
+//! End-to-end fault containment: an injected fault campaign must yield
+//! a complete, schema-valid, explicitly-degraded benchmark report —
+//! never an abort — and identical seeds must yield identical injection
+//! schedules and byte-identical report JSON.
+
+use proptest::prelude::*;
+use sunbfs::driver::{run_benchmark, FaultSpec, RunConfig};
+use sunbfs_net::FaultPlan;
+
+/// A campaign guaranteed to hit root 0's first attempt: one panic at
+/// collective index 0, which every run reaches immediately in the
+/// partition build.
+fn one_panic_at_start(seed: u64) -> FaultSpec {
+    FaultSpec {
+        seed,
+        panics: 1,
+        stragglers: 0,
+        corruptions: 0,
+        straggler_secs: 0.0,
+        horizon: 1,
+    }
+}
+
+#[test]
+fn quarantined_root_still_yields_schema_valid_degraded_json() {
+    let mut cfg = RunConfig::small_test(9, 4);
+    cfg.faults = one_panic_at_start(5);
+    cfg.max_root_retries = 0; // no retry budget: root 0 must quarantine
+    let report = run_benchmark(&cfg).expect("degraded completion, not abort");
+
+    assert!(report.faults.degraded());
+    assert!(!report.validated, "degraded reports are never validated");
+    assert_eq!(report.runs.len(), 2, "the two surviving roots complete");
+    assert_eq!(report.faults.quarantined.len(), 1);
+    assert_eq!(report.faults.injected.len(), 1);
+    assert_eq!(report.faults.total_retries, 0);
+    assert_eq!(report.faults.outcomes.len(), 3);
+    assert!(report.faults.outcomes[0].quarantined);
+    assert_eq!(report.faults.outcomes[0].attempts, 1);
+    for run in &report.runs {
+        assert!(run.gteps > 0.0, "survivors carry full statistics");
+    }
+
+    // The JSON report is complete and carries the fault section.
+    let js = report.to_json().render();
+    assert!(js.contains("\"schema_version\":2"), "got {js}");
+    assert!(js.contains("\"degraded\":true"));
+    assert!(js.contains("\"total_retries\":0"));
+    assert!(js.contains("\"reason\":\"rank_failure\""));
+    assert!(js.contains("\"kind\":\"panic\""));
+    assert!(js.contains("\"harmonic_mean_gteps\":"));
+    // The quarantined root appears in outcomes but not in `roots`.
+    let quarantined_root = report.faults.quarantined[0].root;
+    assert!(!report.runs.iter().any(|r| r.root == quarantined_root));
+}
+
+#[test]
+fn retry_budget_turns_the_same_campaign_into_a_clean_report() {
+    // Same single-shot fault, but with retries available: the fault is
+    // transient (fires once per cluster lifetime), so the report ends
+    // clean and validated with exactly one retry spent.
+    let mut cfg = RunConfig::small_test(9, 4);
+    cfg.faults = one_panic_at_start(5);
+    cfg.max_root_retries = 2;
+    let report = run_benchmark(&cfg).expect("retry absorbs the fault");
+
+    assert!(!report.faults.degraded());
+    assert!(report.validated);
+    assert_eq!(report.runs.len(), 3);
+    assert_eq!(report.faults.total_retries, 1);
+    assert_eq!(report.faults.injected.len(), 1);
+    assert_eq!(report.faults.outcomes[0].attempts, 2);
+    let js = report.to_json().render();
+    assert!(js.contains("\"degraded\":false"));
+    assert!(js.contains("\"total_retries\":1"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Determinism: the same `FaultSpec` seed produces the identical
+    /// injection schedule, and two full benchmark runs under that
+    /// campaign render byte-identical (possibly degraded) JSON.
+    #[test]
+    fn identical_seed_gives_identical_schedule_and_report_json(
+        seed in 0u64..1_000,
+        panics in 0u32..3,
+        stragglers in 0u32..2,
+    ) {
+        let spec = FaultSpec {
+            seed,
+            panics,
+            stragglers,
+            corruptions: 1,
+            straggler_secs: 0.25,
+            horizon: 40,
+        };
+        let a = FaultPlan::generate(&spec, 4);
+        let b = FaultPlan::generate(&spec, 4);
+        prop_assert_eq!(a.events(), b.events());
+
+        let mut cfg = RunConfig::small_test(8, 4);
+        cfg.faults = spec;
+        cfg.max_root_retries = 1;
+        let ra = run_benchmark(&cfg).expect("first run completes");
+        let rb = run_benchmark(&cfg).expect("second run completes");
+        prop_assert_eq!(
+            ra.faults.injected.len(),
+            rb.faults.injected.len()
+        );
+        prop_assert_eq!(ra.to_json().render(), rb.to_json().render());
+    }
+}

@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 
 use sunbfs::common::JsonValue;
-use sunbfs::driver::{run_benchmark, RunConfig};
+use sunbfs::driver::{run_benchmark, FaultSpec, RunConfig};
 
 fn skeleton(v: &JsonValue, path: &str, out: &mut Vec<String>) {
     match v {
@@ -31,18 +31,16 @@ fn skeleton(v: &JsonValue, path: &str, out: &mut Vec<String>) {
     }
 }
 
-fn golden_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/bench_schema_scale9.txt")
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}"))
 }
 
-#[test]
-fn json_schema_matches_golden_at_scale_9() {
-    let report = run_benchmark(&RunConfig::small_test(9, 4)).expect("benchmark must pass");
+fn check_against_golden(report: &sunbfs::driver::BenchmarkReport, name: &str) {
     let mut lines = Vec::new();
     skeleton(&report.to_json(), "$", &mut lines);
     let got = lines.join("\n") + "\n";
 
-    let path = golden_path();
+    let path = golden_path(name);
     if std::env::var_os("SUNBFS_UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, &got).unwrap();
@@ -71,6 +69,33 @@ fn json_schema_matches_golden_at_scale_9() {
             diff.join("\n")
         );
     }
+}
+
+#[test]
+fn json_schema_matches_golden_at_scale_9() {
+    let report = run_benchmark(&RunConfig::small_test(9, 4)).expect("benchmark must pass");
+    check_against_golden(&report, "bench_schema_scale9.txt");
+}
+
+#[test]
+fn degraded_json_schema_matches_golden_at_scale_9() {
+    // A campaign that quarantines root 0 (panic at collective 0, no
+    // retry budget) and logs a straggler: the skeleton then pins the
+    // `faults.injected[]` and `faults.quarantined[]` element schemas,
+    // which a clean run leaves as empty arrays.
+    let mut cfg = RunConfig::small_test(9, 4);
+    cfg.faults = FaultSpec {
+        seed: 5,
+        panics: 1,
+        stragglers: 1,
+        corruptions: 0,
+        straggler_secs: 0.5,
+        horizon: 1,
+    };
+    cfg.max_root_retries = 0;
+    let report = run_benchmark(&cfg).expect("degraded completion");
+    assert!(report.faults.degraded(), "campaign must degrade the run");
+    check_against_golden(&report, "bench_schema_scale9_faults.txt");
 }
 
 #[test]

@@ -4,7 +4,7 @@
 
 use sunbfs::common::MachineConfig;
 use sunbfs::core::EngineConfig;
-use sunbfs::driver::{pick_roots, run_benchmark, RunConfig};
+use sunbfs::driver::{pick_roots, run_benchmark, FaultSpec, RunConfig};
 use sunbfs::net::MeshShape;
 use sunbfs::part::Thresholds;
 use sunbfs::rmat::RmatParams;
@@ -20,6 +20,8 @@ fn base_config(scale: u32, ranks: usize) -> RunConfig {
         seed: 4242,
         num_roots: 2,
         validate: true,
+        faults: FaultSpec::NONE,
+        max_root_retries: 2,
     }
 }
 
@@ -170,8 +172,8 @@ fn social_graph_traverses_and_validates() {
 #[test]
 fn pick_roots_is_deterministic_and_valid() {
     let params = RmatParams::graph500(12, 7);
-    let a = pick_roots(&params, 6);
-    let b = pick_roots(&params, 6);
+    let a = pick_roots(&params, 6).expect("connected roots");
+    let b = pick_roots(&params, 6).expect("connected roots");
     assert_eq!(a, b);
     assert_eq!(a.len(), 6);
 }
