@@ -1,0 +1,381 @@
+//! Iteration-level checkpointing for fault-tolerant traversals.
+//!
+//! A BFS that loses a rank mid-traversal currently pays for the whole
+//! root again on retry. This module captures the engine's loop-carried
+//! state after every *completed* iteration so the driver's retry can
+//! resume from the last verified checkpoint instead:
+//!
+//! * [`CheckpointState`] is the complete per-rank snapshot — frontier
+//!   and visited bitmaps for both the replicated hub classes and the
+//!   owner-local L class, the delegate-local parent buffers, and the
+//!   loop-carried global counters.
+//! * Snapshots are stored *encoded*: a fixed-layout little-endian `u64`
+//!   stream sealed with a trailing FNV-1a checksum. [`decode`] refuses
+//!   anything damaged, so a resume never starts from corrupt state —
+//!   "last verified checkpoint" is literal.
+//! * [`CheckpointStore`] holds one slot per rank. Saves are rank-local
+//!   (no extra collectives: the engine saves right after its closing
+//!   iteration allreduce, and faults unwind *at* collectives, so every
+//!   rank holds the same last iteration — see
+//!   [`CheckpointStore::common_iter`]).
+//!
+//! Consistency argument: the engine's only unwind points are
+//! collectives (injected panics fire inside `exchange`, corruption
+//! escalation poisons at the deposit barrier, SPMD violations unwind at
+//! collect). A checkpoint is taken between an iteration's closing
+//! allreduce and the next collective, so either every rank saved
+//! iteration `k` or none did — the store can never hold a torn
+//! cross-rank state.
+//!
+//! [`decode`]: CheckpointState::decode
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sunbfs_common::{Bitmap, TimeAccumulator};
+use sunbfs_net::{fnv1a, CommStats};
+
+use crate::stats::IterationStats;
+
+/// Envelope magic: "SBFSCKPT" little-endian.
+const MAGIC: u64 = u64::from_le_bytes(*b"SBFSCKPT");
+/// Envelope layout version.
+const VERSION: u64 = 1;
+
+/// One rank's complete BFS loop state after a finished iteration.
+///
+/// Everything the engine's iteration loop carries is here; the
+/// sub-iteration scratch (`hub_update`, `hub_next`, `l_next`) is
+/// guaranteed clear at the capture point and is therefore not stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointState {
+    /// Last completed iteration (1-based).
+    pub iter: u32,
+    /// Global active-L count after the closing allreduce.
+    pub active_l: u64,
+    /// Global visited-L count after the closing allreduce.
+    pub visited_l: u64,
+    /// Simulated seconds spent in the traversal up to this point
+    /// (across the original run and any earlier resumed segments).
+    pub sim_seconds: f64,
+    /// Replicated hub frontier (already swapped to the next iteration).
+    pub hub_curr: Bitmap,
+    /// Replicated hub visited bits.
+    pub hub_visited: Bitmap,
+    /// Delegate-local hub parents (reduced only after the traversal).
+    pub hub_parent: Vec<u64>,
+    /// Owner-local L frontier.
+    pub l_curr: Bitmap,
+    /// Owner-local L visited bits.
+    pub l_visited: Bitmap,
+    /// Owner-local L parents.
+    pub l_parent: Vec<u64>,
+}
+
+impl CheckpointState {
+    /// Serialize to the checksummed envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for x in [
+            MAGIC,
+            VERSION,
+            self.iter as u64,
+            self.active_l,
+            self.visited_l,
+            self.sim_seconds.to_bits(),
+        ] {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        for bm in [
+            &self.hub_curr,
+            &self.hub_visited,
+            &self.l_curr,
+            &self.l_visited,
+        ] {
+            encode_bitmap(&mut out, bm);
+        }
+        for v in [&self.hub_parent, &self.l_parent] {
+            encode_vec(&mut out, v);
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parse and verify an envelope; `None` on any damage — bad magic
+    /// or version, inconsistent lengths, trailing garbage, or a
+    /// checksum mismatch.
+    pub fn decode(bytes: &[u8]) -> Option<CheckpointState> {
+        // Verify the seal first: the checksum covers everything before
+        // its own 8 bytes.
+        if bytes.len() < 8 {
+            return None;
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let checksum = u64::from_le_bytes(tail.try_into().ok()?);
+        if fnv1a(body) != checksum {
+            return None;
+        }
+        let mut r = Reader {
+            bytes: body,
+            pos: 0,
+        };
+        if r.u64()? != MAGIC || r.u64()? != VERSION {
+            return None;
+        }
+        let iter = u32::try_from(r.u64()?).ok()?;
+        let active_l = r.u64()?;
+        let visited_l = r.u64()?;
+        let sim_seconds = f64::from_bits(r.u64()?);
+        let hub_curr = decode_bitmap(&mut r)?;
+        let hub_visited = decode_bitmap(&mut r)?;
+        let l_curr = decode_bitmap(&mut r)?;
+        let l_visited = decode_bitmap(&mut r)?;
+        let hub_parent = decode_vec(&mut r)?;
+        let l_parent = decode_vec(&mut r)?;
+        if r.pos != body.len() {
+            return None; // trailing garbage is damage too
+        }
+        Some(CheckpointState {
+            iter,
+            active_l,
+            visited_l,
+            sim_seconds,
+            hub_curr,
+            hub_visited,
+            hub_parent,
+            l_curr,
+            l_visited,
+            l_parent,
+        })
+    }
+}
+
+fn encode_bitmap(out: &mut Vec<u8>, bm: &Bitmap) {
+    out.extend_from_slice(&bm.len().to_le_bytes());
+    out.extend_from_slice(&(bm.words().len() as u64).to_le_bytes());
+    for w in bm.words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+fn decode_bitmap(r: &mut Reader<'_>) -> Option<Bitmap> {
+    let bits = r.u64()?;
+    let nwords = r.u64()?;
+    // Internal-consistency and allocation guards BEFORE `Bitmap::new`:
+    // a corrupted length must not become a multi-gigabyte allocation.
+    if nwords != bits.div_ceil(64) || nwords > r.remaining() / 8 {
+        return None;
+    }
+    let mut bm = Bitmap::new(bits);
+    for w in bm.words_mut() {
+        *w = r.u64()?;
+    }
+    Some(bm)
+}
+
+fn encode_vec(out: &mut Vec<u8>, v: &[u64]) {
+    out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn decode_vec(r: &mut Reader<'_>) -> Option<Vec<u64>> {
+    let len = r.u64()?;
+    if len > r.remaining() / 8 {
+        return None; // allocation guard
+    }
+    let mut v = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        v.push(r.u64()?);
+    }
+    Some(v)
+}
+
+/// Bounds-checked little-endian cursor.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let chunk = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(u64::from_le_bytes(chunk.try_into().ok()?))
+    }
+
+    fn remaining(&self) -> u64 {
+        (self.bytes.len() - self.pos) as u64
+    }
+}
+
+/// The statistics a resumed run inherits from the checkpointed
+/// segment: the completed iteration series plus the simulated time and
+/// communication volume already spent, so a resumed traversal is
+/// charged like one continuous run.
+#[derive(Clone, Debug, Default)]
+pub struct ResumeStats {
+    /// Per-iteration counters of every completed iteration.
+    pub iterations: Vec<IterationStats>,
+    /// Per-category simulated time spent before the checkpoint.
+    pub times: TimeAccumulator,
+    /// Collective calls and byte volumes before the checkpoint.
+    pub comm: CommStats,
+}
+
+struct Saved {
+    encoded: Vec<u8>,
+    stats: ResumeStats,
+}
+
+/// Per-root checkpoint storage shared by every rank of one SPMD phase:
+/// one slot per rank, written after each completed iteration, read at
+/// the start of a retry.
+pub struct CheckpointStore {
+    slots: Vec<Mutex<Option<Saved>>>,
+    saves: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// An empty store for a cluster of `nranks` ranks.
+    pub fn new(nranks: usize) -> Self {
+        CheckpointStore {
+            slots: (0..nranks).map(|_| Mutex::new(None)).collect(),
+            saves: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrite `rank`'s slot with a snapshot (encoded and sealed).
+    pub fn save(&self, rank: usize, state: &CheckpointState, stats: ResumeStats) {
+        let encoded = state.encode();
+        *lock(&self.slots[rank]) = Some(Saved { encoded, stats });
+        self.saves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decode-verify and return `rank`'s snapshot; `None` when the slot
+    /// is empty or its envelope fails verification.
+    pub fn load(&self, rank: usize) -> Option<(CheckpointState, ResumeStats)> {
+        let slot = lock(&self.slots[rank]);
+        let saved = slot.as_ref()?;
+        let state = CheckpointState::decode(&saved.encoded)?;
+        Some((state, saved.stats.clone()))
+    }
+
+    /// The iteration every rank's slot verifiably holds — `Some(k)`
+    /// only when all slots decode and agree. This is the resume gate:
+    /// the engine's unwind points guarantee agreement (see module doc),
+    /// so `None` means "no usable checkpoint", never "partial one".
+    pub fn common_iter(&self) -> Option<u32> {
+        let mut common: Option<u32> = None;
+        for slot in &self.slots {
+            let guard = lock(slot);
+            let iter = CheckpointState::decode(&guard.as_ref()?.encoded)?.iter;
+            match common {
+                None => common = Some(iter),
+                Some(c) if c != iter => return None,
+                Some(_) => {}
+            }
+        }
+        common
+    }
+
+    /// Total snapshots taken over this store's lifetime.
+    pub fn saves(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
+    }
+}
+
+/// A rank that panics never does so while holding a slot lock (saves
+/// and loads are short, between collectives), but the unwinding of a
+/// *different* rank must not wedge this one: take the data regardless.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> CheckpointState {
+        let mut hub_curr = Bitmap::new(130);
+        hub_curr.set(0);
+        hub_curr.set(129);
+        let mut hub_visited = Bitmap::new(130);
+        hub_visited.set(64);
+        let mut l_curr = Bitmap::new(10);
+        l_curr.set(3);
+        let l_visited = Bitmap::new(10);
+        CheckpointState {
+            iter: 4,
+            active_l: 7,
+            visited_l: 21,
+            sim_seconds: 0.125,
+            hub_curr,
+            hub_visited,
+            hub_parent: vec![5, u64::MAX, 9],
+            l_curr,
+            l_visited,
+            l_parent: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let s = sample_state();
+        let bytes = s.encode();
+        assert_eq!(CheckpointState::decode(&bytes).as_ref(), Some(&s));
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_rejected() {
+        let s = sample_state();
+        let bytes = s.encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(
+                CheckpointState::decode(&bad),
+                None,
+                "flip at byte {i} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_rejected() {
+        let bytes = sample_state().encode();
+        for cut in [0, 1, 8, bytes.len() - 1] {
+            assert_eq!(CheckpointState::decode(&bytes[..cut]), None);
+        }
+        let mut longer = bytes.clone();
+        longer.extend_from_slice(&[0u8; 8]);
+        assert_eq!(CheckpointState::decode(&longer), None);
+    }
+
+    #[test]
+    fn store_tracks_saves_and_common_iter() {
+        let store = CheckpointStore::new(2);
+        assert_eq!(store.common_iter(), None, "empty store has no checkpoint");
+        assert!(store.load(0).is_none());
+        let s = sample_state();
+        store.save(0, &s, ResumeStats::default());
+        assert_eq!(store.common_iter(), None, "rank 1 still missing");
+        store.save(1, &s, ResumeStats::default());
+        assert_eq!(store.common_iter(), Some(4));
+        let mut later = s.clone();
+        later.iter = 5;
+        store.save(0, &later, ResumeStats::default());
+        assert_eq!(store.common_iter(), None, "disagreeing iters are unusable");
+        store.save(1, &later, ResumeStats::default());
+        assert_eq!(store.common_iter(), Some(5));
+        assert_eq!(store.saves(), 4);
+        let (loaded, _) = store.load(0).expect("verified slot loads");
+        assert_eq!(loaded, later);
+    }
+}

@@ -23,12 +23,13 @@
 //! earlier sub-iterations of the same iteration mark vertices visited
 //! before later ones run, so nothing already activated gets pulled.
 
-use sunbfs_common::{Bitmap, INVALID_VERTEX};
-use sunbfs_net::{RankCtx, Scope};
+use sunbfs_common::{Bitmap, TimeAccumulator, INVALID_VERTEX};
+use sunbfs_net::{CommStats, RankCtx, Scope};
 use sunbfs_part::RankPartition;
 use sunbfs_sunway::{ocs_sort_rma, OcsConfig, SegmentedBitvec};
 
 use crate::balance;
+use crate::checkpoint::{CheckpointState, CheckpointStore, ResumeStats};
 use crate::config::{choose_crossing, choose_local, Direction, EngineConfig};
 use crate::costing;
 use crate::stats::{BfsRunStats, IterationStats, SubIterationStats};
@@ -84,7 +85,28 @@ pub fn run_bfs(
     root: u64,
     cfg: &EngineConfig,
 ) -> Result<BfsOutput, EngineError> {
-    Engine::new(ctx, part, *cfg).run(ctx, root)
+    run_bfs_recoverable(ctx, part, root, cfg, None)
+}
+
+/// [`run_bfs`] with iteration-level checkpointing: when `checkpoints`
+/// is given, the engine snapshots its loop state into the store after
+/// every completed iteration, and — if the store already holds a
+/// verified checkpoint common to all ranks (a previous attempt of the
+/// *same* root died mid-traversal) — resumes from it instead of
+/// restarting at the root, charging the resumed segment on top of the
+/// checkpointed simulated time so the run's statistics read like one
+/// continuous traversal.
+///
+/// SPMD: all ranks call with identical `root`, `cfg`, and a store
+/// shared across the cluster's ranks.
+pub fn run_bfs_recoverable(
+    ctx: &mut RankCtx,
+    part: &RankPartition,
+    root: u64,
+    cfg: &EngineConfig,
+    checkpoints: Option<&CheckpointStore>,
+) -> Result<BfsOutput, EngineError> {
+    Engine::new(ctx, part, *cfg).run(ctx, root, checkpoints)
 }
 
 /// Row-then-column allreduce of hub bitmap words with a summed counter
@@ -209,41 +231,84 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self, ctx: &mut RankCtx, root: u64) -> Result<BfsOutput, EngineError> {
+    fn run(
+        mut self,
+        ctx: &mut RankCtx,
+        root: u64,
+        checkpoints: Option<&CheckpointStore>,
+    ) -> Result<BfsOutput, EngineError> {
         let t_start = ctx.now();
         let acc_start = ctx.accumulator().clone();
         let comm_start = ctx.comm_stats().clone();
         let dir = &self.part.directory;
         let range = self.part.owned_range();
 
-        // ---- root activation (replicated hubs / owner-local L) ----
-        match dir.hub_id(root) {
-            Some(h) => {
-                self.hub_curr.set(h as u64);
-                self.hub_visited.set(h as u64);
-                self.hub_parent[h as usize] = root;
-            }
-            None => {
-                if range.contains(&root) {
-                    let li = root - range.start;
-                    self.l_curr.set(li);
-                    self.l_visited.set(li);
-                    self.l_parent[li as usize] = root;
-                }
-            }
-        }
+        // ---- resume decision (SPMD-consistent: `common_iter` reads
+        // the shared store, so every rank takes the same branch) ----
+        let resumed = checkpoints
+            .filter(|s| s.common_iter().is_some())
+            .and_then(|s| s.load(ctx.rank()));
 
-        let mut iterations: Vec<IterationStats> = Vec::new();
-        let mut iter = 0u32;
+        let mut iterations: Vec<IterationStats>;
+        let mut iter: u32;
         // L-class counters are carried across iterations instead of
         // being re-collected: the root's class is globally known, and
         // each iteration's closing allreduce refreshes them (real BFS
         // codes piggyback these counters for exactly this reason —
         // scalar collectives are pure latency).
-        let root_is_l = dir.hub_id(root).is_none();
-        let mut active_l: u64 = root_is_l as u64;
-        let mut visited_l: u64 = root_is_l as u64;
-        loop {
+        let mut active_l: u64;
+        let mut visited_l: u64;
+        // Statistics already paid for by the checkpointed segment; the
+        // final run stats are `base + what this segment spends`.
+        let mut base = ResumeStats::default();
+        let mut base_sim_seconds = 0.0f64;
+
+        match resumed {
+            Some((state, stats)) => {
+                // ---- restore the loop-carried state; root activation
+                // is part of the checkpointed history ----
+                iter = state.iter;
+                active_l = state.active_l;
+                visited_l = state.visited_l;
+                base_sim_seconds = state.sim_seconds;
+                self.hub_curr = state.hub_curr;
+                self.hub_visited = state.hub_visited;
+                self.hub_parent = state.hub_parent;
+                self.l_curr = state.l_curr;
+                self.l_visited = state.l_visited;
+                self.l_parent = state.l_parent;
+                iterations = stats.iterations.clone();
+                base = stats;
+            }
+            None => {
+                // ---- root activation (replicated hubs / owner-local L) ----
+                match dir.hub_id(root) {
+                    Some(h) => {
+                        self.hub_curr.set(h as u64);
+                        self.hub_visited.set(h as u64);
+                        self.hub_parent[h as usize] = root;
+                    }
+                    None => {
+                        if range.contains(&root) {
+                            let li = root - range.start;
+                            self.l_curr.set(li);
+                            self.l_visited.set(li);
+                            self.l_parent[li as usize] = root;
+                        }
+                    }
+                }
+                iterations = Vec::new();
+                iter = 0;
+                let root_is_l = dir.hub_id(root).is_none();
+                active_l = root_is_l as u64;
+                visited_l = root_is_l as u64;
+            }
+        }
+
+        // A checkpoint taken after the *final* iteration restores a
+        // drained frontier: skip straight to the parent reduction.
+        let mut done = self.hub_curr.is_zero() && active_l == 0;
+        while !done {
             iter += 1;
             let mut st = IterationStats {
                 iter,
@@ -342,6 +407,10 @@ impl<'a> Engine<'a> {
             st.newly_l = counts[0];
             active_l = counts[0];
             visited_l = counts[1];
+            // The closing allreduce was this iteration's last
+            // collective: the counter now names the first op *after*
+            // the boundary (see `IterationStats::end_op`).
+            st.end_op = ctx.collective_calls();
 
             std::mem::swap(&mut self.hub_curr, &mut self.hub_next);
             self.hub_next.clear();
@@ -349,10 +418,23 @@ impl<'a> Engine<'a> {
             self.l_next.clear();
 
             iterations.push(st);
-            if self.hub_curr.is_zero() && active_l == 0 {
-                break;
+            // Snapshot between the closing allreduce and the next
+            // collective: faults only unwind at collectives, so every
+            // rank checkpoints iteration `iter` or none does.
+            if let Some(store) = checkpoints {
+                self.save_checkpoint(
+                    ctx,
+                    store,
+                    iter,
+                    active_l,
+                    visited_l,
+                    &iterations,
+                    base_sim_seconds + (ctx.now() - t_start).as_secs(),
+                    (&base, &acc_start, &comm_start),
+                );
             }
-            if iter > MAX_ITERATIONS {
+            done = self.hub_curr.is_zero() && active_l == 0;
+            if !done && iter > MAX_ITERATIONS {
                 // Replicated termination state: every rank takes this
                 // branch on the same iteration.
                 return Err(EngineError::NonTermination { iterations: iter });
@@ -392,15 +474,61 @@ impl<'a> Engine<'a> {
             |a, b| *a += b,
         );
 
+        // Charge the resumed segment on top of the checkpointed base
+        // (both zero when not resuming), so interrupted-then-resumed
+        // runs report one continuous traversal.
+        let mut times = base.times;
+        times.merge(&ctx.accumulator().diff(&acc_start));
+        let mut comm = base.comm;
+        comm.merge(&ctx.comm_stats().diff(&comm_start));
         let stats = BfsRunStats {
             iterations,
             traversed_edges: totals[0] / 2,
             visited_vertices: totals[1],
-            sim_seconds: (ctx.now() - t_start).as_secs(),
-            times: ctx.accumulator().diff(&acc_start),
-            comm: ctx.comm_stats().diff(&comm_start),
+            sim_seconds: base_sim_seconds + (ctx.now() - t_start).as_secs(),
+            times,
+            comm,
         };
         Ok(BfsOutput { parents, stats })
+    }
+
+    /// Store this rank's snapshot of the just-completed iteration:
+    /// the loop-carried state (sealed with a checksum) plus the
+    /// statistics a resume must inherit.
+    #[allow(clippy::too_many_arguments)]
+    fn save_checkpoint(
+        &self,
+        ctx: &mut RankCtx,
+        store: &CheckpointStore,
+        iter: u32,
+        active_l: u64,
+        visited_l: u64,
+        iterations: &[IterationStats],
+        sim_seconds: f64,
+        (base, acc_start, comm_start): (&ResumeStats, &TimeAccumulator, &CommStats),
+    ) {
+        let state = CheckpointState {
+            iter,
+            active_l,
+            visited_l,
+            sim_seconds,
+            hub_curr: self.hub_curr.clone(),
+            hub_visited: self.hub_visited.clone(),
+            hub_parent: self.hub_parent.clone(),
+            l_curr: self.l_curr.clone(),
+            l_visited: self.l_visited.clone(),
+            l_parent: self.l_parent.clone(),
+        };
+        let mut times = base.times.clone();
+        times.merge(&ctx.accumulator().diff(acc_start));
+        let mut comm = base.comm.clone();
+        comm.merge(&ctx.comm_stats().diff(comm_start));
+        let stats = ResumeStats {
+            iterations: iterations.to_vec(),
+            times,
+            comm,
+        };
+        store.save(ctx.rank(), &state, stats);
     }
 
     /// Initial per-iteration direction choices (H2L/L2L may be refreshed

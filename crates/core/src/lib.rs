@@ -13,19 +13,25 @@
 //!   for the global L2L exchange,
 //! * **delayed reduction of delegated parents** and **edge-aware
 //!   vertex-cut balancing** (§5, [`balance`]),
-//! * full Graph 500 validation and a sequential reference ([`validate`]).
+//! * full Graph 500 validation and a sequential reference ([`validate`]),
+//! * **iteration-level checkpoint/resume** ([`checkpoint`]) — every
+//!   completed iteration snapshots the loop state so a faulted root
+//!   resumes from its last verified checkpoint instead of restarting
+//!   ([`run_bfs_recoverable`]).
 //!
 //! Entry point: [`run_bfs`], called SPMD from every rank of a
 //! [`sunbfs_net::Cluster`] with the rank's [`sunbfs_part::RankPartition`].
 
 pub mod balance;
+pub mod checkpoint;
 pub mod config;
 pub mod costing;
 pub mod engine;
 pub mod stats;
 pub mod validate;
 
+pub use checkpoint::{CheckpointState, CheckpointStore, ResumeStats};
 pub use config::{Component, Direction, EngineConfig};
-pub use engine::{run_bfs, BfsOutput, EngineError};
+pub use engine::{run_bfs, run_bfs_recoverable, BfsOutput, EngineError};
 pub use stats::{BfsRunStats, IterationStats, SubIterationStats};
 pub use validate::{reference_bfs, validate_parents, ValidationError};

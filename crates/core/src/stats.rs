@@ -65,6 +65,12 @@ pub struct IterationStats {
     pub directions: [Direction; 6],
     /// Edges scanned across all sub-iterations (work metric).
     pub scanned_edges: u64,
+    /// This rank's collective-call counter right after the iteration's
+    /// closing allreduce — the op index of the first collective *after*
+    /// the iteration completed (identical on every rank: the schedule
+    /// is SPMD). Fault campaigns use it to aim injections at exact
+    /// iteration boundaries.
+    pub end_op: u64,
     /// Per-sub-iteration detail, in [`Component::ALL`] order.
     pub subs: [SubIterationStats; 6],
 }
@@ -87,6 +93,7 @@ impl ToJson for IterationStats {
             .field("newly_h", self.newly_h)
             .field("newly_l", self.newly_l)
             .field("scanned_edges", self.scanned_edges)
+            .field("end_op", self.end_op)
             .field("subs", subs)
             .build()
     }

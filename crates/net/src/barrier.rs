@@ -88,7 +88,13 @@ impl PoisonBarrier {
         while st.generation == gen && !st.poisoned {
             st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
-        if st.poisoned {
+        // Poison only fails waiters whose generation did NOT complete.
+        // If the generation advanced, this rendezvous succeeded — a
+        // poison raised concurrently (or just after) belongs to the
+        // *next* wait, which will observe it at entry. Failing here
+        // would retroactively kill a rank whose collective finished,
+        // e.g. before it can checkpoint the iteration it completed.
+        if st.generation == gen {
             drop(st);
             std::panic::panic_any(BarrierPoisoned);
         }
@@ -172,6 +178,30 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         b.poison();
         assert!(waiter.join().unwrap(), "poisoned wait must panic");
+    }
+
+    #[test]
+    fn poison_after_release_does_not_kill_a_completed_waiter() {
+        // The last arriver returns immediately and poisons before the
+        // other party has woken from the condvar: that party's
+        // generation completed, so it must return success — the poison
+        // belongs to the next wait.
+        for _ in 0..100 {
+            let b = Arc::new(PoisonBarrier::new(2));
+            let waiter = {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait())).is_ok()
+                })
+            };
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            b.wait();
+            b.poison();
+            assert!(
+                waiter.join().unwrap(),
+                "a waiter whose generation completed must not see the poison"
+            );
+        }
     }
 
     #[test]

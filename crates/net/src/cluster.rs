@@ -37,10 +37,19 @@ use sunbfs_common::{Bitmap, JsonValue, MachineConfig, SimTime, TimeAccumulator, 
 
 use crate::barrier::{BarrierPoisoned, PoisonBarrier};
 use crate::cost::{self, Scope};
-use crate::fault::{corrupt_any, FaultKind, FaultPlan, FaultRecord, InjectedFault};
+use crate::fault::{corrupt_any_preserving, FaultKind, FaultPlan, FaultRecord, InjectedFault};
+use crate::frame::{clone_any, fnv1a, frame_any, Frame};
 use crate::topology::{MeshShape, Topology};
 
 type Payload = Arc<dyn Any + Send + Sync>;
+
+/// How many times a corrupted deposit is retransmitted before the
+/// exchange gives up and escalates to a [`FailureKind::CorruptPayload`]
+/// unwind. Three rounds absorb any transient corruption (and even
+/// double faults on the same deposit); only a persistent fault — a
+/// plan listing > MAX_RETRANSMITS duplicates of the same event — gets
+/// through to escalation.
+const MAX_RETRANSMITS: u32 = 3;
 
 /// Lock a mutex, ignoring std poisoning: rank panics are contained by
 /// `catch_unwind` + barrier poisoning, so a poisoned mutex here only
@@ -57,6 +66,10 @@ struct Deposit {
     bytes: u64,
     /// Per-destination byte volumes (for alltoallv costing).
     volumes: Option<Vec<u64>>,
+    /// Length + checksum of the *pristine* payload, computed by the
+    /// sender before the fault-injection hook ran (`None` on the
+    /// fault-free fast path and for unframed payload types).
+    frame: Option<Frame>,
     payload: Payload,
 }
 
@@ -103,6 +116,9 @@ struct ClusterShared {
     plan: FaultPlan,
     /// Every fault that actually fired, across all runs of this cluster.
     fault_log: Mutex<Vec<FaultRecord>>,
+    /// Every corrupted deposit healed by retransmission, across all
+    /// runs of this cluster.
+    retransmit_log: Mutex<Vec<RetransmitRecord>>,
 }
 
 impl ClusterShared {
@@ -203,11 +219,69 @@ pub enum FailureKind {
     /// Collateral teardown: another rank failed first and poisoned the
     /// barriers this rank was waiting on.
     BarrierPoisoned,
+    /// A deposit kept failing checksum verification after the full
+    /// retransmit budget — a persistent corruption the exchange layer
+    /// detected but could not heal.
+    CorruptPayload {
+        /// Rank whose deposit stayed corrupt.
+        from: usize,
+        /// Scope of the collective.
+        scope: Scope,
+        /// Op tag of the collective.
+        op: String,
+        /// Collective call index on the failing rank.
+        op_index: u64,
+        /// Retransmit attempts burned before escalating.
+        attempts: u32,
+    },
     /// An ordinary panic escaped the rank closure.
     Panic {
         /// The stringified panic payload.
         message: String,
     },
+}
+
+/// The typed unwind payload raised when a corrupted deposit survives
+/// the retransmit budget: every scope member sees the identical slot
+/// state, so all of them unwind with the same escalation (and the
+/// same blamed sender).
+#[derive(Clone, Debug)]
+struct CorruptPayloadEscalation {
+    from: usize,
+    scope: Scope,
+    op: String,
+    op_index: u64,
+    attempts: u32,
+}
+
+/// One healed retransmission of a corrupted deposit: the exchange
+/// layer detected a frame mismatch on `from`'s deposit for
+/// `(scope, op, op_index)` and re-deposited a pristine copy on
+/// retransmit round `attempt` (1-based).
+#[derive(Clone, Debug)]
+pub struct RetransmitRecord {
+    /// Rank whose deposit was corrupt and got retransmitted.
+    pub from: usize,
+    /// Scope of the collective.
+    pub scope: Scope,
+    /// Op tag of the collective.
+    pub op: String,
+    /// Collective call index on `from`.
+    pub op_index: u64,
+    /// 1-based retransmit round this redeposit happened in.
+    pub attempt: u32,
+}
+
+impl ToJson for RetransmitRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("from", self.from)
+            .field("scope", scope_label(self.scope))
+            .field("op", self.op.as_str())
+            .field("op_index", self.op_index)
+            .field("attempt", self.attempt)
+            .build()
+    }
 }
 
 /// One rank's failure, as returned by [`Cluster::run_fallible`].
@@ -230,6 +304,14 @@ impl RankFailure {
             FailureKind::Violation(v.clone())
         } else if payload.downcast_ref::<BarrierPoisoned>().is_some() {
             FailureKind::BarrierPoisoned
+        } else if let Some(c) = payload.downcast_ref::<CorruptPayloadEscalation>() {
+            FailureKind::CorruptPayload {
+                from: c.from,
+                scope: c.scope,
+                op: c.op.clone(),
+                op_index: c.op_index,
+                attempts: c.attempts,
+            }
         } else if let Some(s) = payload.downcast_ref::<&str>() {
             FailureKind::Panic {
                 message: (*s).to_string(),
@@ -264,6 +346,21 @@ impl std::fmt::Display for RankFailure {
             FailureKind::Violation(v) => write!(f, "rank {}: {v}", self.rank),
             FailureKind::BarrierPoisoned => {
                 write!(f, "rank {}: barrier poisoned (collateral)", self.rank)
+            }
+            FailureKind::CorruptPayload {
+                from,
+                scope,
+                op,
+                op_index,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "rank {}: persistent payload corruption from rank {from} at collective \
+                     {op_index} ('{op}', {} scope) after {attempts} retransmits",
+                    self.rank,
+                    scope_label(*scope),
+                )
             }
             FailureKind::Panic { message } => write!(f, "rank {}: panic: {message}", self.rank),
         }
@@ -303,6 +400,7 @@ impl Cluster {
                 cols,
                 plan,
                 fault_log: Mutex::new(Vec::new()),
+                retransmit_log: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -327,6 +425,15 @@ impl Cluster {
     pub fn fault_log(&self) -> Vec<FaultRecord> {
         let mut log = lock_ignore_poison(&self.shared.fault_log).clone();
         log.sort_by_key(|r| (r.rank, r.op_index));
+        log
+    }
+
+    /// Every corrupted deposit healed by retransmission so far, sorted
+    /// by `(op_index, from, attempt)` so the log is deterministic
+    /// regardless of thread interleaving.
+    pub fn retransmit_log(&self) -> Vec<RetransmitRecord> {
+        let mut log = lock_ignore_poison(&self.shared.retransmit_log).clone();
+        log.sort_by_key(|r| (r.op_index, r.from, r.attempt));
         log
     }
 
@@ -531,6 +638,11 @@ pub struct RankCtx {
     /// Global collective call counter (all scopes, program order) —
     /// the index space fault-plan events address.
     op_index: u64,
+    /// Simulated time spent retransmitting corrupted deposits during
+    /// the collective in flight, consumed by the next settle so the
+    /// heal cost lands *after* entry-skew alignment instead of being
+    /// rewound by it.
+    pending_retransmit: SimTime,
 }
 
 impl RankCtx {
@@ -543,7 +655,17 @@ impl RankCtx {
             comm: CommStats::new(),
             seqs: [0; 3],
             op_index: 0,
+            pending_retransmit: SimTime::ZERO,
         }
+    }
+
+    /// Number of collective calls this rank has issued so far — the
+    /// `op_index` space fault-plan events address. Lock-step SPMD code
+    /// observes the identical value on every rank, which lets tests
+    /// and checkpoints pin a position in the collective schedule.
+    #[inline]
+    pub fn collective_calls(&self) -> u64 {
+        self.op_index
     }
 
     /// This rank's id.
@@ -658,12 +780,19 @@ impl RankCtx {
     /// payload in place (corruption), delays the simulated clock
     /// (straggler), or unwinds (injected panic). Every firing is
     /// recorded in the cluster's fault log with this rank's simulated
-    /// timestamp.
-    fn inject_fault<T: Any>(&mut self, scope: Scope, op: &str, op_index: u64, payload: &mut T) {
-        let Some(kind) = self.shared.plan.fire(self.rank, op_index) else {
-            return;
-        };
+    /// timestamp. When a corruption was applied, returns the pristine
+    /// pre-corruption payload so the exchange can retransmit it after
+    /// the checksum catches the damage.
+    fn inject_fault(
+        &mut self,
+        scope: Scope,
+        op: &str,
+        op_index: u64,
+        payload: &mut (dyn Any + Send + Sync),
+    ) -> Option<Payload> {
+        let kind = self.shared.plan.fire(self.rank, op_index)?;
         let mut applied = true;
+        let mut pristine: Option<Payload> = None;
         match kind {
             FaultKind::Straggler { secs } => {
                 // Simulated delay: every peer of this collective will
@@ -675,7 +804,9 @@ impl RankCtx {
                 std::thread::sleep(std::time::Duration::from_secs_f64(secs.min(0.005)));
             }
             FaultKind::Corrupt { mode } => {
-                applied = corrupt_any(payload, mode);
+                let (did, kept) = corrupt_any_preserving(payload, mode);
+                applied = did;
+                pristine = kept.map(|b| -> Payload { Arc::from(b) });
             }
             FaultKind::Panic => {}
         }
@@ -696,6 +827,7 @@ impl RankCtx {
                 op: op.to_string(),
             });
         }
+        pristine
     }
 
     #[allow(clippy::type_complexity)]
@@ -717,9 +849,17 @@ impl RankCtx {
         let op_index = self.op_index;
         self.op_index += 1;
         let mut payload = payload;
-        if !self.shared.plan.is_empty() {
-            self.inject_fault(scope, op, op_index, &mut payload);
-        }
+        // Framing (and the pristine-copy bookkeeping for retransmits)
+        // is only paid when a fault plan is live: the fault-free fast
+        // path deposits unframed and skips verification entirely.
+        let framing = !self.shared.plan.is_empty();
+        let frame = if framing { frame_any(&payload) } else { None };
+        let pristine = if framing {
+            self.inject_fault(scope, op, op_index, &mut payload)
+        } else {
+            None
+        };
+        let retrans_volumes = if framing { volumes.clone() } else { None };
         self.comm.record(scope, op, bytes);
         let tag = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ fnv1a(op.as_bytes());
         let shared = Arc::clone(&self.shared);
@@ -736,9 +876,25 @@ impl RankCtx {
             tag,
             bytes,
             volumes,
+            frame,
             payload: Arc::new(payload),
         });
         ss.barrier.wait();
+
+        if framing {
+            self.heal_corrupt_deposits(
+                ss,
+                scope,
+                op,
+                op_index,
+                pos,
+                tag,
+                bytes,
+                frame,
+                &retrans_volumes,
+                &pristine,
+            );
+        }
 
         let mut payloads = Vec::with_capacity(n);
         let mut all_bytes = Vec::with_capacity(n);
@@ -778,16 +934,130 @@ impl RankCtx {
         (payloads, all_bytes, all_volumes, max_entry)
     }
 
+    /// Self-healing pass between the deposit and collect barriers:
+    /// verify every deposit's frame against its landed payload and
+    /// retransmit corrupted ones in place, up to [`MAX_RETRANSMITS`]
+    /// rounds. Each round is two-phase — verify, barrier, re-deposit,
+    /// barrier — so every member derives the corrupt set from the same
+    /// stable snapshot and runs the identical control flow (same
+    /// corrupt set, same round count); every member also charges the
+    /// identical allgather-shaped heal cost, keeping the simulated
+    /// clocks in lock-step. Exhausting the budget poisons the cluster
+    /// and unwinds all members with a typed escalation blaming the
+    /// corrupt sender.
+    #[allow(clippy::too_many_arguments)]
+    fn heal_corrupt_deposits(
+        &mut self,
+        ss: &ScopeShared,
+        scope: Scope,
+        op: &str,
+        op_index: u64,
+        pos: usize,
+        tag: u64,
+        bytes: u64,
+        frame: Option<Frame>,
+        volumes: &Option<Vec<u64>>,
+        pristine: &Option<Payload>,
+    ) {
+        let n = ss.members.len();
+        let corrupt_positions = || -> Vec<usize> {
+            (0..n)
+                .filter(|&p| {
+                    let slot = lock_ignore_poison(&ss.slots[p]);
+                    slot.as_ref().is_some_and(|dep| match dep.frame {
+                        Some(f) => frame_any(dep.payload.as_ref()) != Some(f),
+                        // Unframed deposits (e.g. barriers) are
+                        // unverifiable — and uncorruptible.
+                        None => false,
+                    })
+                })
+                .collect()
+        };
+        let mut attempt = 0u32;
+        loop {
+            let corrupt = corrupt_positions();
+            // Verification barrier: every member must derive the
+            // corrupt set from the same stable snapshot of the slots
+            // before any re-depositor overwrites one — otherwise a
+            // slow verifier can observe an already-healed slot, skip
+            // the heal round, and unbalance the barrier protocol.
+            ss.barrier.wait();
+            if corrupt.is_empty() {
+                return;
+            }
+            if attempt >= MAX_RETRANSMITS {
+                // Replicated decision: every member reads the same
+                // slots, so all unwind together blaming the same rank.
+                let from = ss.members[corrupt[0]];
+                self.shared.poison_all();
+                std::panic::panic_any(CorruptPayloadEscalation {
+                    from,
+                    scope,
+                    op: op.to_string(),
+                    op_index,
+                    attempts: attempt,
+                });
+            }
+            attempt += 1;
+            // Every member charges the same heal cost — the corrupted
+            // deposits are re-gathered across the scope — stashed for
+            // the next settle (which would otherwise rewind a direct
+            // clock bump during entry-skew alignment).
+            let mut heal_volumes = vec![0u64; n];
+            for &p in &corrupt {
+                heal_volumes[p] = lock_ignore_poison(&ss.slots[p])
+                    .as_ref()
+                    .map_or(0, |d| d.bytes);
+            }
+            self.pending_retransmit +=
+                cost::allgatherv_cost(&self.shared.machine, scope, &heal_volumes);
+            if corrupt.contains(&pos) {
+                let pristine = pristine
+                    .as_ref()
+                    .expect("a corrupted deposit always has a pristine copy");
+                let mut fresh =
+                    clone_any(pristine.as_ref()).expect("framed payload types are clonable");
+                // Re-run injection on the fresh copy: a duplicate plan
+                // event at the same (rank, op_index) re-corrupts the
+                // retransmission too — the persistent-fault model that
+                // can exhaust the budget.
+                let _ = self.inject_fault(scope, op, op_index, fresh.as_mut());
+                lock_ignore_poison(&self.shared.retransmit_log).push(RetransmitRecord {
+                    from: self.rank,
+                    scope,
+                    op: op.to_string(),
+                    op_index,
+                    attempt,
+                });
+                *lock_ignore_poison(&ss.slots[pos]) = Some(Deposit {
+                    tag,
+                    bytes,
+                    volumes: volumes.clone(),
+                    frame,
+                    payload: Arc::from(fresh),
+                });
+            }
+            // Re-deposit barrier: re-depositors must finish before
+            // anyone re-verifies in the next round.
+            ss.barrier.wait();
+        }
+    }
+
     /// Record the skew between this rank's entry clock and the scope's
     /// latest entry, then advance to `max_entry + cost` charged under
-    /// `category`.
+    /// `category` (plus any pending retransmit heal time under
+    /// `comm.retransmit`).
     fn settle(&mut self, category: &str, max_entry: SimTime, cost: SimTime) {
+        let heal = std::mem::replace(&mut self.pending_retransmit, SimTime::ZERO);
         let skew = max_entry - self.clock;
         if skew.as_secs() > 0.0 {
             self.acc.add("comm.imbalance", skew);
         }
+        if heal.as_secs() > 0.0 {
+            self.acc.add("comm.retransmit", heal);
+        }
         self.acc.add(category, cost);
-        self.clock = max_entry + cost;
+        self.clock = max_entry + heal + cost;
     }
 
     /// Barrier over `scope`: synchronizes clocks, charges only skew.
@@ -909,16 +1179,20 @@ impl RankCtx {
             }
         }
         let half = cost::allreduce_half_cost(&self.shared.machine, scope, n, bytes);
+        let heal = std::mem::replace(&mut self.pending_retransmit, SimTime::ZERO);
         let skew = max_entry - self.clock;
         if skew.as_secs() > 0.0 {
             self.acc.add("comm.imbalance", skew);
+        }
+        if heal.as_secs() > 0.0 {
+            self.acc.add("comm.retransmit", heal);
         }
         // Keep the op name as a suffix so callers can group the same
         // totals per comm type (Figure 11) *and* per algorithm phase
         // (Figure 10).
         self.acc.add(&format!("comm.reduce_scatter.{op}"), half);
         self.acc.add(&format!("comm.allgather.{op}"), half);
-        self.clock = max_entry + half + half;
+        self.clock = max_entry + heal + half + half;
         result
     }
 
@@ -959,16 +1233,6 @@ impl RankCtx {
             Scope::Col => self.shared.cols[self.col()].members.clone(),
         }
     }
-}
-
-#[inline]
-fn fnv1a(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
 }
 
 #[cfg(test)]
@@ -1309,7 +1573,7 @@ mod tests {
     }
 
     #[test]
-    fn truncation_corruption_becomes_length_violation_naming_offender() {
+    fn truncation_corruption_is_detected_and_healed_by_retransmit() {
         use crate::fault::{CorruptMode, FaultEvent, FaultKind};
         let plan = FaultPlan::from_events(vec![FaultEvent {
             rank: 1,
@@ -1322,25 +1586,22 @@ mod tests {
         let results = c.run_fallible(|ctx| {
             ctx.allreduce_with(Scope::World, "red", vec![1u64, 2, 3], None, |a, b| *a += b)
         });
-        let violation = results
-            .iter()
-            .filter_map(|r| r.as_ref().err())
-            .find_map(|f| match &f.kind {
-                FailureKind::Violation(v) => Some(v.clone()),
-                _ => None,
-            })
-            .expect("truncation must trip the length check");
-        assert_eq!(violation.kind, SpmdViolationKind::LengthMismatch);
-        assert_eq!(
-            violation.offender,
-            Some(1),
-            "the corrupted deposit is blamed"
-        );
+        for r in results {
+            assert_eq!(
+                r.expect("truncation is healed at the exchange layer"),
+                vec![2, 4, 6],
+                "healed run computes the fault-free reduction"
+            );
+        }
         assert!(c.fault_log()[0].applied);
+        let retrans = c.retransmit_log();
+        assert_eq!(retrans.len(), 1);
+        assert_eq!((retrans[0].from, retrans[0].attempt), (1, 1));
+        assert_eq!(retrans[0].op_index, 0);
     }
 
     #[test]
-    fn bitflip_corruption_changes_data_silently() {
+    fn bitflip_corruption_is_detected_and_healed_with_time_charged() {
         use crate::fault::{CorruptMode, FaultEvent, FaultKind};
         let plan = FaultPlan::from_events(vec![FaultEvent {
             rank: 0,
@@ -1351,11 +1612,93 @@ mod tests {
         }]);
         let c = Cluster::with_faults(MeshShape::new(1, 2), MachineConfig::new_sunway(), plan);
         let out = c.run_fallible(|ctx| {
-            ctx.allreduce_sum(Scope::World, "sum", 8u64) // 8 ^ 1 = 9 on rank 0
+            let sum = ctx.allreduce_sum(Scope::World, "sum", 8u64);
+            (sum, ctx.accumulator().get("comm.retransmit").as_secs())
         });
         for r in out {
-            assert_eq!(r.expect("bitflip is silent"), 9 + 8);
+            let (sum, heal_secs) = r.expect("bitflip is healed, not silent");
+            assert_eq!(sum, 8 + 8, "the pristine payload is what gets reduced");
+            assert!(
+                heal_secs > 0.0,
+                "every member charges the retransmit heal time"
+            );
         }
+        assert_eq!(c.retransmit_log().len(), 1);
+        assert_eq!(c.retransmit_log()[0].from, 0);
+    }
+
+    #[test]
+    fn duplicate_corrupt_events_defeat_retransmits_then_heal() {
+        use crate::fault::{CorruptMode, FaultEvent, FaultKind};
+        // Two duplicates: the initial deposit and the first
+        // retransmission are both corrupted; the second retransmission
+        // goes through clean.
+        let event = FaultEvent {
+            rank: 1,
+            op_index: 0,
+            kind: FaultKind::Corrupt {
+                mode: CorruptMode::BitFlip,
+            },
+        };
+        let plan = FaultPlan::from_events(vec![event, event]);
+        let c = Cluster::with_faults(MeshShape::new(1, 2), MachineConfig::new_sunway(), plan);
+        let out = c.run_fallible(|ctx| ctx.allreduce_sum(Scope::World, "sum", 4u64));
+        for r in out {
+            assert_eq!(r.expect("two rounds heal within budget"), 8);
+        }
+        let retrans = c.retransmit_log();
+        assert_eq!(retrans.len(), 2, "both rounds are logged");
+        assert_eq!(
+            retrans.iter().map(|r| r.attempt).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(c.fault_log().len(), 2, "both duplicates fired");
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_budget_and_escalates_typed() {
+        use crate::fault::{CorruptMode, FaultEvent, FaultKind};
+        // 1 initial + MAX_RETRANSMITS re-corruptions exhaust the
+        // budget; the 5th duplicate stays for the retry run.
+        let event = FaultEvent {
+            rank: 0,
+            op_index: 0,
+            kind: FaultKind::Corrupt {
+                mode: CorruptMode::BitFlip,
+            },
+        };
+        let plan = FaultPlan::from_events(vec![event; 5]);
+        let c = Cluster::with_faults(MeshShape::new(1, 2), MachineConfig::new_sunway(), plan);
+        let results = c.run_fallible(|ctx| ctx.allreduce_sum(Scope::World, "sum", 4u64));
+        for r in results {
+            let failure = r.expect_err("persistent corruption must escalate");
+            match &failure.kind {
+                FailureKind::CorruptPayload {
+                    from,
+                    op_index,
+                    attempts,
+                    ..
+                } => {
+                    assert_eq!(*from, 0, "the corrupt sender is blamed");
+                    assert_eq!(*op_index, 0);
+                    assert_eq!(*attempts, MAX_RETRANSMITS);
+                }
+                other => panic!("expected CorruptPayload, got {other:?}"),
+            }
+            assert!(failure.is_root_cause());
+        }
+        assert_eq!(
+            c.retransmit_log().len(),
+            MAX_RETRANSMITS as usize,
+            "every burned retransmit round is logged"
+        );
+        // The healed cluster retries; the one leftover duplicate is a
+        // transient corruption absorbed by a single retransmission.
+        let retry = c.run_fallible(|ctx| ctx.allreduce_sum(Scope::World, "sum", 4u64));
+        for r in retry {
+            assert_eq!(r.expect("retry heals the leftover event"), 8);
+        }
+        assert_eq!(c.retransmit_log().len(), MAX_RETRANSMITS as usize + 1);
     }
 
     #[test]

@@ -18,13 +18,23 @@
 //!   like a slow node in Figure 11) and, capped, to real time so the
 //!   thread interleaving also skews.
 //! * [`FaultKind::Corrupt`] — the rank's payload is bit-flipped or
-//!   truncated before deposit, exercising the SPMD contract checks and
-//!   the Graph 500 validator downstream.
+//!   truncated before deposit, exercising the exchange layer's payload
+//!   framing (checksum verification + bounded retransmit) rather than
+//!   sailing through to the Graph 500 validator.
 //!
 //! Every planned event fires **at most once per cluster lifetime**
 //! (transient-fault model): a retry of the same SPMD run on the same
 //! [`crate::Cluster`] will not re-hit a consumed fault, which is what
 //! makes bounded retry-with-backoff in the driver meaningful.
+//!
+//! Duplicate `(rank, op_index)` events are legal and meaningful: each
+//! occurrence is an independent transient event, consumed one per
+//! [`FaultPlan::fire`] call in listed order. Listing the same
+//! corruption N times therefore models a *persistent* fault — each
+//! retransmission of the deposit re-fires the next duplicate, so N−1
+//! retransmit attempts are defeated before the exchange either heals
+//! (N ≤ its retransmit budget) or escalates to a typed
+//! `CorruptPayload` failure.
 //!
 //! Plans come from three places, in driver precedence order:
 //! explicit events in the `SUNBFS_FAULT_PLAN` environment variable
@@ -197,6 +207,11 @@ impl FaultPlan {
     /// Parse an explicit event list:
     /// `panic@<rank>:<idx>;straggle@<rank>:<idx>:<secs>;corrupt@<rank>:<idx>:<bitflip|truncate>`
     /// (events separated by `;`, whitespace ignored).
+    ///
+    /// Duplicate `(rank, op_index)` specs are accepted, not rejected:
+    /// each occurrence fires once, in listed order (see [`Self::fire`]).
+    /// `corrupt@0:3:bitflip;corrupt@0:3:bitflip` is the grammar for a
+    /// persistent corruption that also defeats the first retransmit.
     pub fn parse(s: &str) -> Result<FaultPlan, String> {
         let mut events = Vec::new();
         for part in s.split(';') {
@@ -286,6 +301,11 @@ impl FaultPlan {
     /// `(rank, op_index)`. Each event fires at most once per plan (and
     /// the plan lives as long as its cluster), so retried runs observe
     /// a transient fault exactly once.
+    ///
+    /// Duplicate `(rank, op_index)` events each fire once, in listed
+    /// order — one `fire` call consumes exactly one. The exchange
+    /// layer's retransmit path calls `fire` again for the replacement
+    /// deposit, so duplicates are the mechanism for persistent faults.
     pub fn fire(&self, rank: usize, op_index: u64) -> Option<FaultKind> {
         for (e, fired) in self.events.iter().zip(&self.fired) {
             if e.rank == rank
@@ -366,9 +386,13 @@ impl ToJson for FaultRecord {
 
 /// Best-effort payload corruption through `Any`: the collectives are
 /// generic, so corruption knows the concrete payload types the engine
-/// actually ships (scalar/bitmap words, byte and word vectors, and
+/// actually ships (scalar/bitmap words, byte/word/pair vectors, and
 /// alltoallv send sets of the same). Returns whether anything changed.
-pub(crate) fn corrupt_any(payload: &mut dyn Any, mode: CorruptMode) -> bool {
+///
+/// Invariant: every type this function can damage is covered by
+/// `crate::frame::frame_any`, so no applied corruption can evade the
+/// exchange layer's checksum verification.
+pub(crate) fn corrupt_any(payload: &mut (dyn Any + Send + Sync), mode: CorruptMode) -> bool {
     fn corrupt_u64s(v: &mut Vec<u64>, mode: CorruptMode) -> bool {
         match mode {
             CorruptMode::BitFlip => match v.first_mut() {
@@ -408,13 +432,50 @@ pub(crate) fn corrupt_any(payload: &mut dyn Any, mode: CorruptMode) -> bool {
             CorruptMode::Truncate => v.pop().is_some(),
         };
     }
+    if let Some(v) = payload.downcast_mut::<Vec<(u64, u64)>>() {
+        return match mode {
+            CorruptMode::BitFlip => match v.first_mut() {
+                Some(x) => {
+                    x.0 ^= 1;
+                    true
+                }
+                None => false,
+            },
+            CorruptMode::Truncate => v.pop().is_some(),
+        };
+    }
     if let Some(vv) = payload.downcast_mut::<Vec<Vec<u64>>>() {
         if let Some(inner) = vv.iter_mut().find(|i| !i.is_empty()) {
             return corrupt_u64s(inner, mode);
         }
         return false;
     }
+    if let Some(vv) = payload.downcast_mut::<Vec<Vec<(u64, u64)>>>() {
+        if let Some(inner) = vv.iter_mut().find(|i| !i.is_empty()) {
+            return match mode {
+                CorruptMode::BitFlip => {
+                    inner[0].0 ^= 1;
+                    true
+                }
+                CorruptMode::Truncate => inner.pop().is_some(),
+            };
+        }
+        return false;
+    }
     false
+}
+
+/// [`corrupt_any`] that also hands back a pristine deep copy of the
+/// payload when (and only when) the corruption was applied — the copy
+/// the exchange layer retransmits after the checksum catches the
+/// damage.
+pub(crate) fn corrupt_any_preserving(
+    payload: &mut (dyn Any + Send + Sync),
+    mode: CorruptMode,
+) -> (bool, Option<Box<dyn Any + Send + Sync>>) {
+    let pristine = crate::frame::clone_any(payload);
+    let applied = corrupt_any(payload, mode);
+    (applied, if applied { pristine } else { None })
 }
 
 #[cfg(test)]
@@ -484,6 +545,60 @@ mod tests {
             None,
             "transient: consumed events stay consumed"
         );
+    }
+
+    #[test]
+    fn duplicate_specs_fire_once_each_in_listed_order() {
+        let p = FaultPlan::parse("corrupt@0:3:bitflip; corrupt@0:3:truncate; corrupt@0:3:bitflip")
+            .expect("duplicates are accepted, not rejected");
+        assert_eq!(p.events().len(), 3);
+        assert_eq!(
+            p.fire(0, 3),
+            Some(FaultKind::Corrupt {
+                mode: CorruptMode::BitFlip
+            })
+        );
+        assert_eq!(
+            p.fire(0, 3),
+            Some(FaultKind::Corrupt {
+                mode: CorruptMode::Truncate
+            }),
+            "second duplicate fires second, in listed order"
+        );
+        assert_eq!(
+            p.fire(0, 3),
+            Some(FaultKind::Corrupt {
+                mode: CorruptMode::BitFlip
+            })
+        );
+        assert_eq!(p.fire(0, 3), None, "all duplicates consumed");
+    }
+
+    #[test]
+    fn corrupt_preserving_returns_pristine_copy_only_when_applied() {
+        let mut v = vec![8u64, 9];
+        let (applied, pristine) = corrupt_any_preserving(&mut v, CorruptMode::BitFlip);
+        assert!(applied);
+        assert_eq!(v, vec![9, 9]);
+        let pristine = pristine.expect("applied corruption keeps a pristine copy");
+        assert_eq!(pristine.downcast_ref::<Vec<u64>>().unwrap(), &vec![8, 9]);
+
+        let mut unit = ();
+        let (applied, pristine) = corrupt_any_preserving(&mut unit, CorruptMode::BitFlip);
+        assert!(!applied);
+        assert!(pristine.is_none());
+    }
+
+    #[test]
+    fn corrupt_any_handles_pair_payloads() {
+        let mut pairs = vec![(8u64, 5u64), (2, 3)];
+        assert!(corrupt_any(&mut pairs, CorruptMode::BitFlip));
+        assert_eq!(pairs[0], (9, 5));
+        assert!(corrupt_any(&mut pairs, CorruptMode::Truncate));
+        assert_eq!(pairs.len(), 1);
+        let mut nested = vec![vec![], vec![(4u64, 7u64)]];
+        assert!(corrupt_any(&mut nested, CorruptMode::BitFlip));
+        assert_eq!(nested[1][0], (5, 7));
     }
 
     #[test]

@@ -26,20 +26,30 @@
 //! contract breaches, poisoned-barrier teardown) instead of tearing the
 //! whole process down — the substrate for the driver's per-root
 //! retry/quarantine loop.
+//!
+//! Exchanges are self-healing: with a live fault plan every deposit
+//! carries a length + FNV-1a checksum [`frame::Frame`]; a mismatch
+//! after the deposit barrier triggers bounded in-place retransmission
+//! of just the corrupted deposit (logged in
+//! [`Cluster::retransmit_log`]), escalating to a typed
+//! [`FailureKind::CorruptPayload`] only when the corruption persists
+//! past the budget.
 
 pub mod barrier;
 pub mod cluster;
 pub mod cost;
 pub mod fault;
+pub mod frame;
 pub mod topology;
 
 pub use barrier::{BarrierPoisoned, PoisonBarrier};
 pub use cluster::{
-    Cluster, CommOpStats, CommStats, FailureKind, RankCtx, RankFailure, SpmdViolation,
-    SpmdViolationKind,
+    Cluster, CommOpStats, CommStats, FailureKind, RankCtx, RankFailure, RetransmitRecord,
+    SpmdViolation, SpmdViolationKind,
 };
 pub use cost::Scope;
 pub use fault::{
     CorruptMode, FaultEvent, FaultKind, FaultPlan, FaultRecord, FaultSpec, InjectedFault,
 };
+pub use frame::{fnv1a, Frame};
 pub use topology::{MeshShape, Topology};

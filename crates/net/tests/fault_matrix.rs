@@ -158,8 +158,20 @@ fn straggler_matrix_completes_with_imbalance_charged() {
 }
 
 #[test]
-fn corruption_matrix_terminates_with_structured_outcome() {
+fn corruption_matrix_heals_by_retransmit_with_correct_values() {
     for shape in SHAPES {
+        // Fault-free reference values, once per shape: a healed run
+        // must reproduce these exactly — corruption may cost time,
+        // never correctness.
+        let clean = Cluster::new(
+            MeshShape::new(shape.0, shape.1),
+            MachineConfig::new_sunway(),
+        );
+        let expected: Vec<u64> = clean
+            .run_fallible(collective_program)
+            .into_iter()
+            .map(|r| r.expect("fault-free run cannot fail"))
+            .collect();
         for mode in [CorruptMode::BitFlip, CorruptMode::Truncate] {
             for (category, op_index) in CATEGORY_OPS {
                 let label = format!("corrupt-{mode:?}/{category}/{}x{}", shape.0, shape.1);
@@ -167,29 +179,34 @@ fn corruption_matrix_terminates_with_structured_outcome() {
                 let (cluster, results) = with_timeout(label.clone(), move || {
                     run_case(shape, FaultKind::Corrupt { mode }, op_index)
                 });
-                // Corruption either passes through silently (bit-flips,
-                // gather/alltoall truncations) or trips a typed SPMD
-                // violation blaming the corrupted rank (allreduce
-                // truncation) — never an untyped panic, never a hang.
-                for r in &results {
-                    if let Err(f) = r {
-                        match &f.kind {
-                            FailureKind::Violation(v) => {
-                                assert_eq!(
-                                    v.offender,
-                                    Some(target),
-                                    "{label}: violation must blame the corrupted rank"
-                                );
-                            }
-                            FailureKind::BarrierPoisoned => {}
-                            other => panic!("{label}: unexpected failure kind {other:?}"),
-                        }
-                    }
+                // The exchange layer detects the damage via payload
+                // framing and heals it with a retransmit: every rank
+                // completes with the fault-free value. No silent
+                // corruption, no violation, no hang.
+                for (rank, r) in results.iter().enumerate() {
+                    let v = r
+                        .as_ref()
+                        .unwrap_or_else(|f| panic!("{label}: rank {rank} must heal, got {f}"));
+                    assert_eq!(*v, expected[rank], "{label}: healed value must be clean");
                 }
-                // The event is always logged, applied or not (a barrier
-                // `()` payload cannot be corrupted).
+                // The event is always logged; it is `applied` unless
+                // the payload was uncorruptible (a barrier's `()`).
                 let log = cluster.fault_log();
                 assert_eq!(log.len(), 1, "{label}");
+                let retrans = cluster.retransmit_log();
+                if log[0].applied {
+                    assert_eq!(retrans.len(), 1, "{label}: one heal round suffices");
+                    assert_eq!(
+                        (retrans[0].from, retrans[0].op_index, retrans[0].attempt),
+                        (target, op_index, 1),
+                        "{label}: retransmit names the corrupt sender and op"
+                    );
+                } else {
+                    assert!(
+                        retrans.is_empty(),
+                        "{label}: nothing to retransmit for an unapplied corruption"
+                    );
+                }
                 // Healed cluster retries clean in every case.
                 let retry = cluster.run_fallible(collective_program);
                 for r in retry {

@@ -134,6 +134,14 @@ fn main() {
             );
         }
     }
+    if report.recovery.retransmits() > 0 || report.recovery.iterations_salvaged > 0 {
+        println!(
+            "recovery:             {} retransmits, {} checkpoints, {} iterations salvaged",
+            report.recovery.retransmits(),
+            report.recovery.checkpoints_taken,
+            report.recovery.iterations_salvaged
+        );
+    }
 
     println!("\nvalidated:            {}", report.validated);
     println!("mean GTEPS:           {:.3}", report.mean_gteps());

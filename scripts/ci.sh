@@ -23,4 +23,21 @@ echo "==> fault containment suite (hard timeout)"
 timeout 300 cargo test -q -p sunbfs-net --test fault_matrix
 timeout 300 cargo test -q --test fault_e2e --test fault_env
 
+# Self-healing: exchange-layer retransmission heals corruption below
+# the retry loop, and checkpoint/resume salvages completed iterations.
+# Same hard-timeout rule — the heal protocol's barriers must never hang.
+echo "==> recovery suite (hard timeout)"
+timeout 600 cargo test -q --test checkpoint_resume --test recovery_env
+
+# Smoke: an injected bitflip on a live runner invocation must be healed
+# at the exchange layer and surface as a retransmit in the JSON report.
+echo "==> fault-plan smoke (graph500_runner --json)"
+SMOKE_JSON="$(mktemp)"
+SUNBFS_FAULT_PLAN="corrupt@1:3:bitflip" timeout 300 \
+    cargo run -q --release --example graph500_runner -- 9 4 256 64 1 --json "$SMOKE_JSON" \
+    > /dev/null
+grep -Eq '"retransmits": *[1-9]' "$SMOKE_JSON"
+grep -Eq '"schema_version": *3' "$SMOKE_JSON"
+rm -f "$SMOKE_JSON"
+
 echo "CI green."

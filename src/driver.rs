@@ -12,8 +12,12 @@ use std::time::Duration;
 
 use sunbfs_common::{Edge, MachineConfig, TimeAccumulator};
 use sunbfs_core::validate::{self, ValidationError};
-use sunbfs_core::{run_bfs, BfsOutput, EngineConfig, EngineError, IterationStats};
-use sunbfs_net::{Cluster, CommStats, FaultPlan, FaultRecord, MeshShape, RankFailure};
+use sunbfs_core::{
+    run_bfs_recoverable, BfsOutput, CheckpointStore, EngineConfig, EngineError, IterationStats,
+};
+use sunbfs_net::{
+    Cluster, CommStats, FaultPlan, FaultRecord, MeshShape, RankFailure, RetransmitRecord,
+};
 use sunbfs_part::{build_1p5d, ComponentStats, Thresholds};
 use sunbfs_rmat::RmatParams;
 
@@ -185,6 +189,32 @@ pub struct RootOutcome {
     pub attempts: u32,
     /// True when the root ended up quarantined.
     pub quarantined: bool,
+    /// BFS iterations the final attempt resumed from a checkpoint
+    /// instead of re-running (0 = the root restarted from scratch, or
+    /// never needed a retry).
+    pub iterations_salvaged: u32,
+}
+
+/// Self-healing observability attached to every [`BenchmarkReport`]:
+/// what the exchange layer retransmitted and what the checkpoint layer
+/// salvaged.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Every payload retransmission the exchange layer performed,
+    /// sorted by (op index, sender, attempt).
+    pub retransmit_log: Vec<RetransmitRecord>,
+    /// Iteration checkpoints taken across all roots and attempts.
+    pub checkpoints_taken: u64,
+    /// BFS iterations recovered from checkpoints instead of re-run,
+    /// summed over roots.
+    pub iterations_salvaged: u64,
+}
+
+impl RecoveryReport {
+    /// Number of healed (retransmitted) exchange deposits.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmit_log.len() as u64
+    }
 }
 
 /// Fault-campaign observability attached to every [`BenchmarkReport`].
@@ -251,6 +281,8 @@ pub struct BenchmarkReport {
     pub validated: bool,
     /// Fault-injection and retry/quarantine bookkeeping.
     pub faults: FaultReport,
+    /// Retransmit and checkpoint/resume bookkeeping.
+    pub recovery: RecoveryReport,
 }
 
 impl BenchmarkReport {
@@ -350,11 +382,28 @@ fn fold_batch(
 /// degraded: its TEPS statistics cover the surviving roots and
 /// [`BenchmarkReport::faults`] records what happened.
 ///
+/// Two self-healing layers run underneath the retry loop: corrupted
+/// exchange payloads are detected and retransmitted inside the
+/// collectives (so corruption normally never costs an attempt), and
+/// every completed BFS iteration is checkpointed so a retried root
+/// resumes from its last verified checkpoint instead of re-traversing
+/// from scratch — [`BenchmarkReport::recovery`] accounts for both.
+///
 /// # Errors
 /// Returns [`DriverError::NoConnectedRoot`] when no usable root exists
 /// and [`DriverError::InvalidFaultPlan`] when `SUNBFS_FAULT_PLAN` is
 /// set but unparseable. Per-root failures never surface here.
 pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError> {
+    run_benchmark_with_sleeper(config, &mut std::thread::sleep)
+}
+
+/// [`run_benchmark`] with the retry backoff's sleep injectable: tests
+/// capture the exact backoff schedule (and skip the real delays)
+/// instead of asserting on wall-clock time.
+pub fn run_benchmark_with_sleeper(
+    config: &RunConfig,
+    sleep: &mut dyn FnMut(Duration),
+) -> Result<BenchmarkReport, DriverError> {
     let params = config.rmat();
     let n = params.num_vertices();
     let p = config.mesh.num_ranks() as u64;
@@ -372,14 +421,14 @@ pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError>
     // A root's engine error does NOT short-circuit the batch — the
     // error is replicated, collectives stay in lock-step, and the
     // remaining roots still run.
-    let spmd = |batch: &[u64]| {
+    let spmd = |batch: &[u64], checkpoints: Option<&CheckpointStore>| {
         cluster.run_fallible(|ctx| {
             let chunk = sunbfs_rmat::generate_chunk(&params, ctx.rank() as u64, p);
             let part = build_1p5d(ctx, n, &chunk, config.thresholds);
             drop(chunk);
             let outputs: Vec<Result<BfsOutput, EngineError>> = batch
                 .iter()
-                .map(|&root| run_bfs(ctx, &part, root, &config.engine))
+                .map(|&root| run_bfs_recoverable(ctx, &part, root, &config.engine, checkpoints))
                 .collect();
             (part.stats, outputs)
         })
@@ -388,16 +437,19 @@ pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError>
     let mut data: Vec<Option<Result<Vec<BfsOutput>, QuarantineReason>>> =
         (0..roots.len()).map(|_| None).collect();
     let mut attempts: Vec<u32> = vec![0; roots.len()];
+    let mut salvaged: Vec<u32> = vec![0; roots.len()];
+    let mut checkpoints_taken = 0u64;
     let mut partition_stats: Option<Vec<ComponentStats>> = None;
     let mut total_retries = 0u64;
     let mut pending: Vec<usize> = (0..roots.len()).collect();
 
     // Fast path: nothing planned — all roots in one SPMD phase, one
-    // partition build. A rank failure here (an SPMD bug surfacing at
-    // run time, not an injection) falls through to the containment
-    // loop with this batch charged as every root's first attempt.
+    // partition build, no checkpointing overhead. A rank failure here
+    // (an SPMD bug surfacing at run time, not an injection) falls
+    // through to the containment loop with this batch charged as every
+    // root's first attempt.
     if fault_free {
-        let res = spmd(&roots);
+        let res = spmd(&roots, None);
         if res.iter().all(Result::is_ok) {
             let rank_results = res.into_iter().map(|r| r.unwrap()).collect();
             fold_batch(rank_results, &pending, &mut data, &mut partition_stats);
@@ -412,14 +464,21 @@ pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError>
     // that root's attempt. Bounded retry with exponential backoff —
     // injected faults fire at most once per cluster lifetime, so a
     // retry on the healed cluster exercises the transient-fault model.
+    // Each attempt checkpoints every completed iteration into the
+    // root's store, and a retry resumes from the last verified common
+    // checkpoint instead of restarting the root from scratch.
     for ri in pending {
         let root = roots[ri];
         let budget = 1 + config.max_root_retries;
+        let store = CheckpointStore::new(config.mesh.num_ranks());
         loop {
             attempts[ri] += 1;
+            // What this attempt inherits: the iterations it will NOT
+            // re-run. Zero on the first attempt (empty store).
+            salvaged[ri] = store.common_iter().unwrap_or(0);
             let mut oks = Vec::new();
             let mut failures = Vec::new();
-            for r in spmd(std::slice::from_ref(&root)) {
+            for r in spmd(std::slice::from_ref(&root), Some(&store)) {
                 match r {
                     Ok(v) => oks.push(v),
                     Err(f) => failures.push(f),
@@ -437,8 +496,9 @@ pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError>
                 break;
             }
             total_retries += 1;
-            std::thread::sleep(Duration::from_millis(1u64 << attempts[ri].min(6)));
+            sleep(Duration::from_millis(1u64 << attempts[ri].min(6)));
         }
+        checkpoints_taken += store.saves();
     }
 
     // Aggregation and validation. A validation failure quarantines the
@@ -456,6 +516,7 @@ pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError>
                 root,
                 attempts: attempts[ri],
                 quarantined: true,
+                iterations_salvaged: salvaged[ri],
             }
         };
         let per_rank: Vec<BfsOutput> = match data[ri].take().expect("every root resolved") {
@@ -511,13 +572,20 @@ pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError>
             root,
             attempts: attempts[ri],
             quarantined: false,
+            iterations_salvaged: salvaged[ri],
         });
     }
+    let iterations_salvaged = outcomes.iter().map(|o| o.iterations_salvaged as u64).sum();
     let faults = FaultReport {
         injected: cluster.fault_log(),
         outcomes,
         quarantined,
         total_retries,
+    };
+    let recovery = RecoveryReport {
+        retransmit_log: cluster.retransmit_log(),
+        checkpoints_taken,
+        iterations_salvaged,
     };
     Ok(BenchmarkReport {
         config: *config,
@@ -525,6 +593,7 @@ pub fn run_benchmark(config: &RunConfig) -> Result<BenchmarkReport, DriverError>
         runs,
         validated: full_edges.is_some() && faults.quarantined.is_empty(),
         faults,
+        recovery,
     })
 }
 

@@ -16,7 +16,7 @@ use sunbfs_net::MeshShape;
 use sunbfs_part::ComponentStats;
 use sunbfs_sunway::KernelReport;
 
-use crate::driver::{BenchmarkReport, FaultReport, RootRun, RunConfig};
+use crate::driver::{BenchmarkReport, FaultReport, RecoveryReport, RootRun, RunConfig};
 
 /// Bump when the JSON layout changes shape (adding fields is a bump
 /// too: the golden test pins the exact skeleton).
@@ -24,7 +24,12 @@ use crate::driver::{BenchmarkReport, FaultReport, RootRun, RunConfig};
 /// v2: added the `faults` section (fault injection, retry and
 /// quarantine observability) and the `config.faults` /
 /// `config.max_root_retries` knobs.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: added the `recovery` section (exchange-layer retransmits,
+/// checkpoints taken, iterations salvaged by resume), the per-root
+/// `iterations_salvaged` under `faults.roots`, and the per-iteration
+/// `end_op` collective counter.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Ratio bin edges of the partition load-balance histogram: each rank's
 /// `total / mean` storage falls into one bin; the last bin is open.
@@ -46,8 +51,21 @@ impl BenchmarkReport {
                 JsonValue::Array(self.runs.iter().map(root_run_json).collect()),
             )
             .field("faults", faults_json(&self.faults))
+            .field("recovery", recovery_json(&self.recovery))
             .build()
     }
+}
+
+/// The self-healing section: what the exchange layer retransmitted and
+/// what the checkpoint layer salvaged — the evidence that a fault was
+/// absorbed below the retry loop instead of costing a whole root.
+fn recovery_json(r: &RecoveryReport) -> JsonValue {
+    JsonValue::object()
+        .field("retransmits", r.retransmits())
+        .field("retransmit_log", r.retransmit_log.to_json())
+        .field("checkpoints_taken", r.checkpoints_taken)
+        .field("iterations_salvaged", r.iterations_salvaged)
+        .build()
 }
 
 /// The fault/retry/quarantine section: everything an operator needs to
@@ -61,6 +79,7 @@ fn faults_json(f: &FaultReport) -> JsonValue {
                 .field("root", o.root)
                 .field("attempts", o.attempts as u64)
                 .field("quarantined", o.quarantined)
+                .field("iterations_salvaged", o.iterations_salvaged as u64)
                 .build()
         })
         .collect();

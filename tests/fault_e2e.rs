@@ -3,8 +3,10 @@
 //! never an abort — and identical seeds must yield identical injection
 //! schedules and byte-identical report JSON.
 
+use std::time::Duration;
+
 use proptest::prelude::*;
-use sunbfs::driver::{run_benchmark, FaultSpec, RunConfig};
+use sunbfs::driver::{run_benchmark, run_benchmark_with_sleeper, FaultSpec, RunConfig};
 use sunbfs_net::FaultPlan;
 
 /// A campaign guaranteed to hit root 0's first attempt: one panic at
@@ -43,7 +45,7 @@ fn quarantined_root_still_yields_schema_valid_degraded_json() {
 
     // The JSON report is complete and carries the fault section.
     let js = report.to_json().render();
-    assert!(js.contains("\"schema_version\":2"), "got {js}");
+    assert!(js.contains("\"schema_version\":3"), "got {js}");
     assert!(js.contains("\"degraded\":true"));
     assert!(js.contains("\"total_retries\":0"));
     assert!(js.contains("\"reason\":\"rank_failure\""));
@@ -73,6 +75,84 @@ fn retry_budget_turns_the_same_campaign_into_a_clean_report() {
     let js = report.to_json().render();
     assert!(js.contains("\"degraded\":false"));
     assert!(js.contains("\"total_retries\":1"));
+}
+
+#[test]
+fn applied_corruption_is_healed_by_retransmit_without_any_retry() {
+    // Probe campaign seeds until the planted corruption lands on a
+    // corruptible payload (a corruption aimed at e.g. a barrier is
+    // logged but not applied). The first applied one must be healed at
+    // the exchange layer: the run completes clean and validated, with
+    // the retransmit — not a root retry — as the only trace.
+    for seed in 0..64 {
+        let mut cfg = RunConfig::small_test(8, 4);
+        cfg.num_roots = 1;
+        cfg.faults = FaultSpec {
+            seed,
+            panics: 0,
+            stragglers: 0,
+            corruptions: 1,
+            straggler_secs: 0.0,
+            horizon: 30,
+        };
+        let report = run_benchmark(&cfg).expect("corruption is healed, not fatal");
+        if !report.faults.injected.iter().any(|f| f.applied) {
+            continue;
+        }
+        assert!(report.validated);
+        assert!(!report.faults.degraded());
+        assert_eq!(
+            report.faults.total_retries, 0,
+            "healing happens below the retry layer"
+        );
+        assert!(
+            report.recovery.retransmits() >= 1,
+            "an applied corruption must force at least one retransmit"
+        );
+        let rec = &report.recovery.retransmit_log[0];
+        assert_eq!(rec.attempt, 1, "one retransmit round heals a single hit");
+        let js = report.to_json().render();
+        assert!(js.contains("\"retransmits\":"), "got {js}");
+        assert!(js.contains("\"checkpoints_taken\":"));
+        return;
+    }
+    panic!("no probed campaign seed produced an applied corruption");
+}
+
+#[test]
+fn retry_backoff_follows_the_exponential_schedule() {
+    // Several panics stacked on the first collective force repeated
+    // retries; the injectable sleeper observes the exact backoff
+    // sequence, which must match the documented 2^attempt schedule
+    // reconstructed from the per-root attempt counts.
+    for seed in 0..32 {
+        let mut cfg = RunConfig::small_test(8, 4);
+        cfg.faults = FaultSpec {
+            seed,
+            panics: 4,
+            stragglers: 0,
+            corruptions: 0,
+            straggler_secs: 0.0,
+            horizon: 1,
+        };
+        cfg.max_root_retries = 4;
+        let mut sleeps: Vec<Duration> = Vec::new();
+        let report = run_benchmark_with_sleeper(&cfg, &mut |d| sleeps.push(d))
+            .expect("retries absorb the campaign");
+        if !report.faults.outcomes.iter().any(|o| o.attempts >= 3) {
+            continue; // need a root that backed off at least twice
+        }
+        let expected: Vec<Duration> = report
+            .faults
+            .outcomes
+            .iter()
+            .flat_map(|o| (1..o.attempts).map(|a| Duration::from_millis(1u64 << a.min(6))))
+            .collect();
+        assert_eq!(sleeps, expected, "backoff schedule (seed {seed})");
+        assert_eq!(sleeps.len() as u64, report.faults.total_retries);
+        return;
+    }
+    panic!("no probed campaign seed produced a doubly-retried root");
 }
 
 proptest! {

@@ -99,6 +99,34 @@ fn degraded_json_schema_matches_golden_at_scale_9() {
 }
 
 #[test]
+fn recovery_json_schema_matches_golden_at_scale_9() {
+    // A campaign exercising both self-healing layers at once: probe
+    // seeds (deterministically — the probe order never changes) until
+    // one yields at least one healed retransmit AND at least one
+    // iteration salvaged by checkpoint/resume, then pin that report's
+    // skeleton, which includes the `recovery.retransmit_log[]` element
+    // schema a clean run leaves empty.
+    for seed in 0..32 {
+        let mut cfg = RunConfig::small_test(9, 4);
+        cfg.faults = FaultSpec {
+            seed,
+            panics: 1,
+            stragglers: 0,
+            corruptions: 2,
+            straggler_secs: 0.0,
+            horizon: 40,
+        };
+        cfg.max_root_retries = 2;
+        let report = run_benchmark(&cfg).expect("campaign is absorbed or degraded, never fatal");
+        if report.recovery.retransmits() >= 1 && report.recovery.iterations_salvaged >= 1 {
+            check_against_golden(&report, "bench_schema_scale9_resume.txt");
+            return;
+        }
+    }
+    panic!("no probed campaign seed exercised both recovery layers");
+}
+
+#[test]
 fn report_contains_acceptance_fields() {
     let report = run_benchmark(&RunConfig::small_test(9, 4)).expect("benchmark must pass");
     let js = report.to_json().render();
