@@ -33,6 +33,8 @@ fn main() {
             validate: false,
             faults: FaultSpec::NONE,
             max_root_retries: 2,
+            serve_batch: false,
+            serve_baseline: false,
         };
         let report = run_benchmark(&cfg).expect("benchmark must pass");
         let ranks = mesh.num_ranks();

@@ -35,6 +35,8 @@ fn main() {
             validate: false,
             faults: FaultSpec::NONE,
             max_root_retries: 2,
+            serve_batch: false,
+            serve_baseline: false,
         };
         let report = run_benchmark(&cfg).expect("benchmark must pass");
         let groups = group_by_commtype(&report.total_times());

@@ -59,6 +59,8 @@ pub fn run_config(
         validate: false,
         faults: FaultSpec::NONE,
         max_root_retries: 2,
+        serve_batch: false,
+        serve_baseline: false,
     }
 }
 

@@ -1,8 +1,11 @@
-//! Minimal hand-rolled JSON serialization.
+//! Minimal hand-rolled JSON serialization and parsing.
 //!
 //! The build container has no crates.io access, so `serde_json` is not
-//! an option; the observability layer only needs to *emit* JSON (never
-//! parse it), which this module covers with a small value tree.
+//! an option. The observability layer emits JSON through the value tree
+//! below; the `bfs_server` query service additionally *reads*
+//! newline-delimited JSON commands from stdin, covered by
+//! [`JsonValue::parse`] (a small recursive-descent parser over the same
+//! tree).
 //!
 //! Object keys keep **insertion order** (a `Vec` of pairs, not a map):
 //! emitted reports are deterministic byte-for-byte, which the golden
@@ -50,6 +53,66 @@ impl JsonValue {
         self.write(&mut out, Some(0));
         out.push('\n');
         out
+    }
+
+    /// Parse one JSON document (trailing whitespace allowed, nothing
+    /// else after the value).
+    ///
+    /// # Errors
+    /// Returns a human-readable message naming the byte offset of the
+    /// first offending character.
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Field lookup on an object (`None` on other variants or a
+    /// missing key).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one (non-negative
+    /// `Int` included).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(x) => Some(*x),
+            JsonValue::Int(x) if *x >= 0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>) {
@@ -108,6 +171,176 @@ impl JsonValue {
                 }
                 write_close(out, indent);
                 out.push('}');
+            }
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => *pos += 1,
+            _ => break,
+        }
+    }
+}
+
+fn expect_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => expect_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => expect_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&c) => Err(format!("unexpected byte `{}` at byte {pos}", c as char)),
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+    if !float {
+        if let Ok(x) = text.parse::<u64>() {
+            return Ok(JsonValue::UInt(x));
+        }
+        if let Ok(x) = text.parse::<i64>() {
+            return Ok(JsonValue::Int(x));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Float)
+        .map_err(|_| format!("malformed number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        // Surrogates are not paired up — commands never
+                        // carry them; reject instead of mis-decoding.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("non-scalar \\u escape at byte {pos}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged; input is a &str so it is valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8")?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
             }
         }
     }
@@ -312,6 +545,59 @@ mod tests {
             .build();
         let s = v.render_pretty();
         assert!(s.contains("\n  \"a\": [\n    1\n  ]\n"), "got: {s}");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let v = JsonValue::object()
+            .field("cmd", "batch")
+            .field("roots", vec![JsonValue::UInt(1), JsonValue::UInt(99)])
+            .field("neg", JsonValue::Int(-3))
+            .field("f", 0.5f64)
+            .field("flag", true)
+            .field("nothing", JsonValue::Null)
+            .build();
+        assert_eq!(JsonValue::parse(&v.render()).unwrap(), v);
+        assert_eq!(JsonValue::parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accessors_pick_fields() {
+        let v = JsonValue::parse(r#" {"cmd":"query", "root": 7, "xs":[1,2], "b":false} "#).unwrap();
+        assert_eq!(v.get("cmd").and_then(JsonValue::as_str), Some("query"));
+        assert_eq!(v.get("root").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(
+            v.get("xs").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("b").and_then(JsonValue::as_bool), Some(false));
+        assert!(v.get("missing").is_none());
+        assert_eq!(JsonValue::Int(5).as_u64(), Some(5));
+        assert_eq!(JsonValue::Int(-5).as_u64(), None);
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = JsonValue::parse(r#""a\"b\\c\nA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nA"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            "tru",
+            "1 2",
+            r#"{"a":1} x"#,
+            "\"unterminated",
+            r#""\q""#,
+            "nul",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

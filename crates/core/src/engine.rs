@@ -36,7 +36,7 @@ use crate::stats::{BfsRunStats, IterationStats, SubIterationStats};
 
 /// Iteration cap that converts a non-shrinking frontier (an engine bug)
 /// into a clean error instead of an unbounded loop.
-const MAX_ITERATIONS: u32 = 1_000;
+pub(crate) const MAX_ITERATIONS: u32 = 1_000;
 
 /// Errors one traversal can report. SPMD-consistent: the conditions are
 /// derived from replicated/global state, so every rank observes the

@@ -23,6 +23,7 @@
 //! [`sunbfs_net::Cluster`] with the rank's [`sunbfs_part::RankPartition`].
 
 pub mod balance;
+pub mod batch;
 pub mod checkpoint;
 pub mod config;
 pub mod costing;
@@ -30,6 +31,10 @@ pub mod engine;
 pub mod stats;
 pub mod validate;
 
+pub use batch::{
+    run_bfs_batch, BatchIterationStats, BatchOutput, BatchRunStats, MAX_BATCH_ROOTS,
+    UNREACHED_DEPTH,
+};
 pub use checkpoint::{CheckpointState, CheckpointStore, ResumeStats};
 pub use config::{Component, Direction, EngineConfig};
 pub use engine::{run_bfs, run_bfs_recoverable, BfsOutput, EngineError};

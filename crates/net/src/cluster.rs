@@ -531,7 +531,11 @@ pub struct CommOpStats {
 /// distinguishable between its row and column hops — the traffic split
 /// that decides what rides the supernode network versus the
 /// oversubscribed tree.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality compares the full per-key state — the merge/diff round-trip
+/// property (`(a ⊎ b) − b = a`) the serve layer's per-query comm
+/// attribution relies on is tested against it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     ops: BTreeMap<String, CommOpStats>,
 }

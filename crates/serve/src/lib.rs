@@ -1,0 +1,37 @@
+//! `sunbfs-serve` — the BFS query service.
+//!
+//! The ROADMAP's north star is a system that serves heavy query
+//! traffic, not a one-shot benchmark. This crate closes that gap in
+//! three layers:
+//!
+//! * [`GraphSession`] ([`session`]) — the **resident graph**: R-MAT
+//!   generation and the 1.5D partition are built once and reused by
+//!   every query; the simulated cluster survives across runs, and
+//!   transient faults consumed by one query never invalidate the
+//!   partition.
+//! * [`run_bfs_batch`](sunbfs_core::run_bfs_batch) (in `sunbfs-core`) —
+//!   the **bit-parallel multi-source engine**: up to 64 roots share one
+//!   traversal, packed as a `u64` frontier word per vertex, so the
+//!   per-iteration fixed costs (hub syncs, heuristic collectives,
+//!   bitmap sweeps) amortize across the batch.
+//! * [`BfsService`] ([`service`]) — the **service mechanics**: bounded
+//!   admission queue with typed rejections (backpressure), deadline-
+//!   driven batch formation, per-query typed results (parent-array
+//!   handle, depth histogram, served/quarantined status), and per-root
+//!   checkpointed fallback when a batch loses a rank.
+//!
+//! Observability lives in [`ServeReport`] ([`report`]), which renders
+//! as the `serve` section of the schema-v4 metrics JSON.
+
+pub mod report;
+pub mod service;
+pub mod session;
+
+/// Widest batch the engine's frontier word can carry.
+pub const MAX_BATCH: usize = sunbfs_core::MAX_BATCH_ROOTS;
+
+pub use report::{occupancy_bucket, BatchRecord, QueryRecord, ServeReport, OCCUPANCY_LABELS};
+pub use service::{
+    BfsService, Quarantine, QueryId, QueryResult, QueryStatus, RejectReason, ServeConfig,
+};
+pub use session::{GraphSession, LoadError, SessionConfig};

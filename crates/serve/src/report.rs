@@ -1,0 +1,281 @@
+//! Service observability: everything the metrics JSON `serve` section
+//! (schema v4, `docs/METRICS.md`) reports about one service lifetime.
+
+use sunbfs_common::{JsonValue, ToJson};
+
+/// Power-of-two occupancy buckets: 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64.
+pub const OCCUPANCY_BUCKETS: usize = 7;
+
+/// Bucket index for a batch of `occ` riders (`occ ≥ 1`).
+pub fn occupancy_bucket(occ: usize) -> usize {
+    debug_assert!(occ >= 1);
+    (usize::BITS - 1 - occ.max(1).leading_zeros()) as usize % OCCUPANCY_BUCKETS
+}
+
+/// Human-readable bucket labels, index-aligned with the histogram.
+pub const OCCUPANCY_LABELS: [&str; OCCUPANCY_BUCKETS] =
+    ["1", "2-3", "4-7", "8-15", "16-31", "32-63", "64"];
+
+/// One executed batch.
+#[derive(Clone, Debug)]
+pub struct BatchRecord {
+    /// Sequence number (0-based, formation order).
+    pub batch_id: u64,
+    /// Queries that rode in this batch.
+    pub occupancy: usize,
+    /// Simulated seconds the batch took (max over ranks for the batched
+    /// path; summed per-root times on the fallback path).
+    pub sim_seconds: f64,
+    /// Wall-clock seconds the execution took on the host.
+    pub wall_seconds: f64,
+    /// True when a lost rank degraded this batch to per-root recovery.
+    pub fallback: bool,
+    /// Riders served.
+    pub served: u64,
+    /// Riders quarantined.
+    pub quarantined: u64,
+    /// Simulated seconds the same roots took sequentially (present only
+    /// when the service measures baselines).
+    pub seq_sim_seconds: Option<f64>,
+}
+
+impl ToJson for BatchRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("batch_id", self.batch_id)
+            .field("occupancy", self.occupancy as u64)
+            .field("sim_seconds", self.sim_seconds)
+            .field("wall_seconds", self.wall_seconds)
+            .field("fallback", self.fallback)
+            .field("served", self.served)
+            .field("quarantined", self.quarantined)
+            .field(
+                "seq_sim_seconds",
+                match self.seq_sim_seconds {
+                    Some(s) => JsonValue::from(s),
+                    None => JsonValue::Null,
+                },
+            )
+            .build()
+    }
+}
+
+/// One completed query, as the report remembers it.
+#[derive(Clone, Debug)]
+pub struct QueryRecord {
+    /// The query's ticket number.
+    pub id: u64,
+    /// The root vertex.
+    pub root: u64,
+    /// The batch it rode in.
+    pub batch_id: u64,
+    /// `served` or `quarantined`.
+    pub status: &'static str,
+    /// Simulated seconds the serving traversal took.
+    pub sim_latency_s: f64,
+    /// Wall-clock seconds the execution took on the host.
+    pub wall_latency_s: f64,
+    /// True when served by per-root recovery instead of the batch.
+    pub via_fallback: bool,
+}
+
+impl ToJson for QueryRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("id", self.id)
+            .field("root", self.root)
+            .field("batch_id", self.batch_id)
+            .field("status", self.status)
+            .field("sim_latency_s", self.sim_latency_s)
+            .field("wall_latency_s", self.wall_latency_s)
+            .field("via_fallback", self.via_fallback)
+            .build()
+    }
+}
+
+/// Everything one service lifetime reports.
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+    /// Configured maximum batch width.
+    pub batch_max: usize,
+    /// Configured partial-batch flush deadline (ticks).
+    pub flush_deadline: u32,
+    /// Queries admitted.
+    pub submitted: u64,
+    /// Queries served (batched or fallback).
+    pub served: u64,
+    /// Queries quarantined after exhausting recovery.
+    pub quarantined: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_full: u64,
+    /// Submissions rejected because the root was out of range.
+    pub rejected_invalid: u64,
+    /// Deepest the pending queue ever got.
+    pub max_queue_depth: usize,
+    /// Pending queries at report time.
+    pub current_queue_depth: usize,
+    /// Batches that degraded to per-root recovery.
+    pub fallback_batches: u64,
+    /// Batches per occupancy bucket ([`OCCUPANCY_LABELS`] order).
+    pub occupancy_histogram: [u64; OCCUPANCY_BUCKETS],
+    /// Every executed batch, in order.
+    pub batches: Vec<BatchRecord>,
+    /// Every completed query, in completion order.
+    pub queries: Vec<QueryRecord>,
+    /// Total simulated seconds spent executing batches.
+    pub batch_sim_seconds: f64,
+    /// Total simulated seconds the sequential baseline spent on the
+    /// same roots (present only when baselines were measured).
+    pub sequential_sim_seconds: Option<f64>,
+    /// Simulated seconds the session's partition build took.
+    pub build_sim_seconds: f64,
+    /// SPMD attempts the session load spent (1 = clean).
+    pub load_attempts: u32,
+}
+
+impl ServeReport {
+    /// Served roots per simulated second through the batch path.
+    pub fn batch_roots_per_sec(&self) -> f64 {
+        if self.batch_sim_seconds > 0.0 {
+            self.served as f64 / self.batch_sim_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Roots per simulated second of the sequential baseline, when
+    /// measured.
+    pub fn sequential_roots_per_sec(&self) -> Option<f64> {
+        let seq = self.sequential_sim_seconds?;
+        if seq > 0.0 {
+            Some(self.served as f64 / seq)
+        } else {
+            None
+        }
+    }
+
+    /// Batched-over-sequential throughput ratio, when the baseline was
+    /// measured (> 1.0 means batching wins).
+    pub fn speedup(&self) -> Option<f64> {
+        let seq = self.sequential_sim_seconds?;
+        if self.batch_sim_seconds > 0.0 {
+            Some(seq / self.batch_sim_seconds)
+        } else {
+            None
+        }
+    }
+}
+
+impl ToJson for ServeReport {
+    fn to_json(&self) -> JsonValue {
+        let occupancy = OCCUPANCY_LABELS
+            .iter()
+            .zip(self.occupancy_histogram.iter())
+            .fold(JsonValue::object(), |o, (label, &count)| {
+                o.field(label, count)
+            })
+            .build();
+        JsonValue::object()
+            .field("queue_capacity", self.queue_capacity as u64)
+            .field("batch_max", self.batch_max as u64)
+            .field("flush_deadline", u64::from(self.flush_deadline))
+            .field("submitted", self.submitted)
+            .field("served", self.served)
+            .field("quarantined", self.quarantined)
+            .field("rejected_full", self.rejected_full)
+            .field("rejected_invalid", self.rejected_invalid)
+            .field("max_queue_depth", self.max_queue_depth as u64)
+            .field("current_queue_depth", self.current_queue_depth as u64)
+            .field("fallback_batches", self.fallback_batches)
+            .field("occupancy_histogram", occupancy)
+            .field("batch_sim_seconds", self.batch_sim_seconds)
+            .field(
+                "sequential_sim_seconds",
+                match self.sequential_sim_seconds {
+                    Some(s) => JsonValue::from(s),
+                    None => JsonValue::Null,
+                },
+            )
+            .field("batch_roots_per_sec", self.batch_roots_per_sec())
+            .field(
+                "sequential_roots_per_sec",
+                match self.sequential_roots_per_sec() {
+                    Some(s) => JsonValue::from(s),
+                    None => JsonValue::Null,
+                },
+            )
+            .field(
+                "speedup",
+                match self.speedup() {
+                    Some(s) => JsonValue::from(s),
+                    None => JsonValue::Null,
+                },
+            )
+            .field("build_sim_seconds", self.build_sim_seconds)
+            .field("load_attempts", u64::from(self.load_attempts))
+            .field(
+                "batches",
+                JsonValue::Array(self.batches.iter().map(|b| b.to_json()).collect()),
+            )
+            .field(
+                "queries",
+                JsonValue::Array(self.queries.iter().map(|q| q.to_json()).collect()),
+            )
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_buckets_are_power_of_two_ranges() {
+        assert_eq!(occupancy_bucket(1), 0);
+        assert_eq!(occupancy_bucket(2), 1);
+        assert_eq!(occupancy_bucket(3), 1);
+        assert_eq!(occupancy_bucket(4), 2);
+        assert_eq!(occupancy_bucket(7), 2);
+        assert_eq!(occupancy_bucket(8), 3);
+        assert_eq!(occupancy_bucket(15), 3);
+        assert_eq!(occupancy_bucket(16), 4);
+        assert_eq!(occupancy_bucket(31), 4);
+        assert_eq!(occupancy_bucket(32), 5);
+        assert_eq!(occupancy_bucket(63), 5);
+        assert_eq!(occupancy_bucket(64), 6);
+    }
+
+    #[test]
+    fn speedup_requires_a_measured_baseline() {
+        let mut r = ServeReport {
+            served: 8,
+            batch_sim_seconds: 2.0,
+            ..ServeReport::default()
+        };
+        assert_eq!(r.speedup(), None);
+        assert_eq!(r.sequential_roots_per_sec(), None);
+        r.sequential_sim_seconds = Some(8.0);
+        assert_eq!(r.speedup(), Some(4.0));
+        assert_eq!(r.batch_roots_per_sec(), 4.0);
+        assert_eq!(r.sequential_roots_per_sec(), Some(1.0));
+    }
+
+    #[test]
+    fn report_json_carries_the_serve_section_fields() {
+        let r = ServeReport::default();
+        let js = r.to_json().render();
+        for key in [
+            "occupancy_histogram",
+            "batch_roots_per_sec",
+            "sequential_roots_per_sec",
+            "speedup",
+            "max_queue_depth",
+            "batches",
+            "queries",
+        ] {
+            assert!(js.contains(&format!("\"{key}\"")), "missing {key} in {js}");
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! The query service: bounded admission queue, deadline-driven batch
+//! formation, batched execution with per-root fallback.
+//!
+//! State machine (documented in `docs/SERVE.md`):
+//!
+//! ```text
+//!            submit()                tick()/drain()
+//! client ──▶ [pending queue] ──▶ [batch of ≤ batch_max] ──▶ execute
+//!               │  full?                                      │
+//!               ▼                                             ▼
+//!          reject (QueueFull)               all ranks Ok ── served
+//!                                           rank lost ──── fallback:
+//!                                                          per-root
+//!                                                          recoverable
+//!                                                          runs, then
+//!                                                          served or
+//!                                                          quarantined
+//! ```
+//!
+//! Backpressure is explicit: a full queue rejects with a typed reason
+//! instead of blocking, and the caller decides whether to retry after
+//! ticking the service. Batch formation is deterministic — a batch
+//! flushes when `batch_max` queries are pending or when the oldest
+//! pending query has waited `flush_deadline` ticks — so tests can pin
+//! occupancy exactly.
+//!
+//! Fault containment: a lost rank during a batch degrades *only that
+//! batch's riders* — each rider falls back to its own checkpointed
+//! single-source run with bounded retries (the PR 2/3 machinery), and
+//! the resident [`GraphSession`] is never rebuilt or invalidated.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sunbfs_common::INVALID_VERTEX;
+use sunbfs_core::{validate, BatchOutput, BfsOutput, CheckpointStore, EngineError};
+
+use crate::report::{BatchRecord, QueryRecord, ServeReport};
+use crate::session::GraphSession;
+use crate::MAX_BATCH;
+
+/// Service knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Pending queries the queue admits before rejecting.
+    pub queue_capacity: usize,
+    /// Widest batch to form (clamped to the engine's 64-root word).
+    pub batch_max: usize,
+    /// Ticks the oldest pending query waits before a partial batch
+    /// flushes anyway.
+    pub flush_deadline: u32,
+    /// Retries a fallback (per-root) run gets before quarantine.
+    pub max_root_retries: u32,
+    /// Also run each batch's roots through the sequential single-source
+    /// path and record the comparison (costs one extra SPMD pass per
+    /// batch; for benchmarking, not serving).
+    pub measure_baseline: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            batch_max: MAX_BATCH,
+            flush_deadline: 4,
+            max_root_retries: 2,
+            measure_baseline: false,
+        }
+    }
+}
+
+/// Ticket for a submitted query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// Typed admission-control rejection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The pending queue is at capacity — back off and tick.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The root is not a vertex of the resident graph.
+    InvalidRoot {
+        /// The rejected root.
+        root: u64,
+        /// Vertices in the resident graph.
+        num_vertices: u64,
+    },
+}
+
+impl RejectReason {
+    /// Stable label used in JSON replies and the report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::InvalidRoot { .. } => "invalid_root",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            RejectReason::InvalidRoot { root, num_vertices } => {
+                write!(f, "root {root} outside vertex range [0, {num_vertices})")
+            }
+        }
+    }
+}
+
+/// Why a query was quarantined instead of served.
+#[derive(Clone, Debug)]
+pub struct Quarantine {
+    /// Stable category label (`engine` / `rank_failure` / `tree`).
+    pub label: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Terminal status of a completed query.
+#[derive(Clone, Debug)]
+pub enum QueryStatus {
+    /// The traversal completed; the result carries the parent tree.
+    Served,
+    /// Every recovery avenue was exhausted; no tree for this query.
+    Quarantined(Quarantine),
+}
+
+impl QueryStatus {
+    /// Stable label used in JSON replies and the report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryStatus::Served => "served",
+            QueryStatus::Quarantined(_) => "quarantined",
+        }
+    }
+}
+
+/// A completed query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The ticket [`BfsService::submit`] returned.
+    pub id: QueryId,
+    /// The query's root vertex.
+    pub root: u64,
+    /// The batch this query rode in.
+    pub batch_id: u64,
+    /// Served or quarantined.
+    pub status: QueryStatus,
+    /// Handle to the assembled global parent array (`n` entries,
+    /// [`INVALID_VERTEX`] where unreached); `None` when quarantined.
+    pub parents: Option<Arc<Vec<u64>>>,
+    /// Vertices at each BFS depth (index = depth; root at 0).
+    pub depth_histogram: Vec<u64>,
+    /// Vertices reached.
+    pub visited: u64,
+    /// The engine's degree-sum estimate of traversed edges (duplicate
+    /// generator edges count per entry).
+    pub engine_traversed_edges: u64,
+    /// Simulated seconds the serving traversal took (the batch's time
+    /// for batched riders; the per-root time on the fallback path).
+    pub sim_latency_s: f64,
+    /// Wall-clock seconds the execution took on the host.
+    pub wall_latency_s: f64,
+    /// True when this query was served by the per-root recovery path
+    /// instead of the batch engine.
+    pub via_fallback: bool,
+}
+
+struct Pending {
+    id: QueryId,
+    root: u64,
+}
+
+/// The BFS query service over one resident [`GraphSession`].
+pub struct BfsService {
+    session: GraphSession,
+    cfg: ServeConfig,
+    pending: VecDeque<Pending>,
+    /// Ticks the oldest pending query has waited.
+    age: u32,
+    next_id: u64,
+    next_batch: u64,
+    report: ServeReport,
+}
+
+impl BfsService {
+    /// Wrap a loaded session in service mechanics.
+    pub fn new(session: GraphSession, cfg: ServeConfig) -> Self {
+        let mut cfg = cfg;
+        cfg.batch_max = cfg.batch_max.clamp(1, MAX_BATCH);
+        cfg.queue_capacity = cfg.queue_capacity.max(1);
+        let report = ServeReport {
+            queue_capacity: cfg.queue_capacity,
+            batch_max: cfg.batch_max,
+            flush_deadline: cfg.flush_deadline,
+            build_sim_seconds: session.build_sim_seconds,
+            load_attempts: session.load_attempts,
+            ..ServeReport::default()
+        };
+        BfsService {
+            session,
+            cfg,
+            pending: VecDeque::new(),
+            age: 0,
+            next_id: 0,
+            next_batch: 0,
+            report,
+        }
+    }
+
+    /// The resident session (topology, fault log, partition stats).
+    pub fn session(&self) -> &GraphSession {
+        &self.session
+    }
+
+    /// Pending (admitted, not yet executed) queries.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Admit one query, or reject with a typed reason. Admission never
+    /// executes anything — traversal happens at [`Self::tick`] /
+    /// [`Self::drain`] time.
+    pub fn submit(&mut self, root: u64) -> Result<QueryId, RejectReason> {
+        let n = self.session.num_vertices();
+        if root >= n {
+            self.report.rejected_invalid += 1;
+            return Err(RejectReason::InvalidRoot {
+                root,
+                num_vertices: n,
+            });
+        }
+        if self.pending.len() >= self.cfg.queue_capacity {
+            self.report.rejected_full += 1;
+            return Err(RejectReason::QueueFull {
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.pending.push_back(Pending { id, root });
+        self.report.submitted += 1;
+        self.report.max_queue_depth = self.report.max_queue_depth.max(self.pending.len());
+        Ok(id)
+    }
+
+    /// Advance the batch-formation clock one tick: flush every full
+    /// batch, then flush a partial batch if the oldest pending query
+    /// has waited `flush_deadline` ticks. Returns queries completed by
+    /// this tick.
+    pub fn tick(&mut self) -> Vec<QueryResult> {
+        let mut out = Vec::new();
+        while self.pending.len() >= self.cfg.batch_max {
+            out.extend(self.flush_one());
+        }
+        if self.pending.is_empty() {
+            self.age = 0;
+            return out;
+        }
+        self.age += 1;
+        if self.age >= self.cfg.flush_deadline {
+            out.extend(self.flush_one());
+            self.age = 0;
+        }
+        out
+    }
+
+    /// Flush everything pending, regardless of deadlines.
+    pub fn drain(&mut self) -> Vec<QueryResult> {
+        let mut out = Vec::new();
+        while !self.pending.is_empty() {
+            out.extend(self.flush_one());
+        }
+        self.age = 0;
+        out
+    }
+
+    /// Snapshot of the service's observability report.
+    pub fn report(&self) -> ServeReport {
+        let mut r = self.report.clone();
+        r.current_queue_depth = self.pending.len();
+        r
+    }
+
+    /// Form one batch from the queue head and execute it.
+    fn flush_one(&mut self) -> Vec<QueryResult> {
+        let take = self.pending.len().min(self.cfg.batch_max);
+        let batch: Vec<Pending> = self.pending.drain(..take).collect();
+        self.execute_batch(batch)
+    }
+
+    fn execute_batch(&mut self, batch: Vec<Pending>) -> Vec<QueryResult> {
+        let batch_id = self.next_batch;
+        self.next_batch += 1;
+        let roots: Vec<u64> = batch.iter().map(|p| p.root).collect();
+        let wall0 = Instant::now();
+        let rank_results = self.session.run_batch(&roots);
+        let mut oks = Vec::with_capacity(rank_results.len());
+        let mut failures = Vec::new();
+        for r in rank_results {
+            match r {
+                Ok(v) => oks.push(v),
+                Err(f) => failures.push(f),
+            }
+        }
+        let mut results;
+        let fallback = !failures.is_empty();
+        let mut sim_seconds = 0.0f64;
+        if !fallback {
+            // Engine errors are replicated: either every rank returned
+            // the same Err, or every rank has a BatchOutput.
+            match oks
+                .into_iter()
+                .collect::<Result<Vec<BatchOutput>, EngineError>>()
+            {
+                Ok(outs) => {
+                    sim_seconds = outs.iter().fold(0.0, |m, o| m.max(o.stats.sim_seconds));
+                    let wall = wall0.elapsed().as_secs_f64();
+                    results = self.assemble_batch(&batch, batch_id, outs, sim_seconds, wall);
+                }
+                Err(e) => {
+                    let wall = wall0.elapsed().as_secs_f64();
+                    results = batch
+                        .iter()
+                        .map(|p| {
+                            quarantined_result(
+                                p,
+                                batch_id,
+                                Quarantine {
+                                    label: "engine",
+                                    detail: e.to_string(),
+                                },
+                                wall,
+                                false,
+                            )
+                        })
+                        .collect();
+                }
+            }
+        } else {
+            // A rank died mid-batch: the batch's riders fall back to
+            // individually recoverable single-source runs. The session
+            // itself stays resident — planned faults fire once, so the
+            // healed cluster serves the fallback (and later batches).
+            results = Vec::with_capacity(batch.len());
+            for p in &batch {
+                let r = self.serve_fallback(p, batch_id);
+                sim_seconds += r.sim_latency_s;
+                results.push(r);
+            }
+        }
+        let wall_seconds = wall0.elapsed().as_secs_f64();
+
+        // Optional sequential baseline over the same roots.
+        let seq_sim_seconds = if self.cfg.measure_baseline {
+            self.measure_sequential(&roots)
+        } else {
+            None
+        };
+
+        let served = results
+            .iter()
+            .filter(|r| matches!(r.status, QueryStatus::Served))
+            .count();
+        self.report.served += served as u64;
+        self.report.quarantined += (results.len() - served) as u64;
+        self.report.batch_sim_seconds += sim_seconds;
+        if let Some(s) = seq_sim_seconds {
+            *self.report.sequential_sim_seconds.get_or_insert(0.0) += s;
+        }
+        self.report.occupancy_histogram[crate::report::occupancy_bucket(batch.len())] += 1;
+        if fallback {
+            self.report.fallback_batches += 1;
+        }
+        self.report.batches.push(BatchRecord {
+            batch_id,
+            occupancy: batch.len(),
+            sim_seconds,
+            wall_seconds,
+            fallback,
+            served: served as u64,
+            quarantined: (results.len() - served) as u64,
+            seq_sim_seconds,
+        });
+        for r in &results {
+            self.report.queries.push(QueryRecord {
+                id: r.id.0,
+                root: r.root,
+                batch_id,
+                status: r.status.label(),
+                sim_latency_s: r.sim_latency_s,
+                wall_latency_s: r.wall_latency_s,
+                via_fallback: r.via_fallback,
+            });
+        }
+        results
+    }
+
+    /// Turn per-rank [`BatchOutput`]s into per-query results.
+    fn assemble_batch(
+        &self,
+        batch: &[Pending],
+        batch_id: u64,
+        outs: Vec<BatchOutput>,
+        sim_seconds: f64,
+        wall_seconds: f64,
+    ) -> Vec<QueryResult> {
+        let n = self.session.num_vertices() as usize;
+        let nb = batch.len();
+        let dist = self.session.distribution();
+        let mut results = Vec::with_capacity(nb);
+        for (b, p) in batch.iter().enumerate() {
+            let mut parents = vec![INVALID_VERTEX; n];
+            let mut histogram: Vec<u64> = Vec::new();
+            for (rank, out) in outs.iter().enumerate() {
+                let range = dist.range_of(rank);
+                for li in 0..(range.end - range.start) as usize {
+                    parents[range.start as usize + li] = out.parent_of(li, b);
+                    let d = out.depth_of(li, b);
+                    if d != sunbfs_core::UNREACHED_DEPTH {
+                        let d = d as usize;
+                        if histogram.len() <= d {
+                            histogram.resize(d + 1, 0);
+                        }
+                        histogram[d] += 1;
+                    }
+                }
+            }
+            results.push(QueryResult {
+                id: p.id,
+                root: p.root,
+                batch_id,
+                status: QueryStatus::Served,
+                parents: Some(Arc::new(parents)),
+                depth_histogram: histogram,
+                visited: outs[0].stats.visited[b],
+                engine_traversed_edges: outs[0].stats.traversed_edges[b],
+                sim_latency_s: sim_seconds,
+                wall_latency_s: wall_seconds,
+                via_fallback: false,
+            });
+        }
+        results
+    }
+
+    /// Per-root recovery: checkpointed single-source runs with bounded
+    /// retries, quarantining only when the budget is exhausted.
+    fn serve_fallback(&self, p: &Pending, batch_id: u64) -> QueryResult {
+        let wall0 = Instant::now();
+        let budget = 1 + self.cfg.max_root_retries;
+        let store = CheckpointStore::new(self.session.num_ranks());
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let mut oks = Vec::new();
+            let mut failures = Vec::new();
+            for r in self.session.run_single_recoverable(p.root, &store) {
+                match r {
+                    Ok(v) => oks.push(v),
+                    Err(f) => failures.push(f),
+                }
+            }
+            if failures.is_empty() {
+                let wall = wall0.elapsed().as_secs_f64();
+                return match oks
+                    .into_iter()
+                    .collect::<Result<Vec<BfsOutput>, EngineError>>()
+                {
+                    Ok(outs) => self.assemble_single(p, batch_id, outs, wall),
+                    Err(e) => quarantined_result(
+                        p,
+                        batch_id,
+                        Quarantine {
+                            label: "engine",
+                            detail: e.to_string(),
+                        },
+                        wall,
+                        true,
+                    ),
+                };
+            }
+            if attempts >= budget {
+                let named: Vec<String> = failures
+                    .iter()
+                    .filter(|f| f.is_root_cause())
+                    .map(|f| f.to_string())
+                    .collect();
+                return quarantined_result(
+                    p,
+                    batch_id,
+                    Quarantine {
+                        label: "rank_failure",
+                        detail: format!("{attempts} attempts exhausted: {}", named.join("; ")),
+                    },
+                    wall0.elapsed().as_secs_f64(),
+                    true,
+                );
+            }
+        }
+    }
+
+    fn assemble_single(
+        &self,
+        p: &Pending,
+        batch_id: u64,
+        outs: Vec<BfsOutput>,
+        wall_seconds: f64,
+    ) -> QueryResult {
+        let sim = outs.iter().fold(0.0f64, |m, o| m.max(o.stats.sim_seconds));
+        let parents: Vec<u64> = outs
+            .iter()
+            .flat_map(|o| o.parents.iter().copied())
+            .collect();
+        let (histogram, visited) = match validate::levels_from_parents(p.root, &parents) {
+            Ok(levels) => {
+                let mut h: Vec<u64> = Vec::new();
+                let mut visited = 0u64;
+                for &lvl in &levels {
+                    if lvl == u64::MAX {
+                        continue;
+                    }
+                    visited += 1;
+                    let d = lvl as usize;
+                    if h.len() <= d {
+                        h.resize(d + 1, 0);
+                    }
+                    h[d] += 1;
+                }
+                (h, visited)
+            }
+            Err(e) => {
+                return quarantined_result(
+                    p,
+                    batch_id,
+                    Quarantine {
+                        label: "tree",
+                        detail: format!("{e:?}"),
+                    },
+                    wall_seconds,
+                    true,
+                );
+            }
+        };
+        QueryResult {
+            id: p.id,
+            root: p.root,
+            batch_id,
+            status: QueryStatus::Served,
+            parents: Some(Arc::new(parents)),
+            depth_histogram: histogram,
+            visited,
+            engine_traversed_edges: outs[0].stats.traversed_edges,
+            sim_latency_s: sim,
+            wall_latency_s: wall_seconds,
+            via_fallback: true,
+        }
+    }
+
+    /// The sequential baseline: the same roots, one at a time through
+    /// the single-source engine in one SPMD pass (the driver's per-root
+    /// loop shape). Returns the summed per-root simulated time, or
+    /// `None` if a rank was lost mid-measurement.
+    fn measure_sequential(&mut self, roots: &[u64]) -> Option<f64> {
+        let mut per_root_max = vec![0.0f64; roots.len()];
+        for rank_result in self.session.run_seq_loop(roots) {
+            match rank_result {
+                Err(_) => return None,
+                Ok(outs) => {
+                    for (ri, out) in outs.into_iter().enumerate() {
+                        match out {
+                            Ok(o) => per_root_max[ri] = per_root_max[ri].max(o.stats.sim_seconds),
+                            Err(_) => return None,
+                        }
+                    }
+                }
+            }
+        }
+        Some(per_root_max.iter().sum())
+    }
+}
+
+fn quarantined_result(
+    p: &Pending,
+    batch_id: u64,
+    q: Quarantine,
+    wall_seconds: f64,
+    via_fallback: bool,
+) -> QueryResult {
+    QueryResult {
+        id: p.id,
+        root: p.root,
+        batch_id,
+        status: QueryStatus::Quarantined(q),
+        parents: None,
+        depth_histogram: Vec::new(),
+        visited: 0,
+        engine_traversed_edges: 0,
+        sim_latency_s: 0.0,
+        wall_latency_s: wall_seconds,
+        via_fallback,
+    }
+}

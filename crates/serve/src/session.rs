@@ -1,0 +1,273 @@
+//! The session-persistent graph: generate + partition once, query many.
+//!
+//! The Graph 500 driver rebuilds its partition for every benchmark run
+//! and exits; a service cannot afford that. [`GraphSession::load`] pays
+//! the R-MAT generation and 1.5D partition build exactly once, keeps
+//! each rank's [`RankPartition`] resident on the driver side, and hands
+//! out traversals against it for as long as the session lives. The
+//! underlying [`Cluster`] is reusable across SPMD runs (its collective
+//! counters reset per run), so one session serves an unbounded stream
+//! of queries — and because planned fault events fire at most once per
+//! cluster lifetime, a query that loses a rank can simply be retried on
+//! the healed cluster without touching the resident partition.
+
+use sunbfs_common::MachineConfig;
+use sunbfs_core::{
+    run_bfs, run_bfs_batch, run_bfs_recoverable, BatchOutput, BfsOutput, CheckpointStore,
+    EngineConfig, EngineError,
+};
+use sunbfs_net::{Cluster, FaultPlan, MeshShape, RankFailure};
+use sunbfs_part::{build_1p5d, ComponentStats, RankPartition, Thresholds, VertexDistribution};
+use sunbfs_rmat::RmatParams;
+
+/// Everything a session needs to materialize its graph.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Graph 500 SCALE (`2^scale` vertices).
+    pub scale: u32,
+    /// Edges per vertex (spec: 16).
+    pub edge_factor: u32,
+    /// Mesh of simulated ranks.
+    pub mesh: MeshShape,
+    /// E/H degree thresholds.
+    pub thresholds: Thresholds,
+    /// Engine technique toggles (shared by batch and fallback paths).
+    pub engine: EngineConfig,
+    /// Machine constants.
+    pub machine: MachineConfig,
+    /// Generator seed.
+    pub seed: u64,
+    /// SPMD attempts [`GraphSession::load`] may spend before giving up
+    /// (a planned fault can fire during the build; it is consumed by
+    /// the failed attempt, so a bounded retry normally heals the load).
+    pub max_load_attempts: u32,
+}
+
+impl SessionConfig {
+    /// A laptop-scale session.
+    pub fn small(scale: u32, ranks: usize) -> Self {
+        SessionConfig {
+            scale,
+            edge_factor: 16,
+            mesh: MeshShape::near_square(ranks),
+            thresholds: Thresholds::new(256, 64),
+            engine: EngineConfig::default(),
+            machine: MachineConfig::new_sunway(),
+            seed: 42,
+            max_load_attempts: 3,
+        }
+    }
+
+    /// The generator parameters this session materializes.
+    pub fn rmat(&self) -> RmatParams {
+        let mut p = RmatParams::graph500(self.scale, self.seed);
+        p.edge_factor = self.edge_factor;
+        p
+    }
+}
+
+/// Loading the resident graph failed on every allowed attempt.
+#[derive(Debug)]
+pub struct LoadError {
+    /// SPMD attempts spent.
+    pub attempts: u32,
+    /// Rank failures observed on the final attempt.
+    pub failures: Vec<RankFailure>,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph load failed after {} attempts ({} rank failures on the last)",
+            self.attempts,
+            self.failures.len()
+        )
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// A resident graph: one cluster plus every rank's partition, built
+/// once and borrowed by each query run.
+pub struct GraphSession {
+    cfg: SessionConfig,
+    cluster: Cluster,
+    parts: Vec<RankPartition>,
+    /// Per-rank component sizes of the resident partition.
+    pub partition_stats: Vec<ComponentStats>,
+    /// Simulated seconds the (successful) build took, max over ranks.
+    pub build_sim_seconds: f64,
+    /// SPMD attempts the load spent (1 = clean first build).
+    pub load_attempts: u32,
+}
+
+impl GraphSession {
+    /// Generate the R-MAT graph and build the 1.5D partition, retrying
+    /// up to `cfg.max_load_attempts` times when a (transient) fault
+    /// takes a rank down mid-build.
+    ///
+    /// # Errors
+    /// [`LoadError`] when every attempt lost at least one rank.
+    pub fn load(cfg: SessionConfig, plan: FaultPlan) -> Result<GraphSession, LoadError> {
+        let params = cfg.rmat();
+        let n = params.num_vertices();
+        let p = cfg.mesh.num_ranks() as u64;
+        let cluster = Cluster::with_faults(cfg.mesh, cfg.machine, plan);
+        let budget = cfg.max_load_attempts.max(1);
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let results = cluster.run_fallible(|ctx| {
+                let t0 = ctx.now();
+                let chunk = sunbfs_rmat::generate_chunk(&params, ctx.rank() as u64, p);
+                let part = build_1p5d(ctx, n, &chunk, cfg.thresholds);
+                ((ctx.now() - t0).as_secs(), part)
+            });
+            let mut oks = Vec::with_capacity(results.len());
+            let mut failures = Vec::new();
+            for r in results {
+                match r {
+                    Ok(v) => oks.push(v),
+                    Err(f) => failures.push(f),
+                }
+            }
+            if failures.is_empty() {
+                let build_sim_seconds = oks.iter().map(|(s, _)| *s).fold(0.0, f64::max);
+                let parts: Vec<RankPartition> = oks.into_iter().map(|(_, p)| p).collect();
+                let partition_stats = parts.iter().map(|p| p.stats).collect();
+                return Ok(GraphSession {
+                    cfg,
+                    cluster,
+                    parts,
+                    partition_stats,
+                    build_sim_seconds,
+                    load_attempts: attempts,
+                });
+            }
+            if attempts >= budget {
+                return Err(LoadError { attempts, failures });
+            }
+        }
+    }
+
+    /// The configuration this session was loaded with.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Total vertices in the resident graph.
+    pub fn num_vertices(&self) -> u64 {
+        self.cfg.rmat().num_vertices()
+    }
+
+    /// Number of ranks holding the partition.
+    pub fn num_ranks(&self) -> usize {
+        self.cfg.mesh.num_ranks()
+    }
+
+    /// The block distribution of the resident graph (for assembling
+    /// rank-local slices into global arrays).
+    pub fn distribution(&self) -> VertexDistribution {
+        VertexDistribution::new(self.num_vertices(), self.num_ranks())
+    }
+
+    /// The underlying cluster (fault/retransmit logs, topology).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// One bit-parallel multi-source traversal over the resident
+    /// partition. Rank-indexed results; an `Err` entry is a lost rank
+    /// (callers fall back to [`Self::run_single_recoverable`]), an
+    /// inner `Err` is a replicated engine error.
+    pub fn run_batch(
+        &self,
+        roots: &[u64],
+    ) -> Vec<Result<Result<BatchOutput, EngineError>, RankFailure>> {
+        let parts = &self.parts;
+        let engine = self.cfg.engine;
+        self.cluster
+            .run_fallible(move |ctx| run_bfs_batch(ctx, &parts[ctx.rank()], roots, &engine))
+    }
+
+    /// One single-source traversal (the sequential baseline path).
+    pub fn run_single(
+        &self,
+        root: u64,
+    ) -> Vec<Result<Result<BfsOutput, EngineError>, RankFailure>> {
+        let parts = &self.parts;
+        let engine = self.cfg.engine;
+        self.cluster
+            .run_fallible(move |ctx| run_bfs(ctx, &parts[ctx.rank()], root, &engine))
+    }
+
+    /// The sequential baseline shape: every root, one at a time, inside
+    /// one SPMD pass (the driver's per-root loop against the resident
+    /// partition). Rank-indexed; inner vector is root-indexed.
+    #[allow(clippy::type_complexity)]
+    pub fn run_seq_loop(
+        &self,
+        roots: &[u64],
+    ) -> Vec<Result<Vec<Result<BfsOutput, EngineError>>, RankFailure>> {
+        let parts = &self.parts;
+        let engine = self.cfg.engine;
+        self.cluster.run_fallible(move |ctx| {
+            roots
+                .iter()
+                .map(|&root| run_bfs(ctx, &parts[ctx.rank()], root, &engine))
+                .collect()
+        })
+    }
+
+    /// One checkpointed single-source traversal — the per-root recovery
+    /// path a degraded batch falls back to. Resumes from `store`'s last
+    /// verified common checkpoint when one exists.
+    pub fn run_single_recoverable(
+        &self,
+        root: u64,
+        store: &CheckpointStore,
+    ) -> Vec<Result<Result<BfsOutput, EngineError>, RankFailure>> {
+        let parts = &self.parts;
+        let engine = self.cfg.engine;
+        self.cluster.run_fallible(move |ctx| {
+            run_bfs_recoverable(ctx, &parts[ctx.rank()], root, &engine, Some(store))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunbfs_net::{FaultEvent, FaultKind};
+
+    #[test]
+    fn session_loads_once_and_serves_repeatedly() {
+        let session =
+            GraphSession::load(SessionConfig::small(8, 4), FaultPlan::none()).expect("clean load");
+        assert_eq!(session.load_attempts, 1);
+        assert_eq!(session.partition_stats.len(), 4);
+        // Two traversals against the same resident partition.
+        for root in [1u64, 2] {
+            let outs = session.run_batch(&[root]);
+            for r in outs {
+                r.expect("no rank failure").expect("terminates");
+            }
+        }
+    }
+
+    #[test]
+    fn load_retries_through_a_transient_build_fault() {
+        // A panic early in the build (op 1) kills the first attempt;
+        // fire-once semantics heal the retry.
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            rank: 1,
+            op_index: 1,
+            kind: FaultKind::Panic,
+        }]);
+        let session =
+            GraphSession::load(SessionConfig::small(8, 4), plan).expect("retry heals the load");
+        assert_eq!(session.load_attempts, 2);
+        assert_eq!(session.cluster().fault_log().len(), 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! `bfs_server` — the BFS query service speaking newline-delimited
+//! JSON on stdin/stdout.
+//!
+//! One JSON object per input line; one (or more) JSON objects per
+//! output line. The protocol (documented in `docs/SERVE.md`):
+//!
+//! ```text
+//! {"cmd":"load","scale":10,"ranks":4}          build the resident graph
+//! {"cmd":"query","root":5}                     submit one root, tick once
+//! {"cmd":"batch","roots":[1,2,3]}              submit many, drain
+//! {"cmd":"stats"}                              full ServeReport JSON
+//! {"cmd":"drain"}                              flush everything pending
+//! ```
+//!
+//! `load` knobs (all optional): `scale` (10), `ranks` (4),
+//! `edge_factor` (16), `e_threshold` (256), `h_threshold` (64),
+//! `seed` (42), `queue_capacity` (256), `batch_max` (64),
+//! `flush_deadline` (4), `baseline` (false — measure the sequential
+//! path per batch and report the speedup in `stats`).
+//!
+//! Every reply carries a `"reply"` discriminator; errors are
+//! `{"reply":"error","detail":...}` and never kill the server. EOF on
+//! stdin exits 0.
+//!
+//! ```text
+//! printf '%s\n' '{"cmd":"load","scale":9,"ranks":4}' \
+//!     '{"cmd":"batch","roots":[1,2,3]}' '{"cmd":"stats"}' \
+//!     | cargo run --release --example bfs_server
+//! ```
+
+use std::io::BufRead;
+
+use sunbfs::common::{JsonValue, MachineConfig, ToJson};
+use sunbfs::core::EngineConfig;
+use sunbfs::net::{FaultPlan, MeshShape};
+use sunbfs::part::Thresholds;
+use sunbfs::serve::{BfsService, QueryResult, QueryStatus, ServeConfig, SessionConfig};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut service: Option<BfsService> = None;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        for reply in handle_line(&mut service, &line) {
+            println!("{}", reply.render());
+        }
+    }
+}
+
+/// Dispatch one input line to zero-or-more reply objects.
+fn handle_line(service: &mut Option<BfsService>, line: &str) -> Vec<JsonValue> {
+    let cmd = match JsonValue::parse(line) {
+        Ok(v) => v,
+        Err(e) => return vec![error(format!("bad JSON: {e}"))],
+    };
+    match cmd.get("cmd").and_then(|c| c.as_str()) {
+        Some("load") => vec![handle_load(service, &cmd)],
+        Some("query") => handle_query(service, &cmd),
+        Some("batch") => handle_batch(service, &cmd),
+        Some("stats") => vec![handle_stats(service)],
+        Some("drain") => handle_drain(service),
+        Some(other) => vec![error(format!("unknown cmd {other:?}"))],
+        None => vec![error("missing \"cmd\" field".into())],
+    }
+}
+
+fn error(detail: String) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "error")
+        .field("detail", detail)
+        .build()
+}
+
+/// A numeric knob with a default.
+fn knob(cmd: &JsonValue, key: &str, default: u64) -> u64 {
+    cmd.get(key).and_then(|v| v.as_u64()).unwrap_or(default)
+}
+
+fn handle_load(service: &mut Option<BfsService>, cmd: &JsonValue) -> JsonValue {
+    let scale = knob(cmd, "scale", 10) as u32;
+    let ranks = knob(cmd, "ranks", 4) as usize;
+    let session_cfg = SessionConfig {
+        scale,
+        edge_factor: knob(cmd, "edge_factor", 16) as u32,
+        mesh: MeshShape::near_square(ranks),
+        thresholds: Thresholds::new(
+            knob(cmd, "e_threshold", 256) as u32,
+            knob(cmd, "h_threshold", 64) as u32,
+        ),
+        engine: EngineConfig::default(),
+        machine: MachineConfig::new_sunway(),
+        seed: knob(cmd, "seed", 42),
+        max_load_attempts: 3,
+    };
+    let serve_cfg = ServeConfig {
+        queue_capacity: knob(cmd, "queue_capacity", 256) as usize,
+        batch_max: knob(cmd, "batch_max", sunbfs::serve::MAX_BATCH as u64) as usize,
+        flush_deadline: knob(cmd, "flush_deadline", 4) as u32,
+        max_root_retries: 2,
+        measure_baseline: cmd
+            .get("baseline")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false),
+    };
+    // Fault injection (for drills) comes from SUNBFS_FAULT_PLAN, the
+    // same env the benchmark driver honors.
+    let plan = match FaultPlan::from_env() {
+        Ok(p) => p.unwrap_or_else(FaultPlan::none),
+        Err(e) => return error(format!("bad SUNBFS_FAULT_PLAN: {e}")),
+    };
+    match sunbfs::serve::GraphSession::load(session_cfg, plan) {
+        Ok(session) => {
+            let loaded = JsonValue::object()
+                .field("reply", "loaded")
+                .field("scale", u64::from(scale))
+                .field("ranks", ranks as u64)
+                .field("vertices", session.num_vertices())
+                .field("build_sim_seconds", session.build_sim_seconds)
+                .field("load_attempts", u64::from(session.load_attempts))
+                .build();
+            *service = Some(BfsService::new(session, serve_cfg));
+            loaded
+        }
+        Err(e) => error(format!("load failed: {e}")),
+    }
+}
+
+/// Render a completed query (histogram and parent handle length, not
+/// the full parent array — trees at serving scale dwarf a reply line).
+fn result_json(r: &QueryResult) -> JsonValue {
+    let mut o = JsonValue::object()
+        .field("reply", "result")
+        .field("id", r.id.0)
+        .field("root", r.root)
+        .field("batch_id", r.batch_id)
+        .field("status", r.status.label())
+        .field("visited", r.visited)
+        .field(
+            "depth_histogram",
+            JsonValue::Array(
+                r.depth_histogram
+                    .iter()
+                    .map(|&c| JsonValue::from(c))
+                    .collect(),
+            ),
+        )
+        .field(
+            "parents_len",
+            r.parents.as_ref().map_or(0, |p| p.len()) as u64,
+        )
+        .field("sim_latency_s", r.sim_latency_s)
+        .field("via_fallback", r.via_fallback);
+    if let QueryStatus::Quarantined(q) = &r.status {
+        o = o
+            .field("quarantine", q.label)
+            .field("detail", q.detail.clone());
+    }
+    o.build()
+}
+
+fn handle_query(service: &mut Option<BfsService>, cmd: &JsonValue) -> Vec<JsonValue> {
+    let Some(svc) = service.as_mut() else {
+        return vec![error(
+            "no graph loaded (send {\"cmd\":\"load\"} first)".into(),
+        )];
+    };
+    let Some(root) = cmd.get("root").and_then(|v| v.as_u64()) else {
+        return vec![error("query needs a numeric \"root\"".into())];
+    };
+    let mut replies = Vec::new();
+    match svc.submit(root) {
+        Ok(id) => replies.push(
+            JsonValue::object()
+                .field("reply", "accepted")
+                .field("id", id.0)
+                .field("root", root)
+                .field("queue_depth", svc.queue_depth() as u64)
+                .build(),
+        ),
+        Err(reason) => {
+            return vec![JsonValue::object()
+                .field("reply", "rejected")
+                .field("root", root)
+                .field("reason", reason.label())
+                .field("detail", reason.to_string())
+                .build()]
+        }
+    }
+    // One tick per submission: full batches flush immediately; partial
+    // batches age toward the deadline.
+    for r in svc.tick() {
+        replies.push(result_json(&r));
+    }
+    replies
+}
+
+fn handle_batch(service: &mut Option<BfsService>, cmd: &JsonValue) -> Vec<JsonValue> {
+    let Some(svc) = service.as_mut() else {
+        return vec![error(
+            "no graph loaded (send {\"cmd\":\"load\"} first)".into(),
+        )];
+    };
+    let Some(roots) = cmd.get("roots").and_then(|v| v.as_array()) else {
+        return vec![error("batch needs a \"roots\" array".into())];
+    };
+    let mut replies = Vec::new();
+    for v in roots {
+        let Some(root) = v.as_u64() else {
+            replies.push(error(format!("non-numeric root {}", v.render())));
+            continue;
+        };
+        match svc.submit(root) {
+            Ok(id) => replies.push(
+                JsonValue::object()
+                    .field("reply", "accepted")
+                    .field("id", id.0)
+                    .field("root", root)
+                    .field("queue_depth", svc.queue_depth() as u64)
+                    .build(),
+            ),
+            Err(reason) => replies.push(
+                JsonValue::object()
+                    .field("reply", "rejected")
+                    .field("root", root)
+                    .field("reason", reason.label())
+                    .field("detail", reason.to_string())
+                    .build(),
+            ),
+        }
+    }
+    for r in svc.drain() {
+        replies.push(result_json(&r));
+    }
+    replies
+}
+
+fn handle_stats(service: &mut Option<BfsService>) -> JsonValue {
+    match service {
+        Some(svc) => JsonValue::object()
+            .field("reply", "stats")
+            .field("serve", svc.report().to_json())
+            .build(),
+        None => error("no graph loaded (send {\"cmd\":\"load\"} first)".into()),
+    }
+}
+
+fn handle_drain(service: &mut Option<BfsService>) -> Vec<JsonValue> {
+    let Some(svc) = service.as_mut() else {
+        return vec![error(
+            "no graph loaded (send {\"cmd\":\"load\"} first)".into(),
+        )];
+    };
+    let mut replies: Vec<JsonValue> = svc.drain().iter().map(result_json).collect();
+    replies.push(
+        JsonValue::object()
+            .field("reply", "drained")
+            .field("queue_depth", svc.queue_depth() as u64)
+            .build(),
+    );
+    replies
+}

@@ -6,14 +6,22 @@
 //! ```text
 //! cargo run --release --example graph500_runner -- \
 //!     [scale] [ranks] [e_threshold] [h_threshold] [num_roots] \
-//!     [--json [path]]
+//!     [--json [path]] [--seed <u64>] [--batch [--baseline]]
 //!
 //! # defaults:         14      16          256          64        8
 //! # --json without a path writes BENCH_<scale>_<rows>x<cols>.json
+//! # --seed sets the R-MAT generator seed (default 42)
+//! # --batch routes the roots through the multi-source serve path;
+//! # --baseline additionally runs the sequential per-root loop on the
+//! #   same resident session and reports the roots/sec speedup
 //! # disable a technique:
 //! SUNBFS_NO_SUBITER=1 SUNBFS_NO_SEGMENT=1 cargo run --release \
 //!     --example graph500_runner -- 14 16
 //! ```
+//!
+//! Unknown `--flags` are an error (exit code 2), not a warning: a typo
+//! like `--jsno` silently producing a default run is worse than a
+//! refusal.
 
 use sunbfs::core::EngineConfig;
 use sunbfs::driver::{run_benchmark, FaultSpec, RunConfig};
@@ -21,26 +29,66 @@ use sunbfs::metrics;
 use sunbfs::net::MeshShape;
 use sunbfs::part::Thresholds;
 
-/// Split `--json [path]` out of the argument list, leaving the
-/// positional knobs in place. `Some(None)` means "default filename".
-fn parse_args() -> (Vec<u64>, Option<Option<String>>) {
-    let mut positional = Vec::new();
-    let mut json: Option<Option<String>> = None;
+/// Parsed command line: positional knobs plus flags.
+struct Args {
+    positional: Vec<u64>,
+    /// `--json [path]`; `Some(None)` means "default filename".
+    json: Option<Option<String>>,
+    seed: u64,
+    batch: bool,
+    baseline: bool,
+}
+
+/// Split flags out of the argument list, leaving the positional knobs
+/// in place. Unknown flags (or a malformed `--seed`) terminate the
+/// process with exit code 2.
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        positional: Vec::new(),
+        json: None,
+        seed: 42,
+        batch: false,
+        baseline: false,
+    };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         if a == "--json" {
-            json = Some(args.next_if(|p| !p.starts_with("--")));
+            parsed.json = Some(args.next_if(|p| !p.starts_with("--")));
+        } else if a == "--seed" {
+            let value = args.next().unwrap_or_default();
+            parsed.seed = value.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("error: --seed requires a u64 value, got {value:?}");
+                std::process::exit(2);
+            });
+        } else if a == "--batch" {
+            parsed.batch = true;
+        } else if a == "--baseline" {
+            parsed.baseline = true;
+        } else if a.starts_with("--") {
+            eprintln!("error: unknown flag {a}");
+            eprintln!(
+                "usage: graph500_runner [scale] [ranks] [e_threshold] [h_threshold] \
+                 [num_roots] [--json [path]] [--seed <u64>] [--batch [--baseline]]"
+            );
+            std::process::exit(2);
         } else if let Ok(v) = a.parse::<u64>() {
-            positional.push(v);
+            parsed.positional.push(v);
         } else {
-            eprintln!("ignoring unrecognized argument: {a}");
+            eprintln!("error: unrecognized argument {a:?} (positional knobs are integers)");
+            std::process::exit(2);
         }
     }
-    (positional, json)
+    parsed
 }
 
 fn main() {
-    let (positional, json) = parse_args();
+    let Args {
+        positional,
+        json,
+        seed,
+        batch,
+        baseline,
+    } = parse_args();
     let arg = |n: usize, default: u64| positional.get(n).copied().unwrap_or(default);
     let scale = arg(0, 14) as u32;
     let ranks = arg(1, 16) as usize;
@@ -63,7 +111,7 @@ fn main() {
         thresholds: Thresholds::new(e_th, h_th),
         engine,
         machine: sunbfs::common::MachineConfig::new_sunway(),
-        seed: 42,
+        seed,
         num_roots,
         // Full-edge-list validation is O(edges) on the driver; keep it
         // for the scales a laptop handles comfortably.
@@ -72,6 +120,8 @@ fn main() {
         // docs/FAULTS.md); no seeded campaign by default.
         faults: FaultSpec::NONE,
         max_root_retries: 2,
+        serve_batch: batch,
+        serve_baseline: baseline,
     };
 
     println!("graph500 runner");
@@ -87,6 +137,17 @@ fn main() {
         engine.sub_iteration, engine.segmenting
     );
     println!("  roots:          {num_roots}");
+    println!("  seed:           {seed}");
+    if batch {
+        println!(
+            "  mode:           batched serve path{}",
+            if baseline {
+                " (+ sequential baseline)"
+            } else {
+                ""
+            }
+        );
+    }
 
     let wall = std::time::Instant::now();
     let report = match run_benchmark(&config) {
@@ -141,6 +202,24 @@ fn main() {
             report.recovery.checkpoints_taken,
             report.recovery.iterations_salvaged
         );
+    }
+
+    if let Some(serve) = &report.serve {
+        println!(
+            "\nserve:                {} served / {} quarantined over {} batches, {:.3} ms sim",
+            serve.served,
+            serve.quarantined,
+            serve.batches.len(),
+            serve.batch_sim_seconds * 1e3,
+        );
+        println!(
+            "batched roots/sec:    {:.1} (simulated)",
+            serve.batch_roots_per_sec()
+        );
+        if let (Some(seq), Some(speedup)) = (serve.sequential_roots_per_sec(), serve.speedup()) {
+            println!("sequential roots/sec: {seq:.1} (simulated)");
+            println!("batch speedup:        {speedup:.2}x");
+        }
     }
 
     println!("\nvalidated:            {}", report.validated);

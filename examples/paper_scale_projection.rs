@@ -38,6 +38,8 @@ fn main() {
         validate: false,
         faults: FaultSpec::NONE,
         max_root_retries: 2,
+        serve_batch: false,
+        serve_baseline: false,
     };
     let report = run_benchmark(&cal).expect("calibration run must pass");
     let stats = &report.partition_stats;

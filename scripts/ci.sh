@@ -37,7 +37,30 @@ SUNBFS_FAULT_PLAN="corrupt@1:3:bitflip" timeout 300 \
     cargo run -q --release --example graph500_runner -- 9 4 256 64 1 --json "$SMOKE_JSON" \
     > /dev/null
 grep -Eq '"retransmits": *[1-9]' "$SMOKE_JSON"
-grep -Eq '"schema_version": *3' "$SMOKE_JSON"
+grep -Eq '"schema_version": *4' "$SMOKE_JSON"
 rm -f "$SMOKE_JSON"
+
+# Serve suite: admission control, batch formation, fault containment,
+# batch-vs-sequential equivalence, and the >=2x roots/sec acceptance
+# bar. Hard timeout for the same reason as the fault suites — a stuck
+# queue or hung batch is a regression.
+echo "==> serve suite (hard timeout)"
+timeout 300 cargo test -q -p sunbfs-serve
+timeout 600 cargo test -q --test serve_equivalence --test serve_perf
+
+# Smoke: the bfs_server stdin protocol answers with well-formed JSON —
+# a load acknowledgment, per-query results, and a stats reply carrying
+# the serve section.
+echo "==> bfs_server stdin smoke"
+SERVE_OUT="$(mktemp)"
+printf '%s\n' \
+    '{"cmd":"load","scale":9,"ranks":4}' \
+    '{"cmd":"batch","roots":[1,2,3]}' \
+    '{"cmd":"stats"}' \
+    | timeout 300 cargo run -q --release --example bfs_server > "$SERVE_OUT"
+grep -Eq '"reply":"loaded"' "$SERVE_OUT"
+grep -Eq '"reply":"result".*"status":"served"' "$SERVE_OUT"
+grep -Eq '"reply":"stats".*"batch_roots_per_sec"' "$SERVE_OUT"
+rm -f "$SERVE_OUT"
 
 echo "CI green."

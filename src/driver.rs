@@ -20,6 +20,9 @@ use sunbfs_net::{
 };
 use sunbfs_part::{build_1p5d, ComponentStats, Thresholds};
 use sunbfs_rmat::RmatParams;
+use sunbfs_serve::{
+    BfsService, GraphSession, QueryStatus, ServeConfig, ServeReport, SessionConfig,
+};
 
 /// Everything one benchmark run needs.
 #[derive(Clone, Copy, Debug)]
@@ -50,30 +53,158 @@ pub struct RunConfig {
     /// How many times a root whose SPMD phase lost a rank is retried
     /// (with backoff) before it is quarantined.
     pub max_root_retries: u32,
+    /// Route the benchmark's roots through the serve layer's
+    /// bit-parallel multi-source batch path (one resident partition,
+    /// up to 64 roots per traversal) instead of the per-root loop.
+    pub serve_batch: bool,
+    /// With `serve_batch`, also measure the sequential single-source
+    /// baseline over the same roots and record the comparison in the
+    /// report's `serve` section.
+    pub serve_baseline: bool,
 }
 
 impl RunConfig {
+    /// Builder seeded with the defaults every call site shares
+    /// (Graph 500 edge factor, Sunway machine constants, seed 42, …) so
+    /// call sites only state what they change.
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder::default()
+    }
+
     /// A sensible laptop-scale configuration.
     pub fn small_test(scale: u32, ranks: usize) -> Self {
-        RunConfig {
-            scale,
-            edge_factor: 16,
-            mesh: MeshShape::near_square(ranks),
-            thresholds: Thresholds::new(256, 64),
-            engine: EngineConfig::default(),
-            machine: MachineConfig::new_sunway(),
-            seed: 42,
-            num_roots: 3,
-            validate: true,
-            faults: FaultSpec::NONE,
-            max_root_retries: 2,
-        }
+        RunConfig::builder()
+            .scale(scale)
+            .ranks(ranks)
+            .num_roots(3)
+            .validate(true)
+            .build()
     }
 
     fn rmat(&self) -> RmatParams {
         let mut p = RmatParams::graph500(self.scale, self.seed);
         p.edge_factor = self.edge_factor;
         p
+    }
+}
+
+/// Builder for [`RunConfig`] with every field defaulted, so adding a
+/// knob doesn't fan out to every literal construction site.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfigBuilder {
+    config: RunConfig,
+}
+
+impl Default for RunConfigBuilder {
+    fn default() -> Self {
+        RunConfigBuilder {
+            config: RunConfig {
+                scale: 9,
+                edge_factor: 16,
+                mesh: MeshShape::near_square(4),
+                thresholds: Thresholds::new(256, 64),
+                engine: EngineConfig::default(),
+                machine: MachineConfig::new_sunway(),
+                seed: 42,
+                num_roots: 3,
+                validate: false,
+                faults: FaultSpec::NONE,
+                max_root_retries: 2,
+                serve_batch: false,
+                serve_baseline: false,
+            },
+        }
+    }
+}
+
+impl RunConfigBuilder {
+    /// Graph 500 SCALE.
+    pub fn scale(mut self, scale: u32) -> Self {
+        self.config.scale = scale;
+        self
+    }
+
+    /// Edges per vertex.
+    pub fn edge_factor(mut self, edge_factor: u32) -> Self {
+        self.config.edge_factor = edge_factor;
+        self
+    }
+
+    /// Mesh from a rank count (near-square factorization).
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.config.mesh = MeshShape::near_square(ranks);
+        self
+    }
+
+    /// Explicit mesh shape.
+    pub fn mesh(mut self, mesh: MeshShape) -> Self {
+        self.config.mesh = mesh;
+        self
+    }
+
+    /// E/H degree thresholds.
+    pub fn thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.config.thresholds = thresholds;
+        self
+    }
+
+    /// Engine technique toggles.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Machine constants.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.config.machine = machine;
+        self
+    }
+
+    /// Generator seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Number of BFS roots.
+    pub fn num_roots(mut self, num_roots: usize) -> Self {
+        self.config.num_roots = num_roots;
+        self
+    }
+
+    /// Validate every traversal.
+    pub fn validate(mut self, validate: bool) -> Self {
+        self.config.validate = validate;
+        self
+    }
+
+    /// Fault-injection campaign.
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Per-root retry budget.
+    pub fn max_root_retries(mut self, max_root_retries: u32) -> Self {
+        self.config.max_root_retries = max_root_retries;
+        self
+    }
+
+    /// Route roots through the serve layer's batch path.
+    pub fn serve_batch(mut self, serve_batch: bool) -> Self {
+        self.config.serve_batch = serve_batch;
+        self
+    }
+
+    /// Also measure the sequential baseline on the serve path.
+    pub fn serve_baseline(mut self, serve_baseline: bool) -> Self {
+        self.config.serve_baseline = serve_baseline;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> RunConfig {
+        self.config
     }
 }
 
@@ -97,6 +228,9 @@ pub enum DriverError {
     NoConnectedRoot,
     /// The `SUNBFS_FAULT_PLAN` environment variable did not parse.
     InvalidFaultPlan(String),
+    /// The serve path could not build its resident graph session
+    /// (every load attempt lost a rank).
+    SessionLoad(String),
 }
 
 impl fmt::Display for DriverError {
@@ -114,6 +248,9 @@ impl fmt::Display for DriverError {
             }
             DriverError::InvalidFaultPlan(e) => {
                 write!(f, "invalid SUNBFS_FAULT_PLAN: {e}")
+            }
+            DriverError::SessionLoad(e) => {
+                write!(f, "serve session load failed: {e}")
             }
         }
     }
@@ -142,6 +279,9 @@ pub enum QuarantineReason {
         /// The rank failures observed on the final attempt.
         failures: Vec<RankFailure>,
     },
+    /// The serve layer's batch/fallback pipeline quarantined the query
+    /// (its own label and detail carried through).
+    Serve(sunbfs_serve::Quarantine),
 }
 
 impl QuarantineReason {
@@ -151,6 +291,7 @@ impl QuarantineReason {
             QuarantineReason::Engine(_) => "engine",
             QuarantineReason::Validation(_) => "validation",
             QuarantineReason::RankFailure { .. } => "rank_failure",
+            QuarantineReason::Serve(q) => q.label,
         }
     }
 
@@ -167,6 +308,7 @@ impl QuarantineReason {
                     .collect();
                 format!("{} attempts exhausted: {}", attempts, named.join("; "))
             }
+            QuarantineReason::Serve(q) => q.detail.clone(),
         }
     }
 }
@@ -283,6 +425,9 @@ pub struct BenchmarkReport {
     pub faults: FaultReport,
     /// Retransmit and checkpoint/resume bookkeeping.
     pub recovery: RecoveryReport,
+    /// Serve-layer observability when the roots went through the batch
+    /// path (`None` on the classic per-root driver loop).
+    pub serve: Option<ServeReport>,
 }
 
 impl BenchmarkReport {
@@ -413,6 +558,9 @@ pub fn run_benchmark_with_sleeper(
         Ok(Some(plan)) => plan,
         Ok(None) => FaultPlan::generate(&config.faults, config.mesh.num_ranks()),
     };
+    if config.serve_batch {
+        return run_benchmark_serve(config, &roots, plan);
+    }
     let fault_free = plan.is_empty();
     let cluster = Cluster::with_faults(config.mesh, config.machine, plan);
 
@@ -594,6 +742,133 @@ pub fn run_benchmark_with_sleeper(
         validated: full_edges.is_some() && faults.quarantined.is_empty(),
         faults,
         recovery,
+        serve: None,
+    })
+}
+
+/// The serve-path benchmark: load one resident session, submit every
+/// root to the [`BfsService`], drain, and translate the per-query
+/// results into the classic report shape (plus the `serve` section).
+///
+/// Per-query latency semantics: a batched rider's `sim_seconds` is its
+/// *batch's* simulated time — the whole point is that up to 64 riders
+/// share it. GTEPS per root is therefore a service-level number, not
+/// comparable 1:1 with the per-root loop's.
+fn run_benchmark_serve(
+    config: &RunConfig,
+    roots: &[u64],
+    plan: FaultPlan,
+) -> Result<BenchmarkReport, DriverError> {
+    let session_cfg = SessionConfig {
+        scale: config.scale,
+        edge_factor: config.edge_factor,
+        mesh: config.mesh,
+        thresholds: config.thresholds,
+        engine: config.engine,
+        machine: config.machine,
+        seed: config.seed,
+        max_load_attempts: 1 + config.max_root_retries,
+    };
+    let session = GraphSession::load(session_cfg, plan)
+        .map_err(|e| DriverError::SessionLoad(e.to_string()))?;
+    let n = session.num_vertices();
+    let partition_stats = session.partition_stats.clone();
+    let mut service = BfsService::new(
+        session,
+        ServeConfig {
+            queue_capacity: roots.len().max(1),
+            max_root_retries: config.max_root_retries,
+            measure_baseline: config.serve_baseline,
+            ..ServeConfig::default()
+        },
+    );
+    for &root in roots {
+        service
+            .submit(root)
+            .expect("capacity covers every root and pick_roots yields in-range roots");
+    }
+    let mut results = service.drain();
+    results.sort_by_key(|r| r.id);
+
+    let full_edges: Option<Vec<Edge>> = config
+        .validate
+        .then(|| sunbfs_rmat::generate_edges(&config.rmat()));
+    let mut runs = Vec::with_capacity(results.len());
+    let mut quarantined = Vec::new();
+    let mut outcomes = Vec::with_capacity(results.len());
+    for r in &results {
+        let push_quarantine = |reason: QuarantineReason, quarantined: &mut Vec<_>| {
+            quarantined.push(QuarantinedRoot {
+                root: r.root,
+                reason,
+            });
+            RootOutcome {
+                root: r.root,
+                attempts: 1,
+                quarantined: true,
+                iterations_salvaged: 0,
+            }
+        };
+        let parents = match (&r.status, &r.parents) {
+            (QueryStatus::Quarantined(q), _) => {
+                let o = push_quarantine(QuarantineReason::Serve(q.clone()), &mut quarantined);
+                outcomes.push(o);
+                continue;
+            }
+            (QueryStatus::Served, Some(parents)) => parents,
+            (QueryStatus::Served, None) => unreachable!("served queries carry a parent handle"),
+        };
+        let engine_traversed_edges = r.engine_traversed_edges;
+        let mut traversed_edges = engine_traversed_edges;
+        if let Some(edges) = &full_edges {
+            if let Err(error) = validate::validate_parents(n, edges, r.root, parents) {
+                let o = push_quarantine(QuarantineReason::Validation(error), &mut quarantined);
+                outcomes.push(o);
+                continue;
+            }
+            traversed_edges = validate::component_edges(edges, parents);
+        }
+        runs.push(RootRun {
+            root: r.root,
+            sim_seconds: r.sim_latency_s,
+            traversed_edges,
+            engine_traversed_edges,
+            visited_vertices: r.visited,
+            gteps: if r.sim_latency_s > 0.0 {
+                traversed_edges as f64 / r.sim_latency_s / 1e9
+            } else {
+                0.0
+            },
+            iterations: Vec::new(),
+            times: TimeAccumulator::new(),
+            comm: CommStats::new(),
+        });
+        outcomes.push(RootOutcome {
+            root: r.root,
+            attempts: 1,
+            quarantined: false,
+            iterations_salvaged: 0,
+        });
+    }
+    let faults = FaultReport {
+        injected: service.session().cluster().fault_log(),
+        outcomes,
+        quarantined,
+        total_retries: 0,
+    };
+    let recovery = RecoveryReport {
+        retransmit_log: service.session().cluster().retransmit_log(),
+        checkpoints_taken: 0,
+        iterations_salvaged: 0,
+    };
+    Ok(BenchmarkReport {
+        config: *config,
+        partition_stats,
+        runs,
+        validated: full_edges.is_some() && faults.quarantined.is_empty(),
+        faults,
+        recovery,
+        serve: Some(service.report()),
     })
 }
 

@@ -18,7 +18,10 @@
 //! * [`part`] — the 1.5D partitioner and its degenerate baselines,
 //! * [`framework`] — the §8 vertex-program framework
 //!   (BFS/SSSP/CC/PageRank over the same partition),
-//! * [`core`] — the BFS engine itself,
+//! * [`core`] — the BFS engine itself (single-source and the
+//!   bit-parallel multi-source batch variant),
+//! * [`serve`] — the BFS query service: a session-persistent partition
+//!   behind a bounded admission queue with multi-source batching,
 //! * [`driver`] — the end-to-end Graph 500 benchmark pipeline
 //!   (generate → partition → traverse × roots → validate → report).
 //!
@@ -41,5 +44,6 @@ pub use sunbfs_framework as framework;
 pub use sunbfs_net as net;
 pub use sunbfs_part as part;
 pub use sunbfs_rmat as rmat;
+pub use sunbfs_serve as serve;
 pub use sunbfs_sort as sort;
 pub use sunbfs_sunway as sunway;

@@ -29,7 +29,12 @@ use crate::driver::{BenchmarkReport, FaultReport, RecoveryReport, RootRun, RunCo
 /// checkpoints taken, iterations salvaged by resume), the per-root
 /// `iterations_salvaged` under `faults.roots`, and the per-iteration
 /// `end_op` collective counter.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: added the `serve` section (query-service observability: batch
+/// occupancy histogram, queue depths, per-query latencies, batched vs
+/// sequential roots/sec — `null` on the classic per-root driver path)
+/// and the `config.serve_batch` / `config.serve_baseline` knobs.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Ratio bin edges of the partition load-balance histogram: each rank's
 /// `total / mean` storage falls into one bin; the last bin is open.
@@ -52,6 +57,13 @@ impl BenchmarkReport {
             )
             .field("faults", faults_json(&self.faults))
             .field("recovery", recovery_json(&self.recovery))
+            .field(
+                "serve",
+                match &self.serve {
+                    Some(s) => s.to_json(),
+                    None => JsonValue::Null,
+                },
+            )
             .build()
     }
 }
@@ -142,6 +154,8 @@ fn config_json(c: &RunConfig) -> JsonValue {
                 .field("horizon", c.faults.horizon),
         )
         .field("max_root_retries", c.max_root_retries)
+        .field("serve_batch", c.serve_batch)
+        .field("serve_baseline", c.serve_baseline)
         .build()
 }
 

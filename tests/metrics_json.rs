@@ -127,6 +127,39 @@ fn recovery_json_schema_matches_golden_at_scale_9() {
 }
 
 #[test]
+fn serve_json_schema_matches_golden_at_scale_9() {
+    // The serve path fills the schema-v4 `serve` section (occupancy
+    // histogram, per-batch and per-query records, baseline comparison);
+    // the golden pins its skeleton. Two batches (batch_max 2, 3 roots)
+    // so the partial-flush shape is exercised too.
+    let cfg = RunConfig::builder()
+        .scale(9)
+        .ranks(4)
+        .num_roots(3)
+        .validate(true)
+        .serve_batch(true)
+        .serve_baseline(true)
+        .build();
+    let report = run_benchmark(&cfg).expect("serve benchmark must pass");
+    assert!(report.validated, "served trees must validate");
+    let serve = report.serve.as_ref().expect("serve section present");
+    assert_eq!(serve.served, 3);
+    assert!(serve.speedup().is_some(), "baseline requested");
+    check_against_golden(&report, "bench_schema_scale9_serve.txt");
+}
+
+#[test]
+fn classic_path_reports_a_null_serve_section() {
+    let report = run_benchmark(&RunConfig::small_test(9, 4)).expect("benchmark must pass");
+    assert!(report.serve.is_none());
+    let js = report.to_json().render();
+    assert!(js.contains("\"serve\":null"));
+    assert!(js.contains("\"schema_version\":4"));
+    assert!(js.contains("\"serve_batch\":false"));
+    assert!(js.contains("\"serve_baseline\":false"));
+}
+
+#[test]
 fn report_contains_acceptance_fields() {
     let report = run_benchmark(&RunConfig::small_test(9, 4)).expect("benchmark must pass");
     let js = report.to_json().render();

@@ -22,6 +22,8 @@ fn base_config(scale: u32, ranks: usize) -> RunConfig {
         validate: true,
         faults: FaultSpec::NONE,
         max_root_retries: 2,
+        serve_batch: false,
+        serve_baseline: false,
     }
 }
 
