@@ -147,18 +147,41 @@ impl Bitmap {
 
     /// Iterate over the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> OnesIter<'_> {
+        self.iter_ones_words(0, self.words.len())
+    }
+
+    /// Number of `u64` words backing the bitmap — the unit the worker
+    /// pool chunks scans on (one word = a 64-vertex block).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Iterate set-bit indices (global, ascending) of the word window
+    /// `[wstart, wend)`. This is the worker-pool entry point: chunking
+    /// a scan on disjoint word windows and concatenating the results in
+    /// window order reproduces [`Bitmap::iter_ones`] exactly.
+    pub fn iter_ones_words(&self, wstart: usize, wend: usize) -> OnesIter<'_> {
+        let wend = wend.min(self.words.len());
+        let wstart = wstart.min(wend);
         OnesIter {
-            words: &self.words,
+            words: &self.words[..wend],
             bits: self.bits,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            word_idx: wstart,
+            current: self.words.get(wstart).copied().unwrap_or(0),
         }
     }
 
     /// Iterate over set-bit indices within `[start, end)`.
+    ///
+    /// Word-indexed: only the words overlapping the range are visited,
+    /// so a short window over a huge bitmap costs O(window), not
+    /// O(len).
     pub fn iter_ones_range(&self, start: u64, end: u64) -> impl Iterator<Item = u64> + '_ {
         let end = end.min(self.bits);
-        self.iter_ones()
+        let wstart = (start / 64) as usize;
+        let wend = end.div_ceil(64) as usize;
+        self.iter_ones_words(wstart, wend)
             .skip_while(move |&i| i < start)
             .take_while(move |&i| i < end)
     }
@@ -291,6 +314,35 @@ mod tests {
             let expect = b.iter_ones_range(lo, hi).count() as u64;
             assert_eq!(b.count_ones_range(lo, hi), expect, "range [{lo},{hi})");
         }
+    }
+
+    #[test]
+    fn word_windows_tile_iter_ones() {
+        let mut b = Bitmap::new(1000);
+        for i in (0..1000).step_by(13) {
+            b.set(i);
+        }
+        let serial: Vec<u64> = b.iter_ones().collect();
+        // Any partition of the word range, concatenated in order, must
+        // reproduce the full iteration — the pool's determinism basis.
+        for window in [1usize, 3, 7, 16] {
+            let mut tiled = Vec::new();
+            let mut w = 0;
+            while w < b.num_words() {
+                tiled.extend(b.iter_ones_words(w, (w + window).min(b.num_words())));
+                w += window;
+            }
+            assert_eq!(tiled, serial, "window={window}");
+        }
+    }
+
+    #[test]
+    fn iter_ones_words_clamps_out_of_range() {
+        let mut b = Bitmap::new(100);
+        b.set(99);
+        assert_eq!(b.iter_ones_words(5, 99).count(), 0);
+        assert_eq!(b.iter_ones_words(0, usize::MAX).count(), 1);
+        assert_eq!(b.iter_ones_words(9, 3).count(), 0);
     }
 
     #[test]

@@ -11,13 +11,18 @@
 //!   hot paths where pulling in `rand` machinery would dominate,
 //! * [`timing`] — simulated-time accounting shared by the chip and
 //!   network cost models,
+//! * [`pool`] — the bounded intra-rank worker pool (the CPE analogue)
+//!   that the hot kernels route through, sized by `SUNBFS_WORKERS`,
 //! * [`json`] — hand-rolled JSON emission for the observability layer
 //!   (the build environment has no crates.io access, so no serde).
+
+#![warn(missing_docs)]
 
 pub mod bitmap;
 pub mod hist;
 pub mod json;
 pub mod machine;
+pub mod pool;
 pub mod rng;
 pub mod timing;
 pub mod types;
@@ -26,6 +31,7 @@ pub use bitmap::Bitmap;
 pub use hist::LogHistogram;
 pub use json::{JsonObject, JsonValue, ToJson};
 pub use machine::MachineConfig;
+pub use pool::PoolStats;
 pub use rng::{LabelScrambler, SplitMix64};
 pub use timing::{SimTime, TimeAccumulator};
 pub use types::{Edge, GlobalGraphHeader, VertexId, INVALID_VERTEX};

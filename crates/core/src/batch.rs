@@ -34,7 +34,7 @@
 //! scaled by the batch width — i.e. the decision uses the mean frontier
 //! density across the batch's roots.
 
-use sunbfs_common::{JsonValue, TimeAccumulator, ToJson, INVALID_VERTEX};
+use sunbfs_common::{pool, JsonValue, PoolStats, TimeAccumulator, ToJson, INVALID_VERTEX};
 use sunbfs_net::{CommStats, RankCtx, Scope};
 use sunbfs_part::RankPartition;
 use sunbfs_sunway::{ocs_sort_rma, OcsConfig, SegmentedBitvec};
@@ -42,7 +42,9 @@ use sunbfs_sunway::{ocs_sort_rma, OcsConfig, SegmentedBitvec};
 use crate::balance;
 use crate::config::{choose_crossing, choose_local, Direction, EngineConfig};
 use crate::costing;
-use crate::engine::{hub_sync_collective, range_bucket, EngineError, MAX_ITERATIONS};
+use crate::engine::{
+    hub_sync_collective, range_bucket, EngineError, MAX_ITERATIONS, SCAN_GRAIN_ITEMS,
+};
 
 /// Widest batch one frontier word can carry.
 pub const MAX_BATCH_ROOTS: usize = 64;
@@ -69,6 +71,9 @@ pub struct BatchIterationStats {
     /// Adjacency entries scanned on this rank (each scan serves the
     /// whole batch — the amortization at work).
     pub scanned_edges: u64,
+    /// Worker-pool activity across this iteration's scans on this rank
+    /// (the schema-v5 worker-scaling surface for the batch path).
+    pub pool: PoolStats,
 }
 
 impl ToJson for BatchIterationStats {
@@ -97,6 +102,7 @@ impl ToJson for BatchIterationStats {
                 ),
             )
             .field("scanned_edges", self.scanned_edges)
+            .field("pool", self.pool.to_json())
             .build()
     }
 }
@@ -206,6 +212,7 @@ struct BatchEngine<'a> {
     cols: usize,
     // Scratch.
     scanned: u64,
+    pool: PoolStats,
     iter: u32,
 }
 
@@ -263,6 +270,7 @@ impl<'a> BatchEngine<'a> {
             rows: topo.shape().rows,
             cols: topo.shape().cols,
             scanned: 0,
+            pool: PoolStats::default(),
             iter: 0,
         }
     }
@@ -325,6 +333,7 @@ impl<'a> BatchEngine<'a> {
 
             // ---- sub-iterations, §4.2 order ----
             self.scanned = 0;
+            self.pool = PoolStats::default();
             self.eh2eh(ctx, dirs[0]);
             self.sync_hubs(ctx, "EH2EH", None);
             self.e2l(ctx, dirs[1]);
@@ -361,6 +370,7 @@ impl<'a> BatchEngine<'a> {
 
             st.directions = final_dirs;
             st.scanned_edges = self.scanned;
+            st.pool = self.pool;
 
             // ---- closing allreduce: next/visited L pair counts;
             // doubles as the termination check ----
@@ -518,6 +528,12 @@ impl<'a> BatchEngine<'a> {
         self.scanned += edges;
     }
 
+    /// Attribute one worker-pool call to the current iteration.
+    #[inline]
+    fn note_pool(&mut self, stats: PoolStats) {
+        self.pool.merge(&stats);
+    }
+
     /// Record locally discovered hub bits (delegate-local parents).
     #[inline]
     fn discover_hub(&mut self, h: usize, mask: u64, parent: u64) {
@@ -575,15 +591,32 @@ impl<'a> BatchEngine<'a> {
                     frontier.iter().map(|&s| part.eh_by_src.degree(s)).collect();
                 let cpes = ctx.machine().cpes_per_node();
                 let max_chunk = balance::max_chunk_edges(&degrees, cpes);
+                // Pool-chunked over frontier sources; candidate
+                // (dst, mask, parent) triples applied in chunk order
+                // replay the serial word-merge order exactly.
+                let hub_curr = &self.hub_curr;
+                let (parts, pstats) =
+                    pool::run_ranges(frontier.len() as u64, SCAN_GRAIN_ITEMS, |_, r| {
+                        let mut edges = 0u64;
+                        let mut cand: Vec<(usize, u64, u64)> = Vec::new();
+                        for &s in &frontier[r.start as usize..r.end as usize] {
+                            let mask = hub_curr[s as usize];
+                            let parent = dir.vertex_of(s as u32);
+                            for &dst in part.eh_by_src.neighbors(s) {
+                                edges += 1;
+                                cand.push((dst as usize, mask, parent));
+                            }
+                        }
+                        (edges, cand)
+                    });
                 let mut edges = 0u64;
-                for &s in &frontier {
-                    let mask = self.hub_curr[s as usize];
-                    let parent = dir.vertex_of(s as u32);
-                    for &dst in part.eh_by_src.neighbors(s) {
-                        edges += 1;
-                        self.discover_hub(dst as usize, mask, parent);
+                for (e, cand) in parts {
+                    edges += e;
+                    for (dst, mask, parent) in cand {
+                        self.discover_hub(dst, mask, parent);
                     }
                 }
+                self.note_pool(pstats);
                 self.note_edges(edges);
                 costing::charge_balanced_push(
                     ctx,
@@ -609,30 +642,60 @@ impl<'a> BatchEngine<'a> {
                 let cols = self.cols as u64;
                 let seg_of =
                     move |s: u64| -> usize { ((s / cols) * cgs as u64 / slots) as usize % cgs };
-                let mut probes = vec![0u64; cgs];
-                let mut edges = 0u64;
-                let mut dst = my_row as u64;
-                while dst < nh {
-                    let di = dst as usize;
-                    let mut want = self.full & !self.hub_seen[di] & !self.hub_update[di];
-                    if want == 0 {
-                        dst += self.rows as u64;
-                        continue;
-                    }
-                    for &s in part.eh_by_dst.neighbors(dst) {
-                        edges += 1;
-                        probes[seg_of(s)] += 1;
-                        let got = self.hub_curr[s as usize] & want;
-                        if got != 0 {
-                            self.discover_hub(di, got, dir.vertex_of(s as u32));
-                            want &= !got;
-                            if want == 0 {
-                                break; // early exit once every bit found a parent
+                // Destination-partitioned chunks: each dst word is
+                // examined by exactly one chunk and its want/early-exit
+                // logic reads only pre-scan state, so replaying the
+                // per-chunk (dst, got, parent) events in chunk order is
+                // the serial scan.
+                let rows = self.rows as u64;
+                let my_row = my_row as u64;
+                let n_dst = if my_row < nh {
+                    (nh - my_row).div_ceil(rows)
+                } else {
+                    0
+                };
+                let full = self.full;
+                let hub_curr = &self.hub_curr;
+                let hub_seen = &self.hub_seen;
+                let hub_update = &self.hub_update;
+                let (parts, pstats) = pool::run_ranges(n_dst, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut probes = vec![0u64; cgs];
+                    let mut events: Vec<(usize, u64, u64)> = Vec::new();
+                    for k in r {
+                        let dst = my_row + k * rows;
+                        let di = dst as usize;
+                        let mut want = full & !hub_seen[di] & !hub_update[di];
+                        if want == 0 {
+                            continue;
+                        }
+                        for &s in part.eh_by_dst.neighbors(dst) {
+                            edges += 1;
+                            probes[seg_of(s)] += 1;
+                            let got = hub_curr[s as usize] & want;
+                            if got != 0 {
+                                events.push((di, got, dir.vertex_of(s as u32)));
+                                want &= !got;
+                                if want == 0 {
+                                    break; // early exit once every bit found a parent
+                                }
                             }
                         }
                     }
-                    dst += self.rows as u64;
+                    (edges, probes, events)
+                });
+                let mut edges = 0u64;
+                let mut probes = vec![0u64; cgs];
+                for (e, pr, events) in parts {
+                    edges += e;
+                    for (slot, add) in probes.iter_mut().zip(&pr) {
+                        *slot += *add;
+                    }
+                    for (di, got, parent) in events {
+                        self.discover_hub(di, got, parent);
+                    }
                 }
+                self.note_pool(pstats);
                 self.note_edges(edges);
                 costing::charge_eh_pull(ctx, "sub.EH2EH.pull", edges, &probes, segmenting);
             }
@@ -653,38 +716,73 @@ impl<'a> BatchEngine<'a> {
         let mut edges = 0u64;
         match d {
             Direction::Push => {
-                for e in 0..num_e {
-                    let mask = self.hub_curr[e as usize];
-                    if mask == 0 || part.el_by_hub.degree(e) == 0 {
-                        continue;
+                // Read-only scan of hub words; (li, mask, parent)
+                // candidates applied in chunk order replay serial
+                // discovery exactly (discover_local re-checks seen).
+                let hub_curr = &self.hub_curr;
+                let (parts, pstats) = pool::run_ranges(num_e, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut cand: Vec<(usize, u64, u64)> = Vec::new();
+                    for e in r {
+                        let mask = hub_curr[e as usize];
+                        if mask == 0 || part.el_by_hub.degree(e) == 0 {
+                            continue;
+                        }
+                        let parent = dir.vertex_of(e as u32);
+                        for &l in part.el_by_hub.neighbors(e) {
+                            edges += 1;
+                            cand.push(((l - range.start) as usize, mask, parent));
+                        }
                     }
-                    let parent = dir.vertex_of(e as u32);
-                    for &l in part.el_by_hub.neighbors(e) {
-                        edges += 1;
-                        self.discover_local((l - range.start) as usize, mask, parent);
+                    (edges, cand)
+                });
+                for (e, cand) in parts {
+                    edges += e;
+                    for (li, mask, parent) in cand {
+                        self.discover_local(li, mask, parent);
                     }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.E2L.push", edges);
             }
             Direction::Pull => {
-                for l in range.clone() {
-                    let li = (l - range.start) as usize;
-                    let mut want = self.full & !self.l_seen[li];
-                    if want == 0 || part.el_by_local.degree(l) == 0 {
-                        continue;
-                    }
-                    for &e in part.el_by_local.neighbors(l) {
-                        edges += 1;
-                        let got = self.hub_curr[e as usize] & want;
-                        if got != 0 {
-                            self.discover_local(li, got, dir.vertex_of(e as u32));
-                            want &= !got;
-                            if want == 0 {
-                                break;
+                // Destination-partitioned: each li is examined by one
+                // chunk, and its want word reads only pre-scan l_seen.
+                let local_n = range.end - range.start;
+                let full = self.full;
+                let l_seen = &self.l_seen;
+                let hub_curr = &self.hub_curr;
+                let (parts, pstats) = pool::run_ranges(local_n, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut events: Vec<(usize, u64, u64)> = Vec::new();
+                    for off in r {
+                        let l = range.start + off;
+                        let li = off as usize;
+                        let mut want = full & !l_seen[li];
+                        if want == 0 || part.el_by_local.degree(l) == 0 {
+                            continue;
+                        }
+                        for &e in part.el_by_local.neighbors(l) {
+                            edges += 1;
+                            let got = hub_curr[e as usize] & want;
+                            if got != 0 {
+                                events.push((li, got, dir.vertex_of(e as u32)));
+                                want &= !got;
+                                if want == 0 {
+                                    break;
+                                }
                             }
                         }
                     }
+                    (edges, events)
+                });
+                for (e, events) in parts {
+                    edges += e;
+                    for (li, got, parent) in events {
+                        self.discover_local(li, got, parent);
+                    }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.E2L.pull", edges);
             }
         }
@@ -705,38 +803,72 @@ impl<'a> BatchEngine<'a> {
         let mut edges = 0u64;
         match d {
             Direction::Push => {
-                for li in 0..self.l_curr.len() {
-                    let mask = self.l_curr[li];
-                    let l = range.start + li as u64;
-                    if mask == 0 || part.el_by_local.degree(l) == 0 {
-                        continue;
-                    }
-                    for &e in part.el_by_local.neighbors(l) {
-                        edges += 1;
-                        self.discover_hub(e as usize, mask, l);
+                // Read-only scan of L words; (hub, mask, parent)
+                // candidates applied in chunk order.
+                let l_curr = &self.l_curr;
+                let (parts, pstats) =
+                    pool::run_ranges(l_curr.len() as u64, SCAN_GRAIN_ITEMS, |_, r| {
+                        let mut edges = 0u64;
+                        let mut cand: Vec<(usize, u64, u64)> = Vec::new();
+                        for li in r {
+                            let mask = l_curr[li as usize];
+                            let l = range.start + li;
+                            if mask == 0 || part.el_by_local.degree(l) == 0 {
+                                continue;
+                            }
+                            for &e in part.el_by_local.neighbors(l) {
+                                edges += 1;
+                                cand.push((e as usize, mask, l));
+                            }
+                        }
+                        (edges, cand)
+                    });
+                for (e, cand) in parts {
+                    edges += e;
+                    for (ei, mask, l) in cand {
+                        self.discover_hub(ei, mask, l);
                     }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2E.push", edges);
             }
             Direction::Pull => {
-                for e in 0..num_e {
-                    let ei = e as usize;
-                    let mut want = self.full & !self.hub_seen[ei] & !self.hub_update[ei];
-                    if want == 0 || part.el_by_hub.degree(e) == 0 {
-                        continue;
-                    }
-                    for &l in part.el_by_hub.neighbors(e) {
-                        edges += 1;
-                        let got = self.l_curr[(l - range.start) as usize] & want;
-                        if got != 0 {
-                            self.discover_hub(ei, got, l);
-                            want &= !got;
-                            if want == 0 {
-                                break;
+                // Destination-partitioned over E hubs; want reads only
+                // pre-scan seen/update words.
+                let full = self.full;
+                let l_curr = &self.l_curr;
+                let hub_seen = &self.hub_seen;
+                let hub_update = &self.hub_update;
+                let (parts, pstats) = pool::run_ranges(num_e, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut events: Vec<(usize, u64, u64)> = Vec::new();
+                    for e in r {
+                        let ei = e as usize;
+                        let mut want = full & !hub_seen[ei] & !hub_update[ei];
+                        if want == 0 || part.el_by_hub.degree(e) == 0 {
+                            continue;
+                        }
+                        for &l in part.el_by_hub.neighbors(e) {
+                            edges += 1;
+                            let got = l_curr[(l - range.start) as usize] & want;
+                            if got != 0 {
+                                events.push((ei, got, l));
+                                want &= !got;
+                                if want == 0 {
+                                    break;
+                                }
                             }
                         }
                     }
+                    (edges, events)
+                });
+                for (e, events) in parts {
+                    edges += e;
+                    for (ei, got, l) in events {
+                        self.discover_hub(ei, got, l);
+                    }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2E.pull", edges);
             }
         }
@@ -759,43 +891,75 @@ impl<'a> BatchEngine<'a> {
         let mut msgs: Vec<(u64, u64, u64)> = Vec::new();
         match d {
             Direction::Push => {
-                for h in num_e..nh {
-                    let mask = self.hub_curr[h as usize];
-                    if mask == 0 || part.h2l_by_hub.degree(h) == 0 {
-                        continue;
+                // Read-only scan of hub words; per-chunk message lists
+                // concatenated in chunk order keep the serial
+                // h-ascending message order.
+                let hub_curr = &self.hub_curr;
+                let (parts, pstats) = pool::run_ranges(nh - num_e, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut out: Vec<(u64, u64, u64)> = Vec::new();
+                    for off in r {
+                        let h = num_e + off;
+                        let mask = hub_curr[h as usize];
+                        if mask == 0 || part.h2l_by_hub.degree(h) == 0 {
+                            continue;
+                        }
+                        let parent = dir.vertex_of(h as u32);
+                        for &l in part.h2l_by_hub.neighbors(h) {
+                            edges += 1;
+                            out.push((l, parent, mask));
+                        }
                     }
-                    let parent = dir.vertex_of(h as u32);
-                    for &l in part.h2l_by_hub.neighbors(h) {
-                        edges += 1;
-                        msgs.push((l, parent, mask));
-                    }
+                    (edges, out)
+                });
+                for (e, out) in parts {
+                    edges += e;
+                    msgs.extend(out);
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.H2L.push", edges);
                 self.exchange_and_apply_row(ctx, msgs, "H2L", "sub.H2L.push");
             }
             Direction::Pull => {
                 let row_seen = self.gather_row_seen(ctx);
                 let row_range = part.row_range(&topo);
-                for l in row_range.clone() {
-                    if part.h2l_by_local.degree(l) == 0 {
-                        continue;
-                    }
-                    let mut want = self.full & !row_seen[(l - row_range.start) as usize];
-                    if want == 0 {
-                        continue;
-                    }
-                    for &h in part.h2l_by_local.neighbors(l) {
-                        edges += 1;
-                        let got = self.hub_curr[h as usize] & want;
-                        if got != 0 {
-                            msgs.push((l, dir.vertex_of(h as u32), got));
-                            want &= !got;
-                            if want == 0 {
-                                break;
+                // Destination-partitioned over the row's L interval;
+                // want reads the pre-gathered row_seen snapshot only.
+                let row_n = row_range.end - row_range.start;
+                let full = self.full;
+                let hub_curr = &self.hub_curr;
+                let row_seen = &row_seen;
+                let (parts, pstats) = pool::run_ranges(row_n, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut out: Vec<(u64, u64, u64)> = Vec::new();
+                    for off in r {
+                        let l = row_range.start + off;
+                        if part.h2l_by_local.degree(l) == 0 {
+                            continue;
+                        }
+                        let mut want = full & !row_seen[off as usize];
+                        if want == 0 {
+                            continue;
+                        }
+                        for &h in part.h2l_by_local.neighbors(l) {
+                            edges += 1;
+                            let got = hub_curr[h as usize] & want;
+                            if got != 0 {
+                                out.push((l, dir.vertex_of(h as u32), got));
+                                want &= !got;
+                                if want == 0 {
+                                    break;
+                                }
                             }
                         }
                     }
+                    (edges, out)
+                });
+                for (e, out) in parts {
+                    edges += e;
+                    msgs.extend(out);
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.H2L.pull", edges);
                 self.exchange_and_apply_row(ctx, msgs, "H2L", "sub.H2L.pull");
             }
@@ -889,38 +1053,73 @@ impl<'a> BatchEngine<'a> {
         let mut edges = 0u64;
         match d {
             Direction::Push => {
-                for li in 0..self.l_curr.len() {
-                    let mask = self.l_curr[li];
-                    let l = range.start + li as u64;
-                    if mask == 0 || part.lh_by_local.degree(l) == 0 {
-                        continue;
-                    }
-                    for &h in part.lh_by_local.neighbors(l) {
-                        edges += 1;
-                        self.discover_hub(h as usize, mask, l);
+                // Read-only scan of L words; (hub, mask, parent)
+                // candidates applied in chunk order.
+                let l_curr = &self.l_curr;
+                let (parts, pstats) =
+                    pool::run_ranges(l_curr.len() as u64, SCAN_GRAIN_ITEMS, |_, r| {
+                        let mut edges = 0u64;
+                        let mut cand: Vec<(usize, u64, u64)> = Vec::new();
+                        for li in r {
+                            let mask = l_curr[li as usize];
+                            let l = range.start + li;
+                            if mask == 0 || part.lh_by_local.degree(l) == 0 {
+                                continue;
+                            }
+                            for &h in part.lh_by_local.neighbors(l) {
+                                edges += 1;
+                                cand.push((h as usize, mask, l));
+                            }
+                        }
+                        (edges, cand)
+                    });
+                for (e, cand) in parts {
+                    edges += e;
+                    for (hi, mask, l) in cand {
+                        self.discover_hub(hi, mask, l);
                     }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2H.push", edges);
             }
             Direction::Pull => {
-                for h in num_e..nh {
-                    let hi = h as usize;
-                    let mut want = self.full & !self.hub_seen[hi] & !self.hub_update[hi];
-                    if want == 0 || part.lh_by_hub.degree(h) == 0 {
-                        continue;
-                    }
-                    for &l in part.lh_by_hub.neighbors(h) {
-                        edges += 1;
-                        let got = self.l_curr[(l - range.start) as usize] & want;
-                        if got != 0 {
-                            self.discover_hub(hi, got, l);
-                            want &= !got;
-                            if want == 0 {
-                                break;
+                // Destination-partitioned over H hubs; want reads only
+                // pre-scan seen/update words.
+                let full = self.full;
+                let l_curr = &self.l_curr;
+                let hub_seen = &self.hub_seen;
+                let hub_update = &self.hub_update;
+                let (parts, pstats) = pool::run_ranges(nh - num_e, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut events: Vec<(usize, u64, u64)> = Vec::new();
+                    for off in r {
+                        let h = num_e + off;
+                        let hi = h as usize;
+                        let mut want = full & !hub_seen[hi] & !hub_update[hi];
+                        if want == 0 || part.lh_by_hub.degree(h) == 0 {
+                            continue;
+                        }
+                        for &l in part.lh_by_hub.neighbors(h) {
+                            edges += 1;
+                            let got = l_curr[(l - range.start) as usize] & want;
+                            if got != 0 {
+                                events.push((hi, got, l));
+                                want &= !got;
+                                if want == 0 {
+                                    break;
+                                }
                             }
                         }
                     }
+                    (edges, events)
+                });
+                for (e, events) in parts {
+                    edges += e;
+                    for (hi, got, l) in events {
+                        self.discover_hub(hi, got, l);
+                    }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2H.pull", edges);
             }
         }
@@ -942,18 +1141,33 @@ impl<'a> BatchEngine<'a> {
         let mut edges = 0u64;
         match d {
             Direction::Push => {
+                // Read-only scan of L words; per-chunk message lists
+                // concatenated in chunk order keep the serial
+                // l-ascending message order for the OCS sort.
+                let l_curr = &self.l_curr;
+                let (parts, pstats) =
+                    pool::run_ranges(l_curr.len() as u64, SCAN_GRAIN_ITEMS, |_, r| {
+                        let mut edges = 0u64;
+                        let mut out: Vec<(u64, u64, u64)> = Vec::new();
+                        for li in r {
+                            let mask = l_curr[li as usize];
+                            let l = range.start + li;
+                            if mask == 0 || part.l2l.degree(l) == 0 {
+                                continue;
+                            }
+                            for &v in part.l2l.neighbors(l) {
+                                edges += 1;
+                                out.push((v, l, mask));
+                            }
+                        }
+                        (edges, out)
+                    });
                 let mut msgs: Vec<(u64, u64, u64)> = Vec::new();
-                for li in 0..self.l_curr.len() {
-                    let mask = self.l_curr[li];
-                    let l = range.start + li as u64;
-                    if mask == 0 || part.l2l.degree(l) == 0 {
-                        continue;
-                    }
-                    for &v in part.l2l.neighbors(l) {
-                        edges += 1;
-                        msgs.push((v, l, mask));
-                    }
+                for (e, out) in parts {
+                    edges += e;
+                    msgs.extend(out);
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2L.push", edges);
                 let (col_buckets, rep1) = ocs_sort_rma(
                     &machine,
@@ -987,18 +1201,36 @@ impl<'a> BatchEngine<'a> {
                 // owners of their neighbors which of the wanted bits are
                 // in the frontier.
                 let p = ctx.nranks();
-                let mut queries: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
-                for l in range.clone() {
-                    let li = (l - range.start) as usize;
-                    let want = self.full & !self.l_seen[li];
-                    if want == 0 || part.l2l.degree(l) == 0 {
-                        continue;
+                // Query generation is a read-only scan of l_seen;
+                // per-chunk per-owner query lists merged in chunk order
+                // keep each owner's serial query order.
+                let local_n = range.end - range.start;
+                let full = self.full;
+                let l_seen = &self.l_seen;
+                let (parts, pstats) = pool::run_ranges(local_n, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut out: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
+                    for off in r {
+                        let l = range.start + off;
+                        let want = full & !l_seen[off as usize];
+                        if want == 0 || part.l2l.degree(l) == 0 {
+                            continue;
+                        }
+                        for &u in part.l2l.neighbors(l) {
+                            edges += 1;
+                            out[dist.owner(u)].push((u, l, want));
+                        }
                     }
-                    for &u in part.l2l.neighbors(l) {
-                        edges += 1;
-                        queries[dist.owner(u)].push((u, l, want));
+                    (edges, out)
+                });
+                let mut queries: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
+                for (e, out) in parts {
+                    edges += e;
+                    for (dst, batch) in queries.iter_mut().zip(out) {
+                        dst.extend(batch);
                     }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2L.pull", edges);
                 let incoming = ctx.alltoallv(Scope::World, "comm.alltoallv.L2L", queries);
                 let mut replies: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];

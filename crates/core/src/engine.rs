@@ -23,7 +23,7 @@
 //! earlier sub-iterations of the same iteration mark vertices visited
 //! before later ones run, so nothing already activated gets pulled.
 
-use sunbfs_common::{Bitmap, TimeAccumulator, INVALID_VERTEX};
+use sunbfs_common::{pool, Bitmap, TimeAccumulator, INVALID_VERTEX};
 use sunbfs_net::{CommStats, RankCtx, Scope};
 use sunbfs_part::RankPartition;
 use sunbfs_sunway::{ocs_sort_rma, OcsConfig, SegmentedBitvec};
@@ -37,6 +37,13 @@ use crate::stats::{BfsRunStats, IterationStats, SubIterationStats};
 /// Iteration cap that converts a non-shrinking frontier (an engine bug)
 /// into a clean error instead of an unbounded loop.
 pub(crate) const MAX_ITERATIONS: u32 = 1_000;
+
+/// Word grain for pool-chunked bitmap scans: workers claim blocks of at
+/// least this many words (64 vertices each), the CPE-block analogue.
+pub(crate) const SCAN_GRAIN_WORDS: u64 = 4;
+
+/// Item grain for pool-chunked frontier/vertex-range scans.
+pub(crate) const SCAN_GRAIN_ITEMS: u64 = 256;
 
 /// Errors one traversal can report. SPMD-consistent: the conditions are
 /// derived from replicated/global state, so every rank observes the
@@ -617,6 +624,12 @@ impl<'a> Engine<'a> {
         self.sub_stats[self.cur_sub].kernel.join_serial(report);
     }
 
+    /// Attribute one worker-pool call to the current sub-iteration.
+    #[inline]
+    fn note_pool(&mut self, stats: pool::PoolStats) {
+        self.sub_stats[self.cur_sub].pool.merge(&stats);
+    }
+
     /// Record a locally discovered hub (delegate-local parent).
     #[inline]
     fn discover_hub(&mut self, h: u64, parent: u64) -> bool {
@@ -666,14 +679,31 @@ impl<'a> Engine<'a> {
                     frontier.iter().map(|&s| part.eh_by_src.degree(s)).collect();
                 let cpes = ctx.machine().cpes_per_node();
                 let max_chunk = balance::max_chunk_edges(&degrees, cpes);
+                // Pool-chunked over frontier sources: each chunk scans
+                // its slice into a candidate list; applying the lists in
+                // chunk order replays the serial first-writer-wins
+                // discovery order exactly.
+                let (parts, pstats) =
+                    pool::run_ranges(frontier.len() as u64, SCAN_GRAIN_ITEMS, |_, r| {
+                        let mut edges = 0u64;
+                        let mut cand: Vec<(u64, u64)> = Vec::new();
+                        for &s in &frontier[r.start as usize..r.end as usize] {
+                            let parent = dir.vertex_of(s as u32);
+                            for &dst in part.eh_by_src.neighbors(s) {
+                                edges += 1;
+                                cand.push((dst, parent));
+                            }
+                        }
+                        (edges, cand)
+                    });
                 let mut edges = 0u64;
-                for &s in &frontier {
-                    let parent = dir.vertex_of(s as u32);
-                    for &dst in part.eh_by_src.neighbors(s) {
-                        edges += 1;
+                for (e, cand) in parts {
+                    edges += e;
+                    for (dst, parent) in cand {
                         self.discover_hub(dst, parent);
                     }
                 }
+                self.note_pool(pstats);
                 self.note_edges(edges);
                 costing::charge_balanced_push(
                     ctx,
@@ -708,28 +738,57 @@ impl<'a> Engine<'a> {
                 let cols = self.cols as u64;
                 let seg_of =
                     move |s: u64| -> usize { ((s / cols) * cgs as u64 / slots) as usize % cgs };
-                let mut probes = vec![0u64; cgs];
-                let mut edges = 0u64;
-                let mut dst = my_row as u64;
-                while dst < nh {
-                    if self.hub_visited.get(dst) || self.hub_update.get(dst) {
-                        dst += self.rows as u64;
-                        continue;
-                    }
-                    for &s in part.eh_by_dst.neighbors(dst) {
-                        edges += 1;
-                        probes[seg_of(s)] += 1;
-                        let active = match &seg_vec {
-                            Some(sv) => sv.get(s),
-                            None => self.hub_curr.get(s),
-                        };
-                        if active {
-                            self.discover_hub(dst, dir.vertex_of(s as u32));
-                            break; // early exit
+                // Pool-chunked over this row's strided destination
+                // sequence. Each destination is examined by exactly one
+                // chunk, and the early-exit test reads only pre-scan
+                // frontier/visited snapshots, so per-chunk discoveries
+                // merged in chunk order are byte-identical to serial.
+                let rows = self.rows as u64;
+                let n_dst = if (my_row as u64) < nh {
+                    (nh - my_row as u64).div_ceil(rows)
+                } else {
+                    0
+                };
+                let hub_visited = &self.hub_visited;
+                let hub_update = &self.hub_update;
+                let hub_curr = &self.hub_curr;
+                let seg_vec = &seg_vec;
+                let (parts, pstats) = pool::run_ranges(n_dst, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut probes = vec![0u64; cgs];
+                    let mut found: Vec<(u64, u64)> = Vec::new();
+                    for k in r {
+                        let dst = my_row as u64 + k * rows;
+                        if hub_visited.get(dst) || hub_update.get(dst) {
+                            continue;
+                        }
+                        for &s in part.eh_by_dst.neighbors(dst) {
+                            edges += 1;
+                            probes[seg_of(s)] += 1;
+                            let active = match seg_vec {
+                                Some(sv) => sv.get(s),
+                                None => hub_curr.get(s),
+                            };
+                            if active {
+                                found.push((dst, dir.vertex_of(s as u32)));
+                                break; // early exit
+                            }
                         }
                     }
-                    dst += self.rows as u64;
+                    (edges, probes, found)
+                });
+                let mut probes = vec![0u64; cgs];
+                let mut edges = 0u64;
+                for (e, p, found) in parts {
+                    edges += e;
+                    for (slot, add) in probes.iter_mut().zip(&p) {
+                        *slot += *add;
+                    }
+                    for (dst, parent) in found {
+                        self.discover_hub(dst, parent);
+                    }
                 }
+                self.note_pool(pstats);
                 self.note_edges(edges);
                 costing::charge_eh_pull(ctx, "sub.EH2EH.pull", edges, &probes, self.cfg.segmenting);
             }
@@ -751,32 +810,63 @@ impl<'a> Engine<'a> {
         match d {
             Direction::Push => {
                 let frontier: Vec<u64> = self.hub_curr.iter_ones_range(0, num_e).collect();
-                for e in frontier {
-                    if part.el_by_hub.degree(e) == 0 {
-                        continue;
-                    }
-                    let parent = dir.vertex_of(e as u32);
-                    for &l in part.el_by_hub.neighbors(e) {
-                        edges += 1;
-                        self.discover_local(l - range.start, parent);
+                let (parts, pstats) =
+                    pool::run_ranges(frontier.len() as u64, SCAN_GRAIN_ITEMS, |_, r| {
+                        let mut edges = 0u64;
+                        let mut cand: Vec<(u64, u64)> = Vec::new();
+                        for &e in &frontier[r.start as usize..r.end as usize] {
+                            if part.el_by_hub.degree(e) == 0 {
+                                continue;
+                            }
+                            let parent = dir.vertex_of(e as u32);
+                            for &l in part.el_by_hub.neighbors(e) {
+                                edges += 1;
+                                cand.push((l - range.start, parent));
+                            }
+                        }
+                        (edges, cand)
+                    });
+                for (e, cand) in parts {
+                    edges += e;
+                    for (li, parent) in cand {
+                        self.discover_local(li, parent);
                     }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.E2L.push", edges);
             }
             Direction::Pull => {
-                for l in range.clone() {
-                    let li = l - range.start;
-                    if self.l_visited.get(li) || part.el_by_local.degree(l) == 0 {
-                        continue;
-                    }
-                    for &e in part.el_by_local.neighbors(l) {
-                        edges += 1;
-                        if self.hub_curr.get(e) {
-                            self.discover_local(li, dir.vertex_of(e as u32));
-                            break; // early exit
+                // Destination-partitioned: each owned L index belongs to
+                // exactly one chunk, so snapshot reads + chunk-order
+                // merge reproduce the serial scan bit for bit.
+                let local_n = range.end - range.start;
+                let l_visited = &self.l_visited;
+                let hub_curr = &self.hub_curr;
+                let (parts, pstats) = pool::run_ranges(local_n, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut found: Vec<(u64, u64)> = Vec::new();
+                    for li in r {
+                        let l = range.start + li;
+                        if l_visited.get(li) || part.el_by_local.degree(l) == 0 {
+                            continue;
+                        }
+                        for &e in part.el_by_local.neighbors(l) {
+                            edges += 1;
+                            if hub_curr.get(e) {
+                                found.push((li, dir.vertex_of(e as u32)));
+                                break; // early exit
+                            }
                         }
                     }
+                    (edges, found)
+                });
+                for (e, found) in parts {
+                    edges += e;
+                    for (li, parent) in found {
+                        self.discover_local(li, parent);
+                    }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.E2L.pull", edges);
             }
         }
@@ -797,35 +887,64 @@ impl<'a> Engine<'a> {
         let mut edges = 0u64;
         match d {
             Direction::Push => {
-                let frontier: Vec<u64> = self.l_curr.iter_ones().collect();
-                for li in frontier {
-                    let l = range.start + li;
-                    if part.el_by_local.degree(l) == 0 {
-                        continue;
-                    }
-                    for &e in part.el_by_local.neighbors(l) {
-                        edges += 1;
-                        self.discover_hub(e, l);
+                // Pool-chunked on frontier bitmap *words*: workers claim
+                // 64-vertex blocks; window order = ascending bit order,
+                // so chunk-order merge replays the serial scan.
+                let l_curr = &self.l_curr;
+                let (parts, pstats) =
+                    pool::run_ranges(l_curr.num_words() as u64, SCAN_GRAIN_WORDS, |_, r| {
+                        let mut edges = 0u64;
+                        let mut cand: Vec<(u64, u64)> = Vec::new();
+                        for li in l_curr.iter_ones_words(r.start as usize, r.end as usize) {
+                            let l = range.start + li;
+                            if part.el_by_local.degree(l) == 0 {
+                                continue;
+                            }
+                            for &e in part.el_by_local.neighbors(l) {
+                                edges += 1;
+                                cand.push((e, l));
+                            }
+                        }
+                        (edges, cand)
+                    });
+                for (e, cand) in parts {
+                    edges += e;
+                    for (h, l) in cand {
+                        self.discover_hub(h, l);
                     }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2E.push", edges);
             }
             Direction::Pull => {
-                for e in 0..num_e {
-                    if self.hub_visited.get(e)
-                        || self.hub_update.get(e)
-                        || part.el_by_hub.degree(e) == 0
-                    {
-                        continue;
-                    }
-                    for &l in part.el_by_hub.neighbors(e) {
-                        edges += 1;
-                        if self.l_curr.get(l - range.start) {
-                            self.discover_hub(e, l);
-                            break; // early exit (per-rank)
+                let hub_visited = &self.hub_visited;
+                let hub_update = &self.hub_update;
+                let l_curr = &self.l_curr;
+                let (parts, pstats) = pool::run_ranges(num_e, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut found: Vec<(u64, u64)> = Vec::new();
+                    for e in r {
+                        if hub_visited.get(e) || hub_update.get(e) || part.el_by_hub.degree(e) == 0
+                        {
+                            continue;
+                        }
+                        for &l in part.el_by_hub.neighbors(e) {
+                            edges += 1;
+                            if l_curr.get(l - range.start) {
+                                found.push((e, l));
+                                break; // early exit (per-rank)
+                            }
                         }
                     }
+                    (edges, found)
+                });
+                for (e, found) in parts {
+                    edges += e;
+                    for (h, l) in found {
+                        self.discover_hub(h, l);
+                    }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2E.pull", edges);
             }
         }
@@ -849,16 +968,34 @@ impl<'a> Engine<'a> {
         match d {
             Direction::Push => {
                 if num_e < nh {
-                    for h in self.hub_curr.iter_ones_range(num_e, nh) {
-                        if part.h2l_by_hub.degree(h) == 0 {
-                            continue;
-                        }
-                        let parent = dir.vertex_of(h as u32);
-                        for &l in part.h2l_by_hub.neighbors(h) {
-                            edges += 1;
-                            msgs.push((l, parent));
-                        }
+                    // Pool-chunked on the H word window of the hub
+                    // frontier bitmap; the first window filters out the
+                    // E bits sharing its boundary word.
+                    let hub_curr = &self.hub_curr;
+                    let wstart = num_e / 64;
+                    let wend = nh.div_ceil(64);
+                    let (parts, pstats) =
+                        pool::run_ranges(wend - wstart, SCAN_GRAIN_WORDS, |_, r| {
+                            let mut edges = 0u64;
+                            let mut out: Vec<(u64, u64)> = Vec::new();
+                            let (ws, we) = ((wstart + r.start) as usize, (wstart + r.end) as usize);
+                            for h in hub_curr.iter_ones_words(ws, we).filter(|&h| h >= num_e) {
+                                if part.h2l_by_hub.degree(h) == 0 {
+                                    continue;
+                                }
+                                let parent = dir.vertex_of(h as u32);
+                                for &l in part.h2l_by_hub.neighbors(h) {
+                                    edges += 1;
+                                    out.push((l, parent));
+                                }
+                            }
+                            (edges, out)
+                        });
+                    for (e, out) in parts {
+                        edges += e;
+                        msgs.extend(out);
                     }
+                    self.note_pool(pstats);
                 }
                 costing::charge_scan(ctx, "sub.H2L.push", edges);
                 self.exchange_and_apply_row(ctx, msgs, "H2L", "sub.H2L.push");
@@ -868,18 +1005,32 @@ impl<'a> Engine<'a> {
                 // row where the edges live: gather the row's bitmaps.
                 let row_visited = self.gather_row_visited(ctx);
                 let row_range = part.row_range(&topo);
-                for l in row_range.clone() {
-                    if part.h2l_by_local.degree(l) == 0 || row_visited.get(l - row_range.start) {
-                        continue;
-                    }
-                    for &h in part.h2l_by_local.neighbors(l) {
-                        edges += 1;
-                        if self.hub_curr.get(h) {
-                            msgs.push((l, dir.vertex_of(h as u32)));
-                            break; // early exit at the edge's location
+                let hub_curr = &self.hub_curr;
+                let row_visited = &row_visited;
+                let row_n = row_range.end - row_range.start;
+                let (parts, pstats) = pool::run_ranges(row_n, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut out: Vec<(u64, u64)> = Vec::new();
+                    for off in r {
+                        let l = row_range.start + off;
+                        if part.h2l_by_local.degree(l) == 0 || row_visited.get(off) {
+                            continue;
+                        }
+                        for &h in part.h2l_by_local.neighbors(l) {
+                            edges += 1;
+                            if hub_curr.get(h) {
+                                out.push((l, dir.vertex_of(h as u32)));
+                                break; // early exit at the edge's location
+                            }
                         }
                     }
+                    (edges, out)
+                });
+                for (e, out) in parts {
+                    edges += e;
+                    msgs.extend(out);
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.H2L.pull", edges);
                 self.exchange_and_apply_row(ctx, msgs, "H2L", "sub.H2L.pull");
             }
@@ -982,35 +1133,62 @@ impl<'a> Engine<'a> {
         let mut edges = 0u64;
         match d {
             Direction::Push => {
-                let frontier: Vec<u64> = self.l_curr.iter_ones().collect();
-                for li in frontier {
-                    let l = range.start + li;
-                    if part.lh_by_local.degree(l) == 0 {
-                        continue;
-                    }
-                    for &h in part.lh_by_local.neighbors(l) {
-                        edges += 1;
+                let l_curr = &self.l_curr;
+                let (parts, pstats) =
+                    pool::run_ranges(l_curr.num_words() as u64, SCAN_GRAIN_WORDS, |_, r| {
+                        let mut edges = 0u64;
+                        let mut cand: Vec<(u64, u64)> = Vec::new();
+                        for li in l_curr.iter_ones_words(r.start as usize, r.end as usize) {
+                            let l = range.start + li;
+                            if part.lh_by_local.degree(l) == 0 {
+                                continue;
+                            }
+                            for &h in part.lh_by_local.neighbors(l) {
+                                edges += 1;
+                                cand.push((h, l));
+                            }
+                        }
+                        (edges, cand)
+                    });
+                for (e, cand) in parts {
+                    edges += e;
+                    for (h, l) in cand {
                         self.discover_hub(h, l);
                     }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2H.push", edges);
             }
             Direction::Pull => {
-                for h in num_e..nh {
-                    if self.hub_visited.get(h)
-                        || self.hub_update.get(h)
-                        || part.lh_by_hub.degree(h) == 0
-                    {
-                        continue;
-                    }
-                    for &l in part.lh_by_hub.neighbors(h) {
-                        edges += 1;
-                        if self.l_curr.get(l - range.start) {
-                            self.discover_hub(h, l);
-                            break; // early exit (per-rank)
+                let hub_visited = &self.hub_visited;
+                let hub_update = &self.hub_update;
+                let l_curr = &self.l_curr;
+                let (parts, pstats) = pool::run_ranges(nh - num_e, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut found: Vec<(u64, u64)> = Vec::new();
+                    for off in r {
+                        let h = num_e + off;
+                        if hub_visited.get(h) || hub_update.get(h) || part.lh_by_hub.degree(h) == 0
+                        {
+                            continue;
+                        }
+                        for &l in part.lh_by_hub.neighbors(h) {
+                            edges += 1;
+                            if l_curr.get(l - range.start) {
+                                found.push((h, l));
+                                break; // early exit (per-rank)
+                            }
                         }
                     }
+                    (edges, found)
+                });
+                for (e, found) in parts {
+                    edges += e;
+                    for (h, l) in found {
+                        self.discover_hub(h, l);
+                    }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2H.pull", edges);
             }
         }
@@ -1032,18 +1210,31 @@ impl<'a> Engine<'a> {
         let mut edges = 0u64;
         match d {
             Direction::Push => {
-                // Generate (dest, parent) messages from the frontier.
+                // Generate (dest, parent) messages from the frontier,
+                // pool-chunked on frontier bitmap words.
+                let l_curr = &self.l_curr;
+                let (parts, pstats) =
+                    pool::run_ranges(l_curr.num_words() as u64, SCAN_GRAIN_WORDS, |_, r| {
+                        let mut edges = 0u64;
+                        let mut out: Vec<(u64, u64)> = Vec::new();
+                        for li in l_curr.iter_ones_words(r.start as usize, r.end as usize) {
+                            let l = range.start + li;
+                            if part.l2l.degree(l) == 0 {
+                                continue;
+                            }
+                            for &v in part.l2l.neighbors(l) {
+                                edges += 1;
+                                out.push((v, l));
+                            }
+                        }
+                        (edges, out)
+                    });
                 let mut msgs: Vec<(u64, u64)> = Vec::new();
-                for li in self.l_curr.iter_ones() {
-                    let l = range.start + li;
-                    if part.l2l.degree(l) == 0 {
-                        continue;
-                    }
-                    for &v in part.l2l.neighbors(l) {
-                        edges += 1;
-                        msgs.push((v, l));
-                    }
+                for (e, out) in parts {
+                    edges += e;
+                    msgs.extend(out);
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2L.push", edges);
                 // Hop 1: sort by the forwarding node — the intersection
                 // of our column and the destination's row — and exchange
@@ -1085,17 +1276,31 @@ impl<'a> Engine<'a> {
                 // frontier. No remote early exit — the 1D limitation the
                 // paper notes (§2.1.2).
                 let p = ctx.nranks();
-                let mut queries: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
-                for l in range.clone() {
-                    let li = l - range.start;
-                    if self.l_visited.get(li) || part.l2l.degree(l) == 0 {
-                        continue;
+                let l_visited = &self.l_visited;
+                let local_n = range.end - range.start;
+                let (parts, pstats) = pool::run_ranges(local_n, SCAN_GRAIN_ITEMS, |_, r| {
+                    let mut edges = 0u64;
+                    let mut out: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+                    for li in r {
+                        let l = range.start + li;
+                        if l_visited.get(li) || part.l2l.degree(l) == 0 {
+                            continue;
+                        }
+                        for &u in part.l2l.neighbors(l) {
+                            edges += 1;
+                            out[dist.owner(u)].push((u, l));
+                        }
                     }
-                    for &u in part.l2l.neighbors(l) {
-                        edges += 1;
-                        queries[dist.owner(u)].push((u, l));
+                    (edges, out)
+                });
+                let mut queries: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+                for (e, out) in parts {
+                    edges += e;
+                    for (dst, batch) in queries.iter_mut().zip(out) {
+                        dst.extend(batch);
                     }
                 }
+                self.note_pool(pstats);
                 costing::charge_scan(ctx, "sub.L2L.pull", edges);
                 let incoming = ctx.alltoallv(Scope::World, "comm.alltoallv.L2L", queries);
                 let mut replies: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];

@@ -22,6 +22,8 @@
 //! Entry point: [`run_bfs`], called SPMD from every rank of a
 //! [`sunbfs_net::Cluster`] with the rank's [`sunbfs_part::RankPartition`].
 
+#![warn(missing_docs)]
+
 pub mod balance;
 pub mod batch;
 pub mod checkpoint;

@@ -1,6 +1,6 @@
 //! Per-run statistics: everything the evaluation figures read.
 
-use sunbfs_common::{JsonValue, TimeAccumulator, ToJson};
+use sunbfs_common::{JsonValue, PoolStats, TimeAccumulator, ToJson};
 use sunbfs_net::CommStats;
 use sunbfs_sunway::KernelReport;
 
@@ -23,6 +23,10 @@ pub struct SubIterationStats {
     /// Aggregated OCS on-chip kernel work (bucketing sorts) this
     /// component ran on this rank: times summed, counters summed.
     pub kernel: KernelReport,
+    /// Worker-pool activity for this component's scans on this rank:
+    /// how the scan was chunked and how many helper threads staffed it
+    /// (the schema-v5 worker-scaling surface).
+    pub pool: PoolStats,
 }
 
 impl ToJson for SubIterationStats {
@@ -32,6 +36,7 @@ impl ToJson for SubIterationStats {
             .field("refreshed", self.refreshed)
             .field("scanned_edges", self.scanned_edges)
             .field("kernel", self.kernel.to_json())
+            .field("pool", self.pool.to_json())
             .build()
     }
 }

@@ -35,6 +35,8 @@
 //! [`FailureKind::CorruptPayload`] only when the corruption persists
 //! past the budget.
 
+#![warn(missing_docs)]
+
 pub mod barrier;
 pub mod cluster;
 pub mod cost;

@@ -181,10 +181,15 @@ fn permute_speculative<T, K>(
     if workers == 1 {
         run_worker(0);
     } else {
+        // Staff the fixed worker partitions from the shared intra-rank
+        // pool: the partition count (and therefore the permutation
+        // result) is set by `workers` alone, while the number of OS
+        // threads actually running them follows the pool's global
+        // `SUNBFS_WORKERS` budget — byte-identical output either way.
         let run_worker = &run_worker;
-        std::thread::scope(|s| {
-            for w in 0..workers {
-                s.spawn(move || run_worker(w));
+        sunbfs_common::pool::run_ranges(workers as u64, 1, |_, r| {
+            for w in r {
+                run_worker(w as usize);
             }
         });
     }

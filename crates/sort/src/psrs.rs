@@ -46,7 +46,10 @@ where
     K: Fn(&T) -> u64 + Sync,
 {
     let p = ctx.nranks();
-    let workers = 2; // local PARADIS workers per simulated rank
+    // Local PARADIS *partitions* per simulated rank. Fixed so the
+    // permutation (hence the order of equal keys) never depends on how
+    // many pool threads actually staff it — see `permute_speculative`.
+    let workers = 2;
 
     // (1) local sort
     paradis::radix_sort_in_place(&mut local, &key, workers, key_bytes);

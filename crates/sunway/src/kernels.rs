@@ -18,7 +18,7 @@
 //! Each estimator returns a [`KernelReport`] so callers can charge the
 //! time and keep the byte/op counts for the experiment write-ups.
 
-use sunbfs_common::{JsonValue, MachineConfig, SimTime, ToJson};
+use sunbfs_common::{JsonValue, MachineConfig, PoolStats, SimTime, ToJson};
 
 /// Outcome of a simulated chip kernel: elapsed time plus traffic/op
 /// counters for reporting.
@@ -38,6 +38,10 @@ pub struct KernelReport {
     pub atomic_ops: u64,
     /// Items processed (kernel-specific meaning).
     pub items: u64,
+    /// Host worker-pool activity of the kernel's functional pass (how
+    /// the simulation itself was parallelized; no effect on simulated
+    /// time).
+    pub pool: PoolStats,
 }
 
 impl KernelReport {
@@ -62,6 +66,7 @@ impl KernelReport {
         self.gld_ops += other.gld_ops;
         self.atomic_ops += other.atomic_ops;
         self.items += other.items;
+        self.pool.merge(&other.pool);
     }
 
     /// Throughput in bytes/second over `payload_bytes` of useful data.
@@ -84,6 +89,7 @@ impl ToJson for KernelReport {
             .field("gld_ops", self.gld_ops)
             .field("atomic_ops", self.atomic_ops)
             .field("items", self.items)
+            .field("pool", self.pool.to_json())
             .build()
     }
 }

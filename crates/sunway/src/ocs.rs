@@ -25,7 +25,11 @@
 //! baseline.
 
 use crate::kernels::{self, KernelReport};
-use sunbfs_common::{MachineConfig, SimTime};
+use sunbfs_common::{pool, MachineConfig, SimTime};
+
+/// Producer/consumer indices per worker-pool chunk: coarse enough that
+/// a 32-CPE side splits into at most four chunks.
+const OCS_GRAIN_CPES: u64 = 8;
 
 /// Tuning knobs of the OCS-RMA kernel (§4.4 defaults).
 #[derive(Clone, Copy, Debug)]
@@ -94,8 +98,8 @@ pub fn ocs_sort_rma<T, F>(
     bucket_of: F,
 ) -> (Vec<Vec<T>>, KernelReport)
 where
-    T: Copy,
-    F: Fn(&T) -> usize,
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> usize + Sync,
 {
     assert!(num_buckets > 0, "need at least one bucket");
     assert!(cfg.producers > 0 && cfg.consumers > 0);
@@ -115,46 +119,94 @@ where
     // Consumer receive queues: per consumer, batches in arrival order.
     // (Per-CG partitioning only affects cost, not routing: every CG runs
     // the same producer/consumer layout on its block.)
+    //
+    // The producer and consumer sides each run as real worker-pool jobs
+    // (the host analogue of the CPE pairs): producers are chunked over
+    // producer indices — concatenating per-chunk flush lists in chunk
+    // order reproduces the serial producer-major arrival order — and
+    // consumers over consumer indices, which own disjoint bucket sets
+    // (`bucket % consumers`), so bucket contents are byte-identical to
+    // the serial pass for every worker count.
     let mut rma_flushes = 0u64;
+    let mut pool_stats = pool::PoolStats::default();
+    let bucket_of = &bucket_of;
     for cg_chunk in items.chunks(n.div_ceil(active_cgs).max(1)) {
-        let mut send: Vec<Vec<Vec<T>>> =
-            vec![vec![Vec::with_capacity(cap); cfg.consumers]; cfg.producers];
-        let mut recv: Vec<Vec<(usize, Vec<T>)>> = vec![Vec::new(); cfg.consumers];
-        // Producers take contiguous slices of the CG's block.
-        for (p, slice) in cg_chunk
-            .chunks(cg_chunk.len().div_ceil(cfg.producers).max(1))
-            .enumerate()
-        {
-            for &it in slice {
-                let b = bucket_of(&it);
-                assert!(b < num_buckets, "bucket {b} out of range {num_buckets}");
-                let c = b % cfg.consumers;
-                send[p][c].push(it);
-                if send[p][c].len() == cap {
-                    let batch = std::mem::replace(&mut send[p][c], Vec::with_capacity(cap));
-                    recv[c].push((p, batch));
-                    rma_flushes += 1;
+        let slice_len = cg_chunk.len().div_ceil(cfg.producers).max(1);
+        let n_producers = cg_chunk.len().div_ceil(slice_len).min(cfg.producers);
+        let (parts, pstats) = pool::run_ranges(n_producers as u64, OCS_GRAIN_CPES, |_, r| {
+            let mut flushes = 0u64;
+            // Cap-triggered and final partial flushes, kept apart so the
+            // merge can replay the serial order (all caps, then partials).
+            let mut caps: Vec<Vec<(usize, Vec<T>)>> = vec![Vec::new(); cfg.consumers];
+            let mut partials: Vec<Vec<(usize, Vec<T>)>> = vec![Vec::new(); cfg.consumers];
+            for p in r.start as usize..r.end as usize {
+                // Producers take contiguous slices of the CG's block.
+                let slice = &cg_chunk[p * slice_len..((p + 1) * slice_len).min(cg_chunk.len())];
+                let mut send: Vec<Vec<T>> = vec![Vec::with_capacity(cap); cfg.consumers];
+                for &it in slice {
+                    let b = bucket_of(&it);
+                    assert!(b < num_buckets, "bucket {b} out of range {num_buckets}");
+                    let c = b % cfg.consumers;
+                    send[c].push(it);
+                    if send[c].len() == cap {
+                        let batch = std::mem::replace(&mut send[c], Vec::with_capacity(cap));
+                        caps[c].push((p, batch));
+                        flushes += 1;
+                    }
                 }
+                for (c, batch) in send.into_iter().enumerate() {
+                    if !batch.is_empty() {
+                        partials[c].push((p, batch));
+                        flushes += 1;
+                    }
+                }
+            }
+            (flushes, caps, partials)
+        });
+        pool_stats.merge(&pstats);
+        let mut recv: Vec<Vec<(usize, Vec<T>)>> = vec![Vec::new(); cfg.consumers];
+        let mut partials_by_c: Vec<Vec<(usize, Vec<T>)>> = vec![Vec::new(); cfg.consumers];
+        for (flushes, caps, partials) in parts {
+            rma_flushes += flushes;
+            for (dst, batches) in recv.iter_mut().zip(caps) {
+                dst.extend(batches);
+            }
+            for (dst, batches) in partials_by_c.iter_mut().zip(partials) {
+                dst.extend(batches);
             }
         }
-        // Final partial flushes, fixed producer-major order.
-        for (p, bufs) in send.into_iter().enumerate() {
-            for (c, batch) in bufs.into_iter().enumerate() {
-                if !batch.is_empty() {
-                    recv[c].push((p, batch));
-                    rma_flushes += 1;
-                }
-            }
+        for (dst, batches) in recv.iter_mut().zip(partials_by_c) {
+            dst.extend(batches);
         }
         // Consumers drain in arrival order into the buckets they own.
-        for queue in recv {
-            for (_, batch) in queue {
-                for it in batch {
-                    buckets[bucket_of(&it)].push(it);
+        let recv = &recv;
+        let (drained, cstats) = pool::run_ranges(cfg.consumers as u64, OCS_GRAIN_CPES, |_, r| {
+            let mut out: Vec<(usize, Vec<T>)> = Vec::new();
+            for c in r.start as usize..r.end as usize {
+                // Buckets owned by consumer c: c, c + consumers, ...
+                let n_owned = num_buckets.saturating_sub(c).div_ceil(cfg.consumers);
+                let mut local: Vec<Vec<T>> = vec![Vec::new(); n_owned];
+                for (_, batch) in &recv[c] {
+                    for &it in batch {
+                        local[(bucket_of(&it) - c) / cfg.consumers].push(it);
+                    }
                 }
+                for (i, v) in local.into_iter().enumerate() {
+                    if !v.is_empty() {
+                        out.push((c + i * cfg.consumers, v));
+                    }
+                }
+            }
+            out
+        });
+        pool_stats.merge(&cstats);
+        for chunk in drained {
+            for (b, v) in chunk {
+                buckets[b].extend(v);
             }
         }
     }
+    report.pool = pool_stats;
 
     // ---- cost model -------------------------------------------------------
     let payload = n as u64 * item_bytes;

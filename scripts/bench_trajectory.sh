@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Committed perf trajectory: run the graph500 runner at a pinned small
+# scale — once serial (SUNBFS_WORKERS=1) and once parallel — and leave
+# the parallel run's BENCH_<scale>_<rows>x<cols>.json in the repository
+# root as the committed trajectory point for this revision.
+#
+# The smoke at the end asserts the schema-v5 `wall` section is present
+# and that the parallel run's wall-clock throughput clears the bar:
+#
+#   * on a machine with >= 4 cores, parallel must not lose to serial
+#     (the real acceptance target is >= 2x at SCALE 16; see docs/PERF.md);
+#   * on fewer cores the pool degrades to near-serial staffing, so only
+#     a generous overhead bound (>= serial/3) is enforced.
+#
+# Knobs (env): BENCH_SCALE (14), BENCH_RANKS (4), BENCH_ROOTS (4),
+# BENCH_WORKERS (4), BENCH_TIMEOUT (600 s per run, hard).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-14}"
+RANKS="${BENCH_RANKS:-4}"
+ROOTS="${BENCH_ROOTS:-4}"
+WORKERS="${BENCH_WORKERS:-4}"
+BENCH_TIMEOUT="${BENCH_TIMEOUT:-600}"
+
+# One number per report: the wall section's edges_per_second (it appears
+# exactly once in the schema — see src/metrics.rs `wall_json`).
+eps_of() {
+    sed -n 's/.*"edges_per_second": *\([0-9.eE+-]*\).*/\1/p' "$1" | head -1
+}
+
+echo "==> bench trajectory: SCALE=$SCALE ranks=$RANKS roots=$ROOTS workers=$WORKERS"
+cargo build -q --release --example graph500_runner
+
+SERIAL_JSON="$(mktemp)"
+echo "==> serial reference (SUNBFS_WORKERS=1)"
+SUNBFS_WORKERS=1 timeout "$BENCH_TIMEOUT" \
+    cargo run -q --release --example graph500_runner -- \
+    "$SCALE" "$RANKS" 256 64 "$ROOTS" --json "$SERIAL_JSON" > /dev/null
+
+echo "==> parallel run (SUNBFS_WORKERS=$WORKERS) -> committed artifact"
+SUNBFS_WORKERS="$WORKERS" timeout "$BENCH_TIMEOUT" \
+    cargo run -q --release --example graph500_runner -- \
+    "$SCALE" "$RANKS" 256 64 "$ROOTS" --json > /dev/null
+
+BENCH_JSON="$(ls BENCH_"$SCALE"_*.json | head -1)"
+echo "    wrote $BENCH_JSON"
+
+# --- smoke: wall section present and sane -----------------------------
+grep -Eq '"schema_version": *5' "$BENCH_JSON"
+grep -q '"wall":' "$BENCH_JSON"
+grep -q '"available_parallelism":' "$BENCH_JSON"
+grep -Eq '"workers": *'"$WORKERS" "$BENCH_JSON"
+grep -Eq '"edges_per_second": *[0-9]' "$BENCH_JSON"
+
+SERIAL_EPS="$(eps_of "$SERIAL_JSON")"
+PARALLEL_EPS="$(eps_of "$BENCH_JSON")"
+CORES="$(nproc 2>/dev/null || echo 1)"
+rm -f "$SERIAL_JSON"
+
+echo "    serial:   $SERIAL_EPS edges/s"
+echo "    parallel: $PARALLEL_EPS edges/s ($CORES cores visible)"
+
+awk -v s="$SERIAL_EPS" -v p="$PARALLEL_EPS" -v c="$CORES" 'BEGIN {
+    if (s <= 0 || p <= 0) { print "bench smoke: non-positive throughput"; exit 1 }
+    if (c >= 4 && p < s) {
+        printf "bench smoke: parallel (%g) lost to serial (%g) on %d cores\n", p, s, c
+        exit 1
+    }
+    if (p < s / 3) {
+        printf "bench smoke: parallel (%g) below overhead bound serial/3 (%g)\n", p, s / 3
+        exit 1
+    }
+}'
+
+echo "bench trajectory OK: $BENCH_JSON"

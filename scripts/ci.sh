@@ -10,11 +10,20 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test"
 cargo test -q --workspace
+
+# Worker-pool determinism: SUNBFS_WORKERS must never change an output
+# byte (parents and depths identical to the serial path at every worker
+# count) — the contract that makes the parallel kernels trustworthy.
+echo "==> worker-pool equivalence sweep (hard timeout)"
+timeout 600 cargo test -q --release --test parallel_equivalence
 
 # The fault suites prove every injected failure terminates in a typed
 # outcome instead of a hung barrier — so they run under a hard wall
@@ -37,7 +46,7 @@ SUNBFS_FAULT_PLAN="corrupt@1:3:bitflip" timeout 300 \
     cargo run -q --release --example graph500_runner -- 9 4 256 64 1 --json "$SMOKE_JSON" \
     > /dev/null
 grep -Eq '"retransmits": *[1-9]' "$SMOKE_JSON"
-grep -Eq '"schema_version": *4' "$SMOKE_JSON"
+grep -Eq '"schema_version": *5' "$SMOKE_JSON"
 rm -f "$SMOKE_JSON"
 
 # Serve suite: admission control, batch formation, fault containment,
@@ -62,5 +71,12 @@ grep -Eq '"reply":"loaded"' "$SERVE_OUT"
 grep -Eq '"reply":"result".*"status":"served"' "$SERVE_OUT"
 grep -Eq '"reply":"stats".*"batch_roots_per_sec"' "$SERVE_OUT"
 rm -f "$SERVE_OUT"
+
+# Perf trajectory: regenerate the committed BENCH_<scale>_<rows>x<cols>
+# artifact and smoke-check the schema-v5 wall-clock section plus the
+# parallel-vs-serial throughput bound (strict only on >= 4 cores; see
+# the script header and docs/PERF.md).
+echo "==> bench trajectory (hard timeout inside)"
+./scripts/bench_trajectory.sh
 
 echo "CI green."

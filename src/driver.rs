@@ -8,9 +8,9 @@
 //! harmonic mean the benchmark mandates.
 
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use sunbfs_common::{Edge, MachineConfig, TimeAccumulator};
+use sunbfs_common::{pool, Edge, MachineConfig, TimeAccumulator};
 use sunbfs_core::validate::{self, ValidationError};
 use sunbfs_core::{
     run_bfs_recoverable, BfsOutput, CheckpointStore, EngineConfig, EngineError, IterationStats,
@@ -409,6 +409,53 @@ pub struct RootRun {
     pub comm: CommStats,
 }
 
+/// Host wall-clock accounting of one benchmark run — real elapsed time
+/// on the machine running the simulation, as opposed to the simulated
+/// `SimTime` every other number is measured in. This is the worker-pool
+/// scaling surface: `SUNBFS_WORKERS` cannot change any simulated
+/// metric (determinism contract), so its win shows up here.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WallClockReport {
+    /// Worker-pool size the run executed with (`SUNBFS_WORKERS`).
+    pub workers: u64,
+    /// Hardware threads the host reported
+    /// ([`std::thread::available_parallelism`]); scaling beyond this is
+    /// not physically possible.
+    pub available_parallelism: u64,
+    /// Wall-clock seconds of the whole benchmark (generation,
+    /// partitioning, traversals, validation, reporting).
+    pub total_seconds: f64,
+    /// Wall-clock seconds inside the SPMD phases (partition build +
+    /// BFS traversals) — the part the worker pool accelerates.
+    pub bfs_seconds: f64,
+    /// Traversed edges summed over surviving roots (numerator of
+    /// `edges_per_second`).
+    pub traversed_edges: u64,
+    /// Real traversed-edges-per-second over `bfs_seconds` — the
+    /// wall-clock throughput `scripts/bench_trajectory.sh` tracks.
+    pub edges_per_second: f64,
+}
+
+impl WallClockReport {
+    fn new(total_seconds: f64, bfs_seconds: f64, runs: &[RootRun]) -> Self {
+        let traversed_edges: u64 = runs.iter().map(|r| r.traversed_edges).sum();
+        WallClockReport {
+            workers: pool::workers() as u64,
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+            total_seconds,
+            bfs_seconds,
+            traversed_edges,
+            edges_per_second: if bfs_seconds > 0.0 {
+                traversed_edges as f64 / bfs_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
 /// A full benchmark report.
 #[derive(Clone, Debug)]
 pub struct BenchmarkReport {
@@ -428,6 +475,8 @@ pub struct BenchmarkReport {
     /// Serve-layer observability when the roots went through the batch
     /// path (`None` on the classic per-root driver loop).
     pub serve: Option<ServeReport>,
+    /// Host wall-clock accounting (real time, not simulated time).
+    pub wall: WallClockReport,
 }
 
 impl BenchmarkReport {
@@ -549,6 +598,7 @@ pub fn run_benchmark_with_sleeper(
     config: &RunConfig,
     sleep: &mut dyn FnMut(Duration),
 ) -> Result<BenchmarkReport, DriverError> {
+    let wall_start = Instant::now();
     let params = config.rmat();
     let n = params.num_vertices();
     let p = config.mesh.num_ranks() as u64;
@@ -559,7 +609,7 @@ pub fn run_benchmark_with_sleeper(
         Ok(None) => FaultPlan::generate(&config.faults, config.mesh.num_ranks()),
     };
     if config.serve_batch {
-        return run_benchmark_serve(config, &roots, plan);
+        return run_benchmark_serve(config, &roots, plan, wall_start);
     }
     let fault_free = plan.is_empty();
     let cluster = Cluster::with_faults(config.mesh, config.machine, plan);
@@ -569,8 +619,10 @@ pub fn run_benchmark_with_sleeper(
     // A root's engine error does NOT short-circuit the batch — the
     // error is replicated, collectives stay in lock-step, and the
     // remaining roots still run.
+    let bfs_wall = std::cell::Cell::new(0.0f64);
     let spmd = |batch: &[u64], checkpoints: Option<&CheckpointStore>| {
-        cluster.run_fallible(|ctx| {
+        let t = Instant::now();
+        let out = cluster.run_fallible(|ctx| {
             let chunk = sunbfs_rmat::generate_chunk(&params, ctx.rank() as u64, p);
             let part = build_1p5d(ctx, n, &chunk, config.thresholds);
             drop(chunk);
@@ -579,7 +631,9 @@ pub fn run_benchmark_with_sleeper(
                 .map(|&root| run_bfs_recoverable(ctx, &part, root, &config.engine, checkpoints))
                 .collect();
             (part.stats, outputs)
-        })
+        });
+        bfs_wall.set(bfs_wall.get() + t.elapsed().as_secs_f64());
+        out
     };
 
     let mut data: Vec<Option<Result<Vec<BfsOutput>, QuarantineReason>>> =
@@ -735,6 +789,7 @@ pub fn run_benchmark_with_sleeper(
         checkpoints_taken,
         iterations_salvaged,
     };
+    let wall = WallClockReport::new(wall_start.elapsed().as_secs_f64(), bfs_wall.get(), &runs);
     Ok(BenchmarkReport {
         config: *config,
         partition_stats: partition_stats.unwrap_or_default(),
@@ -743,6 +798,7 @@ pub fn run_benchmark_with_sleeper(
         faults,
         recovery,
         serve: None,
+        wall,
     })
 }
 
@@ -758,6 +814,7 @@ fn run_benchmark_serve(
     config: &RunConfig,
     roots: &[u64],
     plan: FaultPlan,
+    wall_start: Instant,
 ) -> Result<BenchmarkReport, DriverError> {
     let session_cfg = SessionConfig {
         scale: config.scale,
@@ -769,6 +826,7 @@ fn run_benchmark_serve(
         seed: config.seed,
         max_load_attempts: 1 + config.max_root_retries,
     };
+    let bfs_wall_start = Instant::now();
     let session = GraphSession::load(session_cfg, plan)
         .map_err(|e| DriverError::SessionLoad(e.to_string()))?;
     let n = session.num_vertices();
@@ -789,6 +847,7 @@ fn run_benchmark_serve(
     }
     let mut results = service.drain();
     results.sort_by_key(|r| r.id);
+    let bfs_wall = bfs_wall_start.elapsed().as_secs_f64();
 
     let full_edges: Option<Vec<Edge>> = config
         .validate
@@ -861,6 +920,7 @@ fn run_benchmark_serve(
         checkpoints_taken: 0,
         iterations_salvaged: 0,
     };
+    let wall = WallClockReport::new(wall_start.elapsed().as_secs_f64(), bfs_wall, &runs);
     Ok(BenchmarkReport {
         config: *config,
         partition_stats,
@@ -869,6 +929,7 @@ fn run_benchmark_serve(
         faults,
         recovery,
         serve: Some(service.report()),
+        wall,
     })
 }
 

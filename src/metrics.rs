@@ -16,7 +16,9 @@ use sunbfs_net::MeshShape;
 use sunbfs_part::ComponentStats;
 use sunbfs_sunway::KernelReport;
 
-use crate::driver::{BenchmarkReport, FaultReport, RecoveryReport, RootRun, RunConfig};
+use crate::driver::{
+    BenchmarkReport, FaultReport, RecoveryReport, RootRun, RunConfig, WallClockReport,
+};
 
 /// Bump when the JSON layout changes shape (adding fields is a bump
 /// too: the golden test pins the exact skeleton).
@@ -34,7 +36,13 @@ use crate::driver::{BenchmarkReport, FaultReport, RecoveryReport, RootRun, RunCo
 /// occupancy histogram, queue depths, per-query latencies, batched vs
 /// sequential roots/sec — `null` on the classic per-root driver path)
 /// and the `config.serve_batch` / `config.serve_baseline` knobs.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: added the `wall` section (host wall-clock time and real
+/// traversed-edges/sec — the `SUNBFS_WORKERS` scaling surface, since
+/// simulated metrics are worker-count invariant by contract) and the
+/// per-kernel `pool` worker-scaling counters inside every
+/// sub-iteration and `kernel_totals` record.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Ratio bin edges of the partition load-balance histogram: each rank's
 /// `total / mean` storage falls into one bin; the last bin is open.
@@ -64,8 +72,23 @@ impl BenchmarkReport {
                     None => JsonValue::Null,
                 },
             )
+            .field("wall", wall_json(&self.wall))
             .build()
     }
+}
+
+/// The host wall-clock section: real elapsed time and real
+/// traversed-edges/sec. The only section `SUNBFS_WORKERS` is allowed to
+/// change — every simulated number is worker-count invariant.
+fn wall_json(w: &WallClockReport) -> JsonValue {
+    JsonValue::object()
+        .field("workers", w.workers)
+        .field("available_parallelism", w.available_parallelism)
+        .field("total_seconds", w.total_seconds)
+        .field("bfs_seconds", w.bfs_seconds)
+        .field("traversed_edges", w.traversed_edges)
+        .field("edges_per_second", w.edges_per_second)
+        .build()
 }
 
 /// The self-healing section: what the exchange layer retransmitted and

@@ -154,7 +154,7 @@ fn classic_path_reports_a_null_serve_section() {
     assert!(report.serve.is_none());
     let js = report.to_json().render();
     assert!(js.contains("\"serve\":null"));
-    assert!(js.contains("\"schema_version\":4"));
+    assert!(js.contains("\"schema_version\":5"));
     assert!(js.contains("\"serve_batch\":false"));
     assert!(js.contains("\"serve_baseline\":false"));
 }
