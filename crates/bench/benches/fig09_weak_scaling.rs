@@ -37,6 +37,8 @@ fn main() {
             max_root_retries: 2,
             serve_batch: false,
             serve_baseline: false,
+            save_graph: None,
+            load_graph: None,
         };
         let wall = std::time::Instant::now();
         let report = run_benchmark(&cfg).expect("benchmark must pass");

@@ -37,6 +37,8 @@ fn main() {
             max_root_retries: 2,
             serve_batch: false,
             serve_baseline: false,
+            save_graph: None,
+            load_graph: None,
         };
         let report = run_benchmark(&cfg).expect("benchmark must pass");
         let groups = group_by_commtype(&report.total_times());

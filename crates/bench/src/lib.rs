@@ -61,6 +61,8 @@ pub fn run_config(
         max_root_retries: 2,
         serve_batch: false,
         serve_baseline: false,
+        save_graph: None,
+        load_graph: None,
     }
 }
 

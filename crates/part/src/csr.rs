@@ -83,6 +83,48 @@ impl Csr {
         self.targets = new_targets;
     }
 
+    /// Rebuild a CSR from its raw arrays (the persistent-store decode
+    /// path). The arrays must already satisfy the CSR invariants —
+    /// `offsets` non-empty, starting at 0, non-decreasing, and ending
+    /// at `targets.len()`; callers deserializing untrusted bytes must
+    /// validate *before* constructing (the store does), because a
+    /// violated invariant here is a panic, not a typed error.
+    pub fn from_raw(key_base: u64, offsets: Vec<u64>, targets: Vec<u64>) -> Csr {
+        assert!(
+            !offsets.is_empty(),
+            "offsets must hold num_keys + 1 entries"
+        );
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len() as u64,
+            "last offset must equal the target count"
+        );
+        Csr {
+            key_base,
+            offsets,
+            targets,
+        }
+    }
+
+    /// The raw offset array (`num_keys + 1` entries, first 0, last
+    /// `num_edges`). Exposed for serialization.
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw target array, concatenated per-key adjacency lists.
+    /// Exposed for serialization.
+    #[inline]
+    pub fn targets(&self) -> &[u64] {
+        &self.targets
+    }
+
     /// First key of the range.
     #[inline]
     pub fn key_base(&self) -> u64 {

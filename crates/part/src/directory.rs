@@ -105,6 +105,36 @@ impl HubDirectory {
         }
     }
 
+    /// Rebuild a directory from its serialized parts: the hub table in
+    /// its canonical (already sorted) order plus the E-class count.
+    /// The reverse index is rederived, so a round-tripped directory is
+    /// structurally identical to the one that was saved. `num_e` must
+    /// not exceed the table length.
+    pub fn from_parts(num_e: u32, hubs: Vec<(VertexId, u32)>) -> Self {
+        assert!(
+            (num_e as usize) <= hubs.len(),
+            "num_e {num_e} exceeds hub count {}",
+            hubs.len()
+        );
+        let hub_of = hubs
+            .iter()
+            .enumerate()
+            .map(|(i, (v, _))| (*v, i as u32))
+            .collect();
+        HubDirectory {
+            num_e,
+            hubs,
+            hub_of,
+        }
+    }
+
+    /// The hub table in hub-id order (`(original vertex, degree)`).
+    /// Exposed for serialization.
+    #[inline]
+    pub fn hubs(&self) -> &[(VertexId, u32)] {
+        &self.hubs
+    }
+
     /// An empty directory (no hubs; pure 1D partitioning).
     pub fn empty() -> Self {
         HubDirectory {

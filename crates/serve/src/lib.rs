@@ -8,7 +8,10 @@
 //!   generation and the 1.5D partition are built once and reused by
 //!   every query; the simulated cluster survives across runs, and
 //!   transient faults consumed by one query never invalidate the
-//!   partition.
+//!   partition. A session can also be [saved](GraphSession::save) to
+//!   and [opened](GraphSession::open) from the `sunbfs-store` paged
+//!   file format (`docs/STORE.md`), so a restart pays file-open time
+//!   instead of rebuild time ([`GraphSession::open_or_build`]).
 //! * [`run_bfs_batch`](sunbfs_core::run_bfs_batch) (in `sunbfs-core`) —
 //!   the **bit-parallel multi-source engine**: up to 64 roots share one
 //!   traversal, packed as a `u64` frontier word per vertex, so the
@@ -34,4 +37,5 @@ pub use report::{occupancy_bucket, BatchRecord, QueryRecord, ServeReport, OCCUPA
 pub use service::{
     BfsService, Quarantine, QueryId, QueryResult, QueryStatus, RejectReason, ServeConfig,
 };
-pub use session::{GraphSession, LoadError, SessionConfig};
+pub use session::{GraphSession, LoadError, SessionConfig, SessionError, StoreActivity};
+pub use sunbfs_store::{StoreError, StoreHeader, StoreInfo};

@@ -6,10 +6,12 @@ use sunbfs_common::{JsonValue, ToJson};
 /// Power-of-two occupancy buckets: 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64.
 pub const OCCUPANCY_BUCKETS: usize = 7;
 
-/// Bucket index for a batch of `occ` riders (`occ ≥ 1`).
+/// Bucket index for a batch of `occ` riders (`occ ≥ 1`). Occupancies
+/// past the last bucket's lower bound clamp into the last bucket — a
+/// modulo here would wrap occ = 128 back to the `"1"` bucket.
 pub fn occupancy_bucket(occ: usize) -> usize {
     debug_assert!(occ >= 1);
-    (usize::BITS - 1 - occ.max(1).leading_zeros()) as usize % OCCUPANCY_BUCKETS
+    ((usize::BITS - 1 - occ.max(1).leading_zeros()) as usize).min(OCCUPANCY_BUCKETS - 1)
 }
 
 /// Human-readable bucket labels, index-aligned with the histogram.
@@ -131,7 +133,11 @@ pub struct ServeReport {
     pub sequential_sim_seconds: Option<f64>,
     /// Simulated seconds the session's partition build took.
     pub build_sim_seconds: f64,
-    /// SPMD attempts the session load spent (1 = clean).
+    /// Simulated seconds across *all* session build attempts, failed
+    /// ones included (≥ `build_sim_seconds` when the load retried).
+    pub load_sim_seconds: f64,
+    /// SPMD attempts the session load spent (1 = clean, 0 = opened
+    /// from a persistent store file).
     pub load_attempts: u32,
 }
 
@@ -214,6 +220,7 @@ impl ToJson for ServeReport {
                 },
             )
             .field("build_sim_seconds", self.build_sim_seconds)
+            .field("load_sim_seconds", self.load_sim_seconds)
             .field("load_attempts", u64::from(self.load_attempts))
             .field(
                 "batches",
@@ -245,6 +252,18 @@ mod tests {
         assert_eq!(occupancy_bucket(32), 5);
         assert_eq!(occupancy_bucket(63), 5);
         assert_eq!(occupancy_bucket(64), 6);
+    }
+
+    #[test]
+    fn occupancy_clamps_instead_of_wrapping() {
+        // Regression: `% OCCUPANCY_BUCKETS` wrapped occ > 64 back to
+        // bucket 0 ("1"); large batches must clamp to the last bucket.
+        assert_eq!(occupancy_bucket(1), 0);
+        assert_eq!(occupancy_bucket(2), 1);
+        assert_eq!(occupancy_bucket(63), 5);
+        assert_eq!(occupancy_bucket(64), 6);
+        assert_eq!(occupancy_bucket(65), 6);
+        assert_eq!(occupancy_bucket(128), 6);
     }
 
     #[test]

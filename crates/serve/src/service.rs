@@ -201,6 +201,7 @@ impl BfsService {
             batch_max: cfg.batch_max,
             flush_deadline: cfg.flush_deadline,
             build_sim_seconds: session.build_sim_seconds,
+            load_sim_seconds: session.load_sim_seconds,
             load_attempts: session.load_attempts,
             ..ServeReport::default()
         };

@@ -10,8 +10,22 @@
 //! of queries — and because planned fault events fire at most once per
 //! cluster lifetime, a query that loses a rank can simply be retried on
 //! the healed cluster without touching the resident partition.
+//!
+//! The build is no longer the only way in: [`GraphSession::save`]
+//! serializes the resident partition into the paged, checksummed
+//! `sunbfs-store` file format, [`GraphSession::open`] loads one back
+//! (refusing damage or a header that disagrees with the requested
+//! [`SessionConfig`] with a typed error), and
+//! [`GraphSession::open_or_build`] is the restart-economics entry
+//! point: open the file when it matches, otherwise build once and
+//! save for next time. What happened is recorded in
+//! [`StoreActivity`] so reports can show cold-build versus warm-open
+//! wall seconds.
 
-use sunbfs_common::MachineConfig;
+use std::path::Path;
+use std::time::Instant;
+
+use sunbfs_common::{JsonValue, MachineConfig, ToJson};
 use sunbfs_core::{
     run_bfs, run_bfs_batch, run_bfs_recoverable, BatchOutput, BfsOutput, CheckpointStore,
     EngineConfig, EngineError,
@@ -19,6 +33,7 @@ use sunbfs_core::{
 use sunbfs_net::{Cluster, FaultPlan, MeshShape, RankFailure};
 use sunbfs_part::{build_1p5d, ComponentStats, RankPartition, Thresholds, VertexDistribution};
 use sunbfs_rmat::RmatParams;
+use sunbfs_store::{StoreError, StoreHeader, StoreInfo};
 
 /// Everything a session needs to materialize its graph.
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +79,22 @@ impl SessionConfig {
         p.edge_factor = self.edge_factor;
         p
     }
+
+    /// The store-file header this configuration demands — what
+    /// [`GraphSession::open`] checks a file against before trusting
+    /// its graph.
+    pub fn store_header(&self) -> StoreHeader {
+        StoreHeader {
+            scale: u64::from(self.scale),
+            edge_factor: u64::from(self.edge_factor),
+            mesh_rows: self.mesh.rows as u64,
+            mesh_cols: self.mesh.cols as u64,
+            e_threshold: u64::from(self.thresholds.e),
+            h_threshold: u64::from(self.thresholds.h),
+            seed: self.seed,
+            num_ranks: self.mesh.num_ranks() as u64,
+        }
+    }
 }
 
 /// Loading the resident graph failed on every allowed attempt.
@@ -88,6 +119,78 @@ impl std::fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
+/// Opening or building a session failed.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The fresh build lost ranks on every allowed attempt.
+    Load(LoadError),
+    /// The store file was damaged, mismatched, or unwritable.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Load(e) => e.fmt(f),
+            SessionError::Store(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<LoadError> for SessionError {
+    fn from(e: LoadError) -> Self {
+        SessionError::Load(e)
+    }
+}
+
+impl From<StoreError> for SessionError {
+    fn from(e: StoreError) -> Self {
+        SessionError::Store(e)
+    }
+}
+
+/// What the persistent partition store did for this session — the
+/// record behind the metrics JSON `store` section.
+#[derive(Clone, Debug)]
+pub struct StoreActivity {
+    /// The store file involved.
+    pub path: String,
+    /// True when the resident partition was decoded from the file.
+    pub opened: bool,
+    /// True when the resident partition was written to the file.
+    pub saved: bool,
+    /// Store file size in bytes.
+    pub file_bytes: u64,
+    /// Store file size in pages.
+    pub pages: u64,
+    /// Wall seconds the fresh generate + partition build took (present
+    /// only when this session built, i.e. the cold path).
+    pub cold_build_wall_seconds: Option<f64>,
+    /// Wall seconds the file open + decode took (present only when
+    /// this session opened, i.e. the warm path).
+    pub warm_open_wall_seconds: Option<f64>,
+}
+
+impl ToJson for StoreActivity {
+    fn to_json(&self) -> JsonValue {
+        let opt = |v: Option<f64>| match v {
+            Some(s) => JsonValue::from(s),
+            None => JsonValue::Null,
+        };
+        JsonValue::object()
+            .field("path", self.path.clone())
+            .field("opened", self.opened)
+            .field("saved", self.saved)
+            .field("file_bytes", self.file_bytes)
+            .field("pages", self.pages)
+            .field("cold_build_wall_seconds", opt(self.cold_build_wall_seconds))
+            .field("warm_open_wall_seconds", opt(self.warm_open_wall_seconds))
+            .build()
+    }
+}
+
 /// A resident graph: one cluster plus every rank's partition, built
 /// once and borrowed by each query run.
 pub struct GraphSession {
@@ -97,9 +200,20 @@ pub struct GraphSession {
     /// Per-rank component sizes of the resident partition.
     pub partition_stats: Vec<ComponentStats>,
     /// Simulated seconds the (successful) build took, max over ranks.
+    /// Zero for a session opened from a store file.
     pub build_sim_seconds: f64,
-    /// SPMD attempts the load spent (1 = clean first build).
+    /// Simulated seconds spent across *all* build attempts, failed
+    /// ones included — `>= build_sim_seconds` whenever a transient
+    /// fault forced a retry, so degraded loads report their real cost.
+    pub load_sim_seconds: f64,
+    /// SPMD attempts the load spent (1 = clean first build, 0 = the
+    /// partition was opened from a store file, no build at all).
     pub load_attempts: u32,
+    /// What the persistent store did for this session, when a store
+    /// path was involved at all.
+    pub store: Option<StoreActivity>,
+    /// Wall seconds the fresh build took (None when opened from file).
+    build_wall_seconds: Option<f64>,
 }
 
 impl GraphSession {
@@ -110,14 +224,17 @@ impl GraphSession {
     /// # Errors
     /// [`LoadError`] when every attempt lost at least one rank.
     pub fn load(cfg: SessionConfig, plan: FaultPlan) -> Result<GraphSession, LoadError> {
+        let wall0 = Instant::now();
         let params = cfg.rmat();
         let n = params.num_vertices();
         let p = cfg.mesh.num_ranks() as u64;
         let cluster = Cluster::with_faults(cfg.mesh, cfg.machine, plan);
         let budget = cfg.max_load_attempts.max(1);
         let mut attempts = 0;
+        let mut load_sim_seconds = 0.0;
         loop {
             attempts += 1;
+            let faults_before = cluster.fault_log().len();
             let results = cluster.run_fallible(|ctx| {
                 let t0 = ctx.now();
                 let chunk = sunbfs_rmat::generate_chunk(&params, ctx.rank() as u64, p);
@@ -132,8 +249,23 @@ impl GraphSession {
                     Err(f) => failures.push(f),
                 }
             }
+            // Every attempt's simulated cost counts — a failed attempt
+            // still burned build time before unwinding, and hiding it
+            // would make a `load_attempts = 3` session look as cheap
+            // as a clean one. A failed attempt returns no rank
+            // timings (every rank unwinds at the poisoned collective),
+            // so its cost is taken from the fault log: the simulated
+            // clock at the moment the attempt's fault(s) fired.
+            let attempt_sim_seconds = if failures.is_empty() {
+                oks.iter().map(|(s, _)| *s).fold(0.0, f64::max)
+            } else {
+                cluster.fault_log()[faults_before..]
+                    .iter()
+                    .map(|f| f.sim_seconds)
+                    .fold(0.0, f64::max)
+            };
+            load_sim_seconds += attempt_sim_seconds;
             if failures.is_empty() {
-                let build_sim_seconds = oks.iter().map(|(s, _)| *s).fold(0.0, f64::max);
                 let parts: Vec<RankPartition> = oks.into_iter().map(|(_, p)| p).collect();
                 let partition_stats = parts.iter().map(|p| p.stats).collect();
                 return Ok(GraphSession {
@@ -141,14 +273,146 @@ impl GraphSession {
                     cluster,
                     parts,
                     partition_stats,
-                    build_sim_seconds,
+                    build_sim_seconds: attempt_sim_seconds,
+                    load_sim_seconds,
                     load_attempts: attempts,
+                    store: None,
+                    build_wall_seconds: Some(wall0.elapsed().as_secs_f64()),
                 });
             }
             if attempts >= budget {
                 return Err(LoadError { attempts, failures });
             }
         }
+    }
+
+    /// Open a previously saved partition store instead of rebuilding:
+    /// verify every page and stream seal, check the header against
+    /// `cfg`, and decode each rank's partition by streamed sequential
+    /// reads.
+    ///
+    /// # Errors
+    /// A typed [`StoreError`] (wrapped in [`SessionError::Store`]) on
+    /// any damage or on a header that describes a different graph than
+    /// `cfg` — never a wrong graph.
+    pub fn open(
+        path: &Path,
+        cfg: SessionConfig,
+        plan: FaultPlan,
+    ) -> Result<GraphSession, SessionError> {
+        let wall0 = Instant::now();
+        let (header, parts, info) = sunbfs_store::open_file(path)?;
+        header.check_matches(&cfg.store_header())?;
+        Ok(Self::from_opened(
+            path,
+            cfg,
+            plan,
+            parts,
+            info,
+            wall0.elapsed().as_secs_f64(),
+        ))
+    }
+
+    /// Assemble a session around partitions decoded from `path`.
+    fn from_opened(
+        path: &Path,
+        cfg: SessionConfig,
+        plan: FaultPlan,
+        parts: Vec<RankPartition>,
+        info: StoreInfo,
+        warm_open_wall_seconds: f64,
+    ) -> GraphSession {
+        let cluster = Cluster::with_faults(cfg.mesh, cfg.machine, plan);
+        let partition_stats = parts.iter().map(|p| p.stats).collect();
+        GraphSession {
+            cfg,
+            cluster,
+            parts,
+            partition_stats,
+            build_sim_seconds: 0.0,
+            load_sim_seconds: 0.0,
+            load_attempts: 0,
+            store: Some(StoreActivity {
+                path: path.display().to_string(),
+                opened: true,
+                saved: false,
+                file_bytes: info.file_bytes,
+                pages: info.pages,
+                cold_build_wall_seconds: None,
+                warm_open_wall_seconds: Some(warm_open_wall_seconds),
+            }),
+            build_wall_seconds: None,
+        }
+    }
+
+    /// The restart-economics entry point: [`Self::open`] when `path`
+    /// holds a matching store, else build fresh ([`Self::load`]) and
+    /// save the result to `path` for the next restart.
+    ///
+    /// A missing file and a header describing a different graph both
+    /// take the build-and-save path (the file is overwritten with the
+    /// requested graph); *damage* — bad magic, truncation, a failed
+    /// checksum — is surfaced as a typed error instead of being
+    /// silently rebuilt over, because a store that rots on disk is
+    /// something an operator must hear about.
+    ///
+    /// # Errors
+    /// [`SessionError::Load`] when the fresh build fails,
+    /// [`SessionError::Store`] on damage or on a failed save.
+    pub fn open_or_build(
+        path: &Path,
+        cfg: SessionConfig,
+        plan: FaultPlan,
+    ) -> Result<GraphSession, SessionError> {
+        let wall0 = Instant::now();
+        let build_and_save = |plan: FaultPlan| -> Result<GraphSession, SessionError> {
+            let mut session = Self::load(cfg, plan)?;
+            session.save(path)?;
+            Ok(session)
+        };
+        match sunbfs_store::open_file(path) {
+            Ok((header, parts, info)) => match header.check_matches(&cfg.store_header()) {
+                Ok(()) => Ok(Self::from_opened(
+                    path,
+                    cfg,
+                    plan,
+                    parts,
+                    info,
+                    wall0.elapsed().as_secs_f64(),
+                )),
+                Err(StoreError::HeaderMismatch { .. }) => build_and_save(plan),
+                Err(e) => Err(e.into()),
+            },
+            Err(StoreError::Io {
+                kind: std::io::ErrorKind::NotFound,
+                ..
+            }) => build_and_save(plan),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Serialize the resident partition to `path` in the paged store
+    /// format, recording the write in [`Self::store`].
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the file cannot be written.
+    pub fn save(&mut self, path: &Path) -> Result<StoreInfo, StoreError> {
+        let info = sunbfs_store::save_file(path, &self.cfg.store_header(), &self.parts)?;
+        let activity = self.store.get_or_insert_with(|| StoreActivity {
+            path: String::new(),
+            opened: false,
+            saved: false,
+            file_bytes: 0,
+            pages: 0,
+            cold_build_wall_seconds: None,
+            warm_open_wall_seconds: None,
+        });
+        activity.path = path.display().to_string();
+        activity.saved = true;
+        activity.file_bytes = info.file_bytes;
+        activity.pages = info.pages;
+        activity.cold_build_wall_seconds = self.build_wall_seconds;
+        Ok(info)
     }
 
     /// The configuration this session was loaded with.
@@ -269,5 +533,102 @@ mod tests {
             GraphSession::load(SessionConfig::small(8, 4), plan).expect("retry heals the load");
         assert_eq!(session.load_attempts, 2);
         assert_eq!(session.cluster().fault_log().len(), 1);
+    }
+
+    #[test]
+    fn failed_attempts_accumulate_into_load_sim_seconds() {
+        // A late-build panic lets the other ranks finish real work on
+        // the failed attempt, so the accumulated load cost must exceed
+        // the successful attempt's build cost alone.
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            rank: 1,
+            op_index: 6,
+            kind: FaultKind::Panic,
+        }]);
+        let session = GraphSession::load(SessionConfig::small(8, 4), plan).expect("retry heals");
+        assert_eq!(session.load_attempts, 2);
+        assert!(
+            session.load_sim_seconds > session.build_sim_seconds,
+            "failed attempt's sim seconds ({} total) must be visible beyond the \
+             clean build's {}",
+            session.load_sim_seconds,
+            session.build_sim_seconds
+        );
+
+        let clean =
+            GraphSession::load(SessionConfig::small(8, 4), FaultPlan::none()).expect("clean load");
+        assert_eq!(clean.load_attempts, 1);
+        assert_eq!(clean.load_sim_seconds, clean.build_sim_seconds);
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sunbfs_session_{tag}_{}.sbfs", std::process::id()))
+    }
+
+    #[test]
+    fn save_then_open_restores_the_same_partition() {
+        let cfg = SessionConfig::small(8, 4);
+        let mut built = GraphSession::load(cfg, FaultPlan::none()).expect("clean load");
+        let path = temp_store("roundtrip");
+        let info = built.save(&path).expect("save");
+        assert_eq!(info.file_bytes % sunbfs_store::PAGE_SIZE as u64, 0);
+        let activity = built.store.as_ref().expect("save recorded");
+        assert!(activity.saved && !activity.opened);
+        assert!(activity.cold_build_wall_seconds.is_some());
+
+        let opened = GraphSession::open(&path, cfg, FaultPlan::none()).expect("open");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(opened.load_attempts, 0);
+        assert_eq!(opened.build_sim_seconds, 0.0);
+        assert_eq!(opened.partition_stats, built.partition_stats);
+        let activity = opened.store.as_ref().expect("open recorded");
+        assert!(activity.opened && !activity.saved);
+        assert!(activity.warm_open_wall_seconds.is_some());
+        // Traversals against the opened partition still terminate.
+        for r in opened.run_batch(&[1]) {
+            r.expect("no rank failure").expect("terminates");
+        }
+    }
+
+    #[test]
+    fn open_refuses_a_mismatched_header() {
+        let cfg = SessionConfig::small(8, 4);
+        let mut built = GraphSession::load(cfg, FaultPlan::none()).expect("clean load");
+        let path = temp_store("mismatch");
+        built.save(&path).expect("save");
+        let mut other = cfg;
+        other.seed = 7;
+        let err = match GraphSession::open(&path, other, FaultPlan::none()) {
+            Ok(_) => panic!("a mismatched header must not open"),
+            Err(e) => e,
+        };
+        std::fs::remove_file(&path).ok();
+        match err {
+            SessionError::Store(sunbfs_store::StoreError::HeaderMismatch { field, .. }) => {
+                assert_eq!(field, "seed")
+            }
+            other => panic!("expected HeaderMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_or_build_builds_once_then_opens() {
+        let cfg = SessionConfig::small(8, 4);
+        let path = temp_store("open_or_build");
+        std::fs::remove_file(&path).ok();
+        let cold = GraphSession::open_or_build(&path, cfg, FaultPlan::none()).expect("cold");
+        let cold_activity = cold.store.as_ref().expect("activity");
+        assert!(
+            cold_activity.saved && !cold_activity.opened,
+            "first call builds and saves"
+        );
+        let warm = GraphSession::open_or_build(&path, cfg, FaultPlan::none()).expect("warm");
+        std::fs::remove_file(&path).ok();
+        let warm_activity = warm.store.as_ref().expect("activity");
+        assert!(
+            warm_activity.opened && !warm_activity.saved,
+            "second call opens the file"
+        );
+        assert_eq!(warm.partition_stats, cold.partition_stats);
     }
 }

@@ -16,7 +16,13 @@
 //! `edge_factor` (16), `e_threshold` (256), `h_threshold` (64),
 //! `seed` (42), `queue_capacity` (256), `batch_max` (64),
 //! `flush_deadline` (4), `baseline` (false — measure the sequential
-//! path per batch and report the speedup in `stats`).
+//! path per batch and report the speedup in `stats`), `path` (a
+//! `sunbfs-store` file to open instead of rebuilding — built and saved
+//! first when it doesn't exist yet, per `docs/STORE.md`).
+//!
+//! A mistyped knob (wrong JSON type, out of range, `h_threshold` above
+//! `e_threshold`) is a typed `{"reply":"error",...}` refusal, never a
+//! silent fall-back to the default value.
 //!
 //! Every reply carries a `"reply"` discriminator; errors are
 //! `{"reply":"error","detail":...}` and never kill the server. EOF on
@@ -77,44 +83,108 @@ fn error(detail: String) -> JsonValue {
         .build()
 }
 
-/// A numeric knob with a default.
-fn knob(cmd: &JsonValue, key: &str, default: u64) -> u64 {
-    cmd.get(key).and_then(|v| v.as_u64()).unwrap_or(default)
+/// A numeric knob with a default and an inclusive range. A knob that is
+/// present but mistyped (not an unsigned integer) or out of range is a
+/// refusal, not a silent fall-back — `{"scale":"14"}` must never run a
+/// default-scale build.
+fn knob(cmd: &JsonValue, key: &str, default: u64, min: u64, max: u64) -> Result<u64, String> {
+    match cmd.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_u64() {
+            Some(n) if (min..=max).contains(&n) => Ok(n),
+            Some(n) => Err(format!(
+                "load knob {key:?} must be in {min}..={max}, got {n}"
+            )),
+            None => Err(format!(
+                "load knob {key:?} must be an unsigned integer, got {}",
+                v.render()
+            )),
+        },
+    }
 }
 
-fn handle_load(service: &mut Option<BfsService>, cmd: &JsonValue) -> JsonValue {
-    let scale = knob(cmd, "scale", 10) as u32;
-    let ranks = knob(cmd, "ranks", 4) as usize;
+/// A boolean knob with a default; mistyped values are refused.
+fn bool_knob(cmd: &JsonValue, key: &str, default: bool) -> Result<bool, String> {
+    match cmd.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("load knob {key:?} must be a boolean, got {}", v.render())),
+    }
+}
+
+/// The optional `path` knob: a store file to open instead of rebuilding.
+fn path_knob(cmd: &JsonValue) -> Result<Option<String>, String> {
+    match cmd.get("path") {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("load knob \"path\" must be a string, got {}", v.render())),
+    }
+}
+
+/// Validate every `load` knob into the two configs plus the optional
+/// store path. Any mistyped field refuses the whole command.
+fn load_configs(cmd: &JsonValue) -> Result<(SessionConfig, ServeConfig, Option<String>), String> {
+    let scale = knob(cmd, "scale", 10, 1, 40)?;
+    let ranks = knob(cmd, "ranks", 4, 1, 1 << 16)?;
+    let e_threshold = knob(cmd, "e_threshold", 256, 0, u64::from(u32::MAX))?;
+    let h_threshold = knob(cmd, "h_threshold", 64, 0, u64::from(u32::MAX))?;
+    if h_threshold > e_threshold {
+        // Thresholds::new panics on h > e; refuse before constructing.
+        return Err(format!(
+            "load knob \"h_threshold\" ({h_threshold}) must not exceed \
+             \"e_threshold\" ({e_threshold})"
+        ));
+    }
     let session_cfg = SessionConfig {
-        scale,
-        edge_factor: knob(cmd, "edge_factor", 16) as u32,
-        mesh: MeshShape::near_square(ranks),
-        thresholds: Thresholds::new(
-            knob(cmd, "e_threshold", 256) as u32,
-            knob(cmd, "h_threshold", 64) as u32,
-        ),
+        scale: scale as u32,
+        edge_factor: knob(cmd, "edge_factor", 16, 1, u64::from(u32::MAX))? as u32,
+        mesh: MeshShape::near_square(ranks as usize),
+        thresholds: Thresholds::new(e_threshold as u32, h_threshold as u32),
         engine: EngineConfig::default(),
         machine: MachineConfig::new_sunway(),
-        seed: knob(cmd, "seed", 42),
+        seed: knob(cmd, "seed", 42, 0, u64::MAX)?,
         max_load_attempts: 3,
     };
     let serve_cfg = ServeConfig {
-        queue_capacity: knob(cmd, "queue_capacity", 256) as usize,
-        batch_max: knob(cmd, "batch_max", sunbfs::serve::MAX_BATCH as u64) as usize,
-        flush_deadline: knob(cmd, "flush_deadline", 4) as u32,
+        queue_capacity: knob(cmd, "queue_capacity", 256, 1, 1 << 20)? as usize,
+        batch_max: knob(
+            cmd,
+            "batch_max",
+            sunbfs::serve::MAX_BATCH as u64,
+            1,
+            sunbfs::serve::MAX_BATCH as u64,
+        )? as usize,
+        flush_deadline: knob(cmd, "flush_deadline", 4, 0, u64::from(u32::MAX))? as u32,
         max_root_retries: 2,
-        measure_baseline: cmd
-            .get("baseline")
-            .and_then(|v| v.as_bool())
-            .unwrap_or(false),
+        measure_baseline: bool_knob(cmd, "baseline", false)?,
     };
+    Ok((session_cfg, serve_cfg, path_knob(cmd)?))
+}
+
+fn handle_load(service: &mut Option<BfsService>, cmd: &JsonValue) -> JsonValue {
+    let (session_cfg, serve_cfg, path) = match load_configs(cmd) {
+        Ok(parts) => parts,
+        Err(detail) => return error(detail),
+    };
+    let (scale, ranks) = (session_cfg.scale, session_cfg.mesh.num_ranks());
     // Fault injection (for drills) comes from SUNBFS_FAULT_PLAN, the
     // same env the benchmark driver honors.
     let plan = match FaultPlan::from_env() {
         Ok(p) => p.unwrap_or_else(FaultPlan::none),
         Err(e) => return error(format!("bad SUNBFS_FAULT_PLAN: {e}")),
     };
-    match sunbfs::serve::GraphSession::load(session_cfg, plan) {
+    let session = match path {
+        Some(path) => sunbfs::serve::GraphSession::open_or_build(
+            std::path::Path::new(&path),
+            session_cfg,
+            plan,
+        ),
+        None => sunbfs::serve::GraphSession::load(session_cfg, plan).map_err(Into::into),
+    };
+    match session {
         Ok(session) => {
             let loaded = JsonValue::object()
                 .field("reply", "loaded")
@@ -122,7 +192,15 @@ fn handle_load(service: &mut Option<BfsService>, cmd: &JsonValue) -> JsonValue {
                 .field("ranks", ranks as u64)
                 .field("vertices", session.num_vertices())
                 .field("build_sim_seconds", session.build_sim_seconds)
+                .field("load_sim_seconds", session.load_sim_seconds)
                 .field("load_attempts", u64::from(session.load_attempts))
+                .field(
+                    "store",
+                    match &session.store {
+                        Some(s) => s.to_json(),
+                        None => JsonValue::Null,
+                    },
+                )
                 .build();
             *service = Some(BfsService::new(session, serve_cfg));
             loaded

@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run --release --example graph500_runner -- \
 //!     [scale] [ranks] [e_threshold] [h_threshold] [num_roots] \
-//!     [--json [path]] [--seed <u64>] [--batch [--baseline]]
+//!     [--json [path]] [--seed <u64>] [--batch [--baseline]] \
+//!     [--save-graph <path>] [--load-graph <path>]
 //!
 //! # defaults:         14      16          256          64        8
 //! # --json without a path writes BENCH_<scale>_<rows>x<cols>.json
@@ -14,6 +15,9 @@
 //! # --batch routes the roots through the multi-source serve path;
 //! # --baseline additionally runs the sequential per-root loop on the
 //! #   same resident session and reports the roots/sec speedup
+//! # --save-graph writes the built partition to a sunbfs-store file
+//! #   (docs/STORE.md); --load-graph opens one instead of rebuilding
+//! #   (building and saving it first when the file doesn't exist yet)
 //! # disable a technique:
 //! SUNBFS_NO_SUBITER=1 SUNBFS_NO_SEGMENT=1 cargo run --release \
 //!     --example graph500_runner -- 14 16
@@ -37,6 +41,8 @@ struct Args {
     seed: u64,
     batch: bool,
     baseline: bool,
+    save_graph: Option<String>,
+    load_graph: Option<String>,
 }
 
 /// Split flags out of the argument list, leaving the positional knobs
@@ -49,6 +55,15 @@ fn parse_args() -> Args {
         seed: 42,
         batch: false,
         baseline: false,
+        save_graph: None,
+        load_graph: None,
+    };
+    let path_flag = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
+                     flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} requires a path");
+            std::process::exit(2);
+        })
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
@@ -64,11 +79,16 @@ fn parse_args() -> Args {
             parsed.batch = true;
         } else if a == "--baseline" {
             parsed.baseline = true;
+        } else if a == "--save-graph" {
+            parsed.save_graph = Some(path_flag(&mut args, "--save-graph"));
+        } else if a == "--load-graph" {
+            parsed.load_graph = Some(path_flag(&mut args, "--load-graph"));
         } else if a.starts_with("--") {
             eprintln!("error: unknown flag {a}");
             eprintln!(
                 "usage: graph500_runner [scale] [ranks] [e_threshold] [h_threshold] \
-                 [num_roots] [--json [path]] [--seed <u64>] [--batch [--baseline]]"
+                 [num_roots] [--json [path]] [--seed <u64>] [--batch [--baseline]] \
+                 [--save-graph <path>] [--load-graph <path>]"
             );
             std::process::exit(2);
         } else if let Ok(v) = a.parse::<u64>() {
@@ -88,6 +108,8 @@ fn main() {
         seed,
         batch,
         baseline,
+        save_graph,
+        load_graph,
     } = parse_args();
     let arg = |n: usize, default: u64| positional.get(n).copied().unwrap_or(default);
     let scale = arg(0, 14) as u32;
@@ -122,6 +144,8 @@ fn main() {
         max_root_retries: 2,
         serve_batch: batch,
         serve_baseline: baseline,
+        save_graph,
+        load_graph,
     };
 
     println!("graph500 runner");
@@ -147,6 +171,12 @@ fn main() {
                 ""
             }
         );
+    }
+    if let Some(path) = &config.load_graph {
+        println!("  load graph:     {path}");
+    }
+    if let Some(path) = &config.save_graph {
+        println!("  save graph:     {path}");
     }
 
     let wall = std::time::Instant::now();
@@ -219,6 +249,22 @@ fn main() {
         if let (Some(seq), Some(speedup)) = (serve.sequential_roots_per_sec(), serve.speedup()) {
             println!("sequential roots/sec: {seq:.1} (simulated)");
             println!("batch speedup:        {speedup:.2}x");
+        }
+    }
+
+    if let Some(store) = &report.store {
+        println!(
+            "\nstore:                {} ({}, {} pages, {} bytes)",
+            store.path,
+            if store.opened { "opened" } else { "built" },
+            store.pages,
+            store.file_bytes,
+        );
+        if let Some(warm) = store.warm_open_wall_seconds {
+            println!("warm open wall:       {:.3} ms", warm * 1e3);
+        }
+        if let Some(cold) = store.cold_build_wall_seconds {
+            println!("cold build wall:      {:.3} ms", cold * 1e3);
         }
     }
 

@@ -40,6 +40,8 @@ fn main() {
         max_root_retries: 2,
         serve_batch: false,
         serve_baseline: false,
+        save_graph: None,
+        load_graph: None,
     };
     let report = run_benchmark(&cal).expect("calibration run must pass");
     let stats = &report.partition_stats;

@@ -4,7 +4,7 @@
 # the parallel run's BENCH_<scale>_<rows>x<cols>.json in the repository
 # root as the committed trajectory point for this revision.
 #
-# The smoke at the end asserts the schema-v5 `wall` section is present
+# The smoke at the end asserts the schema-v6 `wall` section is present
 # and that the parallel run's wall-clock throughput clears the bar:
 #
 #   * on a machine with >= 4 cores, parallel must not lose to serial
@@ -47,7 +47,7 @@ BENCH_JSON="$(ls BENCH_"$SCALE"_*.json | head -1)"
 echo "    wrote $BENCH_JSON"
 
 # --- smoke: wall section present and sane -----------------------------
-grep -Eq '"schema_version": *5' "$BENCH_JSON"
+grep -Eq '"schema_version": *6' "$BENCH_JSON"
 grep -q '"wall":' "$BENCH_JSON"
 grep -q '"available_parallelism":' "$BENCH_JSON"
 grep -Eq '"workers": *'"$WORKERS" "$BENCH_JSON"

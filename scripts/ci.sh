@@ -46,7 +46,7 @@ SUNBFS_FAULT_PLAN="corrupt@1:3:bitflip" timeout 300 \
     cargo run -q --release --example graph500_runner -- 9 4 256 64 1 --json "$SMOKE_JSON" \
     > /dev/null
 grep -Eq '"retransmits": *[1-9]' "$SMOKE_JSON"
-grep -Eq '"schema_version": *5' "$SMOKE_JSON"
+grep -Eq '"schema_version": *6' "$SMOKE_JSON"
 rm -f "$SMOKE_JSON"
 
 # Serve suite: admission control, batch formation, fault containment,
@@ -57,23 +57,79 @@ echo "==> serve suite (hard timeout)"
 timeout 300 cargo test -q -p sunbfs-serve
 timeout 600 cargo test -q --test serve_equivalence --test serve_perf
 
+# Store suite: the paged codec round-trips byte-identically, every
+# flipped byte is a typed refusal, and a session opened from a file
+# serves the same parents/depths as the session that built it.
+echo "==> store suite (hard timeout)"
+timeout 300 cargo test -q -p sunbfs-store
+timeout 600 cargo test -q --release --test store_session
+
+# Smoke: SCALE 14 save -> load through the runner. The warm run must
+# open the saved file (never rebuild) and its open wall time must beat
+# the cold run's build wall time.
+echo "==> store save/load smoke (graph500_runner)"
+STORE_FILE="$(mktemp -u).sbfs"
+COLD_JSON="$(mktemp)"
+WARM_JSON="$(mktemp)"
+timeout 600 cargo run -q --release --example graph500_runner -- 14 16 256 64 2 \
+    --json "$COLD_JSON" --save-graph "$STORE_FILE" > /dev/null
+timeout 600 cargo run -q --release --example graph500_runner -- 14 16 256 64 2 \
+    --json "$WARM_JSON" --load-graph "$STORE_FILE" > /dev/null
+grep -Eq '"saved": *true' "$COLD_JSON"
+grep -Eq '"opened": *true' "$WARM_JSON"
+grep -Eq '"schema_version": *6' "$WARM_JSON"
+COLD_S=$(grep -o '"cold_build_wall_seconds": *[0-9.e-]*' "$COLD_JSON" | grep -o '[0-9.e-]*$')
+WARM_S=$(grep -o '"warm_open_wall_seconds": *[0-9.e-]*' "$WARM_JSON" | grep -o '[0-9.e-]*$')
+awk -v cold="$COLD_S" -v warm="$WARM_S" \
+    'BEGIN { if (!(warm + 0 < cold + 0)) { print "warm open (" warm "s) not faster than cold build (" cold "s)"; exit 1 } }'
+rm -f "$STORE_FILE" "$COLD_JSON" "$WARM_JSON"
+
 # Smoke: the bfs_server stdin protocol answers with well-formed JSON —
 # a load acknowledgment, per-query results, and a stats reply carrying
-# the serve section.
+# the serve section. Mistyped load knobs must be typed refusals (never
+# a silent default-config build), so the malformed load comes first and
+# the server must still be graphless when the query arrives.
 echo "==> bfs_server stdin smoke"
 SERVE_OUT="$(mktemp)"
 printf '%s\n' \
+    '{"cmd":"load","scale":"9","ranks":4}' \
+    '{"cmd":"query","root":1}' \
+    '{"cmd":"load","scale":9,"ranks":4,"h_threshold":512}' \
     '{"cmd":"load","scale":9,"ranks":4}' \
     '{"cmd":"batch","roots":[1,2,3]}' \
     '{"cmd":"stats"}' \
     | timeout 300 cargo run -q --release --example bfs_server > "$SERVE_OUT"
+grep -Eq '"reply":"error","detail":"load knob \\"scale\\" must be an unsigned integer' "$SERVE_OUT"
+grep -Eq '"reply":"error","detail":"no graph loaded' "$SERVE_OUT"
+grep -Eq '"reply":"error","detail":"load knob \\"h_threshold\\"' "$SERVE_OUT"
 grep -Eq '"reply":"loaded"' "$SERVE_OUT"
 grep -Eq '"reply":"result".*"status":"served"' "$SERVE_OUT"
 grep -Eq '"reply":"stats".*"batch_roots_per_sec"' "$SERVE_OUT"
 rm -f "$SERVE_OUT"
 
+# Smoke: the server's `path` knob — the first invocation builds and
+# saves, the second opens the same file instead of rebuilding.
+echo "==> bfs_server store-path smoke"
+SERVER_STORE="$(mktemp -u).sbfs"
+FIRST_OUT="$(mktemp)"
+SECOND_OUT="$(mktemp)"
+printf '%s\n' \
+    "{\"cmd\":\"load\",\"scale\":9,\"ranks\":4,\"path\":\"$SERVER_STORE\"}" \
+    '{"cmd":"query","root":1}' \
+    '{"cmd":"drain"}' \
+    | timeout 300 cargo run -q --release --example bfs_server > "$FIRST_OUT"
+printf '%s\n' \
+    "{\"cmd\":\"load\",\"scale\":9,\"ranks\":4,\"path\":\"$SERVER_STORE\"}" \
+    '{"cmd":"query","root":1}' \
+    '{"cmd":"drain"}' \
+    | timeout 300 cargo run -q --release --example bfs_server > "$SECOND_OUT"
+grep -Eq '"reply":"loaded".*"saved":true' "$FIRST_OUT"
+grep -Eq '"reply":"loaded".*"opened":true' "$SECOND_OUT"
+grep -Eq '"reply":"result".*"status":"served"' "$SECOND_OUT"
+rm -f "$SERVER_STORE" "$FIRST_OUT" "$SECOND_OUT"
+
 # Perf trajectory: regenerate the committed BENCH_<scale>_<rows>x<cols>
-# artifact and smoke-check the schema-v5 wall-clock section plus the
+# artifact and smoke-check the schema-v6 wall-clock section plus the
 # parallel-vs-serial throughput bound (strict only on >= 4 cores; see
 # the script header and docs/PERF.md).
 echo "==> bench trajectory (hard timeout inside)"

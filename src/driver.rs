@@ -21,11 +21,11 @@ use sunbfs_net::{
 use sunbfs_part::{build_1p5d, ComponentStats, Thresholds};
 use sunbfs_rmat::RmatParams;
 use sunbfs_serve::{
-    BfsService, GraphSession, QueryStatus, ServeConfig, ServeReport, SessionConfig,
+    BfsService, GraphSession, QueryStatus, ServeConfig, ServeReport, SessionConfig, StoreActivity,
 };
 
 /// Everything one benchmark run needs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Graph 500 SCALE (`2^scale` vertices, `16 · 2^scale` edges).
     pub scale: u32,
@@ -61,6 +61,14 @@ pub struct RunConfig {
     /// baseline over the same roots and record the comparison in the
     /// report's `serve` section.
     pub serve_baseline: bool,
+    /// Write the built partition to this persistent-store path after
+    /// the session load (routes the run through the serve session even
+    /// without `serve_batch`).
+    pub save_graph: Option<String>,
+    /// Open the partition from this persistent-store path instead of
+    /// rebuilding (building and saving it first when the file is
+    /// missing — [`GraphSession::open_or_build`] semantics).
+    pub load_graph: Option<String>,
 }
 
 impl RunConfig {
@@ -90,7 +98,7 @@ impl RunConfig {
 
 /// Builder for [`RunConfig`] with every field defaulted, so adding a
 /// knob doesn't fan out to every literal construction site.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunConfigBuilder {
     config: RunConfig,
 }
@@ -112,6 +120,8 @@ impl Default for RunConfigBuilder {
                 max_root_retries: 2,
                 serve_batch: false,
                 serve_baseline: false,
+                save_graph: None,
+                load_graph: None,
             },
         }
     }
@@ -199,6 +209,18 @@ impl RunConfigBuilder {
     /// Also measure the sequential baseline on the serve path.
     pub fn serve_baseline(mut self, serve_baseline: bool) -> Self {
         self.config.serve_baseline = serve_baseline;
+        self
+    }
+
+    /// Save the built partition to a persistent-store file.
+    pub fn save_graph(mut self, path: &str) -> Self {
+        self.config.save_graph = Some(path.to_string());
+        self
+    }
+
+    /// Open (or build-and-save) the partition from a store file.
+    pub fn load_graph(mut self, path: &str) -> Self {
+        self.config.load_graph = Some(path.to_string());
         self
     }
 
@@ -475,6 +497,9 @@ pub struct BenchmarkReport {
     /// Serve-layer observability when the roots went through the batch
     /// path (`None` on the classic per-root driver loop).
     pub serve: Option<ServeReport>,
+    /// Persistent-store activity when the run saved or opened a graph
+    /// file (`None` when no store path was involved).
+    pub store: Option<StoreActivity>,
     /// Host wall-clock accounting (real time, not simulated time).
     pub wall: WallClockReport,
 }
@@ -608,7 +633,7 @@ pub fn run_benchmark_with_sleeper(
         Ok(Some(plan)) => plan,
         Ok(None) => FaultPlan::generate(&config.faults, config.mesh.num_ranks()),
     };
-    if config.serve_batch {
+    if config.serve_batch || config.save_graph.is_some() || config.load_graph.is_some() {
         return run_benchmark_serve(config, &roots, plan, wall_start);
     }
     let fault_free = plan.is_empty();
@@ -791,13 +816,14 @@ pub fn run_benchmark_with_sleeper(
     };
     let wall = WallClockReport::new(wall_start.elapsed().as_secs_f64(), bfs_wall.get(), &runs);
     Ok(BenchmarkReport {
-        config: *config,
+        config: config.clone(),
         partition_stats: partition_stats.unwrap_or_default(),
         runs,
         validated: full_edges.is_some() && faults.quarantined.is_empty(),
         faults,
         recovery,
         serve: None,
+        store: None,
         wall,
     })
 }
@@ -827,14 +853,39 @@ fn run_benchmark_serve(
         max_load_attempts: 1 + config.max_root_retries,
     };
     let bfs_wall_start = Instant::now();
-    let session = GraphSession::load(session_cfg, plan)
-        .map_err(|e| DriverError::SessionLoad(e.to_string()))?;
+    let mut session = match &config.load_graph {
+        Some(path) => GraphSession::open_or_build(std::path::Path::new(path), session_cfg, plan)
+            .map_err(|e| DriverError::SessionLoad(e.to_string()))?,
+        None => GraphSession::load(session_cfg, plan)
+            .map_err(|e| DriverError::SessionLoad(e.to_string()))?,
+    };
+    if let Some(path) = &config.save_graph {
+        // open_or_build may already have written this exact file on its
+        // build branch — don't pay the encode twice.
+        let already = session
+            .store
+            .as_ref()
+            .is_some_and(|s| s.saved && s.path == *path);
+        if !already {
+            session
+                .save(std::path::Path::new(path))
+                .map_err(|e| DriverError::SessionLoad(e.to_string()))?;
+        }
+    }
+    let store_activity = session.store.clone();
     let n = session.num_vertices();
     let partition_stats = session.partition_stats.clone();
     let mut service = BfsService::new(
         session,
         ServeConfig {
             queue_capacity: roots.len().max(1),
+            // A store-only run (save/load without --serve) keeps the
+            // classic one-root-per-traversal semantics.
+            batch_max: if config.serve_batch {
+                ServeConfig::default().batch_max
+            } else {
+                1
+            },
             max_root_retries: config.max_root_retries,
             measure_baseline: config.serve_baseline,
             ..ServeConfig::default()
@@ -922,13 +973,14 @@ fn run_benchmark_serve(
     };
     let wall = WallClockReport::new(wall_start.elapsed().as_secs_f64(), bfs_wall, &runs);
     Ok(BenchmarkReport {
-        config: *config,
+        config: config.clone(),
         partition_stats,
         runs,
         validated: full_edges.is_some() && faults.quarantined.is_empty(),
         faults,
         recovery,
         serve: Some(service.report()),
+        store: store_activity,
         wall,
     })
 }

@@ -20,6 +20,9 @@
 //!   (BFS/SSSP/CC/PageRank over the same partition),
 //! * [`core`] — the BFS engine itself (single-source and the
 //!   bit-parallel multi-source batch variant),
+//! * [`store`] — the persistent partition store: a paged, checksummed
+//!   on-disk format so a restart opens the graph file instead of
+//!   regenerating and repartitioning it (`docs/STORE.md`),
 //! * [`serve`] — the BFS query service: a session-persistent partition
 //!   behind a bounded admission queue with multi-source batching,
 //! * [`driver`] — the end-to-end Graph 500 benchmark pipeline
@@ -46,4 +49,5 @@ pub use sunbfs_part as part;
 pub use sunbfs_rmat as rmat;
 pub use sunbfs_serve as serve;
 pub use sunbfs_sort as sort;
+pub use sunbfs_store as store;
 pub use sunbfs_sunway as sunway;

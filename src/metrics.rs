@@ -42,7 +42,14 @@ use crate::driver::{
 /// simulated metrics are worker-count invariant by contract) and the
 /// per-kernel `pool` worker-scaling counters inside every
 /// sub-iteration and `kernel_totals` record.
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6: added the `store` section (persistent partition-store activity:
+/// file path, bytes, pages, opened-vs-built, cold-build vs warm-open
+/// wall seconds — `null` when no store path was involved), the
+/// `config.save_graph` / `config.load_graph` knobs, and the serve
+/// section's `load_sim_seconds` (simulated seconds across all build
+/// attempts, failed ones included).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Ratio bin edges of the partition load-balance histogram: each rank's
 /// `total / mean` storage falls into one bin; the last bin is open.
@@ -68,6 +75,13 @@ impl BenchmarkReport {
             .field(
                 "serve",
                 match &self.serve {
+                    Some(s) => s.to_json(),
+                    None => JsonValue::Null,
+                },
+            )
+            .field(
+                "store",
+                match &self.store {
                     Some(s) => s.to_json(),
                     None => JsonValue::Null,
                 },
@@ -179,6 +193,20 @@ fn config_json(c: &RunConfig) -> JsonValue {
         .field("max_root_retries", c.max_root_retries)
         .field("serve_batch", c.serve_batch)
         .field("serve_baseline", c.serve_baseline)
+        .field(
+            "save_graph",
+            match &c.save_graph {
+                Some(p) => JsonValue::from(p.as_str()),
+                None => JsonValue::Null,
+            },
+        )
+        .field(
+            "load_graph",
+            match &c.load_graph {
+                Some(p) => JsonValue::from(p.as_str()),
+                None => JsonValue::Null,
+            },
+        )
         .build()
 }
 

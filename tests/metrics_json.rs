@@ -149,14 +149,40 @@ fn serve_json_schema_matches_golden_at_scale_9() {
 }
 
 #[test]
+fn store_json_schema_matches_golden_at_scale_9() {
+    // A save → load round trip fills the schema-v6 `store` section;
+    // the golden pins the *opened* shape (null cold-build seconds, a
+    // measured warm-open wall) plus the `config.load_graph` string.
+    let path =
+        std::env::temp_dir().join(format!("sunbfs_store_golden_{}.sbfs", std::process::id()));
+    let p = path.to_str().expect("utf-8 temp path");
+    let base = RunConfig::builder()
+        .scale(9)
+        .ranks(4)
+        .num_roots(2)
+        .validate(true);
+    run_benchmark(&base.clone().save_graph(p).build()).expect("cold run must pass");
+    let report = run_benchmark(&base.load_graph(p).build()).expect("warm run must pass");
+    std::fs::remove_file(&path).ok();
+    assert!(report.validated, "opened-session trees must validate");
+    let store = report.store.as_ref().expect("store section present");
+    assert!(store.opened, "second run must open the saved file");
+    check_against_golden(&report, "bench_schema_scale9_store.txt");
+}
+
+#[test]
 fn classic_path_reports_a_null_serve_section() {
     let report = run_benchmark(&RunConfig::small_test(9, 4)).expect("benchmark must pass");
     assert!(report.serve.is_none());
+    assert!(report.store.is_none());
     let js = report.to_json().render();
     assert!(js.contains("\"serve\":null"));
-    assert!(js.contains("\"schema_version\":5"));
+    assert!(js.contains("\"store\":null"));
+    assert!(js.contains("\"schema_version\":6"));
     assert!(js.contains("\"serve_batch\":false"));
     assert!(js.contains("\"serve_baseline\":false"));
+    assert!(js.contains("\"save_graph\":null"));
+    assert!(js.contains("\"load_graph\":null"));
 }
 
 #[test]

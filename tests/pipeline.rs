@@ -24,6 +24,8 @@ fn base_config(scale: u32, ranks: usize) -> RunConfig {
         max_root_retries: 2,
         serve_batch: false,
         serve_baseline: false,
+        save_graph: None,
+        load_graph: None,
     }
 }
 
@@ -189,7 +191,7 @@ fn gteps_improves_with_full_techniques_at_scale() {
     baseline.num_roots = 2;
     baseline.thresholds = Thresholds::new(512, 64);
     baseline.engine = EngineConfig::baseline();
-    let mut full = baseline;
+    let mut full = baseline.clone();
     full.engine = EngineConfig::default();
     let b = run_benchmark(&baseline)
         .expect("baseline run")

@@ -1,0 +1,202 @@
+//! End-to-end persistent-store tests: a session opened from a graph
+//! file must serve byte-identical BFS results to the session that
+//! built the graph, the driver must report the store activity in the
+//! metrics JSON, and any damage to the file must surface as a typed
+//! refusal — never a silently different graph.
+
+use std::path::{Path, PathBuf};
+
+use sunbfs::common::MachineConfig;
+use sunbfs::core::{validate, EngineConfig};
+use sunbfs::driver::{pick_roots, run_benchmark, RunConfig};
+use sunbfs::net::{FaultPlan, MeshShape};
+use sunbfs::part::Thresholds;
+use sunbfs::rmat::RmatParams;
+use sunbfs::serve::{
+    BfsService, GraphSession, ServeConfig, SessionConfig, SessionError, StoreError,
+};
+
+const SCALE: u32 = 10;
+const RANKS: usize = 4;
+const SEED: u64 = 4242;
+
+fn session_cfg(seed: u64) -> SessionConfig {
+    SessionConfig {
+        scale: SCALE,
+        edge_factor: 16,
+        mesh: MeshShape::near_square(RANKS),
+        thresholds: Thresholds::new(256, 64),
+        engine: EngineConfig::default(),
+        machine: MachineConfig::new_sunway(),
+        seed,
+        max_load_attempts: 1,
+    }
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sunbfs_store_e2e_{tag}_{}.sbfs",
+        std::process::id()
+    ))
+}
+
+/// Serve `roots` through a fresh service over `session` and return
+/// `(root, parents, depth_histogram)` per query, in submission order.
+fn serve_all(session: GraphSession, roots: &[u64]) -> Vec<(u64, Vec<u64>, Vec<u64>)> {
+    let mut service = BfsService::new(
+        session,
+        ServeConfig {
+            queue_capacity: roots.len().max(1),
+            ..ServeConfig::default()
+        },
+    );
+    for &root in roots {
+        service.submit(root).expect("in-range root");
+    }
+    let mut results = service.drain();
+    results.sort_by_key(|r| r.id);
+    results
+        .into_iter()
+        .map(|r| {
+            let parents = r.parents.expect("served query carries parents");
+            (r.root, parents.to_vec(), r.depth_histogram.clone())
+        })
+        .collect()
+}
+
+/// The acceptance criterion: a session opened from the store file
+/// serves byte-identical parents and depth histograms to the session
+/// that built the graph, and the fresh results Graph 500-validate.
+#[test]
+fn opened_session_serves_byte_identical_results() {
+    let path = temp_store("identity");
+    let roots = pick_roots(&RmatParams::graph500(SCALE, SEED), 4).expect("connected roots");
+
+    let mut built = GraphSession::load(session_cfg(SEED), FaultPlan::none()).expect("build");
+    let info = built.save(&path).expect("save");
+    assert_eq!(info.file_bytes, info.pages * 4096);
+    let fresh = serve_all(built, &roots);
+
+    // Every fresh parent array is a valid BFS tree of the real graph.
+    let edges = sunbfs::rmat::generate_edges(&RmatParams::graph500(SCALE, SEED));
+    for (root, parents, _) in &fresh {
+        validate::validate_parents(1 << SCALE, &edges, *root, parents)
+            .expect("fresh results must Graph 500-validate");
+    }
+
+    let opened = GraphSession::open(&path, session_cfg(SEED), FaultPlan::none())
+        .unwrap_or_else(|e| panic!("open failed: {e}"));
+    std::fs::remove_file(&path).ok();
+    let warm = serve_all(opened, &roots);
+
+    assert_eq!(fresh.len(), warm.len());
+    for ((root_a, parents_a, hist_a), (root_b, parents_b, hist_b)) in fresh.iter().zip(&warm) {
+        assert_eq!(root_a, root_b);
+        assert_eq!(parents_a, parents_b, "parents differ for root {root_a}");
+        assert_eq!(hist_a, hist_b, "depth histogram differs for root {root_a}");
+    }
+}
+
+/// An opened session reports zero build cost and `opened` store
+/// activity; a header disagreement (different seed) is a typed refusal.
+#[test]
+fn opened_sessions_report_store_activity_and_refuse_mismatches() {
+    let path = temp_store("mismatch");
+    let mut built = GraphSession::load(session_cfg(SEED), FaultPlan::none()).expect("build");
+    built.save(&path).expect("save");
+    assert!(built.store.as_ref().is_some_and(|s| s.saved && !s.opened));
+
+    let opened = GraphSession::open(&path, session_cfg(SEED), FaultPlan::none())
+        .unwrap_or_else(|e| panic!("open failed: {e}"));
+    assert_eq!(opened.build_sim_seconds, 0.0);
+    assert_eq!(opened.load_attempts, 0);
+    let store = opened
+        .store
+        .as_ref()
+        .expect("opened sessions carry store activity");
+    assert!(store.opened);
+    assert!(store.warm_open_wall_seconds.is_some());
+
+    match GraphSession::open(&path, session_cfg(SEED + 1), FaultPlan::none()) {
+        Ok(_) => panic!("a mismatched seed must refuse to open"),
+        Err(SessionError::Store(StoreError::HeaderMismatch { field, .. })) => {
+            assert_eq!(field, "seed")
+        }
+        Err(other) => panic!("expected HeaderMismatch, got {other}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Damage sweep through the session layer: flip one byte at every page
+/// boundary — `open` must refuse each time with a typed store error.
+#[test]
+fn open_refuses_a_damaged_file_at_every_page_boundary() {
+    let path = temp_store("damage");
+    let mut built = GraphSession::load(session_cfg(SEED), FaultPlan::none()).expect("build");
+    built.save(&path).expect("save");
+    let clean = std::fs::read(&path).expect("read store file");
+    let pages = clean.len() / 4096;
+    assert!(pages >= 2);
+
+    // Probe the first payload byte of each page (64 pages max keeps the
+    // sweep fast at this scale) plus the final page's seal.
+    let probes: Vec<usize> = (0..pages.min(64))
+        .map(|p| p * 4096)
+        .chain(std::iter::once(clean.len() - 1))
+        .collect();
+    for at in probes {
+        let mut bad = clean.clone();
+        bad[at] ^= 0x01;
+        std::fs::write(&path, &bad).expect("write damaged file");
+        match GraphSession::open(&path, session_cfg(SEED), FaultPlan::none()) {
+            Ok(_) => panic!("byte {at}: damaged file opened"),
+            Err(SessionError::Store(e)) => {
+                let _ = e.to_string();
+            }
+            Err(other) => panic!("byte {at}: expected a store error, got {other}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The driver round trip: `save_graph` then `load_graph` produce the
+/// same validated runs, and the second report records a warm open.
+#[test]
+fn driver_save_then_load_reports_store_activity() {
+    let path = temp_store("driver");
+    let path_str = path.to_str().expect("utf-8 temp path").to_string();
+    let base = RunConfig::builder()
+        .scale(9)
+        .ranks(4)
+        .num_roots(2)
+        .validate(true);
+
+    let cold = run_benchmark(&base.clone().save_graph(&path_str).build()).expect("cold run");
+    assert!(cold.validated);
+    let store = cold
+        .store
+        .as_ref()
+        .expect("save_graph records store activity");
+    assert!(store.saved && !store.opened);
+    assert!(store.cold_build_wall_seconds.is_some());
+
+    let warm = run_benchmark(&base.load_graph(&path_str).build()).expect("warm run");
+    std::fs::remove_file(&path).ok();
+    assert!(warm.validated);
+    let store = warm
+        .store
+        .as_ref()
+        .expect("load_graph records store activity");
+    assert!(store.opened && !store.saved);
+    assert!(store.warm_open_wall_seconds.is_some());
+    assert_eq!(warm.serve.as_ref().expect("serve path").load_attempts, 0);
+
+    // Identical traversals: same roots, same visited counts and sim
+    // times on both sides of the restart.
+    for (a, b) in cold.runs.iter().zip(&warm.runs) {
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.visited_vertices, b.visited_vertices);
+        assert_eq!(a.traversed_edges, b.traversed_edges);
+    }
+    let _ = Path::new(&path_str);
+}
