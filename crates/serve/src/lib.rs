@@ -23,9 +23,21 @@
 //!   handle, depth histogram, served/quarantined status), and per-root
 //!   checkpointed fallback when a batch loses a rank.
 //!
+//! The service is reachable over two transports sharing one wire
+//! protocol ([`proto`] — newline-delimited JSON with typed parse
+//! errors): the stdin loop of `examples/bfs_server.rs`, and the
+//! concurrent TCP server of [`net`] (accept loop with a connection
+//! cap, per-connection deadlines, one deterministic service thread,
+//! graceful drain-on-shutdown). [`loadgen`] drives the TCP server at a
+//! configured offered load and folds what it saw into the `serve_load`
+//! saturation artifact.
+//!
 //! Observability lives in [`ServeReport`] ([`report`]), which renders
-//! as the `serve` section of the schema-v4 metrics JSON.
+//! as the `serve` section of the metrics JSON.
 
+pub mod loadgen;
+pub mod net;
+pub mod proto;
 pub mod report;
 pub mod service;
 pub mod session;
@@ -33,6 +45,9 @@ pub mod session;
 /// Widest batch the engine's frontier word can carry.
 pub const MAX_BATCH: usize = sunbfs_core::MAX_BATCH_ROOTS;
 
+pub use loadgen::{run_loadgen, LatencySummary, LoadgenConfig, LoadgenReport};
+pub use net::{serve, NetConfig, NetSummary, TcpServer};
+pub use proto::{parse_request, LoadRequest, ProtoError, Request, MAX_REQUEST_BYTES};
 pub use report::{occupancy_bucket, BatchRecord, QueryRecord, ServeReport, OCCUPANCY_LABELS};
 pub use service::{
     BfsService, Quarantine, QueryId, QueryResult, QueryStatus, RejectReason, ServeConfig,

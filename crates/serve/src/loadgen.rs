@@ -1,0 +1,459 @@
+//! Closed-duration open-loop load generator for the TCP server.
+//!
+//! Opens N connections and offers a configured total queries/sec for a
+//! configured duration, then settles (waits for every outstanding
+//! reply), optionally triggers a graceful server shutdown, and folds
+//! what it saw into a [`LoadgenReport`] — accepted/rejected counts,
+//! rejection classes, backoff-hint coverage, and p50/p99/p999
+//! end-to-end latency. The report renders as the `serve_load` section
+//! of the schema-v7 metrics JSON (`docs/METRICS.md`), which is what
+//! the committed saturation artifact and the CI sustained-load smoke
+//! regression-gate.
+//!
+//! Accounting invariants the overload tests pin:
+//!
+//! * every offered query is acknowledged exactly once (`unacked == 0`),
+//! * every accepted query gets exactly one result
+//!   (`lost_replies == 0`, `duplicate_replies == 0`),
+//! * a reply line is never malformed (`protocol_errors == 0`).
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sunbfs_common::{JsonValue, SplitMix64, ToJson};
+
+/// Knobs for one load run.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:4700`.
+    pub addr: String,
+    /// Connections to open; offered load is split evenly across them.
+    pub connections: usize,
+    /// Total offered queries/sec across all connections.
+    pub qps: u64,
+    /// How long to offer load.
+    pub duration: Duration,
+    /// Roots are drawn uniformly from `[0, root_max)`.
+    pub root_max: u64,
+    /// Deterministic root sequence seed.
+    pub seed: u64,
+    /// Send `{"cmd":"shutdown"}` after settling, exercising the
+    /// server's graceful drain.
+    pub shutdown_at_end: bool,
+    /// How long to wait for outstanding replies after the offered-load
+    /// window closes.
+    pub settle_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:4700".into(),
+            connections: 4,
+            qps: 200,
+            duration: Duration::from_secs(3),
+            root_max: 1 << 10,
+            seed: 42,
+            shutdown_at_end: true,
+            settle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// End-to-end latency distribution (accepted → result), milliseconds.
+#[derive(Clone, Debug, Default)]
+pub struct LatencySummary {
+    /// Samples (== queries that went accepted → result).
+    pub count: u64,
+    /// Fastest sample.
+    pub min_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// 99.9th percentile.
+    pub p999_ms: f64,
+    /// Slowest sample.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+        let n = samples.len();
+        let pct = |q: f64| {
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            samples[idx]
+        };
+        LatencySummary {
+            count: n as u64,
+            min_ms: samples[0],
+            mean_ms: samples.iter().sum::<f64>() / n as f64,
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            p999_ms: pct(0.999),
+            max_ms: samples[n - 1],
+        }
+    }
+}
+
+impl ToJson for LatencySummary {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("count", self.count)
+            .field("min_ms", self.min_ms)
+            .field("mean_ms", self.mean_ms)
+            .field("p50_ms", self.p50_ms)
+            .field("p99_ms", self.p99_ms)
+            .field("p999_ms", self.p999_ms)
+            .field("max_ms", self.max_ms)
+            .build()
+    }
+}
+
+/// What one load run saw, end to end. Renders as the `serve_load`
+/// JSON section.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    /// Connections opened.
+    pub connections: u64,
+    /// Configured total offered queries/sec.
+    pub target_qps: u64,
+    /// Configured offered-load window, seconds.
+    pub duration_s: f64,
+    /// Observed wall time of the whole run (offer + settle), seconds.
+    pub elapsed_s: f64,
+    /// Query lines actually written.
+    pub offered: u64,
+    /// `offered / duration_s`.
+    pub offered_qps: f64,
+    /// Queries the server admitted.
+    pub accepted: u64,
+    /// `accepted / duration_s`.
+    pub accepted_qps: f64,
+    /// Rejections with reason `queue_full`.
+    pub rejected_full: u64,
+    /// Rejections with reason `client_backlog`.
+    pub rejected_backlog: u64,
+    /// Rejections with reason `shutting_down`.
+    pub rejected_shutdown: u64,
+    /// Rejections with any other reason (e.g. `invalid_root`).
+    pub rejected_other: u64,
+    /// Rejections that carried a non-null `retry_after_ticks` hint.
+    pub rejects_with_hint: u64,
+    /// Results with status `served`.
+    pub served: u64,
+    /// Results with status `quarantined`.
+    pub quarantined: u64,
+    /// Accepted queries that never got a result — must be 0.
+    pub lost_replies: u64,
+    /// Offered queries never acknowledged at all — must be 0.
+    pub unacked: u64,
+    /// Results for ids not awaiting one — must be 0.
+    pub duplicate_replies: u64,
+    /// Error replies or unparseable reply lines — must be 0.
+    pub protocol_errors: u64,
+    /// Query lines that failed to write.
+    pub write_errors: u64,
+    /// End-to-end accepted→result latency distribution.
+    pub latency: LatencySummary,
+}
+
+impl ToJson for LoadgenReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("connections", self.connections)
+            .field("target_qps", self.target_qps)
+            .field("duration_s", self.duration_s)
+            .field("elapsed_s", self.elapsed_s)
+            .field("offered", self.offered)
+            .field("offered_qps", self.offered_qps)
+            .field("accepted", self.accepted)
+            .field("accepted_qps", self.accepted_qps)
+            .field("rejected_full", self.rejected_full)
+            .field("rejected_backlog", self.rejected_backlog)
+            .field("rejected_shutdown", self.rejected_shutdown)
+            .field("rejected_other", self.rejected_other)
+            .field("rejects_with_hint", self.rejects_with_hint)
+            .field("served", self.served)
+            .field("quarantined", self.quarantined)
+            .field("lost_replies", self.lost_replies)
+            .field("unacked", self.unacked)
+            .field("duplicate_replies", self.duplicate_replies)
+            .field("protocol_errors", self.protocol_errors)
+            .field("write_errors", self.write_errors)
+            .field("latency", self.latency.to_json())
+            .build()
+    }
+}
+
+impl LoadgenReport {
+    /// True when every accounting invariant held: nothing lost,
+    /// nothing duplicated, nothing malformed, nothing unacknowledged.
+    pub fn clean(&self) -> bool {
+        self.lost_replies == 0
+            && self.duplicate_replies == 0
+            && self.protocol_errors == 0
+            && self.unacked == 0
+            && self.write_errors == 0
+    }
+}
+
+/// Send times and in-flight ids shared between one connection's sender
+/// and receiver. Replies to one connection arrive in submission order
+/// for the accepted/rejected acknowledgment (the service thread is a
+/// single serialized stream), so a FIFO of send timestamps matches
+/// acks to offers; results carry ids and match through the map.
+#[derive(Default)]
+struct ConnShared {
+    /// Send instants of offered queries awaiting accepted/rejected.
+    awaiting_ack: Mutex<std::collections::VecDeque<Instant>>,
+    /// Accepted id → send instant, awaiting its result.
+    awaiting_result: Mutex<HashMap<u64, Instant>>,
+}
+
+/// Per-connection receiver tallies, merged into the report at the end.
+#[derive(Default)]
+struct ConnStats {
+    accepted: u64,
+    rejected_full: u64,
+    rejected_backlog: u64,
+    rejected_shutdown: u64,
+    rejected_other: u64,
+    rejects_with_hint: u64,
+    served: u64,
+    quarantined: u64,
+    duplicate_replies: u64,
+    protocol_errors: u64,
+    latency_ms: Vec<f64>,
+}
+
+fn sender_loop(
+    mut stream: TcpStream,
+    shared: &ConnShared,
+    mut rng: SplitMix64,
+    per_conn_interval: Duration,
+    duration: Duration,
+    root_max: u64,
+) -> (u64, u64) {
+    let start = Instant::now();
+    let mut offered = 0u64;
+    let mut write_errors = 0u64;
+    while start.elapsed() < duration {
+        let root = rng.next_below(root_max.max(1));
+        let line = format!("{{\"cmd\":\"query\",\"root\":{root}}}\n");
+        // Record the offer before writing so the receiver can never see
+        // the ack while the FIFO is still empty.
+        shared
+            .awaiting_ack
+            .lock()
+            .unwrap()
+            .push_back(Instant::now());
+        if stream.write_all(line.as_bytes()).is_err() {
+            shared.awaiting_ack.lock().unwrap().pop_back();
+            write_errors += 1;
+            break;
+        }
+        offered += 1;
+        let target = start + per_conn_interval.mul_f64(offered as f64);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+    }
+    // Flush whatever partial batch our last queries are sitting in.
+    let _ = stream.write_all(b"{\"cmd\":\"drain\"}\n");
+    (offered, write_errors)
+}
+
+fn receiver_loop(stream: TcpStream, shared: &ConnShared) -> ConnStats {
+    let mut stats = ConnStats::default();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Ok(reply) = JsonValue::parse(trimmed) else {
+            stats.protocol_errors += 1;
+            continue;
+        };
+        match reply.get("reply").and_then(JsonValue::as_str) {
+            Some("accepted") => {
+                let t0 = shared.awaiting_ack.lock().unwrap().pop_front();
+                let Some(id) = reply.get("id").and_then(JsonValue::as_u64) else {
+                    stats.protocol_errors += 1;
+                    continue;
+                };
+                match t0 {
+                    Some(t0) => {
+                        shared.awaiting_result.lock().unwrap().insert(id, t0);
+                        stats.accepted += 1;
+                    }
+                    None => stats.protocol_errors += 1,
+                }
+            }
+            Some("rejected") => {
+                if shared.awaiting_ack.lock().unwrap().pop_front().is_none() {
+                    stats.protocol_errors += 1;
+                    continue;
+                }
+                match reply.get("reason").and_then(JsonValue::as_str) {
+                    Some("queue_full") => stats.rejected_full += 1,
+                    Some("client_backlog") => stats.rejected_backlog += 1,
+                    Some("shutting_down") => stats.rejected_shutdown += 1,
+                    _ => stats.rejected_other += 1,
+                }
+                if reply
+                    .get("retry_after_ticks")
+                    .and_then(JsonValue::as_u64)
+                    .is_some()
+                {
+                    stats.rejects_with_hint += 1;
+                }
+            }
+            Some("result") => {
+                let Some(id) = reply.get("id").and_then(JsonValue::as_u64) else {
+                    stats.protocol_errors += 1;
+                    continue;
+                };
+                match shared.awaiting_result.lock().unwrap().remove(&id) {
+                    Some(t0) => {
+                        stats.latency_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        match reply.get("status").and_then(JsonValue::as_str) {
+                            Some("served") => stats.served += 1,
+                            _ => stats.quarantined += 1,
+                        }
+                    }
+                    None => stats.duplicate_replies += 1,
+                }
+            }
+            // Lifecycle acknowledgments, not per-query accounting.
+            Some("drained" | "shutting_down" | "shutdown" | "stats") => {}
+            Some("error") | Some(_) | None => stats.protocol_errors += 1,
+        }
+    }
+    stats
+}
+
+/// Drive one configured load run against a listening server.
+///
+/// # Errors
+/// Connection setup errors; a run that connects always returns a
+/// report (individual socket failures surface as its counters).
+pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let started = Instant::now();
+    let connections = cfg.connections.max(1);
+    let per_conn_interval = Duration::from_secs_f64(connections as f64 / cfg.qps.max(1) as f64);
+
+    let mut streams = Vec::with_capacity(connections);
+    let mut shareds = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        streams.push(TcpStream::connect(&cfg.addr)?);
+        shareds.push(Arc::new(ConnShared::default()));
+    }
+
+    let mut receivers = Vec::with_capacity(connections);
+    let mut senders = Vec::with_capacity(connections);
+    for (i, stream) in streams.iter().enumerate() {
+        let shared = Arc::clone(&shareds[i]);
+        let read_half = stream.try_clone()?;
+        receivers.push(std::thread::spawn(move || {
+            receiver_loop(read_half, &shared)
+        }));
+        let shared = Arc::clone(&shareds[i]);
+        let write_half = stream.try_clone()?;
+        let rng = SplitMix64::new(cfg.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let (duration, root_max) = (cfg.duration, cfg.root_max);
+        senders.push(std::thread::spawn(move || {
+            sender_loop(
+                write_half,
+                &shared,
+                rng,
+                per_conn_interval,
+                duration,
+                root_max,
+            )
+        }));
+    }
+
+    let mut offered = 0u64;
+    let mut write_errors = 0u64;
+    for s in senders {
+        let (o, w) = s.join().expect("sender thread panicked");
+        offered += o;
+        write_errors += w;
+    }
+
+    // Settle: wait until every offer is acknowledged and every accepted
+    // query has its result, or give up at the settle deadline.
+    let settle_deadline = Instant::now() + cfg.settle_timeout;
+    loop {
+        let outstanding: usize = shareds
+            .iter()
+            .map(|s| s.awaiting_ack.lock().unwrap().len() + s.awaiting_result.lock().unwrap().len())
+            .sum();
+        if outstanding == 0 || Instant::now() >= settle_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    if cfg.shutdown_at_end {
+        // Exercise the graceful drain; the server answers with a final
+        // shutdown line and closes every connection (receiver EOF).
+        let _ = (&streams[0]).write_all(b"{\"cmd\":\"shutdown\"}\n");
+    } else {
+        for s in &streams {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    let mut report = LoadgenReport {
+        connections: connections as u64,
+        target_qps: cfg.qps,
+        duration_s: cfg.duration.as_secs_f64(),
+        offered,
+        write_errors,
+        ..LoadgenReport::default()
+    };
+    let mut samples = Vec::new();
+    for r in receivers {
+        let s = r.join().expect("receiver thread panicked");
+        report.accepted += s.accepted;
+        report.rejected_full += s.rejected_full;
+        report.rejected_backlog += s.rejected_backlog;
+        report.rejected_shutdown += s.rejected_shutdown;
+        report.rejected_other += s.rejected_other;
+        report.rejects_with_hint += s.rejects_with_hint;
+        report.served += s.served;
+        report.quarantined += s.quarantined;
+        report.duplicate_replies += s.duplicate_replies;
+        report.protocol_errors += s.protocol_errors;
+        samples.extend(s.latency_ms);
+    }
+    for s in &shareds {
+        report.unacked += s.awaiting_ack.lock().unwrap().len() as u64;
+        report.lost_replies += s.awaiting_result.lock().unwrap().len() as u64;
+    }
+    report.latency = LatencySummary::from_samples(samples);
+    report.elapsed_s = started.elapsed().as_secs_f64();
+    let window = report.duration_s.max(1e-9);
+    report.offered_qps = report.offered as f64 / window;
+    report.accepted_qps = report.accepted as f64 / window;
+    Ok(report)
+}

@@ -1,0 +1,623 @@
+//! The concurrent TCP transport for [`BfsService`].
+//!
+//! Topology: one nonblocking accept loop (hard connection limit), one
+//! reader thread and one writer thread per connection, and **one**
+//! service thread that owns the [`BfsService`] — every connection is
+//! multiplexed onto the same deterministic `submit`/`tick`/`drain`
+//! clock through a bounded event channel, so admission order (and
+//! therefore batch formation) is a single serialized stream no matter
+//! how many clients are connected.
+//!
+//! Robustness contract (`docs/SERVE.md`):
+//!
+//! * **Slow or dead clients never wedge the engine.** Readers run
+//!   under a read deadline (an idle client is disconnected), writers
+//!   under a write deadline, and the service thread only ever
+//!   `try_send`s replies — a client whose reply buffer is full is
+//!   disconnected, its results counted as dropped, and the tick loop
+//!   moves on.
+//! * **Overload degrades predictably.** Admission rejections carry the
+//!   service's typed [`RejectReason`](crate::service::RejectReason)
+//!   plus its `retry_after_ticks` hint; a per-connection in-flight cap
+//!   (`client_backlog`) keeps one greedy client from monopolizing the
+//!   queue; the bounded event channel applies natural TCP backpressure
+//!   when readers outrun the service thread.
+//! * **Graceful shutdown loses nothing.** A `shutdown` command (or
+//!   [`TcpServer::shutdown`]) stops the accept loop, absorbs in-transit
+//!   requests for a quiet-window grace period (rejecting new queries
+//!   with `shutting_down`), drains every admitted query, flushes every
+//!   reply, then sends each surviving connection a final
+//!   `{"reply":"shutdown"}` and exits. Every accepted query gets
+//!   exactly one reply.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sunbfs_common::{JsonValue, ToJson};
+
+use crate::proto::{self, ProtoError, Request, MAX_REQUEST_BYTES};
+use crate::service::{BfsService, QueryResult};
+
+/// Events in flight between connections and the service thread. The
+/// channel is bounded: readers block when the service falls behind,
+/// which stalls their sockets — backpressure by TCP itself.
+const EVENT_QUEUE: usize = 1024;
+
+/// Transport knobs. [`ServeConfig`](crate::service::ServeConfig) governs
+/// admission and batch formation; this governs everything socket-side.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Hard cap on simultaneously connected clients; connection
+    /// attempts beyond it get one `refused` error line and a close.
+    pub max_connections: usize,
+    /// Per-connection cap on accepted-but-unanswered queries; beyond
+    /// it submissions are rejected with reason `client_backlog`.
+    pub inflight_cap: usize,
+    /// Read deadline per connection: a client idle this long is
+    /// considered dead and disconnected.
+    pub read_timeout: Duration,
+    /// Write deadline per connection: a client that stops consuming
+    /// replies for this long is disconnected.
+    pub write_timeout: Duration,
+    /// Service-thread clock: one [`BfsService::tick`] fires whenever
+    /// this long passes without an event.
+    pub tick_interval: Duration,
+    /// Shutdown quiet window: in-transit events are still absorbed
+    /// until the channel has been silent this long.
+    pub shutdown_grace: Duration,
+    /// Per-connection reply buffer (lines); a full buffer marks the
+    /// client slow and disconnects it.
+    pub reply_buffer: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_connections: 64,
+            inflight_cap: 128,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(5),
+            tick_interval: Duration::from_millis(10),
+            shutdown_grace: Duration::from_millis(200),
+            reply_buffer: 1024,
+        }
+    }
+}
+
+/// What the transport saw over its lifetime, returned by
+/// [`TcpServer::join`] next to the service's own
+/// [`ServeReport`](crate::report::ServeReport).
+#[derive(Clone, Debug, Default)]
+pub struct NetSummary {
+    /// Connections accepted (readers spawned).
+    pub connections: u64,
+    /// Connections refused at the `max_connections` cap.
+    pub refused_connections: u64,
+    /// Request lines received (well-formed or not).
+    pub requests: u64,
+    /// Lines refused with a typed [`ProtoError`].
+    pub protocol_errors: u64,
+    /// Queries admitted into the service queue.
+    pub accepted: u64,
+    /// Queries rejected by the service ([`RejectReason`](crate::service::RejectReason)).
+    pub rejected: u64,
+    /// Queries rejected at the per-connection in-flight cap.
+    pub rejected_backlog: u64,
+    /// Queries rejected because shutdown was already draining.
+    pub rejected_shutdown: u64,
+    /// Results delivered to their connection's reply buffer.
+    pub results_delivered: u64,
+    /// Results whose connection was gone (or slow) at delivery time.
+    pub results_dropped: u64,
+    /// Queries still pending at shutdown that the final drain flushed.
+    pub shutdown_drained: u64,
+}
+
+impl ToJson for NetSummary {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("connections", self.connections)
+            .field("refused_connections", self.refused_connections)
+            .field("requests", self.requests)
+            .field("protocol_errors", self.protocol_errors)
+            .field("accepted", self.accepted)
+            .field("rejected", self.rejected)
+            .field("rejected_backlog", self.rejected_backlog)
+            .field("rejected_shutdown", self.rejected_shutdown)
+            .field("results_delivered", self.results_delivered)
+            .field("results_dropped", self.results_dropped)
+            .field("shutdown_drained", self.shutdown_drained)
+            .build()
+    }
+}
+
+/// Everything a connection or the listener can tell the service thread.
+enum Event {
+    /// A connection was accepted; `tx` is its reply buffer.
+    Connected { conn: u64, tx: SyncSender<String> },
+    /// One request line arrived (already parsed, maybe into an error).
+    Request {
+        conn: u64,
+        parsed: Result<Request, ProtoError>,
+    },
+    /// The connection's reader exited (EOF, deadline, socket error).
+    Disconnected { conn: u64 },
+    /// [`TcpServer::shutdown`] wants a graceful exit.
+    Stop,
+}
+
+#[derive(Default)]
+struct AcceptCounters {
+    connections: AtomicU64,
+    refused: AtomicU64,
+}
+
+/// A running TCP server. Dropping it does **not** stop the threads —
+/// call [`TcpServer::shutdown`] then [`TcpServer::join`] (or have a
+/// client send `{"cmd":"shutdown"}` and just [`TcpServer::join`]).
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    event_tx: SyncSender<Event>,
+    counters: Arc<AcceptCounters>,
+    accept_handle: JoinHandle<()>,
+    service_handle: JoinHandle<(BfsService, NetSummary)>,
+}
+
+impl TcpServer {
+    /// The bound address (use port 0 to let the OS pick).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Request a graceful shutdown: stop accepting, drain in-flight,
+    /// flush replies. Returns immediately; [`TcpServer::join`] waits.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.event_tx.send(Event::Stop);
+    }
+
+    /// Wait for the server to finish (a `shutdown` command from a
+    /// client, or a prior [`TcpServer::shutdown`] call) and return the
+    /// service plus the transport summary.
+    pub fn join(self) -> (BfsService, NetSummary) {
+        let TcpServer {
+            stop,
+            event_tx,
+            counters,
+            accept_handle,
+            service_handle,
+            ..
+        } = self;
+        let (svc, mut summary) = service_handle.join().expect("service thread panicked");
+        stop.store(true, Ordering::SeqCst);
+        drop(event_tx);
+        accept_handle.join().expect("accept thread panicked");
+        summary.connections = counters.connections.load(Ordering::SeqCst);
+        summary.refused_connections = counters.refused.load(Ordering::SeqCst);
+        (svc, summary)
+    }
+}
+
+/// Bind `addr` and serve `service` over it until shutdown.
+///
+/// # Errors
+/// The bind/configure errors of the underlying listener.
+pub fn serve(service: BfsService, addr: &str, cfg: NetConfig) -> io::Result<TcpServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(AcceptCounters::default());
+    let (event_tx, event_rx) = mpsc::sync_channel::<Event>(EVENT_QUEUE);
+
+    let accept_handle = {
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        let event_tx = event_tx.clone();
+        std::thread::spawn(move || accept_loop(&listener, cfg, &stop, &event_tx, &counters))
+    };
+    let service_handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            ServiceLoop {
+                svc: service,
+                cfg,
+                stop,
+                conns: HashMap::new(),
+                routes: HashMap::new(),
+                draining: false,
+                summary: NetSummary::default(),
+            }
+            .run(&event_rx)
+        })
+    };
+    Ok(TcpServer {
+        local_addr,
+        stop,
+        event_tx,
+        counters,
+        accept_handle,
+        service_handle,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    cfg: NetConfig,
+    stop: &AtomicBool,
+    event_tx: &SyncSender<Event>,
+    counters: &AcceptCounters,
+) {
+    let live = Arc::new(AtomicUsize::new(0));
+    let mut next_conn = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                next_conn += 1;
+                if live.load(Ordering::SeqCst) >= cfg.max_connections {
+                    counters.refused.fetch_add(1, Ordering::SeqCst);
+                    refuse(stream, cfg.max_connections);
+                    continue;
+                }
+                counters.connections.fetch_add(1, Ordering::SeqCst);
+                live.fetch_add(1, Ordering::SeqCst);
+                if spawn_connection(stream, next_conn, cfg, event_tx, &live).is_err() {
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// One error line and a close for a connection beyond the cap.
+fn refuse(mut stream: TcpStream, max: usize) {
+    let line = proto::error_reply(format!("connection limit ({max}) reached"), "refused").render();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Set the deadlines and spawn the reader + writer pair.
+fn spawn_connection(
+    stream: TcpStream,
+    conn: u64,
+    cfg: NetConfig,
+    event_tx: &SyncSender<Event>,
+    live: &Arc<AtomicUsize>,
+) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    let write_half = stream.try_clone()?;
+    write_half.set_write_timeout(Some(cfg.write_timeout))?;
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(cfg.reply_buffer.max(1));
+    event_tx
+        .send(Event::Connected { conn, tx: reply_tx })
+        .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "service thread gone"))?;
+    std::thread::spawn(move || writer_loop(write_half, &reply_rx));
+    let event_tx = event_tx.clone();
+    let live = Arc::clone(live);
+    std::thread::spawn(move || {
+        reader_loop(stream, conn, &event_tx);
+        let _ = event_tx.send(Event::Disconnected { conn });
+        live.fetch_sub(1, Ordering::SeqCst);
+    });
+    Ok(())
+}
+
+/// Drain the reply buffer onto the socket; on exit (channel closed by
+/// the service thread, or the write deadline fired) shut the socket
+/// down both ways, which also unblocks this connection's reader.
+fn writer_loop(mut stream: TcpStream, rx: &Receiver<String>) {
+    for line in rx {
+        if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+enum LineRead {
+    Line(String),
+    Oversized(usize),
+    Eof,
+    /// Socket error — including the read deadline on an idle client.
+    Dead,
+}
+
+/// Read one newline-terminated line without ever buffering more than
+/// [`MAX_REQUEST_BYTES`] of it — a client streaming an endless line
+/// cannot balloon server memory.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (done, used) = {
+            let available = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(_) => return LineRead::Dead,
+            };
+            if available.is_empty() {
+                return if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    // Final unterminated line before EOF still counts.
+                    LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+                };
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..i]);
+                    (true, i + 1)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (false, available.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if buf.len() > MAX_REQUEST_BYTES {
+            return LineRead::Oversized(buf.len());
+        }
+        if done {
+            return LineRead::Line(String::from_utf8_lossy(&buf).into_owned());
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, conn: u64, event_tx: &SyncSender<Event>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_bounded_line(&mut reader) {
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let parsed = proto::parse_request(&line);
+                let fatal = parsed.as_ref().err().is_some_and(ProtoError::is_fatal);
+                if event_tx.send(Event::Request { conn, parsed }).is_err() || fatal {
+                    break;
+                }
+            }
+            LineRead::Oversized(bytes) => {
+                // Framing is lost — report the typed error, then drop
+                // the connection.
+                let _ = event_tx.send(Event::Request {
+                    conn,
+                    parsed: Err(ProtoError::Oversized {
+                        bytes,
+                        max: MAX_REQUEST_BYTES,
+                    }),
+                });
+                break;
+            }
+            LineRead::Eof | LineRead::Dead => break,
+        }
+    }
+}
+
+struct ConnState {
+    tx: SyncSender<String>,
+    in_flight: usize,
+}
+
+/// The single thread that owns the [`BfsService`] and its clock.
+struct ServiceLoop {
+    svc: BfsService,
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+    conns: HashMap<u64, ConnState>,
+    /// QueryId → connection, for routing results back.
+    routes: HashMap<u64, u64>,
+    draining: bool,
+    summary: NetSummary,
+}
+
+impl ServiceLoop {
+    fn run(mut self, rx: &Receiver<Event>) -> (BfsService, NetSummary) {
+        loop {
+            match rx.recv_timeout(self.cfg.tick_interval) {
+                Ok(Event::Stop) => break,
+                Ok(ev) => {
+                    if self.handle(ev) {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let done = self.svc.tick();
+                    self.route(done);
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.shutdown(rx);
+        (self.svc, self.summary)
+    }
+
+    /// Handle one event; `true` means a client asked for shutdown.
+    fn handle(&mut self, ev: Event) -> bool {
+        match ev {
+            Event::Connected { conn, tx } => {
+                self.conns.insert(conn, ConnState { tx, in_flight: 0 });
+                false
+            }
+            Event::Disconnected { conn } => {
+                self.conns.remove(&conn);
+                false
+            }
+            Event::Request { conn, parsed } => {
+                self.summary.requests += 1;
+                match parsed {
+                    Ok(req) => self.handle_request(conn, req),
+                    Err(e) => {
+                        self.summary.protocol_errors += 1;
+                        self.send(conn, &proto::proto_error_reply(&e));
+                        false
+                    }
+                }
+            }
+            Event::Stop => true,
+        }
+    }
+
+    fn handle_request(&mut self, conn: u64, req: Request) -> bool {
+        match req {
+            Request::Query { root } => {
+                self.submit_root(conn, root);
+                let done = self.svc.tick();
+                self.route(done);
+                false
+            }
+            Request::Batch { roots } => {
+                for root in roots {
+                    self.submit_root(conn, root);
+                }
+                let done = self.svc.tick();
+                self.route(done);
+                false
+            }
+            Request::Stats => {
+                let reply = proto::stats_reply(&self.svc.report());
+                self.send(conn, &reply);
+                false
+            }
+            Request::Drain => {
+                let done = self.svc.drain();
+                self.route(done);
+                let reply = proto::drained_reply(self.svc.queue_depth());
+                self.send(conn, &reply);
+                false
+            }
+            Request::Shutdown => {
+                let reply = proto::shutting_down_reply(self.svc.queue_depth());
+                self.send(conn, &reply);
+                true
+            }
+            Request::Load(_) => {
+                self.send(
+                    conn,
+                    &proto::error_reply(
+                        "the TCP server loads its graph at startup; \"load\" is stdin-only",
+                        "bad_request",
+                    ),
+                );
+                false
+            }
+        }
+    }
+
+    fn submit_root(&mut self, conn: u64, root: u64) {
+        if self.draining {
+            self.summary.rejected_shutdown += 1;
+            let reply = proto::rejected_reply(
+                root,
+                "shutting_down",
+                "server is draining for shutdown",
+                None,
+            );
+            self.send(conn, &reply);
+            return;
+        }
+        let backlog = self.conns.get(&conn).map_or(0, |c| c.in_flight);
+        if backlog >= self.cfg.inflight_cap {
+            self.summary.rejected_backlog += 1;
+            let detail = format!(
+                "{backlog} queries in flight on this connection (cap {})",
+                self.cfg.inflight_cap
+            );
+            let reply = proto::rejected_reply(root, "client_backlog", &detail, Some(1));
+            self.send(conn, &reply);
+            return;
+        }
+        match self.svc.submit(root) {
+            Ok(id) => {
+                self.summary.accepted += 1;
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.in_flight += 1;
+                }
+                self.routes.insert(id.0, conn);
+                let reply = proto::accepted_reply(id.0, root, self.svc.queue_depth());
+                self.send(conn, &reply);
+            }
+            Err(reason) => {
+                self.summary.rejected += 1;
+                let reply = proto::rejection_reply(root, &reason);
+                self.send(conn, &reply);
+            }
+        }
+    }
+
+    /// Deliver completed queries to whoever submitted them.
+    fn route(&mut self, results: Vec<QueryResult>) {
+        for r in results {
+            let Some(conn) = self.routes.remove(&r.id.0) else {
+                self.summary.results_dropped += 1;
+                continue;
+            };
+            if let Some(c) = self.conns.get_mut(&conn) {
+                c.in_flight = c.in_flight.saturating_sub(1);
+            }
+            if self.send(conn, &proto::result_reply(&r)) {
+                self.summary.results_delivered += 1;
+            } else {
+                self.summary.results_dropped += 1;
+            }
+        }
+    }
+
+    /// Non-blocking reply delivery. A full buffer means the writer is
+    /// stuck behind its deadline on a slow client — disconnect it
+    /// rather than ever blocking the service thread.
+    fn send(&mut self, conn: u64, reply: &JsonValue) -> bool {
+        let Some(c) = self.conns.get(&conn) else {
+            return false;
+        };
+        match c.tx.try_send(reply.render()) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.conns.remove(&conn);
+                false
+            }
+        }
+    }
+
+    /// Graceful exit: absorb in-transit events until the channel goes
+    /// quiet (bounded by a hard deadline), drain every admitted query,
+    /// deliver the results, and hand each survivor a final
+    /// `{"reply":"shutdown"}` line.
+    fn shutdown(&mut self, rx: &Receiver<Event>) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.draining = true;
+        let hard_deadline = Instant::now() + self.cfg.shutdown_grace * 10 + Duration::from_secs(1);
+        while Instant::now() < hard_deadline {
+            match rx.recv_timeout(self.cfg.shutdown_grace) {
+                Ok(Event::Stop) => continue,
+                Ok(ev) => {
+                    self.handle(ev);
+                }
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let done = self.svc.drain();
+        self.summary.shutdown_drained = done.len() as u64;
+        self.route(done);
+        let farewell = proto::shutdown_reply(self.summary.shutdown_drained).render();
+        for c in self.conns.values() {
+            let _ = c.tx.try_send(farewell.clone());
+        }
+        // Dropping the reply senders lets every writer flush its buffer
+        // and close its socket.
+        self.conns.clear();
+    }
+}

@@ -1,0 +1,605 @@
+//! The newline-delimited-JSON wire protocol shared by the stdin
+//! server and the TCP server.
+//!
+//! One JSON object per line in each direction. Requests parse into a
+//! typed [`Request`]; anything malformed parses into a typed
+//! [`ProtoError`] instead of a stringly error, so both transports
+//! refuse bad input identically and tests can pin the failure class.
+//! Replies are built here too — one serializer per reply shape — so a
+//! `result` line from the stdin example and from the TCP service are
+//! byte-identical for the same [`QueryResult`].
+//!
+//! Every reply carries a `"reply"` discriminator. Rejections carry the
+//! admission reason plus an optional `retry_after_ticks` backoff hint
+//! (see [`RejectReason::retry_after_ticks`]); error replies carry a
+//! stable `kind` label after the human-readable `detail`.
+
+use sunbfs_common::{JsonValue, MachineConfig, ToJson};
+use sunbfs_core::EngineConfig;
+use sunbfs_net::MeshShape;
+use sunbfs_part::Thresholds;
+
+use crate::report::ServeReport;
+use crate::service::{QueryResult, QueryStatus, RejectReason, ServeConfig};
+use crate::session::{GraphSession, SessionConfig};
+
+/// Hard cap on one request line. A line that exceeds it is refused
+/// with [`ProtoError::Oversized`] — and, over TCP, disconnected,
+/// because the line framing can no longer be trusted.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// One parsed client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Build (or open) the resident graph. Stdin-only: the TCP server
+    /// loads its graph at startup and refuses this over the wire.
+    Load(Box<LoadRequest>),
+    /// Submit one root.
+    Query {
+        /// The requested BFS root.
+        root: u64,
+    },
+    /// Submit many roots at once.
+    Batch {
+        /// The requested BFS roots, in submission order.
+        roots: Vec<u64>,
+    },
+    /// Ask for the full [`ServeReport`].
+    Stats,
+    /// Flush every pending query now.
+    Drain,
+    /// Graceful shutdown: stop accepting, drain in-flight, flush
+    /// replies, exit.
+    Shutdown,
+}
+
+/// A validated `load` command: both configs plus the optional store
+/// path.
+#[derive(Clone, Debug)]
+pub struct LoadRequest {
+    /// The graph to materialize.
+    pub session: SessionConfig,
+    /// The service knobs to run with.
+    pub serve: ServeConfig,
+    /// A `sunbfs-store` file to open instead of rebuilding.
+    pub path: Option<String>,
+}
+
+/// Why a request line was refused, as a closed set of classes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The line exceeds [`MAX_REQUEST_BYTES`]. Fatal over TCP: the
+    /// reader can no longer find the next line boundary safely.
+    Oversized {
+        /// Bytes seen before giving up (may undercount the line).
+        bytes: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The line is not one well-formed JSON document.
+    BadJson {
+        /// The parser's message (byte offset of the offense).
+        detail: String,
+    },
+    /// The object has no `"cmd"` string field.
+    MissingCmd,
+    /// The `"cmd"` names no known command.
+    UnknownCmd {
+        /// The unknown command verb.
+        cmd: String,
+    },
+    /// A known command with a missing, mistyped, or out-of-range
+    /// field. Mistyped knobs refuse the whole command — never a
+    /// silent fall-back to the default value.
+    BadRequest {
+        /// What was wrong, naming the field.
+        detail: String,
+    },
+}
+
+impl ProtoError {
+    /// Stable machine-readable class label (the reply's `kind`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtoError::Oversized { .. } => "oversized",
+            ProtoError::BadJson { .. } => "bad_json",
+            ProtoError::MissingCmd => "missing_cmd",
+            ProtoError::UnknownCmd { .. } => "unknown_cmd",
+            ProtoError::BadRequest { .. } => "bad_request",
+        }
+    }
+
+    /// True when the connection cannot continue after this error
+    /// (framing is lost, so the peer must reconnect).
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, ProtoError::Oversized { .. })
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Oversized { bytes, max } => {
+                write!(
+                    f,
+                    "request line of {bytes}+ bytes exceeds the {max}-byte cap"
+                )
+            }
+            ProtoError::BadJson { detail } => write!(f, "bad JSON: {detail}"),
+            ProtoError::MissingCmd => write!(f, "missing \"cmd\" field"),
+            ProtoError::UnknownCmd { cmd } => write!(f, "unknown cmd {cmd:?}"),
+            ProtoError::BadRequest { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Parse one request line into a typed [`Request`].
+///
+/// # Errors
+/// A typed [`ProtoError`] naming the failure class.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    if line.len() > MAX_REQUEST_BYTES {
+        return Err(ProtoError::Oversized {
+            bytes: line.len(),
+            max: MAX_REQUEST_BYTES,
+        });
+    }
+    let cmd = JsonValue::parse(line).map_err(|detail| ProtoError::BadJson { detail })?;
+    match cmd.get("cmd").and_then(JsonValue::as_str) {
+        Some("load") => parse_load(&cmd).map(|l| Request::Load(Box::new(l))),
+        Some("query") => match cmd.get("root").and_then(JsonValue::as_u64) {
+            Some(root) => Ok(Request::Query { root }),
+            None => Err(ProtoError::BadRequest {
+                detail: "query needs a numeric \"root\"".into(),
+            }),
+        },
+        Some("batch") => {
+            let Some(items) = cmd.get("roots").and_then(JsonValue::as_array) else {
+                return Err(ProtoError::BadRequest {
+                    detail: "batch needs a \"roots\" array".into(),
+                });
+            };
+            let mut roots = Vec::with_capacity(items.len());
+            for v in items {
+                match v.as_u64() {
+                    Some(root) => roots.push(root),
+                    None => {
+                        return Err(ProtoError::BadRequest {
+                            detail: format!("non-numeric root {}", v.render()),
+                        })
+                    }
+                }
+            }
+            Ok(Request::Batch { roots })
+        }
+        Some("stats") => Ok(Request::Stats),
+        Some("drain") => Ok(Request::Drain),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some(other) => Err(ProtoError::UnknownCmd { cmd: other.into() }),
+        None => Err(ProtoError::MissingCmd),
+    }
+}
+
+/// A numeric knob with a default and an inclusive range. A knob that is
+/// present but mistyped (not an unsigned integer) or out of range is a
+/// refusal, not a silent fall-back — `{"scale":"14"}` must never run a
+/// default-scale build.
+fn knob(cmd: &JsonValue, key: &str, default: u64, min: u64, max: u64) -> Result<u64, ProtoError> {
+    match cmd.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_u64() {
+            Some(n) if (min..=max).contains(&n) => Ok(n),
+            Some(n) => Err(ProtoError::BadRequest {
+                detail: format!("load knob {key:?} must be in {min}..={max}, got {n}"),
+            }),
+            None => Err(ProtoError::BadRequest {
+                detail: format!(
+                    "load knob {key:?} must be an unsigned integer, got {}",
+                    v.render()
+                ),
+            }),
+        },
+    }
+}
+
+/// A boolean knob with a default; mistyped values are refused.
+fn bool_knob(cmd: &JsonValue, key: &str, default: bool) -> Result<bool, ProtoError> {
+    match cmd.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_bool().ok_or_else(|| ProtoError::BadRequest {
+            detail: format!("load knob {key:?} must be a boolean, got {}", v.render()),
+        }),
+    }
+}
+
+/// The optional `path` knob: a store file to open instead of rebuilding.
+fn path_knob(cmd: &JsonValue) -> Result<Option<String>, ProtoError> {
+    match (cmd.get("path"), ()) {
+        (None, ()) => Ok(None),
+        (Some(v), ()) => {
+            v.as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| ProtoError::BadRequest {
+                    detail: format!("load knob \"path\" must be a string, got {}", v.render()),
+                })
+        }
+    }
+}
+
+/// Validate every `load` knob into the two configs plus the optional
+/// store path. Any mistyped field refuses the whole command.
+fn parse_load(cmd: &JsonValue) -> Result<LoadRequest, ProtoError> {
+    let scale = knob(cmd, "scale", 10, 1, 40)?;
+    let ranks = knob(cmd, "ranks", 4, 1, 1 << 16)?;
+    let e_threshold = knob(cmd, "e_threshold", 256, 0, u64::from(u32::MAX))?;
+    let h_threshold = knob(cmd, "h_threshold", 64, 0, u64::from(u32::MAX))?;
+    if h_threshold > e_threshold {
+        // Thresholds::new panics on h > e; refuse before constructing.
+        return Err(ProtoError::BadRequest {
+            detail: format!(
+                "load knob \"h_threshold\" ({h_threshold}) must not exceed \
+                 \"e_threshold\" ({e_threshold})"
+            ),
+        });
+    }
+    let session = SessionConfig {
+        scale: scale as u32,
+        edge_factor: knob(cmd, "edge_factor", 16, 1, u64::from(u32::MAX))? as u32,
+        mesh: MeshShape::near_square(ranks as usize),
+        thresholds: Thresholds::new(e_threshold as u32, h_threshold as u32),
+        engine: EngineConfig::default(),
+        machine: MachineConfig::new_sunway(),
+        seed: knob(cmd, "seed", 42, 0, u64::MAX)?,
+        max_load_attempts: 3,
+    };
+    let serve = ServeConfig {
+        queue_capacity: knob(cmd, "queue_capacity", 256, 1, 1 << 20)? as usize,
+        batch_max: knob(
+            cmd,
+            "batch_max",
+            crate::MAX_BATCH as u64,
+            1,
+            crate::MAX_BATCH as u64,
+        )? as usize,
+        flush_deadline: knob(cmd, "flush_deadline", 4, 0, u64::from(u32::MAX))? as u32,
+        max_root_retries: 2,
+        measure_baseline: bool_knob(cmd, "baseline", false)?,
+    };
+    Ok(LoadRequest {
+        session,
+        serve,
+        path: path_knob(cmd)?,
+    })
+}
+
+/// A generic `{"reply":"error","detail":...,"kind":...}` refusal.
+pub fn error_reply(detail: impl Into<String>, kind: &'static str) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "error")
+        .field("detail", detail.into())
+        .field("kind", kind)
+        .build()
+}
+
+/// The error reply for a typed protocol failure.
+pub fn proto_error_reply(e: &ProtoError) -> JsonValue {
+    error_reply(e.to_string(), e.label())
+}
+
+/// The acknowledgment for an admitted query.
+pub fn accepted_reply(id: u64, root: u64, queue_depth: usize) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "accepted")
+        .field("id", id)
+        .field("root", root)
+        .field("queue_depth", queue_depth as u64)
+        .build()
+}
+
+/// A rejection with an arbitrary reason label and an optional backoff
+/// hint (the transport layers add reasons of their own — per-client
+/// backlog caps, shutdown — on top of the service's [`RejectReason`]s).
+pub fn rejected_reply(
+    root: u64,
+    reason: &str,
+    detail: &str,
+    retry_after_ticks: Option<u32>,
+) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "rejected")
+        .field("root", root)
+        .field("reason", reason)
+        .field("detail", detail)
+        .field(
+            "retry_after_ticks",
+            match retry_after_ticks {
+                Some(t) => JsonValue::from(u64::from(t)),
+                None => JsonValue::Null,
+            },
+        )
+        .build()
+}
+
+/// The rejection reply for a typed service-level [`RejectReason`],
+/// surfacing its backoff hint when it has one.
+pub fn rejection_reply(root: u64, reason: &RejectReason) -> JsonValue {
+    rejected_reply(
+        root,
+        reason.label(),
+        &reason.to_string(),
+        reason.retry_after_ticks(),
+    )
+}
+
+/// Render a completed query (histogram and parent handle length, not
+/// the full parent array — trees at serving scale dwarf a reply line).
+pub fn result_reply(r: &QueryResult) -> JsonValue {
+    let mut o = JsonValue::object()
+        .field("reply", "result")
+        .field("id", r.id.0)
+        .field("root", r.root)
+        .field("batch_id", r.batch_id)
+        .field("status", r.status.label())
+        .field("visited", r.visited)
+        .field(
+            "depth_histogram",
+            JsonValue::Array(
+                r.depth_histogram
+                    .iter()
+                    .map(|&c| JsonValue::from(c))
+                    .collect(),
+            ),
+        )
+        .field(
+            "parents_len",
+            r.parents.as_ref().map_or(0, |p| p.len()) as u64,
+        )
+        .field("sim_latency_s", r.sim_latency_s)
+        .field("via_fallback", r.via_fallback);
+    if let QueryStatus::Quarantined(q) = &r.status {
+        o = o
+            .field("quarantine", q.label)
+            .field("detail", q.detail.clone());
+    }
+    o.build()
+}
+
+/// The `stats` reply wrapping the full [`ServeReport`].
+pub fn stats_reply(report: &ServeReport) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "stats")
+        .field("serve", report.to_json())
+        .build()
+}
+
+/// The acknowledgment after a `drain`.
+pub fn drained_reply(queue_depth: usize) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "drained")
+        .field("queue_depth", queue_depth as u64)
+        .build()
+}
+
+/// The acknowledgment for a successful `load`.
+pub fn loaded_reply(session: &GraphSession) -> JsonValue {
+    let cfg = session.config();
+    JsonValue::object()
+        .field("reply", "loaded")
+        .field("scale", u64::from(cfg.scale))
+        .field("ranks", cfg.mesh.num_ranks() as u64)
+        .field("vertices", session.num_vertices())
+        .field("build_sim_seconds", session.build_sim_seconds)
+        .field("load_sim_seconds", session.load_sim_seconds)
+        .field("load_attempts", u64::from(session.load_attempts))
+        .field(
+            "store",
+            match &session.store {
+                Some(s) => s.to_json(),
+                None => JsonValue::Null,
+            },
+        )
+        .build()
+}
+
+/// The immediate acknowledgment of a `shutdown` request (sent before
+/// the drain starts; the final [`shutdown_reply`] follows it).
+pub fn shutting_down_reply(queue_depth: usize) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "shutting_down")
+        .field("queue_depth", queue_depth as u64)
+        .build()
+}
+
+/// The final reply of a graceful shutdown, after every in-flight query
+/// has been drained and its result flushed.
+pub fn shutdown_reply(drained: u64) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "shutdown")
+        .field("drained", drained)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::QueryId;
+    use std::sync::Arc;
+
+    #[test]
+    fn well_formed_requests_parse() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"query","root":7}"#),
+            Ok(Request::Query { root: 7 })
+        ));
+        match parse_request(r#"{"cmd":"batch","roots":[1,2,3]}"#) {
+            Ok(Request::Batch { roots }) => assert_eq!(roots, vec![1, 2, 3]),
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stats"}"#),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"drain"}"#),
+            Ok(Request::Drain)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+        match parse_request(r#"{"cmd":"load","scale":9,"ranks":4,"batch_max":8}"#) {
+            Ok(Request::Load(l)) => {
+                assert_eq!(l.session.scale, 9);
+                assert_eq!(l.session.mesh.num_ranks(), 4);
+                assert_eq!(l.serve.batch_max, 8);
+                assert!(l.path.is_none());
+            }
+            other => panic!("expected load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_bad_json() {
+        for bad in ["", "not json", "{", r#"{"cmd":}"#] {
+            match parse_request(bad) {
+                Err(ProtoError::BadJson { .. }) => {}
+                other => panic!("{bad:?} must be BadJson, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_and_missing_commands_are_typed() {
+        match parse_request(r#"{"cmd":"zap"}"#) {
+            Err(ProtoError::UnknownCmd { cmd }) => assert_eq!(cmd, "zap"),
+            other => panic!("expected UnknownCmd, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"root":1}"#),
+            Err(ProtoError::MissingCmd)
+        ));
+        // A non-string cmd is "missing" — there is no verb to dispatch.
+        assert!(matches!(
+            parse_request(r#"{"cmd":3}"#),
+            Err(ProtoError::MissingCmd)
+        ));
+    }
+
+    #[test]
+    fn oversized_lines_are_fatal() {
+        let line = format!(
+            r#"{{"cmd":"query","root":1,"pad":"{}"}}"#,
+            "x".repeat(MAX_REQUEST_BYTES)
+        );
+        let err = parse_request(&line).expect_err("oversized must refuse");
+        assert!(matches!(err, ProtoError::Oversized { .. }));
+        assert!(err.is_fatal());
+        assert_eq!(err.label(), "oversized");
+        // Every other class keeps the connection usable.
+        assert!(!ProtoError::MissingCmd.is_fatal());
+    }
+
+    #[test]
+    fn bad_fields_refuse_the_whole_command() {
+        for (line, needle) in [
+            (r#"{"cmd":"query"}"#, "numeric \"root\""),
+            (r#"{"cmd":"query","root":"5"}"#, "numeric \"root\""),
+            (r#"{"cmd":"batch"}"#, "\"roots\" array"),
+            (r#"{"cmd":"batch","roots":[1,"2"]}"#, "non-numeric root"),
+            (r#"{"cmd":"load","scale":"9"}"#, "unsigned integer"),
+            (r#"{"cmd":"load","scale":99}"#, "must be in 1..=40"),
+            (r#"{"cmd":"load","baseline":1}"#, "must be a boolean"),
+            (r#"{"cmd":"load","path":7}"#, "must be a string"),
+            (
+                r#"{"cmd":"load","e_threshold":8,"h_threshold":16}"#,
+                "must not exceed",
+            ),
+        ] {
+            match parse_request(line) {
+                Err(ProtoError::BadRequest { detail }) => {
+                    assert!(
+                        detail.contains(needle),
+                        "{line}: {detail:?} lacks {needle:?}"
+                    )
+                }
+                other => panic!("{line} must be BadRequest, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejection_replies_carry_the_backoff_hint() {
+        let full = RejectReason::QueueFull {
+            capacity: 8,
+            retry_after_ticks: 3,
+        };
+        let js = rejection_reply(5, &full).render();
+        assert!(js.contains(r#""reason":"queue_full""#), "got {js}");
+        assert!(js.contains(r#""retry_after_ticks":3"#), "got {js}");
+
+        let invalid = RejectReason::InvalidRoot {
+            root: 99,
+            num_vertices: 64,
+        };
+        let js = rejection_reply(99, &invalid).render();
+        assert!(js.contains(r#""reason":"invalid_root""#), "got {js}");
+        assert!(js.contains(r#""retry_after_ticks":null"#), "got {js}");
+    }
+
+    #[test]
+    fn reply_shapes_carry_their_discriminators() {
+        assert!(accepted_reply(1, 2, 3)
+            .render()
+            .starts_with(r#"{"reply":"accepted","id":1,"root":2,"queue_depth":3"#));
+        assert!(drained_reply(0)
+            .render()
+            .starts_with(r#"{"reply":"drained"#));
+        assert!(shutting_down_reply(2)
+            .render()
+            .starts_with(r#"{"reply":"shutting_down","queue_depth":2"#));
+        assert!(shutdown_reply(7)
+            .render()
+            .starts_with(r#"{"reply":"shutdown","drained":7"#));
+        let err = proto_error_reply(&ProtoError::MissingCmd).render();
+        assert!(
+            err.starts_with(
+                r#"{"reply":"error","detail":"missing \"cmd\" field","kind":"missing_cmd""#
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn result_replies_render_status_and_quarantine_detail() {
+        let served = QueryResult {
+            id: QueryId(4),
+            root: 9,
+            batch_id: 1,
+            status: QueryStatus::Served,
+            parents: Some(Arc::new(vec![0, 1])),
+            depth_histogram: vec![1, 1],
+            visited: 2,
+            engine_traversed_edges: 3,
+            sim_latency_s: 0.5,
+            wall_latency_s: 0.1,
+            via_fallback: false,
+        };
+        let js = result_reply(&served).render();
+        assert!(js.contains(r#""status":"served""#), "got {js}");
+        assert!(js.contains(r#""parents_len":2"#), "got {js}");
+        assert!(!js.contains("quarantine"), "got {js}");
+
+        let mut bad = served;
+        bad.status = QueryStatus::Quarantined(crate::service::Quarantine {
+            label: "engine",
+            detail: "boom".into(),
+        });
+        bad.parents = None;
+        let js = result_reply(&bad).render();
+        assert!(js.contains(r#""status":"quarantined""#), "got {js}");
+        assert!(js.contains(r#""quarantine":"engine""#), "got {js}");
+        assert!(js.contains(r#""detail":"boom""#), "got {js}");
+    }
+}

@@ -81,6 +81,11 @@ pub enum RejectReason {
     QueueFull {
         /// The configured capacity that was hit.
         capacity: usize,
+        /// Ticks until the queue is expected to have room again: the
+        /// next tick when a full batch is already waiting, otherwise
+        /// the remaining partial-batch deadline. Clients should wait
+        /// this many ticks before resubmitting instead of hot-looping.
+        retry_after_ticks: u32,
     },
     /// The root is not a vertex of the resident graph.
     InvalidRoot {
@@ -99,13 +104,30 @@ impl RejectReason {
             RejectReason::InvalidRoot { .. } => "invalid_root",
         }
     }
+
+    /// The backoff hint, when this rejection is retryable at all.
+    /// `QueueFull` clears after a flush; an invalid root never will.
+    pub fn retry_after_ticks(&self) -> Option<u32> {
+        match self {
+            RejectReason::QueueFull {
+                retry_after_ticks, ..
+            } => Some(*retry_after_ticks),
+            RejectReason::InvalidRoot { .. } => None,
+        }
+    }
 }
 
 impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RejectReason::QueueFull { capacity } => {
-                write!(f, "queue full (capacity {capacity})")
+            RejectReason::QueueFull {
+                capacity,
+                retry_after_ticks,
+            } => {
+                write!(
+                    f,
+                    "queue full (capacity {capacity}); retry after {retry_after_ticks} tick(s)"
+                )
             }
             RejectReason::InvalidRoot { root, num_vertices } => {
                 write!(f, "root {root} outside vertex range [0, {num_vertices})")
@@ -221,6 +243,22 @@ impl BfsService {
         &self.session
     }
 
+    /// The knobs this service runs with (after clamping).
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Ticks until the pending queue is expected to shrink: 1 when a
+    /// full batch is already waiting (the next tick flushes it),
+    /// otherwise the ticks left until the partial-batch deadline fires.
+    fn retry_after_ticks(&self) -> u32 {
+        if self.pending.len() >= self.cfg.batch_max {
+            1
+        } else {
+            self.cfg.flush_deadline.saturating_sub(self.age).max(1)
+        }
+    }
+
     /// Pending (admitted, not yet executed) queries.
     pub fn queue_depth(&self) -> usize {
         self.pending.len()
@@ -242,6 +280,7 @@ impl BfsService {
             self.report.rejected_full += 1;
             return Err(RejectReason::QueueFull {
                 capacity: self.cfg.queue_capacity,
+                retry_after_ticks: self.retry_after_ticks(),
             });
         }
         let id = QueryId(self.next_id);

@@ -28,8 +28,16 @@ fn queue_full_rejects_and_recovers_after_a_flush() {
     svc.submit(1).expect("first admit");
     svc.submit(2).expect("second admit");
     let err = svc.submit(3).expect_err("third must hit backpressure");
-    assert_eq!(err, RejectReason::QueueFull { capacity: 2 });
+    // Two pending >= batch_max 2: the next tick flushes, so the hint is 1.
+    assert_eq!(
+        err,
+        RejectReason::QueueFull {
+            capacity: 2,
+            retry_after_ticks: 1
+        }
+    );
     assert_eq!(err.label(), "queue_full");
+    assert_eq!(err.retry_after_ticks(), Some(1));
 
     // A tick flushes the full batch; the queue then admits again.
     let done = svc.tick();
@@ -135,6 +143,108 @@ fn drain_flushes_everything_without_waiting() {
             .map(|b| b.occupancy)
             .collect::<Vec<_>>(),
         vec![3, 3, 1]
+    );
+}
+
+#[test]
+fn flush_deadline_zero_flushes_on_every_tick() {
+    let mut svc = service(
+        8,
+        4,
+        ServeConfig {
+            batch_max: 64,
+            flush_deadline: 0,
+            ..ServeConfig::default()
+        },
+    );
+    svc.submit(1).expect("admit");
+    // Deadline 0: even a single-query partial batch must not wait.
+    let done = svc.tick();
+    assert_eq!(done.len(), 1);
+    assert!(matches!(done[0].status, QueryStatus::Served));
+    assert_eq!(svc.queue_depth(), 0);
+    // An empty tick stays empty and doesn't fabricate batches.
+    assert!(svc.tick().is_empty());
+    assert_eq!(svc.report().batches.len(), 1);
+    // The backoff hint can never be 0 ticks even at deadline 0.
+    for root in 0..svc.config().queue_capacity as u64 {
+        svc.submit(root).expect("fill");
+    }
+    let err = svc.submit(9).expect_err("full");
+    assert_eq!(err.retry_after_ticks(), Some(1));
+}
+
+#[test]
+fn batch_max_one_degenerates_to_sequential_batches() {
+    let mut svc = service(
+        8,
+        4,
+        ServeConfig {
+            batch_max: 1,
+            flush_deadline: 100,
+            ..ServeConfig::default()
+        },
+    );
+    for root in [3u64, 4, 5] {
+        svc.submit(root).expect("admit");
+    }
+    // Every pending query is its own full batch: one tick flushes all
+    // three as three single-occupancy batches, in submission order.
+    let done = svc.tick();
+    assert_eq!(done.len(), 3);
+    assert_eq!(
+        done.iter().map(|r| r.root).collect::<Vec<_>>(),
+        vec![3, 4, 5]
+    );
+    let batch_ids: Vec<u64> = done.iter().map(|r| r.batch_id).collect();
+    assert_eq!(batch_ids.len(), 3);
+    assert!(batch_ids.windows(2).all(|w| w[0] != w[1]));
+    let report = svc.report();
+    assert_eq!(report.batches.len(), 3);
+    assert!(report.batches.iter().all(|b| b.occupancy == 1));
+    // Occupancy 1 lands in the "1" bucket (index 0).
+    assert_eq!(report.occupancy_histogram[0], 3);
+}
+
+#[test]
+fn submit_at_capacity_then_drain_preserves_reply_order() {
+    let mut svc = service(
+        8,
+        4,
+        ServeConfig {
+            queue_capacity: 5,
+            batch_max: 2,
+            flush_deadline: 100,
+            ..ServeConfig::default()
+        },
+    );
+    let mut admitted = Vec::new();
+    for root in 1u64..=5 {
+        admitted.push((svc.submit(root).expect("admit"), root));
+    }
+    svc.submit(6).expect_err("at capacity");
+    // Drain flushes batches of 2, 2, 1 — and the results come back in
+    // exactly the submission order with their original ids intact.
+    let done = svc.drain();
+    assert_eq!(done.len(), 5);
+    assert_eq!(
+        done.iter().map(|r| (r.id, r.root)).collect::<Vec<_>>(),
+        admitted
+    );
+    assert!(done.iter().all(|r| matches!(r.status, QueryStatus::Served)));
+    // The queue is empty again: admission resumes and the drained
+    // rejection didn't leak into the pending count.
+    assert_eq!(svc.queue_depth(), 0);
+    svc.submit(6).expect("admission resumes after drain");
+    let report = svc.report();
+    assert_eq!(report.rejected_full, 1);
+    assert_eq!(
+        report
+            .batches
+            .iter()
+            .map(|b| b.occupancy)
+            .collect::<Vec<_>>(),
+        vec![2, 2, 1]
     );
 }
 

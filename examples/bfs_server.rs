@@ -1,8 +1,13 @@
-//! `bfs_server` — the BFS query service speaking newline-delimited
-//! JSON on stdin/stdout.
+//! `bfs_server` — the BFS query service, over stdin or TCP.
 //!
-//! One JSON object per input line; one (or more) JSON objects per
-//! output line. The protocol (documented in `docs/SERVE.md`):
+//! Both transports speak the same newline-delimited-JSON protocol
+//! (`sunbfs::serve::proto`, documented in `docs/SERVE.md`): one JSON
+//! object per input line, one (or more) JSON objects per output line,
+//! every reply carrying a `"reply"` discriminator. Malformed input is
+//! a typed `{"reply":"error","detail":...,"kind":...}` refusal and
+//! never kills the server.
+//!
+//! **Stdin mode** (no arguments) — the single-client loop:
 //!
 //! ```text
 //! {"cmd":"load","scale":10,"ranks":4}          build the resident graph
@@ -10,39 +15,85 @@
 //! {"cmd":"batch","roots":[1,2,3]}              submit many, drain
 //! {"cmd":"stats"}                              full ServeReport JSON
 //! {"cmd":"drain"}                              flush everything pending
+//! {"cmd":"shutdown"}                           drain, reply, exit 0
 //! ```
 //!
 //! `load` knobs (all optional): `scale` (10), `ranks` (4),
 //! `edge_factor` (16), `e_threshold` (256), `h_threshold` (64),
 //! `seed` (42), `queue_capacity` (256), `batch_max` (64),
-//! `flush_deadline` (4), `baseline` (false — measure the sequential
-//! path per batch and report the speedup in `stats`), `path` (a
-//! `sunbfs-store` file to open instead of rebuilding — built and saved
-//! first when it doesn't exist yet, per `docs/STORE.md`).
-//!
-//! A mistyped knob (wrong JSON type, out of range, `h_threshold` above
-//! `e_threshold`) is a typed `{"reply":"error",...}` refusal, never a
-//! silent fall-back to the default value.
-//!
-//! Every reply carries a `"reply"` discriminator; errors are
-//! `{"reply":"error","detail":...}` and never kill the server. EOF on
+//! `flush_deadline` (4), `baseline` (false), `path` (a `sunbfs-store`
+//! file to open instead of rebuilding). A mistyped knob is a typed
+//! refusal, never a silent fall-back to the default value. EOF on
 //! stdin exits 0.
 //!
+//! **TCP mode** (`--tcp ADDR`) — the concurrent server: the graph is
+//! built (or opened via `--path`) at startup, then served to many
+//! connections at once (`docs/SERVE.md`). `load` over the wire is
+//! refused. The process prints one `{"event":"listening",...}` line
+//! when ready and one `{"event":"shutdown",...}` line (transport
+//! summary + serve report) after a graceful drain.
+//!
 //! ```text
-//! printf '%s\n' '{"cmd":"load","scale":9,"ranks":4}' \
-//!     '{"cmd":"batch","roots":[1,2,3]}' '{"cmd":"stats"}' \
-//!     | cargo run --release --example bfs_server
+//! cargo run --release --example bfs_server -- --tcp 127.0.0.1:0 \
+//!     --scale 14 --ranks 4 --queue-capacity 48 --flush-deadline 2
 //! ```
+//!
+//! Graph knobs mirror the `load` command (`--scale`, `--ranks`,
+//! `--edge-factor`, `--e-threshold`, `--h-threshold`, `--seed`,
+//! `--queue-capacity`, `--batch-max`, `--flush-deadline`,
+//! `--baseline`, `--path FILE`); transport knobs are `--max-conns`,
+//! `--inflight-cap`, `--read-timeout-ms`, `--write-timeout-ms`,
+//! `--tick-ms`, `--shutdown-grace-ms`. Unknown flags exit 2.
 
 use std::io::BufRead;
+use std::time::Duration;
 
-use sunbfs::common::{JsonValue, MachineConfig, ToJson};
-use sunbfs::core::EngineConfig;
-use sunbfs::net::{FaultPlan, MeshShape};
-use sunbfs::part::Thresholds;
-use sunbfs::serve::{BfsService, QueryResult, QueryStatus, ServeConfig, SessionConfig};
+use sunbfs::common::JsonValue;
+use sunbfs::net::FaultPlan;
+use sunbfs::serve::proto::{self, LoadRequest, Request};
+use sunbfs::serve::{BfsService, GraphSession, NetConfig};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        run_stdin();
+        return;
+    }
+    match Cli::parse(&args) {
+        Ok(cli) => run_tcp(cli),
+        Err(msg) => {
+            eprintln!("bfs_server: {msg}");
+            eprintln!("usage: bfs_server                 (stdin mode)");
+            eprintln!(
+                "       bfs_server --tcp ADDR [--scale N] [--ranks N] [--edge-factor N] \
+                 [--e-threshold N] [--h-threshold N] [--seed N] [--queue-capacity N] \
+                 [--batch-max N] [--flush-deadline N] [--baseline] [--path FILE] \
+                 [--max-conns N] [--inflight-cap N] [--read-timeout-ms N] \
+                 [--write-timeout-ms N] [--tick-ms N] [--shutdown-grace-ms N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Build the resident session from a validated load request, honoring
+/// `SUNBFS_FAULT_PLAN` like the benchmark driver does.
+fn build_session(load: &LoadRequest) -> Result<GraphSession, String> {
+    let plan = FaultPlan::from_env()
+        .map_err(|e| format!("bad SUNBFS_FAULT_PLAN: {e}"))?
+        .unwrap_or_else(FaultPlan::none);
+    let session = match &load.path {
+        Some(path) => GraphSession::open_or_build(std::path::Path::new(path), load.session, plan),
+        None => GraphSession::load(load.session, plan).map_err(Into::into),
+    };
+    session.map_err(|e| format!("load failed: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// stdin mode
+// ---------------------------------------------------------------------------
+
+fn run_stdin() {
     let stdin = std::io::stdin();
     let mut service: Option<BfsService> = None;
     for line in stdin.lock().lines() {
@@ -53,293 +104,218 @@ fn main() {
         if line.trim().is_empty() {
             continue;
         }
-        for reply in handle_line(&mut service, &line) {
+        let (replies, done) = handle_line(&mut service, &line);
+        for reply in replies {
             println!("{}", reply.render());
         }
-    }
-}
-
-/// Dispatch one input line to zero-or-more reply objects.
-fn handle_line(service: &mut Option<BfsService>, line: &str) -> Vec<JsonValue> {
-    let cmd = match JsonValue::parse(line) {
-        Ok(v) => v,
-        Err(e) => return vec![error(format!("bad JSON: {e}"))],
-    };
-    match cmd.get("cmd").and_then(|c| c.as_str()) {
-        Some("load") => vec![handle_load(service, &cmd)],
-        Some("query") => handle_query(service, &cmd),
-        Some("batch") => handle_batch(service, &cmd),
-        Some("stats") => vec![handle_stats(service)],
-        Some("drain") => handle_drain(service),
-        Some(other) => vec![error(format!("unknown cmd {other:?}"))],
-        None => vec![error("missing \"cmd\" field".into())],
-    }
-}
-
-fn error(detail: String) -> JsonValue {
-    JsonValue::object()
-        .field("reply", "error")
-        .field("detail", detail)
-        .build()
-}
-
-/// A numeric knob with a default and an inclusive range. A knob that is
-/// present but mistyped (not an unsigned integer) or out of range is a
-/// refusal, not a silent fall-back — `{"scale":"14"}` must never run a
-/// default-scale build.
-fn knob(cmd: &JsonValue, key: &str, default: u64, min: u64, max: u64) -> Result<u64, String> {
-    match cmd.get(key) {
-        None => Ok(default),
-        Some(v) => match v.as_u64() {
-            Some(n) if (min..=max).contains(&n) => Ok(n),
-            Some(n) => Err(format!(
-                "load knob {key:?} must be in {min}..={max}, got {n}"
-            )),
-            None => Err(format!(
-                "load knob {key:?} must be an unsigned integer, got {}",
-                v.render()
-            )),
-        },
-    }
-}
-
-/// A boolean knob with a default; mistyped values are refused.
-fn bool_knob(cmd: &JsonValue, key: &str, default: bool) -> Result<bool, String> {
-    match cmd.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .as_bool()
-            .ok_or_else(|| format!("load knob {key:?} must be a boolean, got {}", v.render())),
-    }
-}
-
-/// The optional `path` knob: a store file to open instead of rebuilding.
-fn path_knob(cmd: &JsonValue) -> Result<Option<String>, String> {
-    match cmd.get("path") {
-        None => Ok(None),
-        Some(v) => v
-            .as_str()
-            .map(|s| Some(s.to_string()))
-            .ok_or_else(|| format!("load knob \"path\" must be a string, got {}", v.render())),
-    }
-}
-
-/// Validate every `load` knob into the two configs plus the optional
-/// store path. Any mistyped field refuses the whole command.
-fn load_configs(cmd: &JsonValue) -> Result<(SessionConfig, ServeConfig, Option<String>), String> {
-    let scale = knob(cmd, "scale", 10, 1, 40)?;
-    let ranks = knob(cmd, "ranks", 4, 1, 1 << 16)?;
-    let e_threshold = knob(cmd, "e_threshold", 256, 0, u64::from(u32::MAX))?;
-    let h_threshold = knob(cmd, "h_threshold", 64, 0, u64::from(u32::MAX))?;
-    if h_threshold > e_threshold {
-        // Thresholds::new panics on h > e; refuse before constructing.
-        return Err(format!(
-            "load knob \"h_threshold\" ({h_threshold}) must not exceed \
-             \"e_threshold\" ({e_threshold})"
-        ));
-    }
-    let session_cfg = SessionConfig {
-        scale: scale as u32,
-        edge_factor: knob(cmd, "edge_factor", 16, 1, u64::from(u32::MAX))? as u32,
-        mesh: MeshShape::near_square(ranks as usize),
-        thresholds: Thresholds::new(e_threshold as u32, h_threshold as u32),
-        engine: EngineConfig::default(),
-        machine: MachineConfig::new_sunway(),
-        seed: knob(cmd, "seed", 42, 0, u64::MAX)?,
-        max_load_attempts: 3,
-    };
-    let serve_cfg = ServeConfig {
-        queue_capacity: knob(cmd, "queue_capacity", 256, 1, 1 << 20)? as usize,
-        batch_max: knob(
-            cmd,
-            "batch_max",
-            sunbfs::serve::MAX_BATCH as u64,
-            1,
-            sunbfs::serve::MAX_BATCH as u64,
-        )? as usize,
-        flush_deadline: knob(cmd, "flush_deadline", 4, 0, u64::from(u32::MAX))? as u32,
-        max_root_retries: 2,
-        measure_baseline: bool_knob(cmd, "baseline", false)?,
-    };
-    Ok((session_cfg, serve_cfg, path_knob(cmd)?))
-}
-
-fn handle_load(service: &mut Option<BfsService>, cmd: &JsonValue) -> JsonValue {
-    let (session_cfg, serve_cfg, path) = match load_configs(cmd) {
-        Ok(parts) => parts,
-        Err(detail) => return error(detail),
-    };
-    let (scale, ranks) = (session_cfg.scale, session_cfg.mesh.num_ranks());
-    // Fault injection (for drills) comes from SUNBFS_FAULT_PLAN, the
-    // same env the benchmark driver honors.
-    let plan = match FaultPlan::from_env() {
-        Ok(p) => p.unwrap_or_else(FaultPlan::none),
-        Err(e) => return error(format!("bad SUNBFS_FAULT_PLAN: {e}")),
-    };
-    let session = match path {
-        Some(path) => sunbfs::serve::GraphSession::open_or_build(
-            std::path::Path::new(&path),
-            session_cfg,
-            plan,
-        ),
-        None => sunbfs::serve::GraphSession::load(session_cfg, plan).map_err(Into::into),
-    };
-    match session {
-        Ok(session) => {
-            let loaded = JsonValue::object()
-                .field("reply", "loaded")
-                .field("scale", u64::from(scale))
-                .field("ranks", ranks as u64)
-                .field("vertices", session.num_vertices())
-                .field("build_sim_seconds", session.build_sim_seconds)
-                .field("load_sim_seconds", session.load_sim_seconds)
-                .field("load_attempts", u64::from(session.load_attempts))
-                .field(
-                    "store",
-                    match &session.store {
-                        Some(s) => s.to_json(),
-                        None => JsonValue::Null,
-                    },
-                )
-                .build();
-            *service = Some(BfsService::new(session, serve_cfg));
-            loaded
-        }
-        Err(e) => error(format!("load failed: {e}")),
-    }
-}
-
-/// Render a completed query (histogram and parent handle length, not
-/// the full parent array — trees at serving scale dwarf a reply line).
-fn result_json(r: &QueryResult) -> JsonValue {
-    let mut o = JsonValue::object()
-        .field("reply", "result")
-        .field("id", r.id.0)
-        .field("root", r.root)
-        .field("batch_id", r.batch_id)
-        .field("status", r.status.label())
-        .field("visited", r.visited)
-        .field(
-            "depth_histogram",
-            JsonValue::Array(
-                r.depth_histogram
-                    .iter()
-                    .map(|&c| JsonValue::from(c))
-                    .collect(),
-            ),
-        )
-        .field(
-            "parents_len",
-            r.parents.as_ref().map_or(0, |p| p.len()) as u64,
-        )
-        .field("sim_latency_s", r.sim_latency_s)
-        .field("via_fallback", r.via_fallback);
-    if let QueryStatus::Quarantined(q) = &r.status {
-        o = o
-            .field("quarantine", q.label)
-            .field("detail", q.detail.clone());
-    }
-    o.build()
-}
-
-fn handle_query(service: &mut Option<BfsService>, cmd: &JsonValue) -> Vec<JsonValue> {
-    let Some(svc) = service.as_mut() else {
-        return vec![error(
-            "no graph loaded (send {\"cmd\":\"load\"} first)".into(),
-        )];
-    };
-    let Some(root) = cmd.get("root").and_then(|v| v.as_u64()) else {
-        return vec![error("query needs a numeric \"root\"".into())];
-    };
-    let mut replies = Vec::new();
-    match svc.submit(root) {
-        Ok(id) => replies.push(
-            JsonValue::object()
-                .field("reply", "accepted")
-                .field("id", id.0)
-                .field("root", root)
-                .field("queue_depth", svc.queue_depth() as u64)
-                .build(),
-        ),
-        Err(reason) => {
-            return vec![JsonValue::object()
-                .field("reply", "rejected")
-                .field("root", root)
-                .field("reason", reason.label())
-                .field("detail", reason.to_string())
-                .build()]
+        if done {
+            break;
         }
     }
-    // One tick per submission: full batches flush immediately; partial
-    // batches age toward the deadline.
-    for r in svc.tick() {
-        replies.push(result_json(&r));
-    }
-    replies
 }
 
-fn handle_batch(service: &mut Option<BfsService>, cmd: &JsonValue) -> Vec<JsonValue> {
-    let Some(svc) = service.as_mut() else {
-        return vec![error(
-            "no graph loaded (send {\"cmd\":\"load\"} first)".into(),
-        )];
+fn no_graph() -> JsonValue {
+    proto::error_reply(
+        "no graph loaded (send {\"cmd\":\"load\"} first)",
+        "no_graph",
+    )
+}
+
+/// Dispatch one input line to its replies; `true` means shutdown.
+fn handle_line(service: &mut Option<BfsService>, line: &str) -> (Vec<JsonValue>, bool) {
+    let req = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (vec![proto::proto_error_reply(&e)], false),
     };
-    let Some(roots) = cmd.get("roots").and_then(|v| v.as_array()) else {
-        return vec![error("batch needs a \"roots\" array".into())];
-    };
-    let mut replies = Vec::new();
-    for v in roots {
-        let Some(root) = v.as_u64() else {
-            replies.push(error(format!("non-numeric root {}", v.render())));
-            continue;
-        };
-        match svc.submit(root) {
-            Ok(id) => replies.push(
-                JsonValue::object()
-                    .field("reply", "accepted")
-                    .field("id", id.0)
-                    .field("root", root)
-                    .field("queue_depth", svc.queue_depth() as u64)
-                    .build(),
-            ),
-            Err(reason) => replies.push(
-                JsonValue::object()
-                    .field("reply", "rejected")
-                    .field("root", root)
-                    .field("reason", reason.label())
-                    .field("detail", reason.to_string())
-                    .build(),
-            ),
+    match req {
+        Request::Load(load) => {
+            let reply = match build_session(&load) {
+                Ok(session) => {
+                    let loaded = proto::loaded_reply(&session);
+                    *service = Some(BfsService::new(session, load.serve));
+                    loaded
+                }
+                Err(detail) => proto::error_reply(detail, "load_failed"),
+            };
+            (vec![reply], false)
+        }
+        Request::Query { root } => {
+            let Some(svc) = service.as_mut() else {
+                return (vec![no_graph()], false);
+            };
+            let mut replies = Vec::new();
+            match svc.submit(root) {
+                Ok(id) => {
+                    replies.push(proto::accepted_reply(id.0, root, svc.queue_depth()));
+                }
+                Err(reason) => return (vec![proto::rejection_reply(root, &reason)], false),
+            }
+            // One tick per submission: full batches flush immediately;
+            // partial batches age toward the deadline.
+            for r in svc.tick() {
+                replies.push(proto::result_reply(&r));
+            }
+            (replies, false)
+        }
+        Request::Batch { roots } => {
+            let Some(svc) = service.as_mut() else {
+                return (vec![no_graph()], false);
+            };
+            let mut replies = Vec::new();
+            for root in roots {
+                match svc.submit(root) {
+                    Ok(id) => {
+                        replies.push(proto::accepted_reply(id.0, root, svc.queue_depth()));
+                    }
+                    Err(reason) => replies.push(proto::rejection_reply(root, &reason)),
+                }
+            }
+            for r in svc.drain() {
+                replies.push(proto::result_reply(&r));
+            }
+            (replies, false)
+        }
+        Request::Stats => {
+            let reply = match service {
+                Some(svc) => proto::stats_reply(&svc.report()),
+                None => no_graph(),
+            };
+            (vec![reply], false)
+        }
+        Request::Drain => {
+            let Some(svc) = service.as_mut() else {
+                return (vec![no_graph()], false);
+            };
+            let mut replies: Vec<JsonValue> = svc.drain().iter().map(proto::result_reply).collect();
+            replies.push(proto::drained_reply(svc.queue_depth()));
+            (replies, false)
+        }
+        Request::Shutdown => {
+            // Same contract as the TCP drain: acknowledge, flush every
+            // pending query, then the final shutdown line — and exit.
+            let mut replies = Vec::new();
+            let mut drained = 0u64;
+            if let Some(svc) = service.as_mut() {
+                replies.push(proto::shutting_down_reply(svc.queue_depth()));
+                for r in svc.drain() {
+                    replies.push(proto::result_reply(&r));
+                    drained += 1;
+                }
+            } else {
+                replies.push(proto::shutting_down_reply(0));
+            }
+            replies.push(proto::shutdown_reply(drained));
+            (replies, true)
         }
     }
-    for r in svc.drain() {
-        replies.push(result_json(&r));
-    }
-    replies
 }
 
-fn handle_stats(service: &mut Option<BfsService>) -> JsonValue {
-    match service {
-        Some(svc) => JsonValue::object()
-            .field("reply", "stats")
-            .field("serve", svc.report().to_json())
-            .build(),
-        None => error("no graph loaded (send {\"cmd\":\"load\"} first)".into()),
+// ---------------------------------------------------------------------------
+// TCP mode
+// ---------------------------------------------------------------------------
+
+struct Cli {
+    addr: String,
+    load: LoadRequest,
+    net: NetConfig,
+}
+
+impl Cli {
+    /// Strict flag parsing: unknown flags are an error (exit 2), and
+    /// the graph knobs reuse the protocol's own `load` validation by
+    /// synthesizing a `{"cmd":"load",...}` line from the flags.
+    fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut addr: Option<String> = None;
+        let mut load = JsonValue::object().field("cmd", "load");
+        let mut baseline = false;
+        let mut net = NetConfig::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .map(String::from)
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            let knob = |name: &str, raw: String| -> Result<u64, String> {
+                raw.parse::<u64>()
+                    .map_err(|_| format!("flag {name} needs an unsigned integer, got {raw:?}"))
+            };
+            match flag.as_str() {
+                "--tcp" => addr = Some(value("--tcp")?),
+                "--baseline" => baseline = true,
+                "--path" => load = load.field("path", value("--path")?),
+                "--scale" | "--ranks" | "--edge-factor" | "--e-threshold" | "--h-threshold"
+                | "--seed" | "--queue-capacity" | "--batch-max" | "--flush-deadline" => {
+                    let key = flag.trim_start_matches("--").replace('-', "_");
+                    load = load.field(&key, knob(flag, value(flag)?)?);
+                }
+                "--max-conns" => net.max_connections = knob(flag, value(flag)?)? as usize,
+                "--inflight-cap" => net.inflight_cap = knob(flag, value(flag)?)? as usize,
+                "--read-timeout-ms" => {
+                    net.read_timeout = Duration::from_millis(knob(flag, value(flag)?)?);
+                }
+                "--write-timeout-ms" => {
+                    net.write_timeout = Duration::from_millis(knob(flag, value(flag)?)?);
+                }
+                "--tick-ms" => net.tick_interval = Duration::from_millis(knob(flag, value(flag)?)?),
+                "--shutdown-grace-ms" => {
+                    net.shutdown_grace = Duration::from_millis(knob(flag, value(flag)?)?);
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if baseline {
+            load = load.field("baseline", true);
+        }
+        let addr = addr.ok_or("TCP mode needs --tcp ADDR")?;
+        let line = load.build().render();
+        match proto::parse_request(&line) {
+            Ok(Request::Load(l)) => Ok(Cli {
+                addr,
+                load: *l,
+                net,
+            }),
+            Ok(_) => unreachable!("synthesized line is a load command"),
+            Err(e) => Err(e.to_string()),
+        }
     }
 }
 
-fn handle_drain(service: &mut Option<BfsService>) -> Vec<JsonValue> {
-    let Some(svc) = service.as_mut() else {
-        return vec![error(
-            "no graph loaded (send {\"cmd\":\"load\"} first)".into(),
-        )];
+fn run_tcp(cli: Cli) {
+    let session = match build_session(&cli.load) {
+        Ok(s) => s,
+        Err(detail) => {
+            eprintln!("bfs_server: {detail}");
+            std::process::exit(1);
+        }
     };
-    let mut replies: Vec<JsonValue> = svc.drain().iter().map(result_json).collect();
-    replies.push(
-        JsonValue::object()
-            .field("reply", "drained")
-            .field("queue_depth", svc.queue_depth() as u64)
-            .build(),
-    );
-    replies
+    let service = BfsService::new(session, cli.load.serve);
+    let server = match sunbfs::serve::serve(service, &cli.addr, cli.net) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bfs_server: bind {} failed: {e}", cli.addr);
+            std::process::exit(1);
+        }
+    };
+    let listening = JsonValue::object()
+        .field("event", "listening")
+        .field("addr", server.local_addr().to_string())
+        .field("scale", u64::from(cli.load.session.scale))
+        .field("ranks", cli.load.session.mesh.num_ranks() as u64)
+        .field("queue_capacity", cli.load.serve.queue_capacity as u64)
+        .field("batch_max", cli.load.serve.batch_max as u64)
+        .field("max_connections", cli.net.max_connections as u64)
+        .build();
+    println!("{}", listening.render());
+    // Blocks until a client sends {"cmd":"shutdown"} (or the process is
+    // killed). The final line carries the transport summary and the
+    // serve report for post-mortems.
+    let (svc, summary) = server.join();
+    use sunbfs::common::ToJson;
+    let farewell = JsonValue::object()
+        .field("event", "shutdown")
+        .field("net", summary.to_json())
+        .field("serve", svc.report().to_json())
+        .build();
+    println!("{}", farewell.render());
 }

@@ -1,0 +1,128 @@
+//! `loadgen` — drive the TCP `bfs_server` at a configured offered load
+//! and emit the `serve_load` saturation artifact.
+//!
+//! Opens N connections, offers a total queries/sec for a duration,
+//! settles every outstanding reply, then (by default) sends
+//! `{"cmd":"shutdown"}` to exercise the server's graceful drain. The
+//! run's accounting — offered/accepted/rejected, rejection classes,
+//! `retry_after_ticks` coverage, p50/p99/p999 end-to-end latency — is
+//! printed as a schema-v7 `{"schema_version":7,"serve_load":{...}}`
+//! document (tables in `docs/METRICS.md`), and optionally written to a
+//! file with `--json PATH`.
+//!
+//! ```text
+//! cargo run --release --example loadgen -- 127.0.0.1:4700 \
+//!     --conns 4 --qps 400 --duration 4 --root-max 16384 --json OUT.json
+//! ```
+//!
+//! Flags: `--conns N` (4), `--qps N` (200, total across connections),
+//! `--duration SECS` (3), `--root-max N` (1024), `--seed N` (42),
+//! `--settle-secs N` (30), `--no-shutdown` (leave the server running),
+//! `--json PATH`. Unknown flags exit 2.
+//!
+//! Exit status: 0 when the run's invariants held (no lost, duplicated,
+//! unacknowledged, or malformed replies), 1 otherwise — so CI can gate
+//! on the process status alone.
+
+use std::time::Duration;
+
+use sunbfs::common::{JsonValue, ToJson};
+use sunbfs::metrics::SCHEMA_VERSION;
+use sunbfs::serve::{run_loadgen, LoadgenConfig};
+
+struct Cli {
+    cfg: LoadgenConfig,
+    json_path: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cfg = LoadgenConfig::default();
+    let mut addr: Option<String> = None;
+    let mut json_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .map(String::from)
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        let knob = |name: &str, raw: String| -> Result<u64, String> {
+            raw.parse::<u64>()
+                .map_err(|_| format!("flag {name} needs an unsigned integer, got {raw:?}"))
+        };
+        match arg.as_str() {
+            "--conns" => cfg.connections = knob(arg, value(arg)?)? as usize,
+            "--qps" => cfg.qps = knob(arg, value(arg)?)?,
+            "--duration" => cfg.duration = Duration::from_secs(knob(arg, value(arg)?)?),
+            "--root-max" => cfg.root_max = knob(arg, value(arg)?)?,
+            "--seed" => cfg.seed = knob(arg, value(arg)?)?,
+            "--settle-secs" => cfg.settle_timeout = Duration::from_secs(knob(arg, value(arg)?)?),
+            "--no-shutdown" => cfg.shutdown_at_end = false,
+            "--json" => json_path = Some(value(arg)?),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            other if addr.is_none() => addr = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    cfg.addr = addr.ok_or("loadgen needs the server ADDR (host:port)")?;
+    Ok(Cli { cfg, json_path })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            eprintln!(
+                "usage: loadgen ADDR [--conns N] [--qps N] [--duration SECS] [--root-max N] \
+                 [--seed N] [--settle-secs N] [--no-shutdown] [--json PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let report = match run_loadgen(&cli.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: connecting to {} failed: {e}", cli.cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    let artifact = JsonValue::object()
+        .field("schema_version", SCHEMA_VERSION)
+        .field("serve_load", report.to_json())
+        .build();
+    let rendered = artifact.render_pretty();
+    println!("{rendered}");
+    if let Some(path) = &cli.json_path {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("loadgen: writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "loadgen: offered {} ({:.0}/s) accepted {} ({:.0}/s) rejected_full {} served {} \
+         p50 {:.1}ms p99 {:.1}ms p999 {:.1}ms",
+        report.offered,
+        report.offered_qps,
+        report.accepted,
+        report.accepted_qps,
+        report.rejected_full,
+        report.served,
+        report.latency.p50_ms,
+        report.latency.p99_ms,
+        report.latency.p999_ms,
+    );
+    if !report.clean() {
+        eprintln!(
+            "loadgen: INVARIANT VIOLATION — lost {} dup {} unacked {} protocol_errors {} \
+             write_errors {}",
+            report.lost_replies,
+            report.duplicate_replies,
+            report.unacked,
+            report.protocol_errors,
+            report.write_errors,
+        );
+        std::process::exit(1);
+    }
+}

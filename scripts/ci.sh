@@ -46,7 +46,7 @@ SUNBFS_FAULT_PLAN="corrupt@1:3:bitflip" timeout 300 \
     cargo run -q --release --example graph500_runner -- 9 4 256 64 1 --json "$SMOKE_JSON" \
     > /dev/null
 grep -Eq '"retransmits": *[1-9]' "$SMOKE_JSON"
-grep -Eq '"schema_version": *6' "$SMOKE_JSON"
+grep -Eq '"schema_version": *7' "$SMOKE_JSON"
 rm -f "$SMOKE_JSON"
 
 # Serve suite: admission control, batch formation, fault containment,
@@ -77,7 +77,7 @@ timeout 600 cargo run -q --release --example graph500_runner -- 14 16 256 64 2 \
     --json "$WARM_JSON" --load-graph "$STORE_FILE" > /dev/null
 grep -Eq '"saved": *true' "$COLD_JSON"
 grep -Eq '"opened": *true' "$WARM_JSON"
-grep -Eq '"schema_version": *6' "$WARM_JSON"
+grep -Eq '"schema_version": *7' "$WARM_JSON"
 COLD_S=$(grep -o '"cold_build_wall_seconds": *[0-9.e-]*' "$COLD_JSON" | grep -o '[0-9.e-]*$')
 WARM_S=$(grep -o '"warm_open_wall_seconds": *[0-9.e-]*' "$WARM_JSON" | grep -o '[0-9.e-]*$')
 awk -v cold="$COLD_S" -v warm="$WARM_S" \
@@ -128,8 +128,43 @@ grep -Eq '"reply":"loaded".*"opened":true' "$SECOND_OUT"
 grep -Eq '"reply":"result".*"status":"served"' "$SECOND_OUT"
 rm -f "$SERVER_STORE" "$FIRST_OUT" "$SECOND_OUT"
 
+# Smoke: sustained overload against the real TCP server. loadgen offers
+# well beyond what a capacity-16 queue admits at SCALE 14, so the run
+# must produce queue-full rejections while keeping every accounting
+# invariant (loadgen exits nonzero on any lost/duplicated/unacked/
+# malformed reply), emit the committed schema-v7 serve_load artifact,
+# and the server must drain cleanly on shutdown with zero dropped
+# results. Both binaries are prebuilt so the two processes never race
+# for the cargo target-dir lock.
+echo "==> TCP sustained-load smoke (bfs_server --tcp + loadgen)"
+cargo build -q --release --example bfs_server --example loadgen
+TCP_LOG="$(mktemp)"
+timeout 600 ./target/release/examples/bfs_server --tcp 127.0.0.1:0 \
+    --scale 14 --ranks 4 --queue-capacity 16 --batch-max 64 --flush-deadline 128 \
+    > "$TCP_LOG" &
+TCP_SERVER_PID=$!
+for _ in $(seq 1 300); do
+    grep -q '"event":"listening"' "$TCP_LOG" 2>/dev/null && break
+    sleep 0.2
+done
+grep -q '"event":"listening"' "$TCP_LOG"
+TCP_ADDR=$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' "$TCP_LOG" | head -1)
+timeout 300 ./target/release/examples/loadgen "$TCP_ADDR" \
+    --conns 4 --qps 400 --duration 4 --root-max 16384 --seed 42 \
+    --json SERVE_LOAD_14.json > /dev/null
+wait "$TCP_SERVER_PID"
+grep -Eq '"schema_version": *7' SERVE_LOAD_14.json
+grep -Eq '"protocol_errors": *0' SERVE_LOAD_14.json
+grep -Eq '"lost_replies": *0' SERVE_LOAD_14.json
+grep -Eq '"duplicate_replies": *0' SERVE_LOAD_14.json
+grep -Eq '"unacked": *0' SERVE_LOAD_14.json
+grep -Eq '"rejected_full": *[1-9]' SERVE_LOAD_14.json
+grep -Eq '"event":"shutdown"' "$TCP_LOG"
+grep -Eq '"results_dropped":0' "$TCP_LOG"
+rm -f "$TCP_LOG"
+
 # Perf trajectory: regenerate the committed BENCH_<scale>_<rows>x<cols>
-# artifact and smoke-check the schema-v6 wall-clock section plus the
+# artifact and smoke-check the schema-v7 wall-clock section plus the
 # parallel-vs-serial throughput bound (strict only on >= 4 cores; see
 # the script header and docs/PERF.md).
 echo "==> bench trajectory (hard timeout inside)"

@@ -49,7 +49,14 @@ use crate::driver::{
 /// `config.save_graph` / `config.load_graph` knobs, and the serve
 /// section's `load_sim_seconds` (simulated seconds across all build
 /// attempts, failed ones included).
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// v7: added the `serve_load` artifact family — the TCP saturation
+/// record `loadgen` emits (`{"schema_version":7,"serve_load":{...}}`:
+/// offered/accepted/rejected rates by rejection class,
+/// `retry_after_ticks` hint coverage, p50/p99/p999 end-to-end latency,
+/// and the lost/duplicate/unacked/protocol-error invariant counters).
+/// The `BenchmarkReport` shape itself is unchanged from v6.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Ratio bin edges of the partition load-balance histogram: each rank's
 /// `total / mean` storage falls into one bin; the last bin is open.
