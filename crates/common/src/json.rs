@@ -64,7 +64,7 @@ impl JsonValue {
     pub fn parse(input: &str) -> Result<JsonValue, String> {
         let bytes = input.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing content at byte {pos}"));
@@ -199,7 +199,18 @@ fn expect_literal(
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+/// Deepest container nesting [`JsonValue::parse`] accepts. The parser
+/// is recursive-descent, so without a cap a line of `[[[[…` as long as
+/// a protocol request (64 KiB) would overflow the thread stack instead
+/// of returning a typed error.
+pub const MAX_PARSE_DEPTH: usize = 96;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    if depth >= MAX_PARSE_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_PARSE_DEPTH} at byte {pos}"
+        ));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
@@ -216,7 +227,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
                 return Ok(JsonValue::Array(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -244,7 +255,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
                     return Err(format!("expected `:` at byte {pos}"));
                 }
                 *pos += 1;
-                fields.push((key, parse_value(bytes, pos)?));
+                fields.push((key, parse_value(bytes, pos, depth + 1)?));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -598,6 +609,30 @@ mod tests {
         ] {
             assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_caps_nesting_depth_instead_of_overflowing() {
+        // One level under the cap parses; at the cap it's a typed error.
+        let deep_ok = format!(
+            "{}0{}",
+            "[".repeat(MAX_PARSE_DEPTH - 1),
+            "]".repeat(MAX_PARSE_DEPTH - 1)
+        );
+        assert!(JsonValue::parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        let err = JsonValue::parse(&too_deep).expect_err("cap must refuse");
+        assert!(err.contains("nesting deeper than"), "got {err}");
+        // A pathological unclosed prefix must error, not blow the stack
+        // (this is what a fuzzer feeds the wire protocol).
+        let bomb = "[".repeat(64 * 1024);
+        assert!(JsonValue::parse(&bomb).is_err());
+        let obj_bomb = r#"{"a":"#.repeat(64 * 1024);
+        assert!(JsonValue::parse(&obj_bomb).is_err());
     }
 
     #[test]

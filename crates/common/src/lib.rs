@@ -29,7 +29,7 @@ pub mod types;
 
 pub use bitmap::Bitmap;
 pub use hist::LogHistogram;
-pub use json::{JsonObject, JsonValue, ToJson};
+pub use json::{JsonObject, JsonValue, ToJson, MAX_PARSE_DEPTH};
 pub use machine::MachineConfig;
 pub use pool::PoolStats;
 pub use rng::{LabelScrambler, SplitMix64};

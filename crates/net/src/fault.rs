@@ -148,10 +148,29 @@ impl Default for FaultSpec {
 
 /// A deterministic schedule of fault injections, with per-event
 /// fired-once bookkeeping (transient-fault model).
+///
+/// Besides the static schedule fixed at construction, a plan can be
+/// **armed** for live injection ([`FaultPlan::armed`]): events added
+/// later through [`FaultPlan::inject`] — by a chaos harness, against a
+/// cluster that is already serving — fire exactly once each, like
+/// planned ones. Arming matters for safety: the exchange layer decides
+/// per collective whether payload framing is active by asking
+/// [`FaultPlan::is_empty`], and every rank of one SPMD run must see
+/// the same answer. An armed plan reports non-empty from the start, so
+/// injection can race a run without desynchronizing the ranks; on an
+/// unarmed plan, `inject` must only be called between runs.
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
     fired: Vec<AtomicBool>,
+    /// Live-injected events, each consumed by its first matching fire.
+    injected: std::sync::Mutex<Vec<FaultEvent>>,
+    /// Events ever injected (never decremented: once live injection has
+    /// happened — or was armed for — framing stays on for the cluster's
+    /// lifetime, keeping the per-exchange `is_empty` check stable).
+    injected_ever: std::sync::atomic::AtomicU64,
+    /// Pre-declares live injection so `is_empty` is false from birth.
+    armed: bool,
 }
 
 impl FaultPlan {
@@ -160,10 +179,24 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
+    /// An empty plan pre-armed for live injection: it schedules nothing
+    /// yet, but reports non-empty so the exchange layer keeps payload
+    /// framing on and [`FaultPlan::inject`] is safe at any time.
+    pub fn armed() -> Self {
+        FaultPlan {
+            armed: true,
+            ..FaultPlan::default()
+        }
+    }
+
     /// A plan firing exactly `events`.
     pub fn from_events(events: Vec<FaultEvent>) -> Self {
         let fired = events.iter().map(|_| AtomicBool::new(false)).collect();
-        FaultPlan { events, fired }
+        FaultPlan {
+            events,
+            fired,
+            ..FaultPlan::default()
+        }
     }
 
     /// Deterministically place `spec`'s events over `nranks` ranks and
@@ -287,14 +320,47 @@ impl FaultPlan {
         }
     }
 
-    /// The planned events (fired or not).
+    /// The planned events (fired or not). Live-injected events are not
+    /// listed here — see [`FaultPlan::injected_ever`].
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
 
-    /// True when no events are planned.
+    /// True when no events are planned, none were ever injected, and
+    /// the plan is not armed for live injection. The exchange layer
+    /// keys payload framing off this, so it is monotone: once false,
+    /// false forever.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && !self.armed && self.injected_ever.load(Ordering::Acquire) == 0
+    }
+
+    /// Arm `events` on a live plan: each fires exactly once at its
+    /// `(rank, op_index)`, like a planned event, then is consumed.
+    ///
+    /// Safe at any time on an [`armed`](FaultPlan::armed) plan (or once
+    /// anything was already planned/injected). On a plan that is still
+    /// empty and unarmed, call only between SPMD runs — the first
+    /// injection flips [`FaultPlan::is_empty`], and every rank of one
+    /// run must agree on it.
+    pub fn inject(&self, events: impl IntoIterator<Item = FaultEvent>) {
+        let mut pending = self.injected.lock().expect("fault plan lock poisoned");
+        let before = pending.len();
+        pending.extend(events);
+        let added = (pending.len() - before) as u64;
+        self.injected_ever.fetch_add(added, Ordering::AcqRel);
+    }
+
+    /// Live-injected events not yet consumed by a fire.
+    pub fn injected_pending(&self) -> usize {
+        self.injected
+            .lock()
+            .expect("fault plan lock poisoned")
+            .len()
+    }
+
+    /// Events ever live-injected (fired or not).
+    pub fn injected_ever(&self) -> u64 {
+        self.injected_ever.load(Ordering::Acquire)
     }
 
     /// Consume and return the first unfired event matching
@@ -315,6 +381,19 @@ impl FaultPlan {
                     .is_ok()
             {
                 return Some(e.kind);
+            }
+        }
+        // Live-injected events: consumed (removed) on fire, so each is
+        // a transient fault exactly like a planned one. The lock is
+        // only contended when a plan is non-empty, i.e. when framing
+        // overhead is already being paid.
+        if self.injected_ever.load(Ordering::Acquire) > 0 {
+            let mut pending = self.injected.lock().expect("fault plan lock poisoned");
+            if let Some(i) = pending
+                .iter()
+                .position(|e| e.rank == rank && e.op_index == op_index)
+            {
+                return Some(pending.remove(i).kind);
             }
         }
         None
@@ -572,6 +651,65 @@ mod tests {
             })
         );
         assert_eq!(p.fire(0, 3), None, "all duplicates consumed");
+    }
+
+    #[test]
+    fn injected_events_fire_once_and_keep_framing_stable() {
+        let p = FaultPlan::armed();
+        assert!(!p.is_empty(), "armed plans keep framing on from birth");
+        assert_eq!(p.fire(0, 0), None);
+        p.inject([FaultEvent {
+            rank: 1,
+            op_index: 3,
+            kind: FaultKind::Panic,
+        }]);
+        assert_eq!(p.injected_pending(), 1);
+        assert_eq!(p.fire(1, 2), None);
+        assert_eq!(p.fire(1, 3), Some(FaultKind::Panic));
+        assert_eq!(p.fire(1, 3), None, "injected events are transient too");
+        assert_eq!(p.injected_pending(), 0);
+        assert_eq!(p.injected_ever(), 1);
+        assert!(!p.is_empty(), "is_empty is monotone once armed/injected");
+    }
+
+    #[test]
+    fn injection_on_an_unarmed_plan_flips_is_empty_once() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        p.inject([FaultEvent {
+            rank: 0,
+            op_index: 0,
+            kind: FaultKind::Straggler { secs: 0.1 },
+        }]);
+        assert!(!p.is_empty());
+        assert_eq!(p.fire(0, 0), Some(FaultKind::Straggler { secs: 0.1 }));
+        assert!(!p.is_empty(), "consumption never re-empties the plan");
+    }
+
+    #[test]
+    fn static_events_outrank_injected_duplicates() {
+        let p = FaultPlan::parse("corrupt@0:3:truncate").unwrap();
+        p.inject([FaultEvent {
+            rank: 0,
+            op_index: 3,
+            kind: FaultKind::Corrupt {
+                mode: CorruptMode::BitFlip,
+            },
+        }]);
+        assert_eq!(
+            p.fire(0, 3),
+            Some(FaultKind::Corrupt {
+                mode: CorruptMode::Truncate
+            }),
+            "planned events consume first"
+        );
+        assert_eq!(
+            p.fire(0, 3),
+            Some(FaultKind::Corrupt {
+                mode: CorruptMode::BitFlip
+            })
+        );
+        assert_eq!(p.fire(0, 3), None);
     }
 
     #[test]

@@ -20,8 +20,11 @@
 //! * [`BfsService`] ([`service`]) — the **service mechanics**: bounded
 //!   admission queue with typed rejections (backpressure), deadline-
 //!   driven batch formation, per-query typed results (parent-array
-//!   handle, depth histogram, served/quarantined status), and per-root
-//!   checkpointed fallback when a batch loses a rank.
+//!   handle, depth histogram, served/quarantined status), per-root
+//!   checkpointed fallback when a batch loses a rank, a health state
+//!   machine with a load-shedding circuit breaker
+//!   (`docs/FAULTS.md`), per-query deadline budgets, and a seeded
+//!   [`ChaosConfig`] that arms live faults for soak testing.
 //!
 //! The service is reachable over two transports sharing one wire
 //! protocol ([`proto`] — newline-delimited JSON with typed parse
@@ -45,12 +48,18 @@ pub mod session;
 /// Widest batch the engine's frontier word can carry.
 pub const MAX_BATCH: usize = sunbfs_core::MAX_BATCH_ROOTS;
 
-pub use loadgen::{run_loadgen, LatencySummary, LoadgenConfig, LoadgenReport};
-pub use net::{serve, NetConfig, NetSummary, TcpServer};
+pub use loadgen::{
+    run_chaos_soak, run_loadgen, ChaosSoakConfig, ChaosSoakReport, LatencySummary, LoadgenConfig,
+    LoadgenReport,
+};
+pub use net::{serve, JoinOutcome, NetConfig, NetSummary, TcpServer};
 pub use proto::{parse_request, LoadRequest, ProtoError, Request, MAX_REQUEST_BYTES};
-pub use report::{occupancy_bucket, BatchRecord, QueryRecord, ServeReport, OCCUPANCY_LABELS};
+pub use report::{
+    occupancy_bucket, BatchRecord, HealthTransition, QueryRecord, ServeReport, OCCUPANCY_LABELS,
+};
 pub use service::{
-    BfsService, Quarantine, QueryId, QueryResult, QueryStatus, RejectReason, ServeConfig,
+    BfsService, ChaosConfig, HealthConfig, HealthMachine, HealthSnapshot, HealthState, Quarantine,
+    QueryId, QueryResult, QueryStatus, RejectReason, ServeConfig,
 };
 pub use session::{GraphSession, LoadError, SessionConfig, SessionError, StoreActivity};
 pub use sunbfs_store::{StoreError, StoreHeader, StoreInfo};

@@ -1,4 +1,5 @@
-//! Closed-duration open-loop load generator for the TCP server.
+//! Closed-duration open-loop load generator for the TCP server, plus
+//! the chaos soak harness built on top of it.
 //!
 //! Opens N connections and offers a configured total queries/sec for a
 //! configured duration, then settles (waits for every outstanding
@@ -6,9 +7,15 @@
 //! what it saw into a [`LoadgenReport`] — accepted/rejected counts,
 //! rejection classes, backoff-hint coverage, and p50/p99/p999
 //! end-to-end latency. The report renders as the `serve_load` section
-//! of the schema-v7 metrics JSON (`docs/METRICS.md`), which is what
+//! of the schema-v8 metrics JSON (`docs/METRICS.md`), which is what
 //! the committed saturation artifact and the CI sustained-load smoke
 //! regression-gate.
+//!
+//! Clients honor the server's `retry_after_ticks` backoff hints: a
+//! rejection that carries one is re-offered after the hinted wait (up
+//! to [`LoadgenConfig::retry_max`] attempts) instead of being counted
+//! terminal on first sight, which is how a well-behaved client rides
+//! out a quarantined service.
 //!
 //! Accounting invariants the overload tests pin:
 //!
@@ -16,14 +23,31 @@
 //! * every accepted query gets exactly one result
 //!   (`lost_replies == 0`, `duplicate_replies == 0`),
 //! * a reply line is never malformed (`protocol_errors == 0`).
+//!
+//! [`run_chaos_soak`] wraps the whole stack end to end: it builds a
+//! resident session with an **armed** fault plan, wires a seeded
+//! [`ChaosConfig`] into the service so rank panics, stragglers, and
+//! payload corruption fire against live traffic, polls the `health`
+//! request from a side connection while the load runs, drives recovery
+//! to `healthy` after the chaos schedule exhausts, and folds
+//! everything into a [`ChaosSoakReport`] (the `serve_chaos` section of
+//! the schema-v8 metrics JSON) with availability and recovery-time
+//! gates.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sunbfs_common::{JsonValue, SplitMix64, ToJson};
+use sunbfs_net::FaultPlan;
+
+use crate::net::{serve, NetConfig, NetSummary};
+use crate::report::{HealthTransition, ServeReport};
+use crate::service::{BfsService, ChaosConfig, ServeConfig};
+use crate::session::{GraphSession, SessionConfig};
 
 /// Knobs for one load run.
 #[derive(Clone, Debug)]
@@ -46,6 +70,19 @@ pub struct LoadgenConfig {
     /// How long to wait for outstanding replies after the offered-load
     /// window closes.
     pub settle_timeout: Duration,
+    /// Attach this deadline budget to every offered query.
+    pub deadline_ticks: Option<u32>,
+    /// Times a rejected query carrying a `retry_after_ticks` hint is
+    /// re-offered before the rejection counts as terminal (0 = never
+    /// retry, the pre-chaos behavior).
+    pub retry_max: u32,
+    /// Wall-clock estimate of one server tick, used to turn a
+    /// `retry_after_ticks` hint into a backoff sleep (the server ticks
+    /// every `NetConfig::tick_interval` when idle).
+    pub tick_hint: Duration,
+    /// Extra wall time after the offered-load window in which pending
+    /// retries are still drained before the run settles.
+    pub retry_grace: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -59,6 +96,10 @@ impl Default for LoadgenConfig {
             seed: 42,
             shutdown_at_end: true,
             settle_timeout: Duration::from_secs(30),
+            deadline_ticks: None,
+            retry_max: 0,
+            tick_hint: Duration::from_millis(10),
+            retry_grace: Duration::from_secs(2),
         }
     }
 }
@@ -145,14 +186,31 @@ pub struct LoadgenReport {
     pub rejected_backlog: u64,
     /// Rejections with reason `shutting_down`.
     pub rejected_shutdown: u64,
+    /// Rejections with reason `service_degraded` (the health breaker).
+    pub rejected_degraded: u64,
     /// Rejections with any other reason (e.g. `invalid_root`).
     pub rejected_other: u64,
     /// Rejections that carried a non-null `retry_after_ticks` hint.
     pub rejects_with_hint: u64,
+    /// Every rejection reply seen, terminal or retried (the terminal
+    /// `rejected_*` classes exclude retried ones when retry is on).
+    pub rejections_seen: u64,
+    /// Rejected offers re-sent after honoring their backoff hint.
+    pub retried: u64,
+    /// Retried offers the server eventually accepted.
+    pub retry_successes: u64,
+    /// Retries still waiting out their backoff when the run ended
+    /// (terminal: they were never re-offered).
+    pub retries_abandoned: u64,
     /// Results with status `served`.
     pub served: u64,
     /// Results with status `quarantined`.
     pub quarantined: u64,
+    /// Results with status `deadline_exceeded`.
+    pub deadline_exceeded: u64,
+    /// Of the served results, ones that rode per-root fallback
+    /// (salvaged from a degraded batch).
+    pub salvaged: u64,
     /// Accepted queries that never got a result — must be 0.
     pub lost_replies: u64,
     /// Offered queries never acknowledged at all — must be 0.
@@ -181,10 +239,17 @@ impl ToJson for LoadgenReport {
             .field("rejected_full", self.rejected_full)
             .field("rejected_backlog", self.rejected_backlog)
             .field("rejected_shutdown", self.rejected_shutdown)
+            .field("rejected_degraded", self.rejected_degraded)
             .field("rejected_other", self.rejected_other)
             .field("rejects_with_hint", self.rejects_with_hint)
+            .field("rejections_seen", self.rejections_seen)
+            .field("retried", self.retried)
+            .field("retry_successes", self.retry_successes)
+            .field("retries_abandoned", self.retries_abandoned)
             .field("served", self.served)
             .field("quarantined", self.quarantined)
+            .field("deadline_exceeded", self.deadline_exceeded)
+            .field("salvaged", self.salvaged)
             .field("lost_replies", self.lost_replies)
             .field("unacked", self.unacked)
             .field("duplicate_replies", self.duplicate_replies)
@@ -205,19 +270,62 @@ impl LoadgenReport {
             && self.unacked == 0
             && self.write_errors == 0
     }
+
+    /// Terminal rejections per offered query. Rejections that were
+    /// retried into an eventual accept don't count — this is the rate
+    /// a hint-honoring client actually experiences.
+    pub fn terminal_rejection_rate(&self) -> f64 {
+        let terminal = self.rejected_full
+            + self.rejected_backlog
+            + self.rejected_shutdown
+            + self.rejected_degraded
+            + self.rejected_other
+            + self.retries_abandoned;
+        if self.offered == 0 {
+            0.0
+        } else {
+            terminal as f64 / self.offered as f64
+        }
+    }
+}
+
+/// One offered query awaiting its accepted/rejected acknowledgment.
+struct Offer {
+    t0: Instant,
+    root: u64,
+    /// Retries already spent on this root (0 = first offer).
+    attempts: u32,
+}
+
+/// A rejected offer waiting out its backoff hint before re-sending.
+struct RetryItem {
+    root: u64,
+    attempts: u32,
+    due: Instant,
+}
+
+/// How the receiver turns `retry_after_ticks` hints into retries.
+#[derive(Clone, Copy)]
+struct RetryPolicy {
+    max: u32,
+    tick_hint: Duration,
 }
 
 /// Send times and in-flight ids shared between one connection's sender
 /// and receiver. Replies to one connection arrive in submission order
 /// for the accepted/rejected acknowledgment (the service thread is a
 /// single serialized stream), so a FIFO of send timestamps matches
-/// acks to offers; results carry ids and match through the map.
+/// acks to offers; results carry ids and match through the map. The
+/// retry queue flows the other way: the receiver parks rejected offers
+/// whose hint it honors, the sender re-offers them when due.
 #[derive(Default)]
 struct ConnShared {
-    /// Send instants of offered queries awaiting accepted/rejected.
-    awaiting_ack: Mutex<std::collections::VecDeque<Instant>>,
+    /// Offers awaiting accepted/rejected, in send order.
+    awaiting_ack: Mutex<std::collections::VecDeque<Offer>>,
     /// Accepted id → send instant, awaiting its result.
     awaiting_result: Mutex<HashMap<u64, Instant>>,
+    /// Rejected offers waiting out their backoff before re-sending.
+    retry_queue: Mutex<std::collections::VecDeque<RetryItem>>,
 }
 
 /// Per-connection receiver tallies, merged into the report at the end.
@@ -227,13 +335,72 @@ struct ConnStats {
     rejected_full: u64,
     rejected_backlog: u64,
     rejected_shutdown: u64,
+    rejected_degraded: u64,
     rejected_other: u64,
     rejects_with_hint: u64,
+    rejections_seen: u64,
+    retried: u64,
+    retry_successes: u64,
     served: u64,
     quarantined: u64,
+    deadline_exceeded: u64,
+    salvaged: u64,
     duplicate_replies: u64,
     protocol_errors: u64,
     latency_ms: Vec<f64>,
+}
+
+/// Render one query line, with the configured deadline budget if any.
+fn query_line(root: u64, deadline_ticks: Option<u32>) -> String {
+    match deadline_ticks {
+        Some(d) => format!("{{\"cmd\":\"query\",\"root\":{root},\"deadline_ticks\":{d}}}\n"),
+        None => format!("{{\"cmd\":\"query\",\"root\":{root}}}\n"),
+    }
+}
+
+/// Offer one root: record it in the ack FIFO, then write the line.
+/// Recording first means the receiver can never see the ack while the
+/// FIFO is still empty. Returns false on a write error (offer undone).
+fn offer_root(
+    stream: &mut TcpStream,
+    shared: &ConnShared,
+    root: u64,
+    attempts: u32,
+    deadline_ticks: Option<u32>,
+) -> bool {
+    let line = query_line(root, deadline_ticks);
+    shared.awaiting_ack.lock().unwrap().push_back(Offer {
+        t0: Instant::now(),
+        root,
+        attempts,
+    });
+    if stream.write_all(line.as_bytes()).is_err() {
+        shared.awaiting_ack.lock().unwrap().pop_back();
+        return false;
+    }
+    true
+}
+
+/// Re-offer every due retry. Returns false on a write error.
+fn drain_due_retries(stream: &mut TcpStream, shared: &ConnShared, offered: &mut u64) -> bool {
+    loop {
+        let item = {
+            let mut q = shared.retry_queue.lock().unwrap();
+            match q.front() {
+                Some(r) if r.due <= Instant::now() => q.pop_front(),
+                _ => None,
+            }
+        };
+        let Some(r) = item else { return true };
+        // Retries keep their original deadline-free shape: the query
+        // already waited out a backoff, a fresh deadline would be
+        // misleadingly generous and none at all matches a client that
+        // still wants the answer.
+        if !offer_root(stream, shared, r.root, r.attempts, None) {
+            return false;
+        }
+        *offered += 1;
+    }
 }
 
 fn sender_loop(
@@ -241,32 +408,48 @@ fn sender_loop(
     shared: &ConnShared,
     mut rng: SplitMix64,
     per_conn_interval: Duration,
-    duration: Duration,
-    root_max: u64,
+    cfg: &LoadgenConfig,
 ) -> (u64, u64) {
     let start = Instant::now();
     let mut offered = 0u64;
     let mut write_errors = 0u64;
-    while start.elapsed() < duration {
-        let root = rng.next_below(root_max.max(1));
-        let line = format!("{{\"cmd\":\"query\",\"root\":{root}}}\n");
-        // Record the offer before writing so the receiver can never see
-        // the ack while the FIFO is still empty.
-        shared
-            .awaiting_ack
-            .lock()
-            .unwrap()
-            .push_back(Instant::now());
-        if stream.write_all(line.as_bytes()).is_err() {
-            shared.awaiting_ack.lock().unwrap().pop_back();
+    let mut paced = 0u64;
+    while start.elapsed() < cfg.duration {
+        if !drain_due_retries(&mut stream, shared, &mut offered) {
+            write_errors += 1;
+            break;
+        }
+        let root = rng.next_below(cfg.root_max.max(1));
+        if !offer_root(&mut stream, shared, root, 0, cfg.deadline_ticks) {
             write_errors += 1;
             break;
         }
         offered += 1;
-        let target = start + per_conn_interval.mul_f64(offered as f64);
+        paced += 1;
+        let target = start + per_conn_interval.mul_f64(paced as f64);
         let now = Instant::now();
         if target > now {
             std::thread::sleep(target - now);
+        }
+    }
+    // Post-window retry drain: rejected offers still waiting out their
+    // backoff get their re-send before the run settles. Bounded by the
+    // grace window — retries are capped per offer, so this terminates.
+    if write_errors == 0 && cfg.retry_max > 0 {
+        let grace_deadline = Instant::now() + cfg.retry_grace;
+        loop {
+            if !drain_due_retries(&mut stream, shared, &mut offered) {
+                write_errors += 1;
+                break;
+            }
+            let (queued, unacked) = (
+                shared.retry_queue.lock().unwrap().len(),
+                shared.awaiting_ack.lock().unwrap().len(),
+            );
+            if (queued == 0 && unacked == 0) || Instant::now() >= grace_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
     // Flush whatever partial batch our last queries are sitting in.
@@ -274,7 +457,7 @@ fn sender_loop(
     (offered, write_errors)
 }
 
-fn receiver_loop(stream: TcpStream, shared: &ConnShared) -> ConnStats {
+fn receiver_loop(stream: TcpStream, shared: &ConnShared, retry: RetryPolicy) -> ConnStats {
     let mut stats = ConnStats::default();
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -294,36 +477,49 @@ fn receiver_loop(stream: TcpStream, shared: &ConnShared) -> ConnStats {
         };
         match reply.get("reply").and_then(JsonValue::as_str) {
             Some("accepted") => {
-                let t0 = shared.awaiting_ack.lock().unwrap().pop_front();
+                let offer = shared.awaiting_ack.lock().unwrap().pop_front();
                 let Some(id) = reply.get("id").and_then(JsonValue::as_u64) else {
                     stats.protocol_errors += 1;
                     continue;
                 };
-                match t0 {
-                    Some(t0) => {
-                        shared.awaiting_result.lock().unwrap().insert(id, t0);
+                match offer {
+                    Some(offer) => {
+                        shared.awaiting_result.lock().unwrap().insert(id, offer.t0);
                         stats.accepted += 1;
+                        if offer.attempts > 0 {
+                            stats.retry_successes += 1;
+                        }
                     }
                     None => stats.protocol_errors += 1,
                 }
             }
             Some("rejected") => {
-                if shared.awaiting_ack.lock().unwrap().pop_front().is_none() {
+                let Some(offer) = shared.awaiting_ack.lock().unwrap().pop_front() else {
                     stats.protocol_errors += 1;
+                    continue;
+                };
+                stats.rejections_seen += 1;
+                let hint = reply.get("retry_after_ticks").and_then(JsonValue::as_u64);
+                if hint.is_some() {
+                    stats.rejects_with_hint += 1;
+                }
+                // Honor the backoff hint with bounded retry; only a
+                // rejection we won't (or can't) retry is terminal.
+                if let Some(ticks) = hint.filter(|_| offer.attempts < retry.max) {
+                    stats.retried += 1;
+                    shared.retry_queue.lock().unwrap().push_back(RetryItem {
+                        root: offer.root,
+                        attempts: offer.attempts + 1,
+                        due: Instant::now() + retry.tick_hint.mul_f64(ticks.max(1) as f64),
+                    });
                     continue;
                 }
                 match reply.get("reason").and_then(JsonValue::as_str) {
                     Some("queue_full") => stats.rejected_full += 1,
                     Some("client_backlog") => stats.rejected_backlog += 1,
                     Some("shutting_down") => stats.rejected_shutdown += 1,
+                    Some("service_degraded") => stats.rejected_degraded += 1,
                     _ => stats.rejected_other += 1,
-                }
-                if reply
-                    .get("retry_after_ticks")
-                    .and_then(JsonValue::as_u64)
-                    .is_some()
-                {
-                    stats.rejects_with_hint += 1;
                 }
             }
             Some("result") => {
@@ -335,7 +531,15 @@ fn receiver_loop(stream: TcpStream, shared: &ConnShared) -> ConnStats {
                     Some(t0) => {
                         stats.latency_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                         match reply.get("status").and_then(JsonValue::as_str) {
-                            Some("served") => stats.served += 1,
+                            Some("served") => {
+                                stats.served += 1;
+                                if reply.get("via_fallback").and_then(JsonValue::as_bool)
+                                    == Some(true)
+                                {
+                                    stats.salvaged += 1;
+                                }
+                            }
+                            Some("deadline_exceeded") => stats.deadline_exceeded += 1,
                             _ => stats.quarantined += 1,
                         }
                     }
@@ -343,7 +547,7 @@ fn receiver_loop(stream: TcpStream, shared: &ConnShared) -> ConnStats {
                 }
             }
             // Lifecycle acknowledgments, not per-query accounting.
-            Some("drained" | "shutting_down" | "shutdown" | "stats") => {}
+            Some("drained" | "shutting_down" | "shutdown" | "stats" | "health") => {}
             Some("error") | Some(_) | None => stats.protocol_errors += 1,
         }
     }
@@ -367,27 +571,24 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         shareds.push(Arc::new(ConnShared::default()));
     }
 
+    let retry = RetryPolicy {
+        max: cfg.retry_max,
+        tick_hint: cfg.tick_hint.max(Duration::from_millis(1)),
+    };
     let mut receivers = Vec::with_capacity(connections);
     let mut senders = Vec::with_capacity(connections);
     for (i, stream) in streams.iter().enumerate() {
         let shared = Arc::clone(&shareds[i]);
         let read_half = stream.try_clone()?;
         receivers.push(std::thread::spawn(move || {
-            receiver_loop(read_half, &shared)
+            receiver_loop(read_half, &shared, retry)
         }));
         let shared = Arc::clone(&shareds[i]);
         let write_half = stream.try_clone()?;
         let rng = SplitMix64::new(cfg.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        let (duration, root_max) = (cfg.duration, cfg.root_max);
+        let cfg = cfg.clone();
         senders.push(std::thread::spawn(move || {
-            sender_loop(
-                write_half,
-                &shared,
-                rng,
-                per_conn_interval,
-                duration,
-                root_max,
-            )
+            sender_loop(write_half, &shared, rng, per_conn_interval, &cfg)
         }));
     }
 
@@ -438,10 +639,16 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         report.rejected_full += s.rejected_full;
         report.rejected_backlog += s.rejected_backlog;
         report.rejected_shutdown += s.rejected_shutdown;
+        report.rejected_degraded += s.rejected_degraded;
         report.rejected_other += s.rejected_other;
         report.rejects_with_hint += s.rejects_with_hint;
+        report.rejections_seen += s.rejections_seen;
+        report.retried += s.retried;
+        report.retry_successes += s.retry_successes;
         report.served += s.served;
         report.quarantined += s.quarantined;
+        report.deadline_exceeded += s.deadline_exceeded;
+        report.salvaged += s.salvaged;
         report.duplicate_replies += s.duplicate_replies;
         report.protocol_errors += s.protocol_errors;
         samples.extend(s.latency_ms);
@@ -449,6 +656,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     for s in &shareds {
         report.unacked += s.awaiting_ack.lock().unwrap().len() as u64;
         report.lost_replies += s.awaiting_result.lock().unwrap().len() as u64;
+        report.retries_abandoned += s.retry_queue.lock().unwrap().len() as u64;
     }
     report.latency = LatencySummary::from_samples(samples);
     report.elapsed_s = started.elapsed().as_secs_f64();
@@ -456,4 +664,358 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     report.offered_qps = report.offered as f64 / window;
     report.accepted_qps = report.accepted as f64 / window;
     Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: the whole stack under live faults, end to end.
+// ---------------------------------------------------------------------------
+
+/// Knobs for one chaos soak run ([`run_chaos_soak`]).
+#[derive(Clone, Debug)]
+pub struct ChaosSoakConfig {
+    /// The resident graph to serve. Loaded with an **armed**
+    /// [`FaultPlan`] so chaos events injected mid-run keep payload
+    /// framing SPMD-consistent.
+    pub session: SessionConfig,
+    /// Service knobs (health thresholds included).
+    pub serve: ServeConfig,
+    /// Transport knobs.
+    pub net: NetConfig,
+    /// The seeded fault schedule the service arms against itself.
+    /// Bound `max_events` so the soak tail is chaos-free and recovery
+    /// can close.
+    pub chaos: ChaosConfig,
+    /// The offered load (`addr` and `shutdown_at_end` are overridden).
+    pub load: LoadgenConfig,
+    /// Minimum acceptable `served / completed` ratio.
+    pub availability_gate: f64,
+    /// Maximum acceptable single recovery episode, in service ticks.
+    pub recovery_gate_ticks: u64,
+    /// How often the side connection polls the `health` request.
+    pub health_poll: Duration,
+    /// Wall-clock bound on driving the service back to `healthy`
+    /// after the load window closes.
+    pub recovery_timeout: Duration,
+}
+
+/// What one chaos soak saw, end to end: the load generator's view, the
+/// service's own report, the transport summary, and the availability /
+/// recovery verdicts. Renders as the `serve_chaos` section of the
+/// schema-v8 metrics JSON.
+#[derive(Debug)]
+pub struct ChaosSoakReport {
+    /// The client-side view of the run.
+    pub load: LoadgenReport,
+    /// The service's own report (empty when the service thread died).
+    pub serve: ServeReport,
+    /// The transport summary.
+    pub net: NetSummary,
+    /// `served / (served + quarantined + deadline_exceeded)`.
+    pub availability: f64,
+    /// The configured availability gate.
+    pub availability_gate: f64,
+    /// Health round trips that left and re-reached `healthy`.
+    pub recovery_episodes: u64,
+    /// The longest such episode, in service ticks.
+    pub max_recovery_ticks: u64,
+    /// The configured recovery-time gate.
+    pub recovery_gate_ticks: u64,
+    /// Deduped health-state sequence the side poller observed.
+    pub observed_states: Vec<String>,
+    /// Health state at shutdown.
+    pub final_health: String,
+    /// True when the service ended the run `healthy`.
+    pub recovered: bool,
+    /// True when a server thread panicked (automatic failure).
+    pub server_panicked: bool,
+    /// The panic payload, when one did.
+    pub join_error: Option<String>,
+}
+
+impl ChaosSoakReport {
+    /// The soak's verdict: no crash, clean accounting, availability at
+    /// or above the gate, recovered to `healthy`, and every recovery
+    /// episode inside the tick budget.
+    pub fn passed(&self) -> bool {
+        !self.server_panicked
+            && self.load.clean()
+            && self.availability >= self.availability_gate
+            && self.recovered
+            && self.max_recovery_ticks <= self.recovery_gate_ticks
+    }
+}
+
+impl ToJson for ChaosSoakReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("availability", self.availability)
+            .field("availability_gate", self.availability_gate)
+            .field("recovery_episodes", self.recovery_episodes)
+            .field("max_recovery_ticks", self.max_recovery_ticks)
+            .field("recovery_gate_ticks", self.recovery_gate_ticks)
+            .field(
+                "observed_states",
+                JsonValue::Array(
+                    self.observed_states
+                        .iter()
+                        .map(|s| JsonValue::from(s.as_str()))
+                        .collect(),
+                ),
+            )
+            .field("final_health", self.final_health.as_str())
+            .field("recovered", self.recovered)
+            .field("server_panicked", self.server_panicked)
+            .field(
+                "join_error",
+                match &self.join_error {
+                    Some(e) => JsonValue::from(e.as_str()),
+                    None => JsonValue::Null,
+                },
+            )
+            .field("passed", self.passed())
+            .field("load", self.load.to_json())
+            // Aggregates only: a soak records thousands of queries, and
+            // the committed artifact must stay reviewable.
+            .field("serve", self.serve.to_summary_json())
+            .field("net", self.net.to_json())
+            .build()
+    }
+}
+
+/// Poll `{"cmd":"health"}` on a dedicated connection, recording the
+/// deduped state sequence, until `stop` flips or the socket dies.
+fn health_poller(addr: &str, poll: Duration, stop: &AtomicBool, observed: &Mutex<Vec<String>>) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    while !stop.load(Ordering::SeqCst) {
+        if stream.write_all(b"{\"cmd\":\"health\"}\n").is_err() {
+            break;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if let Ok(reply) = JsonValue::parse(line.trim()) {
+            if reply.get("reply").and_then(JsonValue::as_str) == Some("health") {
+                if let Some(state) = reply.get("state").and_then(JsonValue::as_str) {
+                    let mut seen = observed.lock().unwrap();
+                    if seen.last().map(String::as_str) != Some(state) {
+                        seen.push(state.to_string());
+                    }
+                }
+            }
+        }
+        std::thread::sleep(poll);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// After the load window, feed the service small clean batches until
+/// the poller sees `healthy` (or the deadline passes): quarantine
+/// probes fire on idle ticks by themselves, but `Recovering → Healthy`
+/// needs clean traffic to prove.
+fn drive_recovery(addr: &str, deadline: Instant, observed: &Mutex<Vec<String>>) -> bool {
+    let healthy_now = || observed.lock().unwrap().last().map(String::as_str) == Some("healthy");
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return healthy_now();
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(read_half) = stream.try_clone() else {
+        return healthy_now();
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    while Instant::now() < deadline && !healthy_now() {
+        for root in 0..4u64 {
+            if stream.write_all(query_line(root, None).as_bytes()).is_err() {
+                return healthy_now();
+            }
+        }
+        let _ = stream.write_all(b"{\"cmd\":\"drain\"}\n");
+        // Drain replies until the short read deadline; we only care
+        // that the service executes clean batches, not about matching.
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    healthy_now()
+}
+
+/// Recovery episodes from the transition log: every span from leaving
+/// `healthy` to re-reaching it, in ticks. A run that never got back is
+/// not an episode — [`ChaosSoakReport::recovered`] catches it instead.
+fn recovery_episodes(transitions: &[HealthTransition]) -> (u64, u64) {
+    let mut episodes = 0u64;
+    let mut max_ticks = 0u64;
+    let mut left_at: Option<u64> = None;
+    for t in transitions {
+        if t.from == "healthy" && left_at.is_none() {
+            left_at = Some(t.at_tick);
+        }
+        if t.to == "healthy" {
+            if let Some(start) = left_at.take() {
+                episodes += 1;
+                max_ticks = max_ticks.max(t.at_tick.saturating_sub(start));
+            }
+        }
+    }
+    (episodes, max_ticks)
+}
+
+/// Run the whole chaos soak: build the session with an armed fault
+/// plan, serve it over TCP with the seeded chaos schedule, offer load
+/// while polling health from the side, drive recovery closed, shut
+/// down gracefully, and fold every view into a [`ChaosSoakReport`].
+///
+/// # Errors
+/// Session build and listener setup errors; everything after the
+/// server is up folds into the report instead.
+pub fn run_chaos_soak(cfg: &ChaosSoakConfig) -> io::Result<ChaosSoakReport> {
+    let session = GraphSession::load(cfg.session, FaultPlan::armed())
+        .map_err(|e| io::Error::other(format!("session load: {e}")))?;
+    let svc = BfsService::new(session, cfg.serve).with_chaos(cfg.chaos);
+    let server = serve(svc, "127.0.0.1:0", cfg.net)?;
+    let addr = server.local_addr().to_string();
+
+    let stop_poller = Arc::new(AtomicBool::new(false));
+    let observed = Arc::new(Mutex::new(Vec::<String>::new()));
+    let poller = {
+        let (addr, poll) = (addr.clone(), cfg.health_poll);
+        let stop = Arc::clone(&stop_poller);
+        let observed = Arc::clone(&observed);
+        std::thread::spawn(move || health_poller(&addr, poll, &stop, &observed))
+    };
+
+    let mut load_cfg = cfg.load.clone();
+    load_cfg.addr = addr.clone();
+    load_cfg.shutdown_at_end = false;
+    let load = run_loadgen(&load_cfg)?;
+
+    let recovered_by_drive =
+        drive_recovery(&addr, Instant::now() + cfg.recovery_timeout, &observed);
+
+    stop_poller.store(true, Ordering::SeqCst);
+    server.shutdown();
+    let outcome = server.join();
+    let _ = poller.join();
+
+    let serve_report = outcome
+        .service
+        .as_ref()
+        .map(|svc| svc.report())
+        .unwrap_or_default();
+    let (recovery_episodes, max_recovery_ticks) =
+        recovery_episodes(&serve_report.health_transitions);
+    let final_health = outcome
+        .service
+        .as_ref()
+        .map(|svc| svc.health().label().to_string())
+        .unwrap_or_default();
+    let recovered = recovered_by_drive || final_health == "healthy";
+    let server_panicked = outcome.panicked();
+    let join_error = outcome
+        .service_join_error
+        .clone()
+        .or(outcome.accept_join_error.clone());
+    let observed_states = observed.lock().unwrap().clone();
+    Ok(ChaosSoakReport {
+        availability: serve_report.availability(),
+        availability_gate: cfg.availability_gate,
+        recovery_episodes,
+        max_recovery_ticks,
+        recovery_gate_ticks: cfg.recovery_gate_ticks,
+        observed_states,
+        final_health,
+        recovered: recovered && !server_panicked,
+        server_panicked,
+        join_error,
+        load,
+        serve: serve_report,
+        net: outcome.summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_rejection_rate_excludes_successful_retries() {
+        let mut r = LoadgenReport {
+            offered: 100,
+            rejections_seen: 20,
+            retried: 15,
+            retry_successes: 12,
+            rejected_degraded: 5,
+            ..LoadgenReport::default()
+        };
+        assert_eq!(r.terminal_rejection_rate(), 0.05);
+        r.retries_abandoned = 3;
+        assert_eq!(r.terminal_rejection_rate(), 0.08);
+        let empty = LoadgenReport::default();
+        assert_eq!(empty.terminal_rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn recovery_episodes_measure_healthy_round_trips() {
+        let t = |from: &'static str, to: &'static str, at_tick: u64| HealthTransition {
+            from,
+            to,
+            at_tick,
+            reason: String::new(),
+        };
+        assert_eq!(recovery_episodes(&[]), (0, 0));
+        // One full round trip of 9 ticks, one of 4.
+        let trail = vec![
+            t("healthy", "degraded", 10),
+            t("degraded", "quarantined", 12),
+            t("quarantined", "recovering", 17),
+            t("recovering", "healthy", 19),
+            t("healthy", "degraded", 30),
+            t("degraded", "recovering", 32),
+            t("recovering", "healthy", 34),
+        ];
+        assert_eq!(recovery_episodes(&trail), (2, 9));
+        // Never recovered: no episode closes.
+        let open = vec![t("healthy", "degraded", 5)];
+        assert_eq!(recovery_episodes(&open), (0, 0));
+    }
+
+    #[test]
+    fn query_lines_carry_the_deadline_budget() {
+        assert_eq!(query_line(7, None), "{\"cmd\":\"query\",\"root\":7}\n");
+        assert_eq!(
+            query_line(7, Some(3)),
+            "{\"cmd\":\"query\",\"root\":7,\"deadline_ticks\":3}\n"
+        );
+    }
+
+    #[test]
+    fn loadgen_report_json_carries_the_chaos_fields() {
+        let js = LoadgenReport::default().to_json().render();
+        for key in [
+            "rejected_degraded",
+            "rejections_seen",
+            "retried",
+            "retry_successes",
+            "retries_abandoned",
+            "deadline_exceeded",
+            "salvaged",
+        ] {
+            assert!(js.contains(&format!("\"{key}\"")), "missing {key} in {js}");
+        }
+    }
 }

@@ -42,7 +42,7 @@ use std::time::{Duration, Instant};
 use sunbfs_common::{JsonValue, ToJson};
 
 use crate::proto::{self, ProtoError, Request, MAX_REQUEST_BYTES};
-use crate::service::{BfsService, QueryResult};
+use crate::service::{BfsService, QueryResult, QueryStatus, RejectReason};
 
 /// Events in flight between connections and the service thread. The
 /// channel is bounded: readers block when the service falls behind,
@@ -111,12 +111,26 @@ pub struct NetSummary {
     pub rejected_backlog: u64,
     /// Queries rejected because shutdown was already draining.
     pub rejected_shutdown: u64,
+    /// Queries rejected by the health circuit breaker
+    /// (`service_degraded`; also counted in `rejected`).
+    pub rejected_degraded: u64,
     /// Results delivered to their connection's reply buffer.
     pub results_delivered: u64,
     /// Results whose connection was gone (or slow) at delivery time.
     pub results_dropped: u64,
+    /// Of the routed results, queries that were served.
+    pub results_served: u64,
+    /// Of the routed results, queries quarantined after recovery.
+    pub results_quarantined: u64,
+    /// Of the routed results, queries evicted past their deadline.
+    pub results_deadline_exceeded: u64,
     /// Queries still pending at shutdown that the final drain flushed.
     pub shutdown_drained: u64,
+    /// Health transitions the service recorded over this lifetime.
+    pub health_transitions: u64,
+    /// Health state label at shutdown (empty when the service thread
+    /// panicked before it could report).
+    pub final_health: String,
 }
 
 impl ToJson for NetSummary {
@@ -130,9 +144,15 @@ impl ToJson for NetSummary {
             .field("rejected", self.rejected)
             .field("rejected_backlog", self.rejected_backlog)
             .field("rejected_shutdown", self.rejected_shutdown)
+            .field("rejected_degraded", self.rejected_degraded)
             .field("results_delivered", self.results_delivered)
             .field("results_dropped", self.results_dropped)
+            .field("results_served", self.results_served)
+            .field("results_quarantined", self.results_quarantined)
+            .field("results_deadline_exceeded", self.results_deadline_exceeded)
             .field("shutdown_drained", self.shutdown_drained)
+            .field("health_transitions", self.health_transitions)
+            .field("final_health", self.final_health.as_str())
             .build()
     }
 }
@@ -156,6 +176,56 @@ enum Event {
 struct AcceptCounters {
     connections: AtomicU64,
     refused: AtomicU64,
+}
+
+/// What [`TcpServer::join`] hands back. A panicked service or accept
+/// thread is a *typed* outcome here — never a propagated panic — so
+/// the caller can still emit a final shutdown summary line.
+pub struct JoinOutcome {
+    /// The service, when its thread returned cleanly (`None` when it
+    /// panicked — the resident session died with it).
+    pub service: Option<BfsService>,
+    /// The transport summary. Connection counters are filled in even
+    /// when the service thread panicked.
+    pub summary: NetSummary,
+    /// The service thread's panic payload, when it panicked.
+    pub service_join_error: Option<String>,
+    /// The accept thread's panic payload, when it panicked.
+    pub accept_join_error: Option<String>,
+}
+
+impl JoinOutcome {
+    /// True when any server thread panicked instead of exiting.
+    pub fn panicked(&self) -> bool {
+        self.service_join_error.is_some() || self.accept_join_error.is_some()
+    }
+
+    /// The clean `(service, summary)` pair, for callers (tests, mostly)
+    /// that treat any thread panic as their own failure.
+    ///
+    /// # Panics
+    /// When a server thread panicked.
+    pub fn expect_clean(self) -> (BfsService, NetSummary) {
+        if let Some(e) = &self.service_join_error {
+            panic!("service thread panicked: {e}");
+        }
+        if let Some(e) = &self.accept_join_error {
+            panic!("accept thread panicked: {e}");
+        }
+        let svc = self.service.expect("clean join always carries the service");
+        (svc, self.summary)
+    }
+}
+
+/// Render a `JoinHandle::join` panic payload as best we can.
+fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A running TCP server. Dropping it does **not** stop the threads —
@@ -185,8 +255,11 @@ impl TcpServer {
 
     /// Wait for the server to finish (a `shutdown` command from a
     /// client, or a prior [`TcpServer::shutdown`] call) and return the
-    /// service plus the transport summary.
-    pub fn join(self) -> (BfsService, NetSummary) {
+    /// typed [`JoinOutcome`]. A panicked service or accept thread shows
+    /// up as a `*_join_error` string — never as a propagated panic — so
+    /// the caller can still report connection counters and a final
+    /// shutdown summary.
+    pub fn join(self) -> JoinOutcome {
         let TcpServer {
             stop,
             event_tx,
@@ -195,13 +268,21 @@ impl TcpServer {
             service_handle,
             ..
         } = self;
-        let (svc, mut summary) = service_handle.join().expect("service thread panicked");
+        let (service, mut summary, service_join_error) = match service_handle.join() {
+            Ok((svc, summary)) => (Some(svc), summary, None),
+            Err(p) => (None, NetSummary::default(), Some(panic_payload(p))),
+        };
         stop.store(true, Ordering::SeqCst);
         drop(event_tx);
-        accept_handle.join().expect("accept thread panicked");
+        let accept_join_error = accept_handle.join().err().map(panic_payload);
         summary.connections = counters.connections.load(Ordering::SeqCst);
         summary.refused_connections = counters.refused.load(Ordering::SeqCst);
-        (svc, summary)
+        JoinOutcome {
+            service,
+            summary,
+            service_join_error,
+            accept_join_error,
+        }
     }
 }
 
@@ -473,18 +554,29 @@ impl ServiceLoop {
 
     fn handle_request(&mut self, conn: u64, req: Request) -> bool {
         match req {
-            Request::Query { root } => {
-                self.submit_root(conn, root);
+            Request::Query {
+                root,
+                deadline_ticks,
+            } => {
+                self.submit_root(conn, root, deadline_ticks);
                 let done = self.svc.tick();
                 self.route(done);
                 false
             }
-            Request::Batch { roots } => {
+            Request::Batch {
+                roots,
+                deadline_ticks,
+            } => {
                 for root in roots {
-                    self.submit_root(conn, root);
+                    self.submit_root(conn, root, deadline_ticks);
                 }
                 let done = self.svc.tick();
                 self.route(done);
+                false
+            }
+            Request::Health => {
+                let reply = proto::health_reply(&self.svc.health_snapshot());
+                self.send(conn, &reply);
                 false
             }
             Request::Stats => {
@@ -517,7 +609,7 @@ impl ServiceLoop {
         }
     }
 
-    fn submit_root(&mut self, conn: u64, root: u64) {
+    fn submit_root(&mut self, conn: u64, root: u64, deadline_ticks: Option<u32>) {
         if self.draining {
             self.summary.rejected_shutdown += 1;
             let reply = proto::rejected_reply(
@@ -540,7 +632,7 @@ impl ServiceLoop {
             self.send(conn, &reply);
             return;
         }
-        match self.svc.submit(root) {
+        match self.svc.submit_with_deadline(root, deadline_ticks) {
             Ok(id) => {
                 self.summary.accepted += 1;
                 if let Some(c) = self.conns.get_mut(&conn) {
@@ -552,6 +644,9 @@ impl ServiceLoop {
             }
             Err(reason) => {
                 self.summary.rejected += 1;
+                if matches!(reason, RejectReason::ServiceDegraded { .. }) {
+                    self.summary.rejected_degraded += 1;
+                }
                 let reply = proto::rejection_reply(root, &reason);
                 self.send(conn, &reply);
             }
@@ -561,6 +656,11 @@ impl ServiceLoop {
     /// Deliver completed queries to whoever submitted them.
     fn route(&mut self, results: Vec<QueryResult>) {
         for r in results {
+            match r.status {
+                QueryStatus::Served => self.summary.results_served += 1,
+                QueryStatus::Quarantined(_) => self.summary.results_quarantined += 1,
+                QueryStatus::DeadlineExceeded { .. } => self.summary.results_deadline_exceeded += 1,
+            }
             let Some(conn) = self.routes.remove(&r.id.0) else {
                 self.summary.results_dropped += 1;
                 continue;
@@ -612,6 +712,9 @@ impl ServiceLoop {
         let done = self.svc.drain();
         self.summary.shutdown_drained = done.len() as u64;
         self.route(done);
+        let snap = self.svc.health_snapshot();
+        self.summary.health_transitions = snap.transitions.len() as u64;
+        self.summary.final_health = snap.state.to_string();
         let farewell = proto::shutdown_reply(self.summary.shutdown_drained).render();
         for c in self.conns.values() {
             let _ = c.tx.try_send(farewell.clone());

@@ -20,7 +20,9 @@ use sunbfs_net::MeshShape;
 use sunbfs_part::Thresholds;
 
 use crate::report::ServeReport;
-use crate::service::{QueryResult, QueryStatus, RejectReason, ServeConfig};
+use crate::service::{
+    HealthConfig, HealthSnapshot, QueryResult, QueryStatus, RejectReason, ServeConfig,
+};
 use crate::session::{GraphSession, SessionConfig};
 
 /// Hard cap on one request line. A line that exceeds it is refused
@@ -38,12 +40,19 @@ pub enum Request {
     Query {
         /// The requested BFS root.
         root: u64,
+        /// Optional deadline budget: ticks the query may wait in the
+        /// queue before eviction with a `deadline_exceeded` result.
+        deadline_ticks: Option<u32>,
     },
     /// Submit many roots at once.
     Batch {
         /// The requested BFS roots, in submission order.
         roots: Vec<u64>,
+        /// Optional deadline budget applied to every root in the batch.
+        deadline_ticks: Option<u32>,
     },
+    /// Ask for the service's health state and transition history.
+    Health,
     /// Ask for the full [`ServeReport`].
     Stats,
     /// Flush every pending query now.
@@ -150,7 +159,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match cmd.get("cmd").and_then(JsonValue::as_str) {
         Some("load") => parse_load(&cmd).map(|l| Request::Load(Box::new(l))),
         Some("query") => match cmd.get("root").and_then(JsonValue::as_u64) {
-            Some(root) => Ok(Request::Query { root }),
+            Some(root) => Ok(Request::Query {
+                root,
+                deadline_ticks: deadline_knob(&cmd)?,
+            }),
             None => Err(ProtoError::BadRequest {
                 detail: "query needs a numeric \"root\"".into(),
             }),
@@ -172,8 +184,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                     }
                 }
             }
-            Ok(Request::Batch { roots })
+            Ok(Request::Batch {
+                roots,
+                deadline_ticks: deadline_knob(&cmd)?,
+            })
         }
+        Some("health") => Ok(Request::Health),
         Some("stats") => Ok(Request::Stats),
         Some("drain") => Ok(Request::Drain),
         Some("shutdown") => Ok(Request::Shutdown),
@@ -197,6 +213,27 @@ fn knob(cmd: &JsonValue, key: &str, default: u64, min: u64, max: u64) -> Result<
             None => Err(ProtoError::BadRequest {
                 detail: format!(
                     "load knob {key:?} must be an unsigned integer, got {}",
+                    v.render()
+                ),
+            }),
+        },
+    }
+}
+
+/// The optional `deadline_ticks` budget on a `query`/`batch`. Absent
+/// means no deadline; present but mistyped or out of `u32` range is a
+/// refusal, like every other knob.
+fn deadline_knob(cmd: &JsonValue) -> Result<Option<u32>, ProtoError> {
+    match cmd.get("deadline_ticks") {
+        None => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(n) if n <= u64::from(u32::MAX) => Ok(Some(n as u32)),
+            Some(n) => Err(ProtoError::BadRequest {
+                detail: format!("\"deadline_ticks\" must fit in u32, got {n}"),
+            }),
+            None => Err(ProtoError::BadRequest {
+                detail: format!(
+                    "\"deadline_ticks\" must be an unsigned integer, got {}",
                     v.render()
                 ),
             }),
@@ -266,6 +303,7 @@ fn parse_load(cmd: &JsonValue) -> Result<LoadRequest, ProtoError> {
         flush_deadline: knob(cmd, "flush_deadline", 4, 0, u64::from(u32::MAX))? as u32,
         max_root_retries: 2,
         measure_baseline: bool_knob(cmd, "baseline", false)?,
+        health: HealthConfig::default(),
     };
     Ok(LoadRequest {
         session,
@@ -340,7 +378,13 @@ pub fn result_reply(r: &QueryResult) -> JsonValue {
         .field("reply", "result")
         .field("id", r.id.0)
         .field("root", r.root)
-        .field("batch_id", r.batch_id)
+        .field(
+            "batch_id",
+            match r.batch_id {
+                Some(b) => JsonValue::from(b),
+                None => JsonValue::Null,
+            },
+        )
         .field("status", r.status.label())
         .field("visited", r.visited)
         .field(
@@ -358,12 +402,42 @@ pub fn result_reply(r: &QueryResult) -> JsonValue {
         )
         .field("sim_latency_s", r.sim_latency_s)
         .field("via_fallback", r.via_fallback);
-    if let QueryStatus::Quarantined(q) = &r.status {
-        o = o
-            .field("quarantine", q.label)
-            .field("detail", q.detail.clone());
+    match &r.status {
+        QueryStatus::Quarantined(q) => {
+            o = o
+                .field("quarantine", q.label)
+                .field("detail", q.detail.clone());
+        }
+        QueryStatus::DeadlineExceeded {
+            deadline_ticks,
+            waited_ticks,
+        } => {
+            o = o
+                .field("deadline_ticks", u64::from(*deadline_ticks))
+                .field("waited_ticks", *waited_ticks);
+        }
+        QueryStatus::Served => {}
     }
     o.build()
+}
+
+/// The `health` reply: current state, tick clock, per-class counters,
+/// and the full transition history.
+pub fn health_reply(h: &HealthSnapshot) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "health")
+        .field("state", h.state)
+        .field("ticks", h.ticks)
+        .field("queue_depth", h.queue_depth as u64)
+        .field("served", h.served)
+        .field("quarantined", h.quarantined)
+        .field("deadline_exceeded", h.deadline_exceeded)
+        .field("rejected_degraded", h.rejected_degraded)
+        .field(
+            "transitions",
+            JsonValue::Array(h.transitions.iter().map(|t| t.to_json()).collect()),
+        )
+        .build()
 }
 
 /// The `stats` reply wrapping the full [`ServeReport`].
@@ -431,12 +505,32 @@ mod tests {
     fn well_formed_requests_parse() {
         assert!(matches!(
             parse_request(r#"{"cmd":"query","root":7}"#),
-            Ok(Request::Query { root: 7 })
+            Ok(Request::Query {
+                root: 7,
+                deadline_ticks: None
+            })
         ));
-        match parse_request(r#"{"cmd":"batch","roots":[1,2,3]}"#) {
-            Ok(Request::Batch { roots }) => assert_eq!(roots, vec![1, 2, 3]),
+        assert!(matches!(
+            parse_request(r#"{"cmd":"query","root":7,"deadline_ticks":4}"#),
+            Ok(Request::Query {
+                root: 7,
+                deadline_ticks: Some(4)
+            })
+        ));
+        match parse_request(r#"{"cmd":"batch","roots":[1,2,3],"deadline_ticks":0}"#) {
+            Ok(Request::Batch {
+                roots,
+                deadline_ticks,
+            }) => {
+                assert_eq!(roots, vec![1, 2, 3]);
+                assert_eq!(deadline_ticks, Some(0));
+            }
             other => panic!("expected batch, got {other:?}"),
         }
+        assert!(matches!(
+            parse_request(r#"{"cmd":"health"}"#),
+            Ok(Request::Health)
+        ));
         assert!(matches!(
             parse_request(r#"{"cmd":"stats"}"#),
             Ok(Request::Stats)
@@ -513,6 +607,14 @@ mod tests {
             (r#"{"cmd":"load","baseline":1}"#, "must be a boolean"),
             (r#"{"cmd":"load","path":7}"#, "must be a string"),
             (
+                r#"{"cmd":"query","root":1,"deadline_ticks":"4"}"#,
+                "unsigned integer",
+            ),
+            (
+                r#"{"cmd":"batch","roots":[1],"deadline_ticks":4294967296}"#,
+                "must fit in u32",
+            ),
+            (
                 r#"{"cmd":"load","e_threshold":8,"h_threshold":16}"#,
                 "must not exceed",
             ),
@@ -576,7 +678,7 @@ mod tests {
         let served = QueryResult {
             id: QueryId(4),
             root: 9,
-            batch_id: 1,
+            batch_id: Some(1),
             status: QueryStatus::Served,
             parents: Some(Arc::new(vec![0, 1])),
             depth_histogram: vec![1, 1],
@@ -601,5 +703,70 @@ mod tests {
         assert!(js.contains(r#""status":"quarantined""#), "got {js}");
         assert!(js.contains(r#""quarantine":"engine""#), "got {js}");
         assert!(js.contains(r#""detail":"boom""#), "got {js}");
+    }
+
+    #[test]
+    fn deadline_exceeded_results_render_budget_and_wait() {
+        let evicted = QueryResult {
+            id: QueryId(11),
+            root: 3,
+            batch_id: None,
+            status: QueryStatus::DeadlineExceeded {
+                deadline_ticks: 2,
+                waited_ticks: 3,
+            },
+            parents: None,
+            depth_histogram: Vec::new(),
+            visited: 0,
+            engine_traversed_edges: 0,
+            sim_latency_s: 0.0,
+            wall_latency_s: 0.0,
+            via_fallback: false,
+        };
+        let js = result_reply(&evicted).render();
+        assert!(js.contains(r#""status":"deadline_exceeded""#), "got {js}");
+        assert!(js.contains(r#""batch_id":null"#), "got {js}");
+        assert!(js.contains(r#""deadline_ticks":2"#), "got {js}");
+        assert!(js.contains(r#""waited_ticks":3"#), "got {js}");
+    }
+
+    #[test]
+    fn health_replies_carry_state_and_transitions() {
+        let snap = HealthSnapshot {
+            state: "recovering",
+            ticks: 40,
+            transitions: vec![crate::report::HealthTransition {
+                from: "healthy",
+                to: "degraded",
+                at_tick: 12,
+                reason: "batch 3 fell back".into(),
+            }],
+            queue_depth: 2,
+            served: 10,
+            quarantined: 1,
+            deadline_exceeded: 2,
+            rejected_degraded: 5,
+        };
+        let js = health_reply(&snap).render();
+        assert!(
+            js.starts_with(r#"{"reply":"health","state":"recovering""#),
+            "got {js}"
+        );
+        assert!(js.contains(r#""ticks":40"#), "got {js}");
+        assert!(js.contains(r#""rejected_degraded":5"#), "got {js}");
+        assert!(js.contains(r#""from":"healthy""#), "got {js}");
+        assert!(js.contains(r#""to":"degraded""#), "got {js}");
+    }
+
+    #[test]
+    fn degraded_rejections_carry_state_and_hint() {
+        let shed = RejectReason::ServiceDegraded {
+            state: "quarantined",
+            retry_after_ticks: 9,
+        };
+        let js = rejection_reply(5, &shed).render();
+        assert!(js.contains(r#""reason":"service_degraded""#), "got {js}");
+        assert!(js.contains(r#""retry_after_ticks":9"#), "got {js}");
+        assert!(js.contains("quarantined"), "got {js}");
     }
 }

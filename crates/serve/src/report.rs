@@ -1,7 +1,32 @@
 //! Service observability: everything the metrics JSON `serve` section
-//! (schema v4, `docs/METRICS.md`) reports about one service lifetime.
+//! (schema v8, `docs/METRICS.md`) reports about one service lifetime.
 
 use sunbfs_common::{JsonValue, ToJson};
+
+/// One health state change (`docs/FAULTS.md`), as the report and the
+/// `health` reply carry it.
+#[derive(Clone, Debug)]
+pub struct HealthTransition {
+    /// State label left (`healthy`/`degraded`/`quarantined`/`recovering`).
+    pub from: &'static str,
+    /// State label entered.
+    pub to: &'static str,
+    /// Service tick when the transition happened.
+    pub at_tick: u64,
+    /// Why (human-readable, e.g. `"2/4 window batches failed"`).
+    pub reason: String,
+}
+
+impl ToJson for HealthTransition {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("from", self.from)
+            .field("to", self.to)
+            .field("at_tick", self.at_tick)
+            .field("reason", self.reason.as_str())
+            .build()
+    }
+}
 
 /// Power-of-two occupancy buckets: 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64.
 pub const OCCUPANCY_BUCKETS: usize = 7;
@@ -69,9 +94,10 @@ pub struct QueryRecord {
     pub id: u64,
     /// The root vertex.
     pub root: u64,
-    /// The batch it rode in.
-    pub batch_id: u64,
-    /// `served` or `quarantined`.
+    /// The batch it rode in (`None` for queries evicted before forming
+    /// one, e.g. `deadline_exceeded`).
+    pub batch_id: Option<u64>,
+    /// `served`, `quarantined`, or `deadline_exceeded`.
     pub status: &'static str,
     /// Simulated seconds the serving traversal took.
     pub sim_latency_s: f64,
@@ -86,7 +112,13 @@ impl ToJson for QueryRecord {
         JsonValue::object()
             .field("id", self.id)
             .field("root", self.root)
-            .field("batch_id", self.batch_id)
+            .field(
+                "batch_id",
+                match self.batch_id {
+                    Some(b) => JsonValue::from(b),
+                    None => JsonValue::Null,
+                },
+            )
             .field("status", self.status)
             .field("sim_latency_s", self.sim_latency_s)
             .field("wall_latency_s", self.wall_latency_s)
@@ -114,6 +146,26 @@ pub struct ServeReport {
     pub rejected_full: u64,
     /// Submissions rejected because the root was out of range.
     pub rejected_invalid: u64,
+    /// Submissions shed by the health circuit breaker
+    /// (`service_degraded` rejections).
+    pub rejected_degraded: u64,
+    /// Queries evicted past their deadline budget.
+    pub deadline_exceeded: u64,
+    /// Service ticks elapsed at report time.
+    pub ticks: u64,
+    /// Health state label at report time (empty before the service
+    /// first reports; rendered as `healthy` then).
+    pub health: &'static str,
+    /// Every health transition, in order.
+    pub health_transitions: Vec<HealthTransition>,
+    /// Chaos fault events armed against the live cluster.
+    pub chaos_injected: u64,
+    /// Of those, rank panics.
+    pub chaos_panics: u64,
+    /// Of those, stragglers.
+    pub chaos_stragglers: u64,
+    /// Of those, payload corruptions.
+    pub chaos_corruptions: u64,
     /// Deepest the pending queue ever got.
     pub max_queue_depth: usize,
     /// Pending queries at report time.
@@ -162,6 +214,20 @@ impl ServeReport {
         }
     }
 
+    /// Fraction of completed queries that were served: `served /
+    /// (served + quarantined + deadline_exceeded)`. `1.0` when nothing
+    /// completed yet. Rejections are *not* completions — a shed query
+    /// never entered the service — so they sit outside this ratio (the
+    /// soak harness accounts for them separately).
+    pub fn availability(&self) -> f64 {
+        let completed = self.served + self.quarantined + self.deadline_exceeded;
+        if completed == 0 {
+            1.0
+        } else {
+            self.served as f64 / completed as f64
+        }
+    }
+
     /// Batched-over-sequential throughput ratio, when the baseline was
     /// measured (> 1.0 means batching wins).
     pub fn speedup(&self) -> Option<f64> {
@@ -174,8 +240,12 @@ impl ServeReport {
     }
 }
 
-impl ToJson for ServeReport {
-    fn to_json(&self) -> JsonValue {
+impl ServeReport {
+    /// The aggregate serve section without the per-batch and per-query
+    /// arrays — what committed artifacts embed, since a multi-second
+    /// soak records thousands of queries and the arrays would dwarf
+    /// every other field.
+    pub fn to_summary_json(&self) -> JsonValue {
         let occupancy = OCCUPANCY_LABELS
             .iter()
             .zip(self.occupancy_histogram.iter())
@@ -192,6 +262,31 @@ impl ToJson for ServeReport {
             .field("quarantined", self.quarantined)
             .field("rejected_full", self.rejected_full)
             .field("rejected_invalid", self.rejected_invalid)
+            .field("rejected_degraded", self.rejected_degraded)
+            .field("deadline_exceeded", self.deadline_exceeded)
+            .field("availability", self.availability())
+            .field("ticks", self.ticks)
+            .field(
+                "health",
+                if self.health.is_empty() {
+                    "healthy"
+                } else {
+                    self.health
+                },
+            )
+            .field(
+                "health_transitions",
+                JsonValue::Array(
+                    self.health_transitions
+                        .iter()
+                        .map(|t| t.to_json())
+                        .collect(),
+                ),
+            )
+            .field("chaos_injected", self.chaos_injected)
+            .field("chaos_panics", self.chaos_panics)
+            .field("chaos_stragglers", self.chaos_stragglers)
+            .field("chaos_corruptions", self.chaos_corruptions)
             .field("max_queue_depth", self.max_queue_depth as u64)
             .field("current_queue_depth", self.current_queue_depth as u64)
             .field("fallback_batches", self.fallback_batches)
@@ -222,15 +317,24 @@ impl ToJson for ServeReport {
             .field("build_sim_seconds", self.build_sim_seconds)
             .field("load_sim_seconds", self.load_sim_seconds)
             .field("load_attempts", u64::from(self.load_attempts))
-            .field(
-                "batches",
-                JsonValue::Array(self.batches.iter().map(|b| b.to_json()).collect()),
-            )
-            .field(
-                "queries",
-                JsonValue::Array(self.queries.iter().map(|q| q.to_json()).collect()),
-            )
             .build()
+    }
+}
+
+impl ToJson for ServeReport {
+    fn to_json(&self) -> JsonValue {
+        let JsonValue::Object(mut fields) = self.to_summary_json() else {
+            unreachable!("summary is always an object");
+        };
+        fields.push((
+            "batches".to_string(),
+            JsonValue::Array(self.batches.iter().map(|b| b.to_json()).collect()),
+        ));
+        fields.push((
+            "queries".to_string(),
+            JsonValue::Array(self.queries.iter().map(|q| q.to_json()).collect()),
+        ));
+        JsonValue::Object(fields)
     }
 }
 
@@ -293,8 +397,48 @@ mod tests {
             "max_queue_depth",
             "batches",
             "queries",
+            "rejected_degraded",
+            "deadline_exceeded",
+            "availability",
+            "health",
+            "health_transitions",
+            "chaos_injected",
         ] {
             assert!(js.contains(&format!("\"{key}\"")), "missing {key} in {js}");
         }
+        assert!(
+            js.contains("\"health\":\"healthy\""),
+            "empty health label must render as healthy: {js}"
+        );
+    }
+
+    #[test]
+    fn availability_counts_only_completed_queries() {
+        let mut r = ServeReport::default();
+        assert_eq!(r.availability(), 1.0, "vacuously available");
+        r.served = 9;
+        r.quarantined = 1;
+        assert_eq!(r.availability(), 0.9);
+        r.deadline_exceeded = 10;
+        assert_eq!(r.availability(), 0.45);
+        // Rejections are not completions.
+        r.rejected_degraded = 1000;
+        r.rejected_full = 1000;
+        assert_eq!(r.availability(), 0.45);
+    }
+
+    #[test]
+    fn health_transitions_render_with_all_fields() {
+        let t = HealthTransition {
+            from: "healthy",
+            to: "degraded",
+            at_tick: 12,
+            reason: "batch 3 fell back".to_string(),
+        };
+        let js = t.to_json().render();
+        for key in ["from", "to", "at_tick", "reason"] {
+            assert!(js.contains(&format!("\"{key}\"")), "missing {key} in {js}");
+        }
+        assert!(js.contains("\"at_tick\":12"));
     }
 }

@@ -28,15 +28,29 @@
 //! batch's riders* — each rider falls back to its own checkpointed
 //! single-source run with bounded retries (the PR 2/3 machinery), and
 //! the resident [`GraphSession`] is never rebuilt or invalidated.
+//!
+//! Above containment sits a **health state machine**
+//! (`Healthy → Degraded → Quarantined → Recovering`, `docs/FAULTS.md`):
+//! per-batch outcomes feed a sliding failure window; crossing the
+//! threshold opens a circuit breaker that sheds new submissions with
+//! typed `service_degraded` rejections (plus `retry_after_ticks`
+//! hints) until a tick-driven recovery probe half-opens it and clean
+//! batches close the loop. Queries may also carry a **deadline
+//! budget** ([`BfsService::submit_with_deadline`]): one still queued
+//! past its budget is evicted with a typed `deadline_exceeded` result
+//! instead of consuming a batch slot. A seeded [`ChaosConfig`] can arm
+//! live faults against the resident cluster at a query cadence — the
+//! soak harness's chaos source.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-use sunbfs_common::INVALID_VERTEX;
+use sunbfs_common::{SplitMix64, INVALID_VERTEX};
 use sunbfs_core::{validate, BatchOutput, BfsOutput, CheckpointStore, EngineError};
+use sunbfs_net::{CorruptMode, FaultEvent, FaultKind};
 
-use crate::report::{BatchRecord, QueryRecord, ServeReport};
+use crate::report::{BatchRecord, HealthTransition, QueryRecord, ServeReport};
 use crate::session::GraphSession;
 use crate::MAX_BATCH;
 
@@ -56,6 +70,8 @@ pub struct ServeConfig {
     /// path and record the comparison (costs one extra SPMD pass per
     /// batch; for benchmarking, not serving).
     pub measure_baseline: bool,
+    /// Health state machine thresholds (`docs/FAULTS.md`).
+    pub health: HealthConfig,
 }
 
 impl Default for ServeConfig {
@@ -66,8 +82,265 @@ impl Default for ServeConfig {
             flush_deadline: 4,
             max_root_retries: 2,
             measure_baseline: false,
+            health: HealthConfig::default(),
         }
     }
+}
+
+/// Thresholds of the service health state machine
+/// (`Healthy → Degraded → Quarantined → Recovering`, `docs/FAULTS.md`).
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Sliding window of recent batches over which failures are judged.
+    pub window: usize,
+    /// Failed batches within the window that trip the circuit breaker
+    /// (`Degraded → Quarantined`).
+    pub quarantine_failures: u32,
+    /// Quiet ticks a quarantined service waits before the recovery
+    /// probe half-opens the breaker (`Quarantined → Recovering`).
+    pub probe_after_ticks: u32,
+    /// Consecutive clean batches that close the loop
+    /// (`Recovering → Healthy`).
+    pub recovery_batches: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            window: 8,
+            quarantine_failures: 3,
+            probe_after_ticks: 16,
+            recovery_batches: 2,
+        }
+    }
+}
+
+/// The service's health, as a closed state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// No recent batch failures; full admission.
+    Healthy,
+    /// At least one recent batch degraded (fallback or quarantine);
+    /// admission stays open while the window is watched.
+    Degraded,
+    /// The breaker is open: failures crossed the window threshold, and
+    /// new queries are shed with typed `service_degraded` rejections
+    /// until a recovery probe fires.
+    Quarantined,
+    /// Half-open: a probe (or a first clean batch) is letting traffic
+    /// prove the service healthy again.
+    Recovering,
+}
+
+impl HealthState {
+    /// Stable label used in JSON replies and the report.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Recovering => "recovering",
+        }
+    }
+}
+
+/// The health state machine: batch outcomes and ticks in, transitions
+/// out. Pure bookkeeping — no clock, no I/O — so tests can script it.
+#[derive(Debug)]
+pub struct HealthMachine {
+    cfg: HealthConfig,
+    state: HealthState,
+    /// Outcomes of the last `cfg.window` batches (true = failed).
+    window: VecDeque<bool>,
+    consecutive_clean: u32,
+    /// Tick of the most recent failure while quarantined (the probe
+    /// timer's epoch).
+    quarantined_at: u64,
+    transitions: Vec<HealthTransition>,
+}
+
+impl HealthMachine {
+    /// A healthy machine with `cfg` thresholds.
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthMachine {
+            cfg: HealthConfig {
+                window: cfg.window.max(1),
+                quarantine_failures: cfg.quarantine_failures.max(1),
+                probe_after_ticks: cfg.probe_after_ticks.max(1),
+                recovery_batches: cfg.recovery_batches.max(1),
+            },
+            state: HealthState::Healthy,
+            window: VecDeque::new(),
+            consecutive_clean: 0,
+            quarantined_at: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Every transition so far, in order.
+    pub fn transitions(&self) -> &[HealthTransition] {
+        &self.transitions
+    }
+
+    fn goto(&mut self, to: HealthState, at_tick: u64, reason: String) {
+        self.transitions.push(HealthTransition {
+            from: self.state.label(),
+            to: to.label(),
+            at_tick,
+            reason,
+        });
+        self.state = to;
+    }
+
+    fn window_failures(&self) -> u32 {
+        self.window.iter().filter(|&&f| f).count() as u32
+    }
+
+    /// Record one executed batch (`failed` = it fell back to per-root
+    /// recovery or quarantined a rider) at tick `now`.
+    pub fn on_batch(&mut self, failed: bool, now: u64) {
+        self.window.push_back(failed);
+        while self.window.len() > self.cfg.window {
+            self.window.pop_front();
+        }
+        if failed {
+            self.consecutive_clean = 0;
+        } else {
+            self.consecutive_clean += 1;
+        }
+        match self.state {
+            HealthState::Healthy => {
+                if failed {
+                    self.goto(
+                        HealthState::Degraded,
+                        now,
+                        "batch degraded (fallback or quarantine)".into(),
+                    );
+                }
+            }
+            HealthState::Degraded => {
+                if self.window_failures() >= self.cfg.quarantine_failures {
+                    self.quarantined_at = now;
+                    self.goto(
+                        HealthState::Quarantined,
+                        now,
+                        format!(
+                            "{} of last {} batches failed",
+                            self.window_failures(),
+                            self.window.len()
+                        ),
+                    );
+                } else if !failed {
+                    self.goto(HealthState::Recovering, now, "clean batch".into());
+                }
+            }
+            HealthState::Recovering => {
+                if failed {
+                    self.quarantined_at = now;
+                    self.goto(
+                        HealthState::Quarantined,
+                        now,
+                        "batch failed during recovery".into(),
+                    );
+                } else if self.consecutive_clean >= self.cfg.recovery_batches {
+                    self.window.clear();
+                    self.goto(
+                        HealthState::Healthy,
+                        now,
+                        format!("{} consecutive clean batches", self.consecutive_clean),
+                    );
+                }
+            }
+            HealthState::Quarantined => {
+                // Pre-quarantine queue still drains; a failure re-arms
+                // the probe timer, clean batches wait for the probe.
+                if failed {
+                    self.quarantined_at = now;
+                }
+            }
+        }
+    }
+
+    /// Advance the probe timer to tick `now`.
+    pub fn on_tick(&mut self, now: u64) {
+        if self.state == HealthState::Quarantined
+            && now.saturating_sub(self.quarantined_at) >= u64::from(self.cfg.probe_after_ticks)
+        {
+            self.window.clear();
+            self.consecutive_clean = 0;
+            self.goto(
+                HealthState::Recovering,
+                now,
+                format!(
+                    "recovery probe after {} quiet ticks",
+                    self.cfg.probe_after_ticks
+                ),
+            );
+        }
+    }
+
+    /// When the breaker is shedding load, the ticks a client should
+    /// wait before retrying (until the next recovery probe).
+    pub fn shed(&self, now: u64) -> Option<u32> {
+        if self.state != HealthState::Quarantined {
+            return None;
+        }
+        let waited = now.saturating_sub(self.quarantined_at);
+        let left = u64::from(self.cfg.probe_after_ticks).saturating_sub(waited);
+        Some(left.clamp(1, u64::from(u32::MAX)) as u32)
+    }
+}
+
+/// A seeded live-chaos schedule: the service arms one fault against its
+/// own cluster every `every_queries` executed queries, cycling panic /
+/// straggler / corrupt kinds deterministically. Requires the session's
+/// [`FaultPlan`](sunbfs_net::FaultPlan) to be
+/// [`armed`](sunbfs_net::FaultPlan::armed) (or already non-empty) so
+/// payload framing stays SPMD-consistent.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic rank/op-index placement stream.
+    pub seed: u64,
+    /// Arm one fault per this many executed queries.
+    pub every_queries: u64,
+    /// Collective-index horizon faults are placed in (`op_index` drawn
+    /// from `[0, horizon)`; small values fire early in the next batch).
+    pub horizon: u64,
+    /// Simulated seconds each armed straggler delays its rank.
+    pub straggler_secs: f64,
+    /// Stop arming after this many events (0 = unbounded). A bounded
+    /// schedule leaves a clean tail so soaks can watch recovery close.
+    pub max_events: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 42,
+            every_queries: 64,
+            horizon: 48,
+            straggler_secs: 0.05,
+            max_events: 0,
+        }
+    }
+}
+
+/// Live-chaos bookkeeping between batches.
+#[derive(Debug)]
+struct ChaosState {
+    cfg: ChaosConfig,
+    rng: SplitMix64,
+    /// Executed queries since the last armed event.
+    since: u64,
+    injected: u64,
+    panics: u64,
+    stragglers: u64,
+    corruptions: u64,
 }
 
 /// Ticket for a submitted query.
@@ -94,6 +367,15 @@ pub enum RejectReason {
         /// Vertices in the resident graph.
         num_vertices: u64,
     },
+    /// The health breaker is open ([`HealthState::Quarantined`]): the
+    /// service is shedding load instead of queueing queries it would
+    /// likely degrade.
+    ServiceDegraded {
+        /// The health state's stable label at rejection time.
+        state: &'static str,
+        /// Ticks until the next recovery probe — retry then.
+        retry_after_ticks: u32,
+    },
 }
 
 impl RejectReason {
@@ -102,14 +384,19 @@ impl RejectReason {
         match self {
             RejectReason::QueueFull { .. } => "queue_full",
             RejectReason::InvalidRoot { .. } => "invalid_root",
+            RejectReason::ServiceDegraded { .. } => "service_degraded",
         }
     }
 
     /// The backoff hint, when this rejection is retryable at all.
-    /// `QueueFull` clears after a flush; an invalid root never will.
+    /// `QueueFull` clears after a flush, `ServiceDegraded` after a
+    /// recovery probe; an invalid root never will.
     pub fn retry_after_ticks(&self) -> Option<u32> {
         match self {
             RejectReason::QueueFull {
+                retry_after_ticks, ..
+            }
+            | RejectReason::ServiceDegraded {
                 retry_after_ticks, ..
             } => Some(*retry_after_ticks),
             RejectReason::InvalidRoot { .. } => None,
@@ -132,6 +419,15 @@ impl std::fmt::Display for RejectReason {
             RejectReason::InvalidRoot { root, num_vertices } => {
                 write!(f, "root {root} outside vertex range [0, {num_vertices})")
             }
+            RejectReason::ServiceDegraded {
+                state,
+                retry_after_ticks,
+            } => {
+                write!(
+                    f,
+                    "service {state}: shedding load; retry after {retry_after_ticks} tick(s)"
+                )
+            }
         }
     }
 }
@@ -152,6 +448,14 @@ pub enum QueryStatus {
     Served,
     /// Every recovery avenue was exhausted; no tree for this query.
     Quarantined(Quarantine),
+    /// The query's deadline budget expired while it waited in the
+    /// admission queue; it was evicted without consuming a batch slot.
+    DeadlineExceeded {
+        /// The budget it carried.
+        deadline_ticks: u32,
+        /// Ticks it actually waited before eviction.
+        waited_ticks: u64,
+    },
 }
 
 impl QueryStatus {
@@ -160,6 +464,7 @@ impl QueryStatus {
         match self {
             QueryStatus::Served => "served",
             QueryStatus::Quarantined(_) => "quarantined",
+            QueryStatus::DeadlineExceeded { .. } => "deadline_exceeded",
         }
     }
 }
@@ -171,8 +476,9 @@ pub struct QueryResult {
     pub id: QueryId,
     /// The query's root vertex.
     pub root: u64,
-    /// The batch this query rode in.
-    pub batch_id: u64,
+    /// The batch this query rode in (`None` when it never rode one —
+    /// deadline eviction happens before batch formation).
+    pub batch_id: Option<u64>,
     /// Served or quarantined.
     pub status: QueryStatus,
     /// Handle to the assembled global parent array (`n` entries,
@@ -198,6 +504,32 @@ pub struct QueryResult {
 struct Pending {
     id: QueryId,
     root: u64,
+    /// Service tick at admission (deadline epoch).
+    admitted_tick: u64,
+    /// Optional deadline budget in ticks.
+    deadline_ticks: Option<u32>,
+}
+
+/// A point-in-time view of the service's health, for the `health`
+/// request of both transports.
+#[derive(Clone, Debug)]
+pub struct HealthSnapshot {
+    /// Current state's stable label.
+    pub state: &'static str,
+    /// Service ticks elapsed.
+    pub ticks: u64,
+    /// Every health transition so far, in order.
+    pub transitions: Vec<HealthTransition>,
+    /// Pending (admitted, not yet executed) queries.
+    pub queue_depth: usize,
+    /// Queries served.
+    pub served: u64,
+    /// Queries quarantined.
+    pub quarantined: u64,
+    /// Queries evicted at their deadline.
+    pub deadline_exceeded: u64,
+    /// Submissions shed by the open breaker.
+    pub rejected_degraded: u64,
 }
 
 /// The BFS query service over one resident [`GraphSession`].
@@ -207,8 +539,12 @@ pub struct BfsService {
     pending: VecDeque<Pending>,
     /// Ticks the oldest pending query has waited.
     age: u32,
+    /// Monotonic service clock ([`Self::tick`] calls).
+    ticks: u64,
     next_id: u64,
     next_batch: u64,
+    health: HealthMachine,
+    chaos: Option<ChaosState>,
     report: ServeReport,
 }
 
@@ -229,13 +565,41 @@ impl BfsService {
         };
         BfsService {
             session,
+            health: HealthMachine::new(cfg.health),
             cfg,
             pending: VecDeque::new(),
             age: 0,
+            ticks: 0,
             next_id: 0,
             next_batch: 0,
+            chaos: None,
             report,
         }
+    }
+
+    /// Arm a seeded live-chaos schedule: before executing batches, the
+    /// service injects faults into its own cluster's
+    /// [`FaultPlan`](sunbfs_net::FaultPlan) at the configured query
+    /// cadence. The session should have been built with
+    /// [`FaultPlan::armed`](sunbfs_net::FaultPlan::armed) (injection on
+    /// a still-empty unarmed plan is only safe between runs, which this
+    /// single-threaded service guarantees — but an armed plan keeps
+    /// payload framing on from the first batch, making runs uniform).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(ChaosState {
+            rng: SplitMix64::new(chaos.seed ^ 0xC4A0_5C4A_05C4_A05C),
+            cfg: ChaosConfig {
+                every_queries: chaos.every_queries.max(1),
+                horizon: chaos.horizon.max(1),
+                ..chaos
+            },
+            since: 0,
+            injected: 0,
+            panics: 0,
+            stragglers: 0,
+            corruptions: 0,
+        });
+        self
     }
 
     /// The resident session (topology, fault log, partition stats).
@@ -264,10 +628,53 @@ impl BfsService {
         self.pending.len()
     }
 
+    /// The service clock: [`Self::tick`] calls so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Current health state.
+    pub fn health(&self) -> HealthState {
+        self.health.state()
+    }
+
+    /// Point-in-time health view for the `health` request.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            state: self.health.state().label(),
+            ticks: self.ticks,
+            transitions: self.health.transitions().to_vec(),
+            queue_depth: self.pending.len(),
+            served: self.report.served,
+            quarantined: self.report.quarantined,
+            deadline_exceeded: self.report.deadline_exceeded,
+            rejected_degraded: self.report.rejected_degraded,
+        }
+    }
+
+    /// Admit one query with no deadline budget.
+    pub fn submit(&mut self, root: u64) -> Result<QueryId, RejectReason> {
+        self.submit_with_deadline(root, None)
+    }
+
     /// Admit one query, or reject with a typed reason. Admission never
     /// executes anything — traversal happens at [`Self::tick`] /
-    /// [`Self::drain`] time.
-    pub fn submit(&mut self, root: u64) -> Result<QueryId, RejectReason> {
+    /// [`Self::drain`] time. A query carrying `deadline_ticks` is
+    /// evicted with a typed `deadline_exceeded` result if it is still
+    /// queued after that many ticks (`0` = only a full-batch flush in
+    /// the admission tick can serve it).
+    pub fn submit_with_deadline(
+        &mut self,
+        root: u64,
+        deadline_ticks: Option<u32>,
+    ) -> Result<QueryId, RejectReason> {
+        if let Some(hint) = self.health.shed(self.ticks) {
+            self.report.rejected_degraded += 1;
+            return Err(RejectReason::ServiceDegraded {
+                state: self.health.state().label(),
+                retry_after_ticks: hint,
+            });
+        }
         let n = self.session.num_vertices();
         if root >= n {
             self.report.rejected_invalid += 1;
@@ -285,36 +692,50 @@ impl BfsService {
         }
         let id = QueryId(self.next_id);
         self.next_id += 1;
-        self.pending.push_back(Pending { id, root });
+        self.pending.push_back(Pending {
+            id,
+            root,
+            admitted_tick: self.ticks,
+            deadline_ticks,
+        });
         self.report.submitted += 1;
         self.report.max_queue_depth = self.report.max_queue_depth.max(self.pending.len());
         Ok(id)
     }
 
     /// Advance the batch-formation clock one tick: flush every full
-    /// batch, then flush a partial batch if the oldest pending query
-    /// has waited `flush_deadline` ticks. Returns queries completed by
-    /// this tick.
+    /// batch, evict queries past their deadline budget, then flush a
+    /// partial batch if the oldest pending query has waited
+    /// `flush_deadline` ticks. Returns queries completed by this tick
+    /// (served, quarantined, or deadline-evicted).
     pub fn tick(&mut self) -> Vec<QueryResult> {
+        self.ticks += 1;
         let mut out = Vec::new();
         while self.pending.len() >= self.cfg.batch_max {
             out.extend(self.flush_one());
         }
+        // Deadlines strike after full-batch flushes: an expiring query
+        // that a ready batch would serve this tick still rides it.
+        out.extend(self.evict_expired());
         if self.pending.is_empty() {
             self.age = 0;
-            return out;
+        } else {
+            self.age += 1;
+            if self.age >= self.cfg.flush_deadline {
+                out.extend(self.flush_one());
+                self.age = 0;
+            }
         }
-        self.age += 1;
-        if self.age >= self.cfg.flush_deadline {
-            out.extend(self.flush_one());
-            self.age = 0;
-        }
+        self.health.on_tick(self.ticks);
         out
     }
 
-    /// Flush everything pending, regardless of deadlines.
+    /// Flush everything pending, regardless of flush deadlines — but
+    /// queries past their own deadline budget are still evicted, not
+    /// executed (the shutdown drain must not spend batch slots on
+    /// replies nobody is waiting for).
     pub fn drain(&mut self) -> Vec<QueryResult> {
-        let mut out = Vec::new();
+        let mut out = self.evict_expired();
         while !self.pending.is_empty() {
             out.extend(self.flush_one());
         }
@@ -322,10 +743,59 @@ impl BfsService {
         out
     }
 
+    /// Evict every pending query whose deadline budget expired, each
+    /// into a typed `deadline_exceeded` result.
+    fn evict_expired(&mut self) -> Vec<QueryResult> {
+        let now = self.ticks;
+        let mut out = Vec::new();
+        self.pending.retain(|p| {
+            let Some(deadline) = p.deadline_ticks else {
+                return true;
+            };
+            let waited = now.saturating_sub(p.admitted_tick);
+            if waited < u64::from(deadline) {
+                return true;
+            }
+            out.push(QueryResult {
+                id: p.id,
+                root: p.root,
+                batch_id: None,
+                status: QueryStatus::DeadlineExceeded {
+                    deadline_ticks: deadline,
+                    waited_ticks: waited,
+                },
+                parents: None,
+                depth_histogram: Vec::new(),
+                visited: 0,
+                engine_traversed_edges: 0,
+                sim_latency_s: 0.0,
+                wall_latency_s: 0.0,
+                via_fallback: false,
+            });
+            false
+        });
+        self.report.deadline_exceeded += out.len() as u64;
+        for r in &out {
+            self.report.queries.push(QueryRecord {
+                id: r.id.0,
+                root: r.root,
+                batch_id: None,
+                status: r.status.label(),
+                sim_latency_s: 0.0,
+                wall_latency_s: 0.0,
+                via_fallback: false,
+            });
+        }
+        out
+    }
+
     /// Snapshot of the service's observability report.
     pub fn report(&self) -> ServeReport {
         let mut r = self.report.clone();
         r.current_queue_depth = self.pending.len();
+        r.ticks = self.ticks;
+        r.health = self.health.state().label();
+        r.health_transitions = self.health.transitions().to_vec();
         r
     }
 
@@ -336,7 +806,65 @@ impl BfsService {
         self.execute_batch(batch)
     }
 
+    /// Arm the chaos schedule's next events against the live cluster,
+    /// charged by executed-query count. Runs on the service thread
+    /// between SPMD runs, so even an unarmed plan mutates safely.
+    fn arm_chaos(&mut self, riders: usize) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        let num_ranks = self.session.num_ranks();
+        chaos.since += riders as u64;
+        let mut events = Vec::new();
+        while chaos.since >= chaos.cfg.every_queries {
+            chaos.since -= chaos.cfg.every_queries;
+            if chaos.cfg.max_events > 0 && chaos.injected >= chaos.cfg.max_events {
+                continue;
+            }
+            let rank = chaos.rng.next_below(num_ranks as u64) as usize;
+            let op_index = chaos.rng.next_below(chaos.cfg.horizon);
+            let kind = match chaos.injected % 4 {
+                0 => {
+                    chaos.panics += 1;
+                    FaultKind::Panic
+                }
+                1 => {
+                    chaos.stragglers += 1;
+                    FaultKind::Straggler {
+                        secs: chaos.cfg.straggler_secs,
+                    }
+                }
+                2 => {
+                    chaos.corruptions += 1;
+                    FaultKind::Corrupt {
+                        mode: CorruptMode::BitFlip,
+                    }
+                }
+                _ => {
+                    chaos.corruptions += 1;
+                    FaultKind::Corrupt {
+                        mode: CorruptMode::Truncate,
+                    }
+                }
+            };
+            chaos.injected += 1;
+            events.push(FaultEvent {
+                rank,
+                op_index,
+                kind,
+            });
+        }
+        if !events.is_empty() {
+            self.session.cluster().fault_plan().inject(events);
+        }
+        self.report.chaos_injected = chaos.injected;
+        self.report.chaos_panics = chaos.panics;
+        self.report.chaos_stragglers = chaos.stragglers;
+        self.report.chaos_corruptions = chaos.corruptions;
+    }
+
     fn execute_batch(&mut self, batch: Vec<Pending>) -> Vec<QueryResult> {
+        self.arm_chaos(batch.len());
         let batch_id = self.next_batch;
         self.next_batch += 1;
         let roots: Vec<u64> = batch.iter().map(|p| p.root).collect();
@@ -409,8 +937,9 @@ impl BfsService {
             .iter()
             .filter(|r| matches!(r.status, QueryStatus::Served))
             .count();
+        let quarantined = (results.len() - served) as u64;
         self.report.served += served as u64;
-        self.report.quarantined += (results.len() - served) as u64;
+        self.report.quarantined += quarantined;
         self.report.batch_sim_seconds += sim_seconds;
         if let Some(s) = seq_sim_seconds {
             *self.report.sequential_sim_seconds.get_or_insert(0.0) += s;
@@ -419,6 +948,10 @@ impl BfsService {
         if fallback {
             self.report.fallback_batches += 1;
         }
+        // Health: a batch "failed" when it lost its engine run (rank
+        // loss → fallback) or quarantined a rider.
+        self.health
+            .on_batch(fallback || quarantined > 0, self.ticks);
         self.report.batches.push(BatchRecord {
             batch_id,
             occupancy: batch.len(),
@@ -426,14 +959,14 @@ impl BfsService {
             wall_seconds,
             fallback,
             served: served as u64,
-            quarantined: (results.len() - served) as u64,
+            quarantined,
             seq_sim_seconds,
         });
         for r in &results {
             self.report.queries.push(QueryRecord {
                 id: r.id.0,
                 root: r.root,
-                batch_id,
+                batch_id: Some(batch_id),
                 status: r.status.label(),
                 sim_latency_s: r.sim_latency_s,
                 wall_latency_s: r.wall_latency_s,
@@ -476,7 +1009,7 @@ impl BfsService {
             results.push(QueryResult {
                 id: p.id,
                 root: p.root,
-                batch_id,
+                batch_id: Some(batch_id),
                 status: QueryStatus::Served,
                 parents: Some(Arc::new(parents)),
                 depth_histogram: histogram,
@@ -591,7 +1124,7 @@ impl BfsService {
         QueryResult {
             id: p.id,
             root: p.root,
-            batch_id,
+            batch_id: Some(batch_id),
             status: QueryStatus::Served,
             parents: Some(Arc::new(parents)),
             depth_histogram: histogram,
@@ -636,7 +1169,7 @@ fn quarantined_result(
     QueryResult {
         id: p.id,
         root: p.root,
-        batch_id,
+        batch_id: Some(batch_id),
         status: QueryStatus::Quarantined(q),
         parents: None,
         depth_histogram: Vec::new(),
@@ -645,5 +1178,116 @@ fn quarantined_result(
         sim_latency_s: 0.0,
         wall_latency_s: wall_seconds,
         via_fallback,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> HealthMachine {
+        HealthMachine::new(HealthConfig {
+            window: 4,
+            quarantine_failures: 2,
+            probe_after_ticks: 5,
+            recovery_batches: 2,
+        })
+    }
+
+    #[test]
+    fn clean_batches_keep_the_machine_healthy() {
+        let mut m = machine();
+        for t in 1..10 {
+            m.on_batch(false, t);
+            m.on_tick(t);
+        }
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert!(m.transitions().is_empty());
+        assert_eq!(m.shed(9), None);
+    }
+
+    #[test]
+    fn failure_degrades_and_clean_batches_recover() {
+        let mut m = machine();
+        m.on_batch(true, 1);
+        assert_eq!(m.state(), HealthState::Degraded);
+        m.on_batch(false, 2);
+        assert_eq!(m.state(), HealthState::Recovering);
+        m.on_batch(false, 3);
+        assert_eq!(m.state(), HealthState::Healthy);
+        let path: Vec<(&str, &str)> = m.transitions().iter().map(|t| (t.from, t.to)).collect();
+        assert_eq!(
+            path,
+            vec![
+                ("healthy", "degraded"),
+                ("degraded", "recovering"),
+                ("recovering", "healthy"),
+            ]
+        );
+        assert!(m.transitions().iter().all(|t| t.at_tick >= 1));
+    }
+
+    #[test]
+    fn window_failures_quarantine_and_probe_half_opens() {
+        let mut m = machine();
+        m.on_batch(true, 1);
+        m.on_batch(true, 2);
+        assert_eq!(m.state(), HealthState::Quarantined, "2 of 4 failed");
+        // Shedding with a hint counting down to the probe.
+        assert_eq!(m.shed(2), Some(5));
+        assert_eq!(m.shed(4), Some(3));
+        m.on_tick(6);
+        assert_eq!(m.state(), HealthState::Quarantined, "4 ticks is not yet 5");
+        m.on_tick(7);
+        assert_eq!(m.state(), HealthState::Recovering, "probe after 5 ticks");
+        assert_eq!(m.shed(7), None);
+        m.on_batch(false, 7);
+        m.on_batch(false, 8);
+        assert_eq!(m.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn failure_during_recovery_reopens_the_breaker() {
+        let mut m = machine();
+        m.on_batch(true, 1);
+        m.on_batch(false, 2);
+        assert_eq!(m.state(), HealthState::Recovering);
+        m.on_batch(true, 3);
+        assert_eq!(m.state(), HealthState::Quarantined);
+        // A failing pre-quarantine batch re-arms the probe timer.
+        m.on_batch(true, 6);
+        m.on_tick(8);
+        assert_eq!(m.state(), HealthState::Quarantined, "timer re-armed at 6");
+        m.on_tick(11);
+        assert_eq!(m.state(), HealthState::Recovering);
+    }
+
+    #[test]
+    fn shed_hint_is_always_at_least_one_tick() {
+        let mut m = machine();
+        m.on_batch(true, 1);
+        m.on_batch(true, 1);
+        assert_eq!(m.state(), HealthState::Quarantined);
+        // Even past the nominal probe time, the hint floors at 1.
+        assert_eq!(m.shed(100), Some(1));
+    }
+
+    #[test]
+    fn reject_reasons_carry_labels_and_hints() {
+        let r = RejectReason::ServiceDegraded {
+            state: "quarantined",
+            retry_after_ticks: 7,
+        };
+        assert_eq!(r.label(), "service_degraded");
+        assert_eq!(r.retry_after_ticks(), Some(7));
+        assert!(r.to_string().contains("retry after 7"));
+        assert_eq!(
+            QueryStatus::DeadlineExceeded {
+                deadline_ticks: 3,
+                waited_ticks: 4
+            }
+            .label(),
+            "deadline_exceeded"
+        );
     }
 }

@@ -1,0 +1,323 @@
+//! Chaos-serving tests: the live-fault soak end to end at a small
+//! scale, the `health` request over TCP, deadline budgets over TCP,
+//! and the satellite claim that honoring `retry_after_ticks` hints
+//! reduces the terminal rejection rate under overload.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sunbfs_common::JsonValue;
+use sunbfs_net::FaultPlan;
+use sunbfs_serve::{
+    run_chaos_soak, run_loadgen, BfsService, ChaosConfig, ChaosSoakConfig, GraphSession,
+    LoadgenConfig, NetConfig, ServeConfig, SessionConfig, TcpServer,
+};
+
+fn start(scale: u32, ranks: usize, serve_cfg: ServeConfig, net_cfg: NetConfig) -> TcpServer {
+    let session =
+        GraphSession::load(SessionConfig::small(scale, ranks), FaultPlan::none()).expect("load");
+    let svc = BfsService::new(session, serve_cfg);
+    sunbfs_serve::serve(svc, "127.0.0.1:0", net_cfg).expect("bind")
+}
+
+/// A blocking NDJSON test client.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &TcpServer) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client {
+            writer: stream,
+            reader,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+    }
+
+    fn recv(&mut self) -> JsonValue {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line).expect("read");
+            assert!(n > 0, "unexpected EOF from server");
+            if line.trim().is_empty() {
+                continue;
+            }
+            return JsonValue::parse(line.trim()).expect("well-formed reply line");
+        }
+    }
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str) -> &'a str {
+    v.get(key).and_then(JsonValue::as_str).unwrap_or("<none>")
+}
+
+#[test]
+fn health_request_over_tcp_reports_the_state_machine() {
+    let server = start(8, 4, ServeConfig::default(), NetConfig::default());
+    let mut c = Client::connect(&server);
+
+    c.send(r#"{"cmd":"health"}"#);
+    let h = c.recv();
+    assert_eq!(str_field(&h, "reply"), "health");
+    assert_eq!(str_field(&h, "state"), "healthy");
+    for key in [
+        "ticks",
+        "queue_depth",
+        "served",
+        "quarantined",
+        "deadline_exceeded",
+        "rejected_degraded",
+    ] {
+        assert!(
+            h.get(key).and_then(JsonValue::as_u64).is_some(),
+            "health reply must carry numeric {key}"
+        );
+    }
+    assert!(
+        matches!(h.get("transitions"), Some(JsonValue::Array(_))),
+        "health reply must carry the transition log"
+    );
+
+    // Health is read-only: the service still serves afterwards.
+    c.send(r#"{"cmd":"query","root":1}"#);
+    let acc = c.recv();
+    assert_eq!(str_field(&acc, "reply"), "accepted");
+    let res = c.recv();
+    assert_eq!(str_field(&res, "reply"), "result");
+    assert_eq!(str_field(&res, "status"), "served");
+
+    server.shutdown();
+    server.join().expect_clean();
+}
+
+#[test]
+fn a_deadline_budget_expires_into_a_typed_eviction_over_tcp() {
+    // No flush pressure: huge batch, long flush deadline — the only way
+    // out for the query is its own deadline budget.
+    let server = start(
+        8,
+        4,
+        ServeConfig {
+            batch_max: 64,
+            flush_deadline: 10_000,
+            ..ServeConfig::default()
+        },
+        NetConfig {
+            tick_interval: Duration::from_millis(5),
+            ..NetConfig::default()
+        },
+    );
+    let mut c = Client::connect(&server);
+    c.send(r#"{"cmd":"query","root":3,"deadline_ticks":2}"#);
+    let acc = c.recv();
+    assert_eq!(str_field(&acc, "reply"), "accepted");
+
+    let res = c.recv();
+    assert_eq!(str_field(&res, "reply"), "result");
+    assert_eq!(str_field(&res, "status"), "deadline_exceeded");
+    assert_eq!(
+        res.get("deadline_ticks").and_then(JsonValue::as_u64),
+        Some(2)
+    );
+    assert!(
+        res.get("waited_ticks")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            >= 2,
+        "the eviction must report at least the budget's wait"
+    );
+    assert!(
+        matches!(res.get("batch_id"), Some(JsonValue::Null)),
+        "an evicted query never joined a batch"
+    );
+
+    server.shutdown();
+    let outcome = server.join();
+    let summary = outcome.expect_clean().1;
+    assert_eq!(summary.results_deadline_exceeded, 1);
+    assert_eq!(summary.results_served, 0);
+    assert_eq!(summary.final_health, "healthy");
+}
+
+/// The tentpole soak, miniaturized: live chaos against the serving
+/// path, health observed over a side connection, recovery driven to
+/// `healthy`, and exactly-once accounting for every accepted query.
+#[test]
+fn chaos_soak_survives_faults_and_recovers_to_healthy() {
+    let cfg = ChaosSoakConfig {
+        session: SessionConfig::small(8, 4),
+        serve: ServeConfig::default(),
+        net: NetConfig {
+            tick_interval: Duration::from_millis(2),
+            ..NetConfig::default()
+        },
+        chaos: ChaosConfig {
+            seed: 7,
+            every_queries: 24,
+            horizon: 48,
+            straggler_secs: 0.01,
+            max_events: 3,
+        },
+        load: LoadgenConfig {
+            connections: 2,
+            qps: 150,
+            duration: Duration::from_secs(2),
+            root_max: 1 << 8,
+            deadline_ticks: Some(200),
+            retry_max: 2,
+            tick_hint: Duration::from_millis(2),
+            retry_grace: Duration::from_secs(1),
+            ..LoadgenConfig::default()
+        },
+        availability_gate: 0.90,
+        recovery_gate_ticks: 5_000,
+        health_poll: Duration::from_millis(25),
+        recovery_timeout: Duration::from_secs(20),
+    };
+    let report = run_chaos_soak(&cfg).expect("soak runs");
+
+    // The server never crashed or wedged.
+    assert!(!report.server_panicked, "panic: {:?}", report.join_error);
+    assert_eq!(report.load.protocol_errors, 0);
+
+    // Exactly-once: every accepted query got exactly one typed reply.
+    assert_eq!(report.load.lost_replies, 0);
+    assert_eq!(report.load.duplicate_replies, 0);
+    assert_eq!(report.load.unacked, 0);
+    assert_eq!(
+        report.load.accepted,
+        report.load.served + report.load.quarantined + report.load.deadline_exceeded,
+        "accepted queries must partition exactly into the completion classes"
+    );
+
+    // Chaos actually fired, and the service healed from it.
+    assert!(
+        report.serve.chaos_injected > 0,
+        "the soak must inject at least one live fault"
+    );
+    assert!(report.recovered, "service must end the run healthy");
+    assert_eq!(report.final_health, "healthy");
+    assert!(
+        report.availability >= cfg.availability_gate,
+        "availability {} under gate {}",
+        report.availability,
+        cfg.availability_gate
+    );
+    assert!(report.passed(), "the composite verdict must hold");
+
+    // The side poller saw the machine leave healthy and come back.
+    assert!(
+        report.observed_states.first().map(String::as_str) == Some("healthy"),
+        "poll sequence must start healthy, got {:?}",
+        report.observed_states
+    );
+    assert!(
+        report.observed_states.last().map(String::as_str) == Some("healthy"),
+        "poll sequence must end healthy, got {:?}",
+        report.observed_states
+    );
+    // The full required path is in the service's own transition log.
+    let hops: Vec<(&str, &str)> = report
+        .serve
+        .health_transitions
+        .iter()
+        .map(|t| (t.from, t.to))
+        .collect();
+    assert!(
+        hops.contains(&("healthy", "degraded")),
+        "no degradation recorded: {hops:?}"
+    );
+    assert!(
+        hops.iter()
+            .any(|&(from, to)| to == "recovering" || from == "recovering"),
+        "no recovery hop recorded: {hops:?}"
+    );
+    assert!(
+        hops.last() == Some(&("recovering", "healthy")),
+        "the log must close back at healthy: {hops:?}"
+    );
+    assert!(report.recovery_episodes > 0);
+    assert!(report.max_recovery_ticks <= cfg.recovery_gate_ticks);
+}
+
+/// Satellite 3's claim, measured: with the same offered load against
+/// the same overloaded server shape, clients that honor
+/// `retry_after_ticks` end the run with a lower terminal rejection
+/// rate than clients that treat every rejection as final.
+#[test]
+fn honoring_retry_hints_reduces_the_terminal_rejection_rate() {
+    let overloaded = || {
+        start(
+            8,
+            4,
+            // A slow flush cycle (40 ticks × 5 ms) with a 4-slot queue:
+            // offered load far outruns admission, so most offers bounce
+            // off a full queue with a retry hint pointing at the next
+            // flush.
+            ServeConfig {
+                queue_capacity: 4,
+                batch_max: 64,
+                flush_deadline: 40,
+                ..ServeConfig::default()
+            },
+            NetConfig {
+                tick_interval: Duration::from_millis(5),
+                ..NetConfig::default()
+            },
+        )
+    };
+    let load = |addr: String, retry_max: u32| LoadgenConfig {
+        addr,
+        connections: 2,
+        qps: 400,
+        duration: Duration::from_millis(1500),
+        root_max: 1 << 8,
+        retry_max,
+        tick_hint: Duration::from_millis(5),
+        retry_grace: Duration::from_secs(2),
+        shutdown_at_end: false,
+        ..LoadgenConfig::default()
+    };
+
+    let server = overloaded();
+    let naive = run_loadgen(&load(server.local_addr().to_string(), 0)).expect("naive run");
+    server.shutdown();
+    server.join().expect_clean();
+
+    let server = overloaded();
+    let polite = run_loadgen(&load(server.local_addr().to_string(), 3)).expect("polite run");
+    server.shutdown();
+    server.join().expect_clean();
+
+    // Both runs oversubscribed the queue and saw hinted rejections.
+    assert!(naive.rejected_full > 0, "naive run must hit backpressure");
+    assert!(naive.rejects_with_hint > 0);
+    assert!(
+        polite.rejections_seen > 0,
+        "polite run must hit backpressure"
+    );
+    assert!(polite.retried > 0, "hints must actually be honored");
+    assert!(
+        polite.retry_successes > 0,
+        "some retried offers must land once the queue drains"
+    );
+
+    let naive_rate = naive.terminal_rejection_rate();
+    let polite_rate = polite.terminal_rejection_rate();
+    assert!(
+        polite_rate < naive_rate,
+        "honoring hints must reduce terminal rejections: polite {polite_rate:.4} vs naive {naive_rate:.4}"
+    );
+    // And both runs keep the exactly-once accounting clean.
+    assert!(naive.clean(), "naive accounting");
+    assert!(polite.clean(), "polite accounting");
+}

@@ -1,0 +1,144 @@
+//! Fuzzing of the NDJSON request parser: [`parse_request`] is the
+//! first thing untrusted bytes touch, so it must *never* panic —
+//! every input line yields either a valid [`Request`] or a typed
+//! [`ProtoError`], including embedded NULs, truncated UTF-8 rendered
+//! lossily, pathological nesting, and oversized lines.
+
+use proptest::prelude::*;
+use sunbfs_serve::proto::{parse_request, ProtoError, Request, MAX_REQUEST_BYTES};
+
+/// The closed-set invariant: parsing any line terminates without a
+/// panic, and a refusal is one of the typed classes whose label and
+/// Display rendering also never panic.
+fn assert_total(line: &str) {
+    match parse_request(line) {
+        Ok(req) => {
+            // A parsed request is structurally sound; formatting it
+            // must not blow up either.
+            let _ = format!("{req:?}");
+        }
+        Err(e) => {
+            let label = e.label();
+            assert!(
+                matches!(
+                    label,
+                    "oversized" | "bad_json" | "missing_cmd" | "unknown_cmd" | "bad_request"
+                ),
+                "unexpected error label {label}"
+            );
+            let _ = e.to_string();
+            let _ = e.is_fatal();
+        }
+    }
+}
+
+const CMDS: [&str; 9] = [
+    "load", "query", "batch", "stats", "drain", "health", "shutdown", "nope", "",
+];
+const KNOBS: [&str; 6] = ["deadline_ticks", "scale", "ranks", "roots", "root", "x"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes, lossily decoded the way the socket reader does
+    /// it: replacement characters, embedded NULs, control bytes — the
+    /// parser refuses or accepts, it never panics.
+    #[test]
+    fn arbitrary_byte_lines_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let line = String::from_utf8_lossy(&bytes);
+        assert_total(&line);
+    }
+
+    /// Arbitrary unicode scalar streams (covers multi-byte sequences
+    /// the byte fuzzer mostly mangles into replacement chars).
+    #[test]
+    fn arbitrary_unicode_lines_never_panic(
+        points in prop::collection::vec(any::<u32>(), 0..128),
+    ) {
+        let line: String = points
+            .iter()
+            .filter_map(|&p| char::from_u32(p % 0x11_0000))
+            .collect();
+        assert_total(&line);
+    }
+
+    /// Structured mutations around the real grammar: a valid command
+    /// word next to junk knobs of the wrong type, then every prefix of
+    /// the document (truncated mid-line) — all must be total.
+    #[test]
+    fn mutated_command_lines_never_panic(
+        cmd_i in 0usize..CMDS.len(),
+        root in any::<u64>(),
+        knob_i in 0usize..KNOBS.len(),
+        junk in prop::collection::vec(0u8..0x80, 0..40),
+        cut in 0usize..200,
+    ) {
+        let junk: String = junk.iter().map(|&b| b as char).collect();
+        let full = format!(
+            r#"{{"cmd":"{}","root":{root},"{}":{junk:?}}}"#,
+            CMDS[cmd_i], KNOBS[knob_i],
+        );
+        assert_total(&full);
+        let cut = cut.min(full.len());
+        if full.is_char_boundary(cut) {
+            assert_total(&full[..cut]);
+        }
+    }
+
+    /// Deep nesting: the JSON parser's recursion is depth-capped, so
+    /// even thousands of unclosed brackets must come back as a typed
+    /// bad_json refusal, never a stack overflow.
+    #[test]
+    fn deeply_nested_documents_are_refused_not_overflowed(
+        depth in 1usize..4000,
+        close in any::<bool>(),
+    ) {
+        let mut line = String::from(r#"{"cmd":"#);
+        line.extend(std::iter::repeat_n('[', depth));
+        if close {
+            line.push('1');
+            line.extend(std::iter::repeat_n(']', depth));
+        }
+        line.push('}');
+        assert_total(&line);
+    }
+}
+
+/// Deterministic edge cases the fuzzers may not hit every run.
+#[test]
+fn hostile_edge_cases_are_total() {
+    for line in [
+        "",
+        "\0",
+        "{\"cmd\":\"query\",\"root\":1}\0",
+        "{\"cmd\":\"query\",\"root\":18446744073709551616}", // u64::MAX + 1
+        "{\"cmd\":\"query\",\"root\":1,\"deadline_ticks\":4294967296}", // u32::MAX + 1
+        "{\"cmd\":\"query\",\"root\":-1}",
+        "{\"cmd\":\"query\",\"root\":1e400}",
+        "{\"cmd\": \"qu\u{fffd}ery\"}",
+        "{\"cmd\":\"batch\",\"roots\":{}}",
+        "\u{feff}{\"cmd\":\"stats\"}", // BOM prefix
+        "{",
+        "}",
+        "null",
+        "[]",
+        "true",
+        "\"cmd\"",
+    ] {
+        assert_total(line);
+    }
+    // The cap boundary itself: exactly MAX_REQUEST_BYTES parses (or
+    // refuses as bad_json), one past it is an oversized refusal.
+    let at_cap = "x".repeat(MAX_REQUEST_BYTES);
+    assert_total(&at_cap);
+    let over = "x".repeat(MAX_REQUEST_BYTES + 1);
+    assert!(matches!(
+        parse_request(&over),
+        Err(ProtoError::Oversized { .. })
+    ));
+    // A well-formed health request stays parseable amid the hostility.
+    assert!(matches!(
+        parse_request(r#"{"cmd":"health"}"#),
+        Ok(Request::Health)
+    ));
+}

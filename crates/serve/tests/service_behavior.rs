@@ -86,7 +86,7 @@ fn a_full_batch_flushes_on_the_next_tick() {
     // batch_max reached: the flush must not wait for the deadline.
     let done = svc.tick();
     assert_eq!(done.len(), 4);
-    let batch_ids: Vec<u64> = done.iter().map(|r| r.batch_id).collect();
+    let batch_ids: Vec<u64> = done.iter().filter_map(|r| r.batch_id).collect();
     assert!(batch_ids.iter().all(|&b| b == batch_ids[0]));
     let report = svc.report();
     // Occupancy 4 lands in the "4-7" bucket (index 2).
@@ -196,7 +196,7 @@ fn batch_max_one_degenerates_to_sequential_batches() {
         done.iter().map(|r| r.root).collect::<Vec<_>>(),
         vec![3, 4, 5]
     );
-    let batch_ids: Vec<u64> = done.iter().map(|r| r.batch_id).collect();
+    let batch_ids: Vec<u64> = done.iter().filter_map(|r| r.batch_id).collect();
     assert_eq!(batch_ids.len(), 3);
     assert!(batch_ids.windows(2).all(|w| w[0] != w[1]));
     let report = svc.report();
@@ -298,6 +298,9 @@ fn a_rank_panic_mid_batch_degrades_only_that_batch() {
                 }
                 QueryStatus::Quarantined(q) => {
                     panic!("fire-once fault must be absorbed by fallback, got {q:?}")
+                }
+                QueryStatus::DeadlineExceeded { .. } => {
+                    panic!("no deadlines were set on these queries")
                 }
             }
         }

@@ -118,7 +118,7 @@ fn roundtrip_query_stats_drain_and_shutdown_over_tcp() {
     assert_eq!(reply_kind(&c.recv()), "shutdown");
     assert!(c.try_recv().is_none(), "server closes after shutdown");
 
-    let (svc, summary) = server.join();
+    let (svc, summary) = server.join().expect_clean();
     assert_eq!(summary.connections, 1);
     assert_eq!(summary.accepted, 1);
     assert_eq!(summary.results_delivered, 1);
@@ -160,6 +160,7 @@ fn overload_degrades_predictably_and_server_survives() {
         seed: 7,
         shutdown_at_end: false,
         settle_timeout: Duration::from_secs(60),
+        ..LoadgenConfig::default()
     })
     .expect("loadgen run");
 
@@ -200,7 +201,7 @@ fn overload_degrades_predictably_and_server_survives() {
     );
     c.send(r#"{"cmd":"shutdown"}"#);
     server.shutdown();
-    let (_svc, summary) = server.join();
+    let (_svc, summary) = server.join().expect_clean();
     assert_eq!(summary.results_dropped, 0, "no lost replies: {summary:?}");
     assert_eq!(summary.accepted, report.accepted + 1);
     assert_eq!(summary.results_delivered, report.served + 1);
@@ -244,7 +245,7 @@ fn shutdown_drains_every_inflight_query_exactly_once() {
     assert_eq!(bye.get("drained").and_then(JsonValue::as_u64), Some(5));
     assert!(c.try_recv().is_none(), "no further replies after shutdown");
 
-    let (svc, summary) = server.join();
+    let (svc, summary) = server.join().expect_clean();
     assert_eq!(summary.shutdown_drained, 5);
     assert_eq!(summary.results_delivered, 5);
     assert_eq!(summary.results_dropped, 0);
@@ -285,7 +286,7 @@ fn connection_cap_refuses_excess_clients_with_a_typed_error() {
     assert_eq!(reply_kind(&c1.recv()), "result");
 
     server.shutdown();
-    let (_svc, summary) = server.join();
+    let (_svc, summary) = server.join().expect_clean();
     assert_eq!(summary.connections, 2);
     assert_eq!(summary.refused_connections, 1);
 }
@@ -337,7 +338,7 @@ fn malformed_unknown_and_oversized_lines_get_typed_errors() {
     assert_eq!(reply_kind(&c2.recv()), "result");
 
     server.shutdown();
-    let (_svc, summary) = server.join();
+    let (_svc, summary) = server.join().expect_clean();
     assert_eq!(summary.protocol_errors, 4);
     assert_eq!(summary.results_dropped, 0);
 }
@@ -370,7 +371,7 @@ fn idle_clients_hit_the_read_deadline_and_are_disconnected() {
     assert_eq!(reply_kind(&live.recv()), "accepted");
     assert_eq!(reply_kind(&live.recv()), "result");
     server.shutdown();
-    let (_svc, summary) = server.join();
+    let (_svc, summary) = server.join().expect_clean();
     assert_eq!(summary.connections, 2);
 }
 
@@ -420,7 +421,7 @@ fn per_connection_inflight_cap_rejects_with_a_backoff_hint() {
     assert_eq!(reply_kind(&c.recv()), "accepted");
 
     server.shutdown();
-    let (_svc, summary) = server.join();
+    let (_svc, summary) = server.join().expect_clean();
     assert_eq!(summary.rejected_backlog, 1);
     assert_eq!(summary.accepted, 3);
 }

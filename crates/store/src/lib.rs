@@ -373,19 +373,52 @@ pub fn encode_store(header: &StoreHeader, parts: &[RankPartition]) -> Vec<u8> {
     out
 }
 
-/// [`encode_store`] straight to a file (created or truncated).
+/// The sibling temp file a save writes before renaming into place.
+/// Kept deterministic (one temp per target) so an interrupted save's
+/// leftover is overwritten by the next attempt instead of accumulating.
+pub fn temp_save_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// [`encode_store`] to a file, crash-safely: the bytes go to a sibling
+/// temp file first (same directory, so the rename cannot cross a
+/// filesystem), are fsynced, and only then atomically renamed over
+/// `path`. A crash mid-save leaves either the old file or the new one
+/// — never a truncated store that later fails open — plus at worst a
+/// `.tmp` leftover the next save overwrites.
 ///
 /// # Errors
-/// [`StoreError::Io`] when the write fails.
+/// [`StoreError::Io`] when the write or rename fails (the temp file is
+/// cleaned up on a best-effort basis).
 pub fn save_file(
     path: &Path,
     header: &StoreHeader,
     parts: &[RankPartition],
 ) -> Result<StoreInfo, StoreError> {
     let bytes = encode_store(header, parts);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&bytes)?;
-    f.sync_all()?;
+    let tmp = temp_save_path(path);
+    let write_and_rename = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself: fsync the containing directory so
+        // a crash right after the rename still finds the new file.
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = write_and_rename {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
     Ok(StoreInfo {
         file_bytes: bytes.len() as u64,
         pages: bytes.len() as u64 / PAGE_SIZE as u64,

@@ -1,0 +1,132 @@
+//! Crash-safety of [`save_file`]: a save that dies mid-write must
+//! never leave a truncated store at the target path. The save goes to
+//! a sibling temp file and is renamed into place only after a full
+//! write + fsync, so at every instant the target path holds either the
+//! previous complete store or the new complete store — nothing else.
+
+use sunbfs_common::{Edge, MachineConfig};
+use sunbfs_net::{Cluster, MeshShape};
+use sunbfs_part::{build_1p5d, RankPartition, Thresholds};
+use sunbfs_store::{
+    encode_store, open_file, save_file, temp_save_path, StoreError, StoreHeader, PAGE_SIZE,
+};
+
+/// Build a real multi-rank partition the same way the serve session
+/// does (each rank gets a strided chunk of the edge list).
+fn build(rows: usize, cols: usize, n: u64, edges: &[Edge], th: Thresholds) -> Vec<RankPartition> {
+    let cluster = Cluster::new(MeshShape::new(rows, cols), MachineConfig::new_sunway());
+    let p = rows * cols;
+    cluster.run(|ctx| {
+        let chunk: Vec<Edge> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % p == ctx.rank())
+            .map(|(_, e)| *e)
+            .collect();
+        build_1p5d(ctx, n, &chunk, th)
+    })
+}
+
+fn sample() -> (StoreHeader, Vec<RankPartition>) {
+    let n = 128u64;
+    let edges: Vec<Edge> = (0..n).map(|i| Edge::new(i, (i * 5 + 1) % n)).collect();
+    let th = Thresholds::new(16, 4);
+    let parts = build(1, 2, n, &edges, th);
+    let header = StoreHeader {
+        scale: 7,
+        edge_factor: 16,
+        mesh_rows: 1,
+        mesh_cols: 2,
+        e_threshold: u64::from(th.e),
+        h_threshold: u64::from(th.h),
+        seed: 42,
+        num_ranks: 2,
+    };
+    (header, parts)
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sunbfs_crash_{}_{}.sbfs", name, std::process::id()))
+}
+
+/// Simulated kill mid-save: a dying writer leaves a *truncated* byte
+/// stream at the target path (exactly what the old `File::create` +
+/// `write_all` save could leave behind). Opening that wreck must be a
+/// typed refusal, and one clean [`save_file`] over it must atomically
+/// replace it with a store that opens in full.
+#[test]
+fn a_truncated_wreck_at_the_target_is_replaced_atomically() {
+    let (header, parts) = sample();
+    let bytes = encode_store(&header, &parts);
+    assert!(bytes.len() > PAGE_SIZE, "need a multi-page store");
+    let path = scratch("wreck");
+
+    // The "crash": half the file made it to disk before the writer died.
+    std::fs::write(&path, &bytes[..bytes.len() / 2 + 17]).expect("plant wreck");
+    match open_file(&path) {
+        Ok(_) => panic!("truncated store decoded successfully"),
+        Err(e) => {
+            let _ = e.to_string(); // typed refusal renders, never panics
+        }
+    }
+
+    // Recovery is just a normal save: the temp-file + rename protocol
+    // replaces the wreck without ever exposing a partial state.
+    let info = save_file(&path, &header, &parts).expect("save over wreck");
+    assert_eq!(info.file_bytes, bytes.len() as u64);
+    let (got_header, got_parts, _) = open_file(&path).expect("open after recovery");
+    assert_eq!(got_header, header);
+    assert_eq!(encode_store(&header, &got_parts), bytes);
+    assert!(
+        !temp_save_path(&path).exists(),
+        "a successful save must not leave its temp file behind"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Kill mid-save with a *previous good store* in place: the interrupted
+/// attempt (modelled by its on-disk artifact, a partial temp file that
+/// was never renamed) must leave the old store untouched and openable.
+#[test]
+fn an_interrupted_save_never_touches_the_previous_store() {
+    let (header, parts) = sample();
+    let path = scratch("oldgood");
+    save_file(&path, &header, &parts).expect("initial save");
+    let before = std::fs::read(&path).expect("read initial");
+
+    // The "crash": a second save died after writing part of its temp
+    // file, before the rename. The target path is untouched by design —
+    // the rename is the only operation that ever moves bytes there.
+    let tmp = temp_save_path(&path);
+    std::fs::write(&tmp, &before[..PAGE_SIZE / 2]).expect("plant dead temp");
+
+    let (got_header, got_parts, info) = open_file(&path).expect("old store still opens");
+    assert_eq!(got_header, header);
+    assert_eq!(encode_store(&header, &got_parts), before);
+    assert_eq!(info.file_bytes, before.len() as u64);
+
+    // The next save simply overwrites the dead temp and completes.
+    save_file(&path, &header, &parts).expect("retry save");
+    assert!(!tmp.exists(), "retry must consume/remove the stale temp");
+    let after = std::fs::read(&path).expect("read after retry");
+    assert_eq!(after, before);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A failing save (unwritable temp location: the target's parent is not
+/// a directory) must surface a typed [`StoreError::Io`] and leave no
+/// debris at the target path.
+#[test]
+fn a_failed_save_is_a_typed_error_with_no_debris() {
+    let (header, parts) = sample();
+    let file_as_dir = scratch("notadir");
+    std::fs::write(&file_as_dir, b"plain file").expect("plant file");
+    let path = file_as_dir.join("store.sbfs");
+    match save_file(&path, &header, &parts) {
+        Ok(_) => panic!("save under a non-directory succeeded"),
+        Err(StoreError::Io { .. }) => {}
+        Err(other) => panic!("expected a typed Io error, got {other}"),
+    }
+    assert!(!path.exists());
+    std::fs::remove_file(&file_as_dir).ok();
+}

@@ -12,7 +12,9 @@
 //! ```text
 //! {"cmd":"load","scale":10,"ranks":4}          build the resident graph
 //! {"cmd":"query","root":5}                     submit one root, tick once
+//! {"cmd":"query","root":5,"deadline_ticks":3}  ... with a deadline budget
 //! {"cmd":"batch","roots":[1,2,3]}              submit many, drain
+//! {"cmd":"health"}                             health state + transitions
 //! {"cmd":"stats"}                              full ServeReport JSON
 //! {"cmd":"drain"}                              flush everything pending
 //! {"cmd":"shutdown"}                           drain, reply, exit 0
@@ -43,7 +45,15 @@
 //! `--queue-capacity`, `--batch-max`, `--flush-deadline`,
 //! `--baseline`, `--path FILE`); transport knobs are `--max-conns`,
 //! `--inflight-cap`, `--read-timeout-ms`, `--write-timeout-ms`,
-//! `--tick-ms`, `--shutdown-grace-ms`. Unknown flags exit 2.
+//! `--tick-ms`, `--shutdown-grace-ms`. Chaos knobs arm a seeded live
+//! fault schedule against the resident cluster (`docs/FAULTS.md`):
+//! `--chaos-every N` (one fault per N executed queries, 0 = off,
+//! forces an armed fault plan), `--chaos-seed N`,
+//! `--chaos-max-events N` (0 = unbounded). Unknown flags exit 2.
+//!
+//! A panicked service or accept thread still produces the final
+//! `{"event":"shutdown",...}` line — with a `join_error` field — and
+//! exits 1 instead of taking the summary down with it.
 
 use std::io::BufRead;
 use std::time::Duration;
@@ -51,7 +61,7 @@ use std::time::Duration;
 use sunbfs::common::JsonValue;
 use sunbfs::net::FaultPlan;
 use sunbfs::serve::proto::{self, LoadRequest, Request};
-use sunbfs::serve::{BfsService, GraphSession, NetConfig};
+use sunbfs::serve::{BfsService, ChaosConfig, GraphSession, NetConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,7 +79,8 @@ fn main() {
                  [--e-threshold N] [--h-threshold N] [--seed N] [--queue-capacity N] \
                  [--batch-max N] [--flush-deadline N] [--baseline] [--path FILE] \
                  [--max-conns N] [--inflight-cap N] [--read-timeout-ms N] \
-                 [--write-timeout-ms N] [--tick-ms N] [--shutdown-grace-ms N]"
+                 [--write-timeout-ms N] [--tick-ms N] [--shutdown-grace-ms N] \
+                 [--chaos-every N] [--chaos-seed N] [--chaos-max-events N]"
             );
             std::process::exit(2);
         }
@@ -77,11 +88,19 @@ fn main() {
 }
 
 /// Build the resident session from a validated load request, honoring
-/// `SUNBFS_FAULT_PLAN` like the benchmark driver does.
-fn build_session(load: &LoadRequest) -> Result<GraphSession, String> {
+/// `SUNBFS_FAULT_PLAN` like the benchmark driver does. With `armed`,
+/// an absent env plan becomes [`FaultPlan::armed`] so live chaos can
+/// inject faults later without desyncing payload framing.
+fn build_session(load: &LoadRequest, armed: bool) -> Result<GraphSession, String> {
     let plan = FaultPlan::from_env()
         .map_err(|e| format!("bad SUNBFS_FAULT_PLAN: {e}"))?
-        .unwrap_or_else(FaultPlan::none);
+        .unwrap_or_else(|| {
+            if armed {
+                FaultPlan::armed()
+            } else {
+                FaultPlan::none()
+            }
+        });
     let session = match &load.path {
         Some(path) => GraphSession::open_or_build(std::path::Path::new(path), load.session, plan),
         None => GraphSession::load(load.session, plan).map_err(Into::into),
@@ -129,7 +148,7 @@ fn handle_line(service: &mut Option<BfsService>, line: &str) -> (Vec<JsonValue>,
     };
     match req {
         Request::Load(load) => {
-            let reply = match build_session(&load) {
+            let reply = match build_session(&load, false) {
                 Ok(session) => {
                     let loaded = proto::loaded_reply(&session);
                     *service = Some(BfsService::new(session, load.serve));
@@ -139,12 +158,15 @@ fn handle_line(service: &mut Option<BfsService>, line: &str) -> (Vec<JsonValue>,
             };
             (vec![reply], false)
         }
-        Request::Query { root } => {
+        Request::Query {
+            root,
+            deadline_ticks,
+        } => {
             let Some(svc) = service.as_mut() else {
                 return (vec![no_graph()], false);
             };
             let mut replies = Vec::new();
-            match svc.submit(root) {
+            match svc.submit_with_deadline(root, deadline_ticks) {
                 Ok(id) => {
                     replies.push(proto::accepted_reply(id.0, root, svc.queue_depth()));
                 }
@@ -157,13 +179,16 @@ fn handle_line(service: &mut Option<BfsService>, line: &str) -> (Vec<JsonValue>,
             }
             (replies, false)
         }
-        Request::Batch { roots } => {
+        Request::Batch {
+            roots,
+            deadline_ticks,
+        } => {
             let Some(svc) = service.as_mut() else {
                 return (vec![no_graph()], false);
             };
             let mut replies = Vec::new();
             for root in roots {
-                match svc.submit(root) {
+                match svc.submit_with_deadline(root, deadline_ticks) {
                     Ok(id) => {
                         replies.push(proto::accepted_reply(id.0, root, svc.queue_depth()));
                     }
@@ -174,6 +199,13 @@ fn handle_line(service: &mut Option<BfsService>, line: &str) -> (Vec<JsonValue>,
                 replies.push(proto::result_reply(&r));
             }
             (replies, false)
+        }
+        Request::Health => {
+            let reply = match service {
+                Some(svc) => proto::health_reply(&svc.health_snapshot()),
+                None => no_graph(),
+            };
+            (vec![reply], false)
         }
         Request::Stats => {
             let reply = match service {
@@ -218,6 +250,8 @@ struct Cli {
     addr: String,
     load: LoadRequest,
     net: NetConfig,
+    /// Seeded live-fault schedule (`--chaos-every` > 0 turns it on).
+    chaos: Option<ChaosConfig>,
 }
 
 impl Cli {
@@ -229,6 +263,8 @@ impl Cli {
         let mut load = JsonValue::object().field("cmd", "load");
         let mut baseline = false;
         let mut net = NetConfig::default();
+        let mut chaos = ChaosConfig::default();
+        let mut chaos_on = false;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -261,6 +297,12 @@ impl Cli {
                 "--shutdown-grace-ms" => {
                     net.shutdown_grace = Duration::from_millis(knob(flag, value(flag)?)?);
                 }
+                "--chaos-every" => {
+                    chaos.every_queries = knob(flag, value(flag)?)?;
+                    chaos_on = chaos.every_queries > 0;
+                }
+                "--chaos-seed" => chaos.seed = knob(flag, value(flag)?)?,
+                "--chaos-max-events" => chaos.max_events = knob(flag, value(flag)?)?,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -274,6 +316,7 @@ impl Cli {
                 addr,
                 load: *l,
                 net,
+                chaos: chaos_on.then_some(chaos),
             }),
             Ok(_) => unreachable!("synthesized line is a load command"),
             Err(e) => Err(e.to_string()),
@@ -282,14 +325,17 @@ impl Cli {
 }
 
 fn run_tcp(cli: Cli) {
-    let session = match build_session(&cli.load) {
+    let session = match build_session(&cli.load, cli.chaos.is_some()) {
         Ok(s) => s,
         Err(detail) => {
             eprintln!("bfs_server: {detail}");
             std::process::exit(1);
         }
     };
-    let service = BfsService::new(session, cli.load.serve);
+    let mut service = BfsService::new(session, cli.load.serve);
+    if let Some(chaos) = cli.chaos {
+        service = service.with_chaos(chaos);
+    }
     let server = match sunbfs::serve::serve(service, &cli.addr, cli.net) {
         Ok(s) => s,
         Err(e) => {
@@ -309,13 +355,37 @@ fn run_tcp(cli: Cli) {
     println!("{}", listening.render());
     // Blocks until a client sends {"cmd":"shutdown"} (or the process is
     // killed). The final line carries the transport summary and the
-    // serve report for post-mortems.
-    let (svc, summary) = server.join();
+    // serve report for post-mortems — even when a server thread
+    // panicked, in which case it names the panic and the process
+    // exits 1.
+    let outcome = server.join();
     use sunbfs::common::ToJson;
+    let panicked = outcome.panicked();
+    let join_error = outcome
+        .service_join_error
+        .as_deref()
+        .or(outcome.accept_join_error.as_deref())
+        .map(String::from);
     let farewell = JsonValue::object()
         .field("event", "shutdown")
-        .field("net", summary.to_json())
-        .field("serve", svc.report().to_json())
+        .field("net", outcome.summary.to_json())
+        .field(
+            "serve",
+            match &outcome.service {
+                Some(svc) => svc.report().to_json(),
+                None => JsonValue::Null,
+            },
+        )
+        .field(
+            "join_error",
+            match join_error {
+                Some(e) => JsonValue::from(e),
+                None => JsonValue::Null,
+            },
+        )
         .build();
     println!("{}", farewell.render());
+    if panicked {
+        std::process::exit(1);
+    }
 }

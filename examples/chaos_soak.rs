@@ -1,0 +1,198 @@
+//! `chaos_soak` — the availability artifact: serve a resident graph
+//! over TCP while a seeded fault schedule injects rank panics,
+//! stragglers, and payload corruption into the live batched traversal,
+//! then report what the clients saw.
+//!
+//! The soak binds an ephemeral port, offers paced load with deadline
+//! budgets and hint-honoring retries, watches the `health` request on a
+//! side connection, drives the service back to `healthy` after the
+//! fault schedule runs dry, and prints a schema-v8
+//! `{"schema_version":8,"serve_chaos":{...}}` document (tables in
+//! `docs/METRICS.md`), optionally written to a file with `--json PATH`.
+//!
+//! ```text
+//! cargo run --release --example chaos_soak -- \
+//!     --scale 14 --ranks 8 --qps 300 --duration 4 --json SERVE_CHAOS_14.json
+//! ```
+//!
+//! Flags: `--scale N` (14), `--ranks N` (8), `--conns N` (4),
+//! `--qps N` (300, total), `--duration SECS` (4), `--seed N` (42, both
+//! graph and chaos placement), `--chaos-every N` (arm one fault per N
+//! executed queries, 48), `--chaos-max-events N` (stop arming after N
+//! faults so recovery can close, 4), `--deadline-ticks N` (per-query
+//! budget, 400), `--retry-max N` (3), `--availability-gate F` (0.90),
+//! `--recovery-gate-ticks N` (20000), `--json PATH`. Unknown flags
+//! exit 2.
+//!
+//! Exit status: 0 when [`ChaosSoakReport::passed`] held — the server
+//! never crashed, accounting was exactly-once, availability met the
+//! gate, and the service recovered to `healthy` within the tick budget
+//! — 1 otherwise, so CI can gate on the process status alone.
+
+use std::time::Duration;
+
+use sunbfs::common::{JsonValue, ToJson};
+use sunbfs::metrics::SCHEMA_VERSION;
+use sunbfs::serve::{
+    run_chaos_soak, ChaosConfig, ChaosSoakConfig, LoadgenConfig, NetConfig, ServeConfig,
+    SessionConfig,
+};
+
+struct Cli {
+    cfg: ChaosSoakConfig,
+    json_path: Option<String>,
+}
+
+fn default_config(scale: u32, ranks: usize) -> ChaosSoakConfig {
+    ChaosSoakConfig {
+        session: SessionConfig::small(scale, ranks),
+        serve: ServeConfig::default(),
+        net: NetConfig {
+            tick_interval: Duration::from_millis(2),
+            ..NetConfig::default()
+        },
+        chaos: ChaosConfig {
+            every_queries: 48,
+            max_events: 4,
+            ..ChaosConfig::default()
+        },
+        load: LoadgenConfig {
+            connections: 4,
+            qps: 300,
+            duration: Duration::from_secs(4),
+            deadline_ticks: Some(400),
+            retry_max: 3,
+            tick_hint: Duration::from_millis(2),
+            ..LoadgenConfig::default()
+        },
+        availability_gate: 0.90,
+        recovery_gate_ticks: 20_000,
+        health_poll: Duration::from_millis(25),
+        recovery_timeout: Duration::from_secs(60),
+    }
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut scale = 14u32;
+    let mut ranks = 8usize;
+    let mut cfg = default_config(scale, ranks);
+    let mut json_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .map(String::from)
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        let knob = |name: &str, raw: String| -> Result<u64, String> {
+            raw.parse::<u64>()
+                .map_err(|_| format!("flag {name} needs an unsigned integer, got {raw:?}"))
+        };
+        match arg.as_str() {
+            "--scale" => scale = knob(arg, value(arg)?)? as u32,
+            "--ranks" => ranks = knob(arg, value(arg)?)? as usize,
+            "--conns" => cfg.load.connections = knob(arg, value(arg)?)? as usize,
+            "--qps" => cfg.load.qps = knob(arg, value(arg)?)?,
+            "--duration" => cfg.load.duration = Duration::from_secs(knob(arg, value(arg)?)?),
+            "--seed" => {
+                let seed = knob(arg, value(arg)?)?;
+                cfg.load.seed = seed;
+                cfg.chaos.seed = seed;
+            }
+            "--chaos-every" => cfg.chaos.every_queries = knob(arg, value(arg)?)?.max(1),
+            "--chaos-max-events" => cfg.chaos.max_events = knob(arg, value(arg)?)?,
+            "--deadline-ticks" => {
+                let t = knob(arg, value(arg)?)?;
+                cfg.load.deadline_ticks = Some(
+                    u32::try_from(t).map_err(|_| format!("--deadline-ticks {t} exceeds u32"))?,
+                );
+            }
+            "--retry-max" => {
+                let t = knob(arg, value(arg)?)?;
+                cfg.load.retry_max =
+                    u32::try_from(t).map_err(|_| format!("--retry-max {t} exceeds u32"))?;
+            }
+            "--availability-gate" => {
+                let raw = value(arg)?;
+                cfg.availability_gate = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("--availability-gate needs a float, got {raw:?}"))?;
+            }
+            "--recovery-gate-ticks" => cfg.recovery_gate_ticks = knob(arg, value(arg)?)?,
+            "--json" => json_path = Some(value(arg)?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    cfg.session = SessionConfig::small(scale, ranks);
+    cfg.load.root_max = 1u64 << scale;
+    Ok(Cli { cfg, json_path })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("chaos_soak: {msg}");
+            eprintln!(
+                "usage: chaos_soak [--scale N] [--ranks N] [--conns N] [--qps N] \
+                 [--duration SECS] [--seed N] [--chaos-every N] [--chaos-max-events N] \
+                 [--deadline-ticks N] [--retry-max N] [--availability-gate F] \
+                 [--recovery-gate-ticks N] [--json PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "chaos_soak: scale {} ranks {} qps {} for {:?}, one fault per {} queries (max {})",
+        cli.cfg.session.scale,
+        cli.cfg.session.mesh.num_ranks(),
+        cli.cfg.load.qps,
+        cli.cfg.load.duration,
+        cli.cfg.chaos.every_queries,
+        cli.cfg.chaos.max_events,
+    );
+    let report = match run_chaos_soak(&cli.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos_soak: {e}");
+            std::process::exit(1);
+        }
+    };
+    let artifact = JsonValue::object()
+        .field("schema_version", SCHEMA_VERSION)
+        .field("serve_chaos", report.to_json())
+        .build();
+    let rendered = artifact.render_pretty();
+    println!("{rendered}");
+    if let Some(path) = &cli.json_path {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("chaos_soak: writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "chaos_soak: availability {:.4} (gate {:.2}) injected {} recovery_episodes {} \
+         max_recovery {} ticks (gate {}) final {} states {:?}",
+        report.availability,
+        report.availability_gate,
+        report.serve.chaos_injected,
+        report.recovery_episodes,
+        report.max_recovery_ticks,
+        report.recovery_gate_ticks,
+        report.final_health,
+        report.observed_states,
+    );
+    if !report.passed() {
+        eprintln!(
+            "chaos_soak: GATE FAILURE — panicked {} clean {} availability {:.4} recovered {} \
+             max_recovery_ticks {}",
+            report.server_panicked,
+            report.load.clean(),
+            report.availability,
+            report.recovered,
+            report.max_recovery_ticks,
+        );
+        std::process::exit(1);
+    }
+}

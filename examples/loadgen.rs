@@ -5,10 +5,11 @@
 //! settles every outstanding reply, then (by default) sends
 //! `{"cmd":"shutdown"}` to exercise the server's graceful drain. The
 //! run's accounting — offered/accepted/rejected, rejection classes,
-//! `retry_after_ticks` coverage, p50/p99/p999 end-to-end latency — is
-//! printed as a schema-v7 `{"schema_version":7,"serve_load":{...}}`
-//! document (tables in `docs/METRICS.md`), and optionally written to a
-//! file with `--json PATH`.
+//! `retry_after_ticks` coverage and honoring, deadline evictions,
+//! p50/p99/p999 end-to-end latency — is printed as a schema-v8
+//! `{"schema_version":8,"serve_load":{...}}` document (tables in
+//! `docs/METRICS.md`), and optionally written to a file with
+//! `--json PATH`.
 //!
 //! ```text
 //! cargo run --release --example loadgen -- 127.0.0.1:4700 \
@@ -18,6 +19,10 @@
 //! Flags: `--conns N` (4), `--qps N` (200, total across connections),
 //! `--duration SECS` (3), `--root-max N` (1024), `--seed N` (42),
 //! `--settle-secs N` (30), `--no-shutdown` (leave the server running),
+//! `--deadline-ticks N` (attach a deadline budget to every query),
+//! `--retry-max N` (honor `retry_after_ticks` hints up to N re-offers
+//! per query, default 0 = never retry), `--tick-hint-ms N` (wall-clock
+//! estimate of one server tick for retry backoff, default 10),
 //! `--json PATH`. Unknown flags exit 2.
 //!
 //! Exit status: 0 when the run's invariants held (no lost, duplicated,
@@ -57,6 +62,20 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--root-max" => cfg.root_max = knob(arg, value(arg)?)?,
             "--seed" => cfg.seed = knob(arg, value(arg)?)?,
             "--settle-secs" => cfg.settle_timeout = Duration::from_secs(knob(arg, value(arg)?)?),
+            "--deadline-ticks" => {
+                let t = knob(arg, value(arg)?)?;
+                cfg.deadline_ticks = Some(
+                    u32::try_from(t).map_err(|_| format!("--deadline-ticks {t} exceeds u32"))?,
+                );
+            }
+            "--retry-max" => {
+                let t = knob(arg, value(arg)?)?;
+                cfg.retry_max =
+                    u32::try_from(t).map_err(|_| format!("--retry-max {t} exceeds u32"))?;
+            }
+            "--tick-hint-ms" => {
+                cfg.tick_hint = Duration::from_millis(knob(arg, value(arg)?)?.max(1));
+            }
             "--no-shutdown" => cfg.shutdown_at_end = false,
             "--json" => json_path = Some(value(arg)?),
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
@@ -76,7 +95,8 @@ fn main() {
             eprintln!("loadgen: {msg}");
             eprintln!(
                 "usage: loadgen ADDR [--conns N] [--qps N] [--duration SECS] [--root-max N] \
-                 [--seed N] [--settle-secs N] [--no-shutdown] [--json PATH]"
+                 [--seed N] [--settle-secs N] [--deadline-ticks N] [--retry-max N] \
+                 [--tick-hint-ms N] [--no-shutdown] [--json PATH]"
             );
             std::process::exit(2);
         }
@@ -102,13 +122,16 @@ fn main() {
     }
     eprintln!(
         "loadgen: offered {} ({:.0}/s) accepted {} ({:.0}/s) rejected_full {} served {} \
-         p50 {:.1}ms p99 {:.1}ms p999 {:.1}ms",
+         retried {} retry_ok {} deadline_exceeded {} p50 {:.1}ms p99 {:.1}ms p999 {:.1}ms",
         report.offered,
         report.offered_qps,
         report.accepted,
         report.accepted_qps,
         report.rejected_full,
         report.served,
+        report.retried,
+        report.retry_successes,
+        report.deadline_exceeded,
         report.latency.p50_ms,
         report.latency.p99_ms,
         report.latency.p999_ms,

@@ -927,6 +927,9 @@ fn run_benchmark_serve(
             }
             (QueryStatus::Served, Some(parents)) => parents,
             (QueryStatus::Served, None) => unreachable!("served queries carry a parent handle"),
+            (QueryStatus::DeadlineExceeded { .. }, _) => {
+                unreachable!("driver queries carry no deadline budget")
+            }
         };
         let engine_traversed_edges = r.engine_traversed_edges;
         let mut traversed_edges = engine_traversed_edges;

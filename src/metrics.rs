@@ -56,7 +56,20 @@ use crate::driver::{
 /// `retry_after_ticks` hint coverage, p50/p99/p999 end-to-end latency,
 /// and the lost/duplicate/unacked/protocol-error invariant counters).
 /// The `BenchmarkReport` shape itself is unchanged from v6.
-pub const SCHEMA_VERSION: u64 = 7;
+///
+/// v8: chaos-hardened serving. The `serve` section gained the health
+/// state machine (`health`, `health_transitions`, `rejected_degraded`,
+/// `deadline_exceeded`, `ticks`, `availability`, and the `chaos_*`
+/// injection counters); `serve_load` gained the retry/deadline client
+/// counters (`rejected_degraded`, `rejections_seen`, `retried`,
+/// `retry_successes`, `retries_abandoned`, `deadline_exceeded`,
+/// `salvaged`); and the `serve_chaos` artifact family was added — the
+/// availability record `chaos_soak` emits
+/// (`{"schema_version":8,"serve_chaos":{...}}`: availability vs gate,
+/// recovery episodes and worst recovery time in ticks, the observed
+/// health-state sequence, and the nested load/serve/net views).
+/// The `BenchmarkReport` shape itself is unchanged from v6.
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Ratio bin edges of the partition load-balance histogram: each rank's
 /// `total / mean` storage falls into one bin; the last bin is open.
