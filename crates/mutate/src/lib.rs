@@ -1,0 +1,45 @@
+//! `sunbfs-mutate` — live graph mutations over the static 1.5D partition.
+//!
+//! The paper's partition is built once and traversed forever; this crate
+//! turns it into a **living graph** without giving up determinism or the
+//! byte-identity contracts the rest of the workspace pins:
+//!
+//! * [`DeltaPartition`] ([`delta`]) — a per-rank insert overlay bucketed
+//!   by the same E/H/L degree classes and the same six components as the
+//!   base CSRs. Batched edge inserts are routed to their storage ranks
+//!   through the existing exchange machinery ([`route_update_batch`]
+//!   mirrors `build_1p5d` step 3, SPMD-consistent and deterministic),
+//!   and every routing pass reports **class promotions** — owned
+//!   vertices whose effective degree crossed `h_threshold` /
+//!   `e_threshold` — so the session can compact before the replicated
+//!   hub directory goes stale.
+//! * [`UnionAdjacency`] ([`union`]) — a read-only adjacency view over
+//!   base CSRs plus deltas, usable because the simulated cluster keeps
+//!   every rank's partition in one address space. It backs both the
+//!   sequential reference traversal ([`UnionAdjacency::full_bfs`]) and
+//!   the repair pass.
+//! * [`repair_in_place`] ([`repair`]) — **incremental BFS repair**:
+//!   given a cached result computed at an older epoch and the committed
+//!   insert batches since, re-expand only from endpoints whose depth
+//!   improves instead of recomputing from the root. Inserts can only
+//!   shrink distances, so relaxing the new edges to a fixpoint is exact;
+//!   the equivalence tests pin depth-identity against a full recompute.
+//! * [`UpdatePlan`] ([`plan`]) — a seeded `SUNBFS_UPDATE_PLAN` schedule
+//!   grammar (`seed@42;insert@8:16`) reusing the `FaultPlan` fire-once
+//!   machinery, so soaks and tests commit the same update batches at the
+//!   same points in the query stream on every run.
+//!
+//! Epoch bookkeeping itself lives on `GraphSession` in `sunbfs-serve`
+//! (`docs/UPDATES.md`); this crate supplies the mechanisms.
+
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod plan;
+pub mod repair;
+pub mod union;
+
+pub use delta::{canonical_edge_set, route_update_batch, DeltaPartition, DeltaUpdate};
+pub use plan::{generate_batch, UpdateEvent, UpdatePlan};
+pub use repair::{repair_in_place, RepairStats};
+pub use union::UnionAdjacency;

@@ -37,6 +37,14 @@
 //!
 //! Observability lives in [`ServeReport`] ([`report`]), which renders
 //! as the `serve` section of the metrics JSON.
+//!
+//! The graph is **live** (`docs/UPDATES.md`): batched edge inserts
+//! commit through [`GraphSession::apply_updates`] /
+//! [`BfsService::apply_updates`] — or the wire's `update` command —
+//! bumping a monotone epoch that stamps every reply. Committed inserts
+//! sit in a per-rank delta overlay (`sunbfs-mutate`), query results
+//! are patched by incremental BFS repair, and the delta compacts back
+//! into the base CSRs on promotion or size triggers.
 
 pub mod loadgen;
 pub mod net;
@@ -61,5 +69,8 @@ pub use service::{
     BfsService, ChaosConfig, HealthConfig, HealthMachine, HealthSnapshot, HealthState, Quarantine,
     QueryId, QueryResult, QueryStatus, RejectReason, ServeConfig,
 };
-pub use session::{GraphSession, LoadError, SessionConfig, SessionError, StoreActivity};
+pub use session::{
+    GraphSession, LoadError, SessionConfig, SessionError, StoreActivity, DELTA_COMPACT_THRESHOLD,
+};
+pub use sunbfs_mutate::{RepairStats, UpdateEvent, UpdatePlan};
 pub use sunbfs_store::{StoreError, StoreHeader, StoreInfo};

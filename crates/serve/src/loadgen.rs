@@ -7,7 +7,7 @@
 //! what it saw into a [`LoadgenReport`] — accepted/rejected counts,
 //! rejection classes, backoff-hint coverage, and p50/p99/p999
 //! end-to-end latency. The report renders as the `serve_load` section
-//! of the schema-v8 metrics JSON (`docs/METRICS.md`), which is what
+//! of the schema-v9 metrics JSON (`docs/METRICS.md`), which is what
 //! the committed saturation artifact and the CI sustained-load smoke
 //! regression-gate.
 //!
@@ -31,7 +31,7 @@
 //! request from a side connection while the load runs, drives recovery
 //! to `healthy` after the chaos schedule exhausts, and folds
 //! everything into a [`ChaosSoakReport`] (the `serve_chaos` section of
-//! the schema-v8 metrics JSON) with availability and recovery-time
+//! the schema-v9 metrics JSON) with availability and recovery-time
 //! gates.
 
 use std::collections::HashMap;
@@ -83,6 +83,15 @@ pub struct LoadgenConfig {
     /// Extra wall time after the offered-load window in which pending
     /// retries are still drained before the run settles.
     pub retry_grace: Duration,
+    /// Interleave one `{"cmd":"update",...}` edge-insert batch into the
+    /// paced query stream every N queries per connection (0 = never,
+    /// the read-only behavior). Update replies use their own distinct
+    /// shapes (`committed` / `update_rejected`), so interleaving them
+    /// never perturbs the query-offer accounting invariants.
+    pub update_every: u64,
+    /// Edges per interleaved update batch (endpoints drawn uniformly
+    /// from `[0, root_max)` off the same seeded stream as the roots).
+    pub update_batch: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -100,6 +109,8 @@ impl Default for LoadgenConfig {
             retry_max: 0,
             tick_hint: Duration::from_millis(10),
             retry_grace: Duration::from_secs(2),
+            update_every: 0,
+            update_batch: 4,
         }
     }
 }
@@ -221,6 +232,19 @@ pub struct LoadgenReport {
     pub protocol_errors: u64,
     /// Query lines that failed to write.
     pub write_errors: u64,
+    /// `{"cmd":"update"}` batches written into the paced stream.
+    pub updates_offered: u64,
+    /// Update batches the server committed (`reply":"committed"`).
+    pub updates_committed: u64,
+    /// Edges across all committed batches (the server's own count).
+    pub update_edges: u64,
+    /// Update batches refused with `update_rejected`.
+    pub updates_rejected: u64,
+    /// Epoch values (on `committed` and `result` replies) that went
+    /// *backwards* on a connection — the torn-read proxy; must be 0.
+    pub epoch_regressions: u64,
+    /// Highest epoch observed on any reply.
+    pub final_epoch: u64,
     /// End-to-end accepted→result latency distribution.
     pub latency: LatencySummary,
 }
@@ -255,6 +279,12 @@ impl ToJson for LoadgenReport {
             .field("duplicate_replies", self.duplicate_replies)
             .field("protocol_errors", self.protocol_errors)
             .field("write_errors", self.write_errors)
+            .field("updates_offered", self.updates_offered)
+            .field("updates_committed", self.updates_committed)
+            .field("update_edges", self.update_edges)
+            .field("updates_rejected", self.updates_rejected)
+            .field("epoch_regressions", self.epoch_regressions)
+            .field("final_epoch", self.final_epoch)
             .field("latency", self.latency.to_json())
             .build()
     }
@@ -269,6 +299,7 @@ impl LoadgenReport {
             && self.protocol_errors == 0
             && self.unacked == 0
             && self.write_errors == 0
+            && self.epoch_regressions == 0
     }
 
     /// Terminal rejections per offered query. Rejections that were
@@ -347,7 +378,36 @@ struct ConnStats {
     salvaged: u64,
     duplicate_replies: u64,
     protocol_errors: u64,
+    updates_committed: u64,
+    update_edges: u64,
+    updates_rejected: u64,
+    epoch_regressions: u64,
+    /// Highest epoch this connection has seen on any stamped reply.
+    last_epoch: u64,
     latency_ms: Vec<f64>,
+}
+
+impl ConnStats {
+    /// Fold one stamped epoch into the monotonicity check: a reply
+    /// carrying an epoch older than one already observed on this
+    /// connection means the snapshot went backwards (a torn read —
+    /// impossible while commits serialize on the service thread).
+    fn observe_epoch(&mut self, epoch: u64) {
+        if epoch < self.last_epoch {
+            self.epoch_regressions += 1;
+        }
+        self.last_epoch = self.last_epoch.max(epoch);
+    }
+}
+
+/// Render one update line: a batch of edge inserts drawn from the
+/// seeded stream, e.g. `{"cmd":"update","edges":[[3,9],[0,5]]}`.
+fn update_line(rng: &mut SplitMix64, batch: usize, root_max: u64) -> String {
+    let n = root_max.max(2);
+    let edges: Vec<String> = (0..batch.max(1))
+        .map(|_| format!("[{},{}]", rng.next_below(n), rng.next_below(n)))
+        .collect();
+    format!("{{\"cmd\":\"update\",\"edges\":[{}]}}\n", edges.join(","))
 }
 
 /// Render one query line, with the configured deadline budget if any.
@@ -409,15 +469,27 @@ fn sender_loop(
     mut rng: SplitMix64,
     per_conn_interval: Duration,
     cfg: &LoadgenConfig,
-) -> (u64, u64) {
+) -> (u64, u64, u64) {
     let start = Instant::now();
     let mut offered = 0u64;
+    let mut updates_offered = 0u64;
     let mut write_errors = 0u64;
     let mut paced = 0u64;
     while start.elapsed() < cfg.duration {
         if !drain_due_retries(&mut stream, shared, &mut offered) {
             write_errors += 1;
             break;
+        }
+        // Interleave a live edge-insert batch into the paced stream.
+        // Its reply shapes are distinct from the query offer/result
+        // shapes, so the ack FIFO stays query-only.
+        if cfg.update_every > 0 && paced > 0 && paced % cfg.update_every == 0 {
+            let line = update_line(&mut rng, cfg.update_batch, cfg.root_max);
+            if stream.write_all(line.as_bytes()).is_err() {
+                write_errors += 1;
+                break;
+            }
+            updates_offered += 1;
         }
         let root = rng.next_below(cfg.root_max.max(1));
         if !offer_root(&mut stream, shared, root, 0, cfg.deadline_ticks) {
@@ -454,7 +526,7 @@ fn sender_loop(
     }
     // Flush whatever partial batch our last queries are sitting in.
     let _ = stream.write_all(b"{\"cmd\":\"drain\"}\n");
-    (offered, write_errors)
+    (offered, updates_offered, write_errors)
 }
 
 fn receiver_loop(stream: TcpStream, shared: &ConnShared, retry: RetryPolicy) -> ConnStats {
@@ -527,6 +599,9 @@ fn receiver_loop(stream: TcpStream, shared: &ConnShared, retry: RetryPolicy) -> 
                     stats.protocol_errors += 1;
                     continue;
                 };
+                if let Some(epoch) = reply.get("epoch").and_then(JsonValue::as_u64) {
+                    stats.observe_epoch(epoch);
+                }
                 match shared.awaiting_result.lock().unwrap().remove(&id) {
                     Some(t0) => {
                         stats.latency_ms.push(t0.elapsed().as_secs_f64() * 1e3);
@@ -546,6 +621,20 @@ fn receiver_loop(stream: TcpStream, shared: &ConnShared, retry: RetryPolicy) -> 
                     None => stats.duplicate_replies += 1,
                 }
             }
+            // Update acknowledgments: distinct shapes by design, so
+            // they never pop the query-offer FIFO.
+            Some("committed") => {
+                stats.updates_committed += 1;
+                stats.update_edges += reply
+                    .get("edges")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or_default();
+                match reply.get("epoch").and_then(JsonValue::as_u64) {
+                    Some(epoch) => stats.observe_epoch(epoch),
+                    None => stats.protocol_errors += 1,
+                }
+            }
+            Some("update_rejected") => stats.updates_rejected += 1,
             // Lifecycle acknowledgments, not per-query accounting.
             Some("drained" | "shutting_down" | "shutdown" | "stats" | "health") => {}
             Some("error") | Some(_) | None => stats.protocol_errors += 1,
@@ -593,10 +682,12 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     }
 
     let mut offered = 0u64;
+    let mut updates_offered = 0u64;
     let mut write_errors = 0u64;
     for s in senders {
-        let (o, w) = s.join().expect("sender thread panicked");
+        let (o, u, w) = s.join().expect("sender thread panicked");
         offered += o;
+        updates_offered += u;
         write_errors += w;
     }
 
@@ -629,6 +720,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         target_qps: cfg.qps,
         duration_s: cfg.duration.as_secs_f64(),
         offered,
+        updates_offered,
         write_errors,
         ..LoadgenReport::default()
     };
@@ -651,6 +743,11 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         report.salvaged += s.salvaged;
         report.duplicate_replies += s.duplicate_replies;
         report.protocol_errors += s.protocol_errors;
+        report.updates_committed += s.updates_committed;
+        report.update_edges += s.update_edges;
+        report.updates_rejected += s.updates_rejected;
+        report.epoch_regressions += s.epoch_regressions;
+        report.final_epoch = report.final_epoch.max(s.last_epoch);
         samples.extend(s.latency_ms);
     }
     for s in &shareds {
@@ -701,7 +798,7 @@ pub struct ChaosSoakConfig {
 /// What one chaos soak saw, end to end: the load generator's view, the
 /// service's own report, the transport summary, and the availability /
 /// recovery verdicts. Renders as the `serve_chaos` section of the
-/// schema-v8 metrics JSON.
+/// schema-v9 metrics JSON.
 #[derive(Debug)]
 pub struct ChaosSoakReport {
     /// The client-side view of the run.
@@ -1014,8 +1111,46 @@ mod tests {
             "retries_abandoned",
             "deadline_exceeded",
             "salvaged",
+            "updates_offered",
+            "updates_committed",
+            "update_edges",
+            "updates_rejected",
+            "epoch_regressions",
+            "final_epoch",
         ] {
             assert!(js.contains(&format!("\"{key}\"")), "missing {key} in {js}");
         }
+    }
+
+    #[test]
+    fn update_lines_are_valid_update_requests() {
+        let mut rng = SplitMix64::new(7);
+        let line = update_line(&mut rng, 3, 64);
+        let parsed = crate::proto::parse_request(line.trim()).expect("parses");
+        match parsed {
+            crate::proto::Request::Update { edges } => {
+                assert_eq!(edges.len(), 3);
+                assert!(edges.iter().all(|&(u, v)| u < 64 && v < 64));
+            }
+            other => panic!("expected an update request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_regressions_count_backwards_stamps_and_gate_clean() {
+        let mut stats = ConnStats::default();
+        for e in [1, 2, 2, 5] {
+            stats.observe_epoch(e);
+        }
+        assert_eq!(stats.epoch_regressions, 0);
+        assert_eq!(stats.last_epoch, 5);
+        stats.observe_epoch(3);
+        assert_eq!(stats.epoch_regressions, 1);
+        assert_eq!(stats.last_epoch, 5);
+        let report = LoadgenReport {
+            epoch_regressions: 1,
+            ..LoadgenReport::default()
+        };
+        assert!(!report.clean(), "a torn read must fail the clean gate");
     }
 }

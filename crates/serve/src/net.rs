@@ -39,7 +39,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sunbfs_common::{JsonValue, ToJson};
+use sunbfs_common::{Edge, JsonValue, ToJson};
 
 use crate::proto::{self, ProtoError, Request, MAX_REQUEST_BYTES};
 use crate::service::{BfsService, QueryResult, QueryStatus, RejectReason};
@@ -131,6 +131,15 @@ pub struct NetSummary {
     /// Health state label at shutdown (empty when the service thread
     /// panicked before it could report).
     pub final_health: String,
+    /// Update batches committed over the wire.
+    pub updates_committed: u64,
+    /// Edges across every committed wire update.
+    pub update_edges: u64,
+    /// Update requests refused (draining, out-of-range vertex, or a
+    /// failed commit).
+    pub updates_rejected: u64,
+    /// Session epoch at shutdown (0 = the graph was never mutated).
+    pub final_epoch: u64,
 }
 
 impl ToJson for NetSummary {
@@ -153,6 +162,10 @@ impl ToJson for NetSummary {
             .field("shutdown_drained", self.shutdown_drained)
             .field("health_transitions", self.health_transitions)
             .field("final_health", self.final_health.as_str())
+            .field("updates_committed", self.updates_committed)
+            .field("update_edges", self.update_edges)
+            .field("updates_rejected", self.updates_rejected)
+            .field("final_epoch", self.final_epoch)
             .build()
     }
 }
@@ -574,6 +587,10 @@ impl ServiceLoop {
                 self.route(done);
                 false
             }
+            Request::Update { edges } => {
+                self.handle_update(conn, &edges);
+                false
+            }
             Request::Health => {
                 let reply = proto::health_reply(&self.svc.health_snapshot());
                 self.send(conn, &reply);
@@ -605,6 +622,44 @@ impl ServiceLoop {
                     ),
                 );
                 false
+            }
+        }
+    }
+
+    /// Commit one wire update batch, or refuse it with the distinct
+    /// `update_rejected` reply (never the query-offer `rejected` shape,
+    /// which would corrupt client-side offer accounting). Commits run
+    /// here on the single service thread, between query batches —
+    /// that serialization is the snapshot-consistency guarantee.
+    fn handle_update(&mut self, conn: u64, edges: &[(u64, u64)]) {
+        if self.draining {
+            self.summary.updates_rejected += 1;
+            let reply =
+                proto::update_rejected_reply("draining", "server is draining for shutdown");
+            self.send(conn, &reply);
+            return;
+        }
+        let n = self.svc.session().num_vertices();
+        if let Some(&(u, v)) = edges.iter().find(|&&(u, v)| u >= n || v >= n) {
+            self.summary.updates_rejected += 1;
+            let detail = format!("edge ({u}, {v}) outside vertex range [0, {n})");
+            let reply = proto::update_rejected_reply("invalid_vertex", &detail);
+            self.send(conn, &reply);
+            return;
+        }
+        let batch: Vec<Edge> = edges.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        match self.svc.apply_updates(&batch) {
+            Ok(epoch) => {
+                self.summary.updates_committed += 1;
+                self.summary.update_edges += batch.len() as u64;
+                let reply =
+                    proto::committed_reply(epoch, batch.len(), self.svc.session().compactions());
+                self.send(conn, &reply);
+            }
+            Err(e) => {
+                self.summary.updates_rejected += 1;
+                let reply = proto::update_rejected_reply("commit_failed", &e.to_string());
+                self.send(conn, &reply);
             }
         }
     }
@@ -715,6 +770,7 @@ impl ServiceLoop {
         let snap = self.svc.health_snapshot();
         self.summary.health_transitions = snap.transitions.len() as u64;
         self.summary.final_health = snap.state.to_string();
+        self.summary.final_epoch = self.svc.session().epoch();
         let farewell = proto::shutdown_reply(self.summary.shutdown_drained).render();
         for c in self.conns.values() {
             let _ = c.tx.try_send(farewell.clone());

@@ -51,6 +51,12 @@ pub enum Request {
         /// Optional deadline budget applied to every root in the batch.
         deadline_ticks: Option<u32>,
     },
+    /// Commit one batched edge-insert against the live graph; the
+    /// reply carries the new epoch.
+    Update {
+        /// Edges to insert, as `[u, v]` endpoint pairs.
+        edges: Vec<(u64, u64)>,
+    },
     /// Ask for the service's health state and transition history.
     Health,
     /// Ask for the full [`ServeReport`].
@@ -188,6 +194,38 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 roots,
                 deadline_ticks: deadline_knob(&cmd)?,
             })
+        }
+        Some("update") => {
+            let Some(items) = cmd.get("edges").and_then(JsonValue::as_array) else {
+                return Err(ProtoError::BadRequest {
+                    detail: "update needs an \"edges\" array of [u, v] pairs".into(),
+                });
+            };
+            if items.is_empty() {
+                return Err(ProtoError::BadRequest {
+                    detail: "update \"edges\" must not be empty".into(),
+                });
+            }
+            let mut edges = Vec::with_capacity(items.len());
+            for v in items {
+                let pair = v.as_array().and_then(|p| match p {
+                    [u, w] => Some((u.as_u64()?, w.as_u64()?)),
+                    _ => None,
+                });
+                match pair {
+                    Some(e) => edges.push(e),
+                    None => {
+                        return Err(ProtoError::BadRequest {
+                            detail: format!(
+                                "update edge must be a [u, v] pair of unsigned \
+                                 integers, got {}",
+                                v.render()
+                            ),
+                        })
+                    }
+                }
+            }
+            Ok(Request::Update { edges })
         }
         Some("health") => Ok(Request::Health),
         Some("stats") => Ok(Request::Stats),
@@ -401,7 +439,8 @@ pub fn result_reply(r: &QueryResult) -> JsonValue {
             r.parents.as_ref().map_or(0, |p| p.len()) as u64,
         )
         .field("sim_latency_s", r.sim_latency_s)
-        .field("via_fallback", r.via_fallback);
+        .field("via_fallback", r.via_fallback)
+        .field("epoch", r.epoch);
     match &r.status {
         QueryStatus::Quarantined(q) => {
             o = o
@@ -419,6 +458,29 @@ pub fn result_reply(r: &QueryResult) -> JsonValue {
         QueryStatus::Served => {}
     }
     o.build()
+}
+
+/// The acknowledgment for a committed update batch: the epoch the
+/// commit produced and the session's compaction count after it.
+pub fn committed_reply(epoch: u64, edges: usize, compactions: u64) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "committed")
+        .field("epoch", epoch)
+        .field("edges", edges as u64)
+        .field("compactions", compactions)
+        .build()
+}
+
+/// The refusal for an update that could not commit (service draining,
+/// or the routing pass lost ranks). Deliberately *not* the `rejected`
+/// reply shape — that one acknowledges a queued query offer, and
+/// reusing it would corrupt client-side offer accounting.
+pub fn update_rejected_reply(reason: &str, detail: &str) -> JsonValue {
+    JsonValue::object()
+        .field("reply", "update_rejected")
+        .field("reason", reason)
+        .field("detail", detail)
+        .build()
 }
 
 /// The `health` reply: current state, tick clock, per-class counters,
@@ -555,6 +617,45 @@ mod tests {
     }
 
     #[test]
+    fn update_requests_parse_and_refuse_typed() {
+        match parse_request(r#"{"cmd":"update","edges":[[1,2],[3,4]]}"#) {
+            Ok(Request::Update { edges }) => assert_eq!(edges, vec![(1, 2), (3, 4)]),
+            other => panic!("expected update, got {other:?}"),
+        }
+        for (line, needle) in [
+            (r#"{"cmd":"update"}"#, "\"edges\" array"),
+            (r#"{"cmd":"update","edges":[]}"#, "must not be empty"),
+            (r#"{"cmd":"update","edges":[[1]]}"#, "[u, v] pair"),
+            (r#"{"cmd":"update","edges":[[1,2,3]]}"#, "[u, v] pair"),
+            (r#"{"cmd":"update","edges":[[1,"2"]]}"#, "[u, v] pair"),
+            (r#"{"cmd":"update","edges":[7]}"#, "[u, v] pair"),
+        ] {
+            match parse_request(line) {
+                Err(ProtoError::BadRequest { detail }) => {
+                    assert!(detail.contains(needle), "{line}: {detail:?} lacks {needle:?}")
+                }
+                other => panic!("{line} must be BadRequest, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn update_replies_carry_epoch_and_a_distinct_shape() {
+        let js = committed_reply(3, 16, 1).render();
+        assert!(
+            js.starts_with(r#"{"reply":"committed","epoch":3,"edges":16,"compactions":1"#),
+            "got {js}"
+        );
+        let js = update_rejected_reply("draining", "shutdown in progress").render();
+        assert!(
+            js.starts_with(r#"{"reply":"update_rejected","reason":"draining""#),
+            "got {js}"
+        );
+        // Never the query-offer rejection shape.
+        assert!(!js.contains(r#""reply":"rejected""#), "got {js}");
+    }
+
+    #[test]
     fn malformed_lines_are_typed_bad_json() {
         for bad in ["", "not json", "{", r#"{"cmd":}"#] {
             match parse_request(bad) {
@@ -687,9 +788,11 @@ mod tests {
             sim_latency_s: 0.5,
             wall_latency_s: 0.1,
             via_fallback: false,
+            epoch: 2,
         };
         let js = result_reply(&served).render();
         assert!(js.contains(r#""status":"served""#), "got {js}");
+        assert!(js.contains(r#""epoch":2"#), "got {js}");
         assert!(js.contains(r#""parents_len":2"#), "got {js}");
         assert!(!js.contains("quarantine"), "got {js}");
 
@@ -722,6 +825,7 @@ mod tests {
             sim_latency_s: 0.0,
             wall_latency_s: 0.0,
             via_fallback: false,
+            epoch: 0,
         };
         let js = result_reply(&evicted).render();
         assert!(js.contains(r#""status":"deadline_exceeded""#), "got {js}");

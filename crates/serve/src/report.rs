@@ -1,5 +1,5 @@
 //! Service observability: everything the metrics JSON `serve` section
-//! (schema v8, `docs/METRICS.md`) reports about one service lifetime.
+//! (schema v9, `docs/METRICS.md`) reports about one service lifetime.
 
 use sunbfs_common::{JsonValue, ToJson};
 
@@ -191,6 +191,23 @@ pub struct ServeReport {
     /// SPMD attempts the session load spent (1 = clean, 0 = opened
     /// from a persistent store file).
     pub load_attempts: u32,
+    /// Update batches committed (each bumped the epoch by one).
+    pub updates_applied: u64,
+    /// Edges across every committed update batch (pre-dedup).
+    pub update_edges: u64,
+    /// Update batches that failed to commit (lost ranks mid-routing);
+    /// the session state is untouched by a failed commit.
+    pub updates_failed: u64,
+    /// Session epoch at report time (0 = never mutated).
+    pub epoch: u64,
+    /// Delta-into-base compactions the session performed.
+    pub compactions: u64,
+    /// Served queries whose result was patched by incremental repair
+    /// (a non-empty delta overlay was resident at execution time).
+    pub repaired_queries: u64,
+    /// Vertices whose depth the repair passes improved, summed over
+    /// all repaired queries.
+    pub repaired_vertices: u64,
 }
 
 impl ServeReport {
@@ -317,6 +334,13 @@ impl ServeReport {
             .field("build_sim_seconds", self.build_sim_seconds)
             .field("load_sim_seconds", self.load_sim_seconds)
             .field("load_attempts", u64::from(self.load_attempts))
+            .field("updates_applied", self.updates_applied)
+            .field("update_edges", self.update_edges)
+            .field("updates_failed", self.updates_failed)
+            .field("epoch", self.epoch)
+            .field("compactions", self.compactions)
+            .field("repaired_queries", self.repaired_queries)
+            .field("repaired_vertices", self.repaired_vertices)
             .build()
     }
 }
@@ -403,6 +427,13 @@ mod tests {
             "health",
             "health_transitions",
             "chaos_injected",
+            "updates_applied",
+            "update_edges",
+            "updates_failed",
+            "epoch",
+            "compactions",
+            "repaired_queries",
+            "repaired_vertices",
         ] {
             assert!(js.contains(&format!("\"{key}\"")), "missing {key} in {js}");
         }

@@ -41,17 +41,29 @@
 //! instead of consuming a batch slot. A seeded [`ChaosConfig`] can arm
 //! live faults against the resident cluster at a query cadence — the
 //! soak harness's chaos source.
+//!
+//! The graph itself can move under the service
+//! ([`BfsService::apply_updates`], `docs/UPDATES.md`): update batches
+//! commit only on the single service thread *between* query batches,
+//! bump the session epoch, and every reply is stamped with the epoch
+//! its snapshot was taken at. While committed inserts sit in the delta
+//! overlay, the batch engine still runs against the base CSRs and each
+//! assembled result is patched by incremental repair into the exact
+//! union-graph answer. A seeded [`UpdatePlan`] (`SUNBFS_UPDATE_PLAN`)
+//! fires scripted update batches at executed-query milestones, the
+//! same fire-once shape as the fault plan.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-use sunbfs_common::{SplitMix64, INVALID_VERTEX};
+use sunbfs_common::{Edge, SplitMix64, INVALID_VERTEX};
 use sunbfs_core::{validate, BatchOutput, BfsOutput, CheckpointStore, EngineError};
+use sunbfs_mutate::UpdatePlan;
 use sunbfs_net::{CorruptMode, FaultEvent, FaultKind};
 
 use crate::report::{BatchRecord, HealthTransition, QueryRecord, ServeReport};
-use crate::session::GraphSession;
+use crate::session::{GraphSession, SessionError};
 use crate::MAX_BATCH;
 
 /// Service knobs.
@@ -499,6 +511,10 @@ pub struct QueryResult {
     /// True when this query was served by the per-root recovery path
     /// instead of the batch engine.
     pub via_fallback: bool,
+    /// The session epoch this query's snapshot was taken at (updates
+    /// commit only between batches, so the stamp names a consistent
+    /// graph version).
+    pub epoch: u64,
 }
 
 struct Pending {
@@ -545,6 +561,9 @@ pub struct BfsService {
     next_batch: u64,
     health: HealthMachine,
     chaos: Option<ChaosState>,
+    update_plan: Option<UpdatePlan>,
+    /// Queries executed so far — the clock scripted updates fire on.
+    executed_queries: u64,
     report: ServeReport,
 }
 
@@ -573,6 +592,8 @@ impl BfsService {
             next_id: 0,
             next_batch: 0,
             chaos: None,
+            update_plan: None,
+            executed_queries: 0,
             report,
         }
     }
@@ -602,9 +623,57 @@ impl BfsService {
         self
     }
 
+    /// Arm a scripted update schedule: before each batch executes, any
+    /// event whose executed-query milestone has passed fires its
+    /// seeded edge batch through [`Self::apply_updates`], exactly once
+    /// (the `SUNBFS_UPDATE_PLAN` grammar, `docs/UPDATES.md`).
+    pub fn with_update_plan(mut self, plan: UpdatePlan) -> Self {
+        self.update_plan = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
     /// The resident session (topology, fault log, partition stats).
     pub fn session(&self) -> &GraphSession {
         &self.session
+    }
+
+    /// Commit one batched edge-insert against the resident session and
+    /// bump the epoch. Safe exactly because the service is
+    /// single-threaded: callers (transport loop, update plan) only
+    /// reach this between query batches, so in-flight queries never
+    /// observe a half-applied update.
+    ///
+    /// # Errors
+    /// [`SessionError`] when the routing pass or a triggered
+    /// compaction loses ranks; the session keeps its pre-commit state.
+    pub fn apply_updates(&mut self, edges: &[Edge]) -> Result<u64, SessionError> {
+        match self.session.apply_updates(edges) {
+            Ok(epoch) => {
+                self.report.updates_applied += 1;
+                self.report.update_edges += edges.len() as u64;
+                self.report.epoch = epoch;
+                self.report.compactions = self.session.compactions();
+                Ok(epoch)
+            }
+            Err(e) => {
+                self.report.updates_failed += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Fire every due scripted update (at most once each), charged by
+    /// executed-query count. A commit that fails (chaos can kill the
+    /// routing pass too) is counted and skipped — the plan's fire-once
+    /// semantics are not re-armed, matching the fault plan's shape.
+    fn fire_update_plan(&mut self) {
+        let Some(plan) = self.update_plan.clone() else {
+            return;
+        };
+        let root_max = self.session.num_vertices();
+        while let Some(edges) = plan.fire(self.executed_queries, root_max) {
+            let _ = self.apply_updates(&edges);
+        }
     }
 
     /// The knobs this service runs with (after clamping).
@@ -747,6 +816,7 @@ impl BfsService {
     /// into a typed `deadline_exceeded` result.
     fn evict_expired(&mut self) -> Vec<QueryResult> {
         let now = self.ticks;
+        let epoch = self.session.epoch();
         let mut out = Vec::new();
         self.pending.retain(|p| {
             let Some(deadline) = p.deadline_ticks else {
@@ -771,6 +841,7 @@ impl BfsService {
                 sim_latency_s: 0.0,
                 wall_latency_s: 0.0,
                 via_fallback: false,
+                epoch,
             });
             false
         });
@@ -864,6 +935,10 @@ impl BfsService {
     }
 
     fn execute_batch(&mut self, batch: Vec<Pending>) -> Vec<QueryResult> {
+        // Updates land strictly between batches: any scripted update
+        // whose milestone has passed commits now, before this batch's
+        // snapshot is taken.
+        self.fire_update_plan();
         self.arm_chaos(batch.len());
         let batch_id = self.next_batch;
         self.next_batch += 1;
@@ -895,6 +970,7 @@ impl BfsService {
                 }
                 Err(e) => {
                     let wall = wall0.elapsed().as_secs_f64();
+                    let epoch = self.session.epoch();
                     results = batch
                         .iter()
                         .map(|p| {
@@ -907,6 +983,7 @@ impl BfsService {
                                 },
                                 wall,
                                 false,
+                                epoch,
                             )
                         })
                         .collect();
@@ -925,6 +1002,7 @@ impl BfsService {
             }
         }
         let wall_seconds = wall0.elapsed().as_secs_f64();
+        self.executed_queries += batch.len() as u64;
 
         // Optional sequential baseline over the same roots.
         let seq_sim_seconds = if self.cfg.measure_baseline {
@@ -976,9 +1054,12 @@ impl BfsService {
         results
     }
 
-    /// Turn per-rank [`BatchOutput`]s into per-query results.
+    /// Turn per-rank [`BatchOutput`]s into per-query results. The
+    /// engine ran against the base CSRs; when a delta overlay is
+    /// resident, each assembled result is patched by incremental
+    /// repair into the exact union-graph answer before it leaves.
     fn assemble_batch(
-        &self,
+        &mut self,
         batch: &[Pending],
         batch_id: u64,
         outs: Vec<BatchOutput>,
@@ -988,23 +1069,39 @@ impl BfsService {
         let n = self.session.num_vertices() as usize;
         let nb = batch.len();
         let dist = self.session.distribution();
+        let has_delta = self.session.has_delta();
+        let epoch = self.session.epoch();
         let mut results = Vec::with_capacity(nb);
         for (b, p) in batch.iter().enumerate() {
             let mut parents = vec![INVALID_VERTEX; n];
-            let mut histogram: Vec<u64> = Vec::new();
+            let mut depths = vec![u64::MAX; n];
             for (rank, out) in outs.iter().enumerate() {
                 let range = dist.range_of(rank);
                 for li in 0..(range.end - range.start) as usize {
                     parents[range.start as usize + li] = out.parent_of(li, b);
                     let d = out.depth_of(li, b);
                     if d != sunbfs_core::UNREACHED_DEPTH {
-                        let d = d as usize;
-                        if histogram.len() <= d {
-                            histogram.resize(d + 1, 0);
-                        }
-                        histogram[d] += 1;
+                        depths[range.start as usize + li] = u64::from(d);
                     }
                 }
+            }
+            let mut visited = outs[0].stats.visited[b];
+            if has_delta {
+                let stats = self.session.repair_result(&mut parents, &mut depths);
+                self.report.repaired_queries += 1;
+                self.report.repaired_vertices += stats.improved;
+                visited = depths.iter().filter(|&&d| d != u64::MAX).count() as u64;
+            }
+            let mut histogram: Vec<u64> = Vec::new();
+            for &d in &depths {
+                if d == u64::MAX {
+                    continue;
+                }
+                let d = d as usize;
+                if histogram.len() <= d {
+                    histogram.resize(d + 1, 0);
+                }
+                histogram[d] += 1;
             }
             results.push(QueryResult {
                 id: p.id,
@@ -1013,11 +1110,12 @@ impl BfsService {
                 status: QueryStatus::Served,
                 parents: Some(Arc::new(parents)),
                 depth_histogram: histogram,
-                visited: outs[0].stats.visited[b],
+                visited,
                 engine_traversed_edges: outs[0].stats.traversed_edges[b],
                 sim_latency_s: sim_seconds,
                 wall_latency_s: wall_seconds,
                 via_fallback: false,
+                epoch,
             });
         }
         results
@@ -1025,10 +1123,11 @@ impl BfsService {
 
     /// Per-root recovery: checkpointed single-source runs with bounded
     /// retries, quarantining only when the budget is exhausted.
-    fn serve_fallback(&self, p: &Pending, batch_id: u64) -> QueryResult {
+    fn serve_fallback(&mut self, p: &Pending, batch_id: u64) -> QueryResult {
         let wall0 = Instant::now();
         let budget = 1 + self.cfg.max_root_retries;
         let store = CheckpointStore::new(self.session.num_ranks());
+        let epoch = self.session.epoch();
         let mut attempts = 0u32;
         loop {
             attempts += 1;
@@ -1056,6 +1155,7 @@ impl BfsService {
                         },
                         wall,
                         true,
+                        epoch,
                     ),
                 };
             }
@@ -1074,40 +1174,27 @@ impl BfsService {
                     },
                     wall0.elapsed().as_secs_f64(),
                     true,
+                    epoch,
                 );
             }
         }
     }
 
     fn assemble_single(
-        &self,
+        &mut self,
         p: &Pending,
         batch_id: u64,
         outs: Vec<BfsOutput>,
         wall_seconds: f64,
     ) -> QueryResult {
         let sim = outs.iter().fold(0.0f64, |m, o| m.max(o.stats.sim_seconds));
-        let parents: Vec<u64> = outs
+        let epoch = self.session.epoch();
+        let mut parents: Vec<u64> = outs
             .iter()
             .flat_map(|o| o.parents.iter().copied())
             .collect();
-        let (histogram, visited) = match validate::levels_from_parents(p.root, &parents) {
-            Ok(levels) => {
-                let mut h: Vec<u64> = Vec::new();
-                let mut visited = 0u64;
-                for &lvl in &levels {
-                    if lvl == u64::MAX {
-                        continue;
-                    }
-                    visited += 1;
-                    let d = lvl as usize;
-                    if h.len() <= d {
-                        h.resize(d + 1, 0);
-                    }
-                    h[d] += 1;
-                }
-                (h, visited)
-            }
+        let mut depths = match validate::levels_from_parents(p.root, &parents) {
+            Ok(levels) => levels,
             Err(e) => {
                 return quarantined_result(
                     p,
@@ -1118,9 +1205,28 @@ impl BfsService {
                     },
                     wall_seconds,
                     true,
+                    epoch,
                 );
             }
         };
+        if self.session.has_delta() {
+            let stats = self.session.repair_result(&mut parents, &mut depths);
+            self.report.repaired_queries += 1;
+            self.report.repaired_vertices += stats.improved;
+        }
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut visited = 0u64;
+        for &lvl in &depths {
+            if lvl == u64::MAX {
+                continue;
+            }
+            visited += 1;
+            let d = lvl as usize;
+            if histogram.len() <= d {
+                histogram.resize(d + 1, 0);
+            }
+            histogram[d] += 1;
+        }
         QueryResult {
             id: p.id,
             root: p.root,
@@ -1133,6 +1239,7 @@ impl BfsService {
             sim_latency_s: sim,
             wall_latency_s: wall_seconds,
             via_fallback: true,
+            epoch,
         }
     }
 
@@ -1165,6 +1272,7 @@ fn quarantined_result(
     q: Quarantine,
     wall_seconds: f64,
     via_fallback: bool,
+    epoch: u64,
 ) -> QueryResult {
     QueryResult {
         id: p.id,
@@ -1178,6 +1286,7 @@ fn quarantined_result(
         sim_latency_s: 0.0,
         wall_latency_s: wall_seconds,
         via_fallback,
+        epoch,
     }
 }
 

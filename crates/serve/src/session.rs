@@ -21,19 +21,41 @@
 //! save for next time. What happened is recorded in
 //! [`StoreActivity`] so reports can show cold-build versus warm-open
 //! wall seconds.
+//!
+//! The graph is no longer frozen either: [`GraphSession::apply_updates`]
+//! commits a batched edge-insert through the `sunbfs-mutate` overlay
+//! machinery and bumps the session **epoch** (a monotone count of
+//! committed batches). Updates are only ever applied by the single
+//! service thread between query batches, so every query runs against a
+//! consistent snapshot and is stamped with the epoch it saw. Cached
+//! base-graph results are patched by incremental repair
+//! ([`GraphSession::repair_result`]); a delta that grows past
+//! [`DELTA_COMPACT_THRESHOLD`] entries — or any degree-class promotion
+//! — triggers [`GraphSession::compact`], which rebuilds the base CSRs
+//! from the union edge list, byte-identical to a fresh build over it
+//! (`docs/UPDATES.md`).
 
 use std::path::Path;
 use std::time::Instant;
 
-use sunbfs_common::{JsonValue, MachineConfig, ToJson};
+use sunbfs_common::{Edge, JsonValue, MachineConfig, ToJson};
 use sunbfs_core::{
     run_bfs, run_bfs_batch, run_bfs_recoverable, BatchOutput, BfsOutput, CheckpointStore,
     EngineConfig, EngineError,
+};
+use sunbfs_mutate::{
+    canonical_edge_set, repair_in_place, route_update_batch, DeltaPartition, RepairStats,
+    UnionAdjacency,
 };
 use sunbfs_net::{Cluster, FaultPlan, MeshShape, RankFailure};
 use sunbfs_part::{build_1p5d, ComponentStats, RankPartition, Thresholds, VertexDistribution};
 use sunbfs_rmat::RmatParams;
 use sunbfs_store::{StoreError, StoreHeader, StoreInfo};
+
+/// Delta entries that trigger a compaction on the next committed batch.
+/// Sized so the repair pass stays cheap relative to a recompute while
+/// compactions stay rare under soak-level update rates.
+pub const DELTA_COMPACT_THRESHOLD: u64 = 4096;
 
 /// Everything a session needs to materialize its graph.
 #[derive(Clone, Copy, Debug)]
@@ -82,7 +104,9 @@ impl SessionConfig {
 
     /// The store-file header this configuration demands — what
     /// [`GraphSession::open`] checks a file against before trusting
-    /// its graph.
+    /// its graph. The epoch is graph *state*, not configuration: it is
+    /// zero here, and [`GraphSession::save`] stamps the session's live
+    /// epoch over it.
     pub fn store_header(&self) -> StoreHeader {
         StoreHeader {
             scale: u64::from(self.scale),
@@ -93,6 +117,7 @@ impl SessionConfig {
             h_threshold: u64::from(self.thresholds.h),
             seed: self.seed,
             num_ranks: self.mesh.num_ranks() as u64,
+            epoch: 0,
         }
     }
 }
@@ -214,6 +239,20 @@ pub struct GraphSession {
     pub store: Option<StoreActivity>,
     /// Wall seconds the fresh build took (None when opened from file).
     build_wall_seconds: Option<f64>,
+    /// Per-rank delta overlays holding committed-but-uncompacted edges.
+    deltas: Vec<DeltaPartition>,
+    /// Every committed insert since the last compaction, canonical and
+    /// loop-free, in commit order — the seed set for incremental repair
+    /// and the delta half of the compaction union.
+    delta_log: Vec<Edge>,
+    /// Monotone count of committed update batches.
+    epoch: u64,
+    /// Compactions performed over the session's lifetime.
+    compactions: u64,
+}
+
+fn fresh_deltas(num_ranks: usize) -> Vec<DeltaPartition> {
+    (0..num_ranks).map(DeltaPartition::new).collect()
 }
 
 impl GraphSession {
@@ -278,6 +317,10 @@ impl GraphSession {
                     load_attempts: attempts,
                     store: None,
                     build_wall_seconds: Some(wall0.elapsed().as_secs_f64()),
+                    deltas: fresh_deltas(p as usize),
+                    delta_log: Vec::new(),
+                    epoch: 0,
+                    compactions: 0,
                 });
             }
             if attempts >= budget {
@@ -294,36 +337,60 @@ impl GraphSession {
     /// # Errors
     /// A typed [`StoreError`] (wrapped in [`SessionError::Store`]) on
     /// any damage or on a header that describes a different graph than
-    /// `cfg` — never a wrong graph.
+    /// `cfg` — never a wrong graph. A store saved at a non-zero epoch
+    /// (a mutated graph) is refused too: callers who expect mutations
+    /// use [`Self::open_expecting_epoch`].
     pub fn open(
         path: &Path,
         cfg: SessionConfig,
         plan: FaultPlan,
     ) -> Result<GraphSession, SessionError> {
+        Self::open_expecting_epoch(path, cfg, plan, 0)
+    }
+
+    /// [`Self::open`] for a store known to hold a mutated graph: the
+    /// file's epoch must equal `expected_epoch` exactly. The refusal on
+    /// mismatch is typed (`HeaderMismatch { field: "epoch", .. }`) —
+    /// never a silently stale graph.
+    ///
+    /// # Errors
+    /// As [`Self::open`], plus the epoch refusal.
+    pub fn open_expecting_epoch(
+        path: &Path,
+        cfg: SessionConfig,
+        plan: FaultPlan,
+        expected_epoch: u64,
+    ) -> Result<GraphSession, SessionError> {
         let wall0 = Instant::now();
         let (header, parts, info) = sunbfs_store::open_file(path)?;
         header.check_matches(&cfg.store_header())?;
+        header.check_epoch(expected_epoch)?;
         Ok(Self::from_opened(
             path,
             cfg,
             plan,
             parts,
             info,
+            header.epoch,
             wall0.elapsed().as_secs_f64(),
         ))
     }
 
-    /// Assemble a session around partitions decoded from `path`.
+    /// Assemble a session around partitions decoded from `path`. The
+    /// decoded CSRs are always a compacted graph (saving compacts
+    /// first), so the session starts with an empty delta at `epoch`.
     fn from_opened(
         path: &Path,
         cfg: SessionConfig,
         plan: FaultPlan,
         parts: Vec<RankPartition>,
         info: StoreInfo,
+        epoch: u64,
         warm_open_wall_seconds: f64,
     ) -> GraphSession {
         let cluster = Cluster::with_faults(cfg.mesh, cfg.machine, plan);
         let partition_stats = parts.iter().map(|p| p.stats).collect();
+        let num_ranks = cfg.mesh.num_ranks();
         GraphSession {
             cfg,
             cluster,
@@ -342,6 +409,10 @@ impl GraphSession {
                 warm_open_wall_seconds: Some(warm_open_wall_seconds),
             }),
             build_wall_seconds: None,
+            deltas: fresh_deltas(num_ranks),
+            delta_log: Vec::new(),
+            epoch,
+            compactions: 0,
         }
     }
 
@@ -354,7 +425,11 @@ impl GraphSession {
     /// requested graph); *damage* — bad magic, truncation, a failed
     /// checksum — is surfaced as a typed error instead of being
     /// silently rebuilt over, because a store that rots on disk is
-    /// something an operator must hear about.
+    /// something an operator must hear about. A matching store saved
+    /// at a non-zero epoch is *adopted* (the session resumes at that
+    /// epoch) — the epoch names graph state, not a different graph,
+    /// and rebuilding over it would silently discard committed
+    /// updates.
     ///
     /// # Errors
     /// [`SessionError::Load`] when the fresh build fails,
@@ -378,6 +453,7 @@ impl GraphSession {
                     plan,
                     parts,
                     info,
+                    header.epoch,
                     wall0.elapsed().as_secs_f64(),
                 )),
                 Err(StoreError::HeaderMismatch { .. }) => build_and_save(plan),
@@ -392,12 +468,24 @@ impl GraphSession {
     }
 
     /// Serialize the resident partition to `path` in the paged store
-    /// format, recording the write in [`Self::store`].
+    /// format, recording the write in [`Self::store`]. A mutated
+    /// session compacts its delta first, so the stored CSRs always
+    /// describe the full union graph; the header is stamped with the
+    /// session's live epoch, and reopening demands that same epoch
+    /// ([`Self::open_expecting_epoch`]).
     ///
     /// # Errors
-    /// [`StoreError::Io`] when the file cannot be written.
-    pub fn save(&mut self, path: &Path) -> Result<StoreInfo, StoreError> {
-        let info = sunbfs_store::save_file(path, &self.cfg.store_header(), &self.parts)?;
+    /// [`SessionError::Store`] when the file cannot be written,
+    /// [`SessionError::Load`] when the pre-save compaction loses ranks.
+    pub fn save(&mut self, path: &Path) -> Result<StoreInfo, SessionError> {
+        if self.has_delta() {
+            self.compact()?;
+        }
+        let header = StoreHeader {
+            epoch: self.epoch,
+            ..self.cfg.store_header()
+        };
+        let info = sunbfs_store::save_file(path, &header, &self.parts)?;
         let activity = self.store.get_or_insert_with(|| StoreActivity {
             path: String::new(),
             opened: false,
@@ -439,6 +527,177 @@ impl GraphSession {
     /// The underlying cluster (fault/retransmit logs, topology).
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Every rank's resident base partition.
+    pub fn partitions(&self) -> &[RankPartition] {
+        &self.parts
+    }
+
+    /// Every rank's delta overlay (empty right after a compaction).
+    pub fn deltas(&self) -> &[DeltaPartition] {
+        &self.deltas
+    }
+
+    /// Committed-but-uncompacted inserts, canonical and in commit
+    /// order — the seed set incremental repair re-expands from.
+    pub fn delta_log(&self) -> &[Edge] {
+        &self.delta_log
+    }
+
+    /// Monotone count of committed update batches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Compactions performed over the session's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// True when committed updates are still resident in the overlay.
+    pub fn has_delta(&self) -> bool {
+        self.deltas.iter().any(|d| !d.is_empty())
+    }
+
+    /// Total adjacency entries across every rank's delta overlay.
+    pub fn delta_entries(&self) -> u64 {
+        self.deltas.iter().map(|d| d.entries()).sum()
+    }
+
+    /// Commit one batched edge-insert and bump the epoch.
+    ///
+    /// The batch is routed through the same exchange machinery as the
+    /// original build (`route_update_batch` under one SPMD pass), so
+    /// every rank derives an identical view of the new degrees and
+    /// classes. The merge into the resident overlays happens only after
+    /// *all* ranks succeeded — a lost rank leaves the session exactly
+    /// as it was (no torn commit) and surfaces as a typed error.
+    ///
+    /// When the batch promotes a vertex across a degree-class threshold
+    /// — or the overlay crosses [`DELTA_COMPACT_THRESHOLD`] — the
+    /// commit finishes with an immediate [`Self::compact`]: hub ids are
+    /// assigned in global degree-sorted order, so an overlay past a
+    /// promotion would describe the wrong class layout.
+    ///
+    /// Callers serialize commits against queries (the service applies
+    /// updates only between query batches on its single service
+    /// thread), which is what makes every reply's stamped epoch a
+    /// consistent snapshot.
+    ///
+    /// # Errors
+    /// [`SessionError::Load`] when the routing pass or the triggered
+    /// compaction loses ranks.
+    pub fn apply_updates(&mut self, batch: &[Edge]) -> Result<u64, SessionError> {
+        let thresholds = self.cfg.thresholds;
+        let updates = {
+            let parts = &self.parts;
+            let deltas = &self.deltas;
+            let results = self.cluster.run_fallible(move |ctx| {
+                route_update_batch(ctx, &parts[ctx.rank()], &deltas[ctx.rank()], thresholds, batch)
+            });
+            let mut oks = Vec::with_capacity(results.len());
+            let mut failures = Vec::new();
+            for r in results {
+                match r {
+                    Ok(u) => oks.push(u),
+                    Err(f) => failures.push(f),
+                }
+            }
+            if !failures.is_empty() {
+                return Err(SessionError::Load(LoadError {
+                    attempts: 1,
+                    failures,
+                }));
+            }
+            oks
+        };
+        let mut promoted = false;
+        for update in &updates {
+            promoted |= !update.promoted.is_empty();
+            self.deltas[update.rank].merge(update);
+        }
+        self.delta_log.extend(
+            batch
+                .iter()
+                .filter(|e| !e.is_self_loop())
+                .map(|e| e.canonical()),
+        );
+        self.epoch += 1;
+        if promoted || self.delta_entries() >= DELTA_COMPACT_THRESHOLD {
+            self.compact()?;
+        }
+        Ok(self.epoch)
+    }
+
+    /// Merge the delta overlays into the base CSRs by rebuilding the
+    /// 1.5D partition over the union edge list — byte-identical to a
+    /// fresh build over that list, because both run the very same
+    /// `build_1p5d` over the very same deduplicated canonical edges in
+    /// the same rank-strided chunks.
+    ///
+    /// # Errors
+    /// [`SessionError::Load`] when the rebuild loses ranks; the session
+    /// keeps its pre-compaction state in that case.
+    pub fn compact(&mut self) -> Result<(), SessionError> {
+        let n = self.num_vertices();
+        let p = self.num_ranks();
+        let union_edges: Vec<Edge> = {
+            let mut set = canonical_edge_set(&self.parts);
+            set.extend(self.delta_log.iter().map(|e| (e.u, e.v)));
+            set.into_iter().map(|(u, v)| Edge::new(u, v)).collect()
+        };
+        let thresholds = self.cfg.thresholds;
+        let results = {
+            let union_edges = &union_edges;
+            self.cluster.run_fallible(move |ctx| {
+                let chunk: Vec<Edge> = union_edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % p == ctx.rank())
+                    .map(|(_, e)| *e)
+                    .collect();
+                build_1p5d(ctx, n, &chunk, thresholds)
+            })
+        };
+        let mut parts = Vec::with_capacity(results.len());
+        let mut failures = Vec::new();
+        for r in results {
+            match r {
+                Ok(part) => parts.push(part),
+                Err(f) => failures.push(f),
+            }
+        }
+        if !failures.is_empty() {
+            return Err(SessionError::Load(LoadError {
+                attempts: 1,
+                failures,
+            }));
+        }
+        self.partition_stats = parts.iter().map(|part| part.stats).collect();
+        self.parts = parts;
+        for d in &mut self.deltas {
+            d.clear();
+        }
+        self.delta_log.clear();
+        self.compactions += 1;
+        Ok(())
+    }
+
+    /// Incrementally repair a cached base-graph BFS result against the
+    /// resident delta: re-expand only from insert endpoints whose depth
+    /// improves, mutating `parents`/`depths` in place into the exact
+    /// answer over the union graph. A no-op (zero seeds) when the
+    /// overlay is empty.
+    pub fn repair_result(&self, parents: &mut [u64], depths: &mut [u64]) -> RepairStats {
+        let adj = UnionAdjacency::new(&self.parts, &self.deltas);
+        repair_in_place(&adj, &self.delta_log, parents, depths)
+    }
+
+    /// Sequential reference BFS over the union graph (base + delta) —
+    /// the oracle the repair path is validated against.
+    pub fn union_bfs(&self, root: u64) -> (Vec<u64>, Vec<u64>) {
+        UnionAdjacency::new(&self.parts, &self.deltas).full_bfs(root)
     }
 
     /// One bit-parallel multi-source traversal over the resident
@@ -609,6 +868,131 @@ mod tests {
             }
             other => panic!("expected HeaderMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn apply_updates_bumps_epoch_and_repair_matches_recompute() {
+        let mut session =
+            GraphSession::load(SessionConfig::small(8, 4), FaultPlan::none()).expect("clean load");
+        assert_eq!(session.epoch(), 0);
+        assert!(!session.has_delta());
+
+        // A fresh-vertex chain plus a shortcut into the core: depths
+        // genuinely change, so the repair has real work to do.
+        let n = session.num_vertices();
+        let batch = [
+            Edge::new(0, n - 1),
+            Edge::new(n - 1, n - 2),
+            Edge::new(1, n - 3),
+        ];
+        // Base-graph result first, as the service would cache it.
+        let (mut parents, mut depths) = {
+            let (p, d) = {
+                let before = session.union_bfs(1);
+                assert!(session.delta_log().is_empty(), "no delta before commit");
+                before
+            };
+            (p, d)
+        };
+        let epoch = session.apply_updates(&batch).expect("commit");
+        assert_eq!(epoch, 1);
+        assert_eq!(session.epoch(), 1);
+        assert!(session.has_delta(), "small batch stays in the overlay");
+        assert_eq!(session.delta_log().len(), 3);
+
+        let stats = session.repair_result(&mut parents, &mut depths);
+        assert!(stats.seeds > 0, "inserted endpoints must seed the repair");
+        let (_, fresh_depths) = session.union_bfs(1);
+        assert_eq!(depths, fresh_depths, "repair must be depth-identical");
+        // The repaired tree stays a valid BFS tree over the union graph.
+        for v in 0..n {
+            let (p, d) = (parents[v as usize], depths[v as usize]);
+            if p == sunbfs_common::INVALID_VERTEX || v == 1 {
+                continue;
+            }
+            assert_eq!(depths[p as usize] + 1, d, "vertex {v} parent depth");
+        }
+    }
+
+    #[test]
+    fn a_promotion_forces_immediate_compaction() {
+        let mut session =
+            GraphSession::load(SessionConfig::small(8, 4), FaultPlan::none()).expect("clean load");
+        // Lower thresholds would promote easily, but SessionConfig::small
+        // uses (256, 64): push one vertex over h = 64 with a fan of
+        // inserts to distinct neighbors.
+        let hub = 3u64;
+        let n = session.num_vertices();
+        let batch: Vec<Edge> = (0..80u64)
+            .map(|i| Edge::new(hub, (hub + 7 + i * 3) % n))
+            .collect();
+        session.apply_updates(&batch).expect("commit");
+        assert_eq!(session.epoch(), 1);
+        assert_eq!(
+            session.compactions(),
+            1,
+            "crossing h_threshold must compact immediately"
+        );
+        assert!(!session.has_delta(), "compaction drains the overlay");
+        assert!(session.delta_log().is_empty());
+        // Post-compaction queries still serve and agree with the oracle.
+        let (_, d) = session.union_bfs(hub);
+        assert_eq!(d[hub as usize], 0);
+    }
+
+    #[test]
+    fn save_compacts_and_reopen_demands_the_epoch() {
+        let cfg = SessionConfig::small(8, 4);
+        let mut session = GraphSession::load(cfg, FaultPlan::none()).expect("clean load");
+        let n = session.num_vertices();
+        session
+            .apply_updates(&[Edge::new(0, n - 1), Edge::new(2, n - 2)])
+            .expect("commit");
+        assert!(session.has_delta());
+        let path = temp_store("epoch");
+        session.save(&path).expect("save");
+        assert!(
+            !session.has_delta(),
+            "save must compact the delta into the base CSRs"
+        );
+        assert_eq!(session.compactions(), 1);
+
+        // Plain open expects a pristine (epoch 0) store — typed refusal.
+        let err = match GraphSession::open(&path, cfg, FaultPlan::none()) {
+            Ok(_) => panic!("a mutated store must not open at epoch 0"),
+            Err(e) => e,
+        };
+        match err {
+            SessionError::Store(StoreError::HeaderMismatch {
+                field,
+                expected,
+                found,
+            }) => {
+                assert_eq!(field, "epoch");
+                assert_eq!((expected, found), (0, 1));
+            }
+            other => panic!("expected an epoch HeaderMismatch, got {other:?}"),
+        }
+
+        // Knowing the epoch opens it; the session resumes there.
+        let reopened = GraphSession::open_expecting_epoch(&path, cfg, FaultPlan::none(), 1)
+            .expect("epoch-aware open");
+        assert_eq!(reopened.epoch(), 1);
+        assert_eq!(reopened.partition_stats, session.partition_stats);
+        let (_, a) = reopened.union_bfs(0);
+        let (_, b) = session.union_bfs(0);
+        assert_eq!(a, b, "reopened graph must hold the committed updates");
+
+        // open_or_build adopts the epoch instead of rebuilding over it.
+        let adopted =
+            GraphSession::open_or_build(&path, cfg, FaultPlan::none()).expect("adopting open");
+        std::fs::remove_file(&path).ok();
+        let activity = adopted.store.as_ref().expect("activity");
+        assert!(
+            activity.opened && !activity.saved,
+            "a matching mutated store is opened, never rebuilt over"
+        );
+        assert_eq!(adopted.epoch(), 1);
     }
 
     #[test]

@@ -58,8 +58,10 @@ use sunbfs_part::{ComponentStats, Csr, HubDirectory, RankPartition, VertexDistri
 const FILE_MAGIC: u64 = u64::from_le_bytes(*b"SBFSTORE");
 /// Per-rank stream magic: "SBFSRANK" little-endian.
 const RANK_MAGIC: u64 = u64::from_le_bytes(*b"SBFSRANK");
-/// On-disk format version.
-pub const STORE_VERSION: u64 = 1;
+/// On-disk format version. v2 added the session **epoch** header word
+/// (live-mutation counter, `docs/UPDATES.md`); v1 files are refused
+/// with a typed [`StoreError::BadVersion`] rather than guessed at.
+pub const STORE_VERSION: u64 = 2;
 /// Total bytes per page, payload plus seal.
 pub const PAGE_SIZE: usize = 4096;
 /// Payload bytes per page (the final 8 bytes are the page checksum).
@@ -67,8 +69,8 @@ pub const PAGE_PAYLOAD: usize = PAGE_SIZE - 8;
 
 /// Fixed header words before the page directory: file magic, version,
 /// page size, scale, edge_factor, mesh_rows, mesh_cols, e_threshold,
-/// h_threshold, seed, num_ranks.
-const HEADER_FIXED_WORDS: u64 = 11;
+/// h_threshold, seed, num_ranks, epoch.
+const HEADER_FIXED_WORDS: u64 = 12;
 
 /// Why a store could not be written or, far more importantly, why a
 /// file was refused instead of decoded into a (possibly wrong) graph.
@@ -176,11 +178,22 @@ pub struct StoreHeader {
     pub seed: u64,
     /// Rank count (`mesh_rows * mesh_cols`).
     pub num_ranks: u64,
+    /// Session epoch at save time: how many update batches had been
+    /// committed to the graph. 0 means the pristine generated graph; a
+    /// mutated session compacts its delta before saving, so the stored
+    /// CSRs always describe the epoch-`epoch` union graph.
+    pub epoch: u64,
 }
 
 impl StoreHeader {
     /// Verify this (decoded) header describes the same graph as
     /// `expected` (derived from the caller's session configuration).
+    ///
+    /// The epoch is deliberately **not** compared here: a mutated
+    /// store still describes the graph the configuration names, and
+    /// `open_or_build`-style callers must not silently rebuild (and so
+    /// discard) committed updates. Callers that require a specific
+    /// epoch say so explicitly via [`StoreHeader::check_epoch`].
     ///
     /// # Errors
     /// [`StoreError::HeaderMismatch`] naming the first disagreeing
@@ -205,6 +218,22 @@ impl StoreHeader {
                     found,
                 });
             }
+        }
+        Ok(())
+    }
+
+    /// Verify the stored epoch is exactly what the caller expects.
+    ///
+    /// # Errors
+    /// [`StoreError::HeaderMismatch`] with `field == "epoch"` — never a
+    /// silent open of a graph more (or less) mutated than asked for.
+    pub fn check_epoch(&self, expected: u64) -> Result<(), StoreError> {
+        if self.epoch != expected {
+            return Err(StoreError::HeaderMismatch {
+                field: "epoch",
+                expected,
+                found: self.epoch,
+            });
         }
         Ok(())
     }
@@ -354,6 +383,7 @@ pub fn encode_store(header: &StoreHeader, parts: &[RankPartition]) -> Vec<u8> {
         header.h_threshold,
         header.seed,
         header.num_ranks,
+        header.epoch,
     ] {
         w.put(x);
     }
@@ -724,6 +754,7 @@ pub fn read_store<R: Read + Seek>(
         h_threshold: r.u64()?,
         seed: r.u64()?,
         num_ranks: r.u64()?,
+        epoch: r.u64()?,
     };
     if header.scale >= 64 {
         return Err(StoreError::Corrupt {
@@ -803,6 +834,7 @@ mod tests {
             h_threshold: 64,
             seed: 42,
             num_ranks: 2,
+            epoch: 0,
         };
         let dist = VertexDistribution::new(16, 2);
         let directory = HubDirectory::build(vec![(3, 300), (7, 80)], Thresholds::new(256, 64));
@@ -863,6 +895,28 @@ mod tests {
             })
         );
         assert_eq!(header.check_matches(&header), Ok(()));
+    }
+
+    #[test]
+    fn epoch_is_outside_check_matches_but_refused_by_check_epoch() {
+        let (header, parts) = sample();
+        let mutated = StoreHeader { epoch: 3, ..header };
+        // The identity check tolerates a mutated store on purpose...
+        assert_eq!(mutated.check_matches(&header), Ok(()));
+        // ...and the epoch check is its own typed refusal.
+        assert_eq!(
+            mutated.check_epoch(0),
+            Err(StoreError::HeaderMismatch {
+                field: "epoch",
+                expected: 0,
+                found: 3,
+            })
+        );
+        assert_eq!(mutated.check_epoch(3), Ok(()));
+        // The epoch word survives the file round trip.
+        let bytes = encode_store(&mutated, &parts);
+        let (got, _, _) = read_store(&mut Cursor::new(&bytes)).expect("decodes");
+        assert_eq!(got.epoch, 3);
     }
 
     #[test]

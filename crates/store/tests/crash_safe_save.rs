@@ -41,6 +41,7 @@ fn sample() -> (StoreHeader, Vec<RankPartition>) {
         h_threshold: u64::from(th.h),
         seed: 42,
         num_ranks: 2,
+        epoch: 0,
     };
     (header, parts)
 }

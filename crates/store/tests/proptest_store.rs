@@ -37,6 +37,7 @@ fn header_for(scale: u32, rows: usize, cols: usize, th: Thresholds, seed: u64) -
         h_threshold: u64::from(th.h),
         seed,
         num_ranks: (rows * cols) as u64,
+        epoch: 0,
     }
 }
 

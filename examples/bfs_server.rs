@@ -14,6 +14,7 @@
 //! {"cmd":"query","root":5}                     submit one root, tick once
 //! {"cmd":"query","root":5,"deadline_ticks":3}  ... with a deadline budget
 //! {"cmd":"batch","roots":[1,2,3]}              submit many, drain
+//! {"cmd":"update","edges":[[0,9],[3,7]]}       commit edge inserts, bump epoch
 //! {"cmd":"health"}                             health state + transitions
 //! {"cmd":"stats"}                              full ServeReport JSON
 //! {"cmd":"drain"}                              flush everything pending
@@ -199,6 +200,28 @@ fn handle_line(service: &mut Option<BfsService>, line: &str) -> (Vec<JsonValue>,
                 replies.push(proto::result_reply(&r));
             }
             (replies, false)
+        }
+        Request::Update { edges } => {
+            let Some(svc) = service.as_mut() else {
+                return (vec![no_graph()], false);
+            };
+            let n = svc.session().num_vertices();
+            if let Some(&(u, v)) = edges.iter().find(|&&(u, v)| u >= n || v >= n) {
+                let detail = format!("edge ({u}, {v}) outside vertex range [0, {n})");
+                return (
+                    vec![proto::update_rejected_reply("invalid_vertex", &detail)],
+                    false,
+                );
+            }
+            let batch: Vec<sunbfs::common::Edge> =
+                edges.iter().map(|&(u, v)| sunbfs::common::Edge::new(u, v)).collect();
+            let reply = match svc.apply_updates(&batch) {
+                Ok(epoch) => {
+                    proto::committed_reply(epoch, batch.len(), svc.session().compactions())
+                }
+                Err(e) => proto::update_rejected_reply("commit_failed", &e.to_string()),
+            };
+            (vec![reply], false)
         }
         Request::Health => {
             let reply = match service {

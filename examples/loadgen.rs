@@ -6,8 +6,8 @@
 //! `{"cmd":"shutdown"}` to exercise the server's graceful drain. The
 //! run's accounting — offered/accepted/rejected, rejection classes,
 //! `retry_after_ticks` coverage and honoring, deadline evictions,
-//! p50/p99/p999 end-to-end latency — is printed as a schema-v8
-//! `{"schema_version":8,"serve_load":{...}}` document (tables in
+//! p50/p99/p999 end-to-end latency — is printed as a schema-v9
+//! `{"schema_version":9,"serve_load":{...}}` document (tables in
 //! `docs/METRICS.md`), and optionally written to a file with
 //! `--json PATH`.
 //!
@@ -23,6 +23,9 @@
 //! `--retry-max N` (honor `retry_after_ticks` hints up to N re-offers
 //! per query, default 0 = never retry), `--tick-hint-ms N` (wall-clock
 //! estimate of one server tick for retry backoff, default 10),
+//! `--update-every N` (interleave one live edge-insert batch per N
+//! paced queries per connection, default 0 = read-only),
+//! `--update-batch N` (edges per interleaved batch, default 4),
 //! `--json PATH`. Unknown flags exit 2.
 //!
 //! Exit status: 0 when the run's invariants held (no lost, duplicated,
@@ -76,6 +79,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--tick-hint-ms" => {
                 cfg.tick_hint = Duration::from_millis(knob(arg, value(arg)?)?.max(1));
             }
+            "--update-every" => cfg.update_every = knob(arg, value(arg)?)?,
+            "--update-batch" => cfg.update_batch = knob(arg, value(arg)?)?.max(1) as usize,
             "--no-shutdown" => cfg.shutdown_at_end = false,
             "--json" => json_path = Some(value(arg)?),
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
@@ -96,7 +101,8 @@ fn main() {
             eprintln!(
                 "usage: loadgen ADDR [--conns N] [--qps N] [--duration SECS] [--root-max N] \
                  [--seed N] [--settle-secs N] [--deadline-ticks N] [--retry-max N] \
-                 [--tick-hint-ms N] [--no-shutdown] [--json PATH]"
+                 [--tick-hint-ms N] [--update-every N] [--update-batch N] [--no-shutdown] \
+                 [--json PATH]"
             );
             std::process::exit(2);
         }
@@ -120,6 +126,18 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if report.updates_offered > 0 {
+        eprintln!(
+            "loadgen: updates offered {} committed {} ({} edges) rejected {} final_epoch {} \
+             epoch_regressions {}",
+            report.updates_offered,
+            report.updates_committed,
+            report.update_edges,
+            report.updates_rejected,
+            report.final_epoch,
+            report.epoch_regressions,
+        );
+    }
     eprintln!(
         "loadgen: offered {} ({:.0}/s) accepted {} ({:.0}/s) rejected_full {} served {} \
          retried {} retry_ok {} deadline_exceeded {} p50 {:.1}ms p99 {:.1}ms p999 {:.1}ms",
@@ -139,12 +157,13 @@ fn main() {
     if !report.clean() {
         eprintln!(
             "loadgen: INVARIANT VIOLATION — lost {} dup {} unacked {} protocol_errors {} \
-             write_errors {}",
+             write_errors {} epoch_regressions {}",
             report.lost_replies,
             report.duplicate_replies,
             report.unacked,
             report.protocol_errors,
             report.write_errors,
+            report.epoch_regressions,
         );
         std::process::exit(1);
     }

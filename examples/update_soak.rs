@@ -1,0 +1,383 @@
+//! `update_soak` — the live-mutation artifact: commit seeded edge-insert
+//! batches against a resident graph and prove, with the clock running,
+//! that incremental BFS repair beats full recompute while staying
+//! depth-identical to it — then do it again over TCP under paced query
+//! load with updates interleaved into the stream.
+//!
+//! Two phases, one verdict:
+//!
+//! * **Phase A (in-process)** — build a session, cache full-BFS results
+//!   for a seeded root set, then commit `--rounds` update batches. After
+//!   every commit each cached result is repaired in place
+//!   (`repair_in_place`, seeded by just that batch) and independently
+//!   recomputed from scratch over the same base+delta union adjacency.
+//!   Any depth disagreement is an `equivalence_violation`; the timed
+//!   ratio is `repair_speedup`.
+//! * **Phase B (TCP)** — serve a second session with a seeded
+//!   [`UpdatePlan`] (`SUNBFS_UPDATE_PLAN` grammar, default
+//!   `insert@8:32;insert@24:32`) armed, and drive it with the load
+//!   generator interleaving `{"cmd":"update"}` batches every
+//!   `--update-every` queries. The epoch stamped on every reply must
+//!   never regress on a connection (`torn_reads`), accounting must be
+//!   exactly-once, and the drain must be clean.
+//!
+//! The run prints a schema-v9 `{"schema_version":9,"update_soak":{...}}`
+//! document (tables in `docs/METRICS.md`), optionally written with
+//! `--json PATH`.
+//!
+//! ```text
+//! cargo run --release --example update_soak -- \
+//!     --scale 14 --ranks 4 --rounds 6 --batch 64 --json UPDATE_14.json
+//! ```
+//!
+//! Flags: `--scale N` (14), `--ranks N` (4), `--rounds N` (6),
+//! `--batch N` (64, edges per Phase-A commit), `--roots N` (8, cached
+//! result set), `--seed N` (42), `--qps N` (300), `--duration SECS`
+//! (2), `--update-every N` (16), `--update-batch N` (4),
+//! `--json PATH`. Unknown flags exit 2.
+//!
+//! Exit status: 0 when every gate held — zero equivalence violations,
+//! `repair_speedup >= 1.0`, zero torn reads, committed updates > 0, and
+//! a clean drain — 1 otherwise, so CI can gate on the process status.
+
+use std::time::{Duration, Instant};
+
+use sunbfs::common::{Edge, JsonValue, ToJson};
+use sunbfs::metrics::SCHEMA_VERSION;
+use sunbfs::mutate::{generate_batch, repair_in_place, UnionAdjacency, UpdatePlan};
+use sunbfs::net::FaultPlan;
+use sunbfs::serve::{
+    run_loadgen, BfsService, GraphSession, LoadgenConfig, LoadgenReport, NetConfig, ServeConfig,
+    SessionConfig,
+};
+
+struct Cli {
+    scale: u32,
+    ranks: usize,
+    rounds: u64,
+    batch: u64,
+    roots: usize,
+    seed: u64,
+    qps: u64,
+    duration: Duration,
+    update_every: u64,
+    update_batch: usize,
+    json_path: Option<String>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: 14,
+            ranks: 4,
+            rounds: 6,
+            batch: 64,
+            roots: 8,
+            seed: 42,
+            qps: 300,
+            duration: Duration::from_secs(2),
+            update_every: 16,
+            update_batch: 4,
+            json_path: None,
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .map(String::from)
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        let knob = |name: &str, raw: String| -> Result<u64, String> {
+            raw.parse::<u64>()
+                .map_err(|_| format!("flag {name} needs an unsigned integer, got {raw:?}"))
+        };
+        match arg.as_str() {
+            "--scale" => cli.scale = knob(arg, value(arg)?)? as u32,
+            "--ranks" => cli.ranks = knob(arg, value(arg)?)?.max(1) as usize,
+            "--rounds" => cli.rounds = knob(arg, value(arg)?)?.max(1),
+            "--batch" => cli.batch = knob(arg, value(arg)?)?.max(1),
+            "--roots" => cli.roots = knob(arg, value(arg)?)?.max(1) as usize,
+            "--seed" => cli.seed = knob(arg, value(arg)?)?,
+            "--qps" => cli.qps = knob(arg, value(arg)?)?.max(1),
+            "--duration" => cli.duration = Duration::from_secs(knob(arg, value(arg)?)?),
+            "--update-every" => cli.update_every = knob(arg, value(arg)?)?,
+            "--update-batch" => cli.update_batch = knob(arg, value(arg)?)?.max(1) as usize,
+            "--json" => cli.json_path = Some(value(arg)?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// One cached BFS result, repaired forward round after round.
+struct Cached {
+    root: u64,
+    parents: Vec<u64>,
+    depths: Vec<u64>,
+}
+
+/// What Phase A measured.
+#[derive(Default)]
+struct PhaseA {
+    updates_applied: u64,
+    update_edges: u64,
+    final_epoch: u64,
+    compactions: u64,
+    repair_ms: f64,
+    recompute_ms: f64,
+    repaired_roots: u64,
+    repaired_vertices: u64,
+    equivalence_violations: u64,
+    apply_seconds: f64,
+}
+
+impl PhaseA {
+    fn repair_speedup(&self) -> f64 {
+        self.recompute_ms / self.repair_ms.max(1e-6)
+    }
+
+    fn updates_per_sec(&self) -> f64 {
+        self.updates_applied as f64 / self.apply_seconds.max(1e-9)
+    }
+
+    fn edges_per_sec(&self) -> f64 {
+        self.update_edges as f64 / self.apply_seconds.max(1e-9)
+    }
+}
+
+/// Commit `rounds` seeded batches against a fresh session, repairing
+/// the cached root results after every commit and checking each one
+/// depth-identical against a full recompute over the same union view.
+fn run_phase_a(cli: &Cli) -> Result<PhaseA, String> {
+    let cfg = SessionConfig::small(cli.scale, cli.ranks);
+    let mut session =
+        GraphSession::load(cfg, FaultPlan::none()).map_err(|e| format!("session load: {e}"))?;
+    let n = session.num_vertices();
+    let mut rng = sunbfs::common::SplitMix64::new(cli.seed ^ 0xA5A5_5A5A);
+    let mut cache: Vec<Cached> = (0..cli.roots)
+        .map(|_| {
+            let root = rng.next_below(n);
+            let adj = UnionAdjacency::new(session.partitions(), session.deltas());
+            let (parents, depths) = adj.full_bfs(root);
+            Cached {
+                root,
+                parents,
+                depths,
+            }
+        })
+        .collect();
+
+    let mut out = PhaseA::default();
+    for round in 0..cli.rounds {
+        let batch: Vec<Edge> = generate_batch(cli.seed, round, cli.batch, n);
+        let t0 = Instant::now();
+        session
+            .apply_updates(&batch)
+            .map_err(|e| format!("apply round {round}: {e}"))?;
+        out.apply_seconds += t0.elapsed().as_secs_f64();
+        out.updates_applied += 1;
+        out.update_edges += batch.len() as u64;
+
+        // The union view after this commit — identical whether the
+        // round's edges still sit in the delta or a promotion /
+        // threshold trigger already compacted them into the base.
+        let adj = UnionAdjacency::new(session.partitions(), session.deltas());
+        for c in cache.iter_mut() {
+            let t0 = Instant::now();
+            let stats = repair_in_place(&adj, &batch, &mut c.parents, &mut c.depths);
+            out.repair_ms += t0.elapsed().as_secs_f64() * 1e3;
+            out.repaired_roots += 1;
+            out.repaired_vertices += stats.improved;
+
+            let t0 = Instant::now();
+            let (_, fresh_depths) = adj.full_bfs(c.root);
+            out.recompute_ms += t0.elapsed().as_secs_f64() * 1e3;
+            if c.depths != fresh_depths {
+                out.equivalence_violations += 1;
+                eprintln!(
+                    "update_soak: EQUIVALENCE VIOLATION root {} round {round}",
+                    c.root
+                );
+            }
+        }
+    }
+    out.final_epoch = session.epoch();
+    out.compactions = session.compactions();
+    Ok(out)
+}
+
+/// What Phase B observed: the client view plus the server outcome.
+struct PhaseB {
+    load: LoadgenReport,
+    serve_json: JsonValue,
+    plan_events: u64,
+    server_panicked: bool,
+}
+
+/// Serve a session with a seeded update plan armed and drive it with
+/// update-interleaved load over TCP, then drain gracefully.
+fn run_phase_b(cli: &Cli) -> Result<PhaseB, String> {
+    let plan = UpdatePlan::from_env()
+        .map_err(|e| format!("bad SUNBFS_UPDATE_PLAN: {e}"))?
+        .unwrap_or_else(|| {
+            UpdatePlan::parse("insert@8:32;insert@24:32").expect("default plan parses")
+        });
+    let plan_events = plan.events().len() as u64;
+    let cfg = SessionConfig::small(cli.scale, cli.ranks);
+    let session =
+        GraphSession::load(cfg, FaultPlan::none()).map_err(|e| format!("session load: {e}"))?;
+    let n = session.num_vertices();
+    let svc = BfsService::new(session, ServeConfig::default()).with_update_plan(plan);
+    let net = NetConfig {
+        tick_interval: Duration::from_millis(2),
+        ..NetConfig::default()
+    };
+    let server =
+        sunbfs::serve::serve(svc, "127.0.0.1:0", net).map_err(|e| format!("bind: {e}"))?;
+    let load_cfg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        qps: cli.qps,
+        duration: cli.duration,
+        root_max: n,
+        seed: cli.seed,
+        update_every: cli.update_every,
+        update_batch: cli.update_batch,
+        shutdown_at_end: true,
+        ..LoadgenConfig::default()
+    };
+    let load = run_loadgen(&load_cfg).map_err(|e| format!("loadgen: {e}"))?;
+    let outcome = server.join();
+    let serve_json = match &outcome.service {
+        Some(svc) => svc.report().to_summary_json(),
+        None => JsonValue::Null,
+    };
+    Ok(PhaseB {
+        load,
+        serve_json,
+        plan_events,
+        server_panicked: outcome.panicked(),
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("update_soak: {msg}");
+            eprintln!(
+                "usage: update_soak [--scale N] [--ranks N] [--rounds N] [--batch N] \
+                 [--roots N] [--seed N] [--qps N] [--duration SECS] [--update-every N] \
+                 [--update-batch N] [--json PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "update_soak: scale {} ranks {} — phase A: {} rounds x {} edges over {} roots",
+        cli.scale, cli.ranks, cli.rounds, cli.batch, cli.roots
+    );
+    let a = match run_phase_a(&cli) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("update_soak: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "update_soak: phase A — epoch {} compactions {} repair {:.2}ms recompute {:.2}ms \
+         speedup {:.1}x {:.0} updates/s violations {}",
+        a.final_epoch,
+        a.compactions,
+        a.repair_ms,
+        a.recompute_ms,
+        a.repair_speedup(),
+        a.updates_per_sec(),
+        a.equivalence_violations,
+    );
+    eprintln!(
+        "update_soak: phase B — qps {} for {:?}, one update per {} queries per connection",
+        cli.qps, cli.duration, cli.update_every
+    );
+    let b = match run_phase_b(&cli) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("update_soak: {e}");
+            std::process::exit(1);
+        }
+    };
+    let torn_reads = b.load.epoch_regressions;
+    let clean_drain = b.load.clean() && !b.server_panicked;
+    let passed = a.equivalence_violations == 0
+        && a.repair_speedup() >= 1.0
+        && torn_reads == 0
+        && clean_drain
+        && b.load.updates_committed > 0;
+    let artifact = JsonValue::object()
+        .field("schema_version", SCHEMA_VERSION)
+        .field(
+            "update_soak",
+            JsonValue::object()
+                .field("scale", u64::from(cli.scale))
+                .field("ranks", cli.ranks as u64)
+                .field("rounds", cli.rounds)
+                .field("batch_edges", cli.batch)
+                .field("roots", cli.roots as u64)
+                .field("seed", cli.seed)
+                .field("updates_applied", a.updates_applied)
+                .field("update_edges", a.update_edges)
+                .field("final_epoch", a.final_epoch)
+                .field("compactions", a.compactions)
+                .field("repair_ms", a.repair_ms)
+                .field("recompute_ms", a.recompute_ms)
+                .field("repair_speedup", a.repair_speedup())
+                .field("updates_per_sec", a.updates_per_sec())
+                .field("edges_per_sec", a.edges_per_sec())
+                .field("repaired_roots", a.repaired_roots)
+                .field("repaired_vertices", a.repaired_vertices)
+                .field("equivalence_violations", a.equivalence_violations)
+                .field("plan_events", b.plan_events)
+                .field("torn_reads", torn_reads)
+                .field("clean_drain", clean_drain)
+                .field("passed", passed)
+                .field("load", b.load.to_json())
+                .field("serve", b.serve_json)
+                .build(),
+        )
+        .build();
+    let rendered = artifact.render_pretty();
+    println!("{rendered}");
+    if let Some(path) = &cli.json_path {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("update_soak: writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "update_soak: phase B — committed {} ({} edges) rejected {} final_epoch {} \
+         torn_reads {} clean {}",
+        b.load.updates_committed,
+        b.load.update_edges,
+        b.load.updates_rejected,
+        b.load.final_epoch,
+        torn_reads,
+        clean_drain,
+    );
+    if !passed {
+        eprintln!(
+            "update_soak: GATE FAILURE — violations {} speedup {:.2} torn_reads {} \
+             clean_drain {} committed {}",
+            a.equivalence_violations,
+            a.repair_speedup(),
+            torn_reads,
+            clean_drain,
+            b.load.updates_committed,
+        );
+        std::process::exit(1);
+    }
+}

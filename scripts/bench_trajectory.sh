@@ -47,7 +47,7 @@ BENCH_JSON="$(ls BENCH_"$SCALE"_*.json | head -1)"
 echo "    wrote $BENCH_JSON"
 
 # --- smoke: wall section present and sane -----------------------------
-grep -Eq '"schema_version": *8' "$BENCH_JSON"
+grep -Eq '"schema_version": *9' "$BENCH_JSON"
 grep -q '"wall":' "$BENCH_JSON"
 grep -q '"available_parallelism":' "$BENCH_JSON"
 grep -Eq '"workers": *'"$WORKERS" "$BENCH_JSON"

@@ -46,7 +46,7 @@ SUNBFS_FAULT_PLAN="corrupt@1:3:bitflip" timeout 300 \
     cargo run -q --release --example graph500_runner -- 9 4 256 64 1 --json "$SMOKE_JSON" \
     > /dev/null
 grep -Eq '"retransmits": *[1-9]' "$SMOKE_JSON"
-grep -Eq '"schema_version": *8' "$SMOKE_JSON"
+grep -Eq '"schema_version": *9' "$SMOKE_JSON"
 rm -f "$SMOKE_JSON"
 
 # Serve suite: admission control, batch formation, fault containment,
@@ -77,7 +77,7 @@ timeout 600 cargo run -q --release --example graph500_runner -- 14 16 256 64 2 \
     --json "$WARM_JSON" --load-graph "$STORE_FILE" > /dev/null
 grep -Eq '"saved": *true' "$COLD_JSON"
 grep -Eq '"opened": *true' "$WARM_JSON"
-grep -Eq '"schema_version": *8' "$WARM_JSON"
+grep -Eq '"schema_version": *9' "$WARM_JSON"
 COLD_S=$(grep -o '"cold_build_wall_seconds": *[0-9.e-]*' "$COLD_JSON" | grep -o '[0-9.e-]*$')
 WARM_S=$(grep -o '"warm_open_wall_seconds": *[0-9.e-]*' "$WARM_JSON" | grep -o '[0-9.e-]*$')
 awk -v cold="$COLD_S" -v warm="$WARM_S" \
@@ -132,7 +132,7 @@ rm -f "$SERVER_STORE" "$FIRST_OUT" "$SECOND_OUT"
 # well beyond what a capacity-16 queue admits at SCALE 14, so the run
 # must produce queue-full rejections while keeping every accounting
 # invariant (loadgen exits nonzero on any lost/duplicated/unacked/
-# malformed reply), emit the committed schema-v8 serve_load artifact,
+# malformed reply), emit the committed schema-v9 serve_load artifact,
 # and the server must drain cleanly on shutdown with zero dropped
 # results. Both binaries are prebuilt so the two processes never race
 # for the cargo target-dir lock.
@@ -153,7 +153,7 @@ timeout 300 ./target/release/examples/loadgen "$TCP_ADDR" \
     --conns 4 --qps 400 --duration 4 --root-max 16384 --seed 42 \
     --json SERVE_LOAD_14.json > /dev/null
 wait "$TCP_SERVER_PID"
-grep -Eq '"schema_version": *8' SERVE_LOAD_14.json
+grep -Eq '"schema_version": *9' SERVE_LOAD_14.json
 grep -Eq '"protocol_errors": *0' SERVE_LOAD_14.json
 grep -Eq '"lost_replies": *0' SERVE_LOAD_14.json
 grep -Eq '"duplicate_replies": *0' SERVE_LOAD_14.json
@@ -169,7 +169,7 @@ rm -f "$TCP_LOG"
 # hint-honoring retries) stay connected; a side connection polls the
 # `health` state machine. The soak must end with zero protocol losses,
 # availability at or above the gate, the service recovered to healthy
-# within the tick budget, and the committed schema-v8 serve_chaos
+# within the tick budget, and the committed schema-v9 serve_chaos
 # artifact well-formed (chaos_soak exits nonzero on any gate failure).
 echo "==> chaos soak smoke (SCALE 14, hard timeout)"
 cargo build -q --release --example chaos_soak
@@ -177,13 +177,34 @@ timeout 600 ./target/release/examples/chaos_soak \
     --scale 14 --ranks 8 --conns 4 --qps 300 --duration 4 --seed 42 \
     --chaos-every 48 --chaos-max-events 4 --deadline-ticks 400 --retry-max 3 \
     --availability-gate 0.90 --json SERVE_CHAOS_14.json > /dev/null
-grep -Eq '"schema_version": *8' SERVE_CHAOS_14.json
+grep -Eq '"schema_version": *9' SERVE_CHAOS_14.json
 grep -Eq '"passed": *true' SERVE_CHAOS_14.json
 grep -Eq '"recovered": *true' SERVE_CHAOS_14.json
 grep -Eq '"final_health": *"healthy"' SERVE_CHAOS_14.json
 grep -Eq '"protocol_errors": *0' SERVE_CHAOS_14.json
 grep -Eq '"lost_replies": *0' SERVE_CHAOS_14.json
 grep -Eq '"chaos_injected": *[1-9]' SERVE_CHAOS_14.json
+
+# Update soak: live graph mutations against the SCALE-14 serving path.
+# Phase A commits seeded edge-insert batches and proves incremental BFS
+# repair depth-identical to — and at least as fast as — a full
+# recompute over the same union adjacency; phase B interleaves wire
+# `update` batches into paced TCP load with a seeded update plan armed,
+# and the epoch stamped on every reply must never regress on a
+# connection (the torn-read proxy) through a clean drain. update_soak
+# exits nonzero on any gate failure and regenerates the committed
+# schema-v9 UPDATE_14.json artifact.
+echo "==> update soak smoke (SCALE 14, hard timeout)"
+cargo build -q --release --example update_soak
+timeout 600 ./target/release/examples/update_soak \
+    --scale 14 --ranks 4 --rounds 6 --batch 64 --seed 42 \
+    --json UPDATE_14.json > /dev/null
+grep -Eq '"schema_version": *9' UPDATE_14.json
+grep -Eq '"passed": *true' UPDATE_14.json
+grep -Eq '"equivalence_violations": *0' UPDATE_14.json
+grep -Eq '"torn_reads": *0' UPDATE_14.json
+grep -Eq '"clean_drain": *true' UPDATE_14.json
+grep -Eq '"updates_committed": *[1-9]' UPDATE_14.json
 
 # Perf trajectory: regenerate the committed BENCH_<scale>_<rows>x<cols>
 # artifact and smoke-check the schema-v7 wall-clock section plus the

@@ -23,6 +23,9 @@
 //! * [`store`] — the persistent partition store: a paged, checksummed
 //!   on-disk format so a restart opens the graph file instead of
 //!   regenerating and repartitioning it (`docs/STORE.md`),
+//! * [`mutate`] — live graph mutations: the per-rank delta overlay,
+//!   epoch-versioned edge-insert batches, incremental BFS repair, and
+//!   delta-into-base compaction (`docs/UPDATES.md`),
 //! * [`serve`] — the BFS query service: a session-persistent partition
 //!   behind a bounded admission queue with multi-source batching,
 //! * [`driver`] — the end-to-end Graph 500 benchmark pipeline
@@ -44,6 +47,7 @@ pub mod metrics;
 pub use sunbfs_common as common;
 pub use sunbfs_core as core;
 pub use sunbfs_framework as framework;
+pub use sunbfs_mutate as mutate;
 pub use sunbfs_net as net;
 pub use sunbfs_part as part;
 pub use sunbfs_rmat as rmat;

@@ -69,7 +69,21 @@ use crate::driver::{
 /// recovery episodes and worst recovery time in ticks, the observed
 /// health-state sequence, and the nested load/serve/net views).
 /// The `BenchmarkReport` shape itself is unchanged from v6.
-pub const SCHEMA_VERSION: u64 = 8;
+///
+/// v9: live graph mutations. The `serve` section gained the update
+/// counters (`updates_applied`, `update_edges`, `updates_failed`,
+/// `epoch`, `compactions`, `repaired_queries`, `repaired_vertices`);
+/// `serve_load` gained the client-side update view
+/// (`updates_offered`, `updates_committed`, `update_edges`,
+/// `updates_rejected`, `epoch_regressions`, `final_epoch`); the `net`
+/// transport summary gained `updates_committed` / `update_edges` /
+/// `updates_rejected` / `final_epoch`; and the `update_soak` artifact
+/// family was added — the live-mutation record `update_soak` emits
+/// (`{"schema_version":9,"update_soak":{...}}`: repair-vs-recompute
+/// speedup, updates/sec, the equivalence verdict, and the nested
+/// `serve_load` view of the mutating TCP phase).
+/// The `BenchmarkReport` shape itself is unchanged from v6.
+pub const SCHEMA_VERSION: u64 = 9;
 
 /// Ratio bin edges of the partition load-balance histogram: each rank's
 /// `total / mean` storage falls into one bin; the last bin is open.
