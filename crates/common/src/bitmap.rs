@@ -8,6 +8,8 @@
 //! bulk OR, population count, iteration over set bits, and in-place
 //! difference.
 
+pub mod wide;
+
 /// A fixed-capacity dense bit vector.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Bitmap {
@@ -72,7 +74,7 @@ impl Bitmap {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> u64 {
-        self.words.iter().map(|w| w.count_ones() as u64).sum()
+        wide::count_ones(&self.words)
     }
 
     /// True when no bit is set.
@@ -86,27 +88,19 @@ impl Bitmap {
     /// Panics when lengths differ.
     pub fn or_assign(&mut self, other: &Bitmap) {
         assert_eq!(self.bits, other.bits, "bitmap length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        wide::or_assign(&mut self.words, &other.words);
     }
 
     /// Bitwise AND-NOT: remove from `self` every bit set in `other`.
     pub fn and_not_assign(&mut self, other: &Bitmap) {
         assert_eq!(self.bits, other.bits, "bitmap length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        wide::and_not_assign(&mut self.words, &other.words);
     }
 
     /// Count bits set in `self` but not in `other` (`|self \ other|`).
     pub fn count_and_not(&self, other: &Bitmap) -> u64 {
         assert_eq!(self.bits, other.bits, "bitmap length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones() as u64)
-            .sum()
+        wide::and_not_count(&self.words, &other.words)
     }
 
     /// Count set bits within `[start, end)`.

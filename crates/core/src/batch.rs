@@ -34,13 +34,16 @@
 //! scaled by the batch width — i.e. the decision uses the mean frontier
 //! density across the batch's roots.
 
+use sunbfs_common::bitmap::wide;
 use sunbfs_common::{pool, JsonValue, PoolStats, TimeAccumulator, ToJson, INVALID_VERTEX};
 use sunbfs_net::{CommStats, RankCtx, Scope};
 use sunbfs_part::RankPartition;
 use sunbfs_sunway::{ocs_sort_rma, OcsConfig, SegmentedBitvec};
 
 use crate::balance;
-use crate::config::{choose_crossing, choose_local, Direction, EngineConfig};
+use crate::config::{
+    choose_crossing, choose_local, choose_measured, Direction, DirectionHeuristic, EngineConfig,
+};
 use crate::costing;
 use crate::engine::{
     hub_sync_collective, range_bucket, EngineError, MAX_ITERATIONS, SCAN_GRAIN_ITEMS,
@@ -214,6 +217,14 @@ struct BatchEngine<'a> {
     scanned: u64,
     pool: PoolStats,
     iter: u32,
+    // Measured-heuristic state (all zeros / Push under Fixed). Batch
+    // masses count `(vertex, root)` pairs weighted by degree — degree ×
+    // popcount of the frontier word — against ×nb-scaled totals, the
+    // same mean-across-the-batch lift as the count heuristics.
+    class_mass_total: [u64; 3],
+    frontier_mass: [u64; 3],
+    visited_mass: [u64; 3],
+    prev_dirs: [Direction; 6],
 }
 
 impl<'a> BatchEngine<'a> {
@@ -229,19 +240,34 @@ impl<'a> BatchEngine<'a> {
             .enumerate()
             .filter(|(i, &d)| d > 0 && dir.hub_id(range.start + *i as u64).is_none())
             .count() as u64;
-        let totals = ctx.allreduce_with(
-            Scope::World,
-            "heur.totals",
-            vec![
-                local_l_connected,
-                part.stats.e2l,
-                part.stats.h2l,
-                part.stats.l2h,
-                part.stats.l2l,
-            ],
-            None,
-            |a, b| *a += b,
-        );
+        // Same payload rule as the single-source engine: the measured
+        // heuristic appends its three per-class degree-mass totals, the
+        // fixed mode's payload stays at five entries.
+        let mut payload = vec![
+            local_l_connected,
+            part.stats.e2l,
+            part.stats.h2l,
+            part.stats.l2h,
+            part.stats.l2l,
+        ];
+        if cfg.heuristic == DirectionHeuristic::Measured {
+            let num_e = dir.num_e();
+            let mut class_mass = [0u64; 3];
+            for (i, &d) in part.owned_degrees.iter().enumerate() {
+                match dir.hub_id(range.start + i as u64) {
+                    Some(h) if h < num_e => class_mass[0] += d as u64,
+                    Some(_) => class_mass[1] += d as u64,
+                    None if d > 0 => class_mass[2] += d as u64,
+                    None => {}
+                }
+            }
+            payload.extend(class_mass);
+        }
+        let totals = ctx.allreduce_with(Scope::World, "heur.totals", payload, None, |a, b| *a += b);
+        let class_mass_total = match totals.get(5..8) {
+            Some(m) => [m[0], m[1], m[2]],
+            None => [0; 3],
+        };
         BatchEngine {
             part,
             cfg,
@@ -272,7 +298,47 @@ impl<'a> BatchEngine<'a> {
             scanned: 0,
             pool: PoolStats::default(),
             iter: 0,
+            class_mass_total,
+            frontier_mass: [0; 3],
+            visited_mass: [0; 3],
+            prev_dirs: [Direction::Push; 6],
         }
+    }
+
+    /// True when the measured-degree decision family is in force.
+    #[inline]
+    fn measured(&self) -> bool {
+        self.cfg.heuristic == DirectionHeuristic::Measured
+    }
+
+    /// This rank's contribution to the class-split frontier pair mass:
+    /// degree × popcount of each *owned* frontier word, split E/H/L.
+    fn local_frontier_mass(&self, hub_words: &[u64], l_words: &[u64]) -> [u64; 3] {
+        let dir = &self.part.directory;
+        let range = self.part.owned_range();
+        let num_e = dir.num_e() as usize;
+        let mut mass = [0u64; 3];
+        wide::for_each_nonzero_word(hub_words, 0, hub_words.len(), |h, w| {
+            let v = dir.vertex_of(h as u32);
+            if range.contains(&v) {
+                let d = self.part.owned_degrees[(v - range.start) as usize] as u64;
+                mass[if h < num_e { 0 } else { 1 }] += d * w.count_ones() as u64;
+            }
+        });
+        wide::for_each_nonzero_word(l_words, 0, l_words.len(), |li, w| {
+            mass[2] += self.part.owned_degrees[li] as u64 * w.count_ones() as u64;
+        });
+        mass
+    }
+
+    /// This rank's pair mass of seen owned L slots (the measured counter
+    /// piggybacked on the L2E hub sync).
+    fn local_l_seen_mass(&self) -> u64 {
+        let mut m = 0u64;
+        wide::for_each_nonzero_word(&self.l_seen, 0, self.l_seen.len(), |li, w| {
+            m += self.part.owned_degrees[li] as u64 * w.count_ones() as u64;
+        });
+        m
     }
 
     fn run(mut self, ctx: &mut RankCtx, roots: &[u64]) -> Result<BatchOutput, EngineError> {
@@ -335,27 +401,59 @@ impl<'a> BatchEngine<'a> {
             self.scanned = 0;
             self.pool = PoolStats::default();
             self.eh2eh(ctx, dirs[0]);
-            self.sync_hubs(ctx, "EH2EH", None);
+            self.sync_hubs(ctx, "EH2EH", &[0]);
             self.e2l(ctx, dirs[1]);
             self.l2e(ctx, dirs[2]);
-            let refreshed = self.sync_hubs(ctx, "L2E", Some(popcount_sum(&self.l_seen)));
+            // Measured mode piggybacks the seen pair mass next to the
+            // seen pair count — same collective, one extra u64.
+            let l2e_counters = if self.measured() {
+                vec![popcount_sum(&self.l_seen), self.local_l_seen_mass()]
+            } else {
+                vec![popcount_sum(&self.l_seen)]
+            };
+            let refreshed = self.sync_hubs(ctx, "L2E", &l2e_counters);
 
             let (d_h2l, d_l2l) = if self.cfg.sub_iteration {
-                visited_l = refreshed.unwrap_or_else(|| {
-                    ctx.allreduce_sum(Scope::World, "heur.counts", popcount_sum(&self.l_seen))
+                let counts = refreshed.unwrap_or_else(|| {
+                    ctx.allreduce_with(Scope::World, "heur.counts", l2e_counters, None, |a, b| {
+                        *a += b
+                    })
                 });
+                visited_l = counts[0];
                 let total_l = self.total_l_connected * nb as u64;
                 let unvisited_l = total_l.saturating_sub(visited_l);
-                (
-                    choose_crossing(
-                        &self.cfg,
-                        st.active_h,
-                        dir.num_h() as u64 * nb as u64,
-                        unvisited_l,
-                        total_l,
-                    ),
-                    choose_crossing(&self.cfg, st.active_l, total_l, unvisited_l, total_l),
-                )
+                if self.measured() {
+                    let um_l = (self.class_mass_total[2] * nb as u64).saturating_sub(counts[1]);
+                    (
+                        choose_measured(
+                            &self.cfg,
+                            self.prev_dirs[3],
+                            self.frontier_mass[1],
+                            um_l,
+                            st.active_h,
+                            dir.num_h() as u64 * nb as u64,
+                        ),
+                        choose_measured(
+                            &self.cfg,
+                            self.prev_dirs[5],
+                            self.frontier_mass[2],
+                            um_l,
+                            st.active_l,
+                            total_l,
+                        ),
+                    )
+                } else {
+                    (
+                        choose_crossing(
+                            &self.cfg,
+                            st.active_h,
+                            dir.num_h() as u64 * nb as u64,
+                            unvisited_l,
+                            total_l,
+                        ),
+                        choose_crossing(&self.cfg, st.active_l, total_l, unvisited_l, total_l),
+                    )
+                }
             } else {
                 (dirs[3], dirs[5])
             };
@@ -365,7 +463,7 @@ impl<'a> BatchEngine<'a> {
 
             self.h2l(ctx, d_h2l);
             self.l2h(ctx, dirs[4]);
-            self.sync_hubs(ctx, "L2H", None);
+            self.sync_hubs(ctx, "L2H", &[0]);
             self.l2l(ctx, d_l2l);
 
             st.directions = final_dirs;
@@ -373,17 +471,25 @@ impl<'a> BatchEngine<'a> {
             st.pool = self.pool;
 
             // ---- closing allreduce: next/visited L pair counts;
-            // doubles as the termination check ----
-            let counts = ctx.allreduce_with(
-                Scope::World,
-                "heur.counts",
-                vec![popcount_sum(&self.l_next), popcount_sum(&self.l_seen)],
-                None,
-                |a, b| *a += b,
-            );
+            // doubles as the termination check. Measured mode rides the
+            // next frontier's three class pair masses on the same
+            // payload. ----
+            let mut payload = vec![popcount_sum(&self.l_next), popcount_sum(&self.l_seen)];
+            if self.measured() {
+                payload.extend(self.local_frontier_mass(&self.hub_next, &self.l_next));
+            }
+            let counts =
+                ctx.allreduce_with(Scope::World, "heur.counts", payload, None, |a, b| *a += b);
             st.newly_l = counts[0];
             active_l = counts[0];
             visited_l = counts[1];
+            if let Some(m) = counts.get(2..5) {
+                self.frontier_mass = [m[0], m[1], m[2]];
+                for (vm, fm) in self.visited_mass.iter_mut().zip(self.frontier_mass) {
+                    *vm += fm;
+                }
+            }
+            self.prev_dirs = final_dirs;
 
             std::mem::swap(&mut self.hub_curr, &mut self.hub_next);
             self.hub_next.iter_mut().for_each(|w| *w = 0);
@@ -461,14 +567,52 @@ impl<'a> BatchEngine<'a> {
 
     /// Per-batch direction choices: pair counts against batch-scaled
     /// denominators — the single decision every root in the batch rides.
+    /// Under the measured heuristic the pair *masses* (degree-weighted)
+    /// replace the pair counts, against ×nb-scaled mass totals.
     fn select_directions(&self, st: &BatchIterationStats, visited_l: u64) -> [Direction; 6] {
         let dir = &self.part.directory;
         let cfg = &self.cfg;
         let nb = self.nb as u64;
         let total_l = self.total_l_connected * nb;
+        let num_e = dir.num_e() as u64 * nb;
+        let num_h = dir.num_h() as u64 * nb;
+        let nhubs = num_e + num_h;
+        if self.measured() {
+            let fm = self.frontier_mass;
+            let um = [
+                (self.class_mass_total[0] * nb).saturating_sub(self.visited_mass[0]),
+                (self.class_mass_total[1] * nb).saturating_sub(self.visited_mass[1]),
+                (self.class_mass_total[2] * nb).saturating_sub(self.visited_mass[2]),
+            ];
+            if !cfg.sub_iteration {
+                let m_f = fm[0] + fm[1] + fm[2];
+                let m_u = um[0] + um[1] + um[2];
+                let active = st.active_e + st.active_h + st.active_l;
+                let d = choose_measured(cfg, self.prev_dirs[0], m_f, m_u, active, nhubs + total_l);
+                return [d; 6];
+            }
+            let pairs = [
+                (
+                    fm[0] + fm[1],
+                    um[0] + um[1],
+                    st.active_e + st.active_h,
+                    nhubs,
+                ),
+                (fm[0], um[2], st.active_e, num_e),
+                (fm[2], um[0], st.active_l, total_l),
+                (fm[1], um[2], st.active_h, num_h),
+                (fm[2], um[1], st.active_l, total_l),
+                (fm[2], um[2], st.active_l, total_l),
+            ];
+            let mut dirs = [Direction::Push; 6];
+            for (i, &(m_f, m_u, active, total)) in pairs.iter().enumerate() {
+                dirs[i] = choose_measured(cfg, self.prev_dirs[i], m_f, m_u, active, total);
+            }
+            return dirs;
+        }
         if !cfg.sub_iteration {
             let active = st.active_e + st.active_h + st.active_l;
-            let total = dir.num_hubs() as u64 * nb + total_l;
+            let total = nhubs + total_l;
             let d = if total > 0 && active as f64 / total as f64 > cfg.vanilla_alpha {
                 Direction::Pull
             } else {
@@ -476,9 +620,6 @@ impl<'a> BatchEngine<'a> {
             };
             return [d; 6];
         }
-        let num_e = dir.num_e() as u64 * nb;
-        let num_h = dir.num_h() as u64 * nb;
-        let nhubs = num_e + num_h;
         let unvisited_l = total_l.saturating_sub(visited_l);
         let seen_h = popcount_sum(&self.hub_seen[dir.num_e() as usize..]);
         let unvisited_h = num_h - seen_h;
@@ -498,29 +639,32 @@ impl<'a> BatchEngine<'a> {
     /// Newly global bits get their depth stamped here — every rank runs
     /// this at the same iteration, so depths stay replicated without a
     /// reduction of their own.
-    fn sync_hubs(&mut self, ctx: &mut RankCtx, tag: &str, local_count: Option<u64>) -> Option<u64> {
+    fn sync_hubs(&mut self, ctx: &mut RankCtx, tag: &str, counters: &[u64]) -> Option<Vec<u64>> {
         if self.hub_update.is_empty() {
             return None;
         }
         let op = format!("hubsync.{tag}");
-        let (words, count) =
-            hub_sync_collective(ctx, &op, &self.hub_update, local_count.unwrap_or(0));
+        let (words, counts) = hub_sync_collective(ctx, &op, &self.hub_update, counters);
         let nb = self.nb;
-        for (h, &global) in words.iter().enumerate() {
-            let newly = global & !self.hub_seen[h];
-            if newly != 0 {
-                self.hub_next[h] |= newly;
-                let mut bits = newly;
-                while bits != 0 {
-                    let b = bits.trailing_zeros() as usize;
-                    self.hub_depth[h * nb + b] = self.iter;
-                    bits &= bits - 1;
-                }
+        let iter = self.iter;
+        // The `new = global & !seen` discovery advance block-skips
+        // all-stale 4-word regions; only hubs with fresh bits pay the
+        // per-bit depth stamping.
+        let hub_seen = &self.hub_seen;
+        let hub_next = &mut self.hub_next;
+        let hub_depth = &mut self.hub_depth;
+        wide::for_each_and_not(&words, hub_seen, 0, words.len(), |h, newly| {
+            hub_next[h] |= newly;
+            let mut bits = newly;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                hub_depth[h * nb + b] = iter;
+                bits &= bits - 1;
             }
-            self.hub_seen[h] |= global;
-            self.hub_update[h] = 0;
-        }
-        local_count.map(|_| count)
+        });
+        wide::or_assign(&mut self.hub_seen, &words);
+        self.hub_update.iter_mut().for_each(|w| *w = 0);
+        Some(counts)
     }
 
     #[inline]
@@ -1254,10 +1398,10 @@ impl<'a> BatchEngine<'a> {
     }
 }
 
-/// Sum of set bits across a word slice.
+/// Sum of set bits across a word slice (4-word-unrolled wide kernel).
 #[inline]
 fn popcount_sum(words: &[u64]) -> u64 {
-    words.iter().map(|w| w.count_ones() as u64).sum()
+    wide::count_ones(words)
 }
 
 #[cfg(test)]

@@ -35,12 +35,14 @@ use std::sync::Mutex;
 use sunbfs_common::{Bitmap, TimeAccumulator};
 use sunbfs_net::{fnv1a, CommStats};
 
+use crate::config::Direction;
 use crate::stats::IterationStats;
 
 /// Envelope magic: "SBFSCKPT" little-endian.
 const MAGIC: u64 = u64::from_le_bytes(*b"SBFSCKPT");
-/// Envelope layout version.
-const VERSION: u64 = 1;
+/// Envelope layout version (v2 added the measured-heuristic masses and
+/// the per-component direction hysteresis word).
+const VERSION: u64 = 2;
 
 /// One rank's complete BFS loop state after a finished iteration.
 ///
@@ -70,6 +72,38 @@ pub struct CheckpointState {
     pub l_visited: Bitmap,
     /// Owner-local L parents.
     pub l_parent: Vec<u64>,
+    /// Measured-heuristic frontier degree masses per class (E, H, L) —
+    /// global sums; zeros under the fixed heuristic.
+    pub frontier_mass: [u64; 3],
+    /// Measured-heuristic accumulated visited degree masses per class
+    /// (E, H, L); zeros under the fixed heuristic.
+    pub visited_mass: [u64; 3],
+    /// Previous per-component directions, the measured heuristic's
+    /// hysteresis state ([`crate::config::Component::ALL`] order).
+    pub prev_dirs: [Direction; 6],
+}
+
+/// Pack the hysteresis directions into one `u64` (bit `i` = pull).
+fn pack_dirs(dirs: &[Direction; 6]) -> u64 {
+    dirs.iter()
+        .enumerate()
+        .map(|(i, d)| ((*d == Direction::Pull) as u64) << i)
+        .sum()
+}
+
+/// Inverse of [`pack_dirs`]; `None` when bits past the six are set
+/// (corrupt despite a valid checksum shape).
+fn unpack_dirs(word: u64) -> Option<[Direction; 6]> {
+    if word >> 6 != 0 {
+        return None;
+    }
+    let mut dirs = [Direction::Push; 6];
+    for (i, d) in dirs.iter_mut().enumerate() {
+        if word >> i & 1 == 1 {
+            *d = Direction::Pull;
+        }
+    }
+    Some(dirs)
 }
 
 impl CheckpointState {
@@ -83,6 +117,13 @@ impl CheckpointState {
             self.active_l,
             self.visited_l,
             self.sim_seconds.to_bits(),
+            self.frontier_mass[0],
+            self.frontier_mass[1],
+            self.frontier_mass[2],
+            self.visited_mass[0],
+            self.visited_mass[1],
+            self.visited_mass[2],
+            pack_dirs(&self.prev_dirs),
         ] {
             out.extend_from_slice(&x.to_le_bytes());
         }
@@ -127,6 +168,9 @@ impl CheckpointState {
         let active_l = r.u64()?;
         let visited_l = r.u64()?;
         let sim_seconds = f64::from_bits(r.u64()?);
+        let frontier_mass = [r.u64()?, r.u64()?, r.u64()?];
+        let visited_mass = [r.u64()?, r.u64()?, r.u64()?];
+        let prev_dirs = unpack_dirs(r.u64()?)?;
         let hub_curr = decode_bitmap(&mut r)?;
         let hub_visited = decode_bitmap(&mut r)?;
         let l_curr = decode_bitmap(&mut r)?;
@@ -147,6 +191,9 @@ impl CheckpointState {
             l_curr,
             l_visited,
             l_parent,
+            frontier_mass,
+            visited_mass,
+            prev_dirs,
         })
     }
 }
@@ -322,7 +369,25 @@ mod tests {
             l_curr,
             l_visited,
             l_parent: vec![1, 2, 3],
+            frontier_mass: [11, 0, 42],
+            visited_mass: [100, 7, 300],
+            prev_dirs: [
+                Direction::Pull,
+                Direction::Push,
+                Direction::Push,
+                Direction::Pull,
+                Direction::Push,
+                Direction::Pull,
+            ],
         }
+    }
+
+    #[test]
+    fn direction_word_round_trips_and_rejects_stray_bits() {
+        let dirs = sample_state().prev_dirs;
+        assert_eq!(unpack_dirs(pack_dirs(&dirs)), Some(dirs));
+        assert_eq!(unpack_dirs(0), Some([Direction::Push; 6]));
+        assert_eq!(unpack_dirs(1 << 6), None, "bits past the six components");
     }
 
     #[test]

@@ -11,6 +11,18 @@
 //! * node-crossing components (H2L, L2H, L2L) compare the active-source
 //!   ratio against the unvisited-destination ratio, which "directly
 //!   reflect the number of messages required to communicate".
+//!
+//! Two *heuristic families* drive those decisions (see
+//! [`DirectionHeuristic`] and `docs/KERNELS.md`):
+//!
+//! * **fixed** — the original count-ratio thresholds (`alpha_local` /
+//!   `beta_crossing`), kept byte-identical for reproducibility;
+//! * **measured** — the Beamer/Buluç direction-optimizing heuristic on
+//!   *measured degree masses*: switch to pull when the frontier's edge
+//!   mass `m_f` exceeds the unexplored edge mass `m_u / α`, switch back
+//!   to push when the frontier shrinks below `n / β` vertices, with
+//!   hysteresis (the previous direction breaks ties). The masses come
+//!   from the degree sums the engine already tracks per sub-iteration.
 
 /// Traversal direction of one sub-iteration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,15 +83,48 @@ impl Component {
     }
 }
 
+/// Which family of push/pull decision rules the engine runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DirectionHeuristic {
+    /// Fixed count-ratio thresholds (`alpha_local` / `beta_crossing`):
+    /// reproduces the pre-measured direction schedule exactly, byte for
+    /// byte — collectives, payloads, parents, and depths included.
+    Fixed,
+    /// Measured-degree heuristics with hysteresis ([`choose_measured`]):
+    /// frontier edge mass vs. unexplored edge mass per vertex class,
+    /// using `alpha_measured` / `beta_measured`. The default.
+    #[default]
+    Measured,
+}
+
+impl DirectionHeuristic {
+    /// Stable lowercase name (JSON reports, `SUNBFS_DIRECTION`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DirectionHeuristic::Fixed => "fixed",
+            DirectionHeuristic::Measured => "measured",
+        }
+    }
+
+    /// Parse the `SUNBFS_DIRECTION` spelling; `None` on anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fixed" => Some(DirectionHeuristic::Fixed),
+            "measured" => Some(DirectionHeuristic::Measured),
+            _ => None,
+        }
+    }
+}
+
 /// Engine configuration. Defaults enable every technique of the paper;
 /// the ablation benches (Figure 15) toggle them off one at a time.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Source-active-ratio threshold above which node-local components
-    /// switch to pull.
+    /// switch to pull (fixed heuristic).
     pub alpha_local: f64,
     /// Crossing components pull when
-    /// `unvisited_dst_ratio < beta * active_src_ratio`.
+    /// `unvisited_dst_ratio < beta * active_src_ratio` (fixed heuristic).
     pub beta_crossing: f64,
     /// Per-component direction selection (§4.2). When off, one global
     /// direction per iteration (vanilla direction optimization — the
@@ -90,6 +135,18 @@ pub struct EngineConfig {
     /// CG-aware core-subgraph segmenting for the EH2EH pull (§4.3).
     /// When off, probes cost GLD main-memory latency instead of RMA.
     pub segmenting: bool,
+    /// Which decision family is in force ([`DirectionHeuristic`]).
+    pub heuristic: DirectionHeuristic,
+    /// Measured heuristic: enter pull when
+    /// `frontier_edge_mass > unexplored_edge_mass / alpha_measured`
+    /// (Beamer's α; default 3 — tuned on the simulated Sunway cost
+    /// model, where collectives dominate and later pull entry wins;
+    /// Beamer's shared-memory value is 14).
+    pub alpha_measured: f64,
+    /// Measured heuristic: return to push when the class frontier holds
+    /// fewer than `total / beta_measured` vertices (Beamer's β;
+    /// default 6 — tuned like `alpha_measured`, Beamer's value is 24).
+    pub beta_measured: f64,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +157,9 @@ impl Default for EngineConfig {
             sub_iteration: true,
             vanilla_alpha: 0.03,
             segmenting: true,
+            heuristic: DirectionHeuristic::default(),
+            alpha_measured: 3.0,
+            beta_measured: 6.0,
         }
     }
 }
@@ -158,6 +218,48 @@ pub fn choose_crossing(
     }
 }
 
+/// Measured-degree direction decision with hysteresis (the
+/// direction-optimizing BFS rule of Beamer et al., per vertex class):
+///
+/// * in **push**, switch to pull when the frontier's measured edge mass
+///   exceeds the unexplored edge mass scaled by α:
+///   `m_f > m_u / alpha_measured`;
+/// * in **pull**, return to push when the class frontier has shrunk
+///   below `total / beta_measured` vertices.
+///
+/// `frontier_edges` / `unexplored_edges` are global degree-mass sums
+/// for the deciding class (`m_f` / `m_u`); `active` / `total` are its
+/// frontier and class vertex counts. An empty class or empty frontier
+/// always pushes (the scan is a no-op either way).
+pub fn choose_measured(
+    cfg: &EngineConfig,
+    prev: Direction,
+    frontier_edges: u64,
+    unexplored_edges: u64,
+    active: u64,
+    total: u64,
+) -> Direction {
+    if total == 0 || active == 0 {
+        return Direction::Push;
+    }
+    match prev {
+        Direction::Push => {
+            if frontier_edges as f64 * cfg.alpha_measured > unexplored_edges as f64 {
+                Direction::Pull
+            } else {
+                Direction::Push
+            }
+        }
+        Direction::Pull => {
+            if (active as f64) < total as f64 / cfg.beta_measured {
+                Direction::Push
+            } else {
+                Direction::Pull
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +291,54 @@ mod tests {
         assert_eq!(choose_crossing(&cfg, 600, 1000, 50, 1000), Direction::Pull);
         // Empty classes never pull.
         assert_eq!(choose_crossing(&cfg, 0, 0, 5, 10), Direction::Push);
+    }
+
+    #[test]
+    fn measured_heuristic_enters_and_exits_pull_with_hysteresis() {
+        let cfg = EngineConfig::default();
+        // Push holds while the frontier mass is small relative to m_u/α.
+        assert_eq!(
+            choose_measured(&cfg, Direction::Push, 10, 10_000, 5, 1000),
+            Direction::Push
+        );
+        // m_f·α > m_u → enter pull.
+        assert_eq!(
+            choose_measured(&cfg, Direction::Push, 4000, 10_000, 200, 1000),
+            Direction::Pull
+        );
+        // In pull, a still-large frontier stays pull even if masses
+        // dropped (hysteresis: the push rule is not re-evaluated).
+        assert_eq!(
+            choose_measured(&cfg, Direction::Pull, 1, 10_000, 500, 1000),
+            Direction::Pull
+        );
+        // Frontier below n/β → back to push.
+        assert_eq!(
+            choose_measured(&cfg, Direction::Pull, 1000, 10, 10, 1000),
+            Direction::Push
+        );
+        // Empty class or empty frontier never pulls.
+        assert_eq!(
+            choose_measured(&cfg, Direction::Pull, 9, 9, 5, 0),
+            Direction::Push
+        );
+        assert_eq!(
+            choose_measured(&cfg, Direction::Push, 9, 0, 0, 100),
+            Direction::Push
+        );
+    }
+
+    #[test]
+    fn heuristic_names_and_parse_round_trip() {
+        for h in [DirectionHeuristic::Fixed, DirectionHeuristic::Measured] {
+            assert_eq!(DirectionHeuristic::parse(h.name()), Some(h));
+        }
+        assert_eq!(DirectionHeuristic::parse("auto"), None);
+        assert_eq!(DirectionHeuristic::parse("Fixed"), None, "strict spelling");
+        assert_eq!(
+            EngineConfig::default().heuristic,
+            DirectionHeuristic::Measured
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! earlier sub-iterations of the same iteration mark vertices visited
 //! before later ones run, so nothing already activated gets pulled.
 
+use sunbfs_common::bitmap::wide;
 use sunbfs_common::{pool, Bitmap, TimeAccumulator, INVALID_VERTEX};
 use sunbfs_net::{CommStats, RankCtx, Scope};
 use sunbfs_part::RankPartition;
@@ -30,7 +31,9 @@ use sunbfs_sunway::{ocs_sort_rma, OcsConfig, SegmentedBitvec};
 
 use crate::balance;
 use crate::checkpoint::{CheckpointState, CheckpointStore, ResumeStats};
-use crate::config::{choose_crossing, choose_local, Direction, EngineConfig};
+use crate::config::{
+    choose_crossing, choose_local, choose_measured, Direction, DirectionHeuristic, EngineConfig,
+};
 use crate::costing;
 use crate::stats::{BfsRunStats, IterationStats, SubIterationStats};
 
@@ -116,25 +119,27 @@ pub fn run_bfs_recoverable(
     Engine::new(ctx, part, *cfg).run(ctx, root, checkpoints)
 }
 
-/// Row-then-column allreduce of hub bitmap words with a summed counter
-/// piggybacked as a trailing element — one collective pair instead of a
-/// bitmap sync plus a scalar collective. Returns the globally OR-ed
-/// words and the global sum of `local_count`.
+/// Row-then-column allreduce of hub bitmap words with summed counters
+/// piggybacked as trailing elements — one collective pair instead of a
+/// bitmap sync plus scalar collectives. Returns the globally OR-ed
+/// words and the global sums of `counters` (element-wise). The fixed
+/// heuristic rides exactly one counter, the measured heuristic two (the
+/// visited count plus its degree mass), so the payload size is part of
+/// each mode's byte-identity contract.
 pub(crate) fn hub_sync_collective(
     ctx: &mut RankCtx,
     op: &str,
     words: &[u64],
-    local_count: u64,
-) -> (Vec<u64>, u64) {
+    counters: &[u64],
+) -> (Vec<u64>, Vec<u64>) {
     let nwords = words.len();
     let mut payload = words.to_vec();
-    payload.push(local_count);
+    payload.extend_from_slice(counters);
     let combine = move |i: usize, a: &mut u64, b: &u64| if i < nwords { *a |= b } else { *a += b };
     let payload = ctx.allreduce_with_indexed(Scope::Row, op, payload, None, combine);
     let mut payload = ctx.allreduce_with_indexed(Scope::Col, op, payload, None, combine);
-    let count = payload[nwords];
-    payload.truncate(nwords);
-    (payload, count)
+    let counts = payload.split_off(nwords);
+    (payload, counts)
 }
 
 /// Coarse fixed-range bucket for the two-stage destination update:
@@ -178,6 +183,21 @@ struct Engine<'a> {
     /// Index of the sub-iteration currently executing (attributes
     /// scanned edges and OCS kernel work to the right slot).
     cur_sub: usize,
+    // Measured-heuristic state (all zeros / Push under Fixed).
+    /// Total degree mass per class (E, H, connected L) — one extra
+    /// triple on the setup allreduce in measured mode.
+    class_mass_total: [u64; 3],
+    /// Degree mass of the *current* frontier per class (global; carried
+    /// from the previous iteration's closing allreduce).
+    frontier_mass: [u64; 3],
+    /// Accumulated degree mass of visited vertices per class (global;
+    /// the root's own mass is uniformly excluded on every rank).
+    visited_mass: [u64; 3],
+    /// Previous per-component directions — the hysteresis state.
+    prev_dirs: [Direction; 6],
+    /// Measured `(m_f, m_u)` each component's decision saw this
+    /// iteration (surfaced in [`SubIterationStats`]; zeros under Fixed).
+    sub_masses: [(u64, u64); 6],
 }
 
 impl<'a> Engine<'a> {
@@ -199,20 +219,36 @@ impl<'a> Engine<'a> {
         // needs: the L-class denominator plus per-component global edge
         // counts (globally empty components skip their collectives, so
         // e.g. the |H| = 0 degeneration pays no H2L exchanges at all).
-        let totals = ctx.allreduce_with(
-            Scope::World,
-            "heur.totals",
-            vec![
-                local_l_connected,
-                part.stats.e2l,
-                part.stats.h2l,
-                part.stats.l2h,
-                part.stats.l2l,
-            ],
-            None,
-            |a, b| *a += b,
-        );
+        // The measured heuristic appends its three per-class degree-mass
+        // totals to the same payload — no extra collective, and the
+        // fixed mode's payload stays byte-identical to the pre-measured
+        // engine.
+        let mut payload = vec![
+            local_l_connected,
+            part.stats.e2l,
+            part.stats.h2l,
+            part.stats.l2h,
+            part.stats.l2l,
+        ];
+        if cfg.heuristic == DirectionHeuristic::Measured {
+            let num_e = dir.num_e();
+            let mut class_mass = [0u64; 3];
+            for (i, &d) in part.owned_degrees.iter().enumerate() {
+                match dir.hub_id(range.start + i as u64) {
+                    Some(h) if h < num_e => class_mass[0] += d as u64,
+                    Some(_) => class_mass[1] += d as u64,
+                    None if d > 0 => class_mass[2] += d as u64,
+                    None => {}
+                }
+            }
+            payload.extend(class_mass);
+        }
+        let totals = ctx.allreduce_with(Scope::World, "heur.totals", payload, None, |a, b| *a += b);
         let total_l_connected = totals[0];
+        let class_mass_total = match totals.get(5..8) {
+            Some(m) => [m[0], m[1], m[2]],
+            None => [0; 3],
+        };
         Engine {
             part,
             cfg,
@@ -235,7 +271,50 @@ impl<'a> Engine<'a> {
             scanned: 0,
             sub_stats: Default::default(),
             cur_sub: 0,
+            class_mass_total,
+            frontier_mass: [0; 3],
+            visited_mass: [0; 3],
+            prev_dirs: [Direction::Push; 6],
+            sub_masses: [(0, 0); 6],
         }
+    }
+
+    /// True when the measured-degree decision family is in force.
+    #[inline]
+    fn measured(&self) -> bool {
+        self.cfg.heuristic == DirectionHeuristic::Measured
+    }
+
+    /// This rank's contribution to a class-split frontier degree mass:
+    /// `(E mass, H mass, L mass)` of the given hub-frontier and
+    /// L-frontier bitmaps, counting only *owned* vertices (each rank
+    /// knows the global degree of its owned slice only — hub degrees are
+    /// not replicated — so summing across ranks yields the global mass).
+    fn local_frontier_mass(&self, hub_bits: &Bitmap, l_bits: &Bitmap) -> [u64; 3] {
+        let dir = &self.part.directory;
+        let range = self.part.owned_range();
+        let num_e = dir.num_e() as u64;
+        let mut mass = [0u64; 3];
+        for h in hub_bits.iter_ones() {
+            let v = dir.vertex_of(h as u32);
+            if range.contains(&v) {
+                let d = self.part.owned_degrees[(v - range.start) as usize] as u64;
+                mass[if h < num_e { 0 } else { 1 }] += d;
+            }
+        }
+        for li in l_bits.iter_ones() {
+            mass[2] += self.part.owned_degrees[li as usize] as u64;
+        }
+        mass
+    }
+
+    /// This rank's degree mass of visited owned L vertices (the measured
+    /// counter piggybacked on the L2E hub sync).
+    fn local_l_visited_mass(&self) -> u64 {
+        self.l_visited
+            .iter_ones()
+            .map(|li| self.part.owned_degrees[li as usize] as u64)
+            .sum()
     }
 
     fn run(
@@ -284,6 +363,13 @@ impl<'a> Engine<'a> {
                 self.l_curr = state.l_curr;
                 self.l_visited = state.l_visited;
                 self.l_parent = state.l_parent;
+                // Measured-heuristic loop state rides the checkpoint
+                // (codec v2), so a resumed run re-decides directions
+                // from the exact masses the dead run saw — no extra
+                // collective, byte-identical continuation.
+                self.frontier_mass = state.frontier_mass;
+                self.visited_mass = state.visited_mass;
+                self.prev_dirs = state.prev_dirs;
                 iterations = stats.iterations.clone();
                 base = stats;
             }
@@ -338,7 +424,7 @@ impl<'a> Engine<'a> {
             self.sub_stats = Default::default();
             self.cur_sub = 0;
             self.eh2eh(ctx, dirs[0]);
-            self.sync_hubs(ctx, "EH2EH", None);
+            self.sync_hubs(ctx, "EH2EH", &[0]);
 
             self.cur_sub = 1;
             self.e2l(ctx, dirs[1]);
@@ -347,32 +433,68 @@ impl<'a> Engine<'a> {
             // "The direction selection procedure uses the latest
             // unvisited count ... after the previous is done": the
             // refreshed global L-visited count rides on the L2E hub
-            // sync (row sum then column sum = global sum).
-            let refreshed = self.sync_hubs(ctx, "L2E", Some(self.l_visited.count_ones()));
+            // sync (row sum then column sum = global sum). The measured
+            // heuristic additionally piggybacks the visited degree mass
+            // — one extra u64 on the same collective, never a new one.
+            let l2e_counters = if self.measured() {
+                vec![self.l_visited.count_ones(), self.local_l_visited_mass()]
+            } else {
+                vec![self.l_visited.count_ones()]
+            };
+            let refreshed = self.sync_hubs(ctx, "L2E", &l2e_counters);
 
             let (d_h2l, d_l2l) = if self.cfg.sub_iteration {
                 // Fall back to one scalar collective only when there is
                 // no hub sync to piggyback on (|E∪H| = 0).
-                visited_l = refreshed.unwrap_or_else(|| {
-                    ctx.allreduce_sum(Scope::World, "heur.counts", self.l_visited.count_ones())
+                let counts = refreshed.unwrap_or_else(|| {
+                    ctx.allreduce_with(Scope::World, "heur.counts", l2e_counters, None, |a, b| {
+                        *a += b
+                    })
                 });
+                visited_l = counts[0];
                 let unvisited_l = self.total_l_connected.saturating_sub(visited_l);
-                (
-                    choose_crossing(
-                        &self.cfg,
-                        st.active_h,
-                        dir.num_h() as u64,
-                        unvisited_l,
-                        self.total_l_connected,
-                    ),
-                    choose_crossing(
-                        &self.cfg,
-                        st.active_l,
-                        self.total_l_connected,
-                        unvisited_l,
-                        self.total_l_connected,
-                    ),
-                )
+                if self.measured() {
+                    // The L-class unexplored mass from the piggybacked
+                    // visited mass; frontier masses are loop-carried.
+                    let um_l = self.class_mass_total[2].saturating_sub(counts[1]);
+                    self.sub_masses[3] = (self.frontier_mass[1], um_l);
+                    self.sub_masses[5] = (self.frontier_mass[2], um_l);
+                    (
+                        choose_measured(
+                            &self.cfg,
+                            self.prev_dirs[3],
+                            self.frontier_mass[1],
+                            um_l,
+                            st.active_h,
+                            dir.num_h() as u64,
+                        ),
+                        choose_measured(
+                            &self.cfg,
+                            self.prev_dirs[5],
+                            self.frontier_mass[2],
+                            um_l,
+                            st.active_l,
+                            self.total_l_connected,
+                        ),
+                    )
+                } else {
+                    (
+                        choose_crossing(
+                            &self.cfg,
+                            st.active_h,
+                            dir.num_h() as u64,
+                            unvisited_l,
+                            self.total_l_connected,
+                        ),
+                        choose_crossing(
+                            &self.cfg,
+                            st.active_l,
+                            self.total_l_connected,
+                            unvisited_l,
+                            self.total_l_connected,
+                        ),
+                    )
+                }
             } else {
                 (dirs[3], dirs[5])
             };
@@ -384,14 +506,17 @@ impl<'a> Engine<'a> {
             self.h2l(ctx, d_h2l);
             self.cur_sub = 4;
             self.l2h(ctx, dirs[4]);
-            self.sync_hubs(ctx, "L2H", None);
+            self.sync_hubs(ctx, "L2H", &[0]);
             self.cur_sub = 5;
             self.l2l(ctx, d_l2l);
 
             st.directions = final_dirs;
             st.scanned_edges = self.scanned;
-            for (slot, d) in self.sub_stats.iter_mut().zip(final_dirs) {
+            let masses = self.sub_masses;
+            for ((slot, d), (m_f, m_u)) in self.sub_stats.iter_mut().zip(final_dirs).zip(masses) {
                 slot.direction = d;
+                slot.frontier_edges = m_f;
+                slot.unexplored_edges = m_u;
             }
             // H2L/L2L decisions were re-derived mid-iteration from the
             // piggybacked visited count (sub-iteration mode only).
@@ -404,16 +529,28 @@ impl<'a> Engine<'a> {
             // replicated, so it needs no collective of its own).
             st.newly_e = self.hub_next.count_ones_range(0, num_e);
             st.newly_h = self.hub_next.count_ones_range(num_e, nh);
-            let counts = ctx.allreduce_with(
-                Scope::World,
-                "heur.counts",
-                vec![self.l_next.count_ones(), self.l_visited.count_ones()],
-                None,
-                |a, b| *a += b,
-            );
+            let mut payload = vec![self.l_next.count_ones(), self.l_visited.count_ones()];
+            if self.measured() {
+                // Next iteration's frontier degree masses ride the same
+                // closing allreduce (three extra u64s): each rank sums
+                // its *owned* next-frontier degrees per class. The root's
+                // own mass never enters (it was activated, not
+                // discovered), uniformly on every rank.
+                payload.extend(self.local_frontier_mass(&self.hub_next, &self.l_next));
+            }
+            let counts =
+                ctx.allreduce_with(Scope::World, "heur.counts", payload, None, |a, b| *a += b);
             st.newly_l = counts[0];
             active_l = counts[0];
             visited_l = counts[1];
+            if let Some(m) = counts.get(2..5) {
+                self.frontier_mass = [m[0], m[1], m[2]];
+                for (vm, fm) in self.visited_mass.iter_mut().zip(self.frontier_mass) {
+                    *vm += fm;
+                }
+            }
+            // Hysteresis state for the next iteration's decisions.
+            self.prev_dirs = final_dirs;
             // The closing allreduce was this iteration's last
             // collective: the counter now names the first op *after*
             // the boundary (see `IterationStats::end_op`).
@@ -519,6 +656,9 @@ impl<'a> Engine<'a> {
             active_l,
             visited_l,
             sim_seconds,
+            frontier_mass: self.frontier_mass,
+            visited_mass: self.visited_mass,
+            prev_dirs: self.prev_dirs,
             hub_curr: self.hub_curr.clone(),
             hub_visited: self.hub_visited.clone(),
             hub_parent: self.hub_parent.clone(),
@@ -539,15 +679,57 @@ impl<'a> Engine<'a> {
     }
 
     /// Initial per-iteration direction choices (H2L/L2L may be refreshed
-    /// mid-iteration; see `run`).
-    fn select_directions(&self, st: &IterationStats, visited_l: u64) -> [Direction; 6] {
+    /// mid-iteration; see `run`). Under the measured heuristic this also
+    /// records the `(m_f, m_u)` pair each decision saw into
+    /// [`Engine::sub_masses`] for the statistics surface.
+    fn select_directions(&mut self, st: &IterationStats, visited_l: u64) -> [Direction; 6] {
         let dir = &self.part.directory;
-        let cfg = &self.cfg;
+        let cfg = self.cfg;
+        let num_e = dir.num_e() as u64;
+        let num_h = dir.num_h() as u64;
+        let nh = num_e + num_h;
+        let total_l = self.total_l_connected;
+        if self.measured() {
+            // Beamer-style measured masses per class: the loop-carried
+            // frontier masses against each destination class's
+            // unexplored mass (total minus accumulated visited).
+            let fm = self.frontier_mass;
+            let um = [
+                self.class_mass_total[0].saturating_sub(self.visited_mass[0]),
+                self.class_mass_total[1].saturating_sub(self.visited_mass[1]),
+                self.class_mass_total[2].saturating_sub(self.visited_mass[2]),
+            ];
+            if !cfg.sub_iteration {
+                // Vanilla mode: one global measured decision.
+                let m_f = fm[0] + fm[1] + fm[2];
+                let m_u = um[0] + um[1] + um[2];
+                let active = st.active_e + st.active_h + st.active_l;
+                let d = choose_measured(&cfg, self.prev_dirs[0], m_f, m_u, active, nh + total_l);
+                self.sub_masses = [(m_f, m_u); 6];
+                return [d; 6];
+            }
+            // Per-component (source mass, destination unexplored mass,
+            // source frontier count, source class size), §4.2 order.
+            let pairs = [
+                (fm[0] + fm[1], um[0] + um[1], st.active_e + st.active_h, nh),
+                (fm[0], um[2], st.active_e, num_e),
+                (fm[2], um[0], st.active_l, total_l),
+                (fm[1], um[2], st.active_h, num_h),
+                (fm[2], um[1], st.active_l, total_l),
+                (fm[2], um[2], st.active_l, total_l),
+            ];
+            let mut dirs = [Direction::Push; 6];
+            for (i, &(m_f, m_u, active, total)) in pairs.iter().enumerate() {
+                dirs[i] = choose_measured(&cfg, self.prev_dirs[i], m_f, m_u, active, total);
+                self.sub_masses[i] = (m_f, m_u);
+            }
+            return dirs;
+        }
         if !cfg.sub_iteration {
             // Vanilla direction optimization: one decision for the whole
             // iteration from the global frontier density.
             let active = st.active_e + st.active_h + st.active_l;
-            let total = dir.num_hubs() as u64 + self.total_l_connected;
+            let total = nh + total_l;
             let d = if total > 0 && active as f64 / total as f64 > cfg.vanilla_alpha {
                 Direction::Pull
             } else {
@@ -555,30 +737,21 @@ impl<'a> Engine<'a> {
             };
             return [d; 6];
         }
-        let num_e = dir.num_e() as u64;
-        let num_h = dir.num_h() as u64;
-        let nh = num_e + num_h;
-        let unvisited_l = self.total_l_connected.saturating_sub(visited_l);
+        let unvisited_l = total_l.saturating_sub(visited_l);
         let unvisited_h = num_h - self.hub_visited.count_ones_range(num_e, nh);
         [
             // EH2EH: node-local, source class E∪H.
-            choose_local(cfg, st.active_e + st.active_h, nh),
+            choose_local(&cfg, st.active_e + st.active_h, nh),
             // E2L: node-local, source class E.
-            choose_local(cfg, st.active_e, num_e),
+            choose_local(&cfg, st.active_e, num_e),
             // L2E: node-local, source class L.
-            choose_local(cfg, st.active_l, self.total_l_connected),
+            choose_local(&cfg, st.active_l, total_l),
             // H2L: crossing, H → L.
-            choose_crossing(cfg, st.active_h, num_h, unvisited_l, self.total_l_connected),
+            choose_crossing(&cfg, st.active_h, num_h, unvisited_l, total_l),
             // L2H: crossing, L → H.
-            choose_crossing(cfg, st.active_l, self.total_l_connected, unvisited_h, num_h),
+            choose_crossing(&cfg, st.active_l, total_l, unvisited_h, num_h),
             // L2L: crossing, L → L.
-            choose_crossing(
-                cfg,
-                st.active_l,
-                self.total_l_connected,
-                unvisited_l,
-                self.total_l_connected,
-            ),
+            choose_crossing(&cfg, st.active_l, total_l, unvisited_l, total_l),
         ]
     }
 
@@ -587,26 +760,24 @@ impl<'a> Engine<'a> {
     /// column (inter-supernode) — together a global dissemination, with
     /// each hop charged at its network tier.
     ///
-    /// `local_count`, when given, is summed globally alongside the
-    /// bitmap words (row sums then column sums) and returned — the
-    /// piggybacked counter that feeds the mid-iteration direction
+    /// `counters` are summed globally alongside the bitmap words (row
+    /// sums then column sums) and returned element-wise — the
+    /// piggybacked counters that feed the mid-iteration direction
     /// refresh without a dedicated scalar collective. Returns `None`
     /// when there are no hubs (no sync happens).
-    fn sync_hubs(&mut self, ctx: &mut RankCtx, tag: &str, local_count: Option<u64>) -> Option<u64> {
+    fn sync_hubs(&mut self, ctx: &mut RankCtx, tag: &str, counters: &[u64]) -> Option<Vec<u64>> {
         if self.hub_update.is_empty() {
             return None;
         }
         let op = format!("hubsync.{tag}");
-        let (words, count) =
-            hub_sync_collective(ctx, &op, self.hub_update.words(), local_count.unwrap_or(0));
-        self.hub_update.words_mut().copy_from_slice(&words);
-        // newly = update \ visited → next frontier.
-        let mut newly = self.hub_update.clone();
-        newly.and_not_assign(&self.hub_visited);
-        self.hub_next.or_assign(&newly);
-        self.hub_visited.or_assign(&self.hub_update);
+        let (words, counts) = hub_sync_collective(ctx, &op, self.hub_update.words(), counters);
+        // newly = update \ visited → next frontier; visited absorbs the
+        // whole update. Both run on the wide 4-word kernels — the fused
+        // `dst |= a & !b` form replaces the clone + and_not + or chain.
+        wide::or_and_not_assign(self.hub_next.words_mut(), &words, self.hub_visited.words());
+        wide::or_assign(self.hub_visited.words_mut(), &words);
         self.hub_update.clear();
-        local_count.map(|_| count)
+        Some(counts)
     }
 
     /// Attribute `edges` scanned to the current sub-iteration and the
@@ -669,12 +840,21 @@ impl<'a> Engine<'a> {
             Direction::Push => {
                 // Edge-aware vertex-cut balancing (§5): cut the frontier
                 // by accumulated degree, charge the critical-path chunk.
-                // Sources are this column's cyclic slice of the hub space.
-                let frontier: Vec<u64> = self
-                    .hub_curr
-                    .iter_ones()
-                    .filter(|&s| s % self.cols as u64 == my_col as u64)
-                    .collect();
+                // Sources are this column's cyclic slice of the hub
+                // space, gathered with the block-skipping wide walk.
+                let mut frontier: Vec<u64> = Vec::new();
+                let cols = self.cols as u64;
+                wide::for_each_one(
+                    self.hub_curr.words(),
+                    nh,
+                    0,
+                    self.hub_curr.num_words(),
+                    |s| {
+                        if s % cols == my_col as u64 {
+                            frontier.push(s);
+                        }
+                    },
+                );
                 let degrees: Vec<u64> =
                     frontier.iter().map(|&s| part.eh_by_src.degree(s)).collect();
                 let cpes = ctx.machine().cpes_per_node();
@@ -809,7 +989,14 @@ impl<'a> Engine<'a> {
         let mut edges = 0u64;
         match d {
             Direction::Push => {
-                let frontier: Vec<u64> = self.hub_curr.iter_ones_range(0, num_e).collect();
+                let mut frontier: Vec<u64> = Vec::new();
+                wide::for_each_one(
+                    self.hub_curr.words(),
+                    num_e,
+                    0,
+                    num_e.div_ceil(64) as usize,
+                    |e| frontier.push(e),
+                );
                 let (parts, pstats) =
                     pool::run_ranges(frontier.len() as u64, SCAN_GRAIN_ITEMS, |_, r| {
                         let mut edges = 0u64;
@@ -845,10 +1032,12 @@ impl<'a> Engine<'a> {
                 let (parts, pstats) = pool::run_ranges(local_n, SCAN_GRAIN_ITEMS, |_, r| {
                     let mut edges = 0u64;
                     let mut found: Vec<(u64, u64)> = Vec::new();
-                    for li in r {
+                    // Inverted wide walk over the visited bits: only
+                    // unvisited locals in the chunk are examined.
+                    wide::for_each_zero(l_visited.words(), local_n, r.start, r.end, |li| {
                         let l = range.start + li;
-                        if l_visited.get(li) || part.el_by_local.degree(l) == 0 {
-                            continue;
+                        if part.el_by_local.degree(l) == 0 {
+                            return;
                         }
                         for &e in part.el_by_local.neighbors(l) {
                             edges += 1;
@@ -857,7 +1046,7 @@ impl<'a> Engine<'a> {
                                 break; // early exit
                             }
                         }
-                    }
+                    });
                     (edges, found)
                 });
                 for (e, found) in parts {
@@ -891,20 +1080,27 @@ impl<'a> Engine<'a> {
                 // 64-vertex blocks; window order = ascending bit order,
                 // so chunk-order merge replays the serial scan.
                 let l_curr = &self.l_curr;
+                let local_n = range.end - range.start;
                 let (parts, pstats) =
                     pool::run_ranges(l_curr.num_words() as u64, SCAN_GRAIN_WORDS, |_, r| {
                         let mut edges = 0u64;
                         let mut cand: Vec<(u64, u64)> = Vec::new();
-                        for li in l_curr.iter_ones_words(r.start as usize, r.end as usize) {
-                            let l = range.start + li;
-                            if part.el_by_local.degree(l) == 0 {
-                                continue;
-                            }
-                            for &e in part.el_by_local.neighbors(l) {
-                                edges += 1;
-                                cand.push((e, l));
-                            }
-                        }
+                        wide::for_each_one(
+                            l_curr.words(),
+                            local_n,
+                            r.start as usize,
+                            r.end as usize,
+                            |li| {
+                                let l = range.start + li;
+                                if part.el_by_local.degree(l) == 0 {
+                                    return;
+                                }
+                                for &e in part.el_by_local.neighbors(l) {
+                                    edges += 1;
+                                    cand.push((e, l));
+                                }
+                            },
+                        );
                         (edges, cand)
                     });
                 for (e, cand) in parts {
@@ -923,19 +1119,27 @@ impl<'a> Engine<'a> {
                 let (parts, pstats) = pool::run_ranges(num_e, SCAN_GRAIN_ITEMS, |_, r| {
                     let mut edges = 0u64;
                     let mut found: Vec<(u64, u64)> = Vec::new();
-                    for e in r {
-                        if hub_visited.get(e) || hub_update.get(e) || part.el_by_hub.degree(e) == 0
-                        {
-                            continue;
-                        }
-                        for &l in part.el_by_hub.neighbors(e) {
-                            edges += 1;
-                            if l_curr.get(l - range.start) {
-                                found.push((e, l));
-                                break; // early exit (per-rank)
+                    // Fused `visited | update` skip test, one inverted
+                    // word walk over the chunk's E hubs.
+                    wide::for_each_unset_pair(
+                        hub_visited.words(),
+                        hub_update.words(),
+                        num_e,
+                        r.start,
+                        r.end,
+                        |e| {
+                            if part.el_by_hub.degree(e) == 0 {
+                                return;
                             }
-                        }
-                    }
+                            for &l in part.el_by_hub.neighbors(e) {
+                                edges += 1;
+                                if l_curr.get(l - range.start) {
+                                    found.push((e, l));
+                                    break; // early exit (per-rank)
+                                }
+                            }
+                        },
+                    );
                     (edges, found)
                 });
                 for (e, found) in parts {
@@ -979,16 +1183,16 @@ impl<'a> Engine<'a> {
                             let mut edges = 0u64;
                             let mut out: Vec<(u64, u64)> = Vec::new();
                             let (ws, we) = ((wstart + r.start) as usize, (wstart + r.end) as usize);
-                            for h in hub_curr.iter_ones_words(ws, we).filter(|&h| h >= num_e) {
-                                if part.h2l_by_hub.degree(h) == 0 {
-                                    continue;
+                            wide::for_each_one(hub_curr.words(), nh, ws, we, |h| {
+                                if h < num_e || part.h2l_by_hub.degree(h) == 0 {
+                                    return;
                                 }
                                 let parent = dir.vertex_of(h as u32);
                                 for &l in part.h2l_by_hub.neighbors(h) {
                                     edges += 1;
                                     out.push((l, parent));
                                 }
-                            }
+                            });
                             (edges, out)
                         });
                     for (e, out) in parts {
@@ -1011,10 +1215,13 @@ impl<'a> Engine<'a> {
                 let (parts, pstats) = pool::run_ranges(row_n, SCAN_GRAIN_ITEMS, |_, r| {
                     let mut edges = 0u64;
                     let mut out: Vec<(u64, u64)> = Vec::new();
-                    for off in r {
+                    // Inverted wide walk over the row-visited bits; the
+                    // degree filter moves inside (same examined set:
+                    // unvisited ∧ degree > 0).
+                    wide::for_each_zero(row_visited.words(), row_n, r.start, r.end, |off| {
                         let l = row_range.start + off;
-                        if part.h2l_by_local.degree(l) == 0 || row_visited.get(off) {
-                            continue;
+                        if part.h2l_by_local.degree(l) == 0 {
+                            return;
                         }
                         for &h in part.h2l_by_local.neighbors(l) {
                             edges += 1;
@@ -1023,7 +1230,7 @@ impl<'a> Engine<'a> {
                                 break; // early exit at the edge's location
                             }
                         }
-                    }
+                    });
                     (edges, out)
                 });
                 for (e, out) in parts {
@@ -1134,20 +1341,27 @@ impl<'a> Engine<'a> {
         match d {
             Direction::Push => {
                 let l_curr = &self.l_curr;
+                let local_n = range.end - range.start;
                 let (parts, pstats) =
                     pool::run_ranges(l_curr.num_words() as u64, SCAN_GRAIN_WORDS, |_, r| {
                         let mut edges = 0u64;
                         let mut cand: Vec<(u64, u64)> = Vec::new();
-                        for li in l_curr.iter_ones_words(r.start as usize, r.end as usize) {
-                            let l = range.start + li;
-                            if part.lh_by_local.degree(l) == 0 {
-                                continue;
-                            }
-                            for &h in part.lh_by_local.neighbors(l) {
-                                edges += 1;
-                                cand.push((h, l));
-                            }
-                        }
+                        wide::for_each_one(
+                            l_curr.words(),
+                            local_n,
+                            r.start as usize,
+                            r.end as usize,
+                            |li| {
+                                let l = range.start + li;
+                                if part.lh_by_local.degree(l) == 0 {
+                                    return;
+                                }
+                                for &h in part.lh_by_local.neighbors(l) {
+                                    edges += 1;
+                                    cand.push((h, l));
+                                }
+                            },
+                        );
                         (edges, cand)
                     });
                 for (e, cand) in parts {
@@ -1166,20 +1380,27 @@ impl<'a> Engine<'a> {
                 let (parts, pstats) = pool::run_ranges(nh - num_e, SCAN_GRAIN_ITEMS, |_, r| {
                     let mut edges = 0u64;
                     let mut found: Vec<(u64, u64)> = Vec::new();
-                    for off in r {
-                        let h = num_e + off;
-                        if hub_visited.get(h) || hub_update.get(h) || part.lh_by_hub.degree(h) == 0
-                        {
-                            continue;
-                        }
-                        for &l in part.lh_by_hub.neighbors(h) {
-                            edges += 1;
-                            if l_curr.get(l - range.start) {
-                                found.push((h, l));
-                                break; // early exit (per-rank)
+                    // The chunk's H range in absolute hub indices, with
+                    // the `visited | update` skip test fused.
+                    wide::for_each_unset_pair(
+                        hub_visited.words(),
+                        hub_update.words(),
+                        nh,
+                        num_e + r.start,
+                        num_e + r.end,
+                        |h| {
+                            if part.lh_by_hub.degree(h) == 0 {
+                                return;
                             }
-                        }
-                    }
+                            for &l in part.lh_by_hub.neighbors(h) {
+                                edges += 1;
+                                if l_curr.get(l - range.start) {
+                                    found.push((h, l));
+                                    break; // early exit (per-rank)
+                                }
+                            }
+                        },
+                    );
                     (edges, found)
                 });
                 for (e, found) in parts {
@@ -1213,20 +1434,27 @@ impl<'a> Engine<'a> {
                 // Generate (dest, parent) messages from the frontier,
                 // pool-chunked on frontier bitmap words.
                 let l_curr = &self.l_curr;
+                let local_n = range.end - range.start;
                 let (parts, pstats) =
                     pool::run_ranges(l_curr.num_words() as u64, SCAN_GRAIN_WORDS, |_, r| {
                         let mut edges = 0u64;
                         let mut out: Vec<(u64, u64)> = Vec::new();
-                        for li in l_curr.iter_ones_words(r.start as usize, r.end as usize) {
-                            let l = range.start + li;
-                            if part.l2l.degree(l) == 0 {
-                                continue;
-                            }
-                            for &v in part.l2l.neighbors(l) {
-                                edges += 1;
-                                out.push((v, l));
-                            }
-                        }
+                        wide::for_each_one(
+                            l_curr.words(),
+                            local_n,
+                            r.start as usize,
+                            r.end as usize,
+                            |li| {
+                                let l = range.start + li;
+                                if part.l2l.degree(l) == 0 {
+                                    return;
+                                }
+                                for &v in part.l2l.neighbors(l) {
+                                    edges += 1;
+                                    out.push((v, l));
+                                }
+                            },
+                        );
                         (edges, out)
                     });
                 let mut msgs: Vec<(u64, u64)> = Vec::new();
@@ -1281,16 +1509,16 @@ impl<'a> Engine<'a> {
                 let (parts, pstats) = pool::run_ranges(local_n, SCAN_GRAIN_ITEMS, |_, r| {
                     let mut edges = 0u64;
                     let mut out: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
-                    for li in r {
+                    wide::for_each_zero(l_visited.words(), local_n, r.start, r.end, |li| {
                         let l = range.start + li;
-                        if l_visited.get(li) || part.l2l.degree(l) == 0 {
-                            continue;
+                        if part.l2l.degree(l) == 0 {
+                            return;
                         }
                         for &u in part.l2l.neighbors(l) {
                             edges += 1;
                             out[dist.owner(u)].push((u, l));
                         }
-                    }
+                    });
                     (edges, out)
                 });
                 let mut queries: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
@@ -1367,11 +1595,18 @@ mod tests {
         let out = c.run(|ctx| {
             let mut words = vec![0u64; 2];
             words[0] |= 1 << ctx.rank();
-            hub_sync_collective(ctx, "hubsync.test", &words, ctx.rank() as u64 + 1)
+            // Two trailing counters (the measured-heuristic shape): both
+            // must sum independently while the words OR.
+            hub_sync_collective(
+                ctx,
+                "hubsync.test",
+                &words,
+                &[ctx.rank() as u64 + 1, 10 * ctx.rank() as u64],
+            )
         });
         let union: u64 = (0..6).map(|r| 1u64 << r).sum();
-        for (words, count) in out {
-            assert_eq!(count, 21, "sum over ranks of rank+1 for 6 ranks");
+        for (words, counts) in out {
+            assert_eq!(counts, vec![21, 150], "element-wise sums over 6 ranks");
             assert_eq!(words, vec![union, 0]);
         }
     }
@@ -1384,7 +1619,7 @@ mod tests {
         let c = Cluster::new(MeshShape::new(2, 2), MachineConfig::new_sunway());
         let out = c.run(|ctx| {
             let words = vec![0u64; 4];
-            hub_sync_collective(ctx, "hubsync.t", &words, 7);
+            hub_sync_collective(ctx, "hubsync.t", &words, &[7]);
             ctx.take_comm_stats()
         });
         for stats in out {

@@ -5,7 +5,8 @@
 //!
 //! * **sub-iteration direction optimization** (§4.2) — each of the six
 //!   subgraph components picks push/pull independently per iteration
-//!   ([`config`]),
+//!   ([`config`]), driven by either fixed count-ratio thresholds or the
+//!   measured-degree heuristic family ([`DirectionHeuristic`]),
 //! * **CG-aware core-subgraph segmenting** (§4.3) — the EH2EH pull
 //!   probes source activeness through an LDM-distributed bit vector,
 //! * **OCS-RMA messaging** (§4.4) — all remote-edge messages are
@@ -38,7 +39,7 @@ pub use batch::{
     UNREACHED_DEPTH,
 };
 pub use checkpoint::{CheckpointState, CheckpointStore, ResumeStats};
-pub use config::{Component, Direction, EngineConfig};
+pub use config::{choose_measured, Component, Direction, DirectionHeuristic, EngineConfig};
 pub use engine::{run_bfs, run_bfs_recoverable, BfsOutput, EngineError};
 pub use stats::{BfsRunStats, IterationStats, SubIterationStats};
 pub use validate::{reference_bfs, validate_parents, ValidationError};

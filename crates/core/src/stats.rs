@@ -18,6 +18,15 @@ pub struct SubIterationStats {
     /// optimization), rather than taken from the iteration-start
     /// heuristics.
     pub refreshed: bool,
+    /// Measured frontier edge mass `m_f` the direction decision saw:
+    /// the global degree-sum of the deciding class's frontier. Zero
+    /// under the fixed heuristic (schema v10;
+    /// [`crate::config::DirectionHeuristic`]).
+    pub frontier_edges: u64,
+    /// Measured unexplored edge mass `m_u` the decision saw: the global
+    /// degree-sum of the destination class's unvisited vertices. Zero
+    /// under the fixed heuristic (schema v10).
+    pub unexplored_edges: u64,
     /// Edges scanned by this component on this rank.
     pub scanned_edges: u64,
     /// Aggregated OCS on-chip kernel work (bucketing sorts) this
@@ -34,6 +43,8 @@ impl ToJson for SubIterationStats {
         JsonValue::object()
             .field("direction", direction_name(self.direction))
             .field("refreshed", self.refreshed)
+            .field("frontier_edges", self.frontier_edges)
+            .field("unexplored_edges", self.unexplored_edges)
             .field("scanned_edges", self.scanned_edges)
             .field("kernel", self.kernel.to_json())
             .field("pool", self.pool.to_json())
@@ -177,6 +188,8 @@ mod tests {
         };
         st.subs[0].direction = Direction::Pull;
         st.subs[3].refreshed = true;
+        st.subs[4].frontier_edges = 17;
+        st.subs[4].unexplored_edges = 99;
         st.subs[5].scanned_edges = 42;
         let js = st.to_json().render();
         for c in Component::ALL {
@@ -188,6 +201,8 @@ mod tests {
         }
         assert!(js.contains("\"direction\":\"pull\""));
         assert!(js.contains("\"refreshed\":true"));
+        assert!(js.contains("\"frontier_edges\":17"));
+        assert!(js.contains("\"unexplored_edges\":99"));
         assert!(js.contains("\"scanned_edges\":42"));
     }
 

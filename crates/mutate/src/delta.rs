@@ -128,8 +128,8 @@ impl DeltaPartition {
     /// Fold one routed batch into the overlay.
     pub fn merge(&mut self, upd: &DeltaUpdate) {
         debug_assert_eq!(self.rank, upd.rank, "delta merged into the wrong rank");
-        self.entries += (upd.eh.len() + upd.el.len() + upd.h2l.len() + upd.lh.len()
-            + upd.l2l.len()) as u64;
+        self.entries +=
+            (upd.eh.len() + upd.el.len() + upd.h2l.len() + upd.lh.len() + upd.l2l.len()) as u64;
         for &(s, d) in &upd.eh {
             push_sorted(&mut self.eh_by_src, s, d);
         }
@@ -303,9 +303,8 @@ pub fn route_update_batch(
         }
     }
 
-    let flat = |recv: Vec<Vec<(u64, u64)>>| -> Vec<(u64, u64)> {
-        recv.into_iter().flatten().collect()
-    };
+    let flat =
+        |recv: Vec<Vec<(u64, u64)>>| -> Vec<(u64, u64)> { recv.into_iter().flatten().collect() };
     let eh = flat(ctx.alltoallv(Scope::World, "update.alltoallv", eh_msgs));
     let el = flat(ctx.alltoallv(Scope::World, "update.alltoallv", el_msgs));
     let h2l = flat(ctx.alltoallv(Scope::World, "update.alltoallv", h2l_msgs));

@@ -55,10 +55,10 @@ pub fn repair_in_place(
     let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
 
     let try_improve = |heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
-                           depths: &mut [u64],
-                           parents: &mut [u64],
-                           from: u64,
-                           to: u64|
+                       depths: &mut [u64],
+                       parents: &mut [u64],
+                       from: u64,
+                       to: u64|
      -> bool {
         if from >= n || to >= n || depths[from as usize] == UNREACHED {
             return false;

@@ -54,9 +54,8 @@ fn route(
     let mut deltas: Vec<DeltaPartition> = (0..parts.len()).map(DeltaPartition::new).collect();
     let updates = {
         let deltas = &deltas;
-        cluster.run(|ctx| {
-            route_update_batch(ctx, &parts[ctx.rank()], &deltas[ctx.rank()], th, batch)
-        })
+        cluster
+            .run(|ctx| route_update_batch(ctx, &parts[ctx.rank()], &deltas[ctx.rank()], th, batch))
     };
     let mut promoted = Vec::new();
     for upd in &updates {

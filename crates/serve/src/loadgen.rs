@@ -483,7 +483,7 @@ fn sender_loop(
         // Interleave a live edge-insert batch into the paced stream.
         // Its reply shapes are distinct from the query offer/result
         // shapes, so the ack FIFO stays query-only.
-        if cfg.update_every > 0 && paced > 0 && paced % cfg.update_every == 0 {
+        if cfg.update_every > 0 && paced > 0 && paced.is_multiple_of(cfg.update_every) {
             let line = update_line(&mut rng, cfg.update_batch, cfg.root_max);
             if stream.write_all(line.as_bytes()).is_err() {
                 write_errors += 1;

@@ -634,8 +634,7 @@ impl ServiceLoop {
     fn handle_update(&mut self, conn: u64, edges: &[(u64, u64)]) {
         if self.draining {
             self.summary.updates_rejected += 1;
-            let reply =
-                proto::update_rejected_reply("draining", "server is draining for shutdown");
+            let reply = proto::update_rejected_reply("draining", "server is draining for shutdown");
             self.send(conn, &reply);
             return;
         }

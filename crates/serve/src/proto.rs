@@ -632,7 +632,10 @@ mod tests {
         ] {
             match parse_request(line) {
                 Err(ProtoError::BadRequest { detail }) => {
-                    assert!(detail.contains(needle), "{line}: {detail:?} lacks {needle:?}")
+                    assert!(
+                        detail.contains(needle),
+                        "{line}: {detail:?} lacks {needle:?}"
+                    )
                 }
                 other => panic!("{line} must be BadRequest, got {other:?}"),
             }

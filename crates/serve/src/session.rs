@@ -594,7 +594,13 @@ impl GraphSession {
             let parts = &self.parts;
             let deltas = &self.deltas;
             let results = self.cluster.run_fallible(move |ctx| {
-                route_update_batch(ctx, &parts[ctx.rank()], &deltas[ctx.rank()], thresholds, batch)
+                route_update_batch(
+                    ctx,
+                    &parts[ctx.rank()],
+                    &deltas[ctx.rank()],
+                    thresholds,
+                    batch,
+                )
             });
             let mut oks = Vec::with_capacity(results.len());
             let mut failures = Vec::new();

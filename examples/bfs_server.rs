@@ -213,8 +213,10 @@ fn handle_line(service: &mut Option<BfsService>, line: &str) -> (Vec<JsonValue>,
                     false,
                 );
             }
-            let batch: Vec<sunbfs::common::Edge> =
-                edges.iter().map(|&(u, v)| sunbfs::common::Edge::new(u, v)).collect();
+            let batch: Vec<sunbfs::common::Edge> = edges
+                .iter()
+                .map(|&(u, v)| sunbfs::common::Edge::new(u, v))
+                .collect();
             let reply = match svc.apply_updates(&batch) {
                 Ok(epoch) => {
                     proto::committed_reply(epoch, batch.len(), svc.session().compactions())

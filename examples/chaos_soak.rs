@@ -7,7 +7,7 @@
 //! budgets and hint-honoring retries, watches the `health` request on a
 //! side connection, drives the service back to `healthy` after the
 //! fault schedule runs dry, and prints a schema-v9
-//! `{"schema_version":9,"serve_chaos":{...}}` document (tables in
+//! `{"schema_version":10,"serve_chaos":{...}}` document (tables in
 //! `docs/METRICS.md`), optionally written to a file with `--json PATH`.
 //!
 //! ```text

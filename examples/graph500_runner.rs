@@ -21,13 +21,17 @@
 //! # disable a technique:
 //! SUNBFS_NO_SUBITER=1 SUNBFS_NO_SEGMENT=1 cargo run --release \
 //!     --example graph500_runner -- 14 16
+//! # pick the direction-heuristic family (docs/KERNELS.md); anything
+//! # other than fixed|measured is a refusal (exit code 2):
+//! SUNBFS_DIRECTION=fixed cargo run --release \
+//!     --example graph500_runner -- 14 16
 //! ```
 //!
 //! Unknown `--flags` are an error (exit code 2), not a warning: a typo
 //! like `--jsno` silently producing a default run is worse than a
 //! refusal.
 
-use sunbfs::core::EngineConfig;
+use sunbfs::core::{DirectionHeuristic, EngineConfig};
 use sunbfs::driver::{run_benchmark, FaultSpec, RunConfig};
 use sunbfs::metrics;
 use sunbfs::net::MeshShape;
@@ -124,6 +128,13 @@ fn main() {
     }
     if std::env::var_os("SUNBFS_NO_SEGMENT").is_some() {
         engine.segmenting = false;
+    }
+    if let Some(value) = std::env::var_os("SUNBFS_DIRECTION") {
+        let value = value.to_string_lossy().into_owned();
+        engine.heuristic = DirectionHeuristic::parse(&value).unwrap_or_else(|| {
+            eprintln!("error: SUNBFS_DIRECTION must be \"fixed\" or \"measured\", got {value:?}");
+            std::process::exit(2);
+        });
     }
 
     let config = RunConfig {

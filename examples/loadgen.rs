@@ -7,7 +7,7 @@
 //! run's accounting — offered/accepted/rejected, rejection classes,
 //! `retry_after_ticks` coverage and honoring, deadline evictions,
 //! p50/p99/p999 end-to-end latency — is printed as a schema-v9
-//! `{"schema_version":9,"serve_load":{...}}` document (tables in
+//! `{"schema_version":10,"serve_load":{...}}` document (tables in
 //! `docs/METRICS.md`), and optionally written to a file with
 //! `--json PATH`.
 //!

@@ -21,7 +21,7 @@
 //!   never regress on a connection (`torn_reads`), accounting must be
 //!   exactly-once, and the drain must be clean.
 //!
-//! The run prints a schema-v9 `{"schema_version":9,"update_soak":{...}}`
+//! The run prints a schema-v10 `{"schema_version":10,"update_soak":{...}}`
 //! document (tables in `docs/METRICS.md`), optionally written with
 //! `--json PATH`.
 //!
@@ -237,8 +237,7 @@ fn run_phase_b(cli: &Cli) -> Result<PhaseB, String> {
         tick_interval: Duration::from_millis(2),
         ..NetConfig::default()
     };
-    let server =
-        sunbfs::serve::serve(svc, "127.0.0.1:0", net).map_err(|e| format!("bind: {e}"))?;
+    let server = sunbfs::serve::serve(svc, "127.0.0.1:0", net).map_err(|e| format!("bind: {e}"))?;
     let load_cfg = LoadgenConfig {
         addr: server.local_addr().to_string(),
         qps: cli.qps,

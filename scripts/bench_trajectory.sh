@@ -1,76 +1,108 @@
 #!/usr/bin/env bash
-# Committed perf trajectory: run the graph500 runner at a pinned small
-# scale — once serial (SUNBFS_WORKERS=1) and once parallel — and leave
-# the parallel run's BENCH_<scale>_<rows>x<cols>.json in the repository
-# root as the committed trajectory point for this revision.
+# Committed perf trajectory, multi-scale: run the graph500 runner at a
+# sweep of pinned scales and leave one BENCH_<scale>_<rows>x<cols>.json
+# per scale in the repository root — the committed GTEPS curve for this
+# revision (see "Reading the GTEPS curve" in README.md).
 #
-# The smoke at the end asserts the schema-v6 `wall` section is present
-# and that the parallel run's wall-clock throughput clears the bar:
+# Gates, in order:
 #
-#   * on a machine with >= 4 cores, parallel must not lose to serial
-#     (the real acceptance target is >= 2x at SCALE 16; see docs/PERF.md);
-#   * on fewer cores the pool degrades to near-serial staffing, so only
-#     a generous overhead bound (>= serial/3) is enforced.
+#   * regression gate (simulated, deterministic): on a machine with
+#     >= 4 cores the fresh SCALE-14 harmonic-mean GTEPS must be >= the
+#     committed BENCH_14_2x2.json baseline. The simulated metric does
+#     not depend on host speed, so this is a hard floor, not a hint.
+#   * wall-clock smoke (SCALE 14 only): parallel must not lose to a
+#     serial (SUNBFS_WORKERS=1) reference on >= 4 cores, and must stay
+#     within a generous overhead bound (>= serial/3) everywhere.
+#   * schema smoke: every artifact carries the v10 wall section.
 #
-# Knobs (env): BENCH_SCALE (14), BENCH_RANKS (4), BENCH_ROOTS (4),
-# BENCH_WORKERS (4), BENCH_TIMEOUT (600 s per run, hard).
+# Knobs (env): BENCH_SCALES ("14 16 18"), BENCH_RANKS (4), BENCH_ROOTS
+# (4), BENCH_WORKERS (4), BENCH_TIMEOUT (600 s per run, hard).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCALE="${BENCH_SCALE:-14}"
+SCALES="${BENCH_SCALES:-14 16 18}"
 RANKS="${BENCH_RANKS:-4}"
 ROOTS="${BENCH_ROOTS:-4}"
 WORKERS="${BENCH_WORKERS:-4}"
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-600}"
+CORES="$(nproc 2>/dev/null || echo 1)"
 
-# One number per report: the wall section's edges_per_second (it appears
-# exactly once in the schema — see src/metrics.rs `wall_json`).
+# One number per report: the wall section's edges_per_second and the
+# top-level harmonic_mean_gteps each appear exactly once in the schema
+# (src/metrics.rs).
 eps_of() {
     sed -n 's/.*"edges_per_second": *\([0-9.eE+-]*\).*/\1/p' "$1" | head -1
 }
+hmean_of() {
+    sed -n 's/.*"harmonic_mean_gteps": *\([0-9.eE+-]*\).*/\1/p' "$1" | head -1
+}
 
-echo "==> bench trajectory: SCALE=$SCALE ranks=$RANKS roots=$ROOTS workers=$WORKERS"
+echo "==> bench trajectory: SCALES='$SCALES' ranks=$RANKS roots=$ROOTS workers=$WORKERS"
 cargo build -q --release --example graph500_runner
 
-SERIAL_JSON="$(mktemp)"
-echo "==> serial reference (SUNBFS_WORKERS=1)"
-SUNBFS_WORKERS=1 timeout "$BENCH_TIMEOUT" \
-    cargo run -q --release --example graph500_runner -- \
-    "$SCALE" "$RANKS" 256 64 "$ROOTS" --json "$SERIAL_JSON" > /dev/null
+# The committed SCALE-14 baseline, captured before this sweep overwrites
+# the artifact. Absent on a fresh clone pre-first-commit: gate skipped.
+BASELINE_HMEAN=""
+if [ -f BENCH_14_2x2.json ]; then
+    BASELINE_HMEAN="$(hmean_of BENCH_14_2x2.json)"
+fi
 
-echo "==> parallel run (SUNBFS_WORKERS=$WORKERS) -> committed artifact"
-SUNBFS_WORKERS="$WORKERS" timeout "$BENCH_TIMEOUT" \
-    cargo run -q --release --example graph500_runner -- \
-    "$SCALE" "$RANKS" 256 64 "$ROOTS" --json > /dev/null
+for SCALE in $SCALES; do
+    echo "==> SCALE $SCALE (SUNBFS_WORKERS=$WORKERS) -> committed artifact"
+    SUNBFS_WORKERS="$WORKERS" timeout "$BENCH_TIMEOUT" \
+        cargo run -q --release --example graph500_runner -- \
+        "$SCALE" "$RANKS" 256 64 "$ROOTS" --json > /dev/null
+    BENCH_JSON="$(ls BENCH_"$SCALE"_*.json | head -1)"
+    echo "    wrote $BENCH_JSON ($(hmean_of "$BENCH_JSON") harmonic-mean GTEPS)"
 
-BENCH_JSON="$(ls BENCH_"$SCALE"_*.json | head -1)"
-echo "    wrote $BENCH_JSON"
+    # --- schema smoke: wall section present and sane ------------------
+    grep -Eq '"schema_version": *10' "$BENCH_JSON"
+    grep -q '"wall":' "$BENCH_JSON"
+    grep -q '"available_parallelism":' "$BENCH_JSON"
+    grep -Eq '"workers": *'"$WORKERS" "$BENCH_JSON"
+    grep -Eq '"edges_per_second": *[0-9]' "$BENCH_JSON"
+    grep -Eq '"harmonic_mean_gteps": *[0-9]' "$BENCH_JSON"
+done
 
-# --- smoke: wall section present and sane -----------------------------
-grep -Eq '"schema_version": *9' "$BENCH_JSON"
-grep -q '"wall":' "$BENCH_JSON"
-grep -q '"available_parallelism":' "$BENCH_JSON"
-grep -Eq '"workers": *'"$WORKERS" "$BENCH_JSON"
-grep -Eq '"edges_per_second": *[0-9]' "$BENCH_JSON"
+# --- regression gate: the curve must not sink at its anchor point -----
+if [ -n "$BASELINE_HMEAN" ] && [ -f BENCH_14_2x2.json ]; then
+    FRESH_HMEAN="$(hmean_of BENCH_14_2x2.json)"
+    echo "==> regression gate: SCALE-14 harmonic-mean $FRESH_HMEAN vs committed $BASELINE_HMEAN"
+    awk -v fresh="$FRESH_HMEAN" -v base="$BASELINE_HMEAN" -v c="$CORES" 'BEGIN {
+        if (fresh <= 0) { print "bench gate: non-positive harmonic mean"; exit 1 }
+        if (c >= 4 && fresh < base) {
+            printf "bench gate: SCALE-14 harmonic-mean GTEPS regressed (%g < %g)\n", fresh, base
+            exit 1
+        }
+    }'
+fi
 
-SERIAL_EPS="$(eps_of "$SERIAL_JSON")"
-PARALLEL_EPS="$(eps_of "$BENCH_JSON")"
-CORES="$(nproc 2>/dev/null || echo 1)"
-rm -f "$SERIAL_JSON"
+# --- wall-clock smoke at the anchor scale -----------------------------
+case " $SCALES " in *" 14 "*)
+    SERIAL_JSON="$(mktemp)"
+    echo "==> serial reference at SCALE 14 (SUNBFS_WORKERS=1)"
+    SUNBFS_WORKERS=1 timeout "$BENCH_TIMEOUT" \
+        cargo run -q --release --example graph500_runner -- \
+        14 "$RANKS" 256 64 "$ROOTS" --json "$SERIAL_JSON" > /dev/null
 
-echo "    serial:   $SERIAL_EPS edges/s"
-echo "    parallel: $PARALLEL_EPS edges/s ($CORES cores visible)"
+    SERIAL_EPS="$(eps_of "$SERIAL_JSON")"
+    PARALLEL_EPS="$(eps_of BENCH_14_2x2.json)"
+    rm -f "$SERIAL_JSON"
 
-awk -v s="$SERIAL_EPS" -v p="$PARALLEL_EPS" -v c="$CORES" 'BEGIN {
-    if (s <= 0 || p <= 0) { print "bench smoke: non-positive throughput"; exit 1 }
-    if (c >= 4 && p < s) {
-        printf "bench smoke: parallel (%g) lost to serial (%g) on %d cores\n", p, s, c
-        exit 1
-    }
-    if (p < s / 3) {
-        printf "bench smoke: parallel (%g) below overhead bound serial/3 (%g)\n", p, s / 3
-        exit 1
-    }
-}'
+    echo "    serial:   $SERIAL_EPS edges/s"
+    echo "    parallel: $PARALLEL_EPS edges/s ($CORES cores visible)"
 
-echo "bench trajectory OK: $BENCH_JSON"
+    awk -v s="$SERIAL_EPS" -v p="$PARALLEL_EPS" -v c="$CORES" 'BEGIN {
+        if (s <= 0 || p <= 0) { print "bench smoke: non-positive throughput"; exit 1 }
+        if (c >= 4 && p < s) {
+            printf "bench smoke: parallel (%g) lost to serial (%g) on %d cores\n", p, s, c
+            exit 1
+        }
+        if (p < s / 3) {
+            printf "bench smoke: parallel (%g) below overhead bound serial/3 (%g)\n", p, s / 3
+            exit 1
+        }
+    }'
+;; esac
+
+echo "bench trajectory OK: $(ls BENCH_*_*.json | tr '\n' ' ')"

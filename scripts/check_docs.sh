@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Documentation link check (run by scripts/ci.sh): every relative
+# markdown link in README.md and docs/*.md must point at an existing
+# file, and every `#anchor` must match a heading slug in the target
+# document. Plain shell + grep/sed — no dependencies beyond coreutils.
+# Run from anywhere; resolves against the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ERRORS="$(mktemp)"
+trap 'rm -f "$ERRORS"' EXIT
+
+# GitHub-style anchor slugs of a markdown file: take every ATX heading,
+# strip the leading #'s, lowercase, drop everything but alphanumerics /
+# spaces / hyphens, spaces -> hyphens (backtick spans slug like plain
+# text, so stripping the punctuation is enough).
+anchors_of() {
+    sed -n 's/^#\{1,6\} *//p' "$1" \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed 's/[^a-z0-9 -]//g; s/  */ /g; s/^ //; s/ $//; s/ /-/g'
+}
+
+for DOC in README.md docs/*.md; do
+    DIR="$(dirname "$DOC")"
+    # Every inline-link target: the (...) of ](...). Reference-style
+    # links and autolinks are not used in this repository.
+    { grep -o '](<*[^)>]*' "$DOC" || true; } | sed 's/^](<*//' \
+    | while IFS= read -r TARGET; do
+        case "$TARGET" in
+            http://*|https://*|mailto:*|'') continue ;;
+        esac
+        FILE_PART="${TARGET%%#*}"
+        ANCHOR=""
+        case "$TARGET" in *'#'*) ANCHOR="${TARGET#*#}" ;; esac
+        if [ -n "$FILE_PART" ]; then
+            FILE="$DIR/$FILE_PART"
+            if [ ! -e "$FILE" ]; then
+                echo "$DOC: broken relative link '$TARGET' (no $FILE)" >> "$ERRORS"
+                continue
+            fi
+        else
+            FILE="$DOC"   # pure intra-document anchor: #section
+        fi
+        if [ -n "$ANCHOR" ] && [ -f "$FILE" ]; then
+            case "$FILE" in *.md)
+                if ! anchors_of "$FILE" | grep -qx "$ANCHOR"; then
+                    echo "$DOC: broken anchor '#$ANCHOR' (no such heading in $FILE)" >> "$ERRORS"
+                fi
+            ;; esac
+        fi
+    done
+done
+
+if [ -s "$ERRORS" ]; then
+    cat "$ERRORS"
+    echo "doc link check FAILED ($(wc -l < "$ERRORS") broken link(s))"
+    exit 1
+fi
+echo "doc link check OK ($(ls README.md docs/*.md | wc -l) files)"

@@ -13,6 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
 
+# Prose is part of the contract too: every relative link and #anchor in
+# README.md and docs/*.md must resolve (plain shell + grep, no deps).
+echo "==> doc link check"
+./scripts/check_docs.sh
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -24,6 +29,14 @@ cargo test -q --workspace
 # count) — the contract that makes the parallel kernels trustworthy.
 echo "==> worker-pool equivalence sweep (hard timeout)"
 timeout 600 cargo test -q --release --test parallel_equivalence
+
+# Direction-heuristic equivalence: `fixed` must stay byte-identical to
+# the pre-vectorization golden fingerprint, `measured` must validate
+# with identical depths across meshes and identical bytes across worker
+# counts, and the wide-word primitives must match their scalar
+# reference on ragged tails (property-tested).
+echo "==> heuristic equivalence suite (hard timeout)"
+timeout 600 cargo test -q --release --test heuristic_equivalence
 
 # The fault suites prove every injected failure terminates in a typed
 # outcome instead of a hung barrier — so they run under a hard wall
@@ -46,8 +59,33 @@ SUNBFS_FAULT_PLAN="corrupt@1:3:bitflip" timeout 300 \
     cargo run -q --release --example graph500_runner -- 9 4 256 64 1 --json "$SMOKE_JSON" \
     > /dev/null
 grep -Eq '"retransmits": *[1-9]' "$SMOKE_JSON"
-grep -Eq '"schema_version": *9' "$SMOKE_JSON"
+grep -Eq '"schema_version": *10' "$SMOKE_JSON"
 rm -f "$SMOKE_JSON"
+
+# Smoke: the SUNBFS_DIRECTION runner override — both heuristic families
+# run (and stamp the config they used into the report); a mistyped
+# value must be a typed refusal with exit code 2, never a silent
+# fallback to a default schedule.
+echo "==> direction-heuristic override smoke (graph500_runner)"
+DIR_JSON="$(mktemp)"
+SUNBFS_DIRECTION=fixed timeout 300 \
+    cargo run -q --release --example graph500_runner -- 9 4 256 64 1 --json "$DIR_JSON" \
+    > /dev/null
+grep -Eq '"direction_heuristic": *"fixed"' "$DIR_JSON"
+SUNBFS_DIRECTION=measured timeout 300 \
+    cargo run -q --release --example graph500_runner -- 9 4 256 64 1 --json "$DIR_JSON" \
+    > /dev/null
+grep -Eq '"direction_heuristic": *"measured"' "$DIR_JSON"
+rm -f "$DIR_JSON"
+set +e
+SUNBFS_DIRECTION=sideways timeout 300 \
+    cargo run -q --release --example graph500_runner -- 9 4 256 64 1 > /dev/null 2>&1
+DIR_RC=$?
+set -e
+if [ "$DIR_RC" -ne 2 ]; then
+    echo "direction smoke: unknown SUNBFS_DIRECTION must exit 2 (got $DIR_RC)"
+    exit 1
+fi
 
 # Serve suite: admission control, batch formation, fault containment,
 # batch-vs-sequential equivalence, and the >=2x roots/sec acceptance
@@ -77,7 +115,7 @@ timeout 600 cargo run -q --release --example graph500_runner -- 14 16 256 64 2 \
     --json "$WARM_JSON" --load-graph "$STORE_FILE" > /dev/null
 grep -Eq '"saved": *true' "$COLD_JSON"
 grep -Eq '"opened": *true' "$WARM_JSON"
-grep -Eq '"schema_version": *9' "$WARM_JSON"
+grep -Eq '"schema_version": *10' "$WARM_JSON"
 COLD_S=$(grep -o '"cold_build_wall_seconds": *[0-9.e-]*' "$COLD_JSON" | grep -o '[0-9.e-]*$')
 WARM_S=$(grep -o '"warm_open_wall_seconds": *[0-9.e-]*' "$WARM_JSON" | grep -o '[0-9.e-]*$')
 awk -v cold="$COLD_S" -v warm="$WARM_S" \
@@ -132,7 +170,7 @@ rm -f "$SERVER_STORE" "$FIRST_OUT" "$SECOND_OUT"
 # well beyond what a capacity-16 queue admits at SCALE 14, so the run
 # must produce queue-full rejections while keeping every accounting
 # invariant (loadgen exits nonzero on any lost/duplicated/unacked/
-# malformed reply), emit the committed schema-v9 serve_load artifact,
+# malformed reply), emit the committed schema-v10 serve_load artifact,
 # and the server must drain cleanly on shutdown with zero dropped
 # results. Both binaries are prebuilt so the two processes never race
 # for the cargo target-dir lock.
@@ -153,7 +191,7 @@ timeout 300 ./target/release/examples/loadgen "$TCP_ADDR" \
     --conns 4 --qps 400 --duration 4 --root-max 16384 --seed 42 \
     --json SERVE_LOAD_14.json > /dev/null
 wait "$TCP_SERVER_PID"
-grep -Eq '"schema_version": *9' SERVE_LOAD_14.json
+grep -Eq '"schema_version": *10' SERVE_LOAD_14.json
 grep -Eq '"protocol_errors": *0' SERVE_LOAD_14.json
 grep -Eq '"lost_replies": *0' SERVE_LOAD_14.json
 grep -Eq '"duplicate_replies": *0' SERVE_LOAD_14.json
@@ -169,7 +207,7 @@ rm -f "$TCP_LOG"
 # hint-honoring retries) stay connected; a side connection polls the
 # `health` state machine. The soak must end with zero protocol losses,
 # availability at or above the gate, the service recovered to healthy
-# within the tick budget, and the committed schema-v9 serve_chaos
+# within the tick budget, and the committed schema-v10 serve_chaos
 # artifact well-formed (chaos_soak exits nonzero on any gate failure).
 echo "==> chaos soak smoke (SCALE 14, hard timeout)"
 cargo build -q --release --example chaos_soak
@@ -177,7 +215,7 @@ timeout 600 ./target/release/examples/chaos_soak \
     --scale 14 --ranks 8 --conns 4 --qps 300 --duration 4 --seed 42 \
     --chaos-every 48 --chaos-max-events 4 --deadline-ticks 400 --retry-max 3 \
     --availability-gate 0.90 --json SERVE_CHAOS_14.json > /dev/null
-grep -Eq '"schema_version": *9' SERVE_CHAOS_14.json
+grep -Eq '"schema_version": *10' SERVE_CHAOS_14.json
 grep -Eq '"passed": *true' SERVE_CHAOS_14.json
 grep -Eq '"recovered": *true' SERVE_CHAOS_14.json
 grep -Eq '"final_health": *"healthy"' SERVE_CHAOS_14.json
@@ -193,21 +231,23 @@ grep -Eq '"chaos_injected": *[1-9]' SERVE_CHAOS_14.json
 # and the epoch stamped on every reply must never regress on a
 # connection (the torn-read proxy) through a clean drain. update_soak
 # exits nonzero on any gate failure and regenerates the committed
-# schema-v9 UPDATE_14.json artifact.
+# schema-v10 UPDATE_14.json artifact.
 echo "==> update soak smoke (SCALE 14, hard timeout)"
 cargo build -q --release --example update_soak
 timeout 600 ./target/release/examples/update_soak \
     --scale 14 --ranks 4 --rounds 6 --batch 64 --seed 42 \
     --json UPDATE_14.json > /dev/null
-grep -Eq '"schema_version": *9' UPDATE_14.json
+grep -Eq '"schema_version": *10' UPDATE_14.json
 grep -Eq '"passed": *true' UPDATE_14.json
 grep -Eq '"equivalence_violations": *0' UPDATE_14.json
 grep -Eq '"torn_reads": *0' UPDATE_14.json
 grep -Eq '"clean_drain": *true' UPDATE_14.json
 grep -Eq '"updates_committed": *[1-9]' UPDATE_14.json
 
-# Perf trajectory: regenerate the committed BENCH_<scale>_<rows>x<cols>
-# artifact and smoke-check the schema-v7 wall-clock section plus the
+# Perf trajectory: regenerate the committed GTEPS curve — one
+# BENCH_<scale>_<rows>x<cols>.json per scale in the 14/16/18 sweep —
+# gate the fresh SCALE-14 harmonic mean against the committed baseline,
+# and smoke-check the schema-v10 wall-clock section plus the
 # parallel-vs-serial throughput bound (strict only on >= 4 cores; see
 # the script header and docs/PERF.md).
 echo "==> bench trajectory (hard timeout inside)"

@@ -79,11 +79,20 @@ use crate::driver::{
 /// transport summary gained `updates_committed` / `update_edges` /
 /// `updates_rejected` / `final_epoch`; and the `update_soak` artifact
 /// family was added — the live-mutation record `update_soak` emits
-/// (`{"schema_version":9,"update_soak":{...}}`: repair-vs-recompute
+/// (`{"schema_version":10,"update_soak":{...}}`: repair-vs-recompute
 /// speedup, updates/sec, the equivalence verdict, and the nested
 /// `serve_load` view of the mutating TCP phase).
 /// The `BenchmarkReport` shape itself is unchanged from v6.
-pub const SCHEMA_VERSION: u64 = 9;
+///
+/// v10: measured-degree direction heuristics and vectorized bitmap
+/// kernels. Every per-iteration `subs.<COMPONENT>` record gained
+/// `frontier_edges` / `unexplored_edges` — the measured `m_f` / `m_u`
+/// degree masses the component's push/pull decision saw (zeros under
+/// the fixed heuristic); the `config.engine` object gained
+/// `direction_heuristic` (`"fixed"` | `"measured"`), `alpha_measured`,
+/// and `beta_measured`. Traversal results are byte-identical to v9
+/// under `direction_heuristic: "fixed"`.
+pub const SCHEMA_VERSION: u64 = 10;
 
 /// Ratio bin edges of the partition load-balance histogram: each rank's
 /// `total / mean` storage falls into one bin; the last bin is open.
@@ -209,7 +218,10 @@ fn config_json(c: &RunConfig) -> JsonValue {
                 .field("beta_crossing", c.engine.beta_crossing)
                 .field("sub_iteration", c.engine.sub_iteration)
                 .field("vanilla_alpha", c.engine.vanilla_alpha)
-                .field("segmenting", c.engine.segmenting),
+                .field("segmenting", c.engine.segmenting)
+                .field("direction_heuristic", c.engine.heuristic.name())
+                .field("alpha_measured", c.engine.alpha_measured)
+                .field("beta_measured", c.engine.beta_measured),
         )
         .field("seed", c.seed)
         .field("num_roots", c.num_roots)

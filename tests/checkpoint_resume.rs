@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 use sunbfs::common::{Bitmap, MachineConfig};
-use sunbfs::core::{run_bfs_recoverable, CheckpointState, CheckpointStore, EngineConfig};
+use sunbfs::core::{
+    run_bfs_recoverable, CheckpointState, CheckpointStore, Direction, EngineConfig,
+};
 use sunbfs::net::{Cluster, FaultEvent, FaultKind, FaultPlan, MeshShape, RankFailure};
 use sunbfs::part::{build_1p5d, Thresholds};
 use sunbfs::rmat::RmatParams;
@@ -30,13 +32,24 @@ proptest! {
         l_parent in prop::collection::vec(any::<u64>(), 0..16),
         (iter, active_l, visited_l) in (1u32..64, 0u64..1 << 40, 0u64..1 << 40),
         sim_millis in 0u64..1_000_000,
+        fmass in (any::<u64>(), any::<u64>(), any::<u64>()),
+        vmass in (any::<u64>(), any::<u64>(), any::<u64>()),
+        dir_bits in 0u8..64,
         damage in any::<u64>(),
     ) {
+        let fmass = [fmass.0, fmass.1, fmass.2];
+        let vmass = [vmass.0, vmass.1, vmass.2];
+        let prev_dirs = std::array::from_fn(|i| {
+            if dir_bits >> i & 1 == 1 { Direction::Pull } else { Direction::Push }
+        });
         let state = CheckpointState {
             iter,
             active_l,
             visited_l,
             sim_seconds: sim_millis as f64 / 1e3,
+            frontier_mass: fmass,
+            visited_mass: vmass,
+            prev_dirs,
             hub_curr: bitmap_from_words(&hub_words),
             hub_visited: bitmap_from_words(&hub_words),
             hub_parent: hub_parent.clone(),

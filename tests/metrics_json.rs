@@ -178,7 +178,7 @@ fn classic_path_reports_a_null_serve_section() {
     let js = report.to_json().render();
     assert!(js.contains("\"serve\":null"));
     assert!(js.contains("\"store\":null"));
-    assert!(js.contains("\"schema_version\":9"));
+    assert!(js.contains("\"schema_version\":10"));
     assert!(js.contains("\"serve_batch\":false"));
     assert!(js.contains("\"serve_baseline\":false"));
     assert!(js.contains("\"save_graph\":null"));

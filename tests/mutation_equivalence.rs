@@ -93,8 +93,7 @@ fn mutated_bfs_is_depth_identical_across_meshes_and_workers() {
             pool::set_workers(workers);
             let label = format!("ranks {ranks} workers {workers}");
             let cfg = SessionConfig::small(10, ranks);
-            let mut session =
-                GraphSession::load(cfg, FaultPlan::none()).expect("session builds");
+            let mut session = GraphSession::load(cfg, FaultPlan::none()).expect("session builds");
             let n = session.num_vertices();
 
             // Round 1: a seeded random batch, normally staying in the
